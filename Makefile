@@ -1,0 +1,21 @@
+# Developer entry points for the repro library.
+
+.PHONY: install test bench examples all
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script > /dev/null || exit 1; \
+	done
+	@echo "all examples ran cleanly"
+
+all: test bench examples

@@ -1,0 +1,81 @@
+"""Experiment T-certain — certain / approximately certain models.
+
+Section 2.3 covers Zhen et al.: before paying for imputation, check whether
+one model is (approximately) optimal for every completion of the data. This
+bench sweeps the missing rate and reports (a) how often an *exactly* certain
+model exists in a favourable regime (irrelevant features missing, exact
+fit), and (b) the worst-case optimality-gap bound of the midpoint ridge
+model in a noisy regime. Shape to reproduce: certainty decays and the gap
+bound grows monotonically with the missing rate.
+"""
+
+import numpy as np
+
+from repro.datasets import make_regression
+from repro.uncertainty import (
+    approximately_certain_model,
+    certain_model_regression,
+    from_matrix_with_nans,
+)
+from repro.viz import format_records
+
+MISSING_RATES = [0.0, 0.05, 0.1, 0.2, 0.3]
+TRIALS = 10
+
+
+def exact_certainty_rate(missing_rate: float, seed0: int = 0) -> float:
+    """Fraction of trials with an exactly-certain model. Data: exact linear
+    target where the last feature is irrelevant; missing cells land only in
+    that feature, so certainty holds until a *relevant* pattern is hit."""
+    certain = 0
+    for trial in range(TRIALS):
+        rng = np.random.default_rng(seed0 + trial)
+        X = rng.normal(size=(40, 3))
+        w = np.asarray([1.5, -2.0, 0.0])
+        y = X @ w
+        X_nan = X.copy()
+        # Missing cells: mostly in the irrelevant feature, occasionally in a
+        # relevant one (probability grows with the rate).
+        n_missing = int(round(missing_rate * 40))
+        rows = rng.choice(40, size=n_missing, replace=False)
+        for i in rows:
+            column = 2 if rng.random() > missing_rate else int(rng.integers(2))
+            X_nan[i, column] = np.nan
+        certain += bool(certain_model_regression(X_nan, y).certain)
+    return certain / TRIALS
+
+
+def gap_bound(missing_rate: float) -> float:
+    X, y, __ = make_regression(n=80, n_features=4, noise=0.3, seed=5)
+    rng = np.random.default_rng(7)
+    X_nan = X.copy()
+    X_nan[rng.random(X.shape) < missing_rate] = np.nan
+    verdict = approximately_certain_model(
+        from_matrix_with_nans(X_nan, y), l2=0.5, epsilon=0.1
+    )
+    return float(verdict.gap_bound)
+
+
+def run_sweep() -> list[dict]:
+    rows = []
+    for rate in MISSING_RATES:
+        rows.append(
+            {
+                "missing_rate": rate,
+                "exact_certain_fraction": exact_certainty_rate(rate),
+                "gap_bound (ridge, midpoint model)": gap_bound(rate),
+            }
+        )
+    return rows
+
+
+def test_certain_models_sweep(benchmark, write_report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    write_report("certain_models", format_records(rows))
+
+    certainties = [r["exact_certain_fraction"] for r in rows]
+    gaps = [r["gap_bound (ridge, midpoint model)"] for r in rows]
+    assert certainties[0] == 1.0  # no missing values → always certain
+    assert certainties[-1] <= certainties[0]
+    assert gaps[0] < 1e-12  # no missing values → (numerically) zero gap
+    assert all(b >= a - 1e-9 for a, b in zip(gaps, gaps[1:]))

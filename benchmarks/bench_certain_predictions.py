@@ -1,0 +1,94 @@
+"""Experiment T-cp — certain predictions and CPClean cleaning-effort savings.
+
+Section 2.3's "do we even need to clean?" question: with KNN over incomplete
+data, many test predictions are already certain. This bench sweeps the
+missing rate and reports the certain-prediction fraction, then compares the
+CPClean-style cleaning order against random order on how many oracle calls
+reach full certainty. Shape to reproduce: certainty decays with missingness;
+CPClean ordering reaches full certainty with no more repairs than random.
+"""
+
+import numpy as np
+
+from repro.datasets import make_classification
+from repro.uncertainty import certain_prediction_report, cpclean_order, from_matrix_with_nans
+from repro.viz import format_records
+
+MISSING_RATES = [0.0, 0.02, 0.05, 0.1, 0.2]
+K = 3
+N_TEST = 30
+
+
+def make_task(missing_rate: float, seed: int = 4):
+    X, y = make_classification(n=130, n_features=3, seed=seed)
+    Xtr, ytr = X[:100], y[:100]
+    Xte = X[100:100 + N_TEST]
+    rng = np.random.default_rng(seed)
+    X_nan = Xtr.copy()
+    X_nan[rng.random(Xtr.shape) < missing_rate] = np.nan
+    return from_matrix_with_nans(X_nan, ytr.astype(float)), Xtr, Xte
+
+
+def cleaning_calls_until_certain(dataset, clean_X, x_test, order) -> int:
+    """Oracle repairs following ``order`` until every prediction is certain."""
+    from repro.uncertainty import UncertainDataset
+    from repro.uncertainty.intervals import Interval
+
+    lo = dataset.X.lo.copy()
+    hi = dataset.X.hi.copy()
+    cells = dataset.uncertain_cells.copy()
+    calls = 0
+    for row in order:
+        report = certain_prediction_report(
+            UncertainDataset(Interval(lo, hi), dataset.y, cells), x_test, k=K
+        )
+        if report.certain_fraction == 1.0:
+            break
+        if not cells[row].any():
+            continue
+        lo[row] = clean_X[row]
+        hi[row] = clean_X[row]
+        cells[row] = False
+        calls += 1
+    return calls
+
+
+def run_sweep() -> dict:
+    fraction_rows = []
+    for rate in MISSING_RATES:
+        dataset, __, x_test = make_task(rate)
+        report = certain_prediction_report(dataset, x_test, k=K)
+        fraction_rows.append(
+            {"missing_rate": rate, "certain_fraction": report.certain_fraction}
+        )
+
+    dataset, clean_X, x_test = make_task(0.08)
+    smart_order = cpclean_order(dataset, x_test, k=K)
+    rng = np.random.default_rng(0)
+    random_order = rng.permutation(dataset.n_rows)
+    calls = {
+        "cpclean_order": cleaning_calls_until_certain(
+            dataset, clean_X, x_test, smart_order
+        ),
+        "random_order": cleaning_calls_until_certain(
+            dataset, clean_X, x_test, random_order
+        ),
+    }
+    return {"fractions": fraction_rows, "calls": calls}
+
+
+def test_certain_predictions(benchmark, write_report):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report = format_records(result["fractions"])
+    report += (
+        f"\n\noracle repairs until all {N_TEST} predictions certain "
+        f"(8% missing): cpclean={result['calls']['cpclean_order']}, "
+        f"random={result['calls']['random_order']}"
+    )
+    write_report("certain_predictions", report)
+
+    fractions = [r["certain_fraction"] for r in result["fractions"]]
+    assert fractions[0] == 1.0
+    assert fractions[-1] <= fractions[0]
+    assert fractions[-1] < 1.0  # heavy missingness must create uncertainty
+    assert result["calls"]["cpclean_order"] <= result["calls"]["random_order"]

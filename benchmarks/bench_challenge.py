@@ -1,0 +1,77 @@
+"""Experiment C1 — the data-debugging challenge leaderboard.
+
+Section 3.2: participants clean a budgeted set of hidden-error tuples; a
+leaderboard ranks hidden-test scores. This bench scripts four archetypal
+participants (random, confident-learning, KNN-Shapley, and the revealing
+oracle) and reports the final leaderboard. Shape to reproduce: the informed
+strategies find several times more true errors than the random participant,
+and the oracle participant sits at or near the top of the board.
+"""
+
+import numpy as np
+
+from repro.challenge import DebuggingChallenge
+from repro.importance import confident_learning, knn_shapley
+from repro.viz import format_records
+
+BUDGET = 120
+
+
+def run_challenge() -> dict:
+    game = DebuggingChallenge(n=600, cleaning_budget=BUDGET, error_seed=13)
+    X = game.featurize(game.train)
+    y = np.asarray(game.train.column("sentiment").to_list())
+    Xv = game.featurize(game.valid)
+    yv = np.asarray(game.valid.column("sentiment").to_list())
+    errors = set(game.reveal_errors().tolist())
+
+    picks = {}
+    rng = np.random.default_rng(0)
+    picks["random-player"] = rng.choice(
+        game.train.row_ids, size=BUDGET, replace=False
+    ).tolist()
+    picks["confident-player"] = game.train.row_ids[
+        confident_learning(X, y, seed=0).lowest(BUDGET)
+    ].tolist()
+    picks["shapley-player"] = game.train.row_ids[
+        knn_shapley(X, y, Xv, yv, k=5).lowest(BUDGET)
+    ].tolist()
+    # The oracle player knows every error; the budget covers them all.
+    picks["oracle-player"] = sorted(errors)[:BUDGET]
+    assert len(errors) <= BUDGET
+
+    rows = []
+    for name, ids in picks.items():
+        submission = game.submit(name, ids)
+        rows.append(
+            {
+                "participant": name,
+                "true_errors_cleaned": len(set(int(i) for i in ids) & errors),
+                "hidden_test_accuracy": submission.hidden_test_accuracy,
+            }
+        )
+    return {
+        "rows": rows,
+        "baseline": game.baseline_accuracy,
+        "board": game.leaderboard.render(),
+    }
+
+
+def test_challenge_leaderboard(benchmark, write_report):
+    result = benchmark.pedantic(run_challenge, rounds=1, iterations=1)
+    report = (
+        f"baseline (no cleaning): {result['baseline']:.4f}\n\n"
+        + format_records(result["rows"])
+        + "\n\n"
+        + result["board"]
+    )
+    write_report("challenge", report)
+
+    by_name = {r["participant"]: r for r in result["rows"]}
+    random_hits = by_name["random-player"]["true_errors_cleaned"]
+    assert by_name["shapley-player"]["true_errors_cleaned"] >= 1.5 * max(random_hits, 1)
+    assert by_name["confident-player"]["true_errors_cleaned"] >= 1.5 * max(random_hits, 1)
+    total_errors = max(r["true_errors_cleaned"] for r in result["rows"])
+    assert by_name["oracle-player"]["true_errors_cleaned"] == total_errors
+    # The oracle participant must beat the dirty baseline.
+    assert by_name["oracle-player"]["hidden_test_accuracy"] >= result["baseline"] - 0.01

@@ -1,0 +1,76 @@
+"""Experiment F2-task — iterative cleaning, strategy comparison.
+
+The hands-on task asks attendees to build an iterative cleaning loop and
+observe that importance-guided cleaning recovers model quality faster than
+random cleaning. This bench runs the loop for a panel of strategies and
+reports the accuracy-vs-budget curves plus the area-under-curve ranking.
+Shape to reproduce: informed strategies dominate random on AUC.
+"""
+
+import numpy as np
+
+from repro.cleaning import CleaningOracle, activeclean, iterative_cleaning, make_strategy
+from repro.core import default_featurize
+from repro.datasets import load_recommendation_letters
+from repro.errors import inject_label_errors
+from repro.learn import KNeighborsClassifier
+from repro.viz import format_records, line_chart
+
+STRATEGIES = ["random", "knn_shapley", "confident_learning", "aum", "influence"]
+BATCH = 25
+ROUNDS = 4
+
+
+def run_strategy_panel() -> dict:
+    train, valid, __ = load_recommendation_letters(n=420, seed=9)
+    dirty, report = inject_label_errors(train, "sentiment", fraction=0.25, seed=2)
+    model = KNeighborsClassifier(5)
+    curves = {}
+    for name in STRATEGIES:
+        oracle = CleaningOracle(train)
+        curves[name] = iterative_cleaning(
+            dirty, valid, default_featurize, "sentiment", oracle,
+            make_strategy(name, seed=1), model,
+            batch_size=BATCH, n_rounds=ROUNDS, strategy_name=name,
+        )
+    oracle = CleaningOracle(train)
+    curves["activeclean"] = activeclean(
+        dirty, valid, default_featurize, "sentiment", oracle,
+        batch_size=BATCH, n_rounds=ROUNDS, seed=1,
+    )
+    return curves
+
+
+def test_cleaning_strategy_comparison(benchmark, write_report):
+    curves = benchmark.pedantic(run_strategy_panel, rounds=1, iterations=1)
+
+    budgets = curves["random"].budgets()
+    chart = line_chart(
+        budgets,
+        {name: curve.accuracies() for name, curve in curves.items()},
+        title="Validation accuracy vs cleaning budget (25% label errors)",
+        x_label="tuples cleaned",
+    )
+    table = format_records(
+        sorted(
+            (
+                {
+                    "strategy": name,
+                    "auc": curve.area_under_curve(),
+                    "final_accuracy": curve.final_accuracy,
+                }
+                for name, curve in curves.items()
+            ),
+            key=lambda r: -r["auc"],
+        )
+    )
+    write_report("cleaning_strategies", chart + "\n\n" + table)
+
+    random_auc = curves["random"].area_under_curve()
+    informed = [n for n in curves if n != "random"]
+    # Who wins: importance-guided cleaning dominates random on AUC for the
+    # majority of strategies (individual strategies can tie on easy seeds).
+    beats = sum(curves[n].area_under_curve() >= random_auc for n in informed)
+    assert beats >= len(informed) - 1
+    best = max(curves, key=lambda n: curves[n].area_under_curve())
+    assert best != "random"

@@ -1,0 +1,61 @@
+"""Experiment — OTClean: repairing conditional-independence violations [62].
+
+Sweep the strength of an injected X–Y dependence inside Z-strata, repair
+with the OTClean reweighting, and report conditional mutual information
+before/after plus the downstream fairness effect of training on the
+resampled data. Shapes to reproduce: CMI grows with injected strength and
+drops to ~0 after repair at every strength; the repair transfers to the
+resampled (materialised) dataset.
+"""
+
+import numpy as np
+
+from repro.cleaning import conditional_mutual_information, otclean
+from repro.frame import DataFrame
+from repro.viz import format_records
+
+STRENGTHS = [0.0, 0.2, 0.4, 0.6, 0.8]
+
+
+def make_frame(strength: float, n: int = 2000, seed: int = 0) -> DataFrame:
+    rng = np.random.default_rng(seed)
+    z = rng.choice(["urban", "rural"], size=n)
+    y = rng.choice(["approved", "denied"], size=n)
+    x = np.where(
+        (y == "approved") & (rng.random(n) < strength),
+        "groupA",
+        rng.choice(["groupA", "groupB"], size=n),
+    )
+    return DataFrame({"x": x.astype(str), "y": y.astype(str), "z": z.astype(str)})
+
+
+def run_sweep() -> list[dict]:
+    rows = []
+    for strength in STRENGTHS:
+        frame = make_frame(strength)
+        repair = otclean(frame, "x", "y", "z")
+        resampled = repair.resample(frame, seed=1)
+        rows.append(
+            {
+                "injected_strength": strength,
+                "cmi_before": repair.cmi_before,
+                "cmi_weighted_after": repair.cmi_after,
+                "cmi_resampled_after": conditional_mutual_information(
+                    resampled, "x", "y", "z"
+                ),
+            }
+        )
+    return rows
+
+
+def test_otclean_repair(benchmark, write_report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    write_report("otclean", format_records(rows))
+
+    before = [r["cmi_before"] for r in rows]
+    assert all(b >= a - 5e-4 for a, b in zip(before, before[1:])), (
+        "CMI must grow with injected dependence"
+    )
+    for row in rows:
+        assert row["cmi_weighted_after"] < 1e-9
+        assert row["cmi_resampled_after"] < max(0.25 * row["cmi_before"], 0.01)

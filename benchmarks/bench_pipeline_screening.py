@@ -1,0 +1,110 @@
+"""Experiment T-screen — ArgusEyes-style screening catches injected issues.
+
+Section 2.2 presents ArgusEyes: a CI system screening pipelines for data
+leakage, label errors, and distribution problems. This bench injects each
+issue class into the letters pipeline and reports the screening verdicts.
+Shape to reproduce: the clean pipeline passes; each corrupted variant is
+flagged by the matching check.
+"""
+
+from repro.datasets import generate_hiring_data
+from repro.errors import inject_label_errors, inject_typos
+from repro.frame import DataFrame
+from repro.learn import (
+    CellImputer,
+    ColumnTransformer,
+    OneHotEncoder,
+    Pipeline,
+    StandardScaler,
+)
+from repro.learn.model_selection import split_frame
+from repro.pipeline import PipelinePlan, PipelineScreener, execute
+from repro.text import SentenceBertTransformer
+from repro.viz import format_records
+
+
+def build_sink(join_on_name: bool = False):
+    plan = PipelinePlan()
+    train = plan.source("train_df")
+    jobs = plan.source("jobdetail_df")
+    social = plan.source("social_df")
+    encoder = ColumnTransformer(
+        [
+            (SentenceBertTransformer(n_features=16), "letter_text"),
+            (Pipeline([CellImputer(), OneHotEncoder()]), "degree"),
+            (StandardScaler(), ["age", "employer_rating"]),
+        ]
+    )
+    joined = train.join(jobs, on="job_id")
+    joined = joined.join(social, on="name" if join_on_name else "person_id")
+    return joined.encode(encoder, label_column="sentiment")
+
+
+def run_screening() -> list[dict]:
+    data = generate_hiring_data(n=500, seed=3)
+    train, test = split_frame(data["letters"], fractions=(0.8, 0.2), seed=0)
+    social_with_name = data["social"].copy()
+    social_with_name["name"] = data["letters"]["name"]
+
+    screener = PipelineScreener(
+        protected_columns=["race"],
+        side_sources=["social_df"],
+        fail_at="warning",
+    )
+
+    scenarios = []
+
+    def screen(name: str, sources: dict, test_frame=None) -> None:
+        sink = build_sink(join_on_name=("name" in sources["social_df"].columns))
+        result = execute(sink, sources)
+        report = screener.screen(
+            result,
+            source_frames={"train_df": sources["train_df"]},
+            test_frame=test_frame,
+            test_source="train_df" if test_frame is not None else None,
+        )
+        scenarios.append(
+            {
+                "scenario": name,
+                "passed": report.passed,
+                "issues": "; ".join(i.check for i in report.issues) or "none",
+            }
+        )
+
+    base_sources = {
+        "train_df": train,
+        "jobdetail_df": data["jobdetail"],
+        "social_df": data["social"],
+    }
+    screen("clean pipeline", base_sources)
+
+    dirty_labels, __ = inject_label_errors(train, "sentiment", fraction=0.3, seed=1)
+    screen("30% label errors", dict(base_sources, train_df=dirty_labels))
+
+    leaky = DataFrame.concat_rows([train, test.head(30)])
+    screen("test rows leaked into training", dict(base_sources, train_df=leaky),
+           test_frame=test)
+
+    broken_social, __ = inject_typos(social_with_name, "name", fraction=0.6, seed=2)
+    screen(
+        "typo-broken join keys",
+        dict(base_sources, social_df=broken_social),
+    )
+    return scenarios
+
+
+def test_pipeline_screening(benchmark, write_report):
+    scenarios = benchmark.pedantic(run_screening, rounds=1, iterations=1)
+    report = format_records(scenarios)
+    write_report("pipeline_screening", report)
+
+    verdicts = {row["scenario"]: row for row in scenarios}
+    assert verdicts["clean pipeline"]["passed"] is not False or (
+        "missing_values" in verdicts["clean pipeline"]["issues"]
+    )
+    assert not verdicts["30% label errors"]["passed"]
+    assert "label_errors" in verdicts["30% label errors"]["issues"]
+    assert not verdicts["test rows leaked into training"]["passed"]
+    assert "train_test_overlap" in verdicts["test rows leaked into training"]["issues"]
+    assert not verdicts["typo-broken join keys"]["passed"]
+    assert "join_match_rate" in verdicts["typo-broken join keys"]["issues"]

@@ -1,0 +1,100 @@
+"""Experiment — preprocessing-pipeline search (DiffPrep [44] / SAGA [76]).
+
+Search a 12-configuration preprocessing space (imputer × scaler × filter)
+for the letters scenario with injected missing degrees, comparing exhaustive
+grid search against greedy coordinate descent. Shapes to reproduce: greedy
+reaches the grid optimum's quality (within noise) with fewer evaluations,
+and both searches beat the default (first) configuration.
+"""
+
+import numpy as np
+
+from repro.datasets import generate_hiring_data
+from repro.errors import inject_missing
+from repro.learn import (
+    CellImputer,
+    ColumnTransformer,
+    KNeighborsClassifier,
+    MinMaxScaler,
+    OneHotEncoder,
+    Pipeline,
+    StandardScaler,
+)
+from repro.learn.model_selection import split_frame
+from repro.pipeline import SearchDimension, execute, greedy_search, grid_search
+from repro.text import SentenceBertTransformer
+
+DIMENSIONS = [
+    SearchDimension("imputer", {"most_frequent": None, "constant": None}),
+    SearchDimension("scaler", {"standard": None, "minmax": None}),
+    SearchDimension("sector", {"all": None, "healthcare": None, "finance": None}),
+]
+
+
+def run_search() -> dict:
+    data = generate_hiring_data(n=600, seed=7)
+    train, valid = split_frame(data["letters"], fractions=(0.75, 0.25), seed=1)
+    train, __ = inject_missing(train, "degree", fraction=0.3, seed=3)
+    sources = {"train_df": train, "jobdetail_df": data["jobdetail"]}
+    valid_sources = {"train_df": valid, "jobdetail_df": data["jobdetail"]}
+
+    def build(plan, config, shared):
+        if "base" not in shared:
+            shared["base"] = plan.source("train_df").join(
+                plan.source("jobdetail_df"), on="job_id"
+            )
+        node = shared["base"]
+        if config["sector"] != "all":
+            key = ("sector", config["sector"])
+            if key not in shared:
+                shared[key] = node.filter(
+                    lambda df, s=config["sector"]: df["sector"] == s,
+                    f"sector == {config['sector']!r}",
+                )
+            node = shared[key]
+        scaler = StandardScaler() if config["scaler"] == "standard" else MinMaxScaler()
+        encoder = ColumnTransformer(
+            [
+                (SentenceBertTransformer(n_features=16), "letter_text"),
+                (Pipeline([CellImputer(config["imputer"], fill_value="none"),
+                           OneHotEncoder()]), "degree"),
+                (scaler, ["age", "employer_rating"]),
+            ]
+        )
+        return node.encode(encoder, label_column="sentiment")
+
+    def evaluate(result):
+        model = KNeighborsClassifier(5).fit(result.X, result.y)
+        valid_result = execute(result.sink, valid_sources, fit=False)
+        return model.score(valid_result.X, valid_result.y)
+
+    grid = grid_search(DIMENSIONS, build, sources, evaluate)
+    # One coordinate-descent round: Σ|options| = 7 evaluations vs the
+    # 12-configuration grid.
+    greedy = greedy_search(DIMENSIONS, build, sources, evaluate, n_rounds=1)
+    default_score = next(
+        r["score"]
+        for r in grid.evaluations
+        if r["imputer"] == "most_frequent"
+        and r["scaler"] == "standard"
+        and r["sector"] == "all"
+    )
+    return {"grid": grid, "greedy": greedy, "default_score": default_score}
+
+
+def test_pipeline_search(benchmark, write_report):
+    outcome = benchmark.pedantic(run_search, rounds=1, iterations=1)
+    grid, greedy = outcome["grid"], outcome["greedy"]
+    report = grid.render() + "\n\n" + greedy.render()
+    report += (
+        f"\n\ngrid: {grid.n_evaluated} evaluations; greedy: {greedy.n_evaluated}; "
+        f"default config score: {outcome['default_score']:.4f}"
+    )
+    write_report("pipeline_search", report)
+
+    assert grid.n_evaluated == 12
+    assert greedy.n_evaluated < grid.n_evaluated
+    assert grid.best_score >= outcome["default_score"]
+    assert greedy.best_score >= grid.best_score - 0.03
+    # Prefix sharing must kick in for the grid batch.
+    assert grid.executed_operators < grid.naive_operators

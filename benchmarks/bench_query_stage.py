@@ -1,0 +1,97 @@
+"""Experiment — error propagation into predictive query answers (Figure 1).
+
+Figure 1's central claim is that data errors propagate through *all* pipeline
+stages and finally corrupt the answers of predictive queries. This bench
+closes that loop end to end:
+
+1. run a grouped predictive query over a model trained on clean data,
+2. inject group-targeted label bias into the *training source*,
+3. observe the query answer for the targeted group shift,
+4. file an aggregate complaint at the original value and let the Rain-style
+   resolver remove the responsible training tuples,
+5. verify the answer moves back and that the removed tuples are enriched
+   for the actually-corrupted ones.
+"""
+
+import numpy as np
+
+from repro.core import default_featurize
+from repro.datasets import load_recommendation_letters
+from repro.errors import inject_group_label_bias
+from repro.learn import LogisticRegression
+from repro.queries import AggregateComplaint, PredictiveQuery, resolve_aggregate_complaint
+from repro.viz import format_records
+
+
+def run_stage() -> dict:
+    train, __, test = load_recommendation_letters(n=500, seed=7)
+    y_clean = np.asarray(train.column("sentiment").to_list())
+    X_train = default_featurize(train)
+
+    def make_query(model):
+        return PredictiveQuery(
+            model, default_featurize, group_column="sex",
+            aggregate="positive_rate", positive="positive",
+        )
+
+    clean_model = LogisticRegression(max_iter=80).fit(X_train, y_clean)
+    clean_value = make_query(clean_model).run(test).value_for("f")
+
+    # Systematic bias: positive letters for female applicants get flipped.
+    dirty, report = inject_group_label_bias(
+        train, "sentiment", "sex", "f",
+        from_label="positive", to_label="negative", fraction=0.5, seed=3,
+    )
+    y_dirty = np.asarray(dirty.column("sentiment").to_list())
+    dirty_model = LogisticRegression(max_iter=80).fit(X_train, y_dirty)
+    dirty_query = make_query(dirty_model)
+    dirty_value = dirty_query.run(test).value_for("f")
+
+    complaint = AggregateComplaint(
+        group="f", target=clean_value - 0.02, direction="at_least"
+    )
+    resolution = resolve_aggregate_complaint(
+        dirty_query, X_train, y_dirty, test, complaint,
+        max_removals=80, batch_size=10,
+    )
+    removed_ids = dirty.row_ids[resolution.removed_positions]
+    corrupted = set(report.row_ids.tolist())
+    hits = len(set(removed_ids.tolist()) & corrupted)
+    base_rate = len(corrupted) / train.num_rows
+    return {
+        "clean_value": clean_value,
+        "dirty_value": dirty_value,
+        "repaired_value": resolution.value_after,
+        "resolved": resolution.resolved,
+        "n_removed": len(resolution.removed_positions),
+        "removal_precision": hits / max(len(removed_ids), 1),
+        "corruption_base_rate": base_rate,
+    }
+
+
+def test_query_error_propagation(benchmark, write_report):
+    result = benchmark.pedantic(run_stage, rounds=1, iterations=1)
+    report = format_records(
+        [
+            {"quantity": "query answer, clean training data",
+             "value": result["clean_value"]},
+            {"quantity": "query answer, biased training data",
+             "value": result["dirty_value"]},
+            {"quantity": "query answer after complaint resolution",
+             "value": result["repaired_value"]},
+            {"quantity": "training tuples removed", "value": result["n_removed"]},
+            {"quantity": "removal precision (vs corrupted tuples)",
+             "value": result["removal_precision"]},
+            {"quantity": "corruption base rate",
+             "value": result["corruption_base_rate"]},
+        ]
+    )
+    write_report("query_stage", report)
+
+    # The bias must visibly depress the group's query answer...
+    assert result["dirty_value"] < result["clean_value"] - 0.05
+    # ...and the complaint-driven repair must recover it.
+    assert result["resolved"]
+    assert result["repaired_value"] >= result["clean_value"] - 0.02 - 1e-9
+    # The removals should concentrate on actually-corrupted tuples.
+    assert result["removal_precision"] > 2 * result["corruption_base_rate"]

@@ -1,0 +1,78 @@
+"""Experiment — data importance for retrieval-augmented generation [47].
+
+Poison a retrieval corpus with contradicting documents, compute exact
+KNN-Shapley importance of every document against a query workload, prune
+the lowest-value documents, and re-measure answer accuracy. Shape to
+reproduce: the poisoned documents concentrate at the bottom of the ranking
+and pruning them recovers accuracy.
+"""
+
+import numpy as np
+
+from repro.importance import RetrievalCorpus, rag_importance
+from repro.text import TextEmbedder
+from repro.viz import format_records
+
+FACTS = [
+    ("france", "paris"), ("japan", "tokyo"), ("kenya", "nairobi"),
+    ("brazil", "brasilia"), ("canada", "ottawa"), ("norway", "oslo"),
+    ("egypt", "cairo"), ("india", "delhi"), ("chile", "santiago"),
+    ("ghana", "accra"), ("peru", "lima"), ("spain", "madrid"),
+    ("italy", "rome"), ("greece", "athens"), ("poland", "warsaw"),
+]
+POISONED = [("france", "lyon"), ("japan", "osaka"), ("spain", "seville")]
+POISON_COPIES = 2  # two contradicting copies outvote the one true doc at k=3
+
+
+def run_rag() -> dict:
+    documents = [f"the capital city of {c} is {cap}" for c, cap in FACTS]
+    answers = [cap for __, cap in FACTS]
+    for country, wrong in POISONED:
+        for copy in range(POISON_COPIES):
+            documents.append(
+                f"the capital city of {country} is {wrong}"
+                + (" indeed" * copy)  # near-duplicates, not exact ones
+            )
+            answers.append(wrong)
+    corpus = RetrievalCorpus(
+        documents, np.asarray(answers), embedder=TextEmbedder(n_features=256)
+    )
+    queries = [f"what is the capital city of {c}" for c, __ in FACTS]
+    truth = [cap for __, cap in FACTS]
+
+    n_poison_docs = len(POISONED) * POISON_COPIES
+    accuracy_dirty = corpus.accuracy(queries, truth, k=3)
+    importance = rag_importance(corpus, queries, truth, k=3)
+    worst = importance.lowest(n_poison_docs)
+    poisoned_positions = set(range(len(FACTS), len(FACTS) + n_poison_docs))
+    hits = len(set(int(w) for w in worst) & poisoned_positions)
+
+    pruned = corpus.without(worst.tolist())
+    accuracy_pruned = pruned.accuracy(queries, truth, k=3)
+    return {
+        "accuracy_dirty": accuracy_dirty,
+        "accuracy_pruned": accuracy_pruned,
+        "poison_detection_hits": hits,
+        "n_poisoned": n_poison_docs,
+        "flagged": worst.tolist(),
+    }
+
+
+def test_rag_importance(benchmark, write_report):
+    result = benchmark.pedantic(run_rag, rounds=1, iterations=1)
+    report = format_records(
+        [
+            {"quantity": "answer accuracy with poisoned corpus",
+             "value": result["accuracy_dirty"]},
+            {"quantity": f"after pruning {result['n_poisoned']} lowest-value docs",
+             "value": result["accuracy_pruned"]},
+            {"quantity": "poisoned docs among the flagged",
+             "value": f"{result['poison_detection_hits']}/{result['n_poisoned']}"},
+        ]
+    )
+    write_report("rag_importance", report)
+
+    assert result["poison_detection_hits"] >= result["n_poisoned"] - 1
+    # The duplicated poison actually flips answers; pruning must recover.
+    assert result["accuracy_dirty"] < 1.0
+    assert result["accuracy_pruned"] > result["accuracy_dirty"]

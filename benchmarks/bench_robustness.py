@@ -1,0 +1,67 @@
+"""Ablation — certified robustness vs clean accuracy (partition ensembles).
+
+The survey's Learn part cites intrinsic certified robustness of ensembles
+(Jia et al. [32]): more partitions certify larger poisoning budgets but each
+base model sees less data. This bench sweeps the partition count and
+reports clean accuracy alongside certified accuracy at several budgets.
+Shapes to reproduce: certified accuracy is monotone non-increasing in the
+budget for every ensemble, and the maximum certifiable budget grows with
+the partition count.
+"""
+
+from repro.datasets import make_classification
+from repro.learn import LogisticRegression
+from repro.robust import PartitionEnsemble, SmoothedClassifier
+from repro.viz import format_records
+
+PARTITIONS = [3, 7, 15, 31]
+BUDGETS = [0, 1, 3, 6]
+
+
+def run_sweep() -> dict:
+    X, y = make_classification(n=700, n_features=4, seed=4)
+    Xtr, ytr = X[:550], y[:550]
+    Xv, yv = X[550:], y[550:]
+    rows = []
+    for k in PARTITIONS:
+        ensemble = PartitionEnsemble(
+            LogisticRegression(max_iter=40), n_partitions=k, seed=0
+        ).fit(Xtr, ytr)
+        row = {"partitions": k, "clean_accuracy": round(ensemble.score(Xv, yv), 4)}
+        for budget in BUDGETS:
+            row[f"certified@{budget}"] = round(
+                ensemble.certified_accuracy(Xv, yv, budget), 4
+            )
+        rows.append(row)
+
+    smoothed = SmoothedClassifier(
+        LogisticRegression(max_iter=40), noise=0.3, n_samples=15, seed=0
+    ).fit(Xtr, ytr)
+    certs = smoothed.certified_predict(Xv)
+    smoothing_row = {
+        "accuracy": round(smoothed.score(Xv, yv), 4),
+        "mean_certified_flips": round(
+            sum(c.certified_flips for c in certs) / len(certs), 3
+        ),
+    }
+    return {"rows": rows, "smoothing": smoothing_row}
+
+
+def test_robustness_tradeoff(benchmark, write_report):
+    result = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report = format_records(result["rows"])
+    report += (
+        "\n\nrandomized smoothing (noise=0.3): "
+        f"accuracy {result['smoothing']['accuracy']}, mean certified flips "
+        f"{result['smoothing']['mean_certified_flips']}"
+    )
+    write_report("robustness_certification", report)
+
+    for row in result["rows"]:
+        certified = [row[f"certified@{b}"] for b in BUDGETS]
+        assert all(b <= a + 1e-12 for a, b in zip(certified, certified[1:]))
+        assert certified[0] <= row["clean_accuracy"] + 1e-12
+    # Larger ensembles certify non-trivial budgets that small ones cannot.
+    assert result["rows"][-1][f"certified@{BUDGETS[-1]}"] > 0.0
+    assert result["rows"][0][f"certified@{BUDGETS[-1]}"] == 0.0
+    assert result["smoothing"]["mean_certified_flips"] > 0.0

@@ -1,0 +1,95 @@
+"""Experiment T-scale — cost scaling of importance computation.
+
+Section 2.1's "Overcoming Computational Challenges" motivates two levers:
+the KNN proxy (closed form, no retraining) and Monte-Carlo truncation
+(TMC stops scanning a permutation once the utility saturates). This bench
+reports, as the training-set size grows:
+
+- wall-clock of the closed-form methods (KNN-Shapley, influence),
+- wall-clock *and retraining counts* of the retraining-based methods
+  (LOO: exactly n+1 retrainings; truncated MC: sub-linear scans).
+
+Shapes to reproduce: the wall-clock gap between LOO and the closed-form
+methods widens with n; TMC's retraining count grows *sub-linearly* (the
+truncation savings grow with n).
+"""
+
+import time
+
+from repro.datasets import make_classification
+from repro.importance import (
+    Utility,
+    influence_importance,
+    knn_shapley,
+    loo_importance,
+    shapley_mc,
+)
+from repro.learn import LogisticRegression
+from repro.viz import format_records
+
+SIZES = [50, 100, 200, 400]
+N_VALID = 50
+MC_PERMUTATIONS = 3
+
+
+def time_methods(n: int) -> dict:
+    X, y = make_classification(n=n + N_VALID, n_features=4, seed=1)
+    Xtr, ytr = X[:n], y[:n]
+    Xv, yv = X[n:], y[n:]
+    row: dict = {"n_train": n}
+
+    start = time.perf_counter()
+    knn_shapley(Xtr, ytr, Xv, yv, k=5)
+    row["knn_shapley_s"] = round(time.perf_counter() - start, 4)
+
+    model = LogisticRegression(max_iter=60).fit(Xtr, ytr)
+    start = time.perf_counter()
+    influence_importance(model, Xtr, ytr, Xv, yv)
+    row["influence_s"] = round(time.perf_counter() - start, 4)
+
+    utility = Utility(LogisticRegression(max_iter=30), Xtr, ytr, Xv, yv)
+    start = time.perf_counter()
+    loo_importance(utility)
+    row["loo_s"] = round(time.perf_counter() - start, 4)
+    row["loo_retrainings"] = utility.n_evaluations
+
+    utility = Utility(LogisticRegression(max_iter=30), Xtr, ytr, Xv, yv)
+    start = time.perf_counter()
+    shapley_mc(
+        utility,
+        n_permutations=MC_PERMUTATIONS,
+        truncation_tolerance=0.02,
+        seed=0,
+    )
+    row["tmc_s"] = round(time.perf_counter() - start, 4)
+    row["tmc_retrainings"] = utility.n_evaluations
+    # Untruncated MC would need n retrainings per permutation.
+    row["tmc_savings"] = round(
+        1.0 - row["tmc_retrainings"] / (MC_PERMUTATIONS * n), 3
+    )
+    return row
+
+
+def run_scaling() -> list[dict]:
+    return [time_methods(n) for n in SIZES]
+
+
+def test_scalability(benchmark, write_report):
+    rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    write_report("scalability", format_records(rows))
+
+    for row in rows:
+        # Closed-form methods are much cheaper than n+1 retrainings.
+        assert row["knn_shapley_s"] < row["loo_s"]
+        assert row["influence_s"] < row["loo_s"]
+        # LOO cost is exactly n + 1 utility evaluations.
+        assert row["loo_retrainings"] == row["n_train"] + 1
+
+    first, last = rows[0], rows[-1]
+    # The absolute wall-clock gap between LOO and KNN-Shapley widens with n.
+    assert (last["loo_s"] - last["knn_shapley_s"]) > (
+        first["loo_s"] - first["knn_shapley_s"]
+    )
+    # Truncation savings grow with n (the utility saturates earlier,
+    # relatively speaking).
+    assert last["tmc_savings"] >= first["tmc_savings"]

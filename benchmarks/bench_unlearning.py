@@ -1,0 +1,96 @@
+"""Ablation — unlearning latency vs retraining (survey §2.4 direction).
+
+The open-challenges section links data debugging to low-latency machine
+unlearning: debugging repeatedly removes points, deletion requests demand it
+be fast. This bench measures wall-clock of (a) RemovalAwareKNN.forget vs a
+KNN refit and (b) Newton-step unlearning vs logistic-regression retraining,
+plus the prediction agreement of the fast paths with their exact
+counterparts. Shapes to reproduce: the fast paths are faster at every size
+and agree with retraining almost everywhere.
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import make_classification
+from repro.learn import KNeighborsClassifier, LogisticRegression
+from repro.unlearning import RemovalAwareForest, RemovalAwareKNN, newton_unlearn
+from repro.viz import format_records
+
+SIZES = [200, 400, 800]
+N_REMOVE = 10
+
+
+def run_comparison() -> list[dict]:
+    rows = []
+    for n in SIZES:
+        X, y = make_classification(n=n + 60, n_features=4, seed=2)
+        Xtr, ytr = X[:n], y[:n]
+        Xv = X[n:]
+        removed = list(range(N_REMOVE))
+        keep = np.ones(n, dtype=bool)
+        keep[removed] = False
+
+        knn = RemovalAwareKNN(5).fit(Xtr, ytr)
+        start = time.perf_counter()
+        knn.forget(removed)
+        forget_s = time.perf_counter() - start
+        start = time.perf_counter()
+        refit = KNeighborsClassifier(5).fit(Xtr[keep], ytr[keep])
+        knn_refit_s = time.perf_counter() - start
+        knn_agreement = float(np.mean(knn.predict(Xv) == refit.predict(Xv)))
+
+        model = LogisticRegression(l2=1e-2).fit(Xtr, ytr)
+        start = time.perf_counter()
+        unlearned, report = newton_unlearn(model, Xtr, ytr, removed)
+        newton_s = time.perf_counter() - start
+        start = time.perf_counter()
+        retrained = LogisticRegression(l2=1e-2).fit(Xtr[keep], ytr[keep])
+        retrain_s = time.perf_counter() - start
+        lr_agreement = float(np.mean(unlearned.predict(Xv) == retrained.predict(Xv)))
+
+        # HedgeCut-style forest: count the partial refits a deletion needs.
+        forest = RemovalAwareForest(
+            n_trees=20, sample_fraction=0.2, seed=0
+        ).fit(Xtr, ytr)
+        t0 = time.perf_counter()
+        refits = forest.forget(removed[:1])
+        forest_forget_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        RemovalAwareForest(n_trees=20, sample_fraction=0.2, seed=0).fit(
+            Xtr[1:], ytr[1:]
+        )
+        forest_refit_s = time.perf_counter() - t0
+
+        rows.append(
+            {
+                "n_train": n,
+                "knn_forget_s": round(forget_s, 5),
+                "knn_refit_s": round(knn_refit_s, 5),
+                "knn_agreement": knn_agreement,
+                "newton_s": round(newton_s, 5),
+                "lr_retrain_s": round(retrain_s, 5),
+                "lr_agreement": lr_agreement,
+                "newton_method": report.method,
+                "forest_trees_refit": f"{refits}/20",
+                "forest_forget_s": round(forest_forget_s, 5),
+                "forest_retrain_s": round(forest_refit_s, 5),
+            }
+        )
+    return rows
+
+
+def test_unlearning_latency(benchmark, write_report):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    write_report("unlearning", format_records(rows))
+
+    for row in rows:
+        assert row["knn_agreement"] == 1.0  # forgetting is exact for KNN
+        assert row["lr_agreement"] >= 0.95
+        assert row["newton_method"] == "newton"  # small removals: fast path
+        refit, total = row["forest_trees_refit"].split("/")
+        assert int(refit) < int(total)  # partial refits only
+        assert row["forest_forget_s"] < row["forest_retrain_s"]
+    # The fast KNN path beats refitting at the largest size.
+    assert rows[-1]["knn_forget_s"] < rows[-1]["knn_refit_s"]

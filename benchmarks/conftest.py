@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+Every bench writes its rendered report (the paper-style table or figure) to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference concrete
+numbers from the last run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def write_report(results_dir):
+    def writer(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return writer

@@ -1,0 +1,72 @@
+"""Debugging a retrieval-augmented generation corpus with data importance.
+
+The survey covers data importance specialised for RAG (Lyu et al. [47]):
+in a RAG system the "training data" is the retrieval corpus, and corpus
+errors (stale or poisoned documents) corrupt answers. Because retrieval-
+then-vote is a KNN model over the embedding space, exact KNN-Shapley
+applies directly to corpus entries.
+
+1. build a small fact corpus with contradicting (poisoned) documents,
+2. watch answer accuracy degrade,
+3. compute per-document KNN-Shapley importance against a query workload,
+4. prune the lowest-value documents and watch accuracy recover.
+
+Run with:  python examples/rag_corpus_debugging.py
+"""
+
+import numpy as np
+
+from repro.importance import RetrievalCorpus, rag_importance
+from repro.text import TextEmbedder
+from repro.viz import format_records
+
+FACTS = [
+    ("france", "paris"), ("japan", "tokyo"), ("kenya", "nairobi"),
+    ("brazil", "brasilia"), ("canada", "ottawa"), ("norway", "oslo"),
+    ("egypt", "cairo"), ("india", "delhi"), ("chile", "santiago"),
+    ("ghana", "accra"), ("peru", "lima"), ("spain", "madrid"),
+]
+POISONED = [("france", "lyon"), ("japan", "osaka")]
+
+
+def main() -> None:
+    documents = [f"the capital city of {c} is {cap}" for c, cap in FACTS]
+    answers = [cap for __, cap in FACTS]
+    for country, wrong in POISONED:
+        for suffix in ("", " indeed"):  # two near-duplicate poison copies
+            documents.append(f"the capital city of {country} is {wrong}{suffix}")
+            answers.append(wrong)
+
+    corpus = RetrievalCorpus(
+        documents, np.asarray(answers), embedder=TextEmbedder(n_features=256)
+    )
+    queries = [f"what is the capital city of {c}" for c, __ in FACTS]
+    truth = [cap for __, cap in FACTS]
+
+    accuracy = corpus.accuracy(queries, truth, k=3)
+    print(f"corpus of {len(corpus)} documents "
+          f"({len(POISONED) * 2} poisoned) → answer accuracy {accuracy:.2f}\n")
+
+    importance = rag_importance(corpus, queries, truth, k=3)
+    print("per-document importance (lowest first):")
+    order = np.argsort(importance.values)
+    rows = [
+        {
+            "doc": corpus.documents[i][:48],
+            "answer": str(corpus.answers[i]),
+            "importance": importance.values[i],
+        }
+        for i in order[:6]
+    ]
+    print(format_records(rows))
+
+    pruned = corpus.without(importance.lowest(len(POISONED) * 2).tolist())
+    recovered = pruned.accuracy(queries, truth, k=3)
+    print(
+        f"\npruning the {len(POISONED) * 2} lowest-value documents recovers "
+        f"accuracy {accuracy:.2f} → {recovered:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Learning from imperfect data (paper Figure 4).
+
+When cleaning is too costly, reason about uncertainty instead:
+
+1. inject MNAR missing values into ``employer_rating`` at 5–25%,
+2. lift the dataset to a symbolic (possible-worlds) encoding,
+3. train the Zorro-style robust model over *all* possible worlds,
+4. plot the maximum worst-case loss (the Figure 4 curve),
+5. compare prediction ranges with an imputation baseline, and
+6. check whether KNN predictions and linear models are *certain* —
+   i.e. whether cleaning is even needed.
+
+Run with:  python examples/uncertainty_zorro.py
+"""
+
+import numpy as np
+
+import repro.core as nde
+from repro.uncertainty import (
+    ZorroTrainer,
+    approximately_certain_model,
+    certain_prediction_report,
+    ridge_solve,
+)
+
+FEATURES = ["employer_rating", "age"]
+
+
+def main() -> None:
+    train_df, __, test_df = nde.load_recommendation_letters(n=400, seed=7)
+    feature = "employer_rating"
+
+    max_losses = {}
+    for percentage in (5, 10, 15, 20, 25):
+        X_train_symb = nde.encode_symbolic(
+            train_df,
+            uncertain_feature=feature,
+            missing_percentage=percentage,
+            missingness="MNAR",
+            seed=1,
+        )
+        print(f"Evaluating {percentage}% of missing values in {feature}...")
+        max_losses[percentage] = nde.estimate_with_zorro(X_train_symb, test_df)
+
+    print()
+    nde.visualize_uncertainty(max_losses, feature)
+
+    # --- Prediction ranges vs an imputation baseline ------------------
+    # (5% missing: enough uncertainty to see ranges, little enough that a
+    # useful fraction of predictions is still certifiable)
+    symbolic = nde.encode_symbolic(
+        train_df, uncertain_feature=feature, missing_percentage=5, seed=1
+    )
+    robust = ZorroTrainer(l2=0.5).fit(symbolic)
+    x_test = test_df.select(FEATURES).to_numpy()
+    ranges = robust.predict_range(x_test[:5])
+    certain, labels = robust.certified_predictions(x_test)
+
+    world = symbolic.center_world()
+    theta = ridge_solve((world - robust.mean) / robust.scale, symbolic.y, l2=0.5)
+    print("\nprediction ranges for the first 5 test letters (±1 sentiment score):")
+    for i in range(5):
+        marker = "certified" if certain[i] else "UNCERTAIN"
+        print(
+            f"  test[{i}]: [{ranges.lo[i]:+.3f}, {ranges.hi[i]:+.3f}]  → {marker}"
+        )
+    print(
+        f"\nZorro certifies {certain.mean():.0%} of test predictions; the "
+        f"imputation baseline silently answers all of them."
+    )
+
+    # --- Do we even need to clean? ------------------------------------
+    report = certain_prediction_report(symbolic, x_test[:40], k=3)
+    print(
+        f"KNN over incomplete data: {report.certain_fraction:.0%} of the first "
+        f"40 test predictions are certain in every possible world."
+    )
+    verdict = approximately_certain_model(symbolic, l2=0.5, epsilon=0.05)
+    print(
+        f"approximately-certain model check: certain={verdict.certain} "
+        f"(worst-case optimality gap ≤ {verdict.gap_bound:.4f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

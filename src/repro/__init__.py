@@ -1,0 +1,67 @@
+"""repro — Navigating Data Errors in Machine Learning Pipelines.
+
+A from-scratch reproduction of the toolkit described in the SIGMOD'25
+tutorial *"Navigating Data Errors in Machine Learning Pipelines: Identify,
+Debug, and Learn"* (Karlaš, Salimi, Schelter), organised around the
+tutorial's three pillars:
+
+- **Identify** (:mod:`repro.importance`): data-importance methods — LOO,
+  Monte-Carlo / exact KNN Shapley, Banzhaf, Beta-Shapley, influence
+  functions, TracIn, confident learning, AUM, Gopher fairness debugging.
+- **Debug** (:mod:`repro.pipeline`): provenance-tracked preprocessing
+  pipelines, Datascope importance over pipelines, mlinspect-style
+  inspections, ArgusEyes-style screening, complaint-driven debugging.
+- **Learn** (:mod:`repro.uncertainty`): Zorro possible-worlds training,
+  certain predictions for KNN over incomplete data, certain and
+  approximately-certain models, dataset multiplicity.
+
+Substrates (all built in-repo; no pandas / scikit-learn dependency):
+:mod:`repro.frame` (DataFrame with stable row ids), :mod:`repro.learn`
+(models, preprocessing, metrics), :mod:`repro.text` (offline text
+embedding), :mod:`repro.datasets`, :mod:`repro.errors` (ground-truth error
+injection), :mod:`repro.cleaning`, :mod:`repro.challenge`, :mod:`repro.viz`.
+
+The paper's hands-on API lives in :mod:`repro.core`::
+
+    import repro.core as nde
+    train, valid, test = nde.load_recommendation_letters()
+"""
+
+from . import (
+    challenge,
+    cleaning,
+    core,
+    datasets,
+    errors,
+    frame,
+    importance,
+    learn,
+    pipeline,
+    queries,
+    robust,
+    text,
+    unlearning,
+    uncertainty,
+    viz,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "challenge",
+    "cleaning",
+    "core",
+    "datasets",
+    "errors",
+    "frame",
+    "importance",
+    "learn",
+    "pipeline",
+    "queries",
+    "robust",
+    "text",
+    "unlearning",
+    "uncertainty",
+    "viz",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Data-centric challenges: debugging (clean) and DataPerf-style selection."""
+
+from .challenge import ChallengeSubmission, DebuggingChallenge
+from .leaderboard import Leaderboard, LeaderboardEntry
+from .selection import SelectionChallenge, SelectionSubmission
+
+__all__ = [
+    "ChallengeSubmission",
+    "DebuggingChallenge",
+    "Leaderboard",
+    "LeaderboardEntry",
+    "SelectionChallenge",
+    "SelectionSubmission",
+]

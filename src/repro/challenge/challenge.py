@@ -1,0 +1,161 @@
+"""The Data Debugging Challenge (Section 3.2 of the paper).
+
+Participants receive a training set with *unknown* injected errors, a
+classifier, and a validation set. They may submit a limited set of training
+tuple ids to an oracle, which cleans exactly those tuples, retrains the
+classifier, and reports the score on a **hidden** test set. A leaderboard
+ranks submissions — this module is that entire game, in process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..cleaning.oracle import CleaningOracle
+from ..datasets import load_recommendation_letters
+from ..errors import (
+    inject_label_errors,
+    inject_missing,
+    inject_outliers,
+    merge_reports,
+)
+from ..frame import DataFrame
+from ..learn.base import Estimator, clone
+from ..learn.models.knn import KNeighborsClassifier
+from ..text import TextEmbedder
+from .leaderboard import Leaderboard
+
+__all__ = ["DebuggingChallenge", "ChallengeSubmission"]
+
+
+@dataclass
+class ChallengeSubmission:
+    """Outcome of one oracle consultation."""
+
+    participant: str
+    n_cleaned: int
+    hidden_test_accuracy: float
+    validation_accuracy: float
+
+
+class DebuggingChallenge:
+    """A self-contained instance of the hands-on challenge.
+
+    Parameters
+    ----------
+    n:
+        Scenario size (letters dataset).
+    cleaning_budget:
+        Total number of training tuples any single participant may clean.
+    error_seed:
+        Seed for the hidden error injection (participants don't know it).
+    """
+
+    def __init__(
+        self,
+        n: int = 600,
+        cleaning_budget: int = 60,
+        error_seed: int = 99,
+        model: Estimator | None = None,
+        embed_features: int = 48,
+    ) -> None:
+        train, valid, test = load_recommendation_letters(n=n, seed=error_seed + 1)
+        self._clean_train = train
+        self.valid = valid
+        self._hidden_test = test
+        self.cleaning_budget = int(cleaning_budget)
+        # KNN is deliberately the challenge model: it is sensitive to label
+        # noise, so prioritised cleaning visibly moves the hidden-test score
+        # (a linear model would shrug off this noise level).
+        self.model = model if model is not None else KNeighborsClassifier(5)
+        self._embedder = TextEmbedder(n_features=embed_features).fit(None)
+
+        # Hidden error cocktail: label flips dominate, plus missing ratings
+        # and outlier ages — participants only see the corrupted result.
+        dirty, label_report = inject_label_errors(
+            train, "sentiment", fraction=0.18, seed=error_seed
+        )
+        dirty, missing_report = inject_missing(
+            dirty, "employer_rating", fraction=0.08, mechanism="MCAR", seed=error_seed + 1
+        )
+        dirty, outlier_report = inject_outliers(
+            dirty, "age", fraction=0.05, magnitude=6.0, seed=error_seed + 2
+        )
+        self.train = dirty
+        self._error_report = merge_reports([label_report, missing_report, outlier_report])
+        self._oracles: dict[str, CleaningOracle] = {}
+        self._states: dict[str, DataFrame] = {}
+        self.leaderboard = Leaderboard()
+        self.baseline_accuracy = self._evaluate(self.train)[0]
+
+    # ------------------------------------------------------------------
+    def featurize(self, frame: DataFrame) -> np.ndarray:
+        """The fixed featurisation every participant's model uses."""
+        text = self._embedder.transform(frame.column("letter_text"))
+        rating = frame.column("employer_rating").fillna(3.0).to_numpy().astype(float)
+        age = frame.column("age").to_numpy().astype(float)
+        return np.column_stack([text, rating, (age - 40.0) / 12.0])
+
+    def _evaluate(self, train_frame: DataFrame) -> tuple[float, float]:
+        """(hidden test accuracy, validation accuracy) of a retrained model."""
+        y = np.asarray(train_frame.column("sentiment").to_list())
+        fitted = clone(self.model).fit(self.featurize(train_frame), y)
+        test_acc = float(
+            fitted.score(
+                self.featurize(self._hidden_test),
+                np.asarray(self._hidden_test.column("sentiment").to_list()),
+            )
+        )
+        valid_acc = float(
+            fitted.score(
+                self.featurize(self.valid),
+                np.asarray(self.valid.column("sentiment").to_list()),
+            )
+        )
+        return test_acc, valid_acc
+
+    def remaining_budget(self, participant: str) -> int:
+        oracle = self._oracles.get(participant)
+        if oracle is None:
+            return self.cleaning_budget
+        return oracle.remaining if oracle.remaining is not None else self.cleaning_budget
+
+    def submit(self, participant: str, row_ids: Iterable[int]) -> ChallengeSubmission:
+        """Clean the given tuples (within budget), retrain, score, record.
+
+        Cleaning is cumulative per participant across submissions, exactly
+        like repeated oracle calls in the live session.
+        """
+        oracle = self._oracles.setdefault(
+            participant, CleaningOracle(self._clean_train, budget=self.cleaning_budget)
+        )
+        state = self._states.get(participant, self.train)
+        state = oracle.clean(state, row_ids)
+        self._states[participant] = state
+        test_acc, valid_acc = self._evaluate(state)
+        submission = ChallengeSubmission(
+            participant=participant,
+            n_cleaned=oracle.spent,
+            hidden_test_accuracy=test_acc,
+            validation_accuracy=valid_acc,
+        )
+        self.leaderboard.record(
+            participant, score=test_acc, detail={"n_cleaned": oracle.spent}
+        )
+        return submission
+
+    # ------------------------------------------------------------------
+    # Post-hoc analysis (organiser-side)
+    # ------------------------------------------------------------------
+    def reveal_errors(self) -> np.ndarray:
+        """Ground-truth corrupted row ids (for analysis after the game)."""
+        return self._error_report.row_ids
+
+    def oracle_upper_bound(self) -> float:
+        """Hidden-test accuracy if exactly the true errors were cleaned."""
+        oracle = CleaningOracle(self._clean_train)
+        repaired = oracle.clean(self.train, self.reveal_errors().tolist())
+        return self._evaluate(repaired)[0]

@@ -1,0 +1,53 @@
+"""Live leaderboard for the data-debugging challenge."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Leaderboard", "LeaderboardEntry"]
+
+
+@dataclass
+class LeaderboardEntry:
+    participant: str
+    score: float
+    n_submissions: int
+    detail: dict = field(default_factory=dict)
+
+
+class Leaderboard:
+    """Best-score-per-participant ranking with submission history."""
+
+    def __init__(self) -> None:
+        self._best: dict[str, LeaderboardEntry] = {}
+        self.history: list[tuple[str, float]] = []
+
+    def record(self, participant: str, score: float, detail: dict | None = None) -> None:
+        self.history.append((participant, float(score)))
+        current = self._best.get(participant)
+        n = (current.n_submissions if current else 0) + 1
+        if current is None or score > current.score:
+            self._best[participant] = LeaderboardEntry(
+                participant, float(score), n, dict(detail or {})
+            )
+        else:
+            current.n_submissions = n
+
+    def standings(self) -> list[LeaderboardEntry]:
+        """Entries sorted by best score, descending (ties by name)."""
+        return sorted(
+            self._best.values(), key=lambda e: (-e.score, e.participant)
+        )
+
+    def winner(self) -> LeaderboardEntry | None:
+        standings = self.standings()
+        return standings[0] if standings else None
+
+    def render(self) -> str:
+        lines = ["rank  participant          best score  submissions"]
+        for rank, entry in enumerate(self.standings(), start=1):
+            lines.append(
+                f"{rank:>4}  {entry.participant:<20} {entry.score:>9.4f}  {entry.n_submissions:>11}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""The data-selection challenge (DataPerf-style track, ref [49]).
+
+Section 3.2 cites "recent benchmarks for data-centric AI development"
+(DataPerf) as the inspiration for the hands-on challenge. DataPerf's other
+canonical track is *selection*: given a large, partially-corrupted candidate
+pool and a training budget, pick the subset that trains the best model.
+Good selections are the mirror image of good cleaning priorities — drop the
+harmful tuples, keep the informative ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..datasets import load_recommendation_letters
+from ..errors import inject_label_errors
+from ..frame import DataFrame
+from ..learn.base import Estimator, clone
+from ..learn.models.knn import KNeighborsClassifier
+from ..text import TextEmbedder
+from .leaderboard import Leaderboard
+
+__all__ = ["SelectionChallenge", "SelectionSubmission"]
+
+
+@dataclass
+class SelectionSubmission:
+    participant: str
+    n_selected: int
+    hidden_test_accuracy: float
+
+
+class SelectionChallenge:
+    """Pick ≤ ``budget`` training tuples from a noisy pool.
+
+    Participants see the candidate ``pool`` (with hidden label errors) and
+    the ``valid`` split; submissions are scored by retraining on exactly the
+    selected tuples and evaluating on a hidden test set.
+    """
+
+    def __init__(
+        self,
+        n: int = 600,
+        budget: int = 150,
+        error_fraction: float = 0.25,
+        error_seed: int = 31,
+        model: Estimator | None = None,
+        embed_features: int = 48,
+    ) -> None:
+        clean_pool, valid, test = load_recommendation_letters(n=n, seed=error_seed)
+        self.budget = int(budget)
+        self.valid = valid
+        self._hidden_test = test
+        self.model = model if model is not None else KNeighborsClassifier(5)
+        self._embedder = TextEmbedder(n_features=embed_features).fit(None)
+        self.pool, self._error_report = inject_label_errors(
+            clean_pool, "sentiment", fraction=error_fraction, seed=error_seed
+        )
+        self.leaderboard = Leaderboard()
+
+    def featurize(self, frame: DataFrame) -> np.ndarray:
+        text = self._embedder.transform(frame.column("letter_text"))
+        rating = frame.column("employer_rating").fillna(3.0).to_numpy().astype(float)
+        return np.column_stack([text, (rating - 3.3).reshape(-1, 1)])
+
+    def submit(self, participant: str, row_ids: Iterable[int]) -> SelectionSubmission:
+        """Train on the selected tuples; score on the hidden test set."""
+        requested = [int(rid) for rid in row_ids]
+        if len(requested) > self.budget:
+            raise ValueError(
+                f"selection of {len(requested)} exceeds budget {self.budget}"
+            )
+        if len(set(requested)) != len(requested):
+            raise ValueError("selection contains duplicate row ids")
+        positions = self.pool.positions_of(requested)
+        selected = self.pool.take(positions)
+        y = np.asarray(selected.column("sentiment").to_list())
+        if len(np.unique(y)) < 2:
+            raise ValueError("selection must cover both classes")
+        fitted = clone(self.model).fit(self.featurize(selected), y)
+        accuracy = float(
+            fitted.score(
+                self.featurize(self._hidden_test),
+                np.asarray(self._hidden_test.column("sentiment").to_list()),
+            )
+        )
+        self.leaderboard.record(
+            participant, score=accuracy, detail={"n_selected": len(requested)}
+        )
+        return SelectionSubmission(
+            participant=participant,
+            n_selected=len(requested),
+            hidden_test_accuracy=accuracy,
+        )
+
+    def reveal_errors(self) -> np.ndarray:
+        """Ground-truth corrupted row ids (post-game analysis)."""
+        return self._error_report.row_ids
+
+    def random_baseline(self, seed: int = 0) -> SelectionSubmission:
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(self.pool.row_ids, size=self.budget, replace=False)
+        return self.submit(f"random-baseline-{seed}", chosen.tolist())

@@ -1,0 +1,23 @@
+"""Prioritised data cleaning: oracles, strategies, iterative loops."""
+
+from .activeclean import activeclean
+from .iterative import CleaningCurve, iterative_cleaning
+from .oracle import BudgetExhausted, CleaningOracle
+from .otclean import OTCleanRepair, conditional_mutual_information, otclean
+from .pipeline_cleaning import pipeline_iterative_cleaning
+from .strategies import STRATEGY_NAMES, Strategy, make_strategy
+
+__all__ = [
+    "activeclean",
+    "CleaningCurve",
+    "iterative_cleaning",
+    "BudgetExhausted",
+    "CleaningOracle",
+    "OTCleanRepair",
+    "conditional_mutual_information",
+    "otclean",
+    "pipeline_iterative_cleaning",
+    "STRATEGY_NAMES",
+    "Strategy",
+    "make_strategy",
+]

@@ -1,0 +1,106 @@
+"""Iterative prioritised cleaning — the hands-on session's attendee task.
+
+Loop: rank the (remaining dirty) training tuples by a strategy, hand the
+most suspicious batch to the cleaning oracle, retrain, measure. The output
+is a cleaning *curve* (quality vs repairs spent), the object the tutorial's
+Figure 2 distils into "cleaning some records improved accuracy from 0.76 to
+0.79" and the benchmarks compare across strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..frame import DataFrame
+from ..learn.base import Estimator, clone
+from .oracle import CleaningOracle
+from .strategies import Strategy
+
+__all__ = ["CleaningCurve", "iterative_cleaning"]
+
+
+@dataclass
+class CleaningCurve:
+    """Records of an iterative cleaning run, one per round (round 0 = dirty)."""
+
+    strategy: str
+    records: list[dict] = field(default_factory=list)
+
+    def budgets(self) -> list[int]:
+        return [r["n_cleaned"] for r in self.records]
+
+    def accuracies(self, split: str = "valid") -> list[float]:
+        return [r[f"{split}_accuracy"] for r in self.records]
+
+    @property
+    def initial_accuracy(self) -> float:
+        return self.records[0]["valid_accuracy"]
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.records[-1]["valid_accuracy"]
+
+    def area_under_curve(self, split: str = "valid") -> float:
+        """Mean accuracy across rounds — rewards *early* gains, the metric
+        that separates prioritised from random cleaning."""
+        return float(np.mean(self.accuracies(split)))
+
+
+def iterative_cleaning(
+    dirty_train: DataFrame,
+    valid: DataFrame,
+    featurize: Callable[[DataFrame], np.ndarray],
+    label_column: str,
+    oracle: CleaningOracle,
+    strategy: Strategy,
+    model: Estimator,
+    batch_size: int = 25,
+    n_rounds: int = 4,
+    test: DataFrame | None = None,
+    strategy_name: str = "",
+) -> CleaningCurve:
+    """Run prioritised cleaning for ``n_rounds`` batches.
+
+    ``featurize`` maps any frame with the training schema to a feature
+    matrix; it is re-applied after every repair so feature encoders see the
+    cleaned values. Already-cleaned rows are excluded from later batches.
+    """
+    def labels_of(frame: DataFrame) -> np.ndarray:
+        return np.asarray(frame.column(label_column).to_list())
+
+    def evaluate(frame: DataFrame) -> dict:
+        fitted = clone(model).fit(featurize(frame), labels_of(frame))
+        record = {
+            "valid_accuracy": float(fitted.score(x_valid, y_valid)),
+        }
+        if test is not None:
+            record["test_accuracy"] = float(fitted.score(x_test, y_test))
+        return record
+
+    x_valid = featurize(valid)
+    y_valid = labels_of(valid)
+    if test is not None:
+        x_test = featurize(test)
+        y_test = labels_of(test)
+
+    current = dirty_train.copy()
+    cleaned: set[int] = set()
+    curve = CleaningCurve(strategy=strategy_name or getattr(strategy, "__name__", "strategy"))
+    curve.records.append({"round": 0, "n_cleaned": 0, **evaluate(current)})
+    for round_no in range(1, n_rounds + 1):
+        x_train = featurize(current)
+        y_train = labels_of(current)
+        ranking = strategy(x_train, y_train, x_valid, y_valid)
+        batch = [p for p in ranking if int(current.row_ids[p]) not in cleaned][:batch_size]
+        if not batch:
+            break
+        batch_ids = [int(current.row_ids[p]) for p in batch]
+        current = oracle.clean(current, batch_ids)
+        cleaned.update(batch_ids)
+        curve.records.append(
+            {"round": round_no, "n_cleaned": len(cleaned), **evaluate(current)}
+        )
+    return curve

@@ -1,0 +1,76 @@
+"""Cleaning oracles: ground-truth repair with a budget.
+
+The hands-on session gives attendees an "oracle" cleaning function that
+repairs whichever training tuples they select — modelling a human expert who
+is expensive to consult. The oracle holds the pristine frame, replaces
+requested rows by row id, and enforces an optional budget so cleaning
+strategies compete on repairs-per-consultation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..frame import DataFrame
+
+__all__ = ["CleaningOracle", "BudgetExhausted"]
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when the oracle's cleaning budget is used up."""
+
+
+class CleaningOracle:
+    """Repairs rows of a corrupted frame from a pristine reference copy.
+
+    Parameters
+    ----------
+    clean_frame:
+        The ground-truth frame; rows are matched by stable row id.
+    budget:
+        Maximum number of rows that may be cleaned in total (None = unlimited).
+    """
+
+    def __init__(self, clean_frame: DataFrame, budget: int | None = None) -> None:
+        self._clean = clean_frame.copy()
+        self._by_row_id = {
+            int(rid): pos for pos, rid in enumerate(clean_frame.row_ids.tolist())
+        }
+        self.budget = budget
+        self.cleaned_row_ids: set[int] = set()
+        self.n_calls = 0
+
+    @property
+    def spent(self) -> int:
+        return len(self.cleaned_row_ids)
+
+    @property
+    def remaining(self) -> int | None:
+        return None if self.budget is None else max(0, self.budget - self.spent)
+
+    def clean(self, dirty_frame: DataFrame, row_ids: Iterable[int]) -> DataFrame:
+        """Return a copy of ``dirty_frame`` with the given rows repaired.
+
+        Rows already cleaned earlier do not consume budget again. Row ids
+        unknown to the oracle (e.g. injected duplicates) are left untouched.
+        """
+        self.n_calls += 1
+        requested = [int(rid) for rid in row_ids]
+        known = [rid for rid in requested if rid in self._by_row_id]
+        new = [rid for rid in known if rid not in self.cleaned_row_ids]
+        if self.budget is not None and self.spent + len(new) > self.budget:
+            raise BudgetExhausted(
+                f"budget {self.budget} exceeded: {self.spent} cleaned, "
+                f"{len(new)} newly requested"
+            )
+        self.cleaned_row_ids.update(new)
+        present = [rid for rid in known if rid in set(dirty_frame.row_ids.tolist())]
+        if not present:
+            return dirty_frame.copy()
+        positions = dirty_frame.positions_of(present)
+        clean_positions = np.asarray([self._by_row_id[rid] for rid in present])
+        replacement = self._clean.take(clean_positions)
+        replacement = replacement.select(dirty_frame.columns)
+        return dirty_frame.set_rows(positions, replacement)

@@ -1,0 +1,111 @@
+"""Cleaning-prioritisation strategies.
+
+A *strategy* inspects the current (partially cleaned) training data and
+returns a ranking of training positions, most-suspicious first. All
+importance methods of :mod:`repro.importance` are wrapped here behind one
+callable signature so the iterative cleaner and the benchmarks can compare
+them head-to-head, exactly as the hands-on session asks attendees to do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol
+
+import numpy as np
+
+from ..importance import (
+    Utility,
+    aum_importance,
+    banzhaf_mc,
+    confident_learning,
+    influence_importance,
+    knn_shapley,
+    loo_importance,
+    shapley_mc,
+    tracin_importance,
+)
+from ..learn.base import Estimator
+from ..learn.models.logistic import LogisticRegression
+
+__all__ = ["Strategy", "make_strategy", "STRATEGY_NAMES"]
+
+
+class Strategy(Protocol):
+    """Callable ranking training positions, most suspicious first."""
+
+    def __call__(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_valid: np.ndarray,
+        y_valid: np.ndarray,
+    ) -> np.ndarray: ...
+
+
+STRATEGY_NAMES = (
+    "random",
+    "loo",
+    "shapley_mc",
+    "banzhaf",
+    "knn_shapley",
+    "influence",
+    "tracin",
+    "confident_learning",
+    "aum",
+)
+
+
+def make_strategy(
+    name: str,
+    model: Estimator | None = None,
+    k: int = 5,
+    n_permutations: int = 20,
+    n_samples: int = 100,
+    seed: int = 0,
+) -> Strategy:
+    """Build a ranking strategy by name.
+
+    ``model`` is the utility/probe model for the retraining-based and
+    gradient-based strategies (defaults to logistic regression).
+    """
+    if name not in STRATEGY_NAMES:
+        raise ValueError(f"unknown strategy {name!r}; have {STRATEGY_NAMES}")
+
+    def probe_model() -> Estimator:
+        return model if model is not None else LogisticRegression(max_iter=100)
+
+    def strategy(x_train, y_train, x_valid, y_valid) -> np.ndarray:
+        x_train = np.asarray(x_train, dtype=float)
+        y_train = np.asarray(y_train)
+        n = len(y_train)
+        if name == "random":
+            return np.random.default_rng(seed).permutation(n)
+        if name == "knn_shapley":
+            result = knn_shapley(x_train, y_train, x_valid, y_valid, k=k)
+        elif name == "confident_learning":
+            result = confident_learning(x_train, y_train, model=probe_model(), seed=seed)
+        elif name == "aum":
+            result = aum_importance(x_train, y_train, seed=seed)
+        elif name == "influence":
+            fitted = LogisticRegression().fit(x_train, y_train)
+            result = influence_importance(fitted, x_train, y_train, x_valid, y_valid)
+        elif name == "tracin":
+            fitted = LogisticRegression().fit(x_train, y_train)
+            result = tracin_importance(fitted, x_train, y_train, x_valid, y_valid)
+        else:
+            utility = Utility(probe_model(), x_train, y_train, x_valid, y_valid)
+            if name == "loo":
+                result = loo_importance(utility)
+            elif name == "shapley_mc":
+                result = shapley_mc(
+                    utility,
+                    n_permutations=n_permutations,
+                    truncation_tolerance=0.01,
+                    seed=seed,
+                )
+            else:  # banzhaf
+                result = banzhaf_mc(utility, n_samples=n_samples, seed=seed)
+        return np.argsort(result.values, kind="stable")
+
+    strategy.__name__ = f"strategy_{name}"
+    return strategy

@@ -1,0 +1,37 @@
+"""Facade mirroring the paper's ``navigating_data_errors`` package."""
+
+from .api import (
+    datascope,
+    default_featurize,
+    encode_symbolic,
+    estimate_with_zorro,
+    evaluate_change,
+    evaluate_model,
+    inject_labelerrors,
+    knn_shapley_values,
+    load_recommendation_letters,
+    load_sidedata,
+    pretty_print,
+    remove,
+    show_query_plan,
+    visualize_uncertainty,
+    with_provenance,
+)
+
+__all__ = [
+    "datascope",
+    "default_featurize",
+    "encode_symbolic",
+    "estimate_with_zorro",
+    "evaluate_change",
+    "evaluate_model",
+    "inject_labelerrors",
+    "knn_shapley_values",
+    "load_recommendation_letters",
+    "load_sidedata",
+    "pretty_print",
+    "remove",
+    "show_query_plan",
+    "visualize_uncertainty",
+    "with_provenance",
+]

@@ -1,0 +1,232 @@
+"""The ``navigating_data_errors``-style facade (the paper's ``nde`` module).
+
+This module reproduces, call for call, the API the paper's hands-on session
+shows in Figures 2–4::
+
+    import repro.core as nde
+
+    train_df, valid_df, test_df = nde.load_recommendation_letters()
+    train_df_err = nde.inject_labelerrors(train_df, fraction=0.1)
+    acc_dirty = nde.evaluate_model(train_df_err, valid_df)
+
+    importances = nde.knn_shapley_values(train_df_err, validation=valid_df)
+    lowest = np.argsort(importances)[:25]
+    nde.pretty_print(train_df_err.take(lowest))
+
+Each function is a thin composition of the real subsystems
+(:mod:`repro.errors`, :mod:`repro.importance`, :mod:`repro.pipeline`,
+:mod:`repro.uncertainty`), so the facade stays honest: everything it does
+can also be done, with more control, through the underlying packages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..datasets import load_recommendation_letters, load_sidedata
+from ..errors import inject_label_errors
+from ..frame import DataFrame
+from ..learn.base import Estimator, clone
+from ..learn.models.logistic import LogisticRegression
+from ..importance.knn_shapley import knn_shapley
+from ..pipeline.datascope import SourceImportance, datascope_importance
+from ..pipeline.execute import PipelineResult, execute
+from ..pipeline.operators import Node
+from ..pipeline.plan import show_query_plan
+from ..text import TextEmbedder
+from ..uncertainty.symbolic import UncertainDataset, encode_symbolic as _encode_symbolic
+from ..uncertainty.zorro import estimate_with_zorro as _estimate_with_zorro
+from ..viz.ascii_chart import line_chart
+from ..viz.table import pretty_print
+
+__all__ = [
+    "load_recommendation_letters",
+    "load_sidedata",
+    "inject_labelerrors",
+    "default_featurize",
+    "evaluate_model",
+    "knn_shapley_values",
+    "pretty_print",
+    "show_query_plan",
+    "with_provenance",
+    "datascope",
+    "remove",
+    "evaluate_change",
+    "encode_symbolic",
+    "estimate_with_zorro",
+    "visualize_uncertainty",
+]
+
+_DEFAULT_EMBEDDER = TextEmbedder(n_features=48)
+# column -> (imputation default, centre, scale); scaling keeps the numeric
+# features commensurate with the unit-norm text embedding so distance-based
+# methods (KNN, KNN-Shapley) are not dominated by raw ages.
+_NUMERIC_SPECS = {"employer_rating": (3.0, 3.3, 1.0), "age": (40.0, 43.0, 13.0)}
+
+
+def inject_labelerrors(
+    train_df: DataFrame, fraction: float = 0.1, seed: int = 0
+) -> DataFrame:
+    """Flip a fraction of sentiment labels (Figure 2's ``nde.inject_labelerrors``).
+
+    Returns only the corrupted frame, as in the paper's snippet; use
+    :func:`repro.errors.inject_label_errors` when the ground-truth report is
+    needed.
+    """
+    corrupted, __ = inject_label_errors(train_df, "sentiment", fraction, seed=seed)
+    return corrupted
+
+
+def default_featurize(frame: DataFrame) -> np.ndarray:
+    """The scenario's standard featurisation: letter embedding + numerics."""
+    blocks = [_DEFAULT_EMBEDDER.transform(frame.column("letter_text"))]
+    for column, (default, centre, scale) in _NUMERIC_SPECS.items():
+        if column in frame:
+            values = frame.column(column).fillna(default).to_numpy().astype(float)
+            blocks.append(((values - centre) / scale).reshape(-1, 1))
+    return np.column_stack(blocks)
+
+
+def evaluate_model(
+    train_df: DataFrame,
+    valid_df: DataFrame,
+    label_column: str = "sentiment",
+    model: Estimator | None = None,
+) -> float:
+    """Train the scenario classifier and return validation accuracy."""
+    model = model if model is not None else LogisticRegression(max_iter=100)
+    y_train = np.asarray(train_df.column(label_column).to_list())
+    fitted = clone(model).fit(default_featurize(train_df), y_train)
+    y_valid = np.asarray(valid_df.column(label_column).to_list())
+    return float(fitted.score(default_featurize(valid_df), y_valid))
+
+
+def knn_shapley_values(
+    train_df: DataFrame,
+    validation: DataFrame,
+    label_column: str = "sentiment",
+    k: int = 5,
+) -> np.ndarray:
+    """Per-training-row KNN-Shapley importance (Figure 2's core call)."""
+    values = knn_shapley(
+        default_featurize(train_df),
+        np.asarray(train_df.column(label_column).to_list()),
+        default_featurize(validation),
+        np.asarray(validation.column(label_column).to_list()),
+        k=k,
+    )
+    return values.values
+
+
+def with_provenance(
+    pipeline_sink: Node, sources: Mapping[str, DataFrame]
+) -> tuple[np.ndarray, PipelineResult]:
+    """Run a pipeline and return ``(X_train, result-with-provenance)``.
+
+    Mirrors Figure 3's ``X_train, prov = nde.with_provenance(pipeline(...))``
+    — the returned result object carries the provenance.
+    """
+    result = execute(pipeline_sink, sources, fit=True)
+    if result.X is None:
+        raise TypeError("pipeline must end in an encode() node")
+    return result.X, result
+
+
+def datascope(
+    train_result: PipelineResult,
+    validation_result: PipelineResult,
+    source: str | None = None,
+    k: int = 5,
+) -> SourceImportance:
+    """Shapley importance over the pipeline's source tuples (Figure 3)."""
+    if validation_result.X is None:
+        raise TypeError("validation pipeline result has no encoded output")
+    return datascope_importance(
+        train_result, validation_result.X, validation_result.y, source=source, k=k
+    )
+
+
+def remove(
+    result: PipelineResult, source: str, row_ids: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop source tuples from the encoded matrix via provenance (Figure 3)."""
+    return result.remove_source_rows(source, row_ids)
+
+
+def evaluate_change(
+    X_before: np.ndarray,
+    y_before: np.ndarray,
+    X_after: np.ndarray,
+    y_after: np.ndarray,
+    x_valid: np.ndarray,
+    y_valid: np.ndarray,
+    model: Estimator | None = None,
+) -> float:
+    """Accuracy delta from retraining on a modified matrix (Figure 3's
+    ``nde.evaluate_change``): positive = the change helped."""
+    model = model if model is not None else LogisticRegression(max_iter=100)
+    before = clone(model).fit(X_before, y_before).score(x_valid, y_valid)
+    after = clone(model).fit(X_after, y_after).score(x_valid, y_valid)
+    return float(after - before)
+
+
+def encode_symbolic(
+    train_df: DataFrame,
+    uncertain_feature: str = "employer_rating",
+    missing_percentage: float = 10.0,
+    missingness: str = "MNAR",
+    feature_columns: Sequence[str] = ("employer_rating", "age"),
+    label_column: str = "sentiment",
+    positive_label: Any = "positive",
+    seed: int = 0,
+) -> UncertainDataset:
+    """Figure 4's ``nde.encode_symbolic``: inject missingness, lift to intervals."""
+    return _encode_symbolic(
+        train_df,
+        uncertain_feature=uncertain_feature,
+        feature_columns=list(feature_columns),
+        label_column=label_column,
+        missing_percentage=missing_percentage,
+        missingness=missingness,
+        positive_label=positive_label,
+        seed=seed,
+    )
+
+
+def estimate_with_zorro(
+    symbolic_train: UncertainDataset,
+    test_df: DataFrame,
+    feature_columns: Sequence[str] = ("employer_rating", "age"),
+    label_column: str = "sentiment",
+    positive_label: Any = "positive",
+    l2: float = 0.5,
+) -> float:
+    """Figure 4's ``nde.estimate_with_zorro``: maximum worst-case loss."""
+    x_test = test_df.select(list(feature_columns)).to_numpy()
+    # Test features must be concrete: impute any missing test cells at the
+    # column mean of the symbolic training data's centers.
+    centers = symbolic_train.X.center
+    for j in range(x_test.shape[1]):
+        column = x_test[:, j]
+        column[np.isnan(column)] = centers[:, j].mean()
+    y_test = test_df.column(label_column).to_list()
+    report = _estimate_with_zorro(
+        symbolic_train, x_test, y_test, l2=l2, positive_label=positive_label
+    )
+    return report["max_worst_case_loss"]
+
+
+def visualize_uncertainty(max_losses: Mapping[float, float], feature: str) -> str:
+    """Figure 4's ``nde.visualize_uncertainty``: render the loss curve."""
+    xs = sorted(max_losses)
+    chart = line_chart(
+        xs,
+        {"max worst-case loss": [max_losses[x] for x in xs]},
+        title=f"Maximum worst-case loss vs % missing values in {feature!r}",
+        x_label="percentage of missing values",
+        y_label="max worst-case loss",
+    )
+    print(chart)
+    return chart

@@ -1,0 +1,29 @@
+"""Synthetic datasets: the hiring/letters scenario and numeric generators."""
+
+from .letters import (
+    DEGREES,
+    SECTORS,
+    generate_hiring_data,
+    load_recommendation_letters,
+    load_sidedata,
+)
+from .tabular import (
+    make_biased_hiring,
+    make_blobs,
+    make_classification,
+    make_moons,
+    make_regression,
+)
+
+__all__ = [
+    "DEGREES",
+    "SECTORS",
+    "generate_hiring_data",
+    "load_recommendation_letters",
+    "load_sidedata",
+    "make_biased_hiring",
+    "make_blobs",
+    "make_classification",
+    "make_moons",
+    "make_regression",
+]

@@ -1,0 +1,75 @@
+"""Phrase banks for the synthetic recommendation-letter generator.
+
+Each phrase has a polarity; letters are sampled as phrase sequences and the
+ground-truth sentiment label is derived from the polarity balance. The
+polarity-bearing words intentionally overlap with
+:mod:`repro.text.lexicon` so the offline embedding carries learnable signal,
+mirroring how a pretrained encoder would expose sentiment.
+"""
+
+from __future__ import annotations
+
+__all__ = ["POSITIVE_PHRASES", "NEGATIVE_PHRASES", "NEUTRAL_PHRASES", "OPENINGS", "CLOSINGS"]
+
+POSITIVE_PHRASES = [
+    "{name} showed outstanding initiative on every project we assigned",
+    "their meticulous attention to detail was crucial to the release",
+    "{name} is an exceptional collaborator who inspired the whole team",
+    "we found {name} to be remarkably dependable under pressure",
+    "their innovative solutions saved the department considerable effort",
+    "{name} delivered consistently excellent analyses ahead of schedule",
+    "colleagues describe {name} as diligent, resourceful and trustworthy",
+    "their insightful questions reshaped our approach in admirable ways",
+    "{name} was proactive in mentoring junior staff with exemplary patience",
+    "the quality of their documentation was superb and thorough",
+    "{name} combined rigorous methods with an inspiring work ethic",
+    "their contributions were impressive and frequently commendable",
+    "{name} proved to be a brilliant and motivated problem solver",
+    "their stellar performance earned the trust of every stakeholder",
+    "{name} remained conscientious and reliable throughout the engagement",
+]
+
+NEGATIVE_PHRASES = [
+    "{name} engaged in actions that undermined our project goals",
+    "their careless handling of records raised troubling questions",
+    "we found {name} to be unreliable when deadlines approached",
+    "their dismissive attitude toward feedback was concerning",
+    "{name} struggled to cooperate with the rest of the team",
+    "their disorganized reports created problematic delays",
+    "{name} repeatedly missed commitments and ignored reminders",
+    "colleagues described their conduct as abrasive and unprofessional",
+    "their inconsistent output jeopardized the quarterly deliverable",
+    "{name} resisted every attempt to align on shared priorities",
+    "their negligent review process led to disappointing results",
+    "we observed erratic judgement and inadequate preparation",
+    "{name} was evasive when asked to explain the missed milestones",
+    "their indifferent engagement slowed the entire initiative",
+    "{name} produced mediocre work despite repeated guidance",
+]
+
+NEUTRAL_PHRASES = [
+    "{name} joined our group in the spring and stayed for two years",
+    "their responsibilities included reporting and data entry",
+    "{name} worked from the downtown office most of the week",
+    "the role required regular coordination with external vendors",
+    "{name} attended the standard onboarding and compliance training",
+    "their team handled intake requests for the regional branch",
+    "{name} expressed a willingness to develop better time management",
+    "although thorough, their pace sometimes slowed progress somewhat",
+    "{name} occasionally travelled to the satellite office for reviews",
+    "their schedule partly overlapped with the night operations team",
+]
+
+OPENINGS = [
+    "To whom it may concern:",
+    "Dear hiring committee,",
+    "It is my role to comment on {name}'s tenure with us.",
+    "I am writing regarding {name}'s application.",
+]
+
+CLOSINGS = [
+    "Please contact me with any further questions.",
+    "I am happy to provide additional context on request.",
+    "This assessment reflects my direct experience with {name}.",
+    "Sincerely, a former supervisor.",
+]

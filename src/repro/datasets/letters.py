@@ -1,0 +1,153 @@
+"""Synthetic hiring scenario: recommendation letters plus side tables.
+
+This is the dataset the hands-on session (Section 3.1) is built on: "a set
+of recommendation letters together with multiple tables of side data such as
+demographic information and social media details of the applicants", where
+the ML task is to predict letter sentiment. Everything is generated
+deterministically from a seed.
+
+Schema
+------
+``letters`` (the training base table; one row per applicant):
+    person_id, name, job_id, letter_text, degree, sex, age, race,
+    employer_rating, sentiment (label: "positive"/"negative")
+``jobdetail`` (side table keyed by job_id):
+    job_id, sector, salary_band, team_size
+``social`` (side table keyed by person_id):
+    person_id, twitter, followers
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import Column, DataFrame
+from ..learn.model_selection import split_frame
+from ._phrases import CLOSINGS, NEGATIVE_PHRASES, NEUTRAL_PHRASES, OPENINGS, POSITIVE_PHRASES
+
+__all__ = [
+    "generate_hiring_data",
+    "load_recommendation_letters",
+    "load_sidedata",
+    "SECTORS",
+    "DEGREES",
+]
+
+_FIRST_NAMES = [
+    "Alex", "Sam", "Jordan", "Taylor", "Morgan", "Casey", "Riley", "Avery",
+    "Quinn", "Rowan", "Emerson", "Finley", "Harper", "Kendall", "Logan",
+    "Marley", "Noel", "Parker", "Reese", "Sage", "Skyler", "Tatum",
+]
+_LAST_NAMES = [
+    "Ibarra", "Kowalski", "Nakamura", "Okafor", "Petrov", "Quintana",
+    "Ramaswamy", "Silva", "Tran", "Ueda", "Varga", "Whitfield", "Xu",
+    "Yilmaz", "Zhang", "Andersen", "Baptiste", "Cordova", "Demir", "Eze",
+]
+
+SECTORS = ["healthcare", "finance", "retail", "education", "logistics"]
+DEGREES = ["bachelor", "master", "phd", "none"]
+_SEXES = ["f", "m"]
+_RACES = ["white", "black", "asian", "hispanic", "other"]
+
+
+def _make_letter(rng: np.random.Generator, name: str, positive: bool) -> str:
+    """Compose a letter whose polarity balance matches the target label."""
+    main_bank = POSITIVE_PHRASES if positive else NEGATIVE_PHRASES
+    off_bank = NEGATIVE_PHRASES if positive else POSITIVE_PHRASES
+    n_main = int(rng.integers(2, 5))
+    n_off = int(rng.integers(0, max(1, n_main - 1)))  # strictly fewer than main
+    n_neutral = int(rng.integers(1, 3))
+    parts = [str(rng.choice(OPENINGS))]
+    body = (
+        [str(p) for p in rng.choice(main_bank, size=n_main, replace=False)]
+        + [str(p) for p in rng.choice(off_bank, size=n_off, replace=False)]
+        + [str(p) for p in rng.choice(NEUTRAL_PHRASES, size=n_neutral, replace=False)]
+    )
+    rng.shuffle(body)
+    parts.extend(body)
+    parts.append(str(rng.choice(CLOSINGS)))
+    return " ".join(part.format(name=name).capitalize() + "." if not part.endswith((".", ":", ","))
+                    else part.format(name=name) for part in parts)
+
+
+def generate_hiring_data(
+    n: int = 1000, n_jobs: int = 40, seed: int = 7
+) -> dict[str, DataFrame]:
+    """Generate the full hiring scenario (base table plus side tables)."""
+    if n < 4:
+        raise ValueError("need at least 4 applicants")
+    rng = np.random.default_rng(seed)
+
+    job_ids = np.arange(100, 100 + n_jobs)
+    sectors = rng.choice(SECTORS, size=n_jobs, p=[0.42, 0.18, 0.16, 0.14, 0.10])
+    jobdetail = DataFrame(
+        {
+            "job_id": job_ids,
+            "sector": sectors.astype(str),
+            "salary_band": rng.integers(1, 6, size=n_jobs),
+            "team_size": rng.integers(3, 40, size=n_jobs),
+        }
+    )
+
+    names = [
+        f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}" for __ in range(n)
+    ]
+    positive = rng.random(n) < 0.55
+    letters = [_make_letter(rng, name.split()[0], pos) for name, pos in zip(names, positive)]
+    ages = rng.integers(21, 66, size=n)
+    # Employer rating correlates mildly with sentiment: good letters tend to
+    # come from organisations the applicant thrived in.
+    employer_rating = np.clip(
+        rng.normal(loc=np.where(positive, 3.8, 2.9), scale=0.8), 1.0, 5.0
+    ).round(2)
+
+    letters_df = DataFrame(
+        {
+            "person_id": np.arange(1, n + 1),
+            "name": np.asarray(names, dtype=str),
+            "job_id": rng.choice(job_ids, size=n),
+            "letter_text": np.asarray(letters, dtype=str),
+            "degree": rng.choice(DEGREES, size=n, p=[0.45, 0.3, 0.1, 0.15]).astype(str),
+            "sex": rng.choice(_SEXES, size=n).astype(str),
+            "age": ages,
+            "race": rng.choice(_RACES, size=n, p=[0.5, 0.15, 0.15, 0.12, 0.08]).astype(str),
+            "employer_rating": employer_rating,
+            "sentiment": np.where(positive, "positive", "negative").astype(str),
+        }
+    )
+
+    has_twitter = rng.random(n) < 0.6
+    handles = np.where(
+        has_twitter,
+        np.asarray([f"@{name.split()[0].lower()}{i}" for i, name in enumerate(names)]),
+        "",
+    ).astype(str)
+    social = DataFrame(
+        {
+            "person_id": np.arange(1, n + 1),
+            # Applicants without a profile have a *missing* handle, not "".
+            "twitter": Column(handles, mask=~has_twitter),
+            "followers": np.where(has_twitter, rng.integers(10, 5000, size=n), 0),
+        }
+    )
+
+    return {"letters": letters_df, "jobdetail": jobdetail, "social": social}
+
+
+def load_recommendation_letters(
+    n: int = 1000,
+    seed: int = 7,
+    fractions: tuple[float, float, float] = (0.6, 0.2, 0.2),
+) -> tuple[DataFrame, DataFrame, DataFrame]:
+    """Train/valid/test single-table splits (the paper's Figure 2 loader)."""
+    data = generate_hiring_data(n=n, seed=seed)
+    train, valid, test = split_frame(data["letters"], fractions=fractions, seed=seed)
+    return train, valid, test
+
+
+def load_sidedata(
+    n: int = 1000, seed: int = 7
+) -> tuple[DataFrame, DataFrame]:
+    """The jobdetail and social side tables (the paper's Figure 3 loader)."""
+    data = generate_hiring_data(n=n, seed=seed)
+    return data["jobdetail"], data["social"]

@@ -1,0 +1,118 @@
+"""Simple numeric dataset generators for tests and benchmarks.
+
+These provide controlled, fast-to-train settings for measuring the shape of
+each method's behaviour: importance methods on ``make_classification``,
+fairness debugging on ``make_biased_hiring``, and uncertainty propagation on
+small regression problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import DataFrame
+
+__all__ = [
+    "make_blobs",
+    "make_classification",
+    "make_moons",
+    "make_regression",
+    "make_biased_hiring",
+]
+
+
+def make_blobs(
+    n: int = 200,
+    centers: int = 2,
+    n_features: int = 2,
+    spread: float = 1.0,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian blobs around random centres; labels are the blob index."""
+    rng = np.random.default_rng(seed)
+    centre_points = rng.uniform(-8.0, 8.0, size=(centers, n_features))
+    labels = rng.integers(0, centers, size=n)
+    X = centre_points[labels] + rng.normal(scale=spread, size=(n, n_features))
+    return X, labels
+
+
+def make_classification(
+    n: int = 300,
+    n_features: int = 5,
+    n_informative: int = 3,
+    noise: float = 0.5,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Binary labels from a random linear rule on informative features."""
+    if n_informative > n_features:
+        raise ValueError("n_informative cannot exceed n_features")
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, n_features))
+    w = np.zeros(n_features)
+    w[:n_informative] = rng.uniform(0.8, 2.0, size=n_informative) * rng.choice(
+        [-1.0, 1.0], size=n_informative
+    )
+    scores = X @ w + noise * rng.normal(size=n)
+    return X, (scores > 0).astype(int)
+
+
+def make_moons(n: int = 200, noise: float = 0.15, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Two interleaving half circles (non-linear decision boundary)."""
+    rng = np.random.default_rng(seed)
+    n_a = n // 2
+    n_b = n - n_a
+    theta_a = rng.uniform(0, np.pi, size=n_a)
+    theta_b = rng.uniform(0, np.pi, size=n_b)
+    a = np.column_stack([np.cos(theta_a), np.sin(theta_a)])
+    b = np.column_stack([1.0 - np.cos(theta_b), 0.5 - np.sin(theta_b)])
+    X = np.vstack([a, b]) + rng.normal(scale=noise, size=(n, 2))
+    y = np.concatenate([np.zeros(n_a, dtype=int), np.ones(n_b, dtype=int)])
+    order = rng.permutation(n)
+    return X[order], y[order]
+
+
+def make_regression(
+    n: int = 200, n_features: int = 4, noise: float = 0.3, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Linear regression data; returns (X, y, true_weights)."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, n_features))
+    w = rng.uniform(-2.0, 2.0, size=n_features)
+    y = X @ w + noise * rng.normal(size=n)
+    return X, y, w
+
+
+def make_biased_hiring(
+    n: int = 600, bias_strength: float = 0.35, seed: int = 0
+) -> DataFrame:
+    """A hiring dataset with label bias against one group.
+
+    Ground truth: the hiring decision depends only on two qualification
+    scores. A ``bias_strength`` fraction of qualified group-B applicants then
+    has its label flipped to "no" — the programmable label bias that Gopher-
+    style fairness debugging should trace back to those rows. The pre-flip
+    label is kept in ``true_hired`` so detection quality is measurable.
+    """
+    rng = np.random.default_rng(seed)
+    group = rng.choice(["A", "B"], size=n, p=[0.6, 0.4])
+    skill = rng.normal(size=n)
+    experience = rng.normal(size=n)
+    qualified = (0.9 * skill + 0.7 * experience + 0.2 * rng.normal(size=n)) > 0
+    hired = qualified.copy()
+    flipped = np.zeros(n, dtype=bool)
+    targets = np.flatnonzero((group == "B") & qualified)
+    n_flip = int(round(bias_strength * len(targets)))
+    if n_flip:
+        chosen = rng.choice(targets, size=n_flip, replace=False)
+        hired[chosen] = False
+        flipped[chosen] = True
+    return DataFrame(
+        {
+            "group": group.astype(str),
+            "skill": skill.round(4),
+            "experience": experience.round(4),
+            "hired": np.where(hired, "yes", "no").astype(str),
+            "true_hired": np.where(qualified, "yes", "no").astype(str),
+            "bias_flipped": flipped,
+        }
+    )

@@ -1,0 +1,36 @@
+"""Synthetic data-error injection with ground-truth reports.
+
+Covers the error families of the paper's Figure 1: missing, wrong (noise,
+outliers, typos), invalid (label flips), biased (group label bias, selection
+bias), and out-of-distribution values.
+"""
+
+from .bias import inject_distribution_shift, inject_duplicates, inject_selection_bias
+from .labels import inject_group_label_bias, inject_label_errors
+from .missing import MECHANISMS, inject_missing
+from .noise import (
+    inject_gaussian_noise,
+    inject_outliers,
+    inject_typos,
+    inject_unit_mismatch,
+)
+from .poisoning import adversarial_label_flips, targeted_poison_points
+from .report import ErrorReport, merge_reports
+
+__all__ = [
+    "ErrorReport",
+    "merge_reports",
+    "MECHANISMS",
+    "inject_distribution_shift",
+    "inject_duplicates",
+    "inject_selection_bias",
+    "inject_group_label_bias",
+    "inject_label_errors",
+    "inject_missing",
+    "inject_gaussian_noise",
+    "inject_outliers",
+    "inject_typos",
+    "inject_unit_mismatch",
+    "adversarial_label_flips",
+    "targeted_poison_points",
+]

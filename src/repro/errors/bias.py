@@ -1,0 +1,115 @@
+"""Distribution-level errors: selection bias, OOD shift, duplicates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import DataFrame
+from .report import ErrorReport
+
+__all__ = ["inject_selection_bias", "inject_distribution_shift", "inject_duplicates"]
+
+
+def inject_selection_bias(
+    frame: DataFrame,
+    column: str,
+    value,
+    keep_fraction: float = 0.3,
+    seed: int = 0,
+) -> tuple[DataFrame, ErrorReport]:
+    """Under-sample rows where ``column == value`` (coverage bias).
+
+    Only ``keep_fraction`` of the matching rows survive. The report's
+    ``row_ids`` are the *dropped* rows, so benchmarks can verify that
+    bias-aware methods notice the shrunken slice.
+    """
+    if not 0.0 <= keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    matching = np.flatnonzero(frame.column(column) == value)
+    n_keep = int(round(keep_fraction * len(matching)))
+    kept = (
+        rng.choice(matching, size=n_keep, replace=False)
+        if n_keep
+        else np.empty(0, np.int64)
+    )
+    dropped = np.setdiff1d(matching, kept)
+    keep_mask = np.ones(frame.num_rows, dtype=bool)
+    keep_mask[dropped] = False
+    out = frame.filter(keep_mask)
+    report = ErrorReport(
+        kind="selection_bias",
+        column=column,
+        row_ids=frame.row_ids[dropped],
+        original_values=[value] * len(dropped),
+        params={"value": value, "keep_fraction": keep_fraction, "seed": seed},
+    )
+    return out, report
+
+
+def inject_distribution_shift(
+    frame: DataFrame,
+    column: str,
+    fraction: float = 0.2,
+    shift: float = 3.0,
+    seed: int = 0,
+) -> tuple[DataFrame, ErrorReport]:
+    """Shift a fraction of a numeric column by ``shift·σ`` (OOD values)."""
+    rng = np.random.default_rng(seed)
+    target = frame.column(column)
+    if not target.is_numeric:
+        raise TypeError(f"column {column!r} is not numeric")
+    count = int(round(fraction * frame.num_rows))
+    positions = (
+        rng.choice(frame.num_rows, size=count, replace=False)
+        if count
+        else np.empty(0, np.int64)
+    )
+    values = target.to_numpy(fill=np.nan).astype(float)
+    sigma = np.nanstd(values) or 1.0
+    originals = [values[p] for p in positions]
+    out = frame.copy()
+    if len(positions):
+        out[column] = target.set_values(positions, values[positions] + shift * sigma)
+    report = ErrorReport(
+        kind="distribution_shift",
+        column=column,
+        row_ids=frame.row_ids[positions],
+        original_values=originals,
+        params={"fraction": fraction, "shift": shift, "seed": seed},
+    )
+    return out, report
+
+
+def inject_duplicates(
+    frame: DataFrame, fraction: float = 0.1, seed: int = 0
+) -> tuple[DataFrame, ErrorReport]:
+    """Append near-duplicate copies of randomly chosen rows.
+
+    Duplicates keep the source row's cell values but receive fresh row ids
+    (max existing id + 1, ...), as a real ingestion bug would produce new
+    tuples. The report lists the *new* duplicate row ids.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    count = int(round(fraction * frame.num_rows))
+    if count == 0:
+        return frame.copy(), ErrorReport(
+            kind="duplicate", column="", row_ids=np.empty(0, np.int64),
+            params={"fraction": fraction, "seed": seed},
+        )
+    chosen = rng.choice(frame.num_rows, size=count, replace=True)
+    copies = frame.take(chosen)
+    next_id = int(frame.row_ids.max()) + 1 if frame.num_rows else 0
+    new_ids = np.arange(next_id, next_id + count, dtype=np.int64)
+    copies.row_ids = new_ids
+    out = DataFrame.concat_rows([frame, copies])
+    report = ErrorReport(
+        kind="duplicate",
+        column="",
+        row_ids=new_ids,
+        original_values=frame.row_ids[chosen].tolist(),
+        params={"fraction": fraction, "seed": seed},
+    )
+    return out, report

@@ -1,0 +1,97 @@
+"""Label-error injection (Figure 2's ``nde.inject_labelerrors``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import DataFrame
+from .report import ErrorReport
+
+__all__ = ["inject_label_errors", "inject_group_label_bias"]
+
+
+def _pick_rows(n: int, fraction: float, rng: np.random.Generator) -> np.ndarray:
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    count = int(round(fraction * n))
+    return rng.choice(n, size=count, replace=False) if count else np.empty(0, np.int64)
+
+
+def inject_label_errors(
+    frame: DataFrame,
+    label_column: str,
+    fraction: float = 0.1,
+    seed: int = 0,
+) -> tuple[DataFrame, ErrorReport]:
+    """Flip a uniformly random ``fraction`` of labels to a different class.
+
+    Returns the corrupted frame and a ground-truth :class:`ErrorReport`.
+    """
+    rng = np.random.default_rng(seed)
+    labels = frame.column(label_column)
+    classes = labels.unique()
+    if len(classes) < 2:
+        raise ValueError("label column has fewer than two classes")
+    positions = _pick_rows(frame.num_rows, fraction, rng)
+    cells = labels.to_list()
+    originals = [cells[p] for p in positions]
+    corrupted = []
+    for pos in positions:
+        alternatives = [c for c in classes if c != cells[pos]]
+        corrupted.append(alternatives[int(rng.integers(len(alternatives)))])
+    out = frame.copy()
+    if len(positions):
+        out[label_column] = labels.set_values(positions, np.asarray(corrupted))
+    report = ErrorReport(
+        kind="label_flip",
+        column=label_column,
+        row_ids=frame.row_ids[positions],
+        original_values=originals,
+        params={"fraction": fraction, "seed": seed},
+    )
+    return out, report
+
+
+def inject_group_label_bias(
+    frame: DataFrame,
+    label_column: str,
+    group_column: str,
+    group_value,
+    from_label,
+    to_label,
+    fraction: float = 0.3,
+    seed: int = 0,
+) -> tuple[DataFrame, ErrorReport]:
+    """Flip labels *only within one protected group* (systematic label bias).
+
+    This is the "programmable data bias" setting of the Learn part: a
+    ``fraction`` of rows in ``group_value`` whose label is ``from_label``
+    get relabelled ``to_label``, biasing the learned model against the group.
+    """
+    rng = np.random.default_rng(seed)
+    labels = frame.column(label_column)
+    eligible = np.flatnonzero(
+        (frame.column(group_column) == group_value) & (labels == from_label)
+    )
+    count = int(round(fraction * len(eligible)))
+    positions = (
+        rng.choice(eligible, size=count, replace=False) if count else np.empty(0, np.int64)
+    )
+    out = frame.copy()
+    if len(positions):
+        out[label_column] = labels.set_values(
+            positions, np.repeat(np.asarray([to_label]), len(positions))
+        )
+    report = ErrorReport(
+        kind="group_label_bias",
+        column=label_column,
+        row_ids=frame.row_ids[positions],
+        original_values=[from_label] * len(positions),
+        params={
+            "group_column": group_column,
+            "group_value": group_value,
+            "fraction": fraction,
+            "seed": seed,
+        },
+    )
+    return out, report

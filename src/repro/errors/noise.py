@@ -1,0 +1,162 @@
+"""Value-noise injectors: gaussian noise, outliers, categorical typos."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import DataFrame
+from .report import ErrorReport
+
+__all__ = ["inject_gaussian_noise", "inject_outliers", "inject_typos", "inject_unit_mismatch"]
+
+
+def _pick(n: int, fraction: float, rng: np.random.Generator) -> np.ndarray:
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    count = int(round(fraction * n))
+    return rng.choice(n, size=count, replace=False) if count else np.empty(0, np.int64)
+
+
+def inject_gaussian_noise(
+    frame: DataFrame,
+    column: str,
+    fraction: float = 0.1,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> tuple[DataFrame, ErrorReport]:
+    """Add N(0, scale·σ) noise to a fraction of a numeric column."""
+    rng = np.random.default_rng(seed)
+    target = frame.column(column)
+    if not target.is_numeric:
+        raise TypeError(f"column {column!r} is not numeric")
+    positions = _pick(frame.num_rows, fraction, rng)
+    values = target.to_numpy(fill=np.nan).astype(float)
+    sigma = np.nanstd(values) or 1.0
+    originals = [values[p] for p in positions]
+    noisy = values[positions] + rng.normal(scale=scale * sigma, size=len(positions))
+    out = frame.copy()
+    if len(positions):
+        out[column] = target.set_values(positions, noisy)
+    report = ErrorReport(
+        kind="gaussian_noise",
+        column=column,
+        row_ids=frame.row_ids[positions],
+        original_values=originals,
+        params={"fraction": fraction, "scale": scale, "seed": seed},
+    )
+    return out, report
+
+
+def inject_outliers(
+    frame: DataFrame,
+    column: str,
+    fraction: float = 0.05,
+    magnitude: float = 8.0,
+    seed: int = 0,
+) -> tuple[DataFrame, ErrorReport]:
+    """Replace a fraction of a numeric column with values ``magnitude·σ`` away."""
+    rng = np.random.default_rng(seed)
+    target = frame.column(column)
+    if not target.is_numeric:
+        raise TypeError(f"column {column!r} is not numeric")
+    positions = _pick(frame.num_rows, fraction, rng)
+    values = target.to_numpy(fill=np.nan).astype(float)
+    sigma = np.nanstd(values) or 1.0
+    mean = np.nanmean(values)
+    originals = [values[p] for p in positions]
+    signs = rng.choice([-1.0, 1.0], size=len(positions))
+    extreme = mean + signs * magnitude * sigma
+    out = frame.copy()
+    if len(positions):
+        out[column] = target.set_values(positions, extreme)
+    report = ErrorReport(
+        kind="outlier",
+        column=column,
+        row_ids=frame.row_ids[positions],
+        original_values=originals,
+        params={"fraction": fraction, "magnitude": magnitude, "seed": seed},
+    )
+    return out, report
+
+
+def _typo(word: str, rng: np.random.Generator) -> str:
+    """One random edit: case flip, adjacent swap, char drop, or padding."""
+    if not word:
+        return word
+    choice = int(rng.integers(4))
+    idx = int(rng.integers(len(word)))
+    if choice == 0:
+        return word[:idx] + word[idx].swapcase() + word[idx + 1 :]
+    if choice == 1 and len(word) > 1:
+        j = min(idx, len(word) - 2)
+        return word[:j] + word[j + 1] + word[j] + word[j + 2 :]
+    if choice == 2 and len(word) > 1:
+        return word[:idx] + word[idx + 1 :]
+    return " " + word  # leading whitespace: breaks exact joins, not fuzzy ones
+
+def inject_typos(
+    frame: DataFrame,
+    column: str,
+    fraction: float = 0.1,
+    seed: int = 0,
+) -> tuple[DataFrame, ErrorReport]:
+    """Corrupt string cells with single-edit typos (breaks exact join keys)."""
+    rng = np.random.default_rng(seed)
+    target = frame.column(column)
+    if target.dtype_kind != "string":
+        raise TypeError(f"column {column!r} is not a string column")
+    candidates = np.flatnonzero(~target.mask)
+    count = min(int(round(fraction * frame.num_rows)), len(candidates))
+    positions = (
+        rng.choice(candidates, size=count, replace=False) if count else np.empty(0, np.int64)
+    )
+    cells = target.to_list()
+    originals = [cells[p] for p in positions]
+    corrupted = [_typo(str(cells[p]), rng) for p in positions]
+    out = frame.copy()
+    if len(positions):
+        out[column] = target.set_values(positions, np.asarray(corrupted, dtype=object))
+    report = ErrorReport(
+        kind="typo",
+        column=column,
+        row_ids=frame.row_ids[positions],
+        original_values=originals,
+        params={"fraction": fraction, "seed": seed},
+    )
+    return out, report
+
+
+def inject_unit_mismatch(
+    frame: DataFrame,
+    column: str,
+    factor: float = 100.0,
+    fraction: float = 0.1,
+    seed: int = 0,
+) -> tuple[DataFrame, ErrorReport]:
+    """Multiply a fraction of a numeric column by a unit-conversion factor.
+
+    Models the classic ingestion bug where part of a feed reports in
+    different units (metres vs centimetres, dollars vs cents): affected
+    values are internally consistent but off by a constant factor — harder
+    to spot than outliers because small originals stay in range.
+    """
+    if factor == 0:
+        raise ValueError("factor must be non-zero")
+    rng = np.random.default_rng(seed)
+    target = frame.column(column)
+    if not target.is_numeric:
+        raise TypeError(f"column {column!r} is not numeric")
+    positions = _pick(frame.num_rows, fraction, rng)
+    values = target.to_numpy(fill=np.nan).astype(float)
+    originals = [values[p] for p in positions]
+    out = frame.copy()
+    if len(positions):
+        out[column] = target.set_values(positions, values[positions] * factor)
+    report = ErrorReport(
+        kind="unit_mismatch",
+        column=column,
+        row_ids=frame.row_ids[positions],
+        original_values=originals,
+        params={"factor": factor, "fraction": fraction, "seed": seed},
+    )
+    return out, report

@@ -1,0 +1,89 @@
+"""Adversarial data-poisoning attacks.
+
+The robust-learning part of the survey (refs [32], [70], [77], [90]) defends
+against *adversarial* rather than random errors. Random flips understate the
+threat, so this module provides targeted attacks for evaluating defences:
+
+- :func:`adversarial_label_flips` — flip the ``budget`` training labels that
+  most increase a validation loss, ranked by data-importance (the attacker's
+  mirror image of prioritised cleaning);
+- :func:`targeted_poison_points` — craft training points that push one
+  specific test prediction toward an attacker-chosen label (the complement
+  of complaint-driven debugging).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..importance.knn_shapley import knn_shapley
+from .report import ErrorReport
+
+__all__ = ["adversarial_label_flips", "targeted_poison_points"]
+
+
+def adversarial_label_flips(
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_valid: np.ndarray,
+    y_valid: np.ndarray,
+    budget: int,
+    k: int = 5,
+) -> tuple[np.ndarray, ErrorReport]:
+    """Flip the labels that hurt validation quality the most.
+
+    The attacker flips the labels of the ``budget`` *most beneficial* points
+    (highest KNN-Shapley importance): turning the strongest allies into
+    enemies is the greedy worst case for vote-based models, and empirically
+    far stronger than random flipping for smooth models too.
+
+    Returns the poisoned label vector and a ground-truth report.
+    """
+    x_train = np.asarray(x_train, dtype=float)
+    y_train = np.asarray(y_train)
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    budget = min(budget, len(y_train))
+    classes = np.unique(y_train)
+    if len(classes) < 2:
+        raise ValueError("need at least two classes")
+    importance = knn_shapley(x_train, y_train, x_valid, y_valid, k=k)
+    victims = importance.highest(budget)
+    poisoned = y_train.copy()
+    rng = np.random.default_rng(0)
+    originals = []
+    for position in victims:
+        originals.append(y_train[position])
+        alternatives = classes[classes != y_train[position]]
+        poisoned[position] = alternatives[int(rng.integers(len(alternatives)))]
+    report = ErrorReport(
+        kind="adversarial_label_flip",
+        column="",
+        row_ids=np.asarray(victims, dtype=np.int64),
+        original_values=originals,
+        params={"budget": budget, "k": k},
+    )
+    return poisoned, report
+
+
+def targeted_poison_points(
+    x_target: np.ndarray,
+    wrong_label,
+    budget: int,
+    spread: float = 1e-3,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Craft ``budget`` poison points that drag one prediction to
+    ``wrong_label``.
+
+    The classic nearest-neighbour attack: wrongly-labelled near-duplicates
+    of the target point dominate its neighbourhood. Returns ``(X_poison,
+    y_poison)`` to be appended to the training set.
+    """
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    x_target = np.asarray(x_target, dtype=float).reshape(1, -1)
+    rng = np.random.default_rng(seed)
+    X_poison = x_target + rng.normal(scale=spread, size=(budget, x_target.shape[1]))
+    y_poison = np.repeat(np.asarray([wrong_label]), budget)
+    return X_poison, y_poison

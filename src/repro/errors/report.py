@@ -1,0 +1,72 @@
+"""Ground-truth records of injected data errors.
+
+Every injector in :mod:`repro.errors` returns the corrupted frame *plus* an
+:class:`ErrorReport` describing exactly which cells were touched and what
+their original values were. The report is what lets benchmarks score
+detection quality (did the importance method flag the corrupted tuples?) and
+what powers the "oracle" cleaning function of the hands-on session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ErrorReport", "merge_reports"]
+
+
+@dataclass
+class ErrorReport:
+    """A record of one error-injection pass.
+
+    Attributes
+    ----------
+    kind:
+        Error family, e.g. ``"label_flip"``, ``"missing"``, ``"outlier"``.
+    column:
+        Affected column (empty for row-level errors such as duplicates).
+    row_ids:
+        Stable row ids of the affected rows (frame ``row_ids``, not positions).
+    original_values:
+        Pre-corruption cell values aligned with ``row_ids``.
+    params:
+        Injector parameters for provenance of the experiment itself.
+    """
+
+    kind: str
+    column: str
+    row_ids: np.ndarray
+    original_values: list = field(default_factory=list)
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.row_ids = np.asarray(self.row_ids, dtype=np.int64)
+
+    @property
+    def n_errors(self) -> int:
+        return len(self.row_ids)
+
+    def affected_mask(self, frame_row_ids: Any) -> np.ndarray:
+        """Boolean mask over a frame's rows marking corrupted tuples."""
+        frame_row_ids = np.asarray(frame_row_ids)
+        return np.isin(frame_row_ids, self.row_ids)
+
+    def summary(self) -> str:
+        target = f" in {self.column!r}" if self.column else ""
+        return f"{self.kind}: {self.n_errors} rows{target}"
+
+
+def merge_reports(reports: list[ErrorReport]) -> ErrorReport:
+    """Union of several reports (kind becomes ``"mixed"`` when they differ)."""
+    if not reports:
+        raise ValueError("no reports to merge")
+    kinds = {r.kind for r in reports}
+    columns = {r.column for r in reports}
+    return ErrorReport(
+        kind=kinds.pop() if len(kinds) == 1 else "mixed",
+        column=columns.pop() if len(columns) == 1 else "",
+        row_ids=np.unique(np.concatenate([r.row_ids for r in reports])),
+        params={"merged_from": [r.kind for r in reports]},
+    )

@@ -1,0 +1,21 @@
+"""Column-oriented DataFrame substrate with stable row identity.
+
+The frame package stands in for pandas in this reproduction: it provides the
+relational operators (join, filter, project, group-by) that real-world ML
+preprocessing pipelines are built from, plus stable per-row identifiers that
+the provenance machinery in :mod:`repro.pipeline` relies on.
+"""
+
+from .column import Column
+from .frame import DataFrame, GroupBy
+from .io import from_csv_string, read_csv, to_csv_string, write_csv
+
+__all__ = [
+    "Column",
+    "DataFrame",
+    "GroupBy",
+    "read_csv",
+    "write_csv",
+    "to_csv_string",
+    "from_csv_string",
+]

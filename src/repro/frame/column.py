@@ -1,0 +1,359 @@
+"""Typed columns with explicit missing-value masks.
+
+A :class:`Column` is the unit of storage in :class:`repro.frame.DataFrame`.
+It wraps a NumPy array of values plus a boolean mask marking missing cells.
+Keeping the mask explicit (instead of relying on NaN) lets us represent
+missing strings, integers, and booleans uniformly, which matters because the
+error-injection and uncertainty modules need to reason about *which* cells
+are missing regardless of dtype.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Column"]
+
+_FLOAT_KINDS = ("f",)
+_INT_KINDS = ("i", "u")
+_STRING_KINDS = ("U", "S", "O")
+
+
+def _coerce_values(values: Any) -> tuple[np.ndarray, np.ndarray | None]:
+    """Convert input into a 1-D array plus a missing mask for ``None`` cells."""
+    none_mask: np.ndarray | None = None
+    if isinstance(values, np.ndarray) and values.dtype.kind != "O":
+        arr = values
+    else:
+        seq = list(values)
+        if any(v is None for v in seq):
+            # None placeholders mark missing cells regardless of dtype.
+            none_mask = np.asarray([v is None for v in seq], dtype=bool)
+            has_str = any(isinstance(v, str) for v in seq)
+            if has_str:
+                seq = ["" if v is None else v for v in seq]
+            else:
+                seq = [np.nan if v is None else v for v in seq]
+        arr = np.asarray(seq)
+    if arr.ndim != 1:
+        raise ValueError(f"column values must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind == "O" and (
+        arr.size == 0 or all(isinstance(v, str) for v in arr.tolist())
+    ):
+        arr = arr.astype(str)
+    if (
+        arr.size == 0
+        and isinstance(values, np.ndarray)
+        and values.dtype.kind == "O"
+    ):
+        # An empty object array is treated as an empty string column.
+        arr = arr.astype(str)
+    return arr, none_mask
+
+
+def _infer_mask(values: np.ndarray, mask: Any) -> np.ndarray:
+    """Build the missing mask, folding in NaNs for float columns."""
+    if mask is None:
+        out = np.zeros(len(values), dtype=bool)
+    else:
+        out = np.asarray(mask, dtype=bool).copy()
+        if out.shape != (len(values),):
+            raise ValueError(
+                f"mask shape {out.shape} does not match values ({len(values)},)"
+            )
+    if values.dtype.kind in _FLOAT_KINDS:
+        out |= np.isnan(values)
+    return out
+
+
+class Column:
+    """A 1-D typed array with an explicit missing-value mask.
+
+    Parameters
+    ----------
+    values:
+        Array-like of cell values. ``None`` entries are treated as missing.
+    mask:
+        Optional boolean array; ``True`` marks a missing cell. NaNs in float
+        data are always treated as missing regardless of the mask.
+    """
+
+    __slots__ = ("values", "mask")
+
+    def __init__(self, values: Any, mask: Any = None) -> None:
+        self.values, none_mask = _coerce_values(values)
+        self.mask = _infer_mask(self.values, mask)
+        if none_mask is not None:
+            self.mask |= none_mask
+
+    # ------------------------------------------------------------------
+    # Basic introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(str(v) for v in self.to_list()[:6])
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"Column([{preview}{suffix}], dtype={self.dtype_kind})"
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    @property
+    def dtype_kind(self) -> str:
+        """One of ``'float'``, ``'int'``, ``'bool'``, ``'string'``."""
+        kind = self.values.dtype.kind
+        if kind in _FLOAT_KINDS:
+            return "float"
+        if kind in _INT_KINDS:
+            return "int"
+        if kind == "b":
+            return "bool"
+        if kind in _STRING_KINDS:
+            return "string"
+        return kind
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.dtype_kind in ("float", "int", "bool")
+
+    def copy(self) -> "Column":
+        return Column(self.values.copy(), self.mask.copy())
+
+    def to_list(self) -> list:
+        """Cell values as a Python list with ``None`` for missing cells."""
+        out: list = []
+        for value, missing in zip(self.values.tolist(), self.mask.tolist()):
+            out.append(None if missing else value)
+        return out
+
+    def to_numpy(self, fill: Any = None) -> np.ndarray:
+        """Dense NumPy view; missing cells become ``fill`` (or NaN/'')."""
+        arr = self.values.copy()
+        if not self.mask.any():
+            return arr
+        if fill is None:
+            fill = np.nan if self.dtype_kind in ("float", "int") else ""
+        if self.dtype_kind == "int" and isinstance(fill, float) and np.isnan(fill):
+            arr = arr.astype(float)
+        arr[self.mask] = fill
+        return arr
+
+    # ------------------------------------------------------------------
+    # Missing-value handling
+    # ------------------------------------------------------------------
+    def isnull(self) -> np.ndarray:
+        return self.mask.copy()
+
+    def notnull(self) -> np.ndarray:
+        return ~self.mask
+
+    def null_count(self) -> int:
+        return int(self.mask.sum())
+
+    def fillna(self, value: Any) -> "Column":
+        """Return a copy with every missing cell replaced by ``value``."""
+        arr = self.values.copy()
+        if self.dtype_kind == "int" and isinstance(value, float):
+            arr = arr.astype(float)
+        arr[self.mask] = value
+        return Column(arr, np.zeros(len(arr), dtype=bool))
+
+    def dropna_indices(self) -> np.ndarray:
+        """Positions of non-missing cells."""
+        return np.flatnonzero(~self.mask)
+
+    # ------------------------------------------------------------------
+    # Selection and combination
+    # ------------------------------------------------------------------
+    def take(self, indices: Any) -> "Column":
+        idx = np.asarray(indices, dtype=np.int64)
+        return Column(self.values[idx], self.mask[idx])
+
+    def filter(self, keep: Any) -> "Column":
+        keep = np.asarray(keep, dtype=bool)
+        return Column(self.values[keep], self.mask[keep])
+
+    def set_values(self, positions: Any, values: Any) -> "Column":
+        """Return a copy with cells at ``positions`` replaced (marked present)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        new_values = np.asarray(values)
+        mask = self.mask.copy()
+        mask[pos] = False
+        if self.values.dtype.kind in _STRING_KINDS:
+            # Route through object dtype so longer replacement strings are
+            # never truncated by fixed-width storage.
+            arr = self.values.astype(object)
+            arr[pos] = new_values
+            return Column(arr.astype(str), mask)
+        arr = self.values.copy()
+        if arr.dtype.kind in _INT_KINDS and new_values.dtype.kind in _FLOAT_KINDS:
+            arr = arr.astype(float)
+        arr[pos] = new_values
+        return Column(arr, mask)
+
+    def set_missing(self, positions: Any) -> "Column":
+        """Return a copy with cells at ``positions`` marked missing."""
+        pos = np.asarray(positions, dtype=np.int64)
+        mask = self.mask.copy()
+        mask[pos] = True
+        values = self.values
+        if values.dtype.kind in _FLOAT_KINDS:
+            values = values.copy()
+            values[pos] = np.nan
+        return Column(values, mask)
+
+    @staticmethod
+    def concat(columns: Sequence["Column"]) -> "Column":
+        if not columns:
+            raise ValueError("cannot concatenate zero columns")
+        kinds = {c.dtype_kind for c in columns}
+        if "string" in kinds and len(kinds) > 1:
+            raise TypeError(f"cannot concatenate mixed column kinds: {kinds}")
+        values = np.concatenate([c.values for c in columns])
+        mask = np.concatenate([c.mask for c in columns])
+        return Column(values, mask)
+
+    # ------------------------------------------------------------------
+    # Element-wise operations (missing cells propagate / compare False)
+    # ------------------------------------------------------------------
+    def map(self, func: Callable[[Any], Any]) -> "Column":
+        """Apply a Python function to present cells; missing stays missing."""
+        out = [None if m else func(v) for v, m in zip(self.to_list(), self.mask)]
+        present = [v for v in out if v is not None]
+        if present and all(isinstance(v, str) for v in present):
+            values = np.asarray(["" if v is None else v for v in out], dtype=str)
+        elif present and all(isinstance(v, bool) for v in present):
+            values = np.asarray([bool(v) for v in out], dtype=bool)
+        else:
+            values = np.asarray(
+                [np.nan if v is None else float(v) for v in out], dtype=float
+            )
+        return Column(values, self.mask.copy())
+
+    def _binary_compare(self, other: Any, op: Callable) -> np.ndarray:
+        if isinstance(other, Column):
+            result = op(self.values, other.values)
+            result = np.asarray(result, dtype=bool)
+            result[self.mask | other.mask] = False
+            return result
+        result = np.asarray(op(self.values, other), dtype=bool)
+        result[self.mask] = False
+        return result
+
+    def __eq__(self, other: Any) -> np.ndarray:  # type: ignore[override]
+        return self._binary_compare(other, lambda a, b: a == b)
+
+    def __ne__(self, other: Any) -> np.ndarray:  # type: ignore[override]
+        return self._binary_compare(other, lambda a, b: a != b)
+
+    def __lt__(self, other: Any) -> np.ndarray:
+        return self._binary_compare(other, lambda a, b: a < b)
+
+    def __le__(self, other: Any) -> np.ndarray:
+        return self._binary_compare(other, lambda a, b: a <= b)
+
+    def __gt__(self, other: Any) -> np.ndarray:
+        return self._binary_compare(other, lambda a, b: a > b)
+
+    def __ge__(self, other: Any) -> np.ndarray:
+        return self._binary_compare(other, lambda a, b: a >= b)
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("Column is not hashable")
+
+    def isin(self, values: Iterable[Any]) -> np.ndarray:
+        allowed = set(values)
+        result = np.asarray([v in allowed for v in self.values.tolist()], dtype=bool)
+        result[self.mask] = False
+        return result
+
+    def _binary_arith(self, other: Any, op: Callable) -> "Column":
+        if isinstance(other, Column):
+            values = op(self.values.astype(float), other.values.astype(float))
+            mask = self.mask | other.mask
+        else:
+            values = op(self.values.astype(float), other)
+            mask = self.mask.copy()
+        return Column(values, mask)
+
+    def __add__(self, other: Any) -> "Column":
+        return self._binary_arith(other, lambda a, b: a + b)
+
+    def __sub__(self, other: Any) -> "Column":
+        return self._binary_arith(other, lambda a, b: a - b)
+
+    def __mul__(self, other: Any) -> "Column":
+        return self._binary_arith(other, lambda a, b: a * b)
+
+    def __truediv__(self, other: Any) -> "Column":
+        return self._binary_arith(other, lambda a, b: a / b)
+
+    # ------------------------------------------------------------------
+    # Reductions (ignore missing cells)
+    # ------------------------------------------------------------------
+    def _present_float(self) -> np.ndarray:
+        return self.values[~self.mask].astype(float)
+
+    def sum(self) -> float:
+        return float(self._present_float().sum()) if len(self) else 0.0
+
+    def mean(self) -> float:
+        present = self._present_float()
+        if present.size == 0:
+            return float("nan")
+        return float(present.mean())
+
+    def std(self) -> float:
+        present = self._present_float()
+        if present.size == 0:
+            return float("nan")
+        return float(present.std())
+
+    def min(self) -> Any:
+        present = self.values[~self.mask]
+        if present.size == 0:
+            return None
+        if present.dtype.kind in _STRING_KINDS:
+            return min(str(v) for v in present)
+        return present.min().item()
+
+    def max(self) -> Any:
+        present = self.values[~self.mask]
+        if present.size == 0:
+            return None
+        if present.dtype.kind in _STRING_KINDS:
+            return max(str(v) for v in present)
+        return present.max().item()
+
+    def median(self) -> float:
+        present = self._present_float()
+        if present.size == 0:
+            return float("nan")
+        return float(np.median(present))
+
+    def mode(self) -> Any:
+        """Most frequent present value (ties broken by value order)."""
+        present = self.values[~self.mask]
+        if present.size == 0:
+            return None
+        uniques, counts = np.unique(present, return_counts=True)
+        winner = uniques[np.argmax(counts)]
+        return winner.item() if uniques.dtype.kind != "U" else str(winner)
+
+    def unique(self) -> list:
+        present = self.values[~self.mask]
+        uniques = np.unique(present)
+        if uniques.dtype.kind in _STRING_KINDS:
+            return [str(u) for u in uniques]
+        return [u.item() for u in uniques]
+
+    def value_counts(self) -> dict:
+        present = self.values[~self.mask]
+        uniques, counts = np.unique(present, return_counts=True)
+        keys = [str(u) if uniques.dtype.kind in _STRING_KINDS else u.item() for u in uniques]
+        return dict(zip(keys, (int(c) for c in counts)))

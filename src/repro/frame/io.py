@@ -1,0 +1,99 @@
+"""CSV serialisation for :class:`repro.frame.DataFrame`.
+
+Only the small CSV dialect needed for shipping synthetic datasets and
+benchmark outputs is supported: comma separator, double-quote quoting, a
+header row, and empty fields meaning *missing*.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .column import Column
+from .frame import DataFrame
+
+__all__ = ["read_csv", "write_csv", "to_csv_string", "from_csv_string"]
+
+
+_INT_PATTERN = re.compile(r"^[+-]?\d+$")
+# Digits-anchored float syntax only: words Python's float() accepts, like
+# "inf"/"nan"/"INF", must stay strings.
+_FLOAT_PATTERN = re.compile(r"^[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?$")
+
+
+def _infer_column(raw: list[str]) -> Column:
+    """Infer int → float → bool → string, treating '' as missing."""
+    mask = np.asarray([cell == "" for cell in raw], dtype=bool)
+    present = [cell for cell in raw if cell != ""]
+
+    def all_parse(pattern) -> bool:
+        return all(pattern.match(cell) for cell in present)
+
+    if present and all(cell in ("True", "False") for cell in present):
+        values = np.asarray([cell == "True" for cell in raw], dtype=bool)
+        return Column(values, mask)
+    if present and all_parse(_INT_PATTERN):
+        if mask.any():
+            values = np.asarray(
+                [float(c) if c != "" else np.nan for c in raw], dtype=float
+            )
+        else:
+            values = np.asarray([int(c) for c in raw], dtype=np.int64)
+        return Column(values, mask)
+    if present and all_parse(_FLOAT_PATTERN):
+        values = np.asarray(
+            [float(c) if c != "" else np.nan for c in raw], dtype=float
+        )
+        return Column(values, mask)
+    values = np.asarray(raw, dtype=str)
+    return Column(values, mask)
+
+
+def from_csv_string(text: str) -> DataFrame:
+    """Parse CSV text into a frame, inferring column types."""
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        raise ValueError("empty CSV input")
+    header, body = rows[0], rows[1:]
+    columns: dict[str, Column] = {}
+    for j, name in enumerate(header):
+        raw = [row[j] if j < len(row) else "" for row in body]
+        columns[name] = _infer_column(raw)
+    return DataFrame(columns)
+
+
+def read_csv(path: str | Path) -> DataFrame:
+    """Load a CSV file written by :func:`write_csv` (or compatible)."""
+    return from_csv_string(Path(path).read_text())
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "True" if value else "False"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def to_csv_string(frame: DataFrame) -> str:
+    """Serialise a frame to CSV text; missing cells become empty fields."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(frame.columns)
+    for row in frame.to_rows():
+        writer.writerow([_format_cell(row[name]) for name in frame.columns])
+    return buffer.getvalue()
+
+
+def write_csv(frame: DataFrame, path: str | Path) -> None:
+    """Write the frame as CSV; missing cells become empty fields."""
+    Path(path).write_text(to_csv_string(frame))

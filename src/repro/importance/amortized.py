@@ -1,0 +1,109 @@
+"""Stochastic amortization of data importance (Covert et al. [14]).
+
+Monte-Carlo Shapley labels are expensive but *unbiased*: training a
+regression model on noisy per-point estimates (features → importance) still
+converges to the true importance function, because regression targets only
+need to be unbiased, not exact. The pay-off is that importance for new or
+unlabelled points becomes a single forward pass — the "model-based
+estimation" speed-up the survey's computational-challenges section covers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..learn.models.linear import RidgeRegression
+from .base import ImportanceResult
+from .shapley import shapley_mc
+from .utility import Utility
+
+__all__ = ["AmortizedImportance", "amortized_shapley"]
+
+
+class AmortizedImportance:
+    """A regression model predicting importance from point features.
+
+    The feature map concatenates the raw features with label-aware context
+    (one indicator per class), since a point's value depends on both where
+    it sits and what it claims to be.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = float(alpha)
+        self._model = RidgeRegression(alpha=alpha)
+
+    def _features(self, X: np.ndarray, y: np.ndarray, classes: np.ndarray) -> np.ndarray:
+        """Features ⊕ class indicators ⊕ per-class feature interactions.
+
+        The interactions matter: a point's value depends on whether its
+        *label* matches its *location*, which a linear model can only
+        express through feature × class cross terms.
+        """
+        indicators = np.zeros((len(y), len(classes)))
+        for j, cls in enumerate(classes.tolist()):
+            indicators[:, j] = y == cls
+        interactions = [X * indicators[:, j : j + 1] for j in range(len(classes))]
+        return np.column_stack([X, indicators, *interactions])
+
+    def fit(
+        self, X: Any, y: Any, noisy_values: Any, classes: np.ndarray
+    ) -> "AmortizedImportance":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.asarray(classes)
+        self._model.fit(self._features(X, y, self.classes_), np.asarray(noisy_values, float))
+        return self
+
+    def predict(self, X: Any, y: Any) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        return self._model.predict(self._features(X, y, self.classes_))
+
+
+def amortized_shapley(
+    utility: Utility,
+    n_labelled: int = 50,
+    n_permutations: int = 10,
+    alpha: float = 1.0,
+    seed: int = 0,
+) -> ImportanceResult:
+    """Estimate Shapley importance for *all* points from MC labels on a few.
+
+    1. Draw ``n_labelled`` training points and run (truncated-free)
+       permutation MC restricted to cheap budgets to obtain noisy, unbiased
+       Shapley labels for them.
+    2. Fit the amortization regressor on (features, label) → noisy value.
+    3. Predict importance for the whole training set.
+
+    Cost: ``n_permutations`` passes over the full set for the labels (the
+    estimator reuses one MC run and reads off the labelled subset), plus a
+    ridge solve — far below per-point MC for large n.
+    """
+    rng = np.random.default_rng(seed)
+    n = utility.n_train
+    n_labelled = min(n_labelled, n)
+
+    mc = shapley_mc(utility, n_permutations=n_permutations, seed=seed)
+    labelled = rng.choice(n, size=n_labelled, replace=False)
+
+    model = AmortizedImportance(alpha=alpha)
+    classes = np.unique(utility.y_train)
+    model.fit(
+        utility.x_train[labelled],
+        utility.y_train[labelled],
+        mc.values[labelled],
+        classes,
+    )
+    values = model.predict(utility.x_train, utility.y_train)
+    return ImportanceResult(
+        method="amortized_shapley",
+        values=values,
+        extras={
+            "n_labelled": n_labelled,
+            "n_permutations": n_permutations,
+            "mc_values": mc.values,
+            "model": model,
+        },
+    )

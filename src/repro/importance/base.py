@@ -1,0 +1,65 @@
+"""Common result container for data-importance methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ImportanceResult"]
+
+
+@dataclass
+class ImportanceResult:
+    """Per-training-point importance scores.
+
+    The sign convention is uniform across methods: **higher = more
+    beneficial** to downstream quality, so data errors concentrate at the
+    *bottom* of the ranking and ``lowest(k)`` is the "inspect these first"
+    list of the hands-on session.
+    """
+
+    method: str
+    values: np.ndarray
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def lowest(self, k: int) -> np.ndarray:
+        """Positions of the k least beneficial (most suspicious) points."""
+        k = min(k, len(self.values))
+        return np.argsort(self.values, kind="stable")[:k]
+
+    def highest(self, k: int) -> np.ndarray:
+        """Positions of the k most beneficial points."""
+        k = min(k, len(self.values))
+        return np.argsort(self.values, kind="stable")[::-1][:k]
+
+    def rank(self) -> np.ndarray:
+        """Rank of each point (0 = least beneficial)."""
+        order = np.argsort(self.values, kind="stable")
+        ranks = np.empty(len(order), dtype=np.int64)
+        ranks[order] = np.arange(len(order))
+        return ranks
+
+    def detection_precision_at_k(self, error_mask: Any, k: int) -> float:
+        """Fraction of the bottom-k that are actual errors (needs ground truth)."""
+        error_mask = np.asarray(error_mask, dtype=bool)
+        if len(error_mask) != len(self.values):
+            raise ValueError("error mask length mismatch")
+        flagged = self.lowest(k)
+        return float(np.mean(error_mask[flagged])) if k else 0.0
+
+    def detection_recall_at_k(self, error_mask: Any, k: int) -> float:
+        """Fraction of all errors found in the bottom-k."""
+        error_mask = np.asarray(error_mask, dtype=bool)
+        total = error_mask.sum()
+        if total == 0:
+            return 0.0
+        flagged = self.lowest(k)
+        return float(error_mask[flagged].sum() / total)

@@ -1,0 +1,85 @@
+"""Beta Shapley importance (Kwon & Zou [43]).
+
+Beta(α, β)-Shapley generalises Data Shapley by re-weighting marginal
+contributions by the cardinality of the subset they are measured against.
+Beta(1, 1) recovers the Shapley value exactly; β > α emphasises *small*
+subsets, which de-noises the signal because marginal contributions against
+large subsets are dominated by retraining variance.
+"""
+
+from __future__ import annotations
+
+from math import lgamma
+
+import numpy as np
+
+from .base import ImportanceResult
+from .utility import Utility
+
+__all__ = ["beta_shapley_mc", "beta_weights"]
+
+
+def beta_weights(n: int, alpha: float = 1.0, beta: float = 16.0) -> np.ndarray:
+    """Normalised weight for each preceding-subset size j = 0..n-1.
+
+    ``w(j) ∝ C(n−1, j) · B(j + α, n − 1 − j + β)`` expressed via log-gamma
+    for stability and normalised to sum to 1, so the estimator is a weighted
+    mean of per-size marginal contributions. The convention matches the
+    library docs: **β > α concentrates weight on small subsets** (marginal
+    contributions measured early in the permutation), β = α = 1 is uniform
+    (ordinary Shapley).
+    """
+    if alpha <= 0 or beta <= 0:
+        raise ValueError("alpha and beta must be positive")
+    js = np.arange(n)
+    log_w = np.empty(n)
+    for j in js:
+        log_w[j] = (
+            lgamma(j + alpha)
+            + lgamma(n - 1 - j + beta)
+            - lgamma(n - 1 + alpha + beta)
+            + lgamma(n)  # C(n-1, j) numerator part
+            - lgamma(j + 1)
+            - lgamma(n - j)
+        )
+    log_w -= log_w.max()
+    w = np.exp(log_w)
+    return w / w.sum()
+
+
+def beta_shapley_mc(
+    utility: Utility,
+    alpha: float = 1.0,
+    beta: float = 16.0,
+    n_permutations: int = 100,
+    seed: int = 0,
+) -> ImportanceResult:
+    """Permutation-sampling Beta(α, β)-Shapley estimator.
+
+    Samples permutations exactly like TMC-Shapley but weights the marginal
+    contribution of a point inserted at position j by the Beta weight of
+    subset size j. With α = β = 1 this degenerates to uniform weights and
+    estimates the ordinary Shapley value (a property the tests rely on).
+    """
+    rng = np.random.default_rng(seed)
+    n = utility.n_train
+    weights = beta_weights(n, alpha, beta) * n  # scale: mean weight 1
+    null = utility.evaluate([])
+    totals = np.zeros(n)
+    counts = np.zeros(n)
+    for __ in range(n_permutations):
+        order = rng.permutation(n)
+        prev = null
+        prefix: list[int] = []
+        for position, i in enumerate(order):
+            prefix.append(int(i))
+            current = utility.evaluate(prefix)
+            totals[i] += weights[position] * (current - prev)
+            counts[i] += 1
+            prev = current
+    values = totals / np.maximum(counts, 1)
+    return ImportanceResult(
+        method=f"beta_shapley({alpha:g},{beta:g})",
+        values=values,
+        extras={"alpha": alpha, "beta": beta, "n_permutations": n_permutations},
+    )

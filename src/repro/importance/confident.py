@@ -1,0 +1,110 @@
+"""Confident learning (Northcutt et al. [59]): uncertainty-based label-error
+detection from out-of-sample predicted probabilities.
+
+Unlike the game-theoretic methods, confident learning needs no validation
+set and no repeated retraining: it cross-validates the model once, compares
+each point's predicted class probabilities against per-class confidence
+thresholds, and flags points whose given label is confidently contradicted.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..learn.base import Estimator, clone
+from ..learn.model_selection import KFold
+from ..learn.models.logistic import LogisticRegression
+from .base import ImportanceResult
+
+__all__ = ["out_of_sample_probabilities", "confident_learning"]
+
+
+def out_of_sample_probabilities(
+    model: Estimator, X: Any, y: Any, n_splits: int = 5, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """K-fold cross-validated class probabilities for every training point.
+
+    Returns ``(probs, classes)`` where ``probs[i, j]`` is the probability of
+    class ``classes[j]`` for point i, predicted by a model that never saw i.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    classes = np.unique(y)
+    probs = np.full((len(y), len(classes)), np.nan)
+    n_splits = min(n_splits, len(y))
+    for train_idx, test_idx in KFold(n_splits, seed=seed).split(len(y)):
+        fold = clone(model).fit(X[train_idx], y[train_idx])
+        fold_probs = fold.predict_proba(X[test_idx])
+        # Align fold class order with the global class order.
+        fold_classes = list(fold.classes_)
+        for j, cls in enumerate(classes.tolist()):
+            if cls in fold_classes:
+                probs[test_idx, j] = fold_probs[:, fold_classes.index(cls)]
+            else:
+                probs[test_idx, j] = 0.0
+    return probs, classes
+
+
+def confident_learning(
+    X: Any,
+    y: Any,
+    model: Estimator | None = None,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> ImportanceResult:
+    """Rank points by self-confidence margin and flag probable label errors.
+
+    The importance value of point i is ``p_i(given) − max_{j≠given} p_i(j)``
+    (negative when another class is more probable than the given label), so
+    probable label errors sort to the bottom, matching the library-wide
+    convention. ``extras["flagged"]`` holds the boolean confident-learning
+    verdicts and ``extras["confident_joint"]`` the estimated joint counts of
+    (given label, true label).
+    """
+    if model is None:
+        model = LogisticRegression()
+    y = np.asarray(y)
+    probs, classes = out_of_sample_probabilities(model, X, y, n_splits, seed)
+    class_index = {cls: j for j, cls in enumerate(classes.tolist())}
+    given = np.asarray([class_index[label] for label in y.tolist()])
+    n, k = probs.shape
+
+    # Per-class confidence thresholds: mean predicted probability of class j
+    # among points *labelled* j.
+    thresholds = np.empty(k)
+    for j in range(k):
+        members = given == j
+        thresholds[j] = probs[members, j].mean() if members.any() else 1.0
+
+    # Confident joint: point counted at (given, argmax over classes whose
+    # probability clears that class's threshold).
+    confident_joint = np.zeros((k, k), dtype=np.int64)
+    suggested = given.copy()
+    for i in range(n):
+        above = np.flatnonzero(probs[i] >= thresholds)
+        if len(above):
+            winner = above[np.argmax(probs[i, above])]
+            confident_joint[given[i], winner] += 1
+            suggested[i] = winner
+        else:
+            confident_joint[given[i], given[i]] += 1
+    flagged = suggested != given
+
+    given_prob = probs[np.arange(n), given]
+    other = probs.copy()
+    other[np.arange(n), given] = -np.inf
+    best_other = other.max(axis=1) if k > 1 else np.zeros(n)
+    margin = given_prob - best_other
+    return ImportanceResult(
+        method="confident_learning",
+        values=margin,
+        extras={
+            "flagged": flagged,
+            "suggested_labels": classes[suggested],
+            "confident_joint": confident_joint,
+            "thresholds": thresholds,
+            "classes": classes,
+        },
+    )

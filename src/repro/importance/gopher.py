@@ -1,0 +1,152 @@
+"""Gopher-style fairness debugging (Pradhan et al. [66]).
+
+Gopher explains *why a model is unfair* by searching for compact, human-
+readable predicates over the training data whose removal most reduces a
+group-fairness violation. The explanation unit is a first-order predicate
+("sector = finance AND degree = none"), not an individual tuple — which is
+what makes the output interpretable to a data engineer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Any, Callable
+
+import numpy as np
+
+from ..frame import DataFrame
+from ..learn.base import Estimator, clone
+
+__all__ = ["Predicate", "FairnessExplanation", "gopher_explanations"]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A conjunction of column = value conditions."""
+
+    conditions: tuple[tuple[str, Any], ...]
+
+    def mask(self, frame: DataFrame) -> np.ndarray:
+        out = np.ones(frame.num_rows, dtype=bool)
+        for column, value in self.conditions:
+            out &= frame.column(column) == value
+        return out
+
+    def __str__(self) -> str:
+        return " AND ".join(f"{c} = {v!r}" for c, v in self.conditions)
+
+
+@dataclass
+class FairnessExplanation:
+    """One candidate repair: remove the predicate's subset, bias drops."""
+
+    predicate: Predicate
+    support: int
+    bias_before: float
+    bias_after: float
+    accuracy_before: float
+    accuracy_after: float
+
+    @property
+    def bias_reduction(self) -> float:
+        return self.bias_before - self.bias_after
+
+    @property
+    def accuracy_cost(self) -> float:
+        return self.accuracy_before - self.accuracy_after
+
+    @property
+    def interestingness(self) -> float:
+        """Bias reduction per removed tuple, Gopher's ranking heuristic."""
+        return self.bias_reduction / max(self.support, 1)
+
+
+def _candidate_predicates(
+    frame: DataFrame,
+    columns: list[str],
+    max_conjuncts: int,
+    max_values_per_column: int,
+) -> list[Predicate]:
+    atoms: list[tuple[str, Any]] = []
+    for column in columns:
+        counts = frame.column(column).value_counts()
+        frequent = sorted(counts, key=counts.get, reverse=True)[:max_values_per_column]
+        atoms.extend((column, value) for value in frequent)
+    predicates = [Predicate((atom,)) for atom in atoms]
+    if max_conjuncts >= 2:
+        for a, b in combinations(atoms, 2):
+            if a[0] != b[0]:  # conjunctions over distinct columns only
+                predicates.append(Predicate(tuple(sorted((a, b)))))
+    return predicates
+
+
+def gopher_explanations(
+    frame: DataFrame,
+    model: Estimator,
+    featurize: Callable[[DataFrame], np.ndarray],
+    label_column: str,
+    bias_metric: Callable[[Estimator], float],
+    accuracy_metric: Callable[[Estimator], float],
+    explain_columns: list[str] | None = None,
+    max_conjuncts: int = 2,
+    max_values_per_column: int = 5,
+    min_support: int = 5,
+    max_support_fraction: float = 0.5,
+    max_accuracy_cost: float = 0.05,
+    top_k: int = 10,
+) -> list[FairnessExplanation]:
+    """Rank predicate-removal repairs by bias reduction per removed tuple.
+
+    Parameters
+    ----------
+    featurize:
+        Maps a (filtered) training frame to a feature matrix; called for
+        every candidate subset so encoders refit on the reduced data.
+    bias_metric, accuracy_metric:
+        Callables evaluating a *fitted* model (typically closures over a
+        held-out test set and a protected attribute).
+    explain_columns:
+        Categorical columns predicates may mention; defaults to all string
+        columns except the label.
+    max_accuracy_cost:
+        Candidate repairs that lower accuracy by more than this are
+        discarded — a repair that fixes fairness by destroying the model is
+        not an explanation (Gopher's accuracy constraint).
+    """
+    y_all = np.asarray(frame.column(label_column).to_list())
+    baseline = clone(model).fit(featurize(frame), y_all)
+    bias_before = float(bias_metric(baseline))
+    accuracy_before = float(accuracy_metric(baseline))
+
+    if explain_columns is None:
+        explain_columns = [
+            c
+            for c in frame.columns
+            if c != label_column and frame.column(c).dtype_kind == "string"
+        ]
+    explanations: list[FairnessExplanation] = []
+    for predicate in _candidate_predicates(
+        frame, explain_columns, max_conjuncts, max_values_per_column
+    ):
+        removal_mask = predicate.mask(frame)
+        support = int(removal_mask.sum())
+        if support < min_support or support > max_support_fraction * frame.num_rows:
+            continue
+        remaining = frame.filter(~removal_mask)
+        y = np.asarray(remaining.column(label_column).to_list())
+        if len(np.unique(y)) < 2:
+            continue
+        candidate = clone(model).fit(featurize(remaining), y)
+        explanation = FairnessExplanation(
+            predicate=predicate,
+            support=support,
+            bias_before=bias_before,
+            bias_after=float(bias_metric(candidate)),
+            accuracy_before=accuracy_before,
+            accuracy_after=float(accuracy_metric(candidate)),
+        )
+        if explanation.accuracy_cost <= max_accuracy_cost:
+            explanations.append(explanation)
+    explanations.sort(key=lambda e: e.interestingness, reverse=True)
+    return explanations[:top_k]

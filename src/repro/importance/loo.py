@@ -1,0 +1,29 @@
+"""Leave-one-out (LOO) importance — the simplest data-importance score."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ImportanceResult
+from .utility import Utility
+
+__all__ = ["loo_importance"]
+
+
+def loo_importance(utility: Utility) -> ImportanceResult:
+    """``φ_i = v(N) − v(N \\ {i})`` for every training point.
+
+    Requires ``n + 1`` utility evaluations (model retrainings), which is
+    exactly the cost profile the tutorial's "Overcoming Computational
+    Challenges" section motivates improving on.
+    """
+    n = utility.n_train
+    everything = np.arange(n)
+    full = utility.evaluate(everything)
+    values = np.empty(n)
+    for i in range(n):
+        without = np.delete(everything, i)
+        values[i] = full - utility.evaluate(without)
+    return ImportanceResult(
+        method="loo", values=values, extras={"full_score": full}
+    )

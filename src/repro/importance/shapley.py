@@ -1,0 +1,134 @@
+"""Shapley-value data importance: exact enumeration and Monte-Carlo estimators.
+
+Implements the Data Shapley framework of Ghorbani & Zou [21]: the value of a
+training point is its average marginal contribution over all orderings.
+The permutation sampler includes the *truncated* variant (TMC-Shapley),
+which stops scanning a permutation once the running utility is within a
+tolerance of the full-data utility — the marginal contributions beyond that
+point are statistically indistinguishable from zero.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from math import factorial
+
+import numpy as np
+
+from .base import ImportanceResult
+from .utility import Utility
+
+__all__ = ["shapley_mc", "shapley_brute_force", "banzhaf_brute_force"]
+
+
+def shapley_brute_force(utility: Utility) -> ImportanceResult:
+    """Exact Shapley values by enumerating all ``n!`` permutations.
+
+    Only feasible for tiny games (n ≤ 8); exists to validate the estimators.
+    """
+    n = utility.n_train
+    if n > 9:
+        raise ValueError(f"brute force is infeasible for n={n}")
+    cache: dict[frozenset, float] = {}
+
+    def value(subset: frozenset) -> float:
+        if subset not in cache:
+            cache[subset] = utility.evaluate(sorted(subset))
+        return cache[subset]
+
+    totals = np.zeros(n)
+    for order in permutations(range(n)):
+        seen: frozenset = frozenset()
+        prev = value(seen)
+        for i in order:
+            seen = seen | {i}
+            current = value(seen)
+            totals[i] += current - prev
+            prev = current
+    values = totals / factorial(n)
+    return ImportanceResult(method="shapley_exact", values=values)
+
+
+def banzhaf_brute_force(utility: Utility) -> ImportanceResult:
+    """Exact Banzhaf values by enumerating all subsets (n ≤ 16)."""
+    n = utility.n_train
+    if n > 16:
+        raise ValueError(f"brute force is infeasible for n={n}")
+    cache: dict[int, float] = {}
+
+    def value(bits: int) -> float:
+        if bits not in cache:
+            subset = [i for i in range(n) if bits >> i & 1]
+            cache[bits] = utility.evaluate(subset)
+        return cache[bits]
+
+    values = np.zeros(n)
+    denom = 2 ** (n - 1)
+    for i in range(n):
+        total = 0.0
+        for bits in range(2**n):
+            if bits >> i & 1:
+                continue
+            total += value(bits | (1 << i)) - value(bits)
+        values[i] = total / denom
+    return ImportanceResult(method="banzhaf_exact", values=values)
+
+
+def shapley_mc(
+    utility: Utility,
+    n_permutations: int = 100,
+    truncation_tolerance: float = 0.0,
+    seed: int = 0,
+) -> ImportanceResult:
+    """Permutation-sampling Monte-Carlo Shapley (TMC-Shapley).
+
+    Parameters
+    ----------
+    n_permutations:
+        Number of random orderings to average over. The estimator is
+        unbiased for any count; variance shrinks as 1/count.
+    truncation_tolerance:
+        If > 0, stop scanning a permutation once ``|v(S) − v(N)|`` falls
+        below this tolerance and credit zero marginal contribution to the
+        remaining points (the TMC speed-up of Ghorbani & Zou).
+    """
+    if n_permutations < 1:
+        raise ValueError("n_permutations must be >= 1")
+    rng = np.random.default_rng(seed)
+    n = utility.n_train
+    full = utility.full_score()
+    null = utility.evaluate([])
+    totals = np.zeros(n)
+    counts = np.zeros(n)
+    truncated_scans = 0
+    for __ in range(n_permutations):
+        order = rng.permutation(n)
+        prev = null
+        prefix: list[int] = []
+        for step, i in enumerate(order):
+            if (
+                truncation_tolerance > 0.0
+                and step > 0
+                and abs(full - prev) <= truncation_tolerance
+            ):
+                # Remaining marginals are credited zero (still counted so the
+                # mean stays well-defined).
+                counts[order[step:]] += 1
+                truncated_scans += 1
+                break
+            prefix.append(int(i))
+            current = utility.evaluate(prefix)
+            totals[i] += current - prev
+            counts[i] += 1
+            prev = current
+    values = totals / np.maximum(counts, 1)
+    return ImportanceResult(
+        method="shapley_mc",
+        values=values,
+        extras={
+            "n_permutations": n_permutations,
+            "truncated_scans": truncated_scans,
+            "full_score": full,
+            "null_score": null,
+        },
+    )

@@ -1,0 +1,70 @@
+"""Machine-learning substrate: models, preprocessing, metrics, selection.
+
+A from-scratch stand-in for scikit-learn covering exactly the estimator and
+transformer surface that the tutorial's data-debugging methods require.
+"""
+
+from . import calibration, metrics, model_selection, models, preprocessing
+from .base import Estimator, Transformer, clone
+from .calibration import PlattCalibrator, expected_calibration_error, reliability_table
+from .model_selection import KFold, cross_val_score, split_frame, train_test_split
+from .models import (
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LinearRegression,
+    LinearSVC,
+    LogisticRegression,
+    MajorityClassifier,
+    RandomClassifier,
+    RidgeRegression,
+)
+from .preprocessing import (
+    CellImputer,
+    ColumnTransformer,
+    FunctionTransformer,
+    MinMaxScaler,
+    OneHotEncoder,
+    OrdinalEncoder,
+    Pipeline,
+    SimpleImputer,
+    StandardScaler,
+)
+
+__all__ = [
+    "calibration",
+    "metrics",
+    "model_selection",
+    "models",
+    "preprocessing",
+    "Estimator",
+    "Transformer",
+    "clone",
+    "PlattCalibrator",
+    "expected_calibration_error",
+    "reliability_table",
+    "RandomForestClassifier",
+    "KFold",
+    "cross_val_score",
+    "split_frame",
+    "train_test_split",
+    "DecisionTreeClassifier",
+    "GaussianNB",
+    "KNeighborsClassifier",
+    "LinearRegression",
+    "LinearSVC",
+    "LogisticRegression",
+    "MajorityClassifier",
+    "RandomClassifier",
+    "RidgeRegression",
+    "CellImputer",
+    "ColumnTransformer",
+    "FunctionTransformer",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "OrdinalEncoder",
+    "Pipeline",
+    "SimpleImputer",
+    "StandardScaler",
+]

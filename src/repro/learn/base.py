@@ -1,0 +1,104 @@
+"""Estimator and transformer base classes (scikit-learn-style contract).
+
+Every model in :mod:`repro.learn.models` implements ``fit(X, y)``,
+``predict(X)``, and ``score(X, y)``; probabilistic classifiers add
+``predict_proba(X)``. The data-importance and uncertainty modules are written
+against this contract only, so swapping the model under study is a one-line
+change, exactly as in the tutorial's hands-on notebooks.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Estimator", "Transformer", "clone", "check_xy", "check_matrix"]
+
+
+def check_matrix(X: Any) -> np.ndarray:
+    """Validate and convert features into a dense 2-D float matrix."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"expected 2-D feature matrix, got shape {X.shape}")
+    return X
+
+
+def check_xy(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Validate an (X, y) training pair."""
+    X = check_matrix(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"expected 1-D target, got shape {y.shape}")
+    if len(X) != len(y):
+        raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+    if len(X) == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    return X, y
+
+
+def clone(estimator: "Estimator") -> "Estimator":
+    """Fresh unfitted copy with the same hyper-parameters."""
+    return copy.deepcopy(estimator).reset()
+
+
+class Estimator:
+    """Base class for predictive models."""
+
+    def fit(self, X: Any, y: Any) -> "Estimator":
+        raise NotImplementedError
+
+    def predict(self, X: Any) -> np.ndarray:
+        raise NotImplementedError
+
+    def reset(self) -> "Estimator":
+        """Drop fitted state; hyper-parameters survive."""
+        for name in list(vars(self)):
+            if name.endswith("_") and not name.startswith("_"):
+                delattr(self, name)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return any(
+            name.endswith("_") and not name.startswith("_") for name in vars(self)
+        )
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+
+    def score(self, X: Any, y: Any) -> float:
+        """Mean accuracy for classifiers (regressors override with R²)."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = {
+            k: v for k, v in vars(self).items()
+            if not k.endswith("_") and not k.startswith("_")
+        }
+        args = ", ".join(f"{k}={v!r}" for k, v in params.items())
+        return f"{type(self).__name__}({args})"
+
+
+class Transformer:
+    """Base class for feature transformers (``fit`` / ``transform``)."""
+
+    def fit(self, X: Any, y: Any = None) -> "Transformer":
+        raise NotImplementedError
+
+    def transform(self, X: Any) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit_transform(self, X: Any, y: Any = None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+    def reset(self) -> "Transformer":
+        for name in list(vars(self)):
+            if name.endswith("_") and not name.startswith("_"):
+                delattr(self, name)
+        return self

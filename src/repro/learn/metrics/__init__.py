@@ -1,0 +1,39 @@
+"""Quality metrics: correctness, fairness, and stability."""
+
+from .classification import (
+    accuracy,
+    brier_score,
+    confusion_matrix,
+    error_rate,
+    f1_score,
+    log_loss,
+    macro_f1,
+    precision,
+    recall,
+)
+from .fairness import (
+    demographic_parity_difference,
+    equalized_odds_difference,
+    group_rates,
+    predictive_parity_difference,
+)
+from .stability import disagreement_rate, mean_prediction_entropy, prediction_entropy
+
+__all__ = [
+    "accuracy",
+    "brier_score",
+    "confusion_matrix",
+    "error_rate",
+    "f1_score",
+    "log_loss",
+    "macro_f1",
+    "precision",
+    "recall",
+    "demographic_parity_difference",
+    "equalized_odds_difference",
+    "group_rates",
+    "predictive_parity_difference",
+    "disagreement_rate",
+    "mean_prediction_entropy",
+    "prediction_entropy",
+]

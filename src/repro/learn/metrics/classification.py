@@ -1,0 +1,114 @@
+"""Correctness metrics (the paper's Figure 1 "Correctness Metric" panel)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "confusion_matrix",
+    "precision",
+    "recall",
+    "f1_score",
+    "macro_f1",
+    "log_loss",
+    "brier_score",
+]
+
+
+def _check_pair(y_true: Any, y_pred: Any) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy(y_true: Any, y_pred: Any) -> float:
+    """Fraction of predictions equal to the true labels."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true: Any, y_pred: Any) -> float:
+    """``1 − accuracy``."""
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+def confusion_matrix(y_true: Any, y_pred: Any, labels: Sequence | None = None) -> np.ndarray:
+    """Counts matrix with rows = true class, columns = predicted class."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    out = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        out[index[t], index[p]] += 1
+    return out
+
+
+def _binary_counts(y_true: np.ndarray, y_pred: np.ndarray, positive: Any) -> tuple[int, int, int]:
+    tp = int(np.sum((y_pred == positive) & (y_true == positive)))
+    fp = int(np.sum((y_pred == positive) & (y_true != positive)))
+    fn = int(np.sum((y_pred != positive) & (y_true == positive)))
+    return tp, fp, fn
+
+
+def precision(y_true: Any, y_pred: Any, positive: Any) -> float:
+    """TP / (TP + FP) for the given positive class (0 when nothing predicted)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    tp, fp, __ = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall(y_true: Any, y_pred: Any, positive: Any) -> float:
+    """TP / (TP + FN) for the given positive class (0 when nothing to find)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    tp, __, fn = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true: Any, y_pred: Any, positive: Any) -> float:
+    """Harmonic mean of precision and recall for the positive class."""
+    p = precision(y_true, y_pred, positive)
+    r = recall(y_true, y_pred, positive)
+    return 2.0 * p * r / (p + r) if p + r else 0.0
+
+
+def macro_f1(y_true: Any, y_pred: Any) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    return float(np.mean([f1_score(y_true, y_pred, cls) for cls in classes]))
+
+
+def log_loss(y_true: Any, probs: Any, classes: Sequence) -> float:
+    """Mean cross-entropy given a (n, k) probability matrix and class order."""
+    y_true = np.asarray(y_true)
+    probs = np.asarray(probs, dtype=float)
+    classes = list(classes)
+    index = {cls: j for j, cls in enumerate(classes)}
+    picked = np.asarray(
+        [probs[i, index[label]] if label in index else 1e-12
+         for i, label in enumerate(y_true.tolist())]
+    )
+    return float(-np.mean(np.log(np.clip(picked, 1e-12, None))))
+
+
+def brier_score(y_true: Any, probs: Any, classes: Sequence) -> float:
+    """Mean squared error between one-hot truth and predicted probabilities."""
+    y_true = np.asarray(y_true)
+    probs = np.asarray(probs, dtype=float)
+    classes = list(classes)
+    onehot = np.zeros_like(probs)
+    index = {cls: j for j, cls in enumerate(classes)}
+    for i, label in enumerate(y_true.tolist()):
+        if label in index:
+            onehot[i, index[label]] = 1.0
+    return float(np.mean(np.sum((probs - onehot) ** 2, axis=1)))

@@ -1,0 +1,77 @@
+"""Group-fairness metrics (the paper's Figure 1 "Fairness Metric" panel).
+
+All metrics take a *group* array (the protected attribute, e.g. race or sex)
+and report a **difference**: 0 means perfectly fair, larger is worse. This
+directional convention is what :mod:`repro.importance.gopher` optimises when
+attributing unfairness back to training data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "group_rates",
+    "demographic_parity_difference",
+    "equalized_odds_difference",
+    "predictive_parity_difference",
+]
+
+
+def _check(y_true: Any, y_pred: Any, group: Any) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    group = np.asarray(group)
+    if not (len(y_true) == len(y_pred) == len(group)):
+        raise ValueError("y_true, y_pred and group must have equal length")
+    if len(y_true) == 0:
+        raise ValueError("empty inputs")
+    return y_true, y_pred, group
+
+
+def group_rates(y_true: Any, y_pred: Any, group: Any, positive: Any) -> dict:
+    """Per-group selection rate, TPR, FPR, and precision."""
+    y_true, y_pred, group = _check(y_true, y_pred, group)
+    out: dict = {}
+    for g in np.unique(group):
+        members = group == g
+        yt, yp = y_true[members], y_pred[members]
+        selected = yp == positive
+        actual = yt == positive
+        tp = np.sum(selected & actual)
+        out[g.item() if hasattr(g, "item") else g] = {
+            "selection_rate": float(np.mean(selected)),
+            "tpr": float(tp / actual.sum()) if actual.sum() else 0.0,
+            "fpr": float(np.sum(selected & ~actual) / (~actual).sum())
+            if (~actual).sum()
+            else 0.0,
+            "precision": float(tp / selected.sum()) if selected.sum() else 0.0,
+            "size": int(members.sum()),
+        }
+    return out
+
+
+def _max_gap(values: list[float]) -> float:
+    return float(max(values) - min(values)) if values else 0.0
+
+
+def demographic_parity_difference(y_true: Any, y_pred: Any, group: Any, positive: Any) -> float:
+    """Largest gap in positive-prediction rate between any two groups."""
+    rates = group_rates(y_true, y_pred, group, positive)
+    return _max_gap([r["selection_rate"] for r in rates.values()])
+
+
+def equalized_odds_difference(y_true: Any, y_pred: Any, group: Any, positive: Any) -> float:
+    """Largest TPR or FPR gap between any two groups (Hardt et al. style)."""
+    rates = group_rates(y_true, y_pred, group, positive)
+    tpr_gap = _max_gap([r["tpr"] for r in rates.values()])
+    fpr_gap = _max_gap([r["fpr"] for r in rates.values()])
+    return max(tpr_gap, fpr_gap)
+
+
+def predictive_parity_difference(y_true: Any, y_pred: Any, group: Any, positive: Any) -> float:
+    """Largest precision (positive predictive value) gap between groups."""
+    rates = group_rates(y_true, y_pred, group, positive)
+    return _max_gap([r["precision"] for r in rates.values()])

@@ -1,0 +1,37 @@
+"""Stability metrics (the paper's Figure 1 "Stability Metric" panel)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["prediction_entropy", "mean_prediction_entropy", "disagreement_rate"]
+
+
+def prediction_entropy(probs: Any) -> np.ndarray:
+    """Shannon entropy (nats) of each row of a probability matrix."""
+    probs = np.asarray(probs, dtype=float)
+    clipped = np.clip(probs, 1e-12, None)
+    return -np.sum(clipped * np.log(clipped), axis=1)
+
+
+def mean_prediction_entropy(probs: Any) -> float:
+    """Average prediction entropy — the scalar shown in Figure 1."""
+    return float(np.mean(prediction_entropy(probs)))
+
+
+def disagreement_rate(predictions: Sequence[Any]) -> float:
+    """Fraction of examples on which an ensemble of prediction vectors disagrees.
+
+    Used to quantify dataset-multiplicity instability: each element of
+    ``predictions`` is the label vector from a model trained on one possible
+    world.
+    """
+    arrays = [np.asarray(p) for p in predictions]
+    if len(arrays) < 2:
+        return 0.0
+    stacked = np.vstack(arrays)
+    reference = stacked[0]
+    unanimous = np.all(stacked == reference, axis=0)
+    return float(1.0 - np.mean(unanimous))

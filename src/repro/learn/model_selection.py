@@ -1,0 +1,111 @@
+"""Dataset splitting and cross-validation."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..frame import DataFrame
+from .base import Estimator, clone
+
+__all__ = ["train_test_split", "split_frame", "KFold", "cross_val_score"]
+
+
+def train_test_split(
+    X: Any,
+    y: Any,
+    test_size: float = 0.25,
+    seed: int | None = 0,
+    stratify: Any = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random (optionally stratified) split of an (X, y) pair."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y must have equal length")
+    train_idx, test_idx = _split_indices(len(y), test_size, seed, stratify)
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def _split_indices(
+    n: int, test_size: float, seed: int | None, stratify: Any
+) -> tuple[np.ndarray, np.ndarray]:
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    if stratify is None:
+        order = rng.permutation(n)
+        n_test = max(1, int(round(n * test_size)))
+        return np.sort(order[n_test:]), np.sort(order[:n_test])
+    strata = np.asarray(stratify)
+    test_parts = []
+    for value in np.unique(strata):
+        members = np.flatnonzero(strata == value)
+        members = rng.permutation(members)
+        n_test = max(1, int(round(len(members) * test_size)))
+        test_parts.append(members[:n_test])
+    test_idx = np.sort(np.concatenate(test_parts))
+    train_mask = np.ones(n, dtype=bool)
+    train_mask[test_idx] = False
+    return np.flatnonzero(train_mask), test_idx
+
+
+def split_frame(
+    frame: DataFrame,
+    fractions: tuple[float, ...] = (0.6, 0.2, 0.2),
+    seed: int | None = 0,
+) -> tuple[DataFrame, ...]:
+    """Split a DataFrame into consecutive random partitions (e.g. train/valid/test)."""
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError("fractions must sum to 1")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(frame.num_rows)
+    out = []
+    start = 0
+    for i, fraction in enumerate(fractions):
+        if i == len(fractions) - 1:
+            chunk = order[start:]
+        else:
+            size = int(round(frame.num_rows * fraction))
+            chunk = order[start : start + size]
+            start += size
+        out.append(frame.take(np.sort(chunk)))
+    return tuple(out)
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: int | None = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = int(n_splits)
+        self.shuffle = bool(shuffle)
+        self.seed = seed
+
+    def split(self, n: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} examples into {self.n_splits} folds")
+        indices = np.arange(n)
+        if self.shuffle:
+            indices = np.random.default_rng(self.seed).permutation(n)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = np.sort(folds[i])
+            train_idx = np.sort(np.concatenate([f for j, f in enumerate(folds) if j != i]))
+            yield train_idx, test_idx
+
+
+def cross_val_score(
+    model: Estimator, X: Any, y: Any, n_splits: int = 5, seed: int | None = 0
+) -> np.ndarray:
+    """Accuracy (or estimator-defined score) per fold."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in KFold(n_splits, seed=seed).split(len(y)):
+        fold_model = clone(model)
+        fold_model.fit(X[train_idx], y[train_idx])
+        scores.append(fold_model.score(X[test_idx], y[test_idx]))
+    return np.asarray(scores)

@@ -1,0 +1,51 @@
+"""Trivial baseline models."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..base import Estimator, check_matrix, check_xy
+
+__all__ = ["MajorityClassifier", "RandomClassifier"]
+
+
+class MajorityClassifier(Estimator):
+    """Always predicts the most frequent training label.
+
+    Serves as the floor in benchmark tables: a debugging intervention that
+    fails to beat this baseline did not help.
+    """
+
+    def fit(self, X: Any, y: Any) -> "MajorityClassifier":
+        __, y = check_xy(X, y)
+        self.classes_, counts = np.unique(y, return_counts=True)
+        self.majority_ = self.classes_[np.argmax(counts)]
+        self.prior_ = counts / counts.sum()
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._require_fitted()
+        return np.repeat(np.asarray([self.majority_]), len(check_matrix(X)))
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        self._require_fitted()
+        return np.tile(self.prior_, (len(check_matrix(X)), 1))
+
+
+class RandomClassifier(Estimator):
+    """Predicts labels uniformly at random from the training classes."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def fit(self, X: Any, y: Any) -> "RandomClassifier":
+        __, y = check_xy(X, y)
+        self.classes_ = np.unique(y)
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._require_fitted()
+        rng = np.random.default_rng(self.seed)
+        return rng.choice(self.classes_, size=len(check_matrix(X)))

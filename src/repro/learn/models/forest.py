@@ -1,0 +1,88 @@
+"""Bagged random forest on the CART substrate."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..base import Estimator, check_matrix, check_xy
+from .tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier(Estimator):
+    """Bootstrap-aggregated decision trees with feature subsampling.
+
+    Besides being a stronger model than a single CART, the forest matters to
+    this library as the model family behind HedgeCut-style unlearning and as
+    a bagging baseline for the certified-robustness comparisons.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        max_depth: int = 8,
+        max_features: float = 0.7,
+        min_samples_split: int = 2,
+        sample_fraction: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        if not 0.0 < max_features <= 1.0:
+            raise ValueError("max_features must be in (0, 1]")
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        self.n_trees = int(n_trees)
+        self.max_depth = int(max_depth)
+        self.max_features = float(max_features)
+        self.min_samples_split = int(min_samples_split)
+        # Bootstrap size as a fraction of n. Below 1.0 each tree sees fewer
+        # points — slightly weaker trees, but deletions touch fewer trees
+        # (the latency lever RemovalAwareForest exploits).
+        self.sample_fraction = float(sample_fraction)
+        self.seed = int(seed)
+
+    def fit(self, X: Any, y: Any) -> "RandomForestClassifier":
+        X, y = check_xy(X, y)
+        rng = np.random.default_rng(self.seed)
+        self.classes_ = np.unique(y)
+        n, d = X.shape
+        n_features = max(1, int(round(self.max_features * d)))
+        self.trees_ = []
+        self.feature_sets_ = []
+        sample_size = max(1, int(round(self.sample_fraction * n)))
+        for __ in range(self.n_trees):
+            rows = rng.integers(0, n, size=sample_size)  # bootstrap sample
+            columns = np.sort(rng.choice(d, size=n_features, replace=False))
+            ys = y[rows]
+            if len(np.unique(ys)) < 2:
+                self.trees_.append(("constant", ys[0]))
+                self.feature_sets_.append(columns)
+                continue
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth, min_samples_split=self.min_samples_split
+            ).fit(X[np.ix_(rows, columns)], ys)
+            self.trees_.append(("tree", tree))
+            self.feature_sets_.append(columns)
+        return self
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        index = {cls: j for j, cls in enumerate(self.classes_.tolist())}
+        votes = np.zeros((len(X), len(self.classes_)))
+        for (kind, member), columns in zip(self.trees_, self.feature_sets_):
+            if kind == "constant":
+                votes[:, index[member]] += 1.0
+            else:
+                predictions = member.predict(X[:, columns])
+                for i, label in enumerate(predictions.tolist()):
+                    votes[i, index[label]] += 1.0
+        return votes / self.n_trees
+
+    def predict(self, X: Any) -> np.ndarray:
+        probs = self.predict_proba(X)
+        return self.classes_[np.argmax(probs, axis=1)]

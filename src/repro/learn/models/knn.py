@@ -1,0 +1,88 @@
+"""Brute-force K-nearest-neighbour classifier.
+
+KNN plays a double role in the tutorial: it is both an ordinary model and the
+*proxy model* that makes Shapley-based data importance tractable
+(KNN-Shapley, Jia et al. [33]; Datascope [39]). The distance computation is
+factored out so :mod:`repro.importance.knn_shapley` can reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..base import Estimator, check_matrix, check_xy
+
+__all__ = ["KNeighborsClassifier", "pairwise_distances"]
+
+
+def pairwise_distances(A: np.ndarray, B: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Dense (len(A), len(B)) distance matrix."""
+    A = check_matrix(A)
+    B = check_matrix(B)
+    if metric == "euclidean":
+        # (a-b)^2 = a^2 + b^2 - 2ab, clipped against FP cancellation.
+        sq = (
+            np.sum(A * A, axis=1)[:, None]
+            + np.sum(B * B, axis=1)[None, :]
+            - 2.0 * (A @ B.T)
+        )
+        return np.sqrt(np.clip(sq, 0.0, None))
+    if metric == "manhattan":
+        return np.abs(A[:, None, :] - B[None, :, :]).sum(axis=2)
+    if metric == "cosine":
+        norm_a = np.linalg.norm(A, axis=1, keepdims=True)
+        norm_b = np.linalg.norm(B, axis=1, keepdims=True)
+        denom = np.clip(norm_a @ norm_b.T, 1e-12, None)
+        return 1.0 - (A @ B.T) / denom
+    raise ValueError(f"unknown metric: {metric!r}")
+
+
+class KNeighborsClassifier(Estimator):
+    """Majority vote over the ``k`` nearest training points.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours ``k``. Capped at the training-set size at
+        prediction time, so the classifier stays usable while importance
+        methods delete training points.
+    metric:
+        ``"euclidean"``, ``"manhattan"``, or ``"cosine"``.
+    """
+
+    def __init__(self, n_neighbors: int = 5, metric: str = "euclidean") -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = int(n_neighbors)
+        self.metric = metric
+
+    def fit(self, X: Any, y: Any) -> "KNeighborsClassifier":
+        X, y = check_xy(X, y)
+        self.X_ = X
+        self.y_ = y
+        self.classes_ = np.unique(y)
+        return self
+
+    def kneighbors(self, X: Any, n_neighbors: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Distances and training indices of each query's nearest neighbours."""
+        self._require_fitted()
+        k = min(n_neighbors or self.n_neighbors, len(self.X_))
+        distances = pairwise_distances(check_matrix(X), self.X_, self.metric)
+        order = np.argsort(distances, axis=1, kind="stable")[:, :k]
+        rows = np.arange(len(distances))[:, None]
+        return distances[rows, order], order
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        self._require_fitted()
+        __, neighbors = self.kneighbors(X)
+        votes = self.y_[neighbors]
+        probs = np.zeros((len(votes), len(self.classes_)))
+        for j, cls in enumerate(self.classes_):
+            probs[:, j] = np.mean(votes == cls, axis=1)
+        return probs
+
+    def predict(self, X: Any) -> np.ndarray:
+        probs = self.predict_proba(X)
+        return self.classes_[np.argmax(probs, axis=1)]

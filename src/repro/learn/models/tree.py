@@ -1,0 +1,164 @@
+"""CART decision-tree classifier (gini impurity, numeric features).
+
+Decision trees appear in the tutorial twice: as an ordinary model, and as the
+model class for which robustness to programmable data bias is certified
+(Meyer et al. [54]); :mod:`repro.uncertainty.multiplicity` retrains this tree
+across possible worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from ..base import Estimator, check_matrix, check_xy
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    """A binary split (or leaf when ``feature`` is None)."""
+
+    prediction: int  # index into classes_
+    proba: np.ndarray  # class distribution at the node
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTreeClassifier(Estimator):
+    """Greedy CART with gini impurity and midpoint thresholds.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_split:
+        Do not split nodes smaller than this.
+    min_impurity_decrease:
+        Minimum gini gain required to accept a split.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_impurity_decrease: float = 0.0,
+    ) -> None:
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_impurity_decrease = float(min_impurity_decrease)
+
+    def fit(self, X: Any, y: Any) -> "DecisionTreeClassifier":
+        X, y = check_xy(X, y)
+        self.classes_, y_index = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        self.root_ = self._build(X, y_index, depth=0)
+        return self
+
+    def _class_counts(self, y_index: np.ndarray) -> np.ndarray:
+        return np.bincount(y_index, minlength=len(self.classes_)).astype(float)
+
+    def _best_split(
+        self, X: np.ndarray, y_index: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        """Best (feature, threshold, gain) over all features, or None."""
+        n = len(y_index)
+        parent_counts = self._class_counts(y_index)
+        parent_impurity = _gini(parent_counts)
+        best: tuple[int, float, float] | None = None
+        for feature in range(X.shape[1]):
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            ys = y_index[order]
+            left_counts = np.zeros_like(parent_counts)
+            right_counts = parent_counts.copy()
+            for i in range(n - 1):
+                left_counts[ys[i]] += 1
+                right_counts[ys[i]] -= 1
+                if xs[i] == xs[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n - n_left
+                gain = parent_impurity - (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n
+                if best is None or gain > best[2]:
+                    threshold = 0.5 * (xs[i] + xs[i + 1])
+                    best = (feature, float(threshold), float(gain))
+        return best
+
+    def _build(self, X: np.ndarray, y_index: np.ndarray, depth: int) -> _Node:
+        counts = self._class_counts(y_index)
+        proba = counts / counts.sum()
+        node = _Node(prediction=int(np.argmax(counts)), proba=proba)
+        if (
+            depth >= self.max_depth
+            or len(y_index) < self.min_samples_split
+            or len(np.unique(y_index)) == 1
+        ):
+            return node
+        split = self._best_split(X, y_index)
+        if split is None or split[2] <= self.min_impurity_decrease:
+            return node
+        feature, threshold, __ = split
+        goes_left = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[goes_left], y_index[goes_left], depth + 1)
+        node.right = self._build(X[~goes_left], y_index[~goes_left], depth + 1)
+        return node
+
+    def _route(self, x: np.ndarray) -> _Node:
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        idx = np.asarray([self._route(x).prediction for x in X])
+        return self.classes_[idx]
+
+    def predict_proba(self, X: Any) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        return np.vstack([self._route(x).proba for x in X])
+
+    def depth(self) -> int:
+        """Realised depth of the fitted tree."""
+        self._require_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    def node_count(self) -> int:
+        self._require_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + walk(node.left) + walk(node.right)
+
+        return walk(self.root_)

@@ -1,0 +1,19 @@
+"""Feature preprocessing: scaling, encoding, imputation, composition."""
+
+from .compose import ColumnTransformer, FunctionTransformer, Pipeline
+from .encoders import OneHotEncoder, OrdinalEncoder, as_cells
+from .imputers import CellImputer, SimpleImputer
+from .scalers import MinMaxScaler, StandardScaler
+
+__all__ = [
+    "ColumnTransformer",
+    "FunctionTransformer",
+    "Pipeline",
+    "OneHotEncoder",
+    "OrdinalEncoder",
+    "as_cells",
+    "CellImputer",
+    "SimpleImputer",
+    "MinMaxScaler",
+    "StandardScaler",
+]

@@ -1,0 +1,155 @@
+"""Composite transformers: chains and per-column feature encoding.
+
+``ColumnTransformer`` is the bridge between the relational world
+(:class:`repro.frame.DataFrame`) and the vector world (NumPy matrices) — the
+"Encode/Concat" stage of the pipeline sketched in the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ...frame import DataFrame
+from ..base import Transformer, check_matrix
+
+__all__ = ["FunctionTransformer", "Pipeline", "ColumnTransformer"]
+
+
+class FunctionTransformer(Transformer):
+    """Wrap a stateless function as a transformer."""
+
+    def __init__(self, func: Callable[[Any], Any]) -> None:
+        self.func = func
+
+    def fit(self, X: Any, y: Any = None) -> "FunctionTransformer":
+        self.fitted_ = True
+        return self
+
+    def transform(self, X: Any) -> Any:
+        return self.func(X)
+
+
+class Pipeline(Transformer):
+    """A chain of transformers applied in sequence.
+
+    Unlike scikit-learn's ``Pipeline`` this one is a pure feature chain (no
+    terminal estimator); model training is an explicit pipeline *operator* in
+    :mod:`repro.pipeline` so that provenance can flow past it.
+    """
+
+    def __init__(self, steps: Sequence[Transformer]) -> None:
+        self.steps = list(steps)
+
+    def fit(self, X: Any, y: Any = None) -> "Pipeline":
+        data = X
+        for step in self.steps:
+            data = step.fit_transform(data, y)
+        self.fitted_ = True
+        return self
+
+    def transform(self, X: Any) -> Any:
+        data = X
+        for step in self.steps:
+            data = step.transform(data)
+        return data
+
+    def fit_transform(self, X: Any, y: Any = None) -> Any:
+        data = X
+        for step in self.steps:
+            data = step.fit_transform(data, y)
+        self.fitted_ = True
+        return data
+
+
+class ColumnTransformer(Transformer):
+    """Apply per-column transformers to a DataFrame and concatenate outputs.
+
+    Parameters
+    ----------
+    transformers:
+        Sequence of ``(transformer, columns)`` pairs. ``columns`` is a single
+        column name (the transformer receives the raw cell list) or a list of
+        names (the transformer receives a dense float matrix).
+    remainder:
+        ``"drop"`` (default) or ``"passthrough"`` — whether unreferenced
+        *numeric* columns are appended unchanged.
+    """
+
+    def __init__(
+        self,
+        transformers: Sequence[tuple[Transformer, str | Sequence[str]]],
+        remainder: str = "drop",
+    ) -> None:
+        if remainder not in ("drop", "passthrough"):
+            raise ValueError(f"unknown remainder policy: {remainder!r}")
+        self.transformers = list(transformers)
+        self.remainder = remainder
+
+    def _referenced(self) -> set[str]:
+        names: set[str] = set()
+        for __, columns in self.transformers:
+            if isinstance(columns, str):
+                names.add(columns)
+            else:
+                names.update(columns)
+        return names
+
+    def _extract(self, frame: DataFrame, columns: str | Sequence[str]) -> Any:
+        if isinstance(columns, str):
+            return frame.column(columns)
+        return frame.to_numpy(list(columns))
+
+    def _passthrough_columns(self, frame: DataFrame) -> list[str]:
+        used = self._referenced()
+        return [
+            name
+            for name in frame.columns
+            if name not in used and frame.column(name).is_numeric
+        ]
+
+    def fit(self, X: DataFrame, y: Any = None) -> "ColumnTransformer":
+        self.fit_transform(X, y)
+        return self
+
+    def _as_block(self, output: Any, n_rows: int) -> np.ndarray:
+        block = np.asarray(output, dtype=float)
+        if block.ndim == 1:
+            block = block.reshape(-1, 1)
+        if block.shape[0] != n_rows:
+            raise ValueError(
+                f"transformer produced {block.shape[0]} rows, expected {n_rows}"
+            )
+        return block
+
+    def fit_transform(self, X: DataFrame, y: Any = None) -> np.ndarray:
+        if not isinstance(X, DataFrame):
+            raise TypeError("ColumnTransformer operates on DataFrame inputs")
+        blocks = []
+        for transformer, columns in self.transformers:
+            output = transformer.fit_transform(self._extract(X, columns), y)
+            blocks.append(self._as_block(output, X.num_rows))
+        if self.remainder == "passthrough":
+            self.passthrough_ = self._passthrough_columns(X)
+            if self.passthrough_:
+                blocks.append(X.to_numpy(self.passthrough_))
+        else:
+            self.passthrough_ = []
+        self.n_features_out_ = int(sum(b.shape[1] for b in blocks))
+        self.fitted_ = True
+        return np.hstack(blocks) if blocks else np.empty((X.num_rows, 0))
+
+    def transform(self, X: DataFrame) -> np.ndarray:
+        self._require_fitted()
+        blocks = []
+        for transformer, columns in self.transformers:
+            output = transformer.transform(self._extract(X, columns))
+            blocks.append(self._as_block(output, X.num_rows))
+        if self.passthrough_:
+            blocks.append(X.to_numpy(self.passthrough_))
+        return np.hstack(blocks) if blocks else np.empty((X.num_rows, 0))
+
+    def _require_fitted(self) -> None:
+        if not getattr(self, "fitted_", False):
+            raise RuntimeError("ColumnTransformer is not fitted")

@@ -1,0 +1,76 @@
+"""Categorical feature encoders.
+
+Encoders accept 1-D sequences of raw cell values (Python lists, NumPy
+arrays, or :class:`repro.frame.Column` objects) where ``None`` marks a
+missing cell, and emit dense float matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ...frame import Column
+from ..base import Transformer
+
+__all__ = ["OneHotEncoder", "OrdinalEncoder", "as_cells"]
+
+
+def as_cells(values: Any) -> list:
+    """Normalise input into a list of cells with ``None`` for missing."""
+    if isinstance(values, Column):
+        return values.to_list()
+    if isinstance(values, np.ndarray):
+        if values.ndim == 2 and values.shape[1] == 1:
+            values = values[:, 0]
+        return [None if (isinstance(v, float) and np.isnan(v)) else v for v in values.tolist()]
+    return list(values)
+
+
+class OneHotEncoder(Transformer):
+    """One-hot encoding with a fixed category vocabulary learned at fit time.
+
+    Unseen categories at transform time map to the all-zeros row (like
+    scikit-learn's ``handle_unknown="ignore"``), as do missing cells — data
+    errors must not crash the pipeline, only degrade it measurably.
+    """
+
+    def fit(self, X: Any, y: Any = None) -> "OneHotEncoder":
+        cells = as_cells(X)
+        self.categories_ = sorted({c for c in cells if c is not None}, key=str)
+        self.index_ = {c: j for j, c in enumerate(self.categories_)}
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        cells = as_cells(X)
+        out = np.zeros((len(cells), len(self.categories_)))
+        for i, cell in enumerate(cells):
+            j = self.index_.get(cell)
+            if j is not None:
+                out[i, j] = 1.0
+        return out
+
+    def feature_names(self, prefix: str = "") -> list[str]:
+        return [f"{prefix}{c}" for c in self.categories_]
+
+
+class OrdinalEncoder(Transformer):
+    """Map categories to consecutive integers (unknown/missing → -1)."""
+
+    def __init__(self, order: Sequence[Any] | None = None) -> None:
+        self.order = list(order) if order is not None else None
+
+    def fit(self, X: Any, y: Any = None) -> "OrdinalEncoder":
+        if self.order is not None:
+            self.categories_ = list(self.order)
+        else:
+            cells = as_cells(X)
+            self.categories_ = sorted({c for c in cells if c is not None}, key=str)
+        self.index_ = {c: j for j, c in enumerate(self.categories_)}
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        cells = as_cells(X)
+        codes = [float(self.index_.get(cell, -1)) for cell in cells]
+        return np.asarray(codes).reshape(-1, 1)

@@ -1,0 +1,94 @@
+"""Missing-value imputation.
+
+Imputation is the *baseline* repair strategy the tutorial contrasts with
+uncertainty-aware learning (Figure 4): Zorro propagates missing values
+symbolically, while ``SimpleImputer`` commits to a single best-guess world.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+import numpy as np
+
+from ..base import Transformer, check_matrix
+from .encoders import as_cells
+
+__all__ = ["SimpleImputer", "CellImputer"]
+
+
+class SimpleImputer(Transformer):
+    """Column-wise imputation on numeric matrices.
+
+    Parameters
+    ----------
+    strategy:
+        ``"mean"``, ``"median"``, ``"most_frequent"``, or ``"constant"``.
+    fill_value:
+        Used when ``strategy="constant"``.
+    """
+
+    _STRATEGIES = ("mean", "median", "most_frequent", "constant")
+
+    def __init__(self, strategy: str = "mean", fill_value: float = 0.0) -> None:
+        if strategy not in self._STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; have {self._STRATEGIES}")
+        self.strategy = strategy
+        self.fill_value = float(fill_value)
+
+    def fit(self, X: Any, y: Any = None) -> "SimpleImputer":
+        X = check_matrix(X)
+        fills = np.empty(X.shape[1])
+        for j in range(X.shape[1]):
+            present = X[~np.isnan(X[:, j]), j]
+            if self.strategy == "constant" or present.size == 0:
+                fills[j] = self.fill_value
+            elif self.strategy == "mean":
+                fills[j] = present.mean()
+            elif self.strategy == "median":
+                fills[j] = np.median(present)
+            else:  # most_frequent
+                values, counts = np.unique(present, return_counts=True)
+                fills[j] = values[np.argmax(counts)]
+        self.statistics_ = fills
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        X = check_matrix(X).copy()
+        for j in range(X.shape[1]):
+            missing = np.isnan(X[:, j])
+            X[missing, j] = self.statistics_[j]
+        return X
+
+
+class CellImputer(Transformer):
+    """Imputation over raw cells (numeric *or* categorical).
+
+    The paper's Figure 3 pipeline applies ``Imputer()`` to the string-typed
+    ``degree`` column before one-hot encoding; this transformer covers that
+    case by imputing the most frequent cell for non-numeric data.
+    """
+
+    def __init__(self, strategy: str = "most_frequent", fill_value: Any = None) -> None:
+        if strategy not in ("most_frequent", "constant", "mean", "median"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self.fill_value = fill_value
+
+    def fit(self, X: Any, y: Any = None) -> "CellImputer":
+        cells = [c for c in as_cells(X) if c is not None]
+        if self.strategy == "constant":
+            self.fill_ = self.fill_value
+        elif not cells:
+            self.fill_ = self.fill_value
+        elif self.strategy == "most_frequent":
+            self.fill_ = Counter(cells).most_common(1)[0][0]
+        elif self.strategy == "mean":
+            self.fill_ = float(np.mean([float(c) for c in cells]))
+        else:  # median
+            self.fill_ = float(np.median([float(c) for c in cells]))
+        return self
+
+    def transform(self, X: Any) -> list:
+        return [self.fill_ if c is None else c for c in as_cells(X)]

@@ -1,0 +1,65 @@
+"""Feature scaling transformers."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..base import Transformer, check_matrix
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler(Transformer):
+    """Standardise features to zero mean and unit variance.
+
+    NaN cells are ignored when computing statistics and passed through
+    unchanged, so the scaler composes with downstream imputation and with
+    the symbolic (interval) executor in :mod:`repro.uncertainty`.
+    """
+
+    def fit(self, X: Any, y: Any = None) -> "StandardScaler":
+        X = check_matrix(X)
+        if len(X) == 0:
+            # Zero-row fit (a pipeline that filtered everything away):
+            # identity scaling keeps downstream transform() well-defined.
+            self.mean_ = np.zeros(X.shape[1])
+            self.scale_ = np.ones(X.shape[1])
+            return self
+        with np.errstate(all="ignore"):
+            self.mean_ = np.nanmean(X, axis=0)
+            std = np.nanstd(X, axis=0)
+        # Columns with no observed values standardise as identity.
+        self.mean_ = np.where(np.isnan(self.mean_), 0.0, self.mean_)
+        self.scale_ = np.where(np.isnan(std) | (std <= 0), 1.0, std)
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        X = check_matrix(X)
+        return (X - self.mean_) / self.scale_
+
+    def inverse_transform(self, X: Any) -> np.ndarray:
+        X = check_matrix(X)
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler(Transformer):
+    """Scale features into [0, 1] using the training min/max."""
+
+    def fit(self, X: Any, y: Any = None) -> "MinMaxScaler":
+        X = check_matrix(X)
+        if len(X) == 0:
+            self.min_ = np.zeros(X.shape[1])
+            self.span_ = np.ones(X.shape[1])
+            return self
+        with np.errstate(all="ignore"):
+            self.min_ = np.nanmin(X, axis=0)
+            span = np.nanmax(X, axis=0) - self.min_
+        self.min_ = np.where(np.isnan(self.min_), 0.0, self.min_)
+        self.span_ = np.where(np.isnan(span) | (span <= 0), 1.0, span)
+        return self
+
+    def transform(self, X: Any) -> np.ndarray:
+        X = check_matrix(X)
+        return (X - self.min_) / self.span_

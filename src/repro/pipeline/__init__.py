@@ -1,0 +1,113 @@
+"""ML-pipeline representation, provenance, and debugging (survey Section 2.2).
+
+- :mod:`operators` / :mod:`execute`: the operator DAG and its provenance-
+  tracking executor.
+- :mod:`plan`: query-plan rendering (``show_query_plan``).
+- :mod:`datascope`: Shapley importance over pipelines via the KNN proxy.
+- :mod:`inspections` / :mod:`screening`: mlinspect-style checks and
+  ArgusEyes-style CI screening.
+- :mod:`complaints`: Rain-style complaint-driven data debugging.
+"""
+
+from .complaints import Complaint, ComplaintResolution, resolve_complaint
+from .datascope import SourceImportance, datascope_importance
+from .drift import categorical_drift, drift_report, label_balance_shift, numeric_drift
+from .execute import PipelineResult, execute, incremental_append, with_provenance
+from .expectations import (
+    Expectation,
+    ExpectationResult,
+    Schema,
+    ValidationReport,
+    expect_column_mean_between,
+    expect_complete,
+    expect_in_range,
+    expect_in_set,
+    expect_matches,
+    expect_unique,
+    infer_schema,
+    run_expectations,
+    validate_schema,
+)
+from .inspections import (
+    Issue,
+    feature_constant_screen,
+    group_shrinkage,
+    join_match_rate,
+    label_error_screen,
+    missing_value_report,
+    train_test_overlap,
+)
+from .operators import (
+    EncodeNode,
+    FilterNode,
+    JoinNode,
+    MapNode,
+    Node,
+    PipelinePlan,
+    ProjectNode,
+    SourceNode,
+)
+from .plan import plan_summary, render_plan, show_query_plan
+from .provenance import Provenance
+from .screening import PipelineScreener, ScreeningReport
+from .search import SearchDimension, SearchResult, greedy_search, grid_search
+from .templates import letters_pipeline
+from .whatif import WhatIfReport, WhatIfVariant, run_what_if
+
+__all__ = [
+    "Complaint",
+    "ComplaintResolution",
+    "resolve_complaint",
+    "SourceImportance",
+    "datascope_importance",
+    "categorical_drift",
+    "drift_report",
+    "label_balance_shift",
+    "numeric_drift",
+    "PipelineResult",
+    "execute",
+    "incremental_append",
+    "with_provenance",
+    "Expectation",
+    "ExpectationResult",
+    "Schema",
+    "ValidationReport",
+    "expect_column_mean_between",
+    "expect_complete",
+    "expect_in_range",
+    "expect_in_set",
+    "expect_matches",
+    "expect_unique",
+    "infer_schema",
+    "run_expectations",
+    "validate_schema",
+    "Issue",
+    "feature_constant_screen",
+    "group_shrinkage",
+    "join_match_rate",
+    "label_error_screen",
+    "missing_value_report",
+    "train_test_overlap",
+    "EncodeNode",
+    "FilterNode",
+    "JoinNode",
+    "MapNode",
+    "Node",
+    "PipelinePlan",
+    "ProjectNode",
+    "SourceNode",
+    "plan_summary",
+    "render_plan",
+    "show_query_plan",
+    "Provenance",
+    "PipelineScreener",
+    "ScreeningReport",
+    "SearchDimension",
+    "SearchResult",
+    "greedy_search",
+    "grid_search",
+    "letters_pipeline",
+    "WhatIfReport",
+    "WhatIfVariant",
+    "run_what_if",
+]

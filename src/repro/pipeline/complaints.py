@@ -1,0 +1,144 @@
+"""Complaint-driven training-data debugging (Rain: Wu et al. [83], Flokas et al. [20]).
+
+A *complaint* states that a specific prediction is wrong ("this applicant's
+letter should have been classified negative"). The debugger searches for a
+small set of training tuples whose removal fixes the complaint, using an
+importance ranking targeted at the complained-about point as the candidate
+order — the interactive-speed strategy of the Rain line of work, with exact
+retraining as the verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..learn.base import Estimator, clone
+from ..importance.knn_shapley import knn_shapley
+
+__all__ = ["Complaint", "ComplaintResolution", "resolve_complaint"]
+
+
+@dataclass
+class Complaint:
+    """One disputed prediction: the model should output ``expected_label``."""
+
+    x: np.ndarray
+    expected_label: Any
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=float).reshape(-1)
+
+    def is_satisfied(self, model: Estimator) -> bool:
+        prediction = model.predict(self.x.reshape(1, -1))[0]
+        return bool(prediction == self.expected_label)
+
+
+@dataclass
+class ComplaintResolution:
+    """Result of a complaint-debugging session."""
+
+    resolved: bool
+    removed_positions: np.ndarray
+    n_retrainings: int
+    accuracy_before: float | None = None
+    accuracy_after: float | None = None
+    trace: list[dict] = field(default_factory=list)
+
+
+def resolve_complaint(
+    model: Estimator,
+    x_train: Any,
+    y_train: Any,
+    complaint: Complaint,
+    max_removals: int = 25,
+    batch_size: int = 5,
+    x_holdout: Any = None,
+    y_holdout: Any = None,
+    k: int = 5,
+) -> ComplaintResolution:
+    """Remove low-importance training points until the complaint is fixed.
+
+    Candidates are ranked by KNN-Shapley importance *with respect to the
+    complaint alone* (validation set = the single disputed point with its
+    expected label): tuples that push the model away from the expected label
+    get negative values and are removed first, in batches, with a full
+    retraining after each batch to verify.
+
+    Returns the removal set (possibly empty if the initial model already
+    satisfies the complaint) and, when a holdout set is supplied, the
+    collateral accuracy change.
+    """
+    x_train = np.asarray(x_train, dtype=float)
+    y_train = np.asarray(y_train)
+    fitted = clone(model).fit(x_train, y_train)
+    n_retrainings = 1
+    accuracy_before = (
+        float(fitted.score(np.asarray(x_holdout, float), np.asarray(y_holdout)))
+        if x_holdout is not None
+        else None
+    )
+    if complaint.is_satisfied(fitted):
+        return ComplaintResolution(
+            resolved=True,
+            removed_positions=np.empty(0, dtype=np.int64),
+            n_retrainings=n_retrainings,
+            accuracy_before=accuracy_before,
+            accuracy_after=accuracy_before,
+        )
+
+    targeted = knn_shapley(
+        x_train,
+        y_train,
+        complaint.x.reshape(1, -1),
+        np.asarray([complaint.expected_label]),
+        k=k,
+    )
+    order = np.argsort(targeted.values, kind="stable")  # most harmful first
+    trace: list[dict] = []
+    removed: list[int] = []
+    keep = np.ones(len(y_train), dtype=bool)
+    for start in range(0, min(max_removals, len(order)), batch_size):
+        batch = order[start : start + batch_size]
+        # Only remove points that actively harm the complaint.
+        batch = batch[targeted.values[batch] < 0]
+        if len(batch) == 0:
+            break
+        removed.extend(int(b) for b in batch)
+        keep[batch] = False
+        if len(np.unique(y_train[keep])) < 2:
+            keep[batch] = True  # undo: cannot train a one-class model
+            break
+        fitted = clone(model).fit(x_train[keep], y_train[keep])
+        n_retrainings += 1
+        satisfied = complaint.is_satisfied(fitted)
+        trace.append({"n_removed": len(removed), "satisfied": satisfied})
+        if satisfied:
+            accuracy_after = (
+                float(fitted.score(np.asarray(x_holdout, float), np.asarray(y_holdout)))
+                if x_holdout is not None
+                else None
+            )
+            return ComplaintResolution(
+                resolved=True,
+                removed_positions=np.asarray(removed, dtype=np.int64),
+                n_retrainings=n_retrainings,
+                accuracy_before=accuracy_before,
+                accuracy_after=accuracy_after,
+                trace=trace,
+            )
+    accuracy_after = (
+        float(fitted.score(np.asarray(x_holdout, float), np.asarray(y_holdout)))
+        if x_holdout is not None
+        else None
+    )
+    return ComplaintResolution(
+        resolved=False,
+        removed_positions=np.asarray(removed, dtype=np.int64),
+        n_retrainings=n_retrainings,
+        accuracy_before=accuracy_before,
+        accuracy_after=accuracy_after,
+        trace=trace,
+    )

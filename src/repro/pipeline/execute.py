@@ -1,0 +1,226 @@
+"""Provenance-tracking pipeline execution.
+
+:func:`execute` walks an operator DAG, carrying a
+:class:`~repro.pipeline.provenance.Provenance` alongside every intermediate
+frame. The result bundles the encoded training matrix, labels, pre-encode
+frame, and the output-row-to-source-tuple provenance — everything the
+debugging tools of Section 2.2 consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..frame import DataFrame
+from .operators import (
+    EncodeNode,
+    FilterNode,
+    JoinNode,
+    MapNode,
+    Node,
+    PipelinePlan,
+    ProjectNode,
+    SourceNode,
+)
+from .provenance import Provenance
+
+__all__ = ["PipelineResult", "execute", "with_provenance", "incremental_append"]
+
+
+@dataclass
+class PipelineResult:
+    """Everything produced by one pipeline run.
+
+    Attributes
+    ----------
+    X, y:
+        Encoded feature matrix and label vector (None if the sink is not an
+        :class:`EncodeNode`).
+    frame:
+        The relational output immediately before encoding.
+    provenance:
+        Why-provenance of each output row (aligned with ``X`` / ``frame``).
+    sink:
+        The executed sink node; ``sink.encoder`` holds the *fitted* feature
+        encoder after a ``fit=True`` run.
+    """
+
+    frame: DataFrame
+    provenance: Provenance
+    sink: Node
+    X: np.ndarray | None = None
+    y: np.ndarray | None = None
+    intermediates: dict[int, int] = field(default_factory=dict)  # node id -> rows
+
+    @property
+    def n_rows(self) -> int:
+        return self.frame.num_rows
+
+    def remove_source_rows(
+        self, source: str, row_ids: Any
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Training matrix with every output row descending from the given
+        source tuples dropped — *without re-running the pipeline*.
+
+        This is the provenance shortcut (the paper's ``nde.remove``): because
+        our operators are monotone (select-project-join), deleting a source
+        tuple simply deletes the output rows whose why-provenance contains
+        it, so the encoded matrix can be edited in place.
+        """
+        if self.X is None or self.y is None:
+            raise RuntimeError("pipeline result has no encoded output")
+        affected = self.provenance.outputs_of(source, np.asarray(row_ids).tolist())
+        keep = np.ones(len(self.X), dtype=bool)
+        keep[affected] = False
+        return self.X[keep], self.y[keep]
+
+    def source_positions(self, source: str) -> np.ndarray:
+        """Source row id contributing to each output row (one per row)."""
+        return self.provenance.source_row_ids(source)
+
+
+def _run_node(
+    node: Node,
+    sources: Mapping[str, DataFrame],
+    fit: bool,
+    cache: dict[int, tuple[DataFrame, Provenance]],
+) -> tuple[DataFrame, Provenance]:
+    if node.id in cache:
+        return cache[node.id]
+
+    if isinstance(node, SourceNode):
+        if node.name not in sources:
+            raise KeyError(
+                f"no input bound for source {node.name!r}; have {sorted(sources)}"
+            )
+        frame = sources[node.name]
+        result = (frame, Provenance.for_source(node.name, frame.row_ids))
+    elif isinstance(node, JoinNode):
+        left_frame, left_prov = _run_node(node.inputs[0], sources, fit, cache)
+        right_frame, right_prov = _run_node(node.inputs[1], sources, fit, cache)
+        joined, lpos, rpos = left_frame.join(
+            right_frame,
+            on=node.on,
+            how=node.how,
+            suffix=node.suffix,
+            fuzzy=node.fuzzy,
+            return_indices=True,
+        )
+        out_prov_rows = []
+        for lp, rp in zip(lpos, rpos):
+            row = left_prov.tuples[int(lp)]
+            if rp >= 0:
+                row = row | right_prov.tuples[int(rp)]
+            out_prov_rows.append(row)
+        result = (joined, Provenance(out_prov_rows))
+    elif isinstance(node, FilterNode):
+        frame, prov = _run_node(node.inputs[0], sources, fit, cache)
+        mask = np.asarray(node.predicate(frame), dtype=bool)
+        positions = np.flatnonzero(mask)
+        result = (frame.take(positions), prov.take(positions))
+    elif isinstance(node, MapNode):
+        frame, prov = _run_node(node.inputs[0], sources, fit, cache)
+        out = frame.copy()
+        out[node.name] = node.func(frame)
+        result = (out, prov)
+    elif isinstance(node, ProjectNode):
+        frame, prov = _run_node(node.inputs[0], sources, fit, cache)
+        result = (frame.select(node.columns), prov)
+    elif isinstance(node, EncodeNode):
+        # Handled by the caller (needs to produce X/y, not a frame).
+        raise TypeError("EncodeNode must be the sink; execute() handles it")
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown node type: {type(node).__name__}")
+
+    cache[node.id] = result
+    return result
+
+
+def execute(
+    sink: Node,
+    sources: Mapping[str, DataFrame],
+    fit: bool = True,
+    cache: dict[int, tuple[DataFrame, Provenance]] | None = None,
+) -> PipelineResult:
+    """Run the pipeline ending at ``sink`` over concrete source frames.
+
+    Parameters
+    ----------
+    fit:
+        When True, feature encoders are (re)fitted on this run's data; when
+        False they must already be fitted (used to push validation/test data
+        through a pipeline fitted on training data).
+    cache:
+        Optional node-result cache keyed by node id. Passing the same dict
+        across several ``execute`` calls shares the work of common subplans —
+        the mechanism behind what-if analysis (:mod:`repro.pipeline.whatif`).
+        Only valid when the calls bind the *same* source frames.
+    """
+    if cache is None:
+        cache = {}
+    if isinstance(sink, EncodeNode):
+        frame, prov = _run_node(sink.inputs[0], sources, fit, cache)
+        if fit:
+            X = sink.encoder.fit_transform(frame)
+        else:
+            X = sink.encoder.transform(frame)
+        y = np.asarray(frame.column(sink.label_column).to_list())
+        result = PipelineResult(frame=frame, provenance=prov, sink=sink, X=X, y=y)
+    else:
+        frame, prov = _run_node(sink, sources, fit, cache)
+        result = PipelineResult(frame=frame, provenance=prov, sink=sink)
+    reachable = {node.id for node in sink.plan.topological_order(sink)}
+    result.intermediates = {
+        nid: len(entry[1]) for nid, entry in cache.items() if nid in reachable
+    }
+    return result
+
+
+def with_provenance(
+    sink: Node, sources: Mapping[str, DataFrame]
+) -> tuple[np.ndarray, np.ndarray, Provenance, PipelineResult]:
+    """Paper-style convenience: ``X, y, prov = nde.with_provenance(pipeline(...))``."""
+    result = execute(sink, sources, fit=True)
+    if result.X is None:
+        raise TypeError("with_provenance requires a pipeline ending in encode()")
+    return result.X, result.y, result.provenance, result
+
+
+def incremental_append(
+    result: PipelineResult, delta_sources: Mapping[str, DataFrame]
+) -> PipelineResult:
+    """Maintain a pipeline output when new rows arrive at a source.
+
+    The survey's Debug take-away points at incremental view maintenance:
+    because every relational operator here is monotone (select-project-join),
+    appending rows to a source only *adds* output rows. The delta is computed
+    by pushing just the new rows through the fitted pipeline (``fit=False``)
+    and concatenating — no re-processing of the existing data.
+
+    Parameters
+    ----------
+    result:
+        A previous run whose encoders are already fitted.
+    delta_sources:
+        The same source bindings as the original run, except the appended
+        source(s) contain *only the new rows* (with fresh row ids).
+
+    Returns a result equal to re-running the pipeline over the concatenated
+    sources with ``fit=False`` (a property the tests verify).
+    """
+    if result.X is None or result.y is None:
+        raise ValueError("incremental_append requires an encoded pipeline result")
+    delta = execute(result.sink, delta_sources, fit=False)
+    combined_frame = DataFrame.concat_rows([result.frame, delta.frame])
+    combined_prov = Provenance.concat([result.provenance, delta.provenance])
+    return PipelineResult(
+        frame=combined_frame,
+        provenance=combined_prov,
+        sink=result.sink,
+        X=np.vstack([result.X, delta.X]),
+        y=np.concatenate([result.y, delta.y]),
+        intermediates=dict(result.intermediates),
+    )

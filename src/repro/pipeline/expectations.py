@@ -1,0 +1,337 @@
+"""Declarative data validation (Deequ / TFDV / Great-Expectations style).
+
+Section 2.2 cites "data validation for machine learning" (Polyzotis et al.
+[64]): production pipelines guard their inputs with *declarative
+expectations* — unit tests for data — and with schemas inferred from a
+reference dataset and enforced on every new batch. This module provides
+both:
+
+- :class:`Expectation`\\ s: composable column constraints (completeness,
+  uniqueness, ranges, value sets, patterns, statistics) evaluated into a
+  :class:`ValidationReport`;
+- :func:`infer_schema` / :func:`validate_schema`: TFDV-style schema
+  inference from a clean reference frame and drift-tolerant enforcement.
+
+Both plug into :class:`repro.pipeline.screening.PipelineScreener` via
+``extra_checks`` so a pipeline can be gated on its *input* contracts, not
+only its output statistics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..frame import DataFrame
+from .inspections import Issue
+
+__all__ = [
+    "Expectation",
+    "ExpectationResult",
+    "ValidationReport",
+    "run_expectations",
+    "expect_complete",
+    "expect_unique",
+    "expect_in_range",
+    "expect_in_set",
+    "expect_matches",
+    "expect_column_mean_between",
+    "Schema",
+    "infer_schema",
+    "validate_schema",
+]
+
+
+@dataclass
+class ExpectationResult:
+    """Outcome of evaluating one expectation on one frame."""
+
+    name: str
+    column: str
+    passed: bool
+    observed: Any
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}({self.column}): {self.detail}"
+
+
+@dataclass
+class Expectation:
+    """A named predicate over one column of a frame."""
+
+    name: str
+    column: str
+    check: Callable[[DataFrame], ExpectationResult]
+
+    def evaluate(self, frame: DataFrame) -> ExpectationResult:
+        if self.column not in frame:
+            return ExpectationResult(
+                name=self.name,
+                column=self.column,
+                passed=False,
+                observed=None,
+                detail=f"column {self.column!r} is missing from the frame",
+            )
+        return self.check(frame)
+
+
+@dataclass
+class ValidationReport:
+    """All expectation results for one frame."""
+
+    results: list[ExpectationResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def failures(self) -> list[ExpectationResult]:
+        return [r for r in self.results if not r.passed]
+
+    def render(self) -> str:
+        header = "validation: " + ("PASS" if self.passed else "FAIL")
+        return "\n".join([header] + [f"  {r}" for r in self.results])
+
+    def as_issues(self) -> list[Issue]:
+        """Adapt failures into screening issues (for PipelineScreener)."""
+        return [
+            Issue(
+                check=f"expectation:{r.name}",
+                severity="error",
+                message=f"{r.column}: {r.detail}",
+                details={"observed": r.observed},
+            )
+            for r in self.failures()
+        ]
+
+
+def run_expectations(
+    frame: DataFrame, expectations: Sequence[Expectation]
+) -> ValidationReport:
+    """Evaluate every expectation against one frame."""
+    return ValidationReport([e.evaluate(frame) for e in expectations])
+
+
+# ----------------------------------------------------------------------
+# Expectation constructors
+# ----------------------------------------------------------------------
+def expect_complete(column: str, min_fraction: float = 1.0) -> Expectation:
+    """At least ``min_fraction`` of the cells must be present."""
+
+    def check(frame: DataFrame) -> ExpectationResult:
+        col = frame.column(column)
+        fraction = 1.0 - col.null_count() / max(len(col), 1)
+        return ExpectationResult(
+            "complete", column, fraction >= min_fraction, fraction,
+            f"completeness {fraction:.1%} (required ≥ {min_fraction:.0%})",
+        )
+
+    return Expectation("complete", column, check)
+
+
+def expect_unique(column: str) -> Expectation:
+    """No present value may repeat (a key constraint)."""
+
+    def check(frame: DataFrame) -> ExpectationResult:
+        col = frame.column(column)
+        present = [v for v in col.to_list() if v is not None]
+        duplicates = len(present) - len(set(present))
+        return ExpectationResult(
+            "unique", column, duplicates == 0, duplicates,
+            f"{duplicates} duplicated values",
+        )
+
+    return Expectation("unique", column, check)
+
+
+def expect_in_range(
+    column: str, minimum: float | None = None, maximum: float | None = None
+) -> Expectation:
+    """Every present numeric value must lie inside [minimum, maximum]."""
+
+    def check(frame: DataFrame) -> ExpectationResult:
+        col = frame.column(column)
+        if not col.is_numeric:
+            return ExpectationResult(
+                "in_range", column, False, col.dtype_kind, "column is not numeric"
+            )
+        values = col.to_numpy(fill=np.nan).astype(float)
+        values = values[~np.isnan(values)]
+        violations = 0
+        if minimum is not None:
+            violations += int(np.sum(values < minimum))
+        if maximum is not None:
+            violations += int(np.sum(values > maximum))
+        return ExpectationResult(
+            "in_range", column, violations == 0, violations,
+            f"{violations} values outside [{minimum}, {maximum}]",
+        )
+
+    return Expectation("in_range", column, check)
+
+
+def expect_in_set(column: str, allowed: Sequence[Any]) -> Expectation:
+    """Every present value must come from the allowed set."""
+    allowed_set = set(allowed)
+
+    def check(frame: DataFrame) -> ExpectationResult:
+        col = frame.column(column)
+        outside = sorted(
+            {v for v in col.to_list() if v is not None and v not in allowed_set},
+            key=str,
+        )
+        return ExpectationResult(
+            "in_set", column, not outside, outside,
+            f"{len(outside)} unexpected values: {outside[:5]}",
+        )
+
+    return Expectation("in_set", column, check)
+
+
+def expect_matches(column: str, pattern: str) -> Expectation:
+    """Every present string must match the regular expression."""
+    compiled = re.compile(pattern)
+
+    def check(frame: DataFrame) -> ExpectationResult:
+        col = frame.column(column)
+        mismatches = [
+            v for v in col.to_list()
+            if v is not None and not compiled.fullmatch(str(v))
+        ]
+        return ExpectationResult(
+            "matches", column, not mismatches, len(mismatches),
+            f"{len(mismatches)} values do not match {pattern!r}",
+        )
+
+    return Expectation("matches", column, check)
+
+
+def expect_column_mean_between(
+    column: str, minimum: float, maximum: float
+) -> Expectation:
+    """The column mean must fall inside [minimum, maximum] (a Deequ metric)."""
+
+    def check(frame: DataFrame) -> ExpectationResult:
+        col = frame.column(column)
+        if not col.is_numeric:
+            return ExpectationResult(
+                "mean_between", column, False, col.dtype_kind, "column is not numeric"
+            )
+        mean = col.mean()
+        ok = bool(minimum <= mean <= maximum)
+        return ExpectationResult(
+            "mean_between", column, ok, mean,
+            f"mean {mean:.4g} (required in [{minimum}, {maximum}])",
+        )
+
+    return Expectation("mean_between", column, check)
+
+
+# ----------------------------------------------------------------------
+# TFDV-style schema inference
+# ----------------------------------------------------------------------
+@dataclass
+class ColumnSchema:
+    kind: str
+    completeness: float
+    categories: list | None  # for string columns (None when too many)
+    minimum: float | None  # for numeric columns
+    maximum: float | None
+
+
+@dataclass
+class Schema:
+    """Per-column contracts inferred from a reference frame."""
+
+    columns: dict[str, ColumnSchema]
+
+    def expectations(
+        self,
+        completeness_slack: float = 0.05,
+        range_slack: float = 0.1,
+    ) -> list[Expectation]:
+        """Compile the schema into checkable expectations.
+
+        Slack parameters tolerate benign batch-to-batch variation, following
+        TFDV's "environment" idea: ranges widen by ``range_slack`` of the
+        observed span, completeness requirements loosen additively.
+        """
+        out: list[Expectation] = []
+        for name, spec in self.columns.items():
+            out.append(
+                expect_complete(name, max(0.0, spec.completeness - completeness_slack))
+            )
+            if spec.categories is not None:
+                out.append(expect_in_set(name, spec.categories))
+            if spec.minimum is not None and spec.maximum is not None:
+                span = (spec.maximum - spec.minimum) or 1.0
+                out.append(
+                    expect_in_range(
+                        name,
+                        spec.minimum - range_slack * span,
+                        spec.maximum + range_slack * span,
+                    )
+                )
+        return out
+
+
+def infer_schema(frame: DataFrame, max_categories: int = 25) -> Schema:
+    """Infer per-column kinds, completeness, domains, and numeric ranges."""
+    columns: dict[str, ColumnSchema] = {}
+    for name in frame.columns:
+        col = frame.column(name)
+        completeness = 1.0 - col.null_count() / max(len(col), 1)
+        categories = None
+        minimum = maximum = None
+        if col.dtype_kind == "string":
+            uniques = col.unique()
+            if len(uniques) <= max_categories:
+                categories = uniques
+        elif col.is_numeric:
+            minimum = float(col.min()) if col.min() is not None else None
+            maximum = float(col.max()) if col.max() is not None else None
+        columns[name] = ColumnSchema(
+            kind=col.dtype_kind,
+            completeness=completeness,
+            categories=categories,
+            minimum=minimum,
+            maximum=maximum,
+        )
+    return Schema(columns=columns)
+
+
+def validate_schema(
+    frame: DataFrame,
+    schema: Schema,
+    completeness_slack: float = 0.05,
+    range_slack: float = 0.1,
+) -> ValidationReport:
+    """Check a new batch against an inferred schema (TFDV's core loop).
+
+    Also fails on columns that disappeared or changed kind — the structural
+    breakages that silently poison downstream feature encoders.
+    """
+    report = run_expectations(
+        frame, schema.expectations(completeness_slack, range_slack)
+    )
+    for name, spec in schema.columns.items():
+        if name not in frame:
+            continue  # already reported by the compiled expectation
+        kind = frame.column(name).dtype_kind
+        numeric_kinds = {"int", "float", "bool"}
+        compatible = kind == spec.kind or (
+            kind in numeric_kinds and spec.kind in numeric_kinds
+        )
+        if not compatible:
+            report.results.append(
+                ExpectationResult(
+                    "kind", name, False, kind,
+                    f"column kind changed: {spec.kind} → {kind}",
+                )
+            )
+    return report

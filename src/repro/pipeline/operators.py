@@ -1,0 +1,219 @@
+"""Relational + ML operator DAG for preprocessing pipelines.
+
+Pipelines are built fluently from :class:`PipelinePlan`::
+
+    plan = PipelinePlan()
+    train = plan.source("train_df")
+    jobs = plan.source("jobdetail_df")
+    social = plan.source("social_df")
+    node = (
+        train.join(jobs, on="job_id")
+             .join(social, on="person_id")
+             .filter(lambda df: df["sector"] == "healthcare", "sector == 'healthcare'")
+             .with_column("has_twitter", lambda df: df["twitter"].notnull())
+             .encode(feature_encoder, label_column="sentiment")
+    )
+
+The plan is *data-independent*: concrete input frames are bound at execution
+time (:func:`repro.pipeline.execute.execute`), so the same plan runs on the
+training sources, on cleaned variants during debugging, and on validation
+sources. Every node records enough structure for the query-plan renderer and
+for the provenance-tracking executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..learn.preprocessing import ColumnTransformer
+
+__all__ = [
+    "PipelinePlan",
+    "Node",
+    "SourceNode",
+    "JoinNode",
+    "FilterNode",
+    "MapNode",
+    "ProjectNode",
+    "EncodeNode",
+]
+
+
+class Node:
+    """A pipeline operator; subclasses define ``kind`` and ``describe()``."""
+
+    kind = "node"
+
+    def __init__(self, plan: "PipelinePlan", inputs: Sequence["Node"]) -> None:
+        self.plan = plan
+        self.inputs = list(inputs)
+        self.id = plan._register(self)
+
+    # Fluent builders -----------------------------------------------------
+    def join(
+        self,
+        other: "Node",
+        on: str,
+        how: str = "left",
+        fuzzy: bool = False,
+        suffix: str = "_right",
+    ) -> "JoinNode":
+        return JoinNode(self.plan, self, other, on=on, how=how, fuzzy=fuzzy, suffix=suffix)
+
+    def filter(self, predicate: Callable, description: str = "") -> "FilterNode":
+        return FilterNode(self.plan, self, predicate, description)
+
+    def with_column(self, name: str, func: Callable, description: str = "") -> "MapNode":
+        return MapNode(self.plan, self, name, func, description)
+
+    def project(self, columns: Sequence[str]) -> "ProjectNode":
+        return ProjectNode(self.plan, self, list(columns))
+
+    def encode(self, encoder: ColumnTransformer, label_column: str) -> "EncodeNode":
+        return EncodeNode(self.plan, self, encoder, label_column)
+
+    def describe(self) -> str:
+        return self.kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} #{self.id}: {self.describe()}>"
+
+
+class SourceNode(Node):
+    kind = "source"
+
+    def __init__(self, plan: "PipelinePlan", name: str) -> None:
+        self.name = name
+        super().__init__(plan, [])
+
+    def describe(self) -> str:
+        return self.name
+
+
+class JoinNode(Node):
+    kind = "join"
+
+    def __init__(
+        self,
+        plan: "PipelinePlan",
+        left: Node,
+        right: Node,
+        on: str,
+        how: str = "left",
+        fuzzy: bool = False,
+        suffix: str = "_right",
+    ) -> None:
+        self.on = on
+        self.how = how
+        self.fuzzy = fuzzy
+        self.suffix = suffix
+        super().__init__(plan, [left, right])
+
+    def describe(self) -> str:
+        flavor = "fuzzy " if self.fuzzy else ""
+        return f"{flavor}{self.how} join on {self.on}"
+
+
+class FilterNode(Node):
+    kind = "filter"
+
+    def __init__(
+        self, plan: "PipelinePlan", parent: Node, predicate: Callable, description: str
+    ) -> None:
+        self.predicate = predicate
+        self.description = description or getattr(predicate, "__name__", "predicate")
+        super().__init__(plan, [parent])
+
+    def describe(self) -> str:
+        return f"filter: {self.description}"
+
+
+class MapNode(Node):
+    """Adds or replaces a column via a user-defined function over the frame."""
+
+    kind = "map"
+
+    def __init__(
+        self, plan: "PipelinePlan", parent: Node, name: str, func: Callable, description: str
+    ) -> None:
+        self.name = name
+        self.func = func
+        self.description = description or f"{name} = udf(row)"
+        super().__init__(plan, [parent])
+
+    def describe(self) -> str:
+        return f"map: {self.description}"
+
+
+class ProjectNode(Node):
+    kind = "project"
+
+    def __init__(self, plan: "PipelinePlan", parent: Node, columns: list[str]) -> None:
+        self.columns = columns
+        super().__init__(plan, [parent])
+
+    def describe(self) -> str:
+        return f"project: {', '.join(self.columns)}"
+
+
+class EncodeNode(Node):
+    """Feature encoding + label extraction; the relational-to-vector boundary."""
+
+    kind = "encode"
+
+    def __init__(
+        self,
+        plan: "PipelinePlan",
+        parent: Node,
+        encoder: ColumnTransformer,
+        label_column: str,
+    ) -> None:
+        self.encoder = encoder
+        self.label_column = label_column
+        super().__init__(plan, [parent])
+
+    def describe(self) -> str:
+        parts = []
+        for transformer, columns in self.encoder.transformers:
+            target = columns if isinstance(columns, str) else ", ".join(columns)
+            parts.append(f"{type(transformer).__name__}({target})")
+        return f"encode: {'; '.join(parts)} | label: {self.label_column}"
+
+
+class PipelinePlan:
+    """Container and factory for pipeline nodes."""
+
+    def __init__(self) -> None:
+        self.nodes: list[Node] = []
+
+    def _register(self, node: Node) -> int:
+        self.nodes.append(node)
+        return len(self.nodes) - 1
+
+    def source(self, name: str) -> SourceNode:
+        return SourceNode(self, name)
+
+    @property
+    def sources(self) -> list[SourceNode]:
+        return [n for n in self.nodes if isinstance(n, SourceNode)]
+
+    def source_names(self) -> list[str]:
+        return [s.name for s in self.sources]
+
+    def topological_order(self, sink: Node) -> list[Node]:
+        """Operators reachable from ``sink``, inputs before consumers."""
+        order: list[Node] = []
+        seen: set[int] = set()
+
+        def visit(node: Node) -> None:
+            if node.id in seen:
+                return
+            seen.add(node.id)
+            for parent in node.inputs:
+                visit(parent)
+            order.append(node)
+
+        visit(sink)
+        return order

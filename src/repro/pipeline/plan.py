@@ -1,0 +1,65 @@
+"""Query-plan rendering (the paper's ``nde.show_query_plan``).
+
+Renders the operator DAG as an indented ASCII tree, expanding the terminal
+encode into per-transformer Project→Encode branches joined by a Concat —
+matching the plan shape drawn in the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from .operators import EncodeNode, Node, SourceNode
+
+__all__ = ["render_plan", "show_query_plan", "plan_summary"]
+
+
+def _label(node: Node) -> str:
+    names = {
+        "source": "Source",
+        "join": "Join",
+        "filter": "Filter",
+        "map": "Project (UDF)",
+        "project": "Project",
+        "encode": "Encode",
+    }
+    return f"{names.get(node.kind, node.kind)} [{node.describe()}]"
+
+
+def _render(node: Node, prefix: str, is_last: bool, lines: list[str]) -> None:
+    connector = "└─ " if is_last else "├─ "
+    lines.append(prefix + connector + _label(node))
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    children = list(node.inputs)
+    if isinstance(node, EncodeNode):
+        # Expand the feature encoder into per-column branches + implicit concat.
+        branches = [
+            f"Project [{cols if isinstance(cols, str) else ', '.join(cols)}]"
+            f" → Encode [{type(t).__name__}]"
+            for t, cols in node.encoder.transformers
+        ]
+        lines.append(child_prefix + "├─ Concat")
+        for i, branch in enumerate(branches):
+            last_branch = (i == len(branches) - 1) and not children
+            marker = "└─ " if last_branch else "├─ "
+            lines.append(child_prefix + "│  " + marker + branch)
+    for i, child in enumerate(children):
+        _render(child, child_prefix, i == len(children) - 1, lines)
+
+
+def render_plan(sink: Node) -> str:
+    """ASCII tree of the pipeline rooted (sink-first) at ``sink``."""
+    lines: list[str] = []
+    _render(sink, "", True, lines)
+    return "\n".join(lines)
+
+
+def show_query_plan(sink: Node) -> None:
+    """Print the query plan (paper API)."""
+    print(render_plan(sink))
+
+
+def plan_summary(sink: Node) -> dict[str, int]:
+    """Operator counts by kind for the plan feeding ``sink``."""
+    counts: dict[str, int] = {}
+    for node in sink.plan.topological_order(sink):
+        counts[node.kind] = counts.get(node.kind, 0) + 1
+    return counts

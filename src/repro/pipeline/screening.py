@@ -1,0 +1,104 @@
+"""ArgusEyes-style continuous pipeline screening (Schelter et al. [72]).
+
+A :class:`PipelineScreener` bundles a policy of inspections and runs them as
+a gate: the pipeline "passes" only if no issue at or above the failure
+severity is found — the shape of a CI check for ML pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..frame import DataFrame
+from .execute import PipelineResult
+from .inspections import (
+    Issue,
+    feature_constant_screen,
+    group_shrinkage,
+    join_match_rate,
+    label_error_screen,
+    missing_value_report,
+    train_test_overlap,
+)
+
+__all__ = ["ScreeningReport", "PipelineScreener"]
+
+_SEVERITY_ORDER = {"info": 0, "warning": 1, "error": 2}
+
+
+@dataclass
+class ScreeningReport:
+    """Outcome of one screening run."""
+
+    issues: list[Issue]
+    fail_at: str = "error"
+
+    @property
+    def passed(self) -> bool:
+        threshold = _SEVERITY_ORDER[self.fail_at]
+        return all(_SEVERITY_ORDER[i.severity] < threshold for i in self.issues)
+
+    def by_severity(self, severity: str) -> list[Issue]:
+        return [i for i in self.issues if i.severity == severity]
+
+    def render(self) -> str:
+        if not self.issues:
+            return "screening: PASS (no issues)"
+        lines = [f"screening: {'PASS' if self.passed else 'FAIL'}"]
+        lines.extend(f"  {issue}" for issue in self.issues)
+        return "\n".join(lines)
+
+
+@dataclass
+class PipelineScreener:
+    """A reusable screening policy over pipeline runs.
+
+    Parameters
+    ----------
+    protected_columns:
+        Columns whose group balance is monitored through the pipeline.
+    side_sources:
+        Side tables whose join match rate is checked.
+    test_source / test_frame:
+        When provided, the provenance-based train/test leakage check runs.
+    fail_at:
+        Minimum severity that makes :attr:`ScreeningReport.passed` False.
+    """
+
+    protected_columns: list[str] = field(default_factory=list)
+    side_sources: list[str] = field(default_factory=list)
+    check_label_errors: bool = True
+    check_missing: bool = True
+    check_constant_features: bool = True
+    fail_at: str = "error"
+    extra_checks: list[Callable[[PipelineResult], list[Issue]]] = field(
+        default_factory=list
+    )
+
+    def screen(
+        self,
+        result: PipelineResult,
+        source_frames: dict[str, DataFrame] | None = None,
+        test_frame: DataFrame | None = None,
+        test_source: str | None = None,
+    ) -> ScreeningReport:
+        issues: list[Issue] = []
+        source_frames = source_frames or {}
+        for column in self.protected_columns:
+            for name, frame in source_frames.items():
+                if column in frame:
+                    issues.extend(group_shrinkage(frame, result, column))
+        for side in self.side_sources:
+            issues.extend(join_match_rate(result, side))
+        if self.check_missing:
+            issues.extend(missing_value_report(result))
+        if test_frame is not None and test_source is not None:
+            issues.extend(train_test_overlap(result, test_frame, test_source))
+        if self.check_label_errors and result.X is not None:
+            issues.extend(label_error_screen(result))
+        if self.check_constant_features and result.X is not None:
+            issues.extend(feature_constant_screen(result))
+        for check in self.extra_checks:
+            issues.extend(check(result))
+        return ScreeningReport(issues=issues, fail_at=self.fail_at)

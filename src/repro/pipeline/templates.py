@@ -1,0 +1,50 @@
+"""Ready-made pipeline templates for the bundled scenarios.
+
+The letters pipeline below is the exact shape drawn in the paper's
+Figure 3 — two joins onto side tables, a sector filter, a UDF column, and a
+three-branch feature encoder — packaged so examples, tests, and benchmarks
+(and users exploring the library) build it with one call.
+"""
+
+from __future__ import annotations
+
+from ..learn.preprocessing import (
+    CellImputer,
+    ColumnTransformer,
+    OneHotEncoder,
+    Pipeline,
+    StandardScaler,
+)
+from ..text import SentenceBertTransformer
+from .operators import EncodeNode, PipelinePlan
+
+__all__ = ["letters_pipeline"]
+
+
+def letters_pipeline(
+    sector: str = "healthcare", text_features: int = 16
+) -> tuple[PipelinePlan, EncodeNode]:
+    """The Figure-3 pipeline over the hiring scenario's three tables.
+
+    Sources expected at execution time: ``train_df`` (the letters base
+    table), ``jobdetail_df``, and ``social_df``. Returns ``(plan, sink)``.
+    """
+    plan = PipelinePlan()
+    train = plan.source("train_df")
+    jobs = plan.source("jobdetail_df")
+    social = plan.source("social_df")
+    encoder = ColumnTransformer(
+        [
+            (SentenceBertTransformer(n_features=text_features), "letter_text"),
+            (Pipeline([CellImputer(), OneHotEncoder()]), "degree"),
+            (StandardScaler(), ["age", "employer_rating"]),
+        ]
+    )
+    sink = (
+        train.join(jobs, on="job_id")
+        .join(social, on="person_id")
+        .filter(lambda df: df["sector"] == sector, f"sector == {sector!r}")
+        .with_column("has_twitter", lambda df: df["twitter"].notnull(), "has_twitter")
+        .encode(encoder, label_column="sentiment")
+    )
+    return plan, sink

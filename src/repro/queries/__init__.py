@@ -1,0 +1,16 @@
+"""Predictive query processing (Figure 1's fourth pipeline stage)."""
+
+from .complaints import (
+    AggregateComplaint,
+    AggregateResolution,
+    resolve_aggregate_complaint,
+)
+from .predictive import PredictiveQuery, QueryResult
+
+__all__ = [
+    "AggregateComplaint",
+    "AggregateResolution",
+    "resolve_aggregate_complaint",
+    "PredictiveQuery",
+    "QueryResult",
+]

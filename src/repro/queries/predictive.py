@@ -1,0 +1,133 @@
+"""Predictive query processing (the fourth stage of the paper's Figure 1).
+
+A *predictive query* consumes a trained model the way a SQL query consumes a
+table: it applies the model to rows, post-processes the scores
+(calibration, dictionary lookup), and aggregates per group —
+``SELECT sector, AVG(P(positive)) FROM applicants GROUP BY sector``.
+Data errors that survive training surface here as wrong *query answers*,
+which is exactly the granularity at which users complain (Section 2.2's
+complaint-driven debugging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..frame import DataFrame
+from ..learn.base import Estimator
+from ..learn.calibration import PlattCalibrator
+
+__all__ = ["PredictiveQuery", "QueryResult"]
+
+_AGGREGATES = ("positive_rate", "mean_probability", "count_positive")
+
+
+@dataclass
+class QueryResult:
+    """Grouped query answers plus per-row artefacts for debugging."""
+
+    table: DataFrame
+    predictions: np.ndarray
+    probabilities: np.ndarray | None
+    group_column: str
+    aggregate: str
+
+    def value_for(self, group: Any) -> float:
+        for row in self.table.to_rows():
+            if row[self.group_column] == group:
+                return float(row[self.aggregate])
+        raise KeyError(f"no group {group!r} in the query result")
+
+
+@dataclass
+class PredictiveQuery:
+    """A grouped aggregate over model predictions.
+
+    Parameters
+    ----------
+    model:
+        Fitted classifier.
+    featurize:
+        Maps an input frame to the model's feature space.
+    group_column:
+        GROUP BY column.
+    aggregate:
+        ``"positive_rate"`` (share of rows predicted positive),
+        ``"mean_probability"`` (average calibrated/raw positive probability),
+        or ``"count_positive"``.
+    positive:
+        The positive class label.
+    calibrator:
+        Optional :class:`~repro.learn.calibration.PlattCalibrator` applied
+        before probability aggregation (Figure 1's "calibration" box).
+    decision_map:
+        Optional dictionary-lookup applied to predicted labels before
+        aggregation/reporting (Figure 1's "dictionary lookup" box), e.g.
+        ``{"positive": "invite", "negative": "reject"}``.
+    """
+
+    model: Estimator
+    featurize: Callable[[DataFrame], np.ndarray]
+    group_column: str
+    aggregate: str = "positive_rate"
+    positive: Any = "positive"
+    calibrator: PlattCalibrator | None = None
+    decision_map: Mapping[Any, Any] | None = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate not in _AGGREGATES:
+            raise ValueError(
+                f"unknown aggregate {self.aggregate!r}; have {_AGGREGATES}"
+            )
+
+    def _probabilities(self, X: np.ndarray) -> np.ndarray | None:
+        if self.calibrator is not None:
+            return self.calibrator.predict_proba(X)
+        if hasattr(self.model, "predict_proba"):
+            probs = self.model.predict_proba(X)
+            classes = list(self.model.classes_)
+            if self.positive in classes:
+                return probs[:, classes.index(self.positive)]
+        return None
+
+    def run(self, frame: DataFrame) -> QueryResult:
+        X = self.featurize(frame)
+        predictions = self.model.predict(X)
+        probabilities = self._probabilities(X)
+        if self.aggregate == "mean_probability" and probabilities is None:
+            raise ValueError("mean_probability needs predict_proba or a calibrator")
+
+        groups = np.asarray(frame.column(self.group_column).to_list())
+        rows = []
+        for group in sorted(set(groups.tolist()), key=str):
+            members = groups == group
+            if self.aggregate == "positive_rate":
+                value = float(np.mean(predictions[members] == self.positive))
+            elif self.aggregate == "mean_probability":
+                value = float(np.mean(probabilities[members]))
+            else:  # count_positive
+                value = int(np.sum(predictions[members] == self.positive))
+            record = {self.group_column: group, self.aggregate: value,
+                      "support": int(members.sum())}
+            rows.append(record)
+        table = DataFrame(
+            {
+                self.group_column: [r[self.group_column] for r in rows],
+                self.aggregate: [r[self.aggregate] for r in rows],
+                "support": [r["support"] for r in rows],
+            }
+        )
+        if self.decision_map is not None:
+            predictions = np.asarray(
+                [self.decision_map.get(p, p) for p in predictions.tolist()]
+            )
+        return QueryResult(
+            table=table,
+            predictions=predictions,
+            probabilities=probabilities,
+            group_column=self.group_column,
+            aggregate=self.aggregate,
+        )

@@ -1,0 +1,12 @@
+"""Certified robust learning against adversarial data errors.
+
+The "Learn" pillar's defences when errors are adversarial rather than
+random: partition-aggregation certificates against poisoning (Jia et al.
+[32]) and randomized-smoothing certificates against label flips (Rosenfeld
+et al. [70]).
+"""
+
+from .partition import CertifiedPrediction, PartitionEnsemble
+from .smoothing import SmoothedClassifier
+
+__all__ = ["CertifiedPrediction", "PartitionEnsemble", "SmoothedClassifier"]

@@ -1,0 +1,16 @@
+"""Deterministic offline text features (SentenceBERT stand-in)."""
+
+from .embedder import SentenceBertTransformer, TextEmbedder
+from .hashing import HashingVectorizer, stable_hash
+from .lexicon import HEDGE_WORDS, NEGATIVE_WORDS, POSITIVE_WORDS, SentimentLexicon
+
+__all__ = [
+    "SentenceBertTransformer",
+    "TextEmbedder",
+    "HashingVectorizer",
+    "stable_hash",
+    "SentimentLexicon",
+    "POSITIVE_WORDS",
+    "NEGATIVE_WORDS",
+    "HEDGE_WORDS",
+]

@@ -1,0 +1,73 @@
+"""Dense text embedding: the offline stand-in for SentenceBERT.
+
+The paper's Figure 3 pipeline encodes ``letter_text`` with a
+``SentenceBertTransformer``. No pretrained model is available offline, so we
+build a deterministic embedding with the same *shape* of behaviour: a dense
+fixed-width vector in which sentiment-bearing content is linearly separable.
+The embedding concatenates hashed n-gram features (topical content) with
+lexicon statistics (polarity signal).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..learn.base import Transformer
+from ..learn.preprocessing.encoders import as_cells
+from .hashing import HashingVectorizer
+from .lexicon import SentimentLexicon
+
+__all__ = ["TextEmbedder", "SentenceBertTransformer"]
+
+
+class TextEmbedder(Transformer):
+    """Embed texts into ``n_features + 4`` dense dimensions.
+
+    The last four dimensions are interpretable lexicon statistics:
+    positive-hit rate, negative-hit rate, hedge rate, and log-length.
+    Missing texts embed to the zero vector.
+    """
+
+    def __init__(self, n_features: int = 64, ngram_range: tuple[int, int] = (1, 2)) -> None:
+        self.n_features = int(n_features)
+        self.ngram_range = ngram_range
+        self._vectorizer = HashingVectorizer(n_features=self.n_features, ngram_range=ngram_range)
+        self._lexicon = SentimentLexicon()
+
+    @property
+    def output_dim(self) -> int:
+        return self.n_features + 4
+
+    def fit(self, X: Any, y: Any = None) -> "TextEmbedder":
+        self.fitted_ = True  # stateless; hashing needs no vocabulary
+        return self
+
+    def embed_one(self, text: str | None) -> np.ndarray:
+        if text is None or not str(text).strip():
+            return np.zeros(self.output_dim)
+        text = str(text)
+        hashed = self._vectorizer.transform_one(text)
+        tokens = SentimentLexicon.tokenize(text)
+        n_tokens = max(len(tokens), 1)
+        pos, neg, hedge = self._lexicon.counts(text)
+        # The length statistic is damped to the same O(0.1) scale as the
+        # rate features: the hashed block is unit-norm, and an unscaled
+        # log-length would dominate every distance computation.
+        stats = np.asarray(
+            [pos / n_tokens, neg / n_tokens, hedge / n_tokens, np.log1p(n_tokens) / 10.0]
+        )
+        return np.concatenate([hashed, stats])
+
+    def transform(self, X: Any) -> np.ndarray:
+        cells = as_cells(X)
+        return np.vstack([self.embed_one(c) for c in cells])
+
+    def embed(self, texts: Iterable[str]) -> np.ndarray:
+        """Convenience alias used outside transformer pipelines."""
+        return self.transform(list(texts))
+
+
+class SentenceBertTransformer(TextEmbedder):
+    """Alias matching the class name used in the paper's code snippets."""

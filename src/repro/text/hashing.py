@@ -1,0 +1,67 @@
+"""Deterministic hashed bag-of-words features (the hashing trick)."""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .lexicon import SentimentLexicon
+
+__all__ = ["stable_hash", "HashingVectorizer"]
+
+
+def stable_hash(token: str, seed: int = 0) -> int:
+    """Process-independent 32-bit hash (CRC32). Python's ``hash`` is salted."""
+    return zlib.crc32(f"{seed}:{token}".encode("utf-8"))
+
+
+class HashingVectorizer:
+    """Map texts to fixed-width token-count vectors via feature hashing.
+
+    Parameters
+    ----------
+    n_features:
+        Output dimensionality (hash buckets).
+    ngram_range:
+        Inclusive (lo, hi) range of word-n-gram lengths to hash.
+    signed:
+        Use the hash parity as a sign, which makes collisions cancel in
+        expectation (as in scikit-learn's ``HashingVectorizer``).
+    """
+
+    def __init__(
+        self,
+        n_features: int = 128,
+        ngram_range: tuple[int, int] = (1, 2),
+        signed: bool = True,
+    ) -> None:
+        if n_features < 1:
+            raise ValueError("n_features must be positive")
+        lo, hi = ngram_range
+        if not 1 <= lo <= hi:
+            raise ValueError(f"invalid ngram_range: {ngram_range}")
+        self.n_features = int(n_features)
+        self.ngram_range = (int(lo), int(hi))
+        self.signed = bool(signed)
+
+    def _ngrams(self, tokens: Sequence[str]) -> Iterable[str]:
+        lo, hi = self.ngram_range
+        for size in range(lo, hi + 1):
+            for start in range(len(tokens) - size + 1):
+                yield " ".join(tokens[start : start + size])
+
+    def transform_one(self, text: str) -> np.ndarray:
+        vec = np.zeros(self.n_features)
+        tokens = SentimentLexicon.tokenize(text)
+        for gram in self._ngrams(tokens):
+            h = stable_hash(gram)
+            bucket = h % self.n_features
+            sign = 1.0 if (not self.signed or (h >> 16) & 1 == 0) else -1.0
+            vec[bucket] += sign
+        norm = np.linalg.norm(vec)
+        return vec / norm if norm > 0 else vec
+
+    def transform(self, texts: Iterable[str]) -> np.ndarray:
+        return np.vstack([self.transform_one(t) for t in texts])

@@ -1,0 +1,83 @@
+"""A small sentiment lexicon for the recommendation-letter scenario.
+
+The hands-on session trains a classifier to predict the *sentiment* of a
+recommendation letter. With no pretrained language model available offline,
+sentiment signal enters the feature space through this lexicon: the letter
+generator in :mod:`repro.datasets.letters` composes letters from phrases
+whose polarity words appear here, and :class:`repro.text.TextEmbedder` emits
+lexicon-hit counts as dense features.
+"""
+
+from __future__ import annotations
+
+__all__ = ["POSITIVE_WORDS", "NEGATIVE_WORDS", "HEDGE_WORDS", "SentimentLexicon"]
+
+POSITIVE_WORDS = frozenset(
+    """
+    outstanding exceptional excellent remarkable meticulous diligent
+    dependable dedicated innovative resourceful insightful thorough
+    conscientious proactive collaborative inspiring exemplary talented
+    reliable trustworthy brilliant crucial impressive commendable
+    admirable superb stellar motivated versatile rigorous thoughtful
+    """.split()
+)
+
+NEGATIVE_WORDS = frozenset(
+    """
+    undermined concerning troubling unreliable careless negligent
+    dismissive combative disorganized inconsistent uncooperative
+    problematic disappointing inadequate sloppy abrasive hostile
+    evasive unprofessional erratic indifferent mediocre struggled
+    failed missed lacked resisted ignored slowed jeopardized
+    """.split()
+)
+
+HEDGE_WORDS = frozenset(
+    """
+    sometimes occasionally somewhat perhaps arguably partly however
+    although though yet nonetheless willingness develop improve
+    """.split()
+)
+
+
+class SentimentLexicon:
+    """Counts polarity-bearing tokens in a text."""
+
+    def __init__(
+        self,
+        positive: frozenset[str] = POSITIVE_WORDS,
+        negative: frozenset[str] = NEGATIVE_WORDS,
+        hedges: frozenset[str] = HEDGE_WORDS,
+    ) -> None:
+        self.positive = positive
+        self.negative = negative
+        self.hedges = hedges
+
+    @staticmethod
+    def tokenize(text: str) -> list[str]:
+        """Lower-cased alphabetic tokens."""
+        out: list[str] = []
+        word: list[str] = []
+        for ch in text.lower():
+            if ch.isalpha():
+                word.append(ch)
+            elif word:
+                out.append("".join(word))
+                word = []
+        if word:
+            out.append("".join(word))
+        return out
+
+    def counts(self, text: str) -> tuple[int, int, int]:
+        """(positive, negative, hedge) token counts."""
+        tokens = self.tokenize(text)
+        pos = sum(1 for t in tokens if t in self.positive)
+        neg = sum(1 for t in tokens if t in self.negative)
+        hedge = sum(1 for t in tokens if t in self.hedges)
+        return pos, neg, hedge
+
+    def polarity(self, text: str) -> float:
+        """Normalised polarity in [-1, 1]."""
+        pos, neg, __ = self.counts(text)
+        total = pos + neg
+        return (pos - neg) / total if total else 0.0

@@ -1,0 +1,66 @@
+"""Learning from uncertain and incomplete data (survey Section 2.3).
+
+- :mod:`intervals` / :mod:`zonotope`: sound set-arithmetic substrates.
+- :mod:`symbolic`: possible-worlds encodings (``encode_symbolic``).
+- :mod:`zorro`: Zorro-style enclosure of all models any world could
+  produce, with prediction ranges and worst-case losses.
+- :mod:`certain_predictions`: exact certainty checks for KNN over
+  incomplete data, plus CPClean-style cleaning-effort ordering.
+- :mod:`certain_models`: certain / approximately-certain model checks for
+  regression and SVMs.
+- :mod:`multiplicity`: dataset-multiplicity robustness under label flips.
+"""
+
+from .certain_models import (
+    CertainModelVerdict,
+    approximately_certain_model,
+    certain_model_regression,
+    certain_model_svm,
+)
+from .certain_predictions import (
+    CertainPredictionReport,
+    certain_prediction,
+    certain_prediction_report,
+    cpclean_order,
+    distance_intervals,
+)
+from .fairness_range import FairnessRange, demographic_parity_range, group_metric_range
+from .intervals import Interval
+from .multiplicity import MultiplicityProfile, knn_flip_robustness, sampled_multiplicity
+from .symbolic import UncertainDataset, encode_symbolic, from_matrix_with_nans
+from .zonotope import Zonotope
+from .zorro import (
+    RobustLinearModel,
+    ZorroTrainer,
+    estimate_with_zorro,
+    gradient_descent_train,
+    ridge_solve,
+)
+
+__all__ = [
+    "CertainModelVerdict",
+    "approximately_certain_model",
+    "certain_model_regression",
+    "certain_model_svm",
+    "CertainPredictionReport",
+    "certain_prediction",
+    "certain_prediction_report",
+    "cpclean_order",
+    "distance_intervals",
+    "FairnessRange",
+    "demographic_parity_range",
+    "group_metric_range",
+    "Interval",
+    "MultiplicityProfile",
+    "knn_flip_robustness",
+    "sampled_multiplicity",
+    "UncertainDataset",
+    "encode_symbolic",
+    "from_matrix_with_nans",
+    "Zonotope",
+    "RobustLinearModel",
+    "ZorroTrainer",
+    "estimate_with_zorro",
+    "gradient_descent_train",
+    "ridge_solve",
+]

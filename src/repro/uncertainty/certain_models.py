@@ -1,0 +1,187 @@
+"""Certain and approximately certain models (Zhen et al. [92]).
+
+A model is *certain* when one parameter vector is optimal for **every**
+possible world of the incomplete training data — then imputation is
+provably unnecessary. When exact certainty fails, an *approximately
+certain* model is one whose worst-case optimality gap over all worlds is at
+most ε.
+
+Both checks here are sound (no false "certain" verdicts):
+
+- exact certainty uses the structural sufficient condition — incomplete
+  rows must contribute zero loss and zero gradient at the candidate optimum
+  in every world — which makes the candidate a global optimum of every
+  world's convex objective;
+- approximate certainty bounds the gap via strong convexity:
+  ``gap_w ≤ ‖∇L_w(θ)‖² / (2λ)`` for the λ-strongly-convex ridge objective,
+  with the gradient norm bounded over worlds by interval arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .intervals import Interval
+from .symbolic import UncertainDataset
+
+__all__ = [
+    "CertainModelVerdict",
+    "certain_model_regression",
+    "certain_model_svm",
+    "approximately_certain_model",
+]
+
+
+@dataclass
+class CertainModelVerdict:
+    """Outcome of a certain-model check."""
+
+    certain: bool
+    theta: np.ndarray | None
+    reason: str
+    gap_bound: float | None = None
+    extras: dict = field(default_factory=dict)
+
+
+def _split_rows(X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    incomplete = np.isnan(X).any(axis=1)
+    return np.flatnonzero(~incomplete), np.flatnonzero(incomplete)
+
+
+def certain_model_regression(
+    X: Any, y: Any, tol: float = 1e-8
+) -> CertainModelVerdict:
+    """Does one least-squares model fit every completion of the data?
+
+    Sufficient (and under mild genericity necessary) condition: the OLS
+    optimum θ̂ of the *complete* rows must give every incomplete row zero
+    residual in every world — which holds iff the observed part of the row
+    already has zero residual under θ̂ **and** θ̂ is zero on the row's
+    missing features. Then every world's total loss at θ̂ equals the
+    complete-row loss, which no θ can beat in any world (each world's loss
+    is ≥ its complete-row part, minimised by θ̂ when the incomplete rows fit
+    exactly), so θ̂ is optimal everywhere.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    complete, incomplete = _split_rows(X)
+    if len(incomplete) == 0:
+        theta, *__ = np.linalg.lstsq(X, y, rcond=None)
+        return CertainModelVerdict(True, theta, "no missing values")
+    if len(complete) == 0:
+        return CertainModelVerdict(False, None, "every row has missing values")
+    theta, *__ = np.linalg.lstsq(X[complete], y[complete], rcond=None)
+    # θ̂ must be the *unique* complete-row optimum for the argument to close.
+    gram = X[complete].T @ X[complete]
+    if np.linalg.matrix_rank(gram) < X.shape[1]:
+        return CertainModelVerdict(
+            False, None, "complete rows do not determine a unique optimum"
+        )
+    complete_residual = X[complete] @ theta - y[complete]
+    if np.max(np.abs(complete_residual)) > tol:
+        return CertainModelVerdict(
+            False,
+            None,
+            "complete rows are not exactly fit; missing cells can shift the optimum",
+        )
+    for i in incomplete:
+        missing = np.isnan(X[i])
+        if np.max(np.abs(theta[missing])) > tol:
+            return CertainModelVerdict(
+                False,
+                None,
+                f"row {i} misses features with non-zero coefficients",
+            )
+        observed_residual = float(
+            np.nansum(X[i][~missing] * theta[~missing]) - y[i]
+        )
+        if abs(observed_residual) > tol:
+            return CertainModelVerdict(
+                False, None, f"row {i} has non-zero residual on observed features"
+            )
+    return CertainModelVerdict(True, theta, "certain model exists")
+
+
+def certain_model_svm(
+    X: Any, y_signed: Any, C: float = 1.0, tol: float = 1e-8
+) -> CertainModelVerdict:
+    """Does one (squared-hinge) SVM fit every completion of the data?
+
+    Sufficient condition: fit the SVM on the complete rows; if every
+    incomplete row has margin strictly greater than 1 in **every** world
+    (interval lower bound of ``y·(wᵀx + b)`` above 1), those rows contribute
+    zero loss and zero gradient everywhere, so the complete-row optimum is a
+    global optimum of every world.
+    """
+    from ..learn.models.linear import LinearSVC
+
+    X = np.asarray(X, dtype=float)
+    y_signed = np.asarray(y_signed, dtype=float)
+    complete, incomplete = _split_rows(X)
+    if len(incomplete) == 0:
+        model = LinearSVC(C=C).fit(X, np.where(y_signed > 0, 1, 0))
+        theta = np.append(model.coef_, model.intercept_)
+        return CertainModelVerdict(True, theta, "no missing values")
+    if len(complete) == 0:
+        return CertainModelVerdict(False, None, "every row has missing values")
+    labels = np.where(y_signed > 0, 1, 0)
+    if len(np.unique(labels[complete])) < 2:
+        return CertainModelVerdict(False, None, "complete rows are single-class")
+    model = LinearSVC(C=C).fit(X[complete], labels[complete])
+    w, b = model.coef_, model.intercept_
+    for i in incomplete:
+        missing = np.isnan(X[i])
+        lo = X[i].copy()
+        hi = X[i].copy()
+        # Missing cells range over the observed column extent.
+        for j in np.flatnonzero(missing):
+            col = X[:, j]
+            present = col[~np.isnan(col)]
+            lo[j] = float(present.min()) if present.size else 0.0
+            hi[j] = float(present.max()) if present.size else 0.0
+        row = Interval(lo, hi)
+        margin = (row * w).sum() * y_signed[i] + y_signed[i] * b
+        if float(margin.lo) <= 1.0 + tol:
+            return CertainModelVerdict(
+                False,
+                None,
+                f"row {i} can become a support vector in some world",
+            )
+    theta = np.append(w, b)
+    return CertainModelVerdict(True, theta, "incomplete rows are never support vectors")
+
+
+def approximately_certain_model(
+    dataset: UncertainDataset, l2: float = 0.1, epsilon: float = 0.05
+) -> CertainModelVerdict:
+    """ε-certainty for ridge regression via a strong-convexity gap bound.
+
+    Fits θ on the center world and bounds, over all worlds w,
+    ``L_w(θ) − min L_w ≤ ‖∇L_w(θ)‖² / (2λ)`` where the gradient
+    ``∇L_w(θ) = A(w)θ − b(w) + λθ`` is evaluated in interval arithmetic.
+    Verdict ``certain`` means θ is within ε of optimal in every world.
+    """
+    if l2 <= 0:
+        raise ValueError("l2 must be positive")
+    n, d = dataset.X.shape
+    Xc = dataset.X.center
+    A_c = Xc.T @ Xc / n
+    b_c = Xc.T @ dataset.y / n
+    theta = np.linalg.solve(A_c + l2 * np.eye(d), b_c)
+
+    X_int = dataset.X
+    A_int = X_int.T.matmul(X_int) * (1.0 / n)
+    b_int = X_int.T.matmul(dataset.y.reshape(-1, 1)) * (1.0 / n)
+    grad = A_int.matmul(theta.reshape(-1, 1)) - b_int + (l2 * theta).reshape(-1, 1)
+    grad_sup = np.maximum(np.abs(grad.lo), np.abs(grad.hi)).reshape(-1)
+    gap_bound = float(grad_sup @ grad_sup) / (2.0 * l2)
+    return CertainModelVerdict(
+        certain=gap_bound <= epsilon,
+        theta=theta,
+        reason=f"worst-case optimality gap ≤ {gap_bound:.4g} (ε = {epsilon:g})",
+        gap_bound=gap_bound,
+        extras={"epsilon": epsilon, "l2": l2},
+    )

@@ -1,0 +1,140 @@
+"""Consistent range approximation for fair predictive modelling [94].
+
+When the training data suffers *selection bias* of unknown strength — e.g.
+group B was undersampled at some unknown rate — a fairness metric computed
+on the data is a single point from a whole family of possible values. Zhu
+et al. certify fairness by computing the metric's **range over every
+consistent correction** of the bias; a model is certifiably (un)fair when
+the whole range sits on one side of the threshold.
+
+This implementation covers per-group reweighting families: each group's
+true prevalence multiplier is known only up to an interval, and the bounds
+of a rate-based fairness metric over the family follow in closed form
+because each group's rate statistics are invariant to *within-group*
+uniform reweighting — only metrics that mix groups (like overall accuracy)
+vary, and selection-rate/TPR gaps across groups vary only through which
+group attains the extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from .intervals import Interval
+
+__all__ = ["FairnessRange", "demographic_parity_range", "group_metric_range"]
+
+
+@dataclass
+class FairnessRange:
+    """A certified interval for a fairness metric under biased sampling."""
+
+    metric: str
+    lo: float
+    hi: float
+    threshold: float | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def certifiably_fair(self, threshold: float | None = None) -> bool:
+        """True when *every* consistent world satisfies metric ≤ threshold."""
+        threshold = threshold if threshold is not None else self.threshold
+        if threshold is None:
+            raise ValueError("no fairness threshold provided")
+        return self.hi <= threshold
+
+    def certifiably_unfair(self, threshold: float | None = None) -> bool:
+        threshold = threshold if threshold is not None else self.threshold
+        if threshold is None:
+            raise ValueError("no fairness threshold provided")
+        return self.lo > threshold
+
+
+def group_metric_range(
+    y_true: Any,
+    y_pred: Any,
+    group: Any,
+    positive: Any,
+    statistic: str = "selection_rate",
+    prevalence_multipliers: dict | None = None,
+    grid: int = 11,
+) -> dict:
+    """Per-group interval of a rate statistic under label-sampling bias.
+
+    ``prevalence_multipliers[g] = (lo, hi)`` says the observed positives of
+    group g are an α-fraction sample with α ∈ [lo, hi] (α < 1: positives
+    undersampled). Rates are recomputed with the positives' weights scaled
+    by 1/α, sweeping a grid over the interval (the rates are monotone in α,
+    so grid endpoints are exact extremes; the grid is kept for readability).
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    group = np.asarray(group)
+    multipliers = prevalence_multipliers or {}
+    out: dict = {}
+    for g in np.unique(group):
+        members = group == g
+        yt, yp = y_true[members], y_pred[members]
+        lo_alpha, hi_alpha = multipliers.get(
+            g.item() if hasattr(g, "item") else g, (1.0, 1.0)
+        )
+        values = []
+        for alpha in np.linspace(lo_alpha, hi_alpha, grid):
+            weight = np.where(yt == positive, 1.0 / max(alpha, 1e-9), 1.0)
+            selected = yp == positive
+            if statistic == "selection_rate":
+                values.append(float(weight[selected].sum() / weight.sum()))
+            elif statistic == "tpr":
+                positives = yt == positive
+                denom = weight[positives].sum()
+                values.append(
+                    float(weight[selected & positives].sum() / denom) if denom else 0.0
+                )
+            else:
+                raise ValueError(f"unknown statistic: {statistic!r}")
+        key = g.item() if hasattr(g, "item") else g
+        out[key] = (min(values), max(values))
+    return out
+
+
+def demographic_parity_range(
+    y_true: Any,
+    y_pred: Any,
+    group: Any,
+    positive: Any,
+    prevalence_multipliers: dict | None = None,
+    threshold: float | None = None,
+) -> FairnessRange:
+    """Range of the demographic-parity gap over all consistent corrections.
+
+    The gap is ``max_g rate_g − min_g rate_g`` with each group's rate known
+    only as an interval [lo_g, hi_g]. The exact extremes are closed-form:
+
+    - largest gap: push one group to its maximum and another to its minimum,
+      ``max_g hi_g − min_g lo_g``;
+    - smallest gap: squeeze all rates toward a common point; zero when the
+      intervals share one, else the leftover separation
+      ``max(0, max_g lo_g − min_g hi_g)``.
+    """
+    per_group = group_metric_range(
+        y_true, y_pred, group, positive,
+        statistic="selection_rate",
+        prevalence_multipliers=prevalence_multipliers,
+    )
+    lows = [bounds[0] for bounds in per_group.values()]
+    highs = [bounds[1] for bounds in per_group.values()]
+    hi_gap = max(highs) - min(lows)
+    lo_gap = max(0.0, max(lows) - min(highs))
+    return FairnessRange(
+        metric="demographic_parity_difference",
+        lo=float(lo_gap),
+        hi=float(hi_gap),
+        threshold=threshold,
+        extras={"per_group_rates": per_group},
+    )

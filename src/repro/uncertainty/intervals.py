@@ -1,0 +1,188 @@
+"""Interval arithmetic over NumPy arrays.
+
+The sound over-approximation substrate for the "Learn from uncertain data"
+methods: a value known only to lie in ``[lo, hi]`` is represented exactly,
+and every operation returns an interval guaranteed to contain all concrete
+outcomes (soundness — the property the hypothesis tests in
+``tests/uncertainty`` hammer on).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Interval"]
+
+
+def _as_array(value: Any) -> np.ndarray:
+    return np.asarray(value, dtype=float)
+
+
+class Interval:
+    """Element-wise interval ``[lo, hi]`` over arrays of matching shape."""
+
+    __slots__ = ("lo", "hi")
+
+    # Make NumPy defer binary operators to this class (so ndarray @ Interval
+    # reaches __rmatmul__ instead of failing inside ndarray.__matmul__).
+    __array_priority__ = 1000
+
+    def __init__(self, lo: Any, hi: Any) -> None:
+        self.lo = _as_array(lo)
+        self.hi = _as_array(hi)
+        if self.lo.shape != self.hi.shape:
+            raise ValueError(f"shape mismatch: {self.lo.shape} vs {self.hi.shape}")
+        if np.any(self.lo > self.hi + 1e-12):
+            raise ValueError("interval lower bound exceeds upper bound")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def exact(cls, value: Any) -> "Interval":
+        arr = _as_array(value)
+        return cls(arr.copy(), arr.copy())
+
+    @classmethod
+    def from_center_radius(cls, center: Any, radius: Any) -> "Interval":
+        center = _as_array(center)
+        radius = np.broadcast_to(_as_array(radius), center.shape)
+        if np.any(radius < 0):
+            raise ValueError("radius must be non-negative")
+        return cls(center - radius, center + radius)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.lo.shape
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def radius(self) -> np.ndarray:
+        return 0.5 * (self.hi - self.lo)
+
+    @property
+    def width(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    def contains(self, value: Any, atol: float = 1e-9) -> bool:
+        value = _as_array(value)
+        return bool(
+            np.all(value >= self.lo - atol) and np.all(value <= self.hi + atol)
+        )
+
+    def is_degenerate(self, atol: float = 0.0) -> bool:
+        return bool(np.all(self.width <= atol))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interval(shape={self.shape}, max_width={float(self.width.max()) if self.lo.size else 0:.4g})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic (all sound over-approximations)
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Any) -> "Interval":
+        return other if isinstance(other, Interval) else Interval.exact(other)
+
+    def __add__(self, other: Any) -> "Interval":
+        other = self._coerce(other)
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __sub__(self, other: Any) -> "Interval":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: Any) -> "Interval":
+        return self._coerce(other) - self
+
+    def __mul__(self, other: Any) -> "Interval":
+        other = self._coerce(other)
+        candidates = np.stack(
+            [
+                self.lo * other.lo,
+                self.lo * other.hi,
+                self.hi * other.lo,
+                self.hi * other.hi,
+            ]
+        )
+        return Interval(candidates.min(axis=0), candidates.max(axis=0))
+
+    __rmul__ = __mul__
+
+    def square(self) -> "Interval":
+        """Tight square: [0, max²] when the interval straddles zero."""
+        lo_sq = self.lo**2
+        hi_sq = self.hi**2
+        straddles = (self.lo <= 0) & (self.hi >= 0)
+        lower = np.where(straddles, 0.0, np.minimum(lo_sq, hi_sq))
+        upper = np.maximum(lo_sq, hi_sq)
+        return Interval(lower, upper)
+
+    def abs(self) -> "Interval":
+        straddles = (self.lo <= 0) & (self.hi >= 0)
+        lower = np.where(straddles, 0.0, np.minimum(np.abs(self.lo), np.abs(self.hi)))
+        upper = np.maximum(np.abs(self.lo), np.abs(self.hi))
+        return Interval(lower, upper)
+
+    def clip(self, lo: float, hi: float) -> "Interval":
+        return Interval(np.clip(self.lo, lo, hi), np.clip(self.hi, lo, hi))
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: Any) -> "Interval":
+        """Interval matrix product ``self @ other`` (either side interval).
+
+        Uses the midpoint-radius formulation: with A = Ac ± Ar and
+        B = Bc ± Br, the product lies in
+        ``Ac·Bc ± (|Ac|·Br + Ar·|Bc| + Ar·Br)``.
+        """
+        other = self._coerce(other)
+        ac, ar = self.center, self.radius
+        bc, br = other.center, other.radius
+        center = ac @ bc
+        radius = np.abs(ac) @ br + ar @ np.abs(bc) + ar @ br
+        return Interval(center - radius, center + radius)
+
+    def __matmul__(self, other: Any) -> "Interval":
+        return self.matmul(other)
+
+    def __rmatmul__(self, other: Any) -> "Interval":
+        return Interval.exact(other).matmul(self)
+
+    def transpose(self) -> "Interval":
+        return Interval(self.lo.T, self.hi.T)
+
+    @property
+    def T(self) -> "Interval":
+        return self.transpose()
+
+    def sum(self, axis: int | None = None) -> "Interval":
+        return Interval(self.lo.sum(axis=axis), self.hi.sum(axis=axis))
+
+    def mean(self, axis: int | None = None) -> "Interval":
+        return Interval(self.lo.mean(axis=axis), self.hi.mean(axis=axis))
+
+    def max_upper(self) -> float:
+        """Largest possible value anywhere in the array."""
+        return float(self.hi.max())
+
+    def min_lower(self) -> float:
+        return float(self.lo.min())
+
+    def take(self, indices: Any) -> "Interval":
+        idx = np.asarray(indices, dtype=np.int64)
+        return Interval(self.lo[idx], self.hi[idx])
+
+    def __getitem__(self, key: Any) -> "Interval":
+        return Interval(self.lo[key], self.hi[key])

@@ -1,0 +1,11 @@
+"""Low-latency machine unlearning (survey Section 2.4's open direction)."""
+
+from .forest import RemovalAwareForest
+from .forgetting import RemovalAwareKNN, UnlearningReport, newton_unlearn
+
+__all__ = [
+    "RemovalAwareForest",
+    "RemovalAwareKNN",
+    "UnlearningReport",
+    "newton_unlearn",
+]

@@ -1,0 +1,14 @@
+"""Text-based visualisation: tables, line/bar charts, query-plan rendering."""
+
+from .ascii_chart import bar_chart, histogram, line_chart, reliability_chart
+from .table import format_records, format_table, pretty_print
+
+__all__ = [
+    "bar_chart",
+    "histogram",
+    "line_chart",
+    "reliability_chart",
+    "format_records",
+    "format_table",
+    "pretty_print",
+]

@@ -1,0 +1,138 @@
+"""ASCII line and bar charts.
+
+matplotlib is not available offline, so the figures in the paper (which are
+all scalar-series line/bar plots) are rendered as text. The chart functions
+return strings so benchmarks can embed them in their reports.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart", "bar_chart", "histogram", "reliability_chart"]
+
+
+def _format_value(value: float) -> str:
+    return format(value, ".4g")
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over shared x-values as an ASCII plot."""
+    if not series:
+        raise ValueError("no series to plot")
+    xs = [float(x) for x in xs]
+    all_ys = [float(y) for ys in series.values() for y in ys]
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length does not match x-values")
+    y_min, y_max = min(all_ys), max(all_ys)
+    x_min, x_max = min(xs), max(xs)
+    y_span = (y_max - y_min) or 1.0
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for k, (name, ys) in enumerate(series.items()):
+        marker = markers[k % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((float(y) - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(_format_value(y_min)), len(_format_value(y_max)))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = _format_value(y_max).rjust(label_width)
+        elif i == height - 1:
+            label = _format_value(y_min).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = (
+        _format_value(x_min)
+        + " " * max(1, width - len(_format_value(x_min)) - len(_format_value(x_max)))
+        + _format_value(x_max)
+    )
+    lines.append(" " * (label_width + 2) + x_axis)
+    if x_label:
+        lines.append(" " * (label_width + 2) + x_label)
+    legend = "   ".join(
+        f"{markers[k % len(markers)]} = {name}" for k, name in enumerate(series)
+    )
+    lines.append("legend: " + legend + (f"   (y: {y_label})" if y_label else ""))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Render labelled horizontal bars scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("nothing to plot")
+    values = [float(v) for v in values]
+    biggest = max(abs(v) for v in values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "█" * max(0, int(round(abs(value) / biggest * width)))
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {_format_value(value)}")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float], bins: int = 10, title: str = "", width: int = 50
+) -> str:
+    """Render a histogram of a numeric sample as horizontal bars."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("nothing to plot")
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for v in values:
+        idx = min(bins - 1, int((v - lo) / span * bins))
+        counts[idx] += 1
+    labels = [
+        f"[{_format_value(lo + span * i / bins)}, {_format_value(lo + span * (i + 1) / bins)})"
+        for i in range(bins)
+    ]
+    return bar_chart(labels, counts, title=title, width=width)
+
+
+def reliability_chart(table: Sequence[dict], width: int = 40) -> str:
+    """Render a reliability diagram from :func:`repro.learn.reliability_table`.
+
+    Each row shows the bin, its mean confidence (`·`), and the empirical
+    positive rate (`█`): a calibrated model has the two aligned per bin.
+    """
+    if not table:
+        raise ValueError("nothing to plot")
+    lines = ["bin            confidence (·) vs empirical rate (█)"]
+    for row in table:
+        conf = int(round(row["mean_confidence"] * (width - 1)))
+        rate = int(round(row["empirical_rate"] * (width - 1)))
+        track = [" "] * width
+        track[rate] = "█"
+        if track[conf] == " ":
+            track[conf] = "·"
+        lines.append(
+            f"{row['bin']:<12} |{''.join(track)}| n={row['count']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for frames and benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "format_records", "pretty_print"]
+
+
+def _cell_text(value: Any, float_fmt: str) -> str:
+    if value is None:
+        return "·"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_records(
+    records: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    float_fmt: str = ".4g",
+    max_width: int = 40,
+) -> str:
+    """Render a list of dict records as an aligned text table."""
+    if not records:
+        return "(empty)"
+    names = list(columns) if columns is not None else list(records[0])
+    rows = []
+    for record in records:
+        row = []
+        for name in names:
+            text = _cell_text(record.get(name), float_fmt)
+            if len(text) > max_width:
+                text = text[: max_width - 1] + "…"
+            row.append(text)
+        rows.append(row)
+    widths = [
+        max(len(name), *(len(row[j]) for row in rows)) for j, name in enumerate(names)
+    ]
+    header = "  ".join(name.ljust(widths[j]) for j, name in enumerate(names))
+    rule = "  ".join("-" * widths[j] for j in range(len(names)))
+    body = "\n".join(
+        "  ".join(row[j].ljust(widths[j]) for j in range(len(names))) for row in rows
+    )
+    return "\n".join([header, rule, body])
+
+
+def format_table(frame, max_rows: int = 20, float_fmt: str = ".4g") -> str:
+    """Render a :class:`repro.frame.DataFrame` as text, truncating long frames."""
+    records = frame.head(max_rows).to_rows()
+    text = format_records(records, columns=frame.columns, float_fmt=float_fmt)
+    if frame.num_rows > max_rows:
+        text += f"\n… ({frame.num_rows} rows total)"
+    return text
+
+
+def pretty_print(frame_or_records, **kwargs) -> None:
+    """Print a frame or record list as an aligned table (paper's ``nde.pretty_print``)."""
+    if isinstance(frame_or_records, (list, tuple)):
+        print(format_records(list(frame_or_records), **kwargs))
+    else:
+        print(format_table(frame_or_records, **kwargs))

@@ -1,0 +1,92 @@
+"""Tests for the data-debugging challenge and leaderboard."""
+
+import numpy as np
+import pytest
+
+from repro.challenge import DebuggingChallenge, Leaderboard
+from repro.cleaning import BudgetExhausted
+
+
+@pytest.fixture(scope="module")
+def challenge():
+    return DebuggingChallenge(n=300, cleaning_budget=30, error_seed=42)
+
+
+class TestLeaderboard:
+    def test_best_score_wins(self):
+        board = Leaderboard()
+        board.record("alice", 0.8)
+        board.record("alice", 0.7)
+        board.record("bob", 0.75)
+        standings = board.standings()
+        assert standings[0].participant == "alice"
+        assert standings[0].score == 0.8
+        assert standings[0].n_submissions == 2
+
+    def test_winner_none_when_empty(self):
+        assert Leaderboard().winner() is None
+
+    def test_render_contains_participants(self):
+        board = Leaderboard()
+        board.record("carol", 0.9)
+        assert "carol" in board.render()
+
+    def test_ties_sorted_by_name(self):
+        board = Leaderboard()
+        board.record("zed", 0.5)
+        board.record("amy", 0.5)
+        assert board.standings()[0].participant == "amy"
+
+
+class TestChallenge:
+    def test_train_is_corrupted(self, challenge):
+        assert not challenge.train.equals(challenge._clean_train)
+        assert challenge.train.column("employer_rating").null_count() > 0
+
+    def test_submission_updates_leaderboard(self, challenge):
+        submission = challenge.submit("alice", challenge.train.row_ids[:10].tolist())
+        assert submission.n_cleaned <= 10
+        assert challenge.leaderboard.winner() is not None
+
+    def test_budget_enforced_across_submissions(self, challenge):
+        challenge.submit("bob", challenge.train.row_ids[:20].tolist())
+        with pytest.raises(BudgetExhausted):
+            challenge.submit("bob", challenge.train.row_ids[20:45].tolist())
+
+    def test_participants_isolated(self, challenge):
+        """One participant's cleaning must not affect another's state."""
+        before = challenge.remaining_budget("dave")
+        challenge.submit("erin", challenge.train.row_ids[:5].tolist())
+        assert challenge.remaining_budget("dave") == before
+
+    def test_cleaning_true_errors_beats_baseline(self, challenge):
+        errors = challenge.reveal_errors()
+        submission = challenge.submit("oracle-user", errors[:30].tolist())
+        assert submission.hidden_test_accuracy >= challenge.baseline_accuracy - 0.02
+
+    def test_oracle_upper_bound_at_least_baseline(self, challenge):
+        assert challenge.oracle_upper_bound() >= challenge.baseline_accuracy - 0.02
+
+    def test_informed_cleaning_finds_more_errors_than_random(self):
+        """A KNN-Shapley-guided submission targets the hidden errors far
+        better than chance (the accuracy delta itself is noisy at this test
+        size, so the assertion is on detection quality)."""
+        from repro.importance import knn_shapley
+
+        game = DebuggingChallenge(n=300, cleaning_budget=40, error_seed=11)
+        X = game.featurize(game.train)
+        y = np.asarray(game.train.column("sentiment").to_list())
+        Xv = game.featurize(game.valid)
+        yv = np.asarray(game.valid.column("sentiment").to_list())
+        ranking = knn_shapley(X, y, Xv, yv, k=5).lowest(40)
+        informed_ids = game.train.row_ids[ranking].tolist()
+        errors = set(game.reveal_errors().tolist())
+        informed_hits = len(set(informed_ids) & errors)
+
+        rng = np.random.default_rng(0)
+        random_ids = rng.choice(game.train.row_ids, size=40, replace=False).tolist()
+        random_hits = len(set(random_ids) & errors)
+        assert informed_hits > random_hits
+
+        submission = game.submit("informed", informed_ids)
+        assert submission.hidden_test_accuracy >= game.baseline_accuracy - 0.05

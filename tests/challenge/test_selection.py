@@ -1,0 +1,72 @@
+"""Tests for the DataPerf-style selection challenge."""
+
+import numpy as np
+import pytest
+
+from repro.challenge import SelectionChallenge
+from repro.importance import knn_shapley
+
+
+@pytest.fixture(scope="module")
+def game():
+    return SelectionChallenge(n=400, budget=120, error_fraction=0.25, error_seed=31)
+
+
+class TestSelectionChallenge:
+    def test_budget_enforced(self, game):
+        too_many = game.pool.row_ids[: game.budget + 1].tolist()
+        with pytest.raises(ValueError):
+            game.submit("greedy", too_many)
+
+    def test_duplicates_rejected(self, game):
+        ids = game.pool.row_ids[:5].tolist()
+        with pytest.raises(ValueError):
+            game.submit("cheater", ids + [ids[0]])
+
+    def test_single_class_selection_rejected(self, game):
+        labels = np.asarray(game.pool.column("sentiment").to_list())
+        positives = game.pool.row_ids[labels == "positive"][:20]
+        with pytest.raises(ValueError):
+            game.submit("one-note", positives.tolist())
+
+    def test_submission_recorded_on_leaderboard(self, game):
+        result = game.random_baseline(seed=3)
+        assert 0.0 <= result.hidden_test_accuracy <= 1.0
+        names = [e.participant for e in game.leaderboard.standings()]
+        assert "random-baseline-3" in names
+
+    def test_importance_selection_avoids_errors(self, game):
+        """The deterministic claim: a high-importance selection contains far
+        fewer corrupted tuples than a random one would in expectation."""
+        X = game.featurize(game.pool)
+        y = np.asarray(game.pool.column("sentiment").to_list())
+        Xv = game.featurize(game.valid)
+        yv = np.asarray(game.valid.column("sentiment").to_list())
+        chosen = game.pool.row_ids[
+            knn_shapley(X, y, Xv, yv, k=5).highest(game.budget)
+        ]
+        errors = set(game.reveal_errors().tolist())
+        selected_errors = len(set(chosen.tolist()) & errors)
+        expected_random = game.budget * len(errors) / game.pool.num_rows
+        assert selected_errors < 0.6 * expected_random
+
+    def test_filter_and_sample_beats_random(self):
+        """The DataPerf lesson: drop the harmful tail, keep diversity."""
+        random_accs, fs_accs = [], []
+        for seed in (31, 7):
+            game = SelectionChallenge(
+                n=400, budget=120, error_fraction=0.25, error_seed=seed
+            )
+            X = game.featurize(game.pool)
+            y = np.asarray(game.pool.column("sentiment").to_list())
+            Xv = game.featurize(game.valid)
+            yv = np.asarray(game.valid.column("sentiment").to_list())
+            importance = knn_shapley(X, y, Xv, yv, k=5)
+            keep = importance.highest(int(0.7 * game.pool.num_rows))
+            rng = np.random.default_rng(1)
+            chosen = rng.choice(keep, size=game.budget, replace=False)
+            fs_accs.append(
+                game.submit("fs", game.pool.row_ids[chosen].tolist()).hidden_test_accuracy
+            )
+            random_accs.append(game.random_baseline(seed=0).hidden_test_accuracy)
+        assert np.mean(fs_accs) > np.mean(random_accs) - 0.02

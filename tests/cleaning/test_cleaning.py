@@ -1,0 +1,237 @@
+"""Tests for cleaning oracles, strategies, and iterative loops."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    BudgetExhausted,
+    CleaningOracle,
+    STRATEGY_NAMES,
+    activeclean,
+    iterative_cleaning,
+    make_strategy,
+)
+from repro.core import default_featurize
+from repro.datasets import load_recommendation_letters, make_classification
+from repro.errors import inject_label_errors
+from repro.learn import KNeighborsClassifier, LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def dirty_scenario():
+    train, valid, __ = load_recommendation_letters(n=260, seed=3)
+    dirty, report = inject_label_errors(train, "sentiment", fraction=0.2, seed=3)
+    return train, dirty, valid, report
+
+
+class TestOracle:
+    def test_cleans_requested_rows(self, dirty_scenario):
+        clean, dirty, __, report = dirty_scenario
+        oracle = CleaningOracle(clean)
+        repaired = oracle.clean(dirty, report.row_ids[:10].tolist())
+        positions = clean.positions_of(report.row_ids[:10])
+        for p in positions:
+            assert (
+                repaired["sentiment"].to_list()[p] == clean["sentiment"].to_list()[p]
+            )
+
+    def test_does_not_touch_other_rows(self, dirty_scenario):
+        clean, dirty, __, report = dirty_scenario
+        oracle = CleaningOracle(clean)
+        repaired = oracle.clean(dirty, report.row_ids[:5].tolist())
+        untouched = [
+            rid for rid in dirty.row_ids.tolist() if rid not in report.row_ids[:5]
+        ]
+        positions = dirty.positions_of(untouched[:20])
+        for p in positions:
+            assert repaired["sentiment"].to_list()[p] == dirty["sentiment"].to_list()[p]
+
+    def test_budget_enforced(self, dirty_scenario):
+        clean, dirty, *__ = dirty_scenario
+        oracle = CleaningOracle(clean, budget=5)
+        oracle.clean(dirty, dirty.row_ids[:5].tolist())
+        with pytest.raises(BudgetExhausted):
+            oracle.clean(dirty, dirty.row_ids[5:7].tolist())
+
+    def test_recleaning_is_free(self, dirty_scenario):
+        clean, dirty, *__ = dirty_scenario
+        oracle = CleaningOracle(clean, budget=5)
+        ids = dirty.row_ids[:5].tolist()
+        oracle.clean(dirty, ids)
+        oracle.clean(dirty, ids)  # no BudgetExhausted
+        assert oracle.spent == 5
+
+    def test_unknown_row_ids_ignored(self, dirty_scenario):
+        clean, dirty, *__ = dirty_scenario
+        oracle = CleaningOracle(clean)
+        repaired = oracle.clean(dirty, [999_999])
+        assert repaired.equals(dirty)
+        assert oracle.spent == 0
+
+    def test_remaining_budget(self, dirty_scenario):
+        clean, dirty, *__ = dirty_scenario
+        oracle = CleaningOracle(clean, budget=10)
+        oracle.clean(dirty, dirty.row_ids[:4].tolist())
+        assert oracle.remaining == 6
+
+
+class TestStrategies:
+    def test_all_strategies_return_permutations(self, binary_data):
+        Xtr, ytr, Xv, yv = binary_data
+        for name in STRATEGY_NAMES:
+            strategy = make_strategy(
+                name, model=LogisticRegression(max_iter=40), n_permutations=3, n_samples=20
+            )
+            ranking = strategy(Xtr[:40], ytr[:40], Xv, yv)
+            assert sorted(ranking.tolist()) == list(range(40)), name
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            make_strategy("magic")
+
+    def test_knn_shapley_ranks_flipped_labels_low(self):
+        rng = np.random.default_rng(0)
+        X, y = make_classification(n=120, n_features=2, n_informative=2, seed=0)
+        dirty = y.copy()
+        flipped = rng.choice(120, 20, replace=False)
+        dirty[flipped] = 1 - dirty[flipped]
+        strategy = make_strategy("knn_shapley")
+        ranking = strategy(X, dirty, X[:40], y[:40])
+        flagged = set(ranking[:20].tolist())
+        assert len(flagged & set(flipped.tolist())) >= 8  # ≫ random ≈ 3.3
+
+
+class TestIterativeCleaning:
+    def test_prioritised_cleaning_beats_random(self, dirty_scenario):
+        clean, dirty, valid, __ = dirty_scenario
+        model = KNeighborsClassifier(5)
+        curves = {}
+        for name in ("knn_shapley", "random"):
+            oracle = CleaningOracle(clean)
+            curves[name] = iterative_cleaning(
+                dirty, valid, default_featurize, "sentiment", oracle,
+                make_strategy(name), model, batch_size=25, n_rounds=3,
+                strategy_name=name,
+            )
+        assert (
+            curves["knn_shapley"].area_under_curve()
+            >= curves["random"].area_under_curve()
+        )
+
+    def test_curve_structure(self, dirty_scenario):
+        clean, dirty, valid, __ = dirty_scenario
+        oracle = CleaningOracle(clean)
+        curve = iterative_cleaning(
+            dirty, valid, default_featurize, "sentiment", oracle,
+            make_strategy("confident_learning"), LogisticRegression(max_iter=40),
+            batch_size=10, n_rounds=2,
+        )
+        assert curve.budgets() == [0, 10, 20]
+        assert len(curve.accuracies()) == 3
+        assert curve.records[0]["round"] == 0
+
+    def test_cleaning_improves_over_dirty(self, dirty_scenario):
+        clean, dirty, valid, __ = dirty_scenario
+        oracle = CleaningOracle(clean)
+        curve = iterative_cleaning(
+            dirty, valid, default_featurize, "sentiment", oracle,
+            make_strategy("knn_shapley"), KNeighborsClassifier(5),
+            batch_size=30, n_rounds=3,
+        )
+        assert curve.final_accuracy >= curve.initial_accuracy
+
+    def test_no_recleaning_same_rows(self, dirty_scenario):
+        clean, dirty, valid, __ = dirty_scenario
+        oracle = CleaningOracle(clean)
+        iterative_cleaning(
+            dirty, valid, default_featurize, "sentiment", oracle,
+            make_strategy("random"), LogisticRegression(max_iter=30),
+            batch_size=20, n_rounds=3,
+        )
+        assert oracle.spent == 60  # 3 disjoint batches
+
+
+class TestActiveClean:
+    def test_curve_shape_and_improvement(self, dirty_scenario):
+        clean, dirty, valid, __ = dirty_scenario
+        oracle = CleaningOracle(clean)
+        curve = activeclean(
+            dirty, valid, default_featurize, "sentiment", oracle,
+            batch_size=30, n_rounds=3, seed=0,
+        )
+        assert curve.strategy == "activeclean"
+        assert curve.budgets() == [0, 30, 60, 90]
+        assert curve.final_accuracy >= curve.initial_accuracy - 0.05
+
+
+class TestPipelineIterativeCleaning:
+    """The hands-on session's second task: cleaning through the pipeline."""
+
+    def _setup(self):
+        from repro.datasets import generate_hiring_data
+        from repro.errors import inject_label_errors
+        from repro.learn.model_selection import split_frame
+        from tests.pipeline.conftest import build_letters_pipeline
+
+        data = generate_hiring_data(n=600, seed=7)
+        train, valid = split_frame(data["letters"], fractions=(0.75, 0.25), seed=1)
+        dirty, report = inject_label_errors(train, "sentiment", fraction=0.25, seed=4)
+        __, sink = build_letters_pipeline()
+        side = {
+            "jobdetail_df": data["jobdetail"],
+            "social_df": data["social"],
+        }
+        return sink, train, dirty, valid, side, report
+
+    def test_curve_improves_and_targets_pipeline_rows(self):
+        from repro.cleaning import CleaningOracle, pipeline_iterative_cleaning
+
+        sink, clean_train, dirty, valid, side, report = self._setup()
+        oracle = CleaningOracle(clean_train)
+        curve = pipeline_iterative_cleaning(
+            sink,
+            {"train_df": dirty, **side},
+            {"train_df": valid, **side},
+            train_source="train_df",
+            oracle=oracle,
+            model=KNeighborsClassifier(5),
+            batch_size=25,
+            n_rounds=3,
+        )
+        assert curve.budgets() == [0, 25, 50, 75]
+        assert curve.final_accuracy >= curve.initial_accuracy - 0.02
+        # Only rows that flow through the pipeline are worth oracle budget.
+        from repro.pipeline import execute
+
+        surviving = set(
+            execute(sink, {"train_df": dirty, **side}, fit=True)
+            .provenance.source_row_ids("train_df")
+            .tolist()
+        )
+        assert oracle.cleaned_row_ids <= surviving
+
+    def test_cleaning_hits_injected_errors_above_base_rate(self):
+        from repro.cleaning import CleaningOracle, pipeline_iterative_cleaning
+        from repro.pipeline import execute
+
+        sink, clean_train, dirty, valid, side, report = self._setup()
+        oracle = CleaningOracle(clean_train)
+        pipeline_iterative_cleaning(
+            sink,
+            {"train_df": dirty, **side},
+            {"train_df": valid, **side},
+            train_source="train_df",
+            oracle=oracle,
+            model=KNeighborsClassifier(5),
+            batch_size=25,
+            n_rounds=2,
+        )
+        surviving = set(
+            execute(sink, {"train_df": dirty, **side}, fit=True)
+            .provenance.source_row_ids("train_df")
+            .tolist()
+        )
+        surviving_errors = set(report.row_ids.tolist()) & surviving
+        hits = len(oracle.cleaned_row_ids & surviving_errors)
+        base_rate = len(surviving_errors) / max(len(surviving), 1)
+        assert hits / max(oracle.spent, 1) > base_rate

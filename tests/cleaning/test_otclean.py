@@ -1,0 +1,95 @@
+"""Tests for OTClean-style conditional-independence repair."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import OTCleanRepair, conditional_mutual_information, otclean
+from repro.frame import DataFrame
+
+
+def make_violating_frame(n=1500, strength=0.7, seed=0):
+    """X depends on Y inside each Z-stratum (CI violated)."""
+    rng = np.random.default_rng(seed)
+    z = rng.choice(["s1", "s2"], size=n)
+    y = rng.choice(["yes", "no"], size=n)
+    x = np.where(
+        (y == "yes") & (rng.random(n) < strength), "A", rng.choice(["A", "B"], size=n)
+    )
+    return DataFrame({"x": x.astype(str), "y": y.astype(str), "z": z.astype(str)})
+
+
+def make_ci_frame(n=1500, seed=1):
+    """X ⊥ Y | Z by construction: X depends only on Z."""
+    rng = np.random.default_rng(seed)
+    z = rng.choice(["s1", "s2"], size=n)
+    y = rng.choice(["yes", "no"], size=n)
+    x = np.where(z == "s1", rng.choice(["A", "B"], size=n, p=[0.8, 0.2]),
+                 rng.choice(["A", "B"], size=n, p=[0.3, 0.7]))
+    return DataFrame({"x": x.astype(str), "y": y.astype(str), "z": z.astype(str)})
+
+
+class TestCMI:
+    def test_violating_data_has_positive_cmi(self):
+        frame = make_violating_frame()
+        assert conditional_mutual_information(frame, "x", "y", "z") > 0.02
+
+    def test_ci_data_has_near_zero_cmi(self):
+        frame = make_ci_frame()
+        assert conditional_mutual_information(frame, "x", "y", "z") < 0.005
+
+    def test_cmi_nonnegative(self):
+        frame = make_ci_frame(n=50, seed=3)
+        assert conditional_mutual_information(frame, "x", "y", "z") >= 0.0
+
+    def test_stronger_dependence_higher_cmi(self):
+        weak = make_violating_frame(strength=0.2, seed=2)
+        strong = make_violating_frame(strength=0.9, seed=2)
+        assert conditional_mutual_information(
+            strong, "x", "y", "z"
+        ) > conditional_mutual_information(weak, "x", "y", "z")
+
+
+class TestOTClean:
+    def test_repair_zeroes_weighted_cmi(self):
+        frame = make_violating_frame()
+        repair = otclean(frame, "x", "y", "z")
+        assert repair.cmi_before > 0.02
+        assert repair.cmi_after < 1e-9
+
+    def test_weights_nonnegative_and_normalisable(self):
+        frame = make_violating_frame()
+        repair = otclean(frame, "x", "y", "z")
+        assert np.all(repair.weights >= 0)
+        assert repair.weights.sum() > 0
+
+    def test_ci_data_gets_near_uniform_weights(self):
+        frame = make_ci_frame()
+        repair = otclean(frame, "x", "y", "z")
+        # Already independent: the projection barely moves anything.
+        assert np.abs(repair.weights - 1.0).mean() < 0.1
+
+    def test_resample_reduces_cmi(self):
+        frame = make_violating_frame()
+        repair = otclean(frame, "x", "y", "z")
+        resampled = repair.resample(frame, seed=1)
+        assert resampled.num_rows == frame.num_rows
+        assert (
+            conditional_mutual_information(resampled, "x", "y", "z")
+            < 0.3 * repair.cmi_before
+        )
+
+    def test_resample_preserves_schema(self):
+        frame = make_violating_frame(n=200)
+        repair = otclean(frame, "x", "y", "z")
+        resampled = repair.resample(frame, n=100, seed=2)
+        assert resampled.columns == frame.columns
+        assert resampled.num_rows == 100
+
+    def test_repair_does_not_touch_values(self):
+        """OTClean reweights; it never fabricates cell values."""
+        frame = make_violating_frame(n=300)
+        repair = otclean(frame, "x", "y", "z")
+        resampled = repair.resample(frame, seed=3)
+        original_rows = {tuple(r.values()) for r in frame.to_rows()}
+        for row in resampled.to_rows():
+            assert tuple(row.values()) in original_rows

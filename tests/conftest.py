@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_recommendation_letters, make_classification
+from repro.frame import DataFrame
+
+
+@pytest.fixture(scope="session")
+def letters_small():
+    """A small letters split reused across tests (read-only)."""
+    return load_recommendation_letters(n=240, seed=7)
+
+
+@pytest.fixture()
+def simple_frame() -> DataFrame:
+    return DataFrame(
+        {
+            "a": [1, 2, 3, 4, 5],
+            "b": ["x", "y", None, "x", "y"],
+            "c": [1.5, None, 3.0, 4.5, 5.0],
+            "flag": [True, False, True, True, False],
+        }
+    )
+
+
+@pytest.fixture(scope="session")
+def binary_data():
+    """(x_train, y_train, x_valid, y_valid) for a separable binary task."""
+    X, y = make_classification(n=160, n_features=4, seed=11)
+    return X[:120], y[:120], X[120:], y[120:]
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,124 @@
+"""Tests for the paper-facing nde facade (repro.core)."""
+
+import numpy as np
+import pytest
+
+import repro.core as nde
+from repro.cleaning import CleaningOracle
+from repro.datasets import load_sidedata
+from repro.learn import CellImputer, ColumnTransformer, OneHotEncoder, Pipeline, StandardScaler
+from repro.pipeline import PipelinePlan
+from repro.text import SentenceBertTransformer
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    train, valid, test = nde.load_recommendation_letters(n=300, seed=7)
+    return train, valid, test
+
+
+class TestFigure2Flow:
+    def test_inject_returns_corrupted_frame_only(self, scenario):
+        train, *__ = scenario
+        dirty = nde.inject_labelerrors(train, fraction=0.1, seed=1)
+        changed = sum(
+            a != b
+            for a, b in zip(
+                dirty["sentiment"].to_list(), train["sentiment"].to_list()
+            )
+        )
+        assert changed == int(round(0.1 * train.num_rows))
+
+    def test_errors_hurt_and_cleaning_recovers(self, scenario):
+        """The Figure 2 storyline end-to-end."""
+        train, valid, __ = scenario
+        dirty = nde.inject_labelerrors(train, fraction=0.25, seed=2)
+        acc_clean = nde.evaluate_model(train, valid)
+        acc_dirty = nde.evaluate_model(dirty, valid)
+        assert acc_dirty <= acc_clean
+
+        importances = nde.knn_shapley_values(dirty, validation=valid)
+        lowest = np.argsort(importances)[:40]
+        oracle = CleaningOracle(train)
+        repaired = oracle.clean(dirty, [int(dirty.row_ids[p]) for p in lowest])
+        acc_repaired = nde.evaluate_model(repaired, valid)
+        assert acc_repaired >= acc_dirty
+
+    def test_knn_shapley_values_aligned(self, scenario):
+        train, valid, __ = scenario
+        values = nde.knn_shapley_values(train, validation=valid)
+        assert values.shape == (train.num_rows,)
+
+    def test_default_featurize_shape(self, scenario):
+        train, *__ = scenario
+        X = nde.default_featurize(train)
+        assert X.shape[0] == train.num_rows
+        assert X.shape[1] > 48
+
+
+class TestFigure3Flow:
+    def _pipeline(self):
+        plan = PipelinePlan()
+        train = plan.source("train_df")
+        jobs = plan.source("jobdetail_df")
+        social = plan.source("social_df")
+        encoder = ColumnTransformer(
+            [
+                (SentenceBertTransformer(n_features=16), "letter_text"),
+                (Pipeline([CellImputer(), OneHotEncoder()]), "degree"),
+                (StandardScaler(), ["age", "employer_rating"]),
+            ]
+        )
+        return (
+            train.join(jobs, on="job_id")
+            .join(social, on="person_id")
+            .filter(lambda df: df["sector"] == "healthcare", "sector == 'healthcare'")
+            .encode(encoder, label_column="sentiment")
+        )
+
+    def test_show_query_plan_prints(self, scenario, capsys):
+        nde.show_query_plan(self._pipeline())
+        out = capsys.readouterr().out
+        assert "Join" in out and "Encode" in out
+
+    def test_with_provenance_datascope_remove_evaluate(self, scenario):
+        train, valid, __ = scenario
+        jobdetail, social = load_sidedata(n=300, seed=7)
+        sink = self._pipeline()
+        X_train, result = nde.with_provenance(
+            sink, {"train_df": train, "jobdetail_df": jobdetail, "social_df": social}
+        )
+        from repro.pipeline import execute
+
+        valid_result = execute(
+            sink,
+            {"train_df": valid, "jobdetail_df": jobdetail, "social_df": social},
+            fit=False,
+        )
+        importances = nde.datascope(result, valid_result)
+        lowest = importances.lowest(train, 10)
+        X_clean, y_clean = nde.remove(
+            result, "train_df", train.row_ids[lowest].tolist()
+        )
+        assert len(X_clean) < len(X_train)
+        delta = nde.evaluate_change(
+            result.X, result.y, X_clean, y_clean, valid_result.X, valid_result.y
+        )
+        assert isinstance(delta, float)
+
+
+class TestFigure4Flow:
+    def test_encode_symbolic_and_zorro(self, scenario):
+        train, __, test = scenario
+        max_losses = {}
+        for percentage in (5, 25):
+            symbolic = nde.encode_symbolic(
+                train, missing_percentage=percentage, seed=1
+            )
+            max_losses[percentage] = nde.estimate_with_zorro(symbolic, test)
+        assert max_losses[25] >= max_losses[5]
+
+    def test_visualize_uncertainty_returns_chart(self, capsys):
+        chart = nde.visualize_uncertainty({5: 0.1, 10: 0.3}, "employer_rating")
+        assert "employer_rating" in chart
+        assert "employer_rating" in capsys.readouterr().out

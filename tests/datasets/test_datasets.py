@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DEGREES,
+    SECTORS,
+    generate_hiring_data,
+    load_recommendation_letters,
+    load_sidedata,
+    make_biased_hiring,
+    make_blobs,
+    make_classification,
+    make_moons,
+    make_regression,
+)
+
+
+class TestHiringScenario:
+    def test_schema(self):
+        data = generate_hiring_data(n=50, seed=1)
+        assert data["letters"].columns == [
+            "person_id", "name", "job_id", "letter_text", "degree", "sex",
+            "age", "race", "employer_rating", "sentiment",
+        ]
+        assert data["jobdetail"].columns == ["job_id", "sector", "salary_band", "team_size"]
+        assert data["social"].columns == ["person_id", "twitter", "followers"]
+
+    def test_deterministic_by_seed(self):
+        a = generate_hiring_data(n=40, seed=5)["letters"]
+        b = generate_hiring_data(n=40, seed=5)["letters"]
+        assert a.equals(b)
+
+    def test_seeds_change_data(self):
+        a = generate_hiring_data(n=40, seed=5)["letters"]
+        b = generate_hiring_data(n=40, seed=6)["letters"]
+        assert not a.equals(b)
+
+    def test_join_keys_resolve(self):
+        data = generate_hiring_data(n=60, seed=2)
+        joined = data["letters"].join(data["jobdetail"], on="job_id", how="left")
+        assert joined.column("sector").null_count() == 0
+        joined2 = data["letters"].join(data["social"], on="person_id", how="left")
+        assert joined2.column("followers").null_count() == 0
+
+    def test_sectors_and_degrees_valid(self):
+        data = generate_hiring_data(n=80, seed=3)
+        assert set(data["jobdetail"].column("sector").unique()) <= set(SECTORS)
+        assert set(data["letters"].column("degree").unique()) <= set(DEGREES)
+
+    def test_letter_text_mentions_polarity_words(self):
+        data = generate_hiring_data(n=30, seed=4)
+        texts = data["letters"].column("letter_text").to_list()
+        assert all(len(t) > 50 for t in texts)
+
+    def test_twitter_partially_missing(self):
+        data = generate_hiring_data(n=100, seed=5)
+        missing = data["social"].column("twitter").null_count()
+        assert 0 < missing < 100
+
+    def test_labels_both_classes(self):
+        data = generate_hiring_data(n=60, seed=6)
+        assert set(data["letters"].column("sentiment").unique()) == {"negative", "positive"}
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            generate_hiring_data(n=2)
+
+    def test_loader_split_sizes(self):
+        train, valid, test = load_recommendation_letters(n=100, seed=0)
+        assert train.num_rows + valid.num_rows + test.num_rows == 100
+        ids = set(train.row_ids) | set(valid.row_ids) | set(test.row_ids)
+        assert len(ids) == 100
+
+    def test_sidedata_consistent_with_loader(self):
+        __, __, test = load_recommendation_letters(n=80, seed=1)
+        jobdetail, social = load_sidedata(n=80, seed=1)
+        joined = test.join(jobdetail, on="job_id", how="left")
+        assert joined.column("sector").null_count() == 0
+
+
+class TestTabularGenerators:
+    def test_blobs_shapes(self):
+        X, y = make_blobs(n=50, centers=3, n_features=4, seed=0)
+        assert X.shape == (50, 4)
+        assert set(np.unique(y)) <= {0, 1, 2}
+
+    def test_classification_learnable(self):
+        from repro.learn import LogisticRegression
+
+        X, y = make_classification(n=200, seed=1)
+        assert LogisticRegression().fit(X[:150], y[:150]).score(X[150:], y[150:]) > 0.8
+
+    def test_classification_informative_bound(self):
+        with pytest.raises(ValueError):
+            make_classification(n_features=2, n_informative=3)
+
+    def test_moons_two_balanced_classes(self):
+        __, y = make_moons(n=100, seed=2)
+        assert np.abs(np.mean(y) - 0.5) < 0.01
+
+    def test_regression_returns_true_weights(self):
+        X, y, w = make_regression(n=100, n_features=3, noise=0.0, seed=3)
+        assert np.allclose(X @ w, y)
+
+    def test_biased_hiring_flips_only_group_b(self):
+        df = make_biased_hiring(n=300, bias_strength=0.5, seed=4)
+        flipped = df[df["bias_flipped"] == True]  # noqa: E712
+        assert flipped.num_rows > 0
+        assert set(flipped.column("group").unique()) == {"B"}
+        # Every flip goes qualified -> not hired.
+        assert set(flipped.column("hired").unique()) == {"no"}
+        assert set(flipped.column("true_hired").unique()) == {"yes"}
+
+    def test_biased_hiring_zero_strength_clean(self):
+        df = make_biased_hiring(n=100, bias_strength=0.0, seed=5)
+        assert df.column("bias_flipped").sum() == 0

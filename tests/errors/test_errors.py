@@ -1,0 +1,247 @@
+"""Unit tests for error injection with ground-truth reports."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ErrorReport,
+    inject_distribution_shift,
+    inject_duplicates,
+    inject_gaussian_noise,
+    inject_group_label_bias,
+    inject_label_errors,
+    inject_missing,
+    inject_outliers,
+    inject_selection_bias,
+    inject_typos,
+    merge_reports,
+)
+from repro.frame import DataFrame
+
+
+@pytest.fixture()
+def frame():
+    rng = np.random.default_rng(0)
+    return DataFrame(
+        {
+            "label": rng.choice(["pos", "neg"], size=100).astype(str),
+            "value": rng.normal(size=100).round(3),
+            "name": np.asarray([f"name{i}" for i in range(100)], dtype=str),
+            "group": rng.choice(["A", "B"], size=100).astype(str),
+        }
+    )
+
+
+class TestLabelErrors:
+    def test_exact_count(self, frame):
+        dirty, report = inject_label_errors(frame, "label", 0.1, seed=1)
+        assert report.n_errors == 10
+        changed = sum(
+            a != b
+            for a, b in zip(dirty["label"].to_list(), frame["label"].to_list())
+        )
+        assert changed == 10
+
+    def test_flips_to_different_class(self, frame):
+        dirty, report = inject_label_errors(frame, "label", 0.2, seed=2)
+        positions = frame.positions_of(report.row_ids)
+        for p, original in zip(positions, report.original_values):
+            assert dirty["label"].to_list()[p] != original
+
+    def test_original_values_recorded(self, frame):
+        __, report = inject_label_errors(frame, "label", 0.1, seed=3)
+        positions = frame.positions_of(report.row_ids)
+        originals = [frame["label"].to_list()[p] for p in positions]
+        assert originals == report.original_values
+
+    def test_zero_fraction_noop(self, frame):
+        dirty, report = inject_label_errors(frame, "label", 0.0)
+        assert report.n_errors == 0
+        assert dirty.equals(frame)
+
+    def test_source_frame_untouched(self, frame):
+        before = frame["label"].to_list()
+        inject_label_errors(frame, "label", 0.3, seed=4)
+        assert frame["label"].to_list() == before
+
+    def test_single_class_raises(self):
+        df = DataFrame({"label": ["a", "a"]})
+        with pytest.raises(ValueError):
+            inject_label_errors(df, "label", 0.5)
+
+    def test_bad_fraction_raises(self, frame):
+        with pytest.raises(ValueError):
+            inject_label_errors(frame, "label", 1.5)
+
+
+class TestGroupLabelBias:
+    def test_only_targets_group(self, frame):
+        dirty, report = inject_group_label_bias(
+            frame, "label", "group", "B", from_label="pos", to_label="neg",
+            fraction=0.5, seed=5,
+        )
+        positions = frame.positions_of(report.row_ids)
+        groups = [frame["group"].to_list()[p] for p in positions]
+        assert set(groups) <= {"B"}
+        for p in positions:
+            assert frame["label"].to_list()[p] == "pos"
+            assert dirty["label"].to_list()[p] == "neg"
+
+
+class TestMissing:
+    def test_mcar_count(self, frame):
+        dirty, report = inject_missing(frame, "value", 0.15, "MCAR", seed=1)
+        assert dirty["value"].null_count() == 15
+        assert report.n_errors == 15
+
+    def test_mnar_targets_high_values(self, frame):
+        dirty, __ = inject_missing(frame, "value", 0.2, "MNAR", seed=2)
+        values = np.asarray(frame["value"].to_list())
+        missing = dirty["value"].isnull()
+        assert values[missing].mean() > values[~missing].mean()
+
+    def test_mar_follows_driver(self, frame):
+        frame = frame.assign(driver=np.arange(100).astype(float))
+        dirty, __ = inject_missing(frame, "value", 0.2, "MAR", depends_on="driver", seed=3)
+        missing = dirty["value"].isnull()
+        drivers = np.asarray(frame["driver"].to_list())
+        assert drivers[missing].mean() > drivers[~missing].mean()
+
+    def test_mnar_non_numeric_raises(self, frame):
+        with pytest.raises(ValueError):
+            inject_missing(frame, "name", 0.1, "MNAR")
+
+    def test_unknown_mechanism_raises(self, frame):
+        with pytest.raises(ValueError):
+            inject_missing(frame, "value", 0.1, "MAGIC")
+
+    def test_originals_recoverable(self, frame):
+        dirty, report = inject_missing(frame, "value", 0.1, "MCAR", seed=4)
+        positions = frame.positions_of(report.row_ids)
+        originals = [frame["value"].to_list()[p] for p in positions]
+        assert originals == report.original_values
+
+
+class TestNoise:
+    def test_gaussian_noise_changes_values(self, frame):
+        dirty, report = inject_gaussian_noise(frame, "value", 0.1, scale=2.0, seed=1)
+        positions = frame.positions_of(report.row_ids)
+        for p in positions:
+            assert dirty["value"].to_list()[p] != frame["value"].to_list()[p]
+
+    def test_gaussian_on_string_raises(self, frame):
+        with pytest.raises(TypeError):
+            inject_gaussian_noise(frame, "name", 0.1)
+
+    def test_outliers_are_extreme(self, frame):
+        dirty, report = inject_outliers(frame, "value", 0.05, magnitude=8.0, seed=2)
+        values = np.asarray(frame["value"].to_list())
+        sigma = values.std()
+        positions = frame.positions_of(report.row_ids)
+        for p in positions:
+            assert abs(dirty["value"].to_list()[p] - values.mean()) > 5 * sigma
+
+    def test_typos_change_strings(self, frame):
+        dirty, report = inject_typos(frame, "name", 0.2, seed=3)
+        positions = frame.positions_of(report.row_ids)
+        assert len(positions) == 20
+        changed = sum(
+            dirty["name"].to_list()[p] != frame["name"].to_list()[p] for p in positions
+        )
+        assert changed >= 15  # a few edits may collide back to the original
+
+    def test_typos_on_numeric_raises(self, frame):
+        with pytest.raises(TypeError):
+            inject_typos(frame, "value", 0.1)
+
+
+class TestBias:
+    def test_selection_bias_shrinks_group(self, frame):
+        dirty, report = inject_selection_bias(frame, "group", "B", keep_fraction=0.2, seed=1)
+        before = frame["group"].value_counts()["B"]
+        after = dirty["group"].value_counts().get("B", 0)
+        assert after == int(round(0.2 * before))
+        assert report.n_errors == before - after
+
+    def test_selection_bias_preserves_other_group(self, frame):
+        dirty, __ = inject_selection_bias(frame, "group", "B", keep_fraction=0.0, seed=2)
+        assert dirty["group"].value_counts()["A"] == frame["group"].value_counts()["A"]
+
+    def test_distribution_shift_moves_mean(self, frame):
+        dirty, report = inject_distribution_shift(frame, "value", 0.3, shift=4.0, seed=3)
+        assert np.mean(dirty["value"].to_list()) > np.mean(frame["value"].to_list())
+
+    def test_duplicates_get_fresh_row_ids(self, frame):
+        dirty, report = inject_duplicates(frame, 0.1, seed=4)
+        assert dirty.num_rows == 110
+        assert report.n_errors == 10
+        assert len(set(dirty.row_ids.tolist())) == 110
+
+    def test_duplicates_zero_fraction(self, frame):
+        dirty, report = inject_duplicates(frame, 0.0)
+        assert dirty.num_rows == frame.num_rows
+        assert report.n_errors == 0
+
+
+class TestReport:
+    def test_affected_mask(self, frame):
+        __, report = inject_label_errors(frame, "label", 0.1, seed=1)
+        mask = report.affected_mask(frame.row_ids)
+        assert mask.sum() == 10
+
+    def test_summary_mentions_kind(self, frame):
+        __, report = inject_label_errors(frame, "label", 0.1)
+        assert "label_flip" in report.summary()
+
+    def test_merge_reports_unions_rows(self, frame):
+        __, a = inject_label_errors(frame, "label", 0.1, seed=1)
+        __, b = inject_missing(frame, "value", 0.1, seed=2)
+        merged = merge_reports([a, b])
+        assert merged.kind == "mixed"
+        assert merged.n_errors <= a.n_errors + b.n_errors
+        assert set(a.row_ids) <= set(merged.row_ids)
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(ValueError):
+            merge_reports([])
+
+
+class TestUnitMismatch:
+    def test_scales_exactly_the_chosen_rows(self, frame):
+        from repro.errors import inject_unit_mismatch
+
+        dirty, report = inject_unit_mismatch(
+            frame, "value", factor=100.0, fraction=0.1, seed=1
+        )
+        positions = frame.positions_of(report.row_ids)
+        for p, original in zip(positions, report.original_values):
+            assert dirty["value"].to_list()[p] == pytest.approx(100.0 * original)
+        untouched = np.setdiff1d(np.arange(frame.num_rows), positions)
+        for p in untouched[:10]:
+            assert dirty["value"].to_list()[p] == frame["value"].to_list()[p]
+
+    def test_detected_by_schema_validation(self):
+        from repro.datasets import generate_hiring_data
+        from repro.errors import inject_unit_mismatch
+        from repro.pipeline import infer_schema, validate_schema
+
+        letters = generate_hiring_data(n=200, seed=1)["letters"]
+        schema = infer_schema(letters)
+        dirty, __ = inject_unit_mismatch(
+            letters, "employer_rating", factor=100.0, fraction=0.1, seed=2
+        )
+        report = validate_schema(dirty, schema)
+        assert not report.passed
+        assert any(r.name == "in_range" for r in report.failures())
+
+    def test_zero_factor_raises(self, frame):
+        from repro.errors import inject_unit_mismatch
+
+        with pytest.raises(ValueError):
+            inject_unit_mismatch(frame, "value", factor=0.0)
+
+    def test_non_numeric_raises(self, frame):
+        from repro.errors import inject_unit_mismatch
+
+        with pytest.raises(TypeError):
+            inject_unit_mismatch(frame, "name")

@@ -1,0 +1,115 @@
+"""Tests for adversarial poisoning attacks and their interplay with defences."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.errors import adversarial_label_flips, targeted_poison_points
+from repro.learn import KNeighborsClassifier, clone
+from repro.robust import PartitionEnsemble
+from repro.uncertainty import knn_flip_robustness
+
+
+@pytest.fixture(scope="module")
+def task():
+    X, y = make_classification(n=300, n_features=4, seed=2)
+    return X[:220], y[:220], X[220:], y[220:]
+
+
+class TestAdversarialFlips:
+    def test_flips_exactly_budget_labels(self, task):
+        Xtr, ytr, Xv, yv = task
+        poisoned, report = adversarial_label_flips(Xtr, ytr, Xv, yv, budget=15)
+        assert int(np.sum(poisoned != ytr)) == 15
+        assert report.n_errors == 15
+
+    def test_stronger_than_random_for_knn(self, task):
+        Xtr, ytr, Xv, yv = task
+        budget = 30
+        poisoned, __ = adversarial_label_flips(Xtr, ytr, Xv, yv, budget=budget)
+        rng = np.random.default_rng(0)
+        random_labels = ytr.copy()
+        flips = rng.choice(len(ytr), budget, replace=False)
+        random_labels[flips] = 1 - random_labels[flips]
+        model = KNeighborsClassifier(5)
+        adversarial_acc = clone(model).fit(Xtr, poisoned).score(Xv, yv)
+        random_acc = clone(model).fit(Xtr, random_labels).score(Xv, yv)
+        assert adversarial_acc < random_acc
+
+    def test_zero_budget_noop(self, task):
+        Xtr, ytr, Xv, yv = task
+        poisoned, report = adversarial_label_flips(Xtr, ytr, Xv, yv, budget=0)
+        assert np.array_equal(poisoned, ytr)
+        assert report.n_errors == 0
+
+    def test_invalid_budget_raises(self, task):
+        Xtr, ytr, Xv, yv = task
+        with pytest.raises(ValueError):
+            adversarial_label_flips(Xtr, ytr, Xv, yv, budget=-1)
+
+    def test_single_class_raises(self, task):
+        Xtr, __, Xv, yv = task
+        with pytest.raises(ValueError):
+            adversarial_label_flips(Xtr, np.zeros(len(Xtr)), Xv, yv, budget=2)
+
+
+class TestCertificatesHoldAgainstTheAttack:
+    def test_partition_certificates_survive_adversarial_flips(self, task):
+        """The whole point of a certificate: it binds against *any* attack
+        within budget, including this targeted one (label flips keep the
+        partition assignment fixed, so the guarantee applies exactly)."""
+        Xtr, ytr, Xv, __ = task
+        budget = 2
+        ensemble = PartitionEnsemble(
+            KNeighborsClassifier(3), n_partitions=15, seed=1
+        ).fit(Xtr, ytr)
+        certs = ensemble.certified_predict(Xv)
+        # The attacker targets the defender's own evaluation view.
+        poisoned, __ = adversarial_label_flips(
+            Xtr, ytr, Xv, np.zeros(len(Xv), dtype=ytr.dtype), budget=budget
+        )
+        attacked = PartitionEnsemble(
+            KNeighborsClassifier(3), n_partitions=15, seed=1
+        ).fit(Xtr, poisoned)
+        new_predictions = attacked.predict(Xv)
+        for i, cp in enumerate(certs):
+            if cp.certified_radius >= budget:
+                assert new_predictions[i] == cp.label
+
+    def test_knn_flip_certificate_binds(self, task):
+        """Points certified robust to r flips keep their prediction under
+        the adversarial flip attack with budget r restricted to neighbours."""
+        Xtr, ytr, Xv, yv = task
+        robust, labels = knn_flip_robustness(Xtr, ytr, Xv, k=5, flip_budget=2)
+        poisoned, report = adversarial_label_flips(Xtr, ytr, Xv, yv, budget=2)
+        model = KNeighborsClassifier(5).fit(Xtr, poisoned)
+        predictions = model.predict(Xv)
+        for i in range(len(Xv)):
+            if robust[i]:
+                assert predictions[i] == labels[i]
+
+
+class TestTargetedPoison:
+    def test_flips_target_prediction(self, task):
+        Xtr, ytr, Xv, yv = task
+        wrong = 1 - yv[0]
+        X_poison, y_poison = targeted_poison_points(Xv[0], wrong, budget=5)
+        model = KNeighborsClassifier(5).fit(
+            np.vstack([Xtr, X_poison]), np.concatenate([ytr, y_poison])
+        )
+        assert model.predict(Xv[:1])[0] == wrong
+
+    def test_poison_is_local(self, task):
+        """The near-duplicate attack barely moves other predictions."""
+        Xtr, ytr, Xv, yv = task
+        X_poison, y_poison = targeted_poison_points(Xv[0], 1 - yv[0], budget=5)
+        clean = KNeighborsClassifier(5).fit(Xtr, ytr).predict(Xv[1:])
+        attacked = KNeighborsClassifier(5).fit(
+            np.vstack([Xtr, X_poison]), np.concatenate([ytr, y_poison])
+        ).predict(Xv[1:])
+        assert np.mean(clean == attacked) > 0.95
+
+    def test_invalid_budget_raises(self, task):
+        __, __, Xv, yv = task
+        with pytest.raises(ValueError):
+            targeted_poison_points(Xv[0], 1, budget=0)

@@ -1,0 +1,205 @@
+"""Unit tests for repro.frame.Column."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Column
+
+
+class TestConstruction:
+    def test_from_list_int(self):
+        col = Column([1, 2, 3])
+        assert col.dtype_kind == "int"
+        assert len(col) == 3
+        assert col.null_count() == 0
+
+    def test_from_list_with_none_numeric(self):
+        col = Column([1.0, None, 3.0])
+        assert col.null_count() == 1
+        assert col.to_list() == [1.0, None, 3.0]
+
+    def test_from_list_with_none_string(self):
+        col = Column(["a", None, "c"])
+        assert col.dtype_kind == "string"
+        assert col.to_list() == ["a", None, "c"]
+
+    def test_nan_is_missing(self):
+        col = Column(np.asarray([1.0, np.nan, 3.0]))
+        assert col.null_count() == 1
+
+    def test_explicit_mask(self):
+        col = Column([1, 2, 3], mask=[False, True, False])
+        assert col.to_list() == [1, None, 3]
+
+    def test_mask_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Column([1, 2, 3], mask=[True])
+
+    def test_2d_input_raises(self):
+        with pytest.raises(ValueError):
+            Column(np.zeros((2, 2)))
+
+    def test_bool_column(self):
+        col = Column([True, False, True])
+        assert col.dtype_kind == "bool"
+        assert col.is_numeric
+
+    def test_empty_object_array_becomes_string(self):
+        col = Column(np.asarray([], dtype=object))
+        assert col.dtype_kind == "string"
+
+
+class TestMissingHandling:
+    def test_fillna_numeric(self):
+        col = Column([1.0, None, 3.0]).fillna(9.0)
+        assert col.to_list() == [1.0, 9.0, 3.0]
+        assert col.null_count() == 0
+
+    def test_fillna_string(self):
+        col = Column(["a", None]).fillna("z")
+        assert col.to_list() == ["a", "z"]
+
+    def test_fillna_int_with_float_upcasts(self):
+        col = Column([1, 2, 3], mask=[False, True, False]).fillna(2.5)
+        assert col.dtype_kind == "float"
+        assert col.to_list()[1] == 2.5
+
+    def test_set_missing(self):
+        col = Column([1.0, 2.0, 3.0]).set_missing([1])
+        assert col.to_list() == [1.0, None, 3.0]
+
+    def test_dropna_indices(self):
+        col = Column([1.0, None, 3.0])
+        assert col.dropna_indices().tolist() == [0, 2]
+
+    def test_isnull_notnull(self):
+        col = Column([1.0, None])
+        assert col.isnull().tolist() == [False, True]
+        assert col.notnull().tolist() == [True, False]
+
+
+class TestSetValues:
+    def test_set_values_numeric(self):
+        col = Column([1.0, 2.0, 3.0]).set_values([0, 2], [9.0, 8.0])
+        assert col.to_list() == [9.0, 2.0, 8.0]
+
+    def test_set_values_clears_mask(self):
+        col = Column([1.0, None]).set_values([1], [5.0])
+        assert col.null_count() == 0
+
+    def test_set_values_string_widens(self):
+        col = Column(["ab", "cd"]).set_values([0], ["a much longer string"])
+        assert col.to_list()[0] == "a much longer string"
+
+    def test_set_values_int_with_float(self):
+        col = Column([1, 2]).set_values([0], [1.5])
+        assert col.dtype_kind == "float"
+        assert col.to_list() == [1.5, 2.0]
+
+
+class TestComparisons:
+    def test_eq_scalar(self):
+        col = Column(["x", "y", None])
+        assert (col == "x").tolist() == [True, False, False]
+
+    def test_missing_compares_false(self):
+        col = Column([1.0, None, 3.0])
+        assert (col > 0).tolist() == [True, False, True]
+
+    def test_lt_column(self):
+        a = Column([1, 5])
+        b = Column([2, 3])
+        assert (a < b).tolist() == [True, False]
+
+    def test_isin(self):
+        col = Column(["a", "b", None, "c"])
+        assert col.isin({"a", "c"}).tolist() == [True, False, False, True]
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Column([1]))
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        assert (Column([1.0, 2.0]) + 1).to_list() == [2.0, 3.0]
+
+    def test_add_propagates_missing(self):
+        out = Column([1.0, None]) + Column([1.0, 1.0])
+        assert out.null_count() == 1
+
+    def test_mul_div(self):
+        out = (Column([2.0, 4.0]) * 3) / 2
+        assert out.to_list() == [3.0, 6.0]
+
+
+class TestReductions:
+    def test_mean_ignores_missing(self):
+        assert Column([1.0, None, 3.0]).mean() == 2.0
+
+    def test_sum(self):
+        assert Column([1.0, None, 3.0]).sum() == 4.0
+
+    def test_min_max_string(self):
+        col = Column(["b", "a", None])
+        assert col.min() == "a"
+        assert col.max() == "b"
+
+    def test_median(self):
+        assert Column([1.0, 2.0, 9.0]).median() == 2.0
+
+    def test_mode(self):
+        assert Column(["a", "b", "a", None]).mode() == "a"
+
+    def test_mode_all_missing_is_none(self):
+        assert Column([None, None]).mode() is None
+
+    def test_unique_sorted(self):
+        assert Column([3, 1, 2, 1]).unique() == [1, 2, 3]
+
+    def test_value_counts(self):
+        assert Column(["a", "b", "a"]).value_counts() == {"a": 2, "b": 1}
+
+    def test_mean_all_missing_is_nan(self):
+        assert np.isnan(Column([None, None]).mean())
+
+
+class TestSelection:
+    def test_take(self):
+        col = Column([10, 20, 30]).take([2, 0])
+        assert col.to_list() == [30, 10]
+
+    def test_filter(self):
+        col = Column([10, 20, 30]).filter([True, False, True])
+        assert col.to_list() == [10, 30]
+
+    def test_concat(self):
+        out = Column.concat([Column([1.0, None]), Column([3.0])])
+        assert out.to_list() == [1.0, None, 3.0]
+
+    def test_concat_mixed_kinds_raises(self):
+        with pytest.raises(TypeError):
+            Column.concat([Column(["a"]), Column([1])])
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValueError):
+            Column.concat([])
+
+
+class TestMap:
+    def test_map_numeric(self):
+        out = Column([1, 2]).map(lambda v: v * 10)
+        assert out.to_list() == [10.0, 20.0]
+
+    def test_map_string(self):
+        out = Column(["a", "b"]).map(str.upper)
+        assert out.to_list() == ["A", "B"]
+
+    def test_map_preserves_missing(self):
+        out = Column([1.0, None]).map(lambda v: v + 1)
+        assert out.to_list() == [2.0, None]
+
+    def test_map_to_bool(self):
+        out = Column(["yes", "no"]).map(lambda v: v == "yes")
+        assert out.dtype_kind == "bool"
+        assert out.to_list() == [True, False]

@@ -1,0 +1,104 @@
+"""Property-based invariants for Column.
+
+The mask is the load-bearing state: every operation must keep it aligned
+with the values, missing cells must never leak into reductions or
+comparisons, and repairs must clear exactly the requested cells.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import Column
+
+cells = st.lists(
+    st.one_of(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), st.none()),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(values=cells)
+@settings(max_examples=60, deadline=None)
+def test_mask_always_aligned(values):
+    col = Column(values)
+    assert len(col.mask) == len(col.values) == len(values)
+    assert col.null_count() == sum(v is None for v in values)
+
+
+@given(values=cells)
+@settings(max_examples=60, deadline=None)
+def test_to_list_roundtrip(values):
+    col = Column(values)
+    assert col.to_list() == [None if v is None else pytest.approx(v) for v in values]
+
+
+@given(values=cells, fill=st.floats(min_value=-10, max_value=10, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_fillna_clears_all_missing(values, fill):
+    filled = Column(values).fillna(fill)
+    assert filled.null_count() == 0
+    for original, result in zip(values, filled.to_list()):
+        assert result == pytest.approx(fill if original is None else original)
+
+
+@given(values=cells)
+@settings(max_examples=60, deadline=None)
+def test_comparisons_never_true_on_missing(values):
+    col = Column(values)
+    for result in (col > -np.inf, col == col.to_list()[0] if values[0] is not None else col > 0):
+        result = np.asarray(result)
+        assert not result[col.mask].any()
+
+
+@given(values=cells)
+@settings(max_examples=60, deadline=None)
+def test_reductions_ignore_missing(values):
+    col = Column(values)
+    present = [v for v in values if v is not None]
+    if present:
+        assert col.sum() == pytest.approx(sum(present))
+        assert col.mean() == pytest.approx(np.mean(present))
+        assert col.min() == pytest.approx(min(present))
+        assert col.max() == pytest.approx(max(present))
+    else:
+        assert np.isnan(col.mean())
+        assert col.min() is None
+
+
+@given(values=cells, seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=60, deadline=None)
+def test_take_preserves_cells_and_masks(values, seed):
+    col = Column(values)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, len(values), size=len(values))
+    taken = col.take(idx)
+    expected = [values[i] for i in idx]
+    assert taken.to_list() == [
+        None if v is None else pytest.approx(v) for v in expected
+    ]
+
+
+@given(values=cells, seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=60, deadline=None)
+def test_set_missing_then_set_values_roundtrip(values, seed):
+    col = Column(values)
+    rng = np.random.default_rng(seed)
+    pos = int(rng.integers(len(values)))
+    blanked = col.set_missing([pos])
+    assert blanked.to_list()[pos] is None
+    repaired = blanked.set_values([pos], [1.5])
+    assert repaired.to_list()[pos] == 1.5
+    # All other cells untouched through the round trip.
+    for i in range(len(values)):
+        if i != pos:
+            assert repaired.to_list()[i] == col.to_list()[i]
+
+
+@given(a=cells, b=cells)
+@settings(max_examples=60, deadline=None)
+def test_concat_preserves_order_and_masks(a, b):
+    combined = Column.concat([Column(a), Column(b)])
+    expected = [None if v is None else pytest.approx(v) for v in a + b]
+    assert combined.to_list() == expected

@@ -1,0 +1,70 @@
+"""Tests for deduplication and column summaries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import inject_duplicates
+from repro.frame import DataFrame
+
+
+@pytest.fixture()
+def frame_with_dupes():
+    return DataFrame(
+        {
+            "k": ["a", "b", "a", "c", "b"],
+            "v": [1.0, 2.0, 1.0, 3.0, 9.0],
+        }
+    )
+
+
+class TestDuplicates:
+    def test_duplicate_mask_marks_repeats_only(self, frame_with_dupes):
+        mask = frame_with_dupes.duplicate_mask()
+        # Row 2 repeats row 0 exactly; row 4 differs from row 1 in v.
+        assert mask.tolist() == [False, False, True, False, False]
+
+    def test_subset_deduplication(self, frame_with_dupes):
+        mask = frame_with_dupes.duplicate_mask(subset=["k"])
+        assert mask.tolist() == [False, False, True, False, True]
+
+    def test_drop_duplicates_keeps_first(self, frame_with_dupes):
+        out = frame_with_dupes.drop_duplicates(subset=["k"])
+        assert out["k"].to_list() == ["a", "b", "c"]
+        assert out.row_ids.tolist() == [0, 1, 3]
+
+    def test_repairs_injected_duplicates(self):
+        rng = np.random.default_rng(0)
+        frame = DataFrame(
+            {
+                "id": np.arange(50),
+                "v": rng.normal(size=50).round(6),
+            }
+        )
+        dirty, report = inject_duplicates(frame, fraction=0.2, seed=1)
+        repaired = dirty.drop_duplicates(subset=["id", "v"])
+        assert repaired.num_rows == frame.num_rows
+        assert sorted(repaired["id"].to_list()) == sorted(frame["id"].to_list())
+
+    def test_missing_cells_participate_in_keys(self):
+        frame = DataFrame({"k": ["a", None, None]})
+        assert frame.duplicate_mask().tolist() == [False, False, True]
+
+
+class TestDescribe:
+    def test_summary_shape_and_columns(self, simple_frame):
+        summary = simple_frame.describe()
+        assert summary.num_rows == simple_frame.num_columns
+        assert summary.columns == [
+            "column", "kind", "missing", "unique", "mean", "std", "min", "max",
+        ]
+
+    def test_numeric_statistics(self, simple_frame):
+        summary = {r["column"]: r for r in simple_frame.describe().to_rows()}
+        assert summary["a"]["mean"] == pytest.approx(3.0)
+        assert summary["a"]["min"] == 1.0 and summary["a"]["max"] == 5.0
+
+    def test_string_statistics_blank(self, simple_frame):
+        summary = {r["column"]: r for r in simple_frame.describe().to_rows()}
+        assert summary["b"]["mean"] is None
+        assert summary["b"]["missing"] == 1
+        assert summary["b"]["unique"] == 2

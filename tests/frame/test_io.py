@@ -1,0 +1,54 @@
+"""CSV round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame, from_csv_string, read_csv, to_csv_string, write_csv
+
+
+def test_roundtrip_mixed_types(simple_frame):
+    assert from_csv_string(to_csv_string(simple_frame)).equals(simple_frame)
+
+
+def test_missing_cells_become_empty_fields(simple_frame):
+    text = to_csv_string(simple_frame)
+    line = text.splitlines()[3]  # row with missing b
+    assert line.split(",")[1] == ""
+
+
+def test_type_inference_int_vs_float():
+    df = from_csv_string("a,b\n1,1.5\n2,2.5\n")
+    assert df["a"].dtype_kind == "int"
+    assert df["b"].dtype_kind == "float"
+
+
+def test_int_column_with_missing_becomes_float():
+    df = from_csv_string("a\n1\n\n3\n")
+    assert df["a"].null_count() == 1
+    assert df["a"].dtype_kind == "float"
+
+
+def test_bool_inference():
+    df = from_csv_string("f\nTrue\nFalse\n")
+    assert df["f"].dtype_kind == "bool"
+
+
+def test_string_with_commas_quoted():
+    df = DataFrame({"s": ["hello, world", "plain"]})
+    assert from_csv_string(to_csv_string(df)).equals(df)
+
+
+def test_file_roundtrip(tmp_path, simple_frame):
+    path = tmp_path / "data.csv"
+    write_csv(simple_frame, path)
+    assert read_csv(path).equals(simple_frame)
+
+
+def test_empty_input_raises():
+    with pytest.raises(ValueError):
+        from_csv_string("")
+
+
+def test_ragged_rows_fill_missing():
+    df = from_csv_string("a,b\n1,2\n3\n")
+    assert df["b"].to_list() == [2, None]

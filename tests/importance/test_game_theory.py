@@ -1,0 +1,173 @@
+"""Game-theoretic importance: axioms and brute-force agreement.
+
+These tests pin the estimators to the mathematical definitions: Shapley
+efficiency/symmetry/dummy axioms on hand-built games, Monte-Carlo agreement
+with exhaustive enumeration, and Beta(1,1) ≡ Shapley.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.importance import (
+    SubsetUtility,
+    banzhaf_brute_force,
+    banzhaf_mc,
+    beta_shapley_mc,
+    beta_weights,
+    loo_importance,
+    shapley_brute_force,
+    shapley_mc,
+)
+
+weight_vectors = st.lists(
+    st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=2, max_size=6
+)
+
+
+def additive_game(weights):
+    w = np.asarray(weights, dtype=float)
+    return SubsetUtility(lambda S: float(sum(w[i] for i in S)), len(w))
+
+
+class TestAxiomsOnAdditiveGames:
+    """For additive games every semivalue equals the weights exactly."""
+
+    @given(weights=weight_vectors)
+    @settings(max_examples=25, deadline=None)
+    def test_shapley_exact_on_additive(self, weights):
+        result = shapley_brute_force(additive_game(weights))
+        assert np.allclose(result.values, weights, atol=1e-9)
+
+    @given(weights=weight_vectors)
+    @settings(max_examples=25, deadline=None)
+    def test_banzhaf_exact_on_additive(self, weights):
+        result = banzhaf_brute_force(additive_game(weights))
+        assert np.allclose(result.values, weights, atol=1e-9)
+
+    @given(weights=weight_vectors)
+    @settings(max_examples=15, deadline=None)
+    def test_mc_shapley_exact_on_additive(self, weights):
+        # Additive games have zero-variance marginals: any sample is exact.
+        result = shapley_mc(additive_game(weights), n_permutations=3, seed=0)
+        assert np.allclose(result.values, weights, atol=1e-9)
+
+    @given(weights=weight_vectors)
+    @settings(max_examples=15, deadline=None)
+    def test_loo_exact_on_additive(self, weights):
+        result = loo_importance(additive_game(weights))
+        assert np.allclose(result.values, weights, atol=1e-9)
+
+
+class TestShapleyAxiomsGeneralGames:
+    def _random_game(self, n, seed):
+        rng = np.random.default_rng(seed)
+        table = {
+            frozenset(S): rng.normal()
+            for S in self._powerset(n)
+        }
+        table[frozenset()] = 0.0
+        return SubsetUtility(lambda S: table[frozenset(S)], n), table
+
+    @staticmethod
+    def _powerset(n):
+        from itertools import chain, combinations
+
+        return chain.from_iterable(combinations(range(n), k) for k in range(n + 1))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_efficiency(self, seed):
+        game, table = self._random_game(5, seed)
+        result = shapley_brute_force(game)
+        total = table[frozenset(range(5))] - table[frozenset()]
+        assert result.values.sum() == pytest.approx(total, abs=1e-9)
+
+    def test_dummy_player_gets_zero(self):
+        # Player 2 never changes the value.
+        def v(S):
+            return float(len([i for i in S if i != 2]))
+
+        result = shapley_brute_force(SubsetUtility(v, 4))
+        assert result.values[2] == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(result.values[[0, 1, 3]], 1.0)
+
+    def test_symmetric_players_equal_value(self):
+        # v = 1 iff both 0 and 1 present: players 0,1 symmetric.
+        def v(S):
+            return 1.0 if {0, 1} <= set(S) else 0.0
+
+        result = shapley_brute_force(SubsetUtility(v, 3))
+        assert result.values[0] == pytest.approx(result.values[1])
+        assert result.values[2] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_mc_converges_to_exact(self, seed):
+        game, __ = self._random_game(5, seed)
+        exact = shapley_brute_force(game).values
+        estimate = shapley_mc(game, n_permutations=2000, seed=0).values
+        assert np.allclose(estimate, exact, atol=0.12)
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_banzhaf_mc_converges_to_exact(self, seed):
+        game, __ = self._random_game(5, seed)
+        exact = banzhaf_brute_force(game).values
+        estimate = banzhaf_mc(game, n_samples=4000, seed=0).values
+        assert np.allclose(estimate, exact, atol=0.15)
+
+    def test_truncation_reduces_evaluations(self):
+        def v(S):
+            return min(len(S), 3) / 3.0  # saturates quickly
+
+        full = SubsetUtility(v, 12)
+        shapley_mc(full, n_permutations=20, seed=0)
+        full_evals = full.n_evaluations
+        truncated = SubsetUtility(v, 12)
+        result = shapley_mc(truncated, n_permutations=20, truncation_tolerance=0.01, seed=0)
+        assert truncated.n_evaluations < full_evals
+        assert result.extras["truncated_scans"] > 0
+
+
+class TestBetaShapley:
+    def test_beta_weights_normalised(self):
+        for n in (2, 5, 9):
+            w = beta_weights(n, alpha=1.0, beta=16.0)
+            assert w.sum() == pytest.approx(1.0)
+            assert np.all(w >= 0)
+
+    def test_beta_1_1_is_uniform(self):
+        w = beta_weights(6, alpha=1.0, beta=1.0)
+        assert np.allclose(w, 1.0 / 6)
+
+    def test_large_beta_weights_small_subsets(self):
+        w = beta_weights(8, alpha=1.0, beta=16.0)
+        assert w[0] > w[-1]
+        assert np.all(np.diff(w) <= 1e-12)
+
+    def test_large_alpha_weights_large_subsets(self):
+        w = beta_weights(8, alpha=16.0, beta=1.0)
+        assert w[-1] > w[0]
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            beta_weights(4, alpha=0.0)
+
+    @given(weights=weight_vectors)
+    @settings(max_examples=10, deadline=None)
+    def test_beta_1_1_matches_shapley_on_additive(self, weights):
+        result = beta_shapley_mc(
+            additive_game(weights), alpha=1.0, beta=1.0, n_permutations=5, seed=1
+        )
+        assert np.allclose(result.values, weights, atol=1e-9)
+
+    def test_beta_16_denoises_ranking(self):
+        """With β≫1, early marginals dominate; ranking still identifies the
+        clearly harmful player in a noisy game."""
+        rng = np.random.default_rng(0)
+
+        def v(S):
+            clean = sum(1.0 if i != 0 else -2.0 for i in S)
+            return clean + 0.05 * rng.normal()
+
+        result = beta_shapley_mc(SubsetUtility(v, 6), beta=16.0, n_permutations=60, seed=2)
+        assert np.argmin(result.values) == 0

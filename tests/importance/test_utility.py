@@ -1,0 +1,92 @@
+"""Tests for the utility-game wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.importance import SubsetUtility, Utility, loo_importance
+from repro.learn import KNeighborsClassifier, LogisticRegression
+
+
+@pytest.fixture()
+def utility(binary_data):
+    Xtr, ytr, Xv, yv = binary_data
+    return Utility(LogisticRegression(max_iter=50), Xtr, ytr, Xv, yv)
+
+
+class TestUtility:
+    def test_empty_subset_returns_null_score(self, utility):
+        assert utility.evaluate([]) == utility.null_score
+
+    def test_null_score_is_majority_accuracy(self, binary_data):
+        __, __, Xv, yv = binary_data
+        utility = Utility(LogisticRegression(), np.zeros((4, 2)), [0, 1, 0, 1], Xv, yv)
+        values, counts = np.unique(yv, return_counts=True)
+        assert utility.null_score == pytest.approx(counts.max() / counts.sum())
+
+    def test_single_class_subset_constant_predictor(self, binary_data):
+        Xtr, ytr, Xv, yv = binary_data
+        utility = Utility(LogisticRegression(), Xtr, ytr, Xv, yv)
+        ones = np.flatnonzero(ytr == 1)[:3]
+        expected = float(np.mean(yv == 1))
+        assert utility.evaluate(ones) == pytest.approx(expected)
+
+    def test_full_score_trains_real_model(self, utility, binary_data):
+        __, __, Xv, yv = binary_data
+        assert utility.full_score() > 0.8
+
+    def test_counts_evaluations(self, utility):
+        before = utility.n_evaluations
+        utility.evaluate(np.arange(20))
+        assert utility.n_evaluations == before + 1
+
+    def test_degenerate_subsets_do_not_count_as_evaluations(self, utility):
+        before = utility.n_evaluations
+        utility.evaluate([])
+        assert utility.n_evaluations == before
+
+    def test_custom_metric(self, binary_data):
+        Xtr, ytr, Xv, yv = binary_data
+        calls = []
+
+        def metric(y_true, y_pred):
+            calls.append(1)
+            return 0.5
+
+        utility = Utility(LogisticRegression(), Xtr, ytr, Xv, yv, metric=metric)
+        assert utility.evaluate(np.arange(30)) == 0.5
+        assert calls
+
+    def test_custom_null_score(self, binary_data):
+        Xtr, ytr, Xv, yv = binary_data
+        utility = Utility(LogisticRegression(), Xtr, ytr, Xv, yv, null_score=0.123)
+        assert utility.evaluate([]) == 0.123
+
+    def test_length_mismatch_raises(self, binary_data):
+        Xtr, ytr, Xv, yv = binary_data
+        with pytest.raises(ValueError):
+            Utility(LogisticRegression(), Xtr, ytr[:-1], Xv, yv)
+
+    def test_works_with_knn_model(self, binary_data):
+        Xtr, ytr, Xv, yv = binary_data
+        utility = Utility(KNeighborsClassifier(3), Xtr, ytr, Xv, yv)
+        assert 0.0 <= utility.evaluate(np.arange(40)) <= 1.0
+
+
+class TestLOO:
+    def test_loo_evaluation_count(self):
+        game = SubsetUtility(lambda S: float(len(S)), 6)
+        loo_importance(game)
+        assert game.n_evaluations == 7  # v(N) plus one per point
+
+    def test_loo_flags_harmful_point(self, binary_data):
+        Xtr, ytr, Xv, yv = binary_data
+        # Poison one point hard: an exact copy of a validation point with
+        # the flipped label. Under 1-NN that point alone misclassifies it.
+        X_poison = Xtr[:30].copy()
+        y_poison = ytr[:30].copy()
+        X_poison[0] = Xv[0]
+        y_poison[0] = 1 - yv[0]
+        utility = Utility(KNeighborsClassifier(1), X_poison, y_poison, Xv, yv)
+        result = loo_importance(utility)
+        assert result.values[0] < 0
+        assert result.values[0] <= np.percentile(result.values, 20)

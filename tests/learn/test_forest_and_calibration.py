@@ -1,0 +1,130 @@
+"""Tests for the random forest and probability calibration."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification, make_moons
+from repro.learn import (
+    DecisionTreeClassifier,
+    LogisticRegression,
+    PlattCalibrator,
+    RandomForestClassifier,
+    expected_calibration_error,
+    reliability_table,
+)
+
+
+class TestRandomForest:
+    def test_matches_single_tree_on_nonlinear_task(self):
+        # With only 2 features, subsampling would starve the trees: use all.
+        X, y = make_moons(n=400, noise=0.25, seed=1)
+        Xtr, ytr, Xte, yte = X[:300], y[:300], X[300:], y[300:]
+        tree = DecisionTreeClassifier(max_depth=4).fit(Xtr, ytr)
+        forest = RandomForestClassifier(
+            n_trees=25, max_depth=4, max_features=1.0, seed=0
+        ).fit(Xtr, ytr)
+        assert forest.score(Xte, yte) >= tree.score(Xte, yte) - 0.02
+
+    def test_learns_separable_task(self):
+        X, y = make_classification(n=300, n_features=5, seed=6)
+        forest = RandomForestClassifier(n_trees=20, seed=0).fit(X[:220], y[:220])
+        assert forest.score(X[220:], y[220:]) > 0.8
+
+    def test_predict_proba_valid(self):
+        X, y = make_classification(n=200, seed=2)
+        forest = RandomForestClassifier(n_trees=10, seed=1).fit(X, y)
+        probs = forest.predict_proba(X[:20])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all((0.0 <= probs) & (probs <= 1.0))
+
+    def test_deterministic_by_seed(self):
+        X, y = make_classification(n=150, seed=3)
+        a = RandomForestClassifier(n_trees=8, seed=5).fit(X, y).predict(X[:30])
+        b = RandomForestClassifier(n_trees=8, seed=5).fit(X, y).predict(X[:30])
+        assert np.array_equal(a, b)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_trees=0)
+        with pytest.raises(ValueError):
+            RandomForestClassifier(max_features=0.0)
+
+    def test_feature_subsampling_bounds(self):
+        X, y = make_classification(n=100, n_features=5, seed=4)
+        forest = RandomForestClassifier(n_trees=5, max_features=0.4, seed=0).fit(X, y)
+        for columns in forest.feature_sets_:
+            assert len(columns) == 2  # round(0.4 * 5)
+
+
+class TestECE:
+    def test_perfectly_calibrated_is_zero(self):
+        rng = np.random.default_rng(0)
+        probs = rng.random(5000)
+        outcomes = (rng.random(5000) < probs).astype(int)
+        assert expected_calibration_error(outcomes, probs, positive=1) < 0.03
+
+    def test_overconfident_scores_high(self):
+        # Always predicts 0.95 but is right only half the time.
+        probs = np.full(200, 0.95)
+        outcomes = np.asarray([1, 0] * 100)
+        assert expected_calibration_error(outcomes, probs, positive=1) > 0.4
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error([1], [0.5, 0.5], positive=1)
+
+    def test_reliability_table_counts_sum(self):
+        rng = np.random.default_rng(1)
+        probs = rng.random(300)
+        outcomes = rng.integers(0, 2, size=300)
+        table = reliability_table(outcomes, probs, positive=1)
+        assert sum(r["count"] for r in table) == 300
+
+
+class TestPlattCalibrator:
+    @pytest.fixture(scope="class")
+    def overconfident_setup(self):
+        """A logistic model trained on noise-free labels becomes
+        overconfident when deployed on noisier data."""
+        rng = np.random.default_rng(5)
+        n = 900
+        X = rng.normal(size=(n, 3))
+        scores = X @ np.asarray([2.0, -1.5, 1.0])
+        clean = (scores > 0).astype(int)
+        noisy = np.where(rng.random(n) < 0.25, 1 - clean, clean)
+        model = LogisticRegression(l2=1e-4).fit(X[:300], clean[:300])
+        return model, X, noisy
+
+    def test_calibration_reduces_ece(self, overconfident_setup):
+        model, X, noisy = overconfident_setup
+        calibrator = PlattCalibrator(model, positive=1).fit(
+            X[300:600], noisy[300:600]
+        )
+        raw = model.predict_proba(X[600:])[:, list(model.classes_).index(1)]
+        calibrated = calibrator.predict_proba(X[600:])
+        ece_raw = expected_calibration_error(noisy[600:], raw, positive=1)
+        ece_cal = expected_calibration_error(noisy[600:], calibrated, positive=1)
+        assert ece_cal < ece_raw
+
+    def test_probabilities_in_unit_interval(self, overconfident_setup):
+        model, X, noisy = overconfident_setup
+        calibrator = PlattCalibrator(model, positive=1).fit(X[:200], noisy[:200])
+        probs = calibrator.predict_proba(X[200:260])
+        assert np.all((0.0 <= probs) & (probs <= 1.0))
+
+    def test_predict_thresholds_at_half(self, overconfident_setup):
+        model, X, noisy = overconfident_setup
+        calibrator = PlattCalibrator(model, positive=1).fit(X[:200], noisy[:200])
+        probs = calibrator.predict_proba(X[200:260])
+        labels = calibrator.predict(X[200:260])
+        assert np.array_equal(labels == 1, probs >= 0.5)
+
+    def test_unfitted_raises(self, overconfident_setup):
+        model, X, __ = overconfident_setup
+        with pytest.raises(RuntimeError):
+            PlattCalibrator(model, positive=1).predict_proba(X[:5])
+
+    def test_unknown_positive_raises(self, overconfident_setup):
+        model, X, noisy = overconfident_setup
+        with pytest.raises(ValueError):
+            PlattCalibrator(model, positive="zebra").fit(X[:50], noisy[:50])

@@ -1,0 +1,113 @@
+"""Property-based tests for the learning substrate.
+
+Hypothesis drives the core numerical contracts: gradients match finite
+differences, scalers invert, metrics respect their algebraic identities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn import MinMaxScaler, StandardScaler
+from repro.learn.metrics import accuracy, confusion_matrix, error_rate, macro_f1
+from repro.learn.models.linear import squared_hinge_loss
+from repro.learn.models.logistic import sigmoid, softmax_loss_grad
+
+matrices = st.integers(min_value=2, max_value=30).flatmap(
+    lambda n: st.integers(min_value=1, max_value=5).map(lambda d: (n, d))
+)
+
+
+def random_matrix(shape, seed):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestGradients:
+    @given(shape=matrices, seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_gradient_matches_finite_differences(self, shape, seed):
+        n, d = shape
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        y = rng.integers(0, 2, size=n)
+        if len(np.unique(y)) < 2:
+            y[0] = 1 - y[0]
+        theta = rng.normal(scale=0.5, size=2 * (d + 1))
+        loss, grad = softmax_loss_grad(theta, X, y, 2, l2=0.1)
+        eps = 1e-6
+        for j in rng.choice(len(theta), size=min(4, len(theta)), replace=False):
+            bumped = theta.copy()
+            bumped[j] += eps
+            loss_plus, __ = softmax_loss_grad(bumped, X, y, 2, l2=0.1)
+            numeric = (loss_plus - loss) / eps
+            assert numeric == pytest.approx(grad[j], abs=1e-3, rel=1e-3)
+
+    @given(shape=matrices, seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_squared_hinge_gradient_matches_finite_differences(self, shape, seed):
+        n, d = shape
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        y_signed = rng.choice([-1.0, 1.0], size=n)
+        theta = rng.normal(scale=0.5, size=d + 1)
+        loss, grad = squared_hinge_loss(theta, X, y_signed, C=1.0)
+        eps = 1e-6
+        for j in range(len(theta)):
+            bumped = theta.copy()
+            bumped[j] += eps
+            loss_plus, __ = squared_hinge_loss(bumped, X, y_signed, C=1.0)
+            numeric = (loss_plus - loss) / eps
+            assert numeric == pytest.approx(grad[j], abs=1e-3, rel=1e-3)
+
+    def test_sigmoid_stable_at_extremes(self):
+        z = np.asarray([-1000.0, 0.0, 1000.0])
+        out = sigmoid(z)
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0)
+        assert np.all(np.isfinite(out))
+
+
+class TestScalers:
+    @given(shape=matrices, seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_standard_scaler_roundtrip(self, shape, seed):
+        X = random_matrix(shape, seed)
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-9)
+
+    @given(shape=matrices, seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_minmax_output_in_unit_box(self, shape, seed):
+        X = random_matrix(shape, seed)
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= -1e-12 and Z.max() <= 1.0 + 1e-12
+
+
+labels = st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=40)
+
+
+class TestMetricIdentities:
+    @given(y=labels, seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_plus_error_is_one(self, y, seed):
+        rng = np.random.default_rng(seed)
+        y_pred = rng.permutation(y)
+        assert accuracy(y, y_pred) + error_rate(y, y_pred) == pytest.approx(1.0)
+
+    @given(y=labels, seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_confusion_matrix_sums_to_n(self, y, seed):
+        rng = np.random.default_rng(seed)
+        y_pred = rng.permutation(y)
+        cm = confusion_matrix(y, y_pred)
+        assert cm.sum() == len(y)
+        # Diagonal counts the agreements.
+        assert cm.trace() == int(np.sum(np.asarray(y) == np.asarray(y_pred)))
+
+    @given(y=labels)
+    @settings(max_examples=30, deadline=None)
+    def test_perfect_prediction_scores_one(self, y):
+        assert accuracy(y, y) == 1.0
+        assert macro_f1(y, y) == 1.0

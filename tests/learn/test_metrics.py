@@ -1,0 +1,137 @@
+"""Unit tests for correctness, fairness, and stability metrics."""
+
+import numpy as np
+import pytest
+
+from repro.learn.metrics import (
+    accuracy,
+    brier_score,
+    confusion_matrix,
+    demographic_parity_difference,
+    disagreement_rate,
+    equalized_odds_difference,
+    error_rate,
+    f1_score,
+    group_rates,
+    log_loss,
+    macro_f1,
+    mean_prediction_entropy,
+    precision,
+    prediction_entropy,
+    predictive_parity_difference,
+    recall,
+)
+
+
+class TestClassification:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_error_rate_complement(self):
+        assert accuracy([1, 0], [1, 0]) + error_rate([1, 0], [1, 1]) == pytest.approx(1.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_confusion_matrix_counts(self):
+        cm = confusion_matrix(["a", "a", "b"], ["a", "b", "b"], labels=["a", "b"])
+        assert cm.tolist() == [[1, 1], [0, 1]]
+
+    def test_confusion_matrix_diagonal_is_correct_count(self):
+        y = [0, 1, 0, 1]
+        cm = confusion_matrix(y, y)
+        assert cm.trace() == 4
+
+    def test_precision_recall_f1(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0]
+        assert precision(y_true, y_pred, positive=1) == 0.5
+        assert recall(y_true, y_pred, positive=1) == 0.5
+        assert f1_score(y_true, y_pred, positive=1) == 0.5
+
+    def test_precision_no_predictions_is_zero(self):
+        assert precision([1, 1], [0, 0], positive=1) == 0.0
+
+    def test_macro_f1_perfect(self):
+        assert macro_f1([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_log_loss_confident_correct_is_small(self):
+        probs = np.asarray([[0.99, 0.01], [0.01, 0.99]])
+        assert log_loss([0, 1], probs, classes=[0, 1]) < 0.05
+
+    def test_log_loss_confident_wrong_is_large(self):
+        probs = np.asarray([[0.01, 0.99]])
+        assert log_loss([0], probs, classes=[0, 1]) > 4.0
+
+    def test_brier_perfect_is_zero(self):
+        probs = np.asarray([[1.0, 0.0]])
+        assert brier_score([0], probs, classes=[0, 1]) == 0.0
+
+    def test_brier_worst_is_two(self):
+        probs = np.asarray([[0.0, 1.0]])
+        assert brier_score([0], probs, classes=[0, 1]) == pytest.approx(2.0)
+
+
+class TestFairness:
+    def setup_method(self):
+        # Group A: 2/2 selected. Group B: 0/2 selected.
+        self.y_true = np.asarray([1, 0, 1, 0])
+        self.y_pred = np.asarray([1, 1, 0, 0])
+        self.group = np.asarray(["A", "A", "B", "B"])
+
+    def test_group_rates_keys(self):
+        rates = group_rates(self.y_true, self.y_pred, self.group, positive=1)
+        assert set(rates) == {"A", "B"}
+        assert rates["A"]["selection_rate"] == 1.0
+        assert rates["B"]["selection_rate"] == 0.0
+
+    def test_demographic_parity_gap(self):
+        gap = demographic_parity_difference(self.y_true, self.y_pred, self.group, positive=1)
+        assert gap == 1.0
+
+    def test_equalized_odds_zero_when_identical(self):
+        y = np.asarray([1, 0, 1, 0])
+        pred = np.asarray([1, 0, 1, 0])
+        assert equalized_odds_difference(y, pred, self.group, positive=1) == 0.0
+
+    def test_predictive_parity_range(self):
+        gap = predictive_parity_difference(self.y_true, self.y_pred, self.group, positive=1)
+        assert 0.0 <= gap <= 1.0
+
+    def test_fair_classifier_scores_zero_everywhere(self):
+        y = np.asarray([1, 0, 1, 0])
+        assert demographic_parity_difference(y, y, self.group, 1) == 0.0
+        assert equalized_odds_difference(y, y, self.group, 1) == 0.0
+        assert predictive_parity_difference(y, y, self.group, 1) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            demographic_parity_difference([1], [1, 0], ["A", "B"], 1)
+
+
+class TestStability:
+    def test_entropy_uniform_is_max(self):
+        uniform = np.asarray([[0.5, 0.5]])
+        peaked = np.asarray([[0.99, 0.01]])
+        assert prediction_entropy(uniform)[0] > prediction_entropy(peaked)[0]
+        assert prediction_entropy(uniform)[0] == pytest.approx(np.log(2))
+
+    def test_mean_entropy_scalar(self):
+        probs = np.asarray([[0.5, 0.5], [1.0, 0.0]])
+        assert 0 < mean_prediction_entropy(probs) < np.log(2)
+
+    def test_disagreement_zero_for_identical(self):
+        preds = [np.asarray([1, 0, 1])] * 3
+        assert disagreement_rate(preds) == 0.0
+
+    def test_disagreement_counts_divergent_points(self):
+        preds = [np.asarray([1, 0, 1]), np.asarray([1, 1, 1])]
+        assert disagreement_rate(preds) == pytest.approx(1 / 3)
+
+    def test_single_model_no_disagreement(self):
+        assert disagreement_rate([np.asarray([1, 2])]) == 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for splitting and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.frame import DataFrame
+from repro.learn import KFold, LogisticRegression, cross_val_score, split_frame, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.zeros((100, 2))
+        y = np.zeros(100)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, seed=0)
+        assert len(Xte) == 25 and len(Xtr) == 75
+        assert len(ytr) == 75 and len(yte) == 25
+
+    def test_deterministic_by_seed(self):
+        X = np.arange(20).reshape(-1, 1)
+        y = np.arange(20)
+        a = train_test_split(X, y, seed=3)
+        b = train_test_split(X, y, seed=3)
+        assert np.array_equal(a[0], b[0])
+
+    def test_different_seeds_differ(self):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.arange(50)
+        a = train_test_split(X, y, seed=1)
+        b = train_test_split(X, y, seed=2)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_no_overlap_and_full_coverage(self):
+        X = np.arange(30).reshape(-1, 1)
+        y = np.arange(30)
+        Xtr, Xte, *__ = train_test_split(X, y, seed=0)
+        combined = sorted(Xtr.ravel().tolist() + Xte.ravel().tolist())
+        assert combined == list(range(30))
+
+    def test_stratified_preserves_class_ratio(self):
+        y = np.asarray([0] * 80 + [1] * 20)
+        X = np.zeros((100, 1))
+        __, __, ytr, yte = train_test_split(X, y, test_size=0.25, seed=0, stratify=y)
+        assert np.isclose(np.mean(yte == 1), 0.2, atol=0.02)
+
+    def test_bad_test_size_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_size=1.5)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(3))
+
+
+class TestSplitFrame:
+    def test_partition_sizes(self):
+        df = DataFrame({"v": list(range(100))})
+        a, b, c = split_frame(df, (0.6, 0.2, 0.2), seed=0)
+        assert (a.num_rows, b.num_rows, c.num_rows) == (60, 20, 20)
+
+    def test_partitions_disjoint_by_row_id(self):
+        df = DataFrame({"v": list(range(50))})
+        parts = split_frame(df, (0.5, 0.5), seed=1)
+        ids = [set(p.row_ids.tolist()) for p in parts]
+        assert ids[0] & ids[1] == set()
+        assert ids[0] | ids[1] == set(range(50))
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            split_frame(DataFrame({"v": [1]}), (0.5, 0.2))
+
+
+class TestKFold:
+    def test_folds_partition_data(self):
+        folds = list(KFold(4, seed=0).split(20))
+        assert len(folds) == 4
+        all_test = sorted(np.concatenate([test for __, test in folds]).tolist())
+        assert all_test == list(range(20))
+
+    def test_train_test_disjoint(self):
+        for train, test in KFold(3, seed=0).split(12):
+            assert set(train) & set(test) == set()
+
+    def test_too_few_examples_raises(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+    def test_invalid_n_splits_raises(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestCrossValScore:
+    def test_scores_reasonable_on_separable_data(self):
+        X, y = make_classification(n=150, seed=0)
+        scores = cross_val_score(LogisticRegression(max_iter=50), X, y, n_splits=3)
+        assert len(scores) == 3
+        assert scores.mean() > 0.8

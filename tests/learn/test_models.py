@@ -1,0 +1,249 @@
+"""Unit tests for the model substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_blobs, make_classification, make_moons, make_regression
+from repro.learn import (
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LinearRegression,
+    LinearSVC,
+    LogisticRegression,
+    MajorityClassifier,
+    RandomClassifier,
+    RidgeRegression,
+    clone,
+)
+from repro.learn.models import pairwise_distances
+
+ALL_CLASSIFIERS = [
+    LogisticRegression(),
+    KNeighborsClassifier(5),
+    GaussianNB(),
+    DecisionTreeClassifier(max_depth=6),
+    LinearSVC(),
+]
+
+
+@pytest.fixture(scope="module")
+def separable():
+    X, y = make_classification(n=200, n_features=4, noise=0.2, seed=1)
+    return X[:150], y[:150], X[150:], y[150:]
+
+
+class TestClassifierContract:
+    @pytest.mark.parametrize("model", ALL_CLASSIFIERS, ids=lambda m: type(m).__name__)
+    def test_learns_separable_data(self, model, separable):
+        Xtr, ytr, Xte, yte = separable
+        fitted = clone(model).fit(Xtr, ytr)
+        assert fitted.score(Xte, yte) > 0.8
+
+    @pytest.mark.parametrize("model", ALL_CLASSIFIERS, ids=lambda m: type(m).__name__)
+    def test_predict_before_fit_raises(self, model, separable):
+        with pytest.raises(RuntimeError):
+            clone(model).predict(separable[0])
+
+    @pytest.mark.parametrize("model", ALL_CLASSIFIERS, ids=lambda m: type(m).__name__)
+    def test_string_labels(self, model, separable):
+        Xtr, ytr, Xte, yte = separable
+        named = np.where(ytr == 1, "pos", "neg")
+        fitted = clone(model).fit(Xtr, named)
+        predictions = fitted.predict(Xte)
+        assert set(predictions) <= {"pos", "neg"}
+
+    @pytest.mark.parametrize(
+        "model",
+        [LogisticRegression(), KNeighborsClassifier(3), GaussianNB(), DecisionTreeClassifier()],
+        ids=lambda m: type(m).__name__,
+    )
+    def test_predict_proba_rows_sum_to_one(self, model, separable):
+        Xtr, ytr, Xte, __ = separable
+        probs = clone(model).fit(Xtr, ytr).predict_proba(Xte)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_clone_resets_fitted_state(self, separable):
+        Xtr, ytr, *__ = separable
+        fitted = LogisticRegression().fit(Xtr, ytr)
+        fresh = clone(fitted)
+        assert not fresh.is_fitted
+        assert fresh.l2 == fitted.l2
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_xy_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            GaussianNB().fit(np.zeros((3, 2)), np.zeros(2))
+
+
+class TestLogisticRegression:
+    def test_multiclass(self):
+        X, y = make_blobs(n=300, centers=3, spread=0.8, seed=4)
+        model = LogisticRegression().fit(X[:220], y[:220])
+        assert model.score(X[220:], y[220:]) > 0.9
+        assert model.predict_proba(X[:5]).shape == (5, 3)
+
+    def test_single_class_degenerates_to_constant(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        model = LogisticRegression().fit(X, np.zeros(10, dtype=int))
+        assert np.all(model.predict(X) == 0)
+
+    def test_l2_shrinks_weights(self, separable):
+        Xtr, ytr, *__ = separable
+        weak = LogisticRegression(l2=1e-4).fit(Xtr, ytr)
+        strong = LogisticRegression(l2=10.0).fit(Xtr, ytr)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_log_loss_better_for_good_model(self, separable):
+        Xtr, ytr, Xte, yte = separable
+        good = LogisticRegression().fit(Xtr, ytr)
+        shuffled = np.random.default_rng(0).permutation(ytr)
+        bad = LogisticRegression().fit(Xtr, shuffled)
+        assert good.log_loss(Xte, yte) < bad.log_loss(Xte, yte)
+
+    def test_sample_weight_changes_fit(self, separable):
+        Xtr, ytr, *__ = separable
+        weights = np.where(ytr == 1, 10.0, 0.1)
+        weighted = LogisticRegression().fit(Xtr, ytr, sample_weight=weights)
+        plain = LogisticRegression().fit(Xtr, ytr)
+        assert np.mean(weighted.predict(Xtr) == 1) > np.mean(plain.predict(Xtr) == 1)
+
+
+class TestKNN:
+    def test_k_capped_at_train_size(self):
+        X = np.asarray([[0.0], [1.0]])
+        model = KNeighborsClassifier(n_neighbors=10).fit(X, np.asarray([0, 1]))
+        assert model.predict(np.asarray([[0.1]]))[0] == 0
+
+    def test_k1_memorises_training_set(self, separable):
+        Xtr, ytr, *__ = separable
+        model = KNeighborsClassifier(1).fit(Xtr, ytr)
+        assert model.score(Xtr, ytr) == 1.0
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(0)
+
+    def test_kneighbors_returns_sorted_distances(self, separable):
+        Xtr, ytr, Xte, __ = separable
+        model = KNeighborsClassifier(5).fit(Xtr, ytr)
+        distances, __ = model.kneighbors(Xte[:3])
+        assert np.all(np.diff(distances, axis=1) >= 0)
+
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan", "cosine"])
+    def test_metrics_supported(self, metric, separable):
+        Xtr, ytr, Xte, yte = separable
+        model = KNeighborsClassifier(5, metric=metric).fit(Xtr, ytr)
+        assert model.score(Xte, yte) > 0.7
+
+    def test_pairwise_euclidean_matches_reference(self, rng):
+        A = rng.normal(size=(6, 3))
+        B = rng.normal(size=(4, 3))
+        D = pairwise_distances(A, B)
+        for i in range(6):
+            for j in range(4):
+                assert np.isclose(D[i, j], np.linalg.norm(A[i] - B[j]))
+
+    def test_unknown_metric_raises(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_distances(rng.normal(size=(2, 2)), rng.normal(size=(2, 2)), "hamming")
+
+
+class TestDecisionTree:
+    def test_fits_nonlinear_boundary(self):
+        X, y = make_moons(n=300, noise=0.1, seed=2)
+        model = DecisionTreeClassifier(max_depth=8).fit(X[:220], y[:220])
+        assert model.score(X[220:], y[220:]) > 0.85
+
+    def test_max_depth_zero_is_majority(self, separable):
+        Xtr, ytr, *__ = separable
+        model = DecisionTreeClassifier(max_depth=0).fit(Xtr, ytr)
+        assert model.depth() == 0
+        values, counts = np.unique(ytr, return_counts=True)
+        assert np.all(model.predict(Xtr) == values[np.argmax(counts)])
+
+    def test_depth_respects_limit(self, separable):
+        Xtr, ytr, *__ = separable
+        model = DecisionTreeClassifier(max_depth=3).fit(Xtr, ytr)
+        assert model.depth() <= 3
+
+    def test_node_count_odd(self, separable):
+        Xtr, ytr, *__ = separable
+        model = DecisionTreeClassifier(max_depth=4).fit(Xtr, ytr)
+        assert model.node_count() % 2 == 1  # full binary tree
+
+    def test_min_impurity_decrease_prunes(self, separable):
+        Xtr, ytr, *__ = separable
+        loose = DecisionTreeClassifier(max_depth=8).fit(Xtr, ytr)
+        strict = DecisionTreeClassifier(max_depth=8, min_impurity_decrease=0.2).fit(Xtr, ytr)
+        assert strict.node_count() <= loose.node_count()
+
+
+class TestLinearModels:
+    def test_ols_recovers_exact_solution(self):
+        X, y, w = make_regression(n=100, noise=0.0, seed=5)
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, w, atol=1e-8)
+        assert abs(model.intercept_) < 1e-8
+
+    def test_r2_perfect_fit(self):
+        X, y, __ = make_regression(n=50, noise=0.0, seed=6)
+        assert LinearRegression().fit(X, y).score(X, y) == pytest.approx(1.0)
+
+    def test_ridge_shrinks_towards_zero(self):
+        X, y, __ = make_regression(n=60, noise=0.1, seed=7)
+        ols = LinearRegression().fit(X, y)
+        ridge = RidgeRegression(alpha=100.0).fit(X, y)
+        assert np.linalg.norm(ridge.coef_) < np.linalg.norm(ols.coef_)
+
+    def test_ridge_alpha_zero_matches_ols(self):
+        X, y, __ = make_regression(n=60, noise=0.1, seed=8)
+        ols = LinearRegression().fit(X, y)
+        ridge = RidgeRegression(alpha=0.0).fit(X, y)
+        assert np.allclose(ols.coef_, ridge.coef_, atol=1e-6)
+
+    def test_no_intercept(self):
+        X, y, w = make_regression(n=60, noise=0.0, seed=9)
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert np.allclose(model.coef_, w, atol=1e-8)
+
+    def test_svc_multiclass_raises(self):
+        X, y = make_blobs(n=60, centers=3, seed=1)
+        with pytest.raises(ValueError):
+            LinearSVC().fit(X, y)
+
+    def test_svc_decision_function_sign_matches_predict(self, separable):
+        Xtr, ytr, Xte, __ = separable
+        model = LinearSVC().fit(Xtr, ytr)
+        scores = model.decision_function(Xte)
+        assert np.all((scores >= 0) == (model.predict(Xte) == model.classes_[1]))
+
+    def test_mse_decreases_with_fit_quality(self):
+        X, y, __ = make_regression(n=80, noise=0.1, seed=10)
+        good = LinearRegression().fit(X, y)
+        assert good.mse(X, y) < np.var(y)
+
+
+class TestBaselines:
+    def test_majority_predicts_most_frequent(self):
+        X = np.zeros((5, 1))
+        y = np.asarray(["a", "a", "a", "b", "b"])
+        model = MajorityClassifier().fit(X, y)
+        assert all(model.predict(np.zeros((3, 1))) == "a")
+
+    def test_majority_proba_matches_prior(self):
+        X = np.zeros((4, 1))
+        y = np.asarray([0, 0, 0, 1])
+        probs = MajorityClassifier().fit(X, y).predict_proba(np.zeros((1, 1)))
+        assert np.allclose(probs[0], [0.75, 0.25])
+
+    def test_random_classifier_uses_training_classes(self):
+        X = np.zeros((4, 1))
+        y = np.asarray([3, 3, 7, 7])
+        predictions = RandomClassifier(seed=1).fit(X, y).predict(np.zeros((50, 1)))
+        assert set(predictions) <= {3, 7}

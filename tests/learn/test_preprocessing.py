@@ -1,0 +1,174 @@
+"""Unit tests for scalers, encoders, imputers, and composition."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Column, DataFrame
+from repro.learn import (
+    CellImputer,
+    ColumnTransformer,
+    FunctionTransformer,
+    MinMaxScaler,
+    OneHotEncoder,
+    OrdinalEncoder,
+    Pipeline,
+    SimpleImputer,
+    StandardScaler,
+)
+
+
+class TestScalers:
+    def test_standard_scaler_zero_mean_unit_var(self, rng):
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 3))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_constant_column_safe(self):
+        X = np.ones((5, 1))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z, 0.0)
+
+    def test_standard_scaler_ignores_nan_in_fit(self):
+        X = np.asarray([[1.0], [np.nan], [3.0]])
+        scaler = StandardScaler().fit(X)
+        assert scaler.mean_[0] == 2.0
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(size=(50, 2))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_minmax_range(self, rng):
+        X = rng.normal(size=(100, 2))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        enc = OneHotEncoder().fit(["b", "a", "b"])
+        out = enc.transform(["a", "b"])
+        assert enc.categories_ == ["a", "b"]
+        assert out.tolist() == [[1.0, 0.0], [0.0, 1.0]]
+
+    def test_unknown_category_is_zero_row(self):
+        enc = OneHotEncoder().fit(["a", "b"])
+        assert enc.transform(["zzz"]).tolist() == [[0.0, 0.0]]
+
+    def test_missing_is_zero_row(self):
+        enc = OneHotEncoder().fit(["a", "b"])
+        assert enc.transform([None]).tolist() == [[0.0, 0.0]]
+
+    def test_accepts_column_input(self):
+        enc = OneHotEncoder().fit(Column(["a", None, "b"]))
+        assert enc.categories_ == ["a", "b"]
+
+    def test_feature_names(self):
+        enc = OneHotEncoder().fit(["x", "y"])
+        assert enc.feature_names("deg_") == ["deg_x", "deg_y"]
+
+
+class TestOrdinalEncoder:
+    def test_learned_order(self):
+        enc = OrdinalEncoder().fit(["b", "a", "c"])
+        assert enc.transform(["a", "b", "c"]).ravel().tolist() == [0.0, 1.0, 2.0]
+
+    def test_explicit_order(self):
+        enc = OrdinalEncoder(order=["low", "mid", "high"]).fit(None)
+        assert enc.transform(["high", "low"]).ravel().tolist() == [2.0, 0.0]
+
+    def test_unknown_is_minus_one(self):
+        enc = OrdinalEncoder().fit(["a"])
+        assert enc.transform(["zzz", None]).ravel().tolist() == [-1.0, -1.0]
+
+
+class TestImputers:
+    def test_mean_imputation(self):
+        X = np.asarray([[1.0], [np.nan], [3.0]])
+        out = SimpleImputer("mean").fit_transform(X)
+        assert out.ravel().tolist() == [1.0, 2.0, 3.0]
+
+    def test_median_imputation(self):
+        X = np.asarray([[1.0], [np.nan], [9.0], [2.0]])
+        out = SimpleImputer("median").fit_transform(X)
+        assert out[1, 0] == 2.0
+
+    def test_most_frequent(self):
+        X = np.asarray([[1.0], [1.0], [5.0], [np.nan]])
+        assert SimpleImputer("most_frequent").fit_transform(X)[3, 0] == 1.0
+
+    def test_constant(self):
+        X = np.asarray([[np.nan]])
+        assert SimpleImputer("constant", fill_value=-7).fit_transform(X)[0, 0] == -7.0
+
+    def test_all_missing_column_uses_fill(self):
+        X = np.asarray([[np.nan], [np.nan]])
+        assert np.all(SimpleImputer("mean").fit_transform(X) == 0.0)
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            SimpleImputer("magic")
+
+    def test_cell_imputer_categorical(self):
+        imp = CellImputer().fit(["a", "a", "b", None])
+        assert imp.transform([None, "b"]) == ["a", "b"]
+
+    def test_cell_imputer_mean(self):
+        imp = CellImputer("mean").fit([1.0, 3.0, None])
+        assert imp.transform([None]) == [2.0]
+
+    def test_transform_preserves_present_values(self):
+        X = np.asarray([[1.0, np.nan], [3.0, 4.0]])
+        out = SimpleImputer("mean").fit_transform(X)
+        assert out[0, 0] == 1.0 and out[1, 1] == 4.0
+
+
+class TestComposition:
+    def test_pipeline_chains(self):
+        pipe = Pipeline([CellImputer(), OneHotEncoder()])
+        out = pipe.fit_transform(["a", None, "a", "b"])
+        assert out.shape == (4, 2)
+        assert out[1].tolist() == [1.0, 0.0]  # imputed to most frequent 'a'
+
+    def test_function_transformer(self):
+        ft = FunctionTransformer(lambda X: np.asarray(X) * 2)
+        assert ft.fit_transform(np.ones((2, 2))).tolist() == [[2.0, 2.0], [2.0, 2.0]]
+
+    def test_column_transformer_shapes(self):
+        frame = DataFrame(
+            {"cat": ["a", "b", "a"], "num1": [1.0, 2.0, 3.0], "num2": [0.0, 0.0, 1.0]}
+        )
+        ct = ColumnTransformer(
+            [(OneHotEncoder(), "cat"), (StandardScaler(), ["num1", "num2"])]
+        )
+        out = ct.fit_transform(frame)
+        assert out.shape == (3, 4)
+        assert ct.n_features_out_ == 4
+
+    def test_column_transformer_passthrough(self):
+        frame = DataFrame({"cat": ["a", "b"], "extra": [1.0, 2.0]})
+        ct = ColumnTransformer([(OneHotEncoder(), "cat")], remainder="passthrough")
+        assert ct.fit_transform(frame).shape == (2, 3)
+        assert ct.passthrough_ == ["extra"]
+
+    def test_column_transformer_transform_after_fit(self):
+        frame = DataFrame({"cat": ["a", "b", "a"]})
+        ct = ColumnTransformer([(OneHotEncoder(), "cat")])
+        ct.fit(frame)
+        out = ct.transform(DataFrame({"cat": ["b"]}))
+        assert out.tolist() == [[0.0, 1.0]]
+
+    def test_column_transformer_requires_frame(self):
+        ct = ColumnTransformer([(OneHotEncoder(), "cat")])
+        with pytest.raises(TypeError):
+            ct.fit_transform(np.zeros((2, 2)))
+
+    def test_column_transformer_unfitted_transform_raises(self):
+        ct = ColumnTransformer([(OneHotEncoder(), "cat")])
+        with pytest.raises(RuntimeError):
+            ct.transform(DataFrame({"cat": ["a"]}))
+
+    def test_bad_remainder_raises(self):
+        with pytest.raises(ValueError):
+            ColumnTransformer([], remainder="keep")

@@ -1,0 +1,53 @@
+"""Shared pipeline fixtures: the Figure-3 style letters pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_hiring_data
+from repro.learn import CellImputer, ColumnTransformer, OneHotEncoder, Pipeline, StandardScaler
+from repro.learn.model_selection import split_frame
+from repro.pipeline import PipelinePlan
+from repro.text import SentenceBertTransformer
+
+
+@pytest.fixture(scope="module")
+def hiring_data():
+    return generate_hiring_data(n=400, seed=7)
+
+
+@pytest.fixture(scope="module")
+def hiring_splits(hiring_data):
+    train, valid = split_frame(hiring_data["letters"], fractions=(0.75, 0.25), seed=1)
+    return train, valid
+
+
+def build_letters_pipeline(sector: str = "healthcare"):
+    """The paper's Figure-3 pipeline (delegates to the public template)."""
+    from repro.pipeline import letters_pipeline
+
+    return letters_pipeline(sector=sector)
+
+
+@pytest.fixture()
+def letters_pipeline():
+    return build_letters_pipeline()
+
+
+@pytest.fixture()
+def sources(hiring_data, hiring_splits):
+    train, __ = hiring_splits
+    return {
+        "train_df": train,
+        "jobdetail_df": hiring_data["jobdetail"],
+        "social_df": hiring_data["social"],
+    }
+
+
+@pytest.fixture()
+def valid_sources(hiring_data, hiring_splits):
+    __, valid = hiring_splits
+    return {
+        "train_df": valid,
+        "jobdetail_df": hiring_data["jobdetail"],
+        "social_df": hiring_data["social"],
+    }

@@ -1,0 +1,88 @@
+"""Tests for complaint-driven training-data debugging."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.learn import KNeighborsClassifier, LogisticRegression
+from repro.pipeline import Complaint, resolve_complaint
+
+
+@pytest.fixture()
+def poisoned_task():
+    """A task where one region is poisoned with flipped labels."""
+    rng = np.random.default_rng(4)
+    X, y = make_classification(n=200, n_features=3, noise=0.1, seed=4)
+    Xtr, ytr = X[:150].copy(), y[:150].copy()
+    # Poison: flip labels of the 8 points nearest to a chosen query.
+    query = Xtr[0] + 0.01
+    distances = np.linalg.norm(Xtr - query, axis=1)
+    poisoned = np.argsort(distances)[:8]
+    true_label = y[0]
+    ytr[poisoned] = 1 - true_label
+    return Xtr, ytr, query, int(true_label), X[150:], y[150:]
+
+
+class TestComplaint:
+    def test_satisfied_check(self, binary_data):
+        Xtr, ytr, *__ = binary_data
+        model = LogisticRegression().fit(Xtr, ytr)
+        x = Xtr[0]
+        prediction = model.predict(x.reshape(1, -1))[0]
+        assert Complaint(x, prediction).is_satisfied(model)
+        assert not Complaint(x, 1 - prediction).is_satisfied(model)
+
+
+class TestResolveComplaint:
+    def test_already_satisfied_removes_nothing(self, binary_data):
+        Xtr, ytr, *__ = binary_data
+        model = LogisticRegression().fit(Xtr, ytr)
+        x = Xtr[0]
+        complaint = Complaint(x, model.predict(x.reshape(1, -1))[0])
+        resolution = resolve_complaint(LogisticRegression(), Xtr, ytr, complaint)
+        assert resolution.resolved
+        assert len(resolution.removed_positions) == 0
+
+    def test_resolves_poisoned_prediction(self, poisoned_task):
+        Xtr, ytr, query, true_label, Xte, yte = poisoned_task
+        complaint = Complaint(query, true_label)
+        model = KNeighborsClassifier(5)
+        assert not complaint.is_satisfied(
+            KNeighborsClassifier(5).fit(Xtr, ytr)
+        ), "sanity: the poisoning must actually break the prediction"
+        resolution = resolve_complaint(
+            model, Xtr, ytr, complaint, max_removals=25, batch_size=5,
+            x_holdout=Xte, y_holdout=yte,
+        )
+        assert resolution.resolved
+        assert 0 < len(resolution.removed_positions) <= 25
+
+    def test_collateral_accuracy_tracked(self, poisoned_task):
+        Xtr, ytr, query, true_label, Xte, yte = poisoned_task
+        resolution = resolve_complaint(
+            KNeighborsClassifier(5), Xtr, ytr, Complaint(query, true_label),
+            x_holdout=Xte, y_holdout=yte,
+        )
+        assert resolution.accuracy_before is not None
+        assert resolution.accuracy_after is not None
+        # Removing poison should not tank holdout accuracy.
+        assert resolution.accuracy_after >= resolution.accuracy_before - 0.1
+
+    def test_gives_up_within_budget(self, binary_data):
+        """An impossible complaint (far outlier, hopeless label) terminates."""
+        Xtr, ytr, *__ = binary_data
+        hopeless = Complaint(np.full(Xtr.shape[1], 50.0), -99)
+        resolution = resolve_complaint(
+            LogisticRegression(), Xtr, ytr, hopeless, max_removals=10
+        )
+        assert not resolution.resolved
+        assert len(resolution.removed_positions) <= 10
+
+    def test_trace_records_rounds(self, poisoned_task):
+        Xtr, ytr, query, true_label, *__ = poisoned_task
+        resolution = resolve_complaint(
+            KNeighborsClassifier(5), Xtr, ytr, Complaint(query, true_label)
+        )
+        if resolution.removed_positions.size:
+            assert resolution.trace
+            assert resolution.trace[-1]["satisfied"] == resolution.resolved

@@ -1,0 +1,101 @@
+"""Tests for distribution-drift inspections."""
+
+import numpy as np
+import pytest
+
+from repro.errors import inject_distribution_shift, inject_selection_bias
+from repro.frame import DataFrame
+from repro.pipeline import (
+    categorical_drift,
+    drift_report,
+    label_balance_shift,
+    numeric_drift,
+)
+
+
+@pytest.fixture()
+def reference():
+    rng = np.random.default_rng(0)
+    return DataFrame(
+        {
+            "value": rng.normal(size=400),
+            "group": rng.choice(["A", "B"], size=400, p=[0.7, 0.3]).astype(str),
+            "label": rng.choice(["pos", "neg"], size=400, p=[0.5, 0.5]).astype(str),
+        }
+    )
+
+
+class TestNumericDrift:
+    def test_same_distribution_silent(self, reference):
+        rng = np.random.default_rng(1)
+        current = DataFrame({"value": rng.normal(size=400)})
+        assert numeric_drift(reference, current, "value") == []
+
+    def test_shifted_distribution_flagged(self, reference):
+        rng = np.random.default_rng(1)
+        current = DataFrame({"value": rng.normal(loc=2.0, size=400)})
+        issues = numeric_drift(reference, current, "value")
+        assert issues and issues[0].severity == "warning"
+
+    def test_injected_shift_detected(self, reference):
+        shifted, __ = inject_distribution_shift(
+            reference, "value", fraction=0.5, shift=4.0, seed=1
+        )
+        assert numeric_drift(reference, shifted, "value")
+
+    def test_non_numeric_raises(self, reference):
+        with pytest.raises(TypeError):
+            numeric_drift(reference, reference, "group")
+
+    def test_tiny_sample_is_info_only(self, reference):
+        current = DataFrame({"value": [1.0, 2.0]})
+        issues = numeric_drift(reference, current, "value")
+        assert issues[0].severity == "info"
+
+
+class TestCategoricalDrift:
+    def test_same_distribution_silent(self, reference):
+        assert categorical_drift(reference, reference, "group") == []
+
+    def test_selection_bias_detected(self, reference):
+        biased, __ = inject_selection_bias(
+            reference, "group", "B", keep_fraction=0.1, seed=2
+        )
+        issues = categorical_drift(reference, biased, "group")
+        assert issues and issues[0].details["tv_distance"] > 0.15
+
+    def test_new_category_contributes(self, reference):
+        current = DataFrame({"group": ["C"] * 100})
+        issues = categorical_drift(reference, current, "group")
+        assert issues and issues[0].details["tv_distance"] == pytest.approx(1.0)
+
+
+class TestLabelBalance:
+    def test_balanced_silent(self, reference):
+        assert label_balance_shift(reference, reference, "label") == []
+
+    def test_shifted_labels_flagged(self, reference):
+        rng = np.random.default_rng(3)
+        current = DataFrame(
+            {"label": rng.choice(["pos", "neg"], size=400, p=[0.9, 0.1]).astype(str)}
+        )
+        issues = label_balance_shift(reference, current, "label")
+        assert len(issues) == 2  # both classes moved
+
+
+class TestDriftReport:
+    def test_auto_column_selection(self, reference):
+        rng = np.random.default_rng(4)
+        current = DataFrame(
+            {
+                "value": rng.normal(loc=3.0, size=300),
+                "group": np.asarray(["B"] * 300, dtype=str),
+                "label": rng.choice(["pos", "neg"], size=300, p=[0.95, 0.05]).astype(str),
+            }
+        )
+        issues = drift_report(reference, current, label_column="label")
+        checks = {i.check for i in issues}
+        assert {"numeric_drift", "categorical_drift", "label_balance_shift"} <= checks
+
+    def test_clean_report_empty(self, reference):
+        assert drift_report(reference, reference, label_column="label") == []

@@ -1,0 +1,142 @@
+"""Pipeline execution and provenance-correctness tests."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame
+from repro.learn import ColumnTransformer, OneHotEncoder, StandardScaler
+from repro.pipeline import PipelinePlan, execute, with_provenance
+
+
+class TestBasicOperators:
+    def test_source_provenance_is_row_ids(self):
+        plan = PipelinePlan()
+        src = plan.source("t")
+        frame = DataFrame({"v": [1, 2, 3]}, row_ids=[10, 11, 12])
+        result = execute(src, {"t": frame})
+        assert result.frame.equals(frame)
+        assert result.provenance.tuples == [
+            frozenset({("t", 10)}),
+            frozenset({("t", 11)}),
+            frozenset({("t", 12)}),
+        ]
+
+    def test_missing_source_raises(self):
+        plan = PipelinePlan()
+        src = plan.source("t")
+        with pytest.raises(KeyError):
+            execute(src, {})
+
+    def test_filter_narrows_provenance(self):
+        plan = PipelinePlan()
+        node = plan.source("t").filter(lambda df: df["v"] > 1, "v > 1")
+        frame = DataFrame({"v": [1, 2, 3]})
+        result = execute(node, {"t": frame})
+        assert result.frame["v"].to_list() == [2, 3]
+        assert result.provenance.tuples == [
+            frozenset({("t", 1)}),
+            frozenset({("t", 2)}),
+        ]
+
+    def test_join_unions_provenance(self):
+        plan = PipelinePlan()
+        left = plan.source("l")
+        right = plan.source("r")
+        node = left.join(right, on="k")
+        lf = DataFrame({"k": ["a", "b"]}, row_ids=[0, 1])
+        rf = DataFrame({"k": ["a"], "w": [9]}, row_ids=[7])
+        result = execute(node, {"l": lf, "r": rf})
+        assert result.provenance.tuples[0] == frozenset({("l", 0), ("r", 7)})
+        assert result.provenance.tuples[1] == frozenset({("l", 1)})  # unmatched
+
+    def test_map_preserves_provenance(self):
+        plan = PipelinePlan()
+        node = plan.source("t").with_column("d", lambda df: df["v"] + 1)
+        result = execute(node, {"t": DataFrame({"v": [1.0, 2.0]})})
+        assert result.frame["d"].to_list() == [2.0, 3.0]
+        assert len(result.provenance) == 2
+
+    def test_project_selects_columns(self):
+        plan = PipelinePlan()
+        node = plan.source("t").project(["a"])
+        result = execute(node, {"t": DataFrame({"a": [1], "b": [2]})})
+        assert result.frame.columns == ["a"]
+
+    def test_encode_produces_matrix_and_labels(self):
+        plan = PipelinePlan()
+        encoder = ColumnTransformer([(OneHotEncoder(), "c")])
+        node = plan.source("t").encode(encoder, label_column="y")
+        frame = DataFrame({"c": ["a", "b"], "y": ["p", "n"]})
+        result = execute(node, {"t": frame})
+        assert result.X.shape == (2, 2)
+        assert result.y.tolist() == ["p", "n"]
+
+    def test_diamond_pipeline_node_cache(self):
+        """A source consumed by two joins is executed once."""
+        plan = PipelinePlan()
+        base = plan.source("b")
+        side = plan.source("s")
+        j1 = base.join(side, on="k")
+        j2 = j1.join(side, on="k", suffix="_again")
+        frame = DataFrame({"k": ["a"], "v": [1]})
+        sidef = DataFrame({"k": ["a"], "w": [2]})
+        result = execute(j2, {"b": frame, "s": sidef})
+        assert result.frame.num_rows == 1
+
+
+class TestEndToEnd:
+    def test_figure3_pipeline_shapes(self, letters_pipeline, sources):
+        __, sink = letters_pipeline
+        result = execute(sink, sources)
+        n_healthcare = result.frame.num_rows
+        assert 0 < n_healthcare < sources["train_df"].num_rows
+        assert result.X.shape[0] == n_healthcare
+        assert len(result.provenance) == n_healthcare
+        assert "has_twitter" in result.frame.columns
+
+    def test_every_output_row_has_train_provenance(self, letters_pipeline, sources):
+        __, sink = letters_pipeline
+        result = execute(sink, sources)
+        src_ids = result.provenance.source_row_ids("train_df")
+        train_ids = set(sources["train_df"].row_ids.tolist())
+        assert all(int(i) in train_ids for i in src_ids)
+
+    def test_provenance_removal_equals_rerun(self, letters_pipeline, sources):
+        """The core provenance guarantee: dropping source tuples via
+        provenance equals re-running the whole pipeline on filtered input."""
+        __, sink = letters_pipeline
+        result = execute(sink, sources)
+        victim_ids = result.provenance.source_row_ids("train_df")[:5]
+        X_fast, y_fast = result.remove_source_rows("train_df", victim_ids)
+
+        train = sources["train_df"]
+        keep = ~np.isin(train.row_ids, victim_ids)
+        rerun_sources = dict(sources)
+        rerun_sources["train_df"] = train.filter(keep)
+        rerun = execute(sink, rerun_sources, fit=False)
+        assert np.allclose(X_fast, rerun.X)
+        assert np.array_equal(y_fast, rerun.y)
+
+    def test_fit_false_reuses_encoders(self, letters_pipeline, sources, valid_sources):
+        __, sink = letters_pipeline
+        train_result = execute(sink, sources, fit=True)
+        valid_result = execute(sink, valid_sources, fit=False)
+        assert valid_result.X.shape[1] == train_result.X.shape[1]
+
+    def test_with_provenance_convenience(self, letters_pipeline, sources):
+        __, sink = letters_pipeline
+        X, y, prov, result = with_provenance(sink, sources)
+        assert len(X) == len(y) == len(prov)
+
+    def test_with_provenance_requires_encode(self, sources):
+        plan = PipelinePlan()
+        node = plan.source("train_df").filter(lambda df: df["age"] > 0, "age > 0")
+        with pytest.raises(TypeError):
+            with_provenance(node, sources)
+
+    def test_outputs_of_inverse_of_source_ids(self, letters_pipeline, sources):
+        __, sink = letters_pipeline
+        result = execute(sink, sources)
+        src_ids = result.provenance.source_row_ids("train_df")
+        outputs = result.provenance.outputs_of("train_df", [int(src_ids[0])])
+        assert 0 in outputs.tolist()

@@ -1,0 +1,108 @@
+"""Property-based tests for the pipeline executor.
+
+Hypothesis generates random small select-project-join pipelines and checks
+the two load-bearing invariants on each:
+
+1. **Provenance faithfulness**: re-running the pipeline with any subset of
+   source rows removed equals dropping, from the original output, exactly
+   the rows whose why-provenance touches the removed tuples.
+2. **Row-id stability**: output row ids are always a subset of the driving
+   source's row ids.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import DataFrame
+from repro.pipeline import PipelinePlan, execute
+
+
+@st.composite
+def random_pipeline_case(draw):
+    n = draw(st.integers(min_value=4, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    base = DataFrame(
+        {
+            "k": rng.choice(["a", "b", "c"], size=n).astype(str),
+            "v": rng.normal(size=n).round(3),
+            "g": rng.choice(["x", "y"], size=n).astype(str),
+        }
+    )
+    side = DataFrame(
+        {"k": np.asarray(["a", "b"], dtype=str), "w": np.asarray([1.0, 2.0])}
+    )
+    ops = draw(
+        st.lists(
+            st.sampled_from(["filter_v", "filter_g", "join", "map"]),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    thresholds = draw(
+        st.lists(
+            st.floats(min_value=-1.5, max_value=1.5, allow_nan=False),
+            min_size=len(ops),
+            max_size=len(ops),
+        )
+    )
+    removal_seed = draw(st.integers(min_value=0, max_value=10_000))
+    return base, side, ops, thresholds, removal_seed
+
+
+def build(plan, ops, thresholds):
+    node = plan.source("base")
+    side_node = plan.source("side")
+    joined = False
+    for op, threshold in zip(ops, thresholds):
+        if op == "filter_v":
+            node = node.filter(
+                lambda df, t=threshold: df["v"] > t, f"v > {threshold:.2f}"
+            )
+        elif op == "filter_g":
+            node = node.filter(lambda df: df["g"] == "x", "g == 'x'")
+        elif op == "join" and not joined:
+            node = node.join(side_node, on="k")
+            joined = True
+        elif op == "map":
+            node = node.with_column("v2", lambda df: df["v"] * 2.0)
+    return node
+
+
+@given(case=random_pipeline_case())
+@settings(max_examples=50, deadline=None)
+def test_provenance_removal_equals_rerun(case):
+    base, side, ops, thresholds, removal_seed = case
+    plan = PipelinePlan()
+    node = build(plan, ops, thresholds)
+    sources = {"base": base, "side": side}
+    result = execute(node, sources)
+
+    rng = np.random.default_rng(removal_seed)
+    n_remove = int(rng.integers(0, base.num_rows // 2 + 1))
+    removed_ids = rng.choice(base.row_ids, size=n_remove, replace=False)
+
+    # Fast path: drop output rows via provenance.
+    affected = result.provenance.outputs_of("base", removed_ids.tolist())
+    keep_mask = np.ones(result.n_rows, dtype=bool)
+    keep_mask[affected] = False
+    fast = result.frame.filter(keep_mask)
+
+    # Slow path: re-run the pipeline on the filtered source.
+    reduced = base.filter(~np.isin(base.row_ids, removed_ids))
+    rerun = execute(node, {"base": reduced, "side": side})
+    assert fast.equals(rerun.frame)
+
+
+@given(case=random_pipeline_case())
+@settings(max_examples=50, deadline=None)
+def test_row_ids_stable_through_pipeline(case):
+    base, side, ops, thresholds, __ = case
+    plan = PipelinePlan()
+    node = build(plan, ops, thresholds)
+    result = execute(node, {"base": base, "side": side})
+    assert set(result.frame.row_ids.tolist()) <= set(base.row_ids.tolist())
+    # Every output row's provenance names exactly one base tuple.
+    ids = result.provenance.source_row_ids("base")
+    assert np.array_equal(ids, result.frame.row_ids)

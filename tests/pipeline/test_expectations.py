@@ -1,0 +1,166 @@
+"""Tests for declarative data validation and schema inference."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_hiring_data
+from repro.errors import (
+    inject_distribution_shift,
+    inject_missing,
+    inject_outliers,
+    inject_typos,
+)
+from repro.frame import DataFrame
+from repro.pipeline import (
+    expect_column_mean_between,
+    expect_complete,
+    expect_in_range,
+    expect_in_set,
+    expect_matches,
+    expect_unique,
+    infer_schema,
+    run_expectations,
+    validate_schema,
+)
+
+
+@pytest.fixture()
+def frame():
+    return DataFrame(
+        {
+            "id": [1, 2, 3, 4],
+            "grade": ["a", "b", "a", None],
+            "score": [0.5, 0.9, 0.1, 0.7],
+            "email": ["x@y.com", "z@w.org", "bad", "a@b.net"],
+        }
+    )
+
+
+class TestExpectations:
+    def test_complete_passes_and_fails(self, frame):
+        assert expect_complete("id").evaluate(frame).passed
+        assert not expect_complete("grade").evaluate(frame).passed
+        assert expect_complete("grade", min_fraction=0.7).evaluate(frame).passed
+
+    def test_unique(self, frame):
+        assert expect_unique("id").evaluate(frame).passed
+        assert not expect_unique("grade").evaluate(frame).passed
+
+    def test_in_range(self, frame):
+        assert expect_in_range("score", 0.0, 1.0).evaluate(frame).passed
+        result = expect_in_range("score", 0.2, 1.0).evaluate(frame)
+        assert not result.passed
+        assert result.observed == 1
+
+    def test_in_range_non_numeric_fails(self, frame):
+        assert not expect_in_range("grade", 0, 1).evaluate(frame).passed
+
+    def test_in_set(self, frame):
+        assert expect_in_set("grade", ["a", "b"]).evaluate(frame).passed
+        assert not expect_in_set("grade", ["a"]).evaluate(frame).passed
+
+    def test_matches(self, frame):
+        result = expect_matches("email", r"[^@]+@[^@]+\.[a-z]+").evaluate(frame)
+        assert not result.passed
+        assert result.observed == 1
+
+    def test_mean_between(self, frame):
+        assert expect_column_mean_between("score", 0.4, 0.7).evaluate(frame).passed
+        assert not expect_column_mean_between("score", 0.9, 1.0).evaluate(frame).passed
+
+    def test_missing_column_fails_gracefully(self, frame):
+        result = expect_complete("nope").evaluate(frame)
+        assert not result.passed
+        assert "missing from the frame" in result.detail
+
+    def test_report_aggregation(self, frame):
+        report = run_expectations(
+            frame, [expect_unique("id"), expect_complete("grade")]
+        )
+        assert not report.passed
+        assert len(report.failures()) == 1
+        assert "FAIL" in report.render()
+
+    def test_as_issues_adapter(self, frame):
+        report = run_expectations(frame, [expect_complete("grade")])
+        issues = report.as_issues()
+        assert len(issues) == 1
+        assert issues[0].severity == "error"
+        assert issues[0].check == "expectation:complete"
+
+
+class TestSchemaInference:
+    @pytest.fixture(scope="class")
+    def letters(self):
+        return generate_hiring_data(n=300, seed=1)["letters"]
+
+    def test_clean_data_validates_against_own_schema(self, letters):
+        schema = infer_schema(letters)
+        assert validate_schema(letters, schema).passed
+
+    def test_fresh_batch_validates(self, letters):
+        schema = infer_schema(letters)
+        fresh = generate_hiring_data(n=200, seed=9)["letters"]
+        report = validate_schema(fresh, schema)
+        # Same generator, different seed: ranges may stretch slightly but
+        # the categorical domains and kinds are identical.
+        assert all(
+            "unexpected values" not in r.detail for r in report.failures()
+        )
+
+    @pytest.mark.parametrize(
+        "inject,column",
+        [
+            (lambda f: inject_missing(f, "employer_rating", 0.3, seed=1), "complete"),
+            (lambda f: inject_outliers(f, "age", 0.1, magnitude=10.0, seed=2), "in_range"),
+            (lambda f: inject_typos(f, "degree", 0.2, seed=3), "in_set"),
+            (
+                lambda f: inject_distribution_shift(f, "employer_rating", 0.4, shift=5.0, seed=4),
+                "in_range",
+            ),
+        ],
+    )
+    def test_error_families_detected(self, letters, inject, column):
+        schema = infer_schema(letters)
+        dirty, __ = inject(letters)
+        report = validate_schema(dirty, schema)
+        assert not report.passed
+        assert any(r.name == column for r in report.failures())
+
+    def test_kind_change_detected(self, letters):
+        schema = infer_schema(letters)
+        mutated = letters.copy()
+        mutated["age"] = [str(v) for v in letters["age"].to_list()]
+        report = validate_schema(mutated, schema)
+        assert any(r.name == "kind" for r in report.failures())
+
+    def test_int_float_kinds_compatible(self, letters):
+        schema = infer_schema(letters)
+        mutated = letters.copy()
+        mutated["age"] = [float(v) for v in letters["age"].to_list()]
+        report = validate_schema(mutated, schema)
+        assert not any(r.name == "kind" for r in report.failures())
+
+    def test_high_cardinality_strings_skip_domain(self, letters):
+        schema = infer_schema(letters)
+        assert schema.columns["letter_text"].categories is None
+        assert schema.columns["degree"].categories is not None
+
+    def test_schema_plugs_into_screener(self, letters):
+        from repro.learn import ColumnTransformer, StandardScaler
+        from repro.pipeline import PipelinePlan, PipelineScreener, execute
+
+        schema = infer_schema(letters)
+        dirty, __ = inject_outliers(letters, "age", 0.1, magnitude=10.0, seed=5)
+        plan = PipelinePlan()
+        sink = plan.source("t").encode(
+            ColumnTransformer([(StandardScaler(), ["age", "employer_rating"])]),
+            label_column="sentiment",
+        )
+        result = execute(sink, {"t": dirty})
+        screener = PipelineScreener(
+            check_label_errors=False,
+            extra_checks=[lambda r: validate_schema(r.frame, schema).as_issues()],
+        )
+        report = screener.screen(result)
+        assert not report.passed

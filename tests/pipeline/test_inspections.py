@@ -1,0 +1,150 @@
+"""Tests for mlinspect-style inspections and ArgusEyes-style screening."""
+
+import numpy as np
+import pytest
+
+from repro.errors import inject_label_errors, inject_typos
+from repro.frame import DataFrame
+from repro.pipeline import (
+    PipelinePlan,
+    PipelineScreener,
+    execute,
+    feature_constant_screen,
+    group_shrinkage,
+    join_match_rate,
+    label_error_screen,
+    missing_value_report,
+    train_test_overlap,
+)
+from tests.pipeline.conftest import build_letters_pipeline
+
+
+class TestGroupShrinkage:
+    def test_detects_disappearing_group(self):
+        plan = PipelinePlan()
+        node = plan.source("t").filter(lambda df: df["g"] != "B", "drop B")
+        frame = DataFrame({"g": ["A"] * 50 + ["B"] * 50})
+        result = execute(node, {"t": frame})
+        issues = group_shrinkage(frame, result, "g")
+        assert len(issues) == 1
+        assert issues[0].details["group"] == "B"
+
+    def test_silent_on_proportional_filter(self):
+        plan = PipelinePlan()
+        node = plan.source("t").filter(lambda df: df["v"] > 0, "v > 0")
+        rng = np.random.default_rng(0)
+        frame = DataFrame({"g": ["A", "B"] * 50, "v": rng.normal(size=100)})
+        result = execute(node, {"t": frame})
+        assert group_shrinkage(frame, result, "g") == []
+
+
+class TestJoinMatchRate:
+    def test_flags_typo_broken_join(self, hiring_data, hiring_splits):
+        train, __ = hiring_splits
+        plan = PipelinePlan()
+        node = plan.source("t").join(plan.source("s"), on="name")
+        side = DataFrame(
+            {
+                "name": train["name"].to_list(),
+                "bonus": np.ones(train.num_rows),
+            }
+        )
+        broken_side, __ = inject_typos(side, "name", fraction=0.5, seed=3)
+        result = execute(node, {"t": train, "s": broken_side})
+        issues = join_match_rate(result, "s", threshold=0.9)
+        assert issues and issues[0].details["match_rate"] < 0.9
+
+    def test_silent_on_clean_join(self, hiring_data, hiring_splits):
+        train, __ = hiring_splits
+        plan = PipelinePlan()
+        node = plan.source("t").join(plan.source("j"), on="job_id")
+        result = execute(node, {"t": train, "j": hiring_data["jobdetail"]})
+        assert join_match_rate(result, "j") == []
+
+
+class TestLeakageAndLabels:
+    def test_train_test_overlap_detected(self, hiring_splits):
+        train, valid = hiring_splits
+        plan = PipelinePlan()
+        node = plan.source("t").filter(lambda df: df["age"] > 0, "adult")
+        leaky = DataFrame.concat_rows([train, valid.head(10)])
+        result = execute(node, {"t": leaky})
+        issues = train_test_overlap(result, valid, source="t")
+        assert issues and issues[0].severity == "error"
+        assert issues[0].details["n_overlap"] == 10
+
+    def test_no_overlap_silent(self, hiring_splits):
+        train, valid = hiring_splits
+        plan = PipelinePlan()
+        node = plan.source("t").filter(lambda df: df["age"] > 0, "adult")
+        result = execute(node, {"t": train})
+        assert train_test_overlap(result, valid, source="t") == []
+
+    def test_label_error_screen_fires_on_dirty_labels(self, sources):
+        __, sink = build_letters_pipeline()
+        dirty, __ = inject_label_errors(sources["train_df"], "sentiment", 0.25, seed=1)
+        result = execute(sink, dict(sources, train_df=dirty))
+        issues = label_error_screen(result, flag_fraction_threshold=0.05)
+        assert issues
+        assert issues[0].details["flag_rate"] > 0.05
+
+    def test_missing_value_report(self, sources):
+        __, sink = build_letters_pipeline()
+        result = execute(sink, sources)
+        issues = missing_value_report(result, threshold=0.2)
+        assert any(i.details["column"] == "twitter" for i in issues)
+
+    def test_constant_feature_screen(self):
+        plan = PipelinePlan()
+        from repro.learn import ColumnTransformer, StandardScaler
+
+        node = plan.source("t").encode(
+            ColumnTransformer([(StandardScaler(), ["a", "b"])]), label_column="y"
+        )
+        frame = DataFrame({"a": [1.0, 2.0], "b": [5.0, 5.0], "y": ["p", "n"]})
+        result = execute(node, {"t": frame})
+        issues = feature_constant_screen(result)
+        assert issues and issues[0].details["dead_dimensions"].tolist() == [1]
+
+
+class TestScreener:
+    def test_clean_pipeline_passes(self, sources, hiring_splits):
+        __, sink = build_letters_pipeline()
+        result = execute(sink, sources)
+        screener = PipelineScreener(
+            protected_columns=["race"], side_sources=["jobdetail_df"], fail_at="error"
+        )
+        report = screener.screen(result, source_frames={"train_df": sources["train_df"]})
+        assert report.passed
+
+    def test_leaky_pipeline_fails(self, sources, hiring_splits):
+        train, valid = hiring_splits
+        __, sink = build_letters_pipeline()
+        leaky_sources = dict(
+            sources, train_df=DataFrame.concat_rows([train, valid.head(20)])
+        )
+        result = execute(sink, leaky_sources)
+        screener = PipelineScreener()
+        report = screener.screen(
+            result, test_frame=valid, test_source="train_df"
+        )
+        assert not report.passed
+        assert report.by_severity("error")
+
+    def test_render_mentions_status(self, sources):
+        __, sink = build_letters_pipeline()
+        result = execute(sink, sources)
+        report = PipelineScreener().screen(result)
+        assert report.render().startswith("screening:")
+
+    def test_extra_checks_run(self, sources):
+        from repro.pipeline import Issue
+
+        __, sink = build_letters_pipeline()
+        result = execute(sink, sources)
+        screener = PipelineScreener(
+            extra_checks=[lambda r: [Issue("custom", "error", "boom")]]
+        )
+        report = screener.screen(result)
+        assert not report.passed
+        assert any(i.check == "custom" for i in report.issues)

@@ -1,0 +1,92 @@
+"""Tests for query-plan rendering and the Provenance container."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import Provenance, plan_summary, render_plan
+from tests.pipeline.conftest import build_letters_pipeline
+
+
+class TestPlanRendering:
+    def test_render_mentions_all_operators(self):
+        __, sink = build_letters_pipeline()
+        text = render_plan(sink)
+        for token in ("Join", "Filter", "Encode", "Concat", "Source", "train_df"):
+            assert token in text
+
+    def test_render_expands_encoder_branches(self):
+        __, sink = build_letters_pipeline()
+        text = render_plan(sink)
+        assert "SentenceBertTransformer" in text
+        assert "StandardScaler" in text
+
+    def test_plan_summary_counts(self):
+        __, sink = build_letters_pipeline()
+        counts = plan_summary(sink)
+        assert counts["source"] == 3
+        assert counts["join"] == 2
+        assert counts["filter"] == 1
+        assert counts["map"] == 1
+        assert counts["encode"] == 1
+
+    def test_topological_order_inputs_before_consumers(self):
+        plan, sink = build_letters_pipeline()
+        order = plan.topological_order(sink)
+        assert order[-1].kind == "encode"
+        position = {node.id: i for i, node in enumerate(order)}
+        for node in order:
+            for parent in node.inputs:
+                assert position[parent.id] < position[node.id]
+
+
+class TestProvenanceContainer:
+    def test_source_row_ids_happy_path(self):
+        prov = Provenance([frozenset({("t", 3)}), frozenset({("t", 5), ("s", 1)})])
+        assert prov.source_row_ids("t").tolist() == [3, 5]
+
+    def test_source_row_ids_ambiguous_raises(self):
+        prov = Provenance([frozenset({("t", 1), ("t", 2)})])
+        with pytest.raises(ValueError):
+            prov.source_row_ids("t")
+
+    def test_source_row_ids_absent_raises(self):
+        prov = Provenance([frozenset({("t", 1)}), frozenset({("s", 2)})])
+        with pytest.raises(ValueError):
+            prov.source_row_ids("t")
+
+    def test_outputs_of(self):
+        prov = Provenance(
+            [frozenset({("t", 1)}), frozenset({("t", 2)}), frozenset({("s", 1)})]
+        )
+        assert prov.outputs_of("t", [2]).tolist() == [1]
+        assert prov.outputs_of("s", [1]).tolist() == [2]
+        assert prov.outputs_of("t", [99]).tolist() == []
+
+    def test_sources(self):
+        prov = Provenance([frozenset({("a", 1), ("b", 2)})])
+        assert prov.sources() == {"a", "b"}
+
+    def test_union_rows_length_mismatch_raises(self):
+        a = Provenance([frozenset({("t", 1)})])
+        b = Provenance([frozenset({("s", 1)}), frozenset({("s", 2)})])
+        with pytest.raises(ValueError):
+            Provenance.union_rows(a, b)
+
+    def test_concat(self):
+        a = Provenance([frozenset({("t", 1)})])
+        b = Provenance([frozenset({("t", 2)})])
+        assert len(Provenance.concat([a, b])) == 2
+
+    def test_take_reorders(self):
+        prov = Provenance([frozenset({("t", 1)}), frozenset({("t", 2)})])
+        taken = prov.take(np.asarray([1, 0]))
+        assert taken.tuples[0] == frozenset({("t", 2)})
+
+    def test_lineage_table_readable(self):
+        prov = Provenance([frozenset({("t", 1), ("s", 4)})])
+        table = prov.lineage_table()
+        assert table[0]["sources"] == "s[4], t[1]"
+
+    def test_for_source_constructor(self):
+        prov = Provenance.for_source("x", np.asarray([7, 8]))
+        assert prov.tuples == [frozenset({("x", 7)}), frozenset({("x", 8)})]

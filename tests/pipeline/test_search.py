@@ -1,0 +1,117 @@
+"""Tests for DiffPrep/SAGA-style preprocessing search."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame
+from repro.learn import ColumnTransformer, SimpleImputer, StandardScaler
+from repro.learn.preprocessing import Pipeline as FeaturePipeline
+from repro.pipeline import SearchDimension, greedy_search, grid_search
+
+
+@pytest.fixture()
+def searchable_task():
+    """A task where the right configuration is knowable: values above the
+    threshold carry the label signal, so filtering low rows helps."""
+    rng = np.random.default_rng(3)
+    n = 300
+    x1 = rng.normal(size=n)
+    noise_zone = x1 < -0.5  # rows where the label is pure noise
+    label = np.where(
+        noise_zone, rng.choice(["p", "n"], size=n), np.where(x1 > 0.3, "p", "n")
+    )
+    frame = DataFrame({"x1": x1, "x2": rng.normal(size=n), "label": label.astype(str)})
+    return frame
+
+
+def build(plan, config, shared):
+    if "source" not in shared:
+        shared["source"] = plan.source("t")
+    node = shared["source"]
+    if config["filter"] == "drop_noise":
+        key = ("filtered",)
+        if key not in shared:
+            shared[key] = node.filter(lambda df: df["x1"] >= -0.5, "x1 >= -0.5")
+        node = shared[key]
+    encoder = ColumnTransformer(
+        [
+            (
+                FeaturePipeline([SimpleImputer("mean"), StandardScaler()]),
+                ["x1", "x2"],
+            )
+        ]
+    )
+    return node.encode(encoder, label_column="label")
+
+
+def evaluate_factory():
+    from repro.learn import KNeighborsClassifier
+
+    def evaluate(result):
+        # In-sample 5-NN accuracy as a cheap quality proxy for the test.
+        model = KNeighborsClassifier(5).fit(result.X, result.y)
+        return model.score(result.X, result.y)
+
+    return evaluate
+
+
+DIMENSIONS = [
+    SearchDimension("filter", {"keep_all": None, "drop_noise": None}),
+]
+
+
+class TestGridSearch:
+    def test_finds_noise_dropping_config(self, searchable_task):
+        result = grid_search(
+            DIMENSIONS, build, {"t": searchable_task}, evaluate_factory()
+        )
+        assert result.best_config["filter"] == "drop_noise"
+        assert result.n_evaluated == 2
+
+    def test_evaluations_record_scores(self, searchable_task):
+        result = grid_search(
+            DIMENSIONS, build, {"t": searchable_task}, evaluate_factory()
+        )
+        assert all("score" in record for record in result.evaluations)
+        assert result.best_score == max(r["score"] for r in result.evaluations)
+
+    def test_shared_prefix_counted(self, searchable_task):
+        result = grid_search(
+            DIMENSIONS, build, {"t": searchable_task}, evaluate_factory()
+        )
+        # Both configs share the source node: 3 naive ops (1 + 2), fewer run.
+        assert result.executed_operators < result.naive_operators
+
+    def test_render_mentions_best(self, searchable_task):
+        result = grid_search(
+            DIMENSIONS, build, {"t": searchable_task}, evaluate_factory()
+        )
+        assert "drop_noise" in result.render()
+
+
+class TestGreedySearch:
+    def test_matches_grid_on_single_dimension(self, searchable_task):
+        grid = grid_search(DIMENSIONS, build, {"t": searchable_task}, evaluate_factory())
+        greedy = greedy_search(
+            DIMENSIONS, build, {"t": searchable_task}, evaluate_factory()
+        )
+        assert greedy.best_config == grid.best_config
+
+    def test_multi_dimension_fewer_evals_than_grid(self, searchable_task):
+        dimensions = DIMENSIONS + [
+            SearchDimension("impute", {"mean": None, "median": None, "constant": None}),
+            SearchDimension("dummy", {"a": None, "b": None, "c": None}),
+        ]
+
+        def build3(plan, config, shared):
+            return build(plan, {"filter": config["filter"]}, shared)
+
+        greedy = greedy_search(
+            dimensions, build3, {"t": searchable_task}, evaluate_factory(), n_rounds=1
+        )
+        assert greedy.n_evaluated <= 2 + 3 + 3  # Σ|options| per round
+        assert greedy.best_config["filter"] == "drop_noise"
+
+    def test_empty_dimension_raises(self):
+        with pytest.raises(ValueError):
+            SearchDimension("broken", {})

@@ -1,0 +1,118 @@
+"""Tests for Datascope's shared attribution mode (side-table importance)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import inject_label_errors
+from repro.pipeline import datascope_importance, execute
+from tests.pipeline.conftest import build_letters_pipeline
+
+
+@pytest.fixture()
+def results(sources, valid_sources):
+    __, sink = build_letters_pipeline()
+    train_result = execute(sink, sources, fit=True)
+    valid_result = execute(sink, valid_sources, fit=False)
+    return train_result, valid_result
+
+
+class TestSharedAttribution:
+    def test_side_table_rows_receive_importance(self, results, hiring_data):
+        train_result, valid_result = results
+        importance = datascope_importance(
+            train_result, valid_result.X, valid_result.y,
+            source="jobdetail_df", attribution="shared",
+        )
+        aligned = importance.for_frame(hiring_data["jobdetail"])
+        assert (aligned != 0).sum() > 0
+
+    def test_shared_preserves_total_mass_per_contributing_row(self, results):
+        """A side tuple's value is the sum over the output rows it fed, so
+        the per-source totals still sum to the encoded total (every output
+        row has exactly one jobdetail ancestor in this pipeline)."""
+        train_result, valid_result = results
+        importance = datascope_importance(
+            train_result, valid_result.X, valid_result.y,
+            source="jobdetail_df", attribution="shared",
+        )
+        encoded_total = importance.extras["encoded"].values.sum()
+        assert sum(importance.by_row_id.values()) == pytest.approx(
+            encoded_total, abs=1e-9
+        )
+
+    def test_unique_mode_rejects_partially_matched_source(self):
+        """Unique attribution needs exactly one ancestor per output row;
+        unmatched left-join rows violate that, shared mode handles them."""
+        from repro.frame import DataFrame
+        from repro.learn import ColumnTransformer, StandardScaler
+        from repro.pipeline import PipelinePlan
+
+        rng = np.random.default_rng(0)
+        left = DataFrame(
+            {
+                "k": ["a", "b", "zz", "a"],
+                "x": rng.normal(size=4),
+                "y": ["p", "n", "p", "n"],
+            }
+        )
+        right = DataFrame({"k": ["a", "b"], "w": [1.0, 2.0]})
+        plan = PipelinePlan()
+        sink = (
+            plan.source("left")
+            .join(plan.source("right"), on="k")
+            .encode(
+                ColumnTransformer([(StandardScaler(), ["x"])]), label_column="y"
+            )
+        )
+        result = execute(sink, {"left": left, "right": right})
+        x_valid = rng.normal(size=(3, 1))
+        y_valid = np.asarray(["p", "n", "p"])
+        with pytest.raises(ValueError):
+            datascope_importance(
+                result, x_valid, y_valid, source="right", attribution="unique"
+            )
+        shared = datascope_importance(
+            result, x_valid, y_valid, source="right", attribution="shared"
+        )
+        assert set(shared.by_row_id) <= {0, 1}
+
+    def test_shared_equals_unique_for_base_table(self, results, sources):
+        train_result, valid_result = results
+        unique = datascope_importance(
+            train_result, valid_result.X, valid_result.y,
+            source="train_df", attribution="unique",
+        )
+        shared = datascope_importance(
+            train_result, valid_result.X, valid_result.y,
+            source="train_df", attribution="shared",
+        )
+        assert unique.by_row_id.keys() == shared.by_row_id.keys()
+        for rid, value in unique.by_row_id.items():
+            assert shared.by_row_id[rid] == pytest.approx(value)
+
+    def test_invalid_mode_raises(self, results):
+        train_result, valid_result = results
+        with pytest.raises(ValueError):
+            datascope_importance(
+                train_result, valid_result.X, valid_result.y,
+                source="train_df", attribution="weighted",
+            )
+
+    def test_bad_side_tuple_detected(self, sources, valid_sources, hiring_data):
+        """Corrupting one jobdetail row (wrong sector label flips which rows
+        survive the filter) is visible in side-table importance: the dirty
+        tuple feeds output rows whose labels mismatch the validation signal."""
+        __, sink = build_letters_pipeline()
+        train_result = execute(sink, sources, fit=True)
+        valid_result = execute(sink, valid_sources, fit=False)
+        importance = datascope_importance(
+            train_result, valid_result.X, valid_result.y,
+            source="jobdetail_df", attribution="shared",
+        )
+        # Every healthcare job that feeds the pipeline must carry a value.
+        jobdetail = hiring_data["jobdetail"]
+        healthcare_ids = set(
+            jobdetail.filter(jobdetail["sector"] == "healthcare").row_ids.tolist()
+        )
+        contributing = set(importance.by_row_id)
+        assert contributing <= healthcare_ids

@@ -1,0 +1,129 @@
+"""Tests for data-centric what-if analysis with shared execution."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame
+from repro.learn import ColumnTransformer, KNeighborsClassifier, StandardScaler
+from repro.pipeline import PipelinePlan, WhatIfVariant, execute, run_what_if
+
+
+@pytest.fixture()
+def simple_setup():
+    rng = np.random.default_rng(0)
+    n = 200
+    frame = DataFrame(
+        {
+            "x1": rng.normal(size=n),
+            "x2": rng.normal(size=n),
+            "segment": rng.choice(["a", "b"], size=n).astype(str),
+            "label": rng.choice(["p", "n"], size=n).astype(str),
+        }
+    )
+    plan = PipelinePlan()
+    source = plan.source("t")
+    return frame, plan, source
+
+
+def encoder():
+    return ColumnTransformer([(StandardScaler(), ["x1", "x2"])])
+
+
+class TestRunWhatIf:
+    def test_scores_all_variants(self, simple_setup):
+        frame, plan, source = simple_setup
+        variants = [
+            WhatIfVariant("all", source.encode(encoder(), label_column="label")),
+            WhatIfVariant(
+                "only a",
+                source.filter(lambda df: df["segment"] == "a", "a")
+                .encode(encoder(), label_column="label"),
+            ),
+        ]
+        report = run_what_if(
+            variants, {"t": frame}, evaluate=lambda r: float(len(r.y))
+        )
+        assert set(report.scores) == {"all", "only a"}
+        assert report.scores["all"] == frame.num_rows
+        assert report.scores["only a"] < frame.num_rows
+
+    def test_shared_prefix_executed_once(self, simple_setup):
+        frame, plan, source = simple_setup
+        shared = source.filter(lambda df: df["x1"] > -10, "keep all")
+        variants = [
+            WhatIfVariant(
+                f"v{i}",
+                shared.filter(lambda df, t=t: df["x2"] > t, f"x2 > {t}")
+                .encode(encoder(), label_column="label"),
+            )
+            for i, t in enumerate((-1.0, 0.0, 1.0))
+        ]
+        report = run_what_if(
+            variants, {"t": frame}, evaluate=lambda r: float(len(r.y))
+        )
+        # Executed: source + shared filter + 3 leaf filters = 5;
+        # naive: 3 variants × 3 relational ops = 9.
+        assert report.executed_operators == 5
+        assert report.naive_operators == 9
+        assert report.sharing_ratio == pytest.approx(1 - 5 / 9)
+
+    def test_variant_results_match_independent_execution(self, simple_setup):
+        """Sharing must not change results: each variant equals a fresh run."""
+        frame, plan, source = simple_setup
+        shared = source.filter(lambda df: df["segment"] == "a", "a")
+        sink = shared.encode(encoder(), label_column="label")
+        other = shared.filter(lambda df: df["x1"] > 0, "x1 > 0").encode(
+            encoder(), label_column="label"
+        )
+        report = run_what_if(
+            [WhatIfVariant("base", sink), WhatIfVariant("narrow", other)],
+            {"t": frame},
+            evaluate=lambda r: float(len(r.y)),
+        )
+        fresh = execute(sink, {"t": frame})
+        assert np.allclose(report.results["base"].X, fresh.X)
+        assert np.array_equal(report.results["base"].y, fresh.y)
+
+    def test_best_and_render(self, simple_setup):
+        frame, plan, source = simple_setup
+        variants = [
+            WhatIfVariant("all", source.encode(encoder(), label_column="label")),
+            WhatIfVariant(
+                "half",
+                source.filter(lambda df: df["x1"] > 0, "x1>0").encode(
+                    encoder(), label_column="label"
+                ),
+            ),
+        ]
+        report = run_what_if(variants, {"t": frame}, evaluate=lambda r: float(len(r.y)))
+        name, score = report.best()
+        assert name == "all"
+        rendered = report.render()
+        assert "what-if" in rendered and "saved" in rendered
+
+    def test_duplicate_names_raise(self, simple_setup):
+        frame, plan, source = simple_setup
+        sink = source.encode(encoder(), label_column="label")
+        with pytest.raises(ValueError):
+            run_what_if(
+                [WhatIfVariant("x", sink), WhatIfVariant("x", sink)],
+                {"t": frame},
+                evaluate=lambda r: 0.0,
+            )
+
+    def test_empty_variants_raise(self, simple_setup):
+        frame, *__ = simple_setup
+        with pytest.raises(ValueError):
+            run_what_if([], {"t": frame}, evaluate=lambda r: 0.0)
+
+    def test_mixed_plans_raise(self, simple_setup):
+        frame, plan, source = simple_setup
+        other_plan = PipelinePlan()
+        foreign = other_plan.source("t").encode(encoder(), label_column="label")
+        local = source.encode(encoder(), label_column="label")
+        with pytest.raises(ValueError):
+            run_what_if(
+                [WhatIfVariant("a", local), WhatIfVariant("b", foreign)],
+                {"t": frame},
+                evaluate=lambda r: 0.0,
+            )

@@ -1,0 +1,168 @@
+"""Tests for predictive query processing and aggregate complaints."""
+
+import numpy as np
+import pytest
+
+from repro.core import default_featurize
+from repro.datasets import load_recommendation_letters
+from repro.learn import LogisticRegression, PlattCalibrator
+from repro.queries import (
+    AggregateComplaint,
+    PredictiveQuery,
+    resolve_aggregate_complaint,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    train, valid, test = load_recommendation_letters(n=400, seed=7)
+    y_train = np.asarray(train.column("sentiment").to_list())
+    model = LogisticRegression(max_iter=80).fit(default_featurize(train), y_train)
+    return train, valid, test, model, y_train
+
+
+class TestPredictiveQuery:
+    def test_positive_rate_grouping(self, scenario):
+        __, __, test, model, __ = scenario
+        query = PredictiveQuery(
+            model, default_featurize, group_column="sex",
+            aggregate="positive_rate", positive="positive",
+        )
+        result = query.run(test)
+        assert result.table.columns == ["sex", "positive_rate", "support"]
+        groups = np.asarray(test.column("sex").to_list())
+        for row in result.table.to_rows():
+            members = groups == row["sex"]
+            expected = float(
+                np.mean(result.predictions[members] == "positive")
+            )
+            assert row["positive_rate"] == pytest.approx(expected)
+            assert row["support"] == int(members.sum())
+
+    def test_support_sums_to_frame_size(self, scenario):
+        __, __, test, model, __ = scenario
+        query = PredictiveQuery(
+            model, default_featurize, group_column="race",
+            aggregate="count_positive", positive="positive",
+        )
+        result = query.run(test)
+        assert sum(r["support"] for r in result.table.to_rows()) == test.num_rows
+
+    def test_mean_probability_uses_calibrator(self, scenario):
+        train, valid, test, model, __ = scenario
+        y_valid = np.asarray(valid.column("sentiment").to_list())
+        calibrator = PlattCalibrator(model, positive="positive").fit(
+            default_featurize(valid), y_valid
+        )
+        query = PredictiveQuery(
+            model, default_featurize, group_column="sex",
+            aggregate="mean_probability", positive="positive",
+            calibrator=calibrator,
+        )
+        result = query.run(test)
+        for row in result.table.to_rows():
+            assert 0.0 <= row["mean_probability"] <= 1.0
+
+    def test_decision_map_applied(self, scenario):
+        __, __, test, model, __ = scenario
+        query = PredictiveQuery(
+            model, default_featurize, group_column="sex",
+            positive="positive",
+            decision_map={"positive": "invite", "negative": "reject"},
+        )
+        result = query.run(test)
+        assert set(result.predictions.tolist()) <= {"invite", "reject"}
+
+    def test_value_for_unknown_group_raises(self, scenario):
+        __, __, test, model, __ = scenario
+        query = PredictiveQuery(
+            model, default_featurize, group_column="sex", positive="positive"
+        )
+        with pytest.raises(KeyError):
+            query.run(test).value_for("x")
+
+    def test_unknown_aggregate_raises(self, scenario):
+        __, __, __, model, __ = scenario
+        with pytest.raises(ValueError):
+            PredictiveQuery(
+                model, default_featurize, group_column="sex", aggregate="median"
+            )
+
+
+class TestAggregateComplaints:
+    def test_satisfied_complaint_removes_nothing(self, scenario):
+        train, __, test, model, y_train = scenario
+        query = PredictiveQuery(
+            model, default_featurize, group_column="sex", positive="positive"
+        )
+        current = query.run(test).value_for("f")
+        complaint = AggregateComplaint(group="f", target=current + 0.1, direction="at_most")
+        resolution = resolve_aggregate_complaint(
+            query, default_featurize(train), y_train, test, complaint
+        )
+        assert resolution.resolved
+        assert len(resolution.removed_positions) == 0
+
+    def test_lowering_complaint_resolves(self, scenario):
+        train, __, test, model, y_train = scenario
+        query = PredictiveQuery(
+            model, default_featurize, group_column="sex", positive="positive"
+        )
+        before = query.run(test).value_for("f")
+        complaint = AggregateComplaint(
+            group="f", target=before - 0.08, direction="at_most"
+        )
+        resolution = resolve_aggregate_complaint(
+            query, default_featurize(train), y_train, test, complaint,
+            max_removals=60, batch_size=10,
+        )
+        assert resolution.resolved
+        assert resolution.value_after <= before - 0.08 + 1e-9
+        assert 0 < len(resolution.removed_positions) <= 60
+
+    def test_raising_complaint_direction(self, scenario):
+        train, __, test, model, y_train = scenario
+        query = PredictiveQuery(
+            model, default_featurize, group_column="sex", positive="positive"
+        )
+        before = query.run(test).value_for("m")
+        complaint = AggregateComplaint(
+            group="m", target=before + 0.05, direction="at_least"
+        )
+        resolution = resolve_aggregate_complaint(
+            query, default_featurize(train), y_train, test, complaint,
+            max_removals=60, batch_size=10,
+        )
+        if resolution.resolved:
+            assert resolution.value_after >= before + 0.05 - 1e-9
+        assert resolution.value_after >= resolution.value_before - 0.02
+
+    def test_impossible_complaint_terminates(self, scenario):
+        train, __, test, model, y_train = scenario
+        query = PredictiveQuery(
+            model, default_featurize, group_column="sex", positive="positive"
+        )
+        complaint = AggregateComplaint(group="f", target=-1.0, direction="at_most")
+        resolution = resolve_aggregate_complaint(
+            query, default_featurize(train), y_train, test, complaint, max_removals=20
+        )
+        assert not resolution.resolved
+        assert len(resolution.removed_positions) <= 20
+
+    def test_invalid_direction_raises(self):
+        with pytest.raises(ValueError):
+            AggregateComplaint(group="f", target=0.5, direction="exactly")
+
+    def test_non_logistic_model_raises(self, scenario):
+        train, __, test, __, y_train = scenario
+        from repro.learn import KNeighborsClassifier
+
+        knn = KNeighborsClassifier(5).fit(default_featurize(train), y_train)
+        query = PredictiveQuery(
+            knn, default_featurize, group_column="sex", positive="positive"
+        )
+        with pytest.raises(TypeError):
+            resolve_aggregate_complaint(
+                query, default_featurize(train), y_train, test,
+                AggregateComplaint(group="f", target=0.0, direction="at_most"),
+            )

@@ -1,0 +1,128 @@
+"""Tests for certified-robustness defences (partition ensembles, smoothing)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_blobs, make_classification
+from repro.learn import KNeighborsClassifier, LogisticRegression
+from repro.robust import PartitionEnsemble, SmoothedClassifier
+
+
+@pytest.fixture(scope="module")
+def task():
+    X, y = make_classification(n=400, n_features=4, seed=2)
+    return X[:300], y[:300], X[300:], y[300:]
+
+
+class TestPartitionEnsemble:
+    def test_accuracy_reasonable(self, task):
+        Xtr, ytr, Xv, yv = task
+        ensemble = PartitionEnsemble(
+            LogisticRegression(max_iter=40), n_partitions=9
+        ).fit(Xtr, ytr)
+        assert ensemble.score(Xv, yv) > 0.8
+
+    def test_partitions_disjoint_and_complete(self, task):
+        Xtr, ytr, *__ = task
+        ensemble = PartitionEnsemble(
+            LogisticRegression(max_iter=30), n_partitions=7
+        ).fit(Xtr, ytr)
+        assert sum(ensemble.partition_sizes_) == len(ytr)
+        assert len(ensemble.models_) == 7
+
+    def test_certificate_semantics(self, task):
+        """radius = floor((v1 - v2 - 1)/2) against the vote counts."""
+        Xtr, ytr, Xv, __ = task
+        ensemble = PartitionEnsemble(
+            LogisticRegression(max_iter=30), n_partitions=9
+        ).fit(Xtr, ytr)
+        for cp in ensemble.certified_predict(Xv[:20]):
+            counts = sorted(cp.votes.values(), reverse=True)
+            v1, v2 = counts[0], counts[1] if len(counts) > 1 else 0
+            assert cp.certified_radius == max((v1 - v2 - 1) // 2, 0)
+
+    def test_certificate_sound_against_actual_poisoning(self):
+        """Flipping ≤ radius labels must not change certified predictions."""
+        X, y = make_blobs(n=240, centers=2, spread=0.8, seed=3)
+        Xtr, ytr = X[:200], y[:200].copy()
+        Xv = X[200:220]
+        ensemble = PartitionEnsemble(
+            KNeighborsClassifier(3), n_partitions=11, seed=1
+        ).fit(Xtr, ytr)
+        certs = ensemble.certified_predict(Xv)
+        rng = np.random.default_rng(0)
+        for trial in range(5):
+            budget = 2
+            poisoned = ytr.copy()
+            victims = rng.choice(len(ytr), size=budget, replace=False)
+            poisoned[victims] = 1 - poisoned[victims]
+            attacked = PartitionEnsemble(
+                KNeighborsClassifier(3), n_partitions=11, seed=1
+            ).fit(Xtr, poisoned)
+            new_preds = attacked.predict(Xv)
+            for i, cp in enumerate(certs):
+                if cp.certified_radius >= budget:
+                    assert new_preds[i] == cp.label
+
+    def test_more_partitions_larger_max_radius(self, task):
+        Xtr, ytr, Xv, __ = task
+        small = PartitionEnsemble(LogisticRegression(max_iter=30), n_partitions=3).fit(Xtr, ytr)
+        large = PartitionEnsemble(LogisticRegression(max_iter=30), n_partitions=15).fit(Xtr, ytr)
+        max_small = max(c.certified_radius for c in small.certified_predict(Xv))
+        max_large = max(c.certified_radius for c in large.certified_predict(Xv))
+        assert max_large > max_small
+
+    def test_certified_accuracy_monotone_in_budget(self, task):
+        Xtr, ytr, Xv, yv = task
+        ensemble = PartitionEnsemble(
+            LogisticRegression(max_iter=30), n_partitions=9
+        ).fit(Xtr, ytr)
+        accs = [ensemble.certified_accuracy(Xv, yv, b) for b in (0, 1, 2, 3, 4)]
+        assert all(b <= a + 1e-12 for a, b in zip(accs, accs[1:]))
+
+    def test_invalid_params(self, task):
+        Xtr, ytr, *__ = task
+        with pytest.raises(ValueError):
+            PartitionEnsemble(LogisticRegression(), n_partitions=0)
+        with pytest.raises(ValueError):
+            PartitionEnsemble(LogisticRegression(), n_partitions=10).fit(
+                Xtr[:5], ytr[:5]
+            )
+
+
+class TestSmoothedClassifier:
+    def test_predicts_reasonably(self, task):
+        Xtr, ytr, Xv, yv = task
+        smoothed = SmoothedClassifier(
+            LogisticRegression(max_iter=30), noise=0.1, n_samples=7, seed=0
+        ).fit(Xtr, ytr)
+        assert smoothed.score(Xv, yv) > 0.75
+
+    def test_high_noise_enables_certificates(self, task):
+        """With noise ≥ 0.3, a unanimous smoothed vote certifies ≥ 1 flip."""
+        Xtr, ytr, Xv, __ = task
+        smoothed = SmoothedClassifier(
+            LogisticRegression(max_iter=30), noise=0.3, n_samples=9, seed=0
+        ).fit(Xtr, ytr)
+        certs = smoothed.certified_predict(Xv)
+        unanimous = [c for c in certs if c.top_share == 1.0]
+        assert unanimous, "expected some unanimous votes"
+        assert all(c.certified_flips >= 1 for c in unanimous)
+
+    def test_low_noise_certifies_nothing(self, task):
+        """Binary TV = 1 − 2·noise: below 0.25 noise, margin 1 < 2·TV."""
+        Xtr, ytr, Xv, __ = task
+        smoothed = SmoothedClassifier(
+            LogisticRegression(max_iter=30), noise=0.1, n_samples=5, seed=0
+        ).fit(Xtr, ytr)
+        assert all(c.certified_flips == 0 for c in smoothed.certified_predict(Xv))
+
+    def test_invalid_noise_raises(self):
+        with pytest.raises(ValueError):
+            SmoothedClassifier(LogisticRegression(), noise=0.6)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            SmoothedClassifier(LogisticRegression(), noise=0.1).fit(
+                np.zeros((5, 2)), np.zeros(5)
+            )

@@ -1,0 +1,219 @@
+"""Failure-injection tests: degenerate inputs across the public surface.
+
+Every public entry point must either handle a degenerate input sensibly or
+fail loudly with a clear exception — never return a silently-wrong result.
+These tests feed the library empty datasets, single-class labels, constant
+features, all-missing columns, NaN-laced matrices, and zero budgets.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core as nde
+from repro.cleaning import CleaningOracle
+from repro.datasets import make_classification
+from repro.errors import inject_label_errors, inject_missing
+from repro.frame import Column, DataFrame
+from repro.importance import (
+    Utility,
+    aum_importance,
+    confident_learning,
+    knn_shapley,
+    loo_importance,
+)
+from repro.learn import (
+    KNeighborsClassifier,
+    LogisticRegression,
+    OneHotEncoder,
+    SimpleImputer,
+    StandardScaler,
+)
+from repro.pipeline import PipelinePlan, execute
+from repro.uncertainty import ZorroTrainer, from_matrix_with_nans
+
+
+class TestDegenerateFrames:
+    def test_empty_frame_roundtrips(self):
+        frame = DataFrame({})
+        assert frame.shape == (0, 0)
+        assert frame.copy().equals(frame)
+
+    def test_zero_row_frame_operations(self):
+        frame = DataFrame({"a": np.asarray([], dtype=float)})
+        assert frame.filter(np.asarray([], dtype=bool)).num_rows == 0
+        assert frame.head().num_rows == 0
+        assert frame.describe().num_rows == 1
+
+    def test_all_missing_column(self):
+        col = Column([None, None, None])
+        assert col.null_count() == 3
+        assert np.isnan(col.mean())
+        assert col.unique() == []
+
+    def test_join_empty_right(self):
+        left = DataFrame({"k": ["a"], "v": [1]})
+        right = DataFrame({"k": np.asarray([], dtype=str), "w": np.asarray([], dtype=float)})
+        out = left.join(right, on="k", how="left")
+        assert out.num_rows == 1
+        assert out["w"].to_list() == [None]
+
+    def test_groupby_empty_frame(self):
+        frame = DataFrame({"g": np.asarray([], dtype=str), "v": np.asarray([], dtype=float)})
+        assert frame.groupby("g").agg({"v": "mean"}).num_rows == 0
+
+
+class TestDegenerateLearning:
+    def test_constant_features_do_not_crash(self):
+        X = np.ones((20, 3))
+        y = np.asarray([0, 1] * 10)
+        for model in (LogisticRegression(max_iter=20), KNeighborsClassifier(3)):
+            fitted = model.fit(X, y)
+            assert len(fitted.predict(X)) == 20
+
+    def test_single_sample_fit(self):
+        model = KNeighborsClassifier(5).fit(np.asarray([[1.0]]), np.asarray([7]))
+        assert model.predict(np.asarray([[0.0]]))[0] == 7
+
+    def test_nan_features_scaler_passthrough(self):
+        X = np.asarray([[1.0, np.nan], [3.0, 2.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.isnan(Z[0, 1])
+        assert np.isfinite(Z[:, 0]).all()
+
+    def test_imputer_then_model_on_heavily_missing_data(self):
+        rng = np.random.default_rng(0)
+        X, y = make_classification(n=80, seed=0)
+        X[rng.random(X.shape) < 0.5] = np.nan
+        clean = SimpleImputer("mean").fit_transform(X)
+        assert np.isfinite(clean).all()
+        LogisticRegression(max_iter=20).fit(clean, y)
+
+    def test_onehot_all_missing_column(self):
+        enc = OneHotEncoder().fit([None, None])
+        assert enc.categories_ == []
+        assert enc.transform([None]).shape == (1, 0)
+
+
+class TestDegenerateImportance:
+    def test_knn_shapley_single_training_point(self):
+        result = knn_shapley(
+            np.asarray([[0.0]]), np.asarray([1]),
+            np.asarray([[0.0]]), np.asarray([1]), k=3,
+        )
+        assert result.values[0] == pytest.approx(1.0 / 3.0)  # v(N) = 1/k
+
+    def test_confident_learning_tiny_dataset(self):
+        X = np.asarray([[0.0], [1.0], [2.0], [3.0]])
+        y = np.asarray([0, 0, 1, 1])
+        result = confident_learning(X, y, n_splits=2, seed=0)
+        assert len(result) == 4
+
+    def test_aum_two_points(self):
+        result = aum_importance(np.asarray([[0.0], [1.0]]), np.asarray([0, 1]))
+        assert len(result) == 2
+
+    def test_loo_two_points_defined(self):
+        X = np.asarray([[0.0], [1.0]])
+        y = np.asarray([0, 1])
+        utility = Utility(KNeighborsClassifier(1), X, y, X, y)
+        result = loo_importance(utility)
+        assert len(result) == 2
+
+    def test_utility_all_points_same_class_subset(self):
+        X, y = make_classification(n=30, seed=1)
+        utility = Utility(LogisticRegression(max_iter=10), X[:20], y[:20], X[20:], y[20:])
+        same_class = np.flatnonzero(y[:20] == y[0])
+        value = utility.evaluate(same_class)
+        assert 0.0 <= value <= 1.0
+
+
+class TestDegeneratePipelines:
+    def test_filter_everything_away(self):
+        plan = PipelinePlan()
+        node = plan.source("t").filter(lambda df: df["v"] > 1e9, "impossible")
+        result = execute(node, {"t": DataFrame({"v": [1.0, 2.0]})})
+        assert result.n_rows == 0
+        assert len(result.provenance) == 0
+
+    def test_encode_empty_output_fails_loudly_or_empty(self):
+        from repro.learn import ColumnTransformer
+
+        plan = PipelinePlan()
+        node = (
+            plan.source("t")
+            .filter(lambda df: df["v"] > 1e9, "impossible")
+            .encode(
+                ColumnTransformer([(StandardScaler(), ["v"])]), label_column="y"
+            )
+        )
+        frame = DataFrame({"v": [1.0], "y": ["a"]})
+        result = execute(node, {"t": frame})
+        assert result.X.shape[0] == 0
+
+    def test_remove_nonexistent_source_rows_noop(self):
+        from repro.learn import ColumnTransformer
+
+        plan = PipelinePlan()
+        node = plan.source("t").encode(
+            ColumnTransformer([(StandardScaler(), ["v"])]), label_column="y"
+        )
+        frame = DataFrame({"v": [1.0, 2.0], "y": ["a", "b"]})
+        result = execute(node, {"t": frame})
+        X, y = result.remove_source_rows("t", [999])
+        assert len(X) == 2
+
+
+class TestDegenerateCleaning:
+    def test_oracle_with_empty_request(self):
+        train, __, __ = nde.load_recommendation_letters(n=100, seed=0)
+        oracle = CleaningOracle(train, budget=5)
+        out = oracle.clean(train, [])
+        assert out.equals(train)
+        assert oracle.spent == 0
+
+    def test_zero_budget_oracle_rejects_everything(self):
+        from repro.cleaning import BudgetExhausted
+
+        train, __, __ = nde.load_recommendation_letters(n=100, seed=0)
+        oracle = CleaningOracle(train, budget=0)
+        with pytest.raises(BudgetExhausted):
+            oracle.clean(train, [int(train.row_ids[0])])
+
+
+class TestDegenerateUncertainty:
+    def test_zorro_fully_missing_column(self):
+        """An entirely-missing feature: the enclosure must stay sound for
+        corner worlds even with maximal per-column uncertainty."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 2))
+        y = X[:, 0] * 2.0
+        X_nan = X.copy()
+        X_nan[:, 1] = np.nan
+        # All-missing column: bounds collapse to [0, 0] (no observed range).
+        ds = from_matrix_with_nans(X_nan, y)
+        model = ZorroTrainer(l2=0.5).fit(ds)
+        assert np.all(np.isfinite(model.theta_bounds().hi))
+
+    def test_zorro_single_row(self):
+        ds = from_matrix_with_nans(np.asarray([[1.0, np.nan]]), np.asarray([1.0]))
+        model = ZorroTrainer(l2=1.0).fit(ds)
+        assert np.all(np.isfinite(model.theta_bounds().width))
+
+
+class TestErrorInjectionEdges:
+    def test_inject_on_tiny_frame(self):
+        frame = DataFrame({"label": ["a", "b"], "v": [1.0, 2.0]})
+        dirty, report = inject_label_errors(frame, "label", fraction=0.5, seed=0)
+        assert report.n_errors == 1
+
+    def test_inject_missing_on_fully_missing_column(self):
+        frame = DataFrame({"v": Column([None, None, None]), "w": [1.0, 2.0, 3.0]})
+        dirty, report = inject_missing(frame, "v", fraction=0.5, seed=0)
+        assert report.n_errors == 0  # nothing left to blank
+
+    def test_fraction_one_flips_everything(self):
+        frame = DataFrame({"label": ["a", "b"] * 10})
+        dirty, report = inject_label_errors(frame, "label", fraction=1.0, seed=0)
+        assert report.n_errors == 20
+        for a, b in zip(dirty["label"].to_list(), frame["label"].to_list()):
+            assert a != b

@@ -1,0 +1,157 @@
+"""Cross-subsystem integration tests: the tutorial's storylines end to end.
+
+Each test exercises several subsystems together the way the hands-on
+session (Section 3) chains them, verifying the *interactions* rather than
+any single module.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core as nde
+from repro.challenge import DebuggingChallenge
+from repro.cleaning import CleaningOracle, iterative_cleaning, make_strategy
+from repro.datasets import generate_hiring_data
+from repro.errors import inject_label_errors, inject_missing
+from repro.learn import (
+    CellImputer,
+    ColumnTransformer,
+    KNeighborsClassifier,
+    LogisticRegression,
+    OneHotEncoder,
+    Pipeline,
+    StandardScaler,
+    clone,
+)
+from repro.learn.model_selection import split_frame
+from repro.pipeline import (
+    PipelinePlan,
+    PipelineScreener,
+    datascope_importance,
+    execute,
+)
+from repro.text import SentenceBertTransformer
+from repro.uncertainty import ZorroTrainer, certain_prediction_report
+
+
+class TestIdentifyStoryline:
+    """Figure 2: inject → measure → rank → clean → recover."""
+
+    def test_full_loop(self):
+        train, valid, __ = nde.load_recommendation_letters(n=300, seed=11)
+        model = KNeighborsClassifier(5)
+        dirty = nde.inject_labelerrors(train, fraction=0.25, seed=1)
+        acc_clean = nde.evaluate_model(train, valid, model=model)
+        acc_dirty = nde.evaluate_model(dirty, valid, model=model)
+        assert acc_dirty < acc_clean + 1e-9
+
+        importances = nde.knn_shapley_values(dirty, validation=valid)
+        flagged = np.argsort(importances)[:40]
+        oracle = CleaningOracle(train)
+        repaired = oracle.clean(dirty, [int(dirty.row_ids[p]) for p in flagged])
+        acc_repaired = nde.evaluate_model(repaired, valid, model=model)
+        assert acc_repaired >= acc_dirty
+
+    def test_iterative_cleaning_converges_to_clean_baseline(self):
+        train, valid, __ = nde.load_recommendation_letters(n=240, seed=5)
+        dirty, __ = inject_label_errors(train, "sentiment", fraction=0.3, seed=5)
+        oracle = CleaningOracle(train)
+        curve = iterative_cleaning(
+            dirty, valid, nde.default_featurize, "sentiment", oracle,
+            make_strategy("knn_shapley"), KNeighborsClassifier(5),
+            batch_size=48, n_rounds=5,
+        )
+        # Budget covers the whole frame: the final model is the clean model.
+        clean_acc = nde.evaluate_model(train, valid, model=KNeighborsClassifier(5))
+        assert curve.final_accuracy == pytest.approx(clean_acc, abs=1e-9)
+
+
+class TestDebugStoryline:
+    """Figure 3: source errors found through a provenance-tracked pipeline."""
+
+    def test_pipeline_debug_and_screen(self):
+        data = generate_hiring_data(n=500, seed=3)
+        train, valid = split_frame(data["letters"], fractions=(0.8, 0.2), seed=0)
+        dirty, report = inject_label_errors(train, "sentiment", 0.2, seed=2)
+
+        plan = PipelinePlan()
+        encoder = ColumnTransformer(
+            [
+                (SentenceBertTransformer(n_features=16), "letter_text"),
+                (Pipeline([CellImputer(), OneHotEncoder()]), "degree"),
+                (StandardScaler(), ["age", "employer_rating"]),
+            ]
+        )
+        sink = (
+            plan.source("train_df")
+            .join(plan.source("jobdetail_df"), on="job_id")
+            .encode(encoder, label_column="sentiment")
+        )
+        sources = {"train_df": dirty, "jobdetail_df": data["jobdetail"]}
+        result = execute(sink, sources, fit=True)
+        valid_result = execute(sink, dict(sources, train_df=valid), fit=False)
+
+        # Screening notices the labels are dirty.
+        screening = PipelineScreener(fail_at="warning").screen(result)
+        assert any(i.check == "label_errors" for i in screening.issues)
+
+        # Datascope importance finds the corrupted source rows.
+        importance = datascope_importance(
+            result, valid_result.X, valid_result.y, source="train_df"
+        )
+        flagged = dirty.row_ids[importance.lowest(dirty, report.n_errors)]
+        hits = len(set(flagged.tolist()) & set(report.row_ids.tolist()))
+        base = report.n_errors / dirty.num_rows
+        assert hits / report.n_errors > 1.5 * base
+
+        # Provenance removal improves the model.
+        X_clean, y_clean = result.remove_source_rows("train_df", flagged.tolist())
+        model = KNeighborsClassifier(5)
+        before = clone(model).fit(result.X, result.y).score(
+            valid_result.X, valid_result.y
+        )
+        after = clone(model).fit(X_clean, y_clean).score(
+            valid_result.X, valid_result.y
+        )
+        assert after >= before - 0.02
+
+
+class TestLearnStoryline:
+    """Figure 4: decide between cleaning and uncertainty-aware learning."""
+
+    def test_certainty_informs_cleaning_decision(self):
+        train, __, test = nde.load_recommendation_letters(n=300, seed=9)
+        light = nde.encode_symbolic(train, missing_percentage=3, seed=2)
+        heavy = nde.encode_symbolic(train, missing_percentage=40, seed=2)
+        x_test = test.select(["employer_rating", "age"]).to_numpy()
+
+        light_report = certain_prediction_report(light, x_test[:30], k=3)
+        heavy_report = certain_prediction_report(heavy, x_test[:30], k=3)
+        assert light_report.certain_fraction >= heavy_report.certain_fraction
+
+        light_model = ZorroTrainer(l2=0.5).fit(light)
+        heavy_model = ZorroTrainer(l2=0.5).fit(heavy)
+        light_cert, __ = light_model.certified_predictions(x_test)
+        heavy_cert, __ = heavy_model.certified_predictions(x_test)
+        assert light_cert.mean() >= heavy_cert.mean()
+
+
+class TestChallengeStoryline:
+    """Section 3.2: the tools from all three parts compete in the game."""
+
+    def test_importance_guided_submission_flow(self):
+        game = DebuggingChallenge(n=240, cleaning_budget=40, error_seed=17)
+        X = game.featurize(game.train)
+        y = np.asarray(game.train.column("sentiment").to_list())
+        Xv = game.featurize(game.valid)
+        yv = np.asarray(game.valid.column("sentiment").to_list())
+
+        from repro.importance import knn_shapley
+
+        ranking = knn_shapley(X, y, Xv, yv, k=5).lowest(40)
+        submission = game.submit("player", game.train.row_ids[ranking].tolist())
+        assert submission.n_cleaned <= 40
+        assert game.leaderboard.winner().participant == "player"
+        errors = set(game.reveal_errors().tolist())
+        hits = len(set(game.train.row_ids[ranking].tolist()) & errors)
+        assert hits / 40 > len(errors) / game.train.num_rows

@@ -1,0 +1,59 @@
+"""Scale smoke tests: the headline flows at realistic sizes, time-bounded.
+
+Not micro-benchmarks (those live in benchmarks/) — these guard against
+accidental complexity regressions that would make the hands-on flows
+unusable at tutorial scale (thousands of letters).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro.core as nde
+from repro.datasets import generate_hiring_data, make_classification
+from repro.importance import knn_shapley
+from repro.learn.model_selection import split_frame
+from repro.pipeline import datascope_importance, execute, letters_pipeline
+
+
+@pytest.mark.parametrize("n", [3000])
+def test_figure2_flow_at_scale(n):
+    start = time.time()
+    train, valid, __ = nde.load_recommendation_letters(n=n, seed=7)
+    dirty = nde.inject_labelerrors(train, fraction=0.1, seed=1)
+    importances = nde.knn_shapley_values(dirty, validation=valid)
+    assert importances.shape == (train.num_rows,)
+    assert time.time() - start < 60.0
+
+
+def test_knn_shapley_large_matrix():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(4000, 16))
+    y = rng.integers(0, 2, size=4000)
+    Xv = rng.normal(size=(300, 16))
+    yv = rng.integers(0, 2, size=300)
+    start = time.time()
+    result = knn_shapley(X, y, Xv, yv, k=5)
+    elapsed = time.time() - start
+    assert len(result) == 4000
+    assert elapsed < 20.0  # vectorised recursion, not a Python loop
+
+
+def test_pipeline_datascope_at_scale():
+    data = generate_hiring_data(n=2000, seed=7)
+    train, valid = split_frame(data["letters"], fractions=(0.8, 0.2), seed=1)
+    __, sink = letters_pipeline()
+    sources = {
+        "train_df": train,
+        "jobdetail_df": data["jobdetail"],
+        "social_df": data["social"],
+    }
+    start = time.time()
+    result = execute(sink, sources, fit=True)
+    valid_result = execute(sink, dict(sources, train_df=valid), fit=False)
+    importance = datascope_importance(
+        result, valid_result.X, valid_result.y, source="train_df"
+    )
+    assert len(importance.by_row_id) == result.n_rows
+    assert time.time() - start < 60.0

@@ -1,0 +1,132 @@
+"""Tests for consistent range approximation of fairness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.learn.metrics import demographic_parity_difference
+from repro.uncertainty import FairnessRange, demographic_parity_range, group_metric_range
+
+
+@pytest.fixture()
+def predictions():
+    rng = np.random.default_rng(0)
+    n = 600
+    group = rng.choice(["A", "B"], size=n)
+    y_true = rng.choice(["yes", "no"], size=n)
+    # Model slightly favours group A.
+    favour = np.where(group == "A", 0.6, 0.4)
+    y_pred = np.where(rng.random(n) < favour, "yes", "no")
+    return y_true, y_pred, group
+
+
+class TestGroupMetricRange:
+    def test_no_bias_degenerate_interval(self, predictions):
+        y_true, y_pred, group = predictions
+        ranges = group_metric_range(y_true, y_pred, group, "yes")
+        for lo, hi in ranges.values():
+            assert lo == pytest.approx(hi)
+
+    def test_point_interval_matches_plain_metric(self, predictions):
+        y_true, y_pred, group = predictions
+        ranges = group_metric_range(y_true, y_pred, group, "yes")
+        for g in ("A", "B"):
+            members = group == g
+            plain = float(np.mean(y_pred[members] == "yes"))
+            assert ranges[g][0] == pytest.approx(plain)
+
+    def test_bias_widens_interval(self, predictions):
+        y_true, y_pred, group = predictions
+        ranges = group_metric_range(
+            y_true, y_pred, group, "yes",
+            prevalence_multipliers={"B": (0.5, 1.0)},
+        )
+        lo, hi = ranges["B"]
+        assert hi > lo
+        assert ranges["A"][0] == pytest.approx(ranges["A"][1])
+
+    def test_unknown_statistic_raises(self, predictions):
+        y_true, y_pred, group = predictions
+        with pytest.raises(ValueError):
+            group_metric_range(y_true, y_pred, group, "yes", statistic="f1")
+
+    def test_tpr_statistic(self, predictions):
+        y_true, y_pred, group = predictions
+        ranges = group_metric_range(y_true, y_pred, group, "yes", statistic="tpr")
+        for lo, hi in ranges.values():
+            assert 0.0 <= lo <= hi <= 1.0
+
+
+class TestDemographicParityRange:
+    def test_point_range_matches_plain_metric(self, predictions):
+        y_true, y_pred, group = predictions
+        fr = demographic_parity_range(y_true, y_pred, group, "yes")
+        plain = demographic_parity_difference(y_true, y_pred, group, positive="yes")
+        assert fr.lo == pytest.approx(plain, abs=1e-9)
+        assert fr.hi == pytest.approx(plain, abs=1e-9)
+
+    def test_range_contains_sampled_corrections(self, predictions):
+        """Soundness: the gap under any admissible α must fall inside."""
+        y_true, y_pred, group = predictions
+        fr = demographic_parity_range(
+            y_true, y_pred, group, "yes",
+            prevalence_multipliers={"B": (0.4, 1.0)},
+        )
+        for alpha in np.linspace(0.4, 1.0, 7):
+            weight = np.where(
+                (group == "B") & (y_true == "yes"), 1.0 / alpha, 1.0
+            )
+            rates = {}
+            for g in ("A", "B"):
+                members = group == g
+                w = weight[members]
+                rates[g] = float(
+                    w[(y_pred[members] == "yes")].sum() / w.sum()
+                )
+            gap = abs(rates["A"] - rates["B"])
+            assert fr.lo - 1e-9 <= gap <= fr.hi + 1e-9
+
+    def test_certification_logic(self):
+        fr = FairnessRange(metric="dp", lo=0.02, hi=0.08)
+        assert fr.certifiably_fair(0.1)
+        assert not fr.certifiably_fair(0.05)
+        assert fr.certifiably_unfair(0.01)
+        assert not fr.certifiably_unfair(0.05)
+        assert fr.width == pytest.approx(0.06)
+
+    def test_missing_threshold_raises(self):
+        fr = FairnessRange(metric="dp", lo=0.0, hi=0.1)
+        with pytest.raises(ValueError):
+            fr.certifiably_fair()
+
+    def test_gap_bounds_match_closed_form(self, predictions):
+        """lo = max(0, max lo_g − min hi_g); hi = max hi_g − min lo_g."""
+        y_true, y_pred, group = predictions
+        multipliers = {"A": (0.2, 1.0), "B": (0.2, 1.0)}
+        fr = demographic_parity_range(
+            y_true, y_pred, group, "yes", prevalence_multipliers=multipliers
+        )
+        per_group = fr.extras["per_group_rates"]
+        lows = [b[0] for b in per_group.values()]
+        highs = [b[1] for b in per_group.values()]
+        assert fr.hi == pytest.approx(max(highs) - min(lows))
+        assert fr.lo == pytest.approx(max(0.0, max(lows) - min(highs)))
+        assert fr.lo <= fr.hi
+
+    def test_min_gap_zero_when_intervals_overlap(self):
+        """When predictions correlate with labels, strong positive-sampling
+        bias can move the disadvantaged group's rate past the other's, so
+        the intervals overlap and the minimal gap is zero."""
+        rng = np.random.default_rng(1)
+        n = 800
+        group = rng.choice(["A", "B"], size=n)
+        y_true = rng.choice(["yes", "no"], size=n)
+        # Predictions mostly follow the true label.
+        y_pred = np.where(rng.random(n) < 0.85, y_true, "no")
+        fr = demographic_parity_range(
+            y_true, y_pred, group, "yes",
+            prevalence_multipliers={"B": (0.3, 1.0)},
+        )
+        per_group = fr.extras["per_group_rates"]
+        assert per_group["B"][1] > per_group["A"][0] > per_group["B"][0]
+        assert fr.lo == 0.0
+        assert fr.hi > 0.0

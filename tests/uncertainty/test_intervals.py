@@ -1,0 +1,168 @@
+"""Property-based soundness tests for interval arithmetic.
+
+The single invariant that matters: if ``x ∈ X`` and ``y ∈ Y`` then
+``op(x, y) ∈ op(X, Y)`` for every operation. Hypothesis drives the check by
+sampling concrete members of random intervals.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uncertainty import Interval
+
+floats = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@st.composite
+def interval_with_member(draw, size=3):
+    """An interval vector together with a concrete member point."""
+    lo = np.asarray(draw(st.lists(floats, min_size=size, max_size=size)))
+    width = np.asarray(
+        draw(st.lists(st.floats(min_value=0, max_value=50, allow_nan=False),
+                      min_size=size, max_size=size))
+    )
+    hi = lo + width
+    t = np.asarray(draw(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                                 min_size=size, max_size=size)))
+    member = lo + t * width
+    return Interval(lo, hi), member
+
+
+class TestConstruction:
+    def test_exact_has_zero_width(self):
+        iv = Interval.exact([1.0, 2.0])
+        assert iv.is_degenerate()
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Interval([1.0], [0.0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Interval([1.0], [1.0, 2.0])
+
+    def test_from_center_radius(self):
+        iv = Interval.from_center_radius([0.0], [2.0])
+        assert iv.lo[0] == -2.0 and iv.hi[0] == 2.0
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            Interval.from_center_radius([0.0], [-1.0])
+
+    def test_center_and_width(self):
+        iv = Interval([0.0], [4.0])
+        assert iv.center[0] == 2.0
+        assert iv.width[0] == 4.0
+        assert iv.radius[0] == 2.0
+
+
+class TestSoundness:
+    @given(a=interval_with_member(), b=interval_with_member())
+    @settings(max_examples=80, deadline=None)
+    def test_add_sound(self, a, b):
+        (A, x), (B, y) = a, b
+        assert (A + B).contains(x + y)
+
+    @given(a=interval_with_member(), b=interval_with_member())
+    @settings(max_examples=80, deadline=None)
+    def test_sub_sound(self, a, b):
+        (A, x), (B, y) = a, b
+        assert (A - B).contains(x - y)
+
+    @given(a=interval_with_member(), b=interval_with_member())
+    @settings(max_examples=80, deadline=None)
+    def test_mul_sound(self, a, b):
+        (A, x), (B, y) = a, b
+        assert (A * B).contains(x * y, atol=1e-6)
+
+    @given(a=interval_with_member())
+    @settings(max_examples=80, deadline=None)
+    def test_square_sound(self, a):
+        A, x = a
+        assert A.square().contains(x * x, atol=1e-6)
+
+    @given(a=interval_with_member())
+    @settings(max_examples=80, deadline=None)
+    def test_abs_sound(self, a):
+        A, x = a
+        assert A.abs().contains(np.abs(x), atol=1e-9)
+
+    @given(a=interval_with_member())
+    @settings(max_examples=80, deadline=None)
+    def test_neg_sound(self, a):
+        A, x = a
+        assert (-A).contains(-x)
+
+    @given(a=interval_with_member())
+    @settings(max_examples=60, deadline=None)
+    def test_sum_and_mean_sound(self, a):
+        A, x = a
+        assert A.sum().contains(np.asarray(x.sum()), atol=1e-9)
+        assert A.mean().contains(np.asarray(x.mean()), atol=1e-9)
+
+    @given(a=interval_with_member(), scalar=floats)
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_ops_sound(self, a, scalar):
+        A, x = a
+        assert (A + scalar).contains(x + scalar, atol=1e-9)
+        assert (A * scalar).contains(x * scalar, atol=1e-6)
+        assert (scalar - A).contains(scalar - x, atol=1e-9)
+
+
+class TestMatmulSoundness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_interval_matmul_contains_all_samples(self, seed):
+        rng = np.random.default_rng(seed)
+        lo_a = rng.normal(size=(3, 4))
+        A = Interval(lo_a, lo_a + rng.random((3, 4)))
+        lo_b = rng.normal(size=(4, 2))
+        B = Interval(lo_b, lo_b + rng.random((4, 2)))
+        product = A @ B
+        for __ in range(20):
+            a = A.lo + rng.random((3, 4)) * A.width
+            b = B.lo + rng.random((4, 2)) * B.width
+            assert product.contains(a @ b, atol=1e-8)
+
+    def test_matmul_with_concrete_right(self, rng):
+        lo = rng.normal(size=(2, 3))
+        A = Interval(lo, lo + 1.0)
+        M = rng.normal(size=(3, 2))
+        product = A @ M
+        sample = (A.lo + 0.3 * A.width) @ M
+        assert product.contains(sample, atol=1e-9)
+
+    def test_rmatmul(self, rng):
+        lo = rng.normal(size=(3, 2))
+        B = Interval(lo, lo + 1.0)
+        M = rng.normal(size=(2, 3))
+        product = M @ B
+        assert product.contains(M @ (B.lo + 0.7 * B.width), atol=1e-9)
+
+
+class TestTightness:
+    def test_exact_inputs_give_exact_outputs(self):
+        A = Interval.exact(np.asarray([[1.0, 2.0]]))
+        B = Interval.exact(np.asarray([[3.0], [4.0]]))
+        product = A @ B
+        assert product.is_degenerate(atol=1e-12)
+        assert product.lo[0, 0] == pytest.approx(11.0)
+
+    def test_square_tight_at_zero_straddle(self):
+        iv = Interval([-2.0], [3.0]).square()
+        assert iv.lo[0] == 0.0
+        assert iv.hi[0] == 9.0
+
+    def test_clip(self):
+        iv = Interval([-5.0], [5.0]).clip(0.0, 1.0)
+        assert iv.lo[0] == 0.0 and iv.hi[0] == 1.0
+
+    def test_take_and_getitem(self):
+        iv = Interval([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert iv.take([2]).lo[0] == 2.0
+        assert iv[1].lo == 1.0
+
+    def test_transpose(self):
+        iv = Interval(np.zeros((2, 3)), np.ones((2, 3)))
+        assert iv.T.shape == (3, 2)

@@ -1,0 +1,219 @@
+"""Tests for symbolic datasets and the Zorro possible-worlds trainer.
+
+The load-bearing property: for any sampled (or adversarial corner) world,
+the exact ridge solution lies inside Zorro's returned parameter enclosure,
+and hence every concrete prediction/loss lies inside the reported ranges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_recommendation_letters, make_regression
+from repro.uncertainty import (
+    UncertainDataset,
+    ZorroTrainer,
+    encode_symbolic,
+    estimate_with_zorro,
+    from_matrix_with_nans,
+    gradient_descent_train,
+    ridge_solve,
+)
+
+
+@pytest.fixture(scope="module")
+def regression_task():
+    X, y, __ = make_regression(n=100, n_features=4, noise=0.2, seed=2)
+    return X, y
+
+
+def make_uncertain(X, y, fraction, seed=0):
+    rng = np.random.default_rng(seed)
+    Xm = X.copy()
+    Xm[rng.random(X.shape) < fraction] = np.nan
+    return from_matrix_with_nans(Xm, y)
+
+
+class TestSymbolicDataset:
+    def test_from_nans_marks_cells(self, regression_task):
+        X, y = regression_task
+        ds = make_uncertain(X, y, 0.1)
+        assert ds.n_uncertain == np.isnan(
+            np.where(ds.uncertain_cells, np.nan, 0.0)
+        ).sum()
+        assert ds.n_uncertain > 0
+
+    def test_certain_cells_degenerate(self, regression_task):
+        X, y = regression_task
+        ds = make_uncertain(X, y, 0.1)
+        certain = ~ds.uncertain_cells
+        assert np.allclose(ds.X.lo[certain], ds.X.hi[certain])
+
+    def test_bounds_cover_column_range(self, regression_task):
+        X, y = regression_task
+        ds = make_uncertain(X, y, 0.1, seed=1)
+        for i, j in zip(*np.nonzero(ds.uncertain_cells)):
+            col = X[:, j]
+            assert ds.X.lo[i, j] <= np.nanmin(col) + 1e-9
+            assert ds.X.hi[i, j] >= np.nanmax(col) - 1e-9
+
+    def test_sample_world_within_bounds(self, regression_task):
+        X, y = regression_task
+        ds = make_uncertain(X, y, 0.2)
+        world = ds.sample_world(3)
+        assert np.all(world >= ds.X.lo - 1e-12)
+        assert np.all(world <= ds.X.hi + 1e-12)
+
+    def test_center_world_is_midpoint(self, regression_task):
+        X, y = regression_task
+        ds = make_uncertain(X, y, 0.2)
+        assert np.allclose(ds.center_world(), 0.5 * (ds.X.lo + ds.X.hi))
+
+    def test_standardized_preserves_membership(self, regression_task):
+        X, y = regression_task
+        ds = make_uncertain(X, y, 0.1)
+        std, mean, scale = ds.standardized()
+        world = ds.sample_world(1)
+        std_world = (world - mean) / scale
+        assert np.all(std_world >= std.X.lo - 1e-9)
+        assert np.all(std_world <= std.X.hi + 1e-9)
+
+    def test_shape_validation(self):
+        from repro.uncertainty import Interval
+
+        with pytest.raises(ValueError):
+            UncertainDataset(
+                Interval(np.zeros((2, 2)), np.ones((2, 2))),
+                np.zeros(3),
+                np.zeros((2, 2), dtype=bool),
+            )
+
+
+class TestEncodeSymbolic:
+    def test_paper_call_shape(self, letters_small):
+        train, __, __ = letters_small
+        ds = encode_symbolic(
+            train,
+            uncertain_feature="employer_rating",
+            feature_columns=["employer_rating", "age"],
+            label_column="sentiment",
+            missing_percentage=10.0,
+            missingness="MNAR",
+            positive_label="positive",
+            seed=0,
+        )
+        assert ds.n_rows == train.num_rows
+        assert set(np.unique(ds.y)) == {-1.0, 1.0}
+        expected = int(round(0.10 * train.num_rows))
+        assert ds.n_uncertain == expected
+        # Only the declared feature carries uncertainty.
+        assert not ds.uncertain_cells[:, 1].any()
+
+    def test_uncertain_feature_must_be_listed(self, letters_small):
+        train, __, __ = letters_small
+        with pytest.raises(ValueError):
+            encode_symbolic(
+                train,
+                uncertain_feature="employer_rating",
+                feature_columns=["age"],
+                label_column="sentiment",
+            )
+
+
+class TestZorroSoundness:
+    @pytest.mark.parametrize("fraction", [0.02, 0.1, 0.3])
+    def test_sampled_worlds_inside_enclosure(self, regression_task, fraction):
+        X, y = regression_task
+        ds = make_uncertain(X, y, fraction, seed=0)
+        model = ZorroTrainer(l2=0.5).fit(ds)
+        for seed in range(15):
+            world = ds.sample_world(seed)
+            theta = ridge_solve((world - model.mean) / model.scale, y, l2=0.5)
+            assert model.theta.contains(theta, atol=1e-7)
+
+    def test_corner_worlds_inside_enclosure(self, regression_task):
+        X, y = regression_task
+        ds = make_uncertain(X, y, 0.15, seed=1)
+        model = ZorroTrainer(l2=0.5).fit(ds)
+        for corner in (ds.X.lo, ds.X.hi):
+            theta = ridge_solve((corner - model.mean) / model.scale, y, l2=0.5)
+            assert model.theta.contains(theta, atol=1e-7)
+
+    def test_prediction_ranges_cover_world_predictions(self, regression_task):
+        X, y = regression_task
+        ds = make_uncertain(X, y, 0.1, seed=2)
+        model = ZorroTrainer(l2=0.5).fit(ds)
+        x_test = X[:20]
+        ranges = model.predict_range(x_test)
+        for seed in range(10):
+            world = ds.sample_world(seed)
+            theta = ridge_solve((world - model.mean) / model.scale, y, l2=0.5)
+            design = np.column_stack(
+                [(x_test - model.mean) / model.scale, np.ones(len(x_test))]
+            )
+            preds = design @ theta
+            assert np.all(preds >= ranges.lo - 1e-7)
+            assert np.all(preds <= ranges.hi + 1e-7)
+
+    def test_loss_ranges_cover_world_losses(self, regression_task):
+        X, y = regression_task
+        ds = make_uncertain(X, y, 0.1, seed=3)
+        model = ZorroTrainer(l2=0.5).fit(ds)
+        losses = model.squared_loss_range(X[:20], y[:20])
+        for seed in range(10):
+            world = ds.sample_world(seed)
+            theta = ridge_solve((world - model.mean) / model.scale, y, l2=0.5)
+            design = np.column_stack(
+                [(X[:20] - model.mean) / model.scale, np.ones(20)]
+            )
+            concrete = (design @ theta - y[:20]) ** 2
+            assert np.all(concrete >= losses.lo - 1e-6)
+            assert np.all(concrete <= losses.hi + 1e-6)
+
+    def test_no_uncertainty_gives_point_model(self, regression_task):
+        X, y = regression_task
+        ds = from_matrix_with_nans(X, y)
+        model = ZorroTrainer(l2=0.5).fit(ds)
+        assert np.allclose(model.theta_bounds().width, 0.0)
+        theta = ridge_solve((X - model.mean) / model.scale, y, l2=0.5)
+        assert np.allclose(model.theta.center, theta, atol=1e-8)
+
+
+class TestZorroBehaviour:
+    def test_worst_case_loss_monotone_in_missingness(self, regression_task):
+        X, y = regression_task
+        previous = 0.0
+        for fraction in (0.05, 0.15, 0.25):
+            ds = make_uncertain(X, y, fraction, seed=4)
+            report = estimate_with_zorro(ds, X[:30], y[:30], l2=0.5)
+            assert report["max_worst_case_loss"] >= previous - 1e-9
+            previous = report["max_worst_case_loss"]
+
+    def test_certified_fraction_decreases_with_missingness(self, letters_small):
+        train, __, test = letters_small
+        fractions = []
+        for pct in (2.0, 30.0):
+            ds = encode_symbolic(
+                train,
+                uncertain_feature="employer_rating",
+                feature_columns=["employer_rating", "age"],
+                label_column="sentiment",
+                missing_percentage=pct,
+                positive_label="positive",
+                seed=0,
+            )
+            model = ZorroTrainer(l2=0.5).fit(ds)
+            x_test = test.select(["employer_rating", "age"]).to_numpy()
+            certain, __ = model.certified_predictions(x_test)
+            fractions.append(certain.mean())
+        assert fractions[1] <= fractions[0]
+
+    def test_gd_converges_to_ridge_solution(self, regression_task):
+        X, y = regression_task
+        eta = 1.0 / (0.5 + float(np.linalg.eigvalsh(X.T @ X / len(X)).max()) + 1)
+        gd = gradient_descent_train(X, y, l2=0.5, learning_rate=eta, n_iters=3000)
+        exact = ridge_solve(X, y, l2=0.5)
+        assert np.allclose(gd, exact, atol=1e-5)
+
+    def test_invalid_l2_raises(self):
+        with pytest.raises(ValueError):
+            ZorroTrainer(l2=0.0)

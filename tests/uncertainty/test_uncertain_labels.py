@@ -1,0 +1,93 @@
+"""Tests for Zorro with uncertain labels (Figure 4's second error family)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_regression
+from repro.uncertainty import (
+    UncertainDataset,
+    ZorroTrainer,
+    from_matrix_with_nans,
+    ridge_solve,
+)
+from repro.uncertainty.intervals import Interval
+
+
+@pytest.fixture(scope="module")
+def mixed_dataset():
+    X, y, __ = make_regression(n=100, n_features=3, seed=2)
+    rng = np.random.default_rng(0)
+    Xm = X.copy()
+    Xm[rng.random(X.shape) < 0.05] = np.nan
+    base = from_matrix_with_nans(Xm, y)
+    y_radius = np.zeros(len(y))
+    y_radius[rng.choice(len(y), 10, replace=False)] = 1.0
+    return UncertainDataset(base.X, y, base.uncertain_cells, y_radius=y_radius), X, y
+
+
+class TestUncertainLabels:
+    def test_validation(self):
+        X, y, __ = make_regression(n=10, seed=1)
+        cells = np.zeros_like(X, dtype=bool)
+        with pytest.raises(ValueError):
+            UncertainDataset(Interval.exact(X), y, cells, y_radius=np.ones(3))
+        with pytest.raises(ValueError):
+            UncertainDataset(Interval.exact(X), y, cells, y_radius=-np.ones(len(y)))
+
+    def test_sample_labels_within_radius(self, mixed_dataset):
+        ds, __, y = mixed_dataset
+        sampled = ds.sample_labels(3)
+        assert np.all(np.abs(sampled - y) <= ds.y_radius + 1e-12)
+
+    def test_mixed_soundness_sampled_worlds(self, mixed_dataset):
+        ds, __, __ = mixed_dataset
+        model = ZorroTrainer(l2=0.5).fit(ds)
+        for seed in range(15):
+            world = ds.sample_world(seed)
+            labels = ds.sample_labels(seed + 500)
+            theta = ridge_solve((world - model.mean) / model.scale, labels, l2=0.5)
+            assert model.theta.contains(theta, atol=1e-7)
+
+    def test_mixed_soundness_corner_worlds(self, mixed_dataset):
+        ds, __, y = mixed_dataset
+        model = ZorroTrainer(l2=0.5).fit(ds)
+        for world in (ds.X.lo, ds.X.hi):
+            for labels in (y - ds.y_radius, y + ds.y_radius):
+                theta = ridge_solve((world - model.mean) / model.scale, labels, l2=0.5)
+                assert model.theta.contains(theta, atol=1e-7)
+
+    def test_labels_only_soundness(self):
+        X, y, __ = make_regression(n=80, n_features=3, seed=4)
+        rng = np.random.default_rng(1)
+        y_radius = np.where(rng.random(len(y)) < 0.2, 0.8, 0.0)
+        ds = UncertainDataset(
+            Interval.exact(X), y, np.zeros_like(X, dtype=bool), y_radius=y_radius
+        )
+        model = ZorroTrainer(l2=0.5).fit(ds)
+        assert model.theta_bounds().width.max() > 0
+        for seed in range(15):
+            labels = ds.sample_labels(seed)
+            theta = ridge_solve((X - model.mean) / model.scale, labels, l2=0.5)
+            assert model.theta.contains(theta, atol=1e-7)
+
+    def test_more_label_noise_wider_enclosure(self):
+        X, y, __ = make_regression(n=80, n_features=3, seed=5)
+        cells = np.zeros_like(X, dtype=bool)
+
+        def width(radius_value):
+            ds = UncertainDataset(
+                Interval.exact(X), y, cells,
+                y_radius=np.full(len(y), radius_value),
+            )
+            return ZorroTrainer(l2=0.5).fit(ds).theta_bounds().width.max()
+
+        assert width(0.5) < width(2.0)
+
+    def test_zero_radius_matches_certain_model(self):
+        X, y, __ = make_regression(n=60, n_features=3, seed=6)
+        ds = UncertainDataset(
+            Interval.exact(X), y, np.zeros_like(X, dtype=bool),
+            y_radius=np.zeros(len(y)),
+        )
+        model = ZorroTrainer(l2=0.5).fit(ds)
+        assert np.allclose(model.theta_bounds().width, 0.0)

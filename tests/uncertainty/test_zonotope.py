@@ -1,0 +1,91 @@
+"""Tests for the zonotope abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.uncertainty import Interval, Zonotope
+
+
+def members(z: Zonotope, rng: np.random.Generator, n: int = 50):
+    """Sample concrete members of a zonotope."""
+    for __ in range(n):
+        eps = rng.uniform(-1, 1, size=z.n_generators)
+        delta = rng.uniform(-1, 1, size=z.dim)
+        yield z.center + (eps @ z.generators if z.n_generators else 0) + delta * z.box
+
+
+class TestBasics:
+    def test_point_zonotope(self):
+        z = Zonotope([1.0, 2.0])
+        assert z.dim == 2
+        assert np.allclose(z.radius(), 0.0)
+
+    def test_bounds(self):
+        z = Zonotope([0.0], generators=[[1.0]], box=[0.5])
+        bounds = z.bounds()
+        assert bounds.lo[0] == -1.5 and bounds.hi[0] == 1.5
+
+    def test_negative_box_raises(self):
+        with pytest.raises(ValueError):
+            Zonotope([0.0], box=[-1.0])
+
+    def test_box_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Zonotope([0.0, 1.0], box=[1.0])
+
+
+class TestOperationsSound:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_linear_map_contains_mapped_members(self, seed):
+        rng = np.random.default_rng(seed)
+        z = Zonotope(rng.normal(size=3), rng.normal(size=(4, 3)), np.abs(rng.normal(size=3)))
+        M = rng.normal(size=(2, 3))
+        mapped = z.linear_map(M)
+        for x in members(z, rng, 30):
+            assert mapped.contains(M @ x, atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_add_contains_sums(self, seed):
+        rng = np.random.default_rng(seed)
+        a = Zonotope(rng.normal(size=2), rng.normal(size=(2, 2)))
+        b = Zonotope(rng.normal(size=2), rng.normal(size=(3, 2)))
+        total = a.add(b)
+        for x, y in zip(members(a, rng, 20), members(b, rng, 20)):
+            assert total.contains(x + y, atol=1e-9)
+
+    def test_scale(self):
+        z = Zonotope([1.0], [[2.0]], [0.5])
+        scaled = z.scale(-2.0)
+        assert scaled.center[0] == -2.0
+        assert scaled.box[0] == 1.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_projection_contains_dot_products(self, seed):
+        rng = np.random.default_rng(seed)
+        z = Zonotope(rng.normal(size=3), rng.normal(size=(5, 3)), np.abs(rng.normal(size=3)))
+        w = rng.normal(size=3)
+        rng_range = z.project(w)
+        for x in members(z, rng, 40):
+            value = float(w @ x)
+            assert rng_range.lo <= value + 1e-9
+            assert value <= rng_range.hi + 1e-9
+
+    def test_projection_exact_without_box(self):
+        z = Zonotope([0.0, 0.0], [[1.0, 0.0], [0.0, 2.0]])
+        proj = z.project([1.0, 1.0])
+        assert float(proj.lo) == -3.0 and float(proj.hi) == 3.0
+
+
+class TestReduction:
+    def test_reduce_keeps_enclosure(self):
+        rng = np.random.default_rng(1)
+        z = Zonotope(rng.normal(size=2), rng.normal(size=(10, 2)))
+        reduced = z.reduce(3)
+        assert reduced.n_generators == 3
+        # Reduction may only grow the bounds, never shrink them.
+        assert np.all(reduced.bounds().lo <= z.bounds().lo + 1e-12)
+        assert np.all(reduced.bounds().hi >= z.bounds().hi - 1e-12)
+
+    def test_reduce_noop_when_small(self):
+        z = Zonotope([0.0], [[1.0]])
+        assert z.reduce(5) is z

@@ -1,0 +1,84 @@
+"""Tests for HedgeCut-style forest unlearning."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.unlearning import RemovalAwareForest
+
+
+@pytest.fixture(scope="module")
+def task():
+    X, y = make_classification(n=400, n_features=4, seed=8)
+    return X[:320], y[:320], X[320:], y[320:]
+
+
+class TestRemovalAwareForest:
+    def test_accuracy_reasonable(self, task):
+        Xtr, ytr, Xv, yv = task
+        forest = RemovalAwareForest(n_trees=15, seed=0).fit(Xtr, ytr)
+        assert forest.score(Xv, yv) > 0.8
+
+    def test_subsampling_limits_refits(self, task):
+        """With 20% bootstraps, a single deletion touches few trees."""
+        Xtr, ytr, *__ = task
+        forest = RemovalAwareForest(
+            n_trees=20, sample_fraction=0.2, seed=0
+        ).fit(Xtr, ytr)
+        refits = forest.forget([3])
+        # Expected hit rate per tree: 1 − (1 − 1/n)^(0.2n) ≈ 18%.
+        assert refits < 12
+
+    def test_full_bootstrap_touches_most_trees(self, task):
+        Xtr, ytr, *__ = task
+        forest = RemovalAwareForest(n_trees=20, sample_fraction=1.0, seed=0).fit(Xtr, ytr)
+        refits = forest.forget([3])
+        assert refits >= 8  # ≈ 63% of trees in expectation
+
+    def test_forgotten_points_leave_no_trace(self, task):
+        """After forgetting, no tree's active sample contains removed rows —
+        the exactness property of the partial refit."""
+        Xtr, ytr, *__ = task
+        forest = RemovalAwareForest(n_trees=10, seed=1).fit(Xtr, ytr)
+        removed = [0, 5, 9]
+        forest.forget(removed)
+        for rows in forest.sample_rows_:
+            active = rows[~forest.removed_[rows]]
+            assert not set(active.tolist()) & set(removed)
+
+    def test_idempotent_forgetting(self, task):
+        Xtr, ytr, *__ = task
+        forest = RemovalAwareForest(n_trees=10, seed=1).fit(Xtr, ytr)
+        forest.forget([2])
+        assert forest.forget([2]) == 0  # no refits for already-removed rows
+        assert forest.n_active == len(ytr) - 1
+
+    def test_untouched_trees_identical(self, task):
+        """Trees whose bootstrap misses the removal keep their object."""
+        Xtr, ytr, *__ = task
+        forest = RemovalAwareForest(
+            n_trees=20, sample_fraction=0.15, seed=2
+        ).fit(Xtr, ytr)
+        before = list(forest.trees_)
+        forest.forget([7])
+        unchanged = sum(a is b for a, b in zip(before, forest.trees_))
+        assert unchanged >= 1
+        for t, (a, b) in enumerate(zip(before, forest.trees_)):
+            hit = 7 in set(forest.sample_rows_[t].tolist())
+            assert (a is b) == (not hit)
+
+    def test_prediction_still_works_after_heavy_forgetting(self, task):
+        Xtr, ytr, Xv, yv = task
+        forest = RemovalAwareForest(n_trees=10, seed=3).fit(Xtr, ytr)
+        forest.forget(range(0, 150))
+        assert forest.score(Xv, yv) > 0.7
+
+    def test_cannot_forget_everything(self, task):
+        Xtr, ytr, *__ = task
+        forest = RemovalAwareForest(n_trees=5, seed=4).fit(Xtr[:10], ytr[:10])
+        with pytest.raises(ValueError):
+            forest.forget(range(10))
+
+    def test_invalid_sample_fraction_raises(self):
+        with pytest.raises(ValueError):
+            RemovalAwareForest(sample_fraction=0.0)

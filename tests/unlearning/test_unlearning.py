@@ -1,0 +1,94 @@
+"""Tests for machine unlearning (removal-aware KNN and Newton unlearning)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.learn import KNeighborsClassifier, LogisticRegression
+from repro.unlearning import RemovalAwareKNN, newton_unlearn
+
+
+@pytest.fixture(scope="module")
+def task():
+    X, y = make_classification(n=300, n_features=4, seed=6)
+    return X[:220], y[:220], X[220:], y[220:]
+
+
+class TestRemovalAwareKNN:
+    def test_forget_matches_retrained_knn_exactly(self, task):
+        """The defining property: forgetting equals retraining, exactly."""
+        Xtr, ytr, Xv, __ = task
+        model = RemovalAwareKNN(5).fit(Xtr, ytr)
+        removed = list(range(0, 60))
+        model.forget(removed)
+        keep = np.ones(len(ytr), dtype=bool)
+        keep[removed] = False
+        reference = KNeighborsClassifier(5).fit(Xtr[keep], ytr[keep])
+        assert np.array_equal(model.predict(Xv), reference.predict(Xv))
+        assert np.allclose(model.predict_proba(Xv), reference.predict_proba(Xv))
+
+    def test_forget_is_idempotent(self, task):
+        Xtr, ytr, Xv, __ = task
+        model = RemovalAwareKNN(3).fit(Xtr, ytr)
+        model.forget([1, 2, 3])
+        before = model.predict(Xv)
+        model.forget([1, 2, 3])
+        assert np.array_equal(model.predict(Xv), before)
+        assert model.n_active == len(ytr) - 3
+
+    def test_sequential_forgetting(self, task):
+        Xtr, ytr, Xv, __ = task
+        model = RemovalAwareKNN(3).fit(Xtr, ytr)
+        model.forget([0]).forget([1]).forget([2])
+        assert model.n_active == len(ytr) - 3
+
+    def test_cannot_forget_everything(self, task):
+        Xtr, ytr, *__ = task
+        model = RemovalAwareKNN(3).fit(Xtr[:4], ytr[:4])
+        with pytest.raises(ValueError):
+            model.forget(range(4))
+
+
+class TestNewtonUnlearn:
+    def test_newton_path_matches_full_retrain(self, task):
+        """For a small removal, the one-step unlearned model must agree with
+        a from-scratch retrain on predictions."""
+        Xtr, ytr, Xv, __ = task
+        model = LogisticRegression(l2=1e-2).fit(Xtr, ytr)
+        unlearned, report = newton_unlearn(model, Xtr, ytr, range(8))
+        assert report.method == "newton"
+        assert report.certified
+        assert report.residual_norm <= 1e-3
+        retrained = LogisticRegression(l2=1e-2).fit(Xtr[8:], ytr[8:])
+        agreement = np.mean(unlearned.predict(Xv) == retrained.predict(Xv))
+        assert agreement >= 0.98
+
+    def test_original_model_untouched(self, task):
+        Xtr, ytr, *__ = task
+        model = LogisticRegression(l2=1e-2).fit(Xtr, ytr)
+        coef_before = model.coef_.copy()
+        newton_unlearn(model, Xtr, ytr, [0, 1])
+        assert np.array_equal(model.coef_, coef_before)
+
+    def test_large_removal_still_certified(self, task):
+        """Removing a third of the data: either the Newton step suffices or
+        the retrain fallback fires; both must end certified."""
+        Xtr, ytr, *__ = task
+        model = LogisticRegression(l2=1e-2).fit(Xtr, ytr)
+        __, report = newton_unlearn(model, Xtr, ytr, range(70), tolerance=1e-6)
+        assert report.certified
+        assert report.method in ("newton", "retrain")
+
+    def test_single_class_removal_raises(self, task):
+        Xtr, ytr, *__ = task
+        model = LogisticRegression().fit(Xtr, ytr)
+        majority = np.flatnonzero(ytr == 0)
+        keep_one_class = np.flatnonzero(ytr == 1)
+        with pytest.raises(ValueError):
+            newton_unlearn(model, Xtr, ytr, keep_one_class)
+
+    def test_report_counts_removals(self, task):
+        Xtr, ytr, *__ = task
+        model = LogisticRegression(l2=1e-2).fit(Xtr, ytr)
+        __, report = newton_unlearn(model, Xtr, ytr, [3, 5, 7])
+        assert report.n_removed == 3

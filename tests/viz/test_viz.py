@@ -1,0 +1,108 @@
+"""Tests for ASCII charts and table rendering."""
+
+import pytest
+
+from repro.frame import DataFrame
+from repro.viz import bar_chart, format_records, format_table, histogram, line_chart
+
+
+class TestLineChart:
+    def test_contains_title_and_legend(self):
+        chart = line_chart([1, 2, 3], {"loss": [0.1, 0.2, 0.3]}, title="T")
+        assert chart.startswith("T")
+        assert "legend" in chart
+        assert "loss" in chart
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = line_chart([1, 2], {"a": [0, 1], "b": [1, 0]})
+        assert "o = a" in chart and "x = b" in chart
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [1]})
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {})
+
+    def test_constant_series_safe(self):
+        chart = line_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "5" in chart
+
+    def test_axis_labels_rendered(self):
+        chart = line_chart([0, 1], {"s": [0, 1]}, x_label="pct", y_label="loss")
+        assert "pct" in chart and "loss" in chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    def test_all_zero_safe(self):
+        assert "0" in bar_chart(["a"], [0.0])
+
+
+class TestHistogram:
+    def test_bucket_count(self):
+        chart = histogram([1.0, 2.0, 3.0, 4.0], bins=4)
+        assert len(chart.splitlines()) == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+
+class TestTables:
+    def test_format_records_aligns_columns(self):
+        text = format_records([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_empty_records(self):
+        assert format_records([]) == "(empty)"
+
+    def test_missing_cell_rendered_as_dot(self):
+        text = format_records([{"a": None}])
+        assert "·" in text
+
+    def test_long_cells_truncated(self):
+        text = format_records([{"a": "x" * 100}], max_width=10)
+        assert "…" in text
+
+    def test_format_table_truncates_rows(self):
+        frame = DataFrame({"v": list(range(50))})
+        text = format_table(frame, max_rows=5)
+        assert "50 rows total" in text
+
+
+class TestReliabilityChart:
+    def test_calibrated_model_marks_align(self):
+        import numpy as np
+
+        from repro.learn import reliability_table
+        from repro.viz import reliability_chart
+
+        rng = np.random.default_rng(0)
+        probs = rng.random(2000)
+        outcomes = (rng.random(2000) < probs).astype(int)
+        chart = reliability_chart(reliability_table(outcomes, probs, positive=1))
+        assert "█" in chart and "n=" in chart
+        assert len(chart.splitlines()) >= 5
+
+    def test_empty_table_raises(self):
+        from repro.viz import reliability_chart
+
+        with pytest.raises(ValueError):
+            reliability_chart([])
