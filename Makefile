@@ -1,20 +1,24 @@
 # Developer entry points for the repro library.
 
+# PYTHONPATH=src lets every target run in a fresh checkout without an
+# editable install (`setup.py develop`).
+PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
 .PHONY: install test bench examples all
 
 install:
 	python setup.py develop
 
 test:
-	pytest tests/
+	$(PYTHONPATH_SRC) python -m pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only
 
 examples:
 	@for script in examples/*.py; do \
 		echo "== $$script"; \
-		python $$script > /dev/null || exit 1; \
+		$(PYTHONPATH_SRC) python $$script > /dev/null || exit 1; \
 	done
 	@echo "all examples ran cleanly"
 

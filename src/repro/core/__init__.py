@@ -7,6 +7,7 @@ from .api import (
     estimate_with_zorro,
     evaluate_change,
     evaluate_model,
+    execute_robust,
     inject_labelerrors,
     knn_shapley_values,
     load_recommendation_letters,
@@ -25,6 +26,7 @@ __all__ = [
     "estimate_with_zorro",
     "evaluate_change",
     "evaluate_model",
+    "execute_robust",
     "inject_labelerrors",
     "knn_shapley_values",
     "load_recommendation_letters",

@@ -33,7 +33,9 @@ from ..learn.models.logistic import LogisticRegression
 from ..importance.knn_shapley import knn_shapley
 from ..pipeline.datascope import SourceImportance, datascope_importance
 from ..pipeline.execute import PipelineResult, execute
+from ..pipeline.execute import execute_robust as _execute_robust
 from ..pipeline.operators import Node
+from ..pipeline.resilience import ExecutionPolicy
 from ..pipeline.plan import show_query_plan
 from ..text import TextEmbedder
 from ..uncertainty.symbolic import UncertainDataset, encode_symbolic as _encode_symbolic
@@ -51,6 +53,7 @@ __all__ = [
     "pretty_print",
     "show_query_plan",
     "with_provenance",
+    "execute_robust",
     "datascope",
     "remove",
     "evaluate_change",
@@ -132,6 +135,32 @@ def with_provenance(
     if result.X is None:
         raise TypeError("pipeline must end in an encode() node")
     return result.X, result
+
+
+def execute_robust(
+    pipeline_sink: Node,
+    sources: Mapping[str, DataFrame],
+    fit: bool = True,
+    policy: ExecutionPolicy | None = None,
+    **policy_overrides: Any,
+) -> PipelineResult:
+    """Run a pipeline with row-level quarantine instead of fail-fast crashes.
+
+    Rows that an operator cannot process (UDF exceptions, poisonous join
+    keys, timeouts, silently corrupted cells) are dropped into
+    ``result.quarantine`` with their why-provenance, so they can be fed
+    straight back into the Identify tooling::
+
+        result = nde.execute_robust(sink, sources)
+        bad_ids = result.quarantine.row_ids("train_df")   # identified errors
+        report = result.quarantine.to_error_report("train_df")
+
+    Keyword overrides (``max_retries=3``, ``timeout=0.5``, ...) are forwarded
+    to :meth:`repro.pipeline.ExecutionPolicy.robust`.
+    """
+    return _execute_robust(
+        pipeline_sink, sources, fit=fit, policy=policy, **policy_overrides
+    )
 
 
 def datascope(

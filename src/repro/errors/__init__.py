@@ -6,6 +6,7 @@ bias), and out-of-distribution values.
 """
 
 from .bias import inject_distribution_shift, inject_duplicates, inject_selection_bias
+from .chaos import ChaosError, ChaosMonkey, InjectedFault, TransientChaosError
 from .labels import inject_group_label_bias, inject_label_errors
 from .missing import MECHANISMS, inject_missing
 from .noise import (
@@ -20,6 +21,10 @@ from .report import ErrorReport, merge_reports
 __all__ = [
     "ErrorReport",
     "merge_reports",
+    "ChaosError",
+    "ChaosMonkey",
+    "InjectedFault",
+    "TransientChaosError",
     "MECHANISMS",
     "inject_distribution_shift",
     "inject_duplicates",

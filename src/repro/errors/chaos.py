@@ -1,0 +1,291 @@
+"""Chaos fault injection for pipeline operators.
+
+Where the rest of :mod:`repro.errors` corrupts *data* (cells of the source
+tables), this module corrupts *execution*: a seeded :class:`ChaosMonkey`
+wraps a pipeline plan and makes its operators misbehave at configurable
+per-row rates —
+
+- ``error_rate``: the operator raises on the row (a hard UDF crash);
+- ``transient_rate``: the operator raises a retryable
+  :class:`~repro.pipeline.resilience.TransientError` the first time it
+  meets the row, then succeeds (flaky I/O);
+- ``nan_rate``: the map output cell is silently replaced with NaN
+  (numeric corruption that only surfaces at the encode boundary);
+- ``type_rate``: the map output cell is silently replaced with a marker
+  string (type corruption caught by the executor's cell-type guard);
+- ``latency_rate``: evaluation of the row sleeps for ``latency`` seconds
+  (a slow operator, caught by the wall-clock timeout guard).
+
+Fault decisions are a pure function of ``(seed, operator index, row id)``,
+so they are reproducible *and* independent of evaluation order: the same
+rows fault whether the executor runs the operator vectorised or row-wise.
+Every fault that actually fires is recorded in :attr:`ChaosMonkey.triggered`
+as ground truth for tests and benchmarks — graceful degradation is proven
+by checking the executor's quarantine against exactly this record.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..frame import DataFrame
+from ..pipeline.operators import (
+    EncodeNode,
+    FilterNode,
+    JoinNode,
+    MapNode,
+    Node,
+    PipelinePlan,
+    ProjectNode,
+    SourceNode,
+)
+from ..pipeline.resilience import TransientError
+
+__all__ = ["ChaosError", "TransientChaosError", "InjectedFault", "ChaosMonkey"]
+
+CORRUPT_MARKER = "#CHAOS-CORRUPT#"
+
+
+class ChaosError(RuntimeError):
+    """A hard operator failure injected by :class:`ChaosMonkey`."""
+
+
+class TransientChaosError(TransientError):
+    """An injected failure that succeeds when retried."""
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Ground truth for one fault that fired during execution."""
+
+    op_index: int  # position of the operator in the wrapped plan's topological order
+    node_kind: str
+    kind: str  # "error" | "transient" | "nan" | "type" | "latency"
+    row_id: int  # stable row id of the affected row (base-table identity)
+
+
+class ChaosMonkey:
+    """Seeded operator-fault injector for pipeline plans.
+
+    Parameters
+    ----------
+    seed:
+        Determinism root: two monkeys with equal seeds and rates inject
+        identical faults on identical plans and data.
+    error_rate, transient_rate, nan_rate, type_rate, latency_rate:
+        Per-row probabilities of each fault kind at each wrapped operator.
+        At most one fault kind fires per (operator, row).
+    latency:
+        Sleep duration in seconds for latency faults.
+    target_kinds:
+        Which operator kinds get wrapped (corruption only applies to maps —
+        filters have no output cells to corrupt).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        error_rate: float = 0.0,
+        transient_rate: float = 0.0,
+        nan_rate: float = 0.0,
+        type_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        latency: float = 0.05,
+        target_kinds: Sequence[str] = ("map", "filter"),
+    ) -> None:
+        rates = {
+            "error": float(error_rate),
+            "transient": float(transient_rate),
+            "nan": float(nan_rate),
+            "type": float(type_rate),
+            "latency": float(latency_rate),
+        }
+        if any(r < 0 for r in rates.values()) or sum(rates.values()) > 1.0:
+            raise ValueError("fault rates must be non-negative and sum to <= 1")
+        self.seed = int(seed)
+        self.rates = rates
+        self.latency = float(latency)
+        self.target_kinds = tuple(target_kinds)
+        self.triggered: list[InjectedFault] = []
+        self._transient_seen: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Deterministic per-row decisions
+    # ------------------------------------------------------------------
+    def decide(self, op_index: int, row_id: int) -> str | None:
+        """Fault kind for one (operator, row), or None. Pure and seeded."""
+        rng = np.random.default_rng([self.seed, op_index, int(row_id)])
+        draw = rng.random()
+        cumulative = 0.0
+        for kind, rate in self.rates.items():
+            cumulative += rate
+            if draw < cumulative:
+                return kind
+        return None
+
+    def planned_faults(self, op_index: int, row_ids: Any) -> dict[str, list[int]]:
+        """Expected faults for an operator over the given row ids."""
+        out: dict[str, list[int]] = {}
+        for rid in np.asarray(row_ids).tolist():
+            kind = self.decide(op_index, rid)
+            if kind is not None:
+                out.setdefault(kind, []).append(int(rid))
+        return out
+
+    def triggered_row_ids(self, kinds: Sequence[str] | None = None) -> set[int]:
+        """Row ids of faults that actually fired (optionally by kind)."""
+        wanted = set(kinds) if kinds is not None else None
+        return {
+            f.row_id
+            for f in self.triggered
+            if wanted is None or f.kind in wanted
+        }
+
+    def reset(self) -> None:
+        """Clear the trigger record and transient-failure memory."""
+        self.triggered.clear()
+        self._transient_seen.clear()
+
+    # ------------------------------------------------------------------
+    # Fault application
+    # ------------------------------------------------------------------
+    def _record(self, op_index: int, node_kind: str, kind: str, row_id: int) -> None:
+        self.triggered.append(
+            InjectedFault(
+                op_index=op_index, node_kind=node_kind, kind=kind, row_id=int(row_id)
+            )
+        )
+
+    def _pre_faults(
+        self, op_index: int, node_kind: str, frame: DataFrame
+    ) -> dict[int, str]:
+        """Apply latency/raise faults for a frame; return per-position kinds.
+
+        Called before the wrapped callable computes anything. Raises for
+        error/transient rows — in a vectorised call that poisons the whole
+        evaluation (forcing the executor's row-wise fallback), in a one-row
+        call it pinpoints the row.
+        """
+        decisions = {
+            pos: kind
+            for pos, rid in enumerate(frame.row_ids.tolist())
+            if (kind := self.decide(op_index, rid)) is not None
+        }
+        for pos, kind in decisions.items():
+            if kind == "latency":
+                rid = int(frame.row_ids[pos])
+                self._record(op_index, node_kind, "latency", rid)
+                time.sleep(self.latency)
+        transient_rows = [
+            int(frame.row_ids[pos])
+            for pos, kind in decisions.items()
+            if kind == "transient"
+            and (op_index, int(frame.row_ids[pos])) not in self._transient_seen
+        ]
+        if transient_rows:
+            for rid in transient_rows:
+                self._transient_seen.add((op_index, rid))
+                self._record(op_index, node_kind, "transient", rid)
+            raise TransientChaosError(
+                f"injected transient fault for rows {transient_rows}"
+            )
+        error_rows = [
+            int(frame.row_ids[pos])
+            for pos, kind in decisions.items()
+            if kind == "error"
+        ]
+        if error_rows:
+            for rid in error_rows:
+                self._record(op_index, node_kind, "error", rid)
+            raise ChaosError(f"injected operator fault for rows {error_rows}")
+        return decisions
+
+    def _wrap_map(self, node: MapNode, op_index: int) -> Callable:
+        inner = node.func
+
+        def chaotic(frame: DataFrame) -> Any:
+            decisions = self._pre_faults(op_index, "map", frame)
+            result = inner(frame)
+            corrupt = {
+                pos: kind
+                for pos, kind in decisions.items()
+                if kind in ("nan", "type")
+            }
+            if not corrupt:
+                return result
+            if hasattr(result, "to_list"):
+                cells = list(result.to_list())
+            else:
+                cells = list(np.asarray(result).tolist())
+            for pos, kind in corrupt.items():
+                rid = int(frame.row_ids[pos])
+                self._record(op_index, "map", kind, rid)
+                cells[pos] = float("nan") if kind == "nan" else CORRUPT_MARKER
+            return cells
+
+        return chaotic
+
+    def _wrap_filter(self, node: FilterNode, op_index: int) -> Callable:
+        inner = node.predicate
+
+        def chaotic(frame: DataFrame) -> Any:
+            self._pre_faults(op_index, "filter", frame)
+            return inner(frame)
+
+        return chaotic
+
+    # ------------------------------------------------------------------
+    # Plan wrapping
+    # ------------------------------------------------------------------
+    def wrap(self, sink: Node) -> Node:
+        """Clone the plan ending at ``sink`` with chaos-wrapped operators.
+
+        The original plan is left untouched; the clone shares (stateful)
+        feature encoders with the original, so use a freshly built pipeline
+        when comparing fitted encoders across chaotic and clean runs.
+        """
+        plan = PipelinePlan()
+        mapping: dict[int, Node] = {}
+        for op_index, node in enumerate(sink.plan.topological_order(sink)):
+            if isinstance(node, SourceNode):
+                clone: Node = plan.source(node.name)
+            elif isinstance(node, JoinNode):
+                clone = mapping[node.inputs[0].id].join(
+                    mapping[node.inputs[1].id],
+                    on=node.on,
+                    how=node.how,
+                    fuzzy=node.fuzzy,
+                    suffix=node.suffix,
+                )
+            elif isinstance(node, FilterNode):
+                predicate = (
+                    self._wrap_filter(node, op_index)
+                    if "filter" in self.target_kinds
+                    else node.predicate
+                )
+                clone = mapping[node.inputs[0].id].filter(
+                    predicate, f"chaos({node.description})"
+                )
+            elif isinstance(node, MapNode):
+                func = (
+                    self._wrap_map(node, op_index)
+                    if "map" in self.target_kinds
+                    else node.func
+                )
+                clone = mapping[node.inputs[0].id].with_column(
+                    node.name, func, f"chaos({node.description})"
+                )
+            elif isinstance(node, ProjectNode):
+                clone = mapping[node.inputs[0].id].project(node.columns)
+            elif isinstance(node, EncodeNode):
+                clone = mapping[node.inputs[0].id].encode(
+                    node.encoder, node.label_column
+                )
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"cannot wrap node type: {type(node).__name__}")
+            mapping[node.id] = clone
+        return mapping[sink.id]

@@ -2,6 +2,8 @@
 
 - :mod:`operators` / :mod:`execute`: the operator DAG and its provenance-
   tracking executor.
+- :mod:`resilience`: fault-tolerant execution — per-operator error
+  policies, retry/timeout guards, and the row-level :class:`Quarantine`.
 - :mod:`plan`: query-plan rendering (``show_query_plan``).
 - :mod:`datascope`: Shapley importance over pipelines via the KNN proxy.
 - :mod:`inspections` / :mod:`screening`: mlinspect-style checks and
@@ -12,7 +14,13 @@
 from .complaints import Complaint, ComplaintResolution, resolve_complaint
 from .datascope import SourceImportance, datascope_importance
 from .drift import categorical_drift, drift_report, label_balance_shift, numeric_drift
-from .execute import PipelineResult, execute, incremental_append, with_provenance
+from .execute import (
+    PipelineResult,
+    execute,
+    execute_robust,
+    incremental_append,
+    with_provenance,
+)
 from .expectations import (
     Expectation,
     ExpectationResult,
@@ -49,6 +57,15 @@ from .operators import (
 )
 from .plan import plan_summary, render_plan, show_query_plan
 from .provenance import Provenance
+from .resilience import (
+    ErrorPolicy,
+    ExecutionPolicy,
+    OperatorError,
+    OperatorTimeoutError,
+    Quarantine,
+    QuarantineRecord,
+    TransientError,
+)
 from .screening import PipelineScreener, ScreeningReport
 from .search import SearchDimension, SearchResult, greedy_search, grid_search
 from .templates import letters_pipeline
@@ -66,8 +83,16 @@ __all__ = [
     "numeric_drift",
     "PipelineResult",
     "execute",
+    "execute_robust",
     "incremental_append",
     "with_provenance",
+    "ErrorPolicy",
+    "ExecutionPolicy",
+    "OperatorError",
+    "OperatorTimeoutError",
+    "Quarantine",
+    "QuarantineRecord",
+    "TransientError",
     "Expectation",
     "ExpectationResult",
     "Schema",

@@ -5,12 +5,19 @@
 frame. The result bundles the encoded training matrix, labels, pre-encode
 frame, and the output-row-to-source-tuple provenance — everything the
 debugging tools of Section 2.2 consume.
+
+Execution is fail-fast by default (one bad row aborts the run, exactly the
+seed behaviour). Passing an :class:`~repro.pipeline.resilience.ExecutionPolicy`
+— or calling :func:`execute_robust` — turns operator failures into
+quarantined, provenance-attributed rows instead: the executor keeps the
+vectorised fast path and only drops to row-wise evaluation for an operator
+whose whole-frame evaluation raised, so clean data pays nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
@@ -26,8 +33,22 @@ from .operators import (
     SourceNode,
 )
 from .provenance import Provenance
+from .resilience import (
+    ErrorPolicy,
+    ExecutionPolicy,
+    OperatorError,
+    Quarantine,
+    deviant_cell_positions,
+    retry_call,
+)
 
-__all__ = ["PipelineResult", "execute", "with_provenance", "incremental_append"]
+__all__ = [
+    "PipelineResult",
+    "execute",
+    "execute_robust",
+    "with_provenance",
+    "incremental_append",
+]
 
 
 @dataclass
@@ -46,6 +67,10 @@ class PipelineResult:
     sink:
         The executed sink node; ``sink.encoder`` holds the *fitted* feature
         encoder after a ``fit=True`` run.
+    quarantine:
+        Rows dropped (or patched) by a non-fail-fast
+        :class:`~repro.pipeline.resilience.ExecutionPolicy`, each with its
+        why-provenance. Empty under fail-fast execution.
     """
 
     frame: DataFrame
@@ -54,6 +79,7 @@ class PipelineResult:
     X: np.ndarray | None = None
     y: np.ndarray | None = None
     intermediates: dict[int, int] = field(default_factory=dict)  # node id -> rows
+    quarantine: Quarantine = field(default_factory=Quarantine)
 
     @property
     def n_rows(self) -> int:
@@ -82,14 +108,258 @@ class PipelineResult:
         return self.provenance.source_row_ids(source)
 
 
+# ----------------------------------------------------------------------
+# Guard helpers for policy-driven execution
+# ----------------------------------------------------------------------
+def _attempt(
+    fn: Callable[[], Any], policy: ErrorPolicy
+) -> tuple[bool, Any, BaseException | None, int]:
+    """Run ``fn`` under the policy's retry/timeout guards.
+
+    Returns ``(ok, value, error, attempts)`` — never raises, so callers
+    decide between fail-fast re-raise and quarantine.
+    """
+    try:
+        value, attempts = retry_call(fn, policy)
+        return True, value, None, attempts
+    except BaseException as exc:  # noqa: BLE001 - dispatched by policy
+        attempts = policy.max_retries + 1 if isinstance(exc, policy.retry_on) else 1
+        return False, None, exc, attempts
+
+
+def _operator_error(node: Node, error: BaseException) -> OperatorError:
+    wrapped = OperatorError(
+        f"{node.kind} operator #{node.id} ({node.describe()}) failed: {error}",
+        node_id=node.id,
+        node_kind=node.kind,
+        node_label=node.describe(),
+    )
+    wrapped.__cause__ = error
+    return wrapped
+
+
+def _cells_of(raw: Any, n_rows: int) -> list:
+    """Normalise a map-UDF result into a list of ``n_rows`` cells."""
+    from ..frame.column import Column
+
+    if isinstance(raw, Column):
+        cells = raw.to_list()
+    elif isinstance(raw, np.ndarray):
+        cells = list(raw)
+    else:
+        cells = list(raw)
+    if len(cells) != n_rows:
+        raise ValueError(f"map produced {len(cells)} cells, expected {n_rows}")
+    return cells
+
+
+def _scalar(raw: Any) -> Any:
+    """Extract the single cell from a map-UDF result over a one-row frame."""
+    return _cells_of(raw, 1)[0]
+
+
+_TIMEOUT_REASON = {True: "timeout", False: "error"}
+
+
+def _reason_for(error: BaseException) -> str:
+    from .resilience import OperatorTimeoutError
+
+    return _TIMEOUT_REASON[isinstance(error, OperatorTimeoutError)]
+
+
+def _run_map_guarded(
+    node: MapNode,
+    frame: DataFrame,
+    prov: Provenance,
+    policy: ErrorPolicy,
+    quarantine: Quarantine,
+) -> tuple[DataFrame, Provenance]:
+    n = frame.num_rows
+    ok, raw, error, attempts = _attempt(lambda: node.func(frame), policy)
+    if not ok and policy.is_fail_fast:
+        raise _operator_error(node, error)
+
+    failures: dict[int, tuple[BaseException | None, str, int]] = {}
+    if ok:
+        cells = _cells_of(raw, n)
+    else:
+        # Whole-frame evaluation failed: isolate the poisonous rows by
+        # re-evaluating the UDF over one-row frames.
+        cells = [None] * n
+        for pos in range(n):
+            row_frame = frame.take([pos])
+            ok_i, raw_i, err_i, att_i = _attempt(
+                lambda rf=row_frame: node.func(rf), policy
+            )
+            if ok_i:
+                cells[pos] = _scalar(raw_i)
+            else:
+                failures[pos] = (err_i, _reason_for(err_i), att_i)
+
+    if policy.guard_types:
+        healthy = [
+            (pos, cell) for pos, cell in enumerate(cells) if pos not in failures
+        ]
+        deviants = deviant_cell_positions([cell for __, cell in healthy])
+        for d in deviants:
+            pos = healthy[int(d)][0]
+            failures[pos] = (
+                TypeError(f"cell type deviates from column majority: {cells[pos]!r}"),
+                "corrupt_type",
+                1,
+            )
+
+    if not failures:
+        if ok:
+            # Clean vectorised run: hand the raw result straight to the
+            # frame so dtype behaviour matches fail-fast execution exactly.
+            out = frame.copy()
+            out[node.name] = raw
+            return out, prov
+        out = frame.copy()
+        out[node.name] = cells
+        return out, prov
+
+    substitute = policy.keeps_row_on_error
+    keep: list[int] = []
+    for pos in range(n):
+        if pos in failures:
+            err_p, reason, att_p = failures[pos]
+            quarantine.add(
+                node, reason, err_p, prov.tuples[pos],
+                attempts=att_p, substituted=substitute,
+            )
+            if substitute:
+                cells[pos] = policy.default
+                keep.append(pos)
+        else:
+            keep.append(pos)
+    positions = np.asarray(keep, dtype=np.int64)
+    out = frame.take(positions)
+    out[node.name] = [cells[int(pos)] for pos in positions]
+    return out, prov.take(positions)
+
+
+def _run_filter_guarded(
+    node: FilterNode,
+    frame: DataFrame,
+    prov: Provenance,
+    policy: ErrorPolicy,
+    quarantine: Quarantine,
+) -> tuple[DataFrame, Provenance]:
+    n = frame.num_rows
+    ok, raw, error, __ = _attempt(lambda: node.predicate(frame), policy)
+    if ok:
+        mask = np.asarray(raw, dtype=bool)
+    elif policy.is_fail_fast:
+        raise _operator_error(node, error)
+    else:
+        mask = np.zeros(n, dtype=bool)
+        for pos in range(n):
+            row_frame = frame.take([pos])
+            ok_i, raw_i, err_i, att_i = _attempt(
+                lambda rf=row_frame: node.predicate(rf), policy
+            )
+            if ok_i:
+                mask[pos] = bool(np.asarray(raw_i).reshape(-1)[0])
+            else:
+                substitute = policy.keeps_row_on_error
+                quarantine.add(
+                    node, _reason_for(err_i), err_i, prov.tuples[pos],
+                    attempts=att_i, substituted=substitute,
+                )
+                mask[pos] = bool(policy.default) if substitute else False
+    positions = np.flatnonzero(mask)
+    return frame.take(positions), prov.take(positions)
+
+
+def _run_join_guarded(
+    node: JoinNode,
+    left: tuple[DataFrame, Provenance],
+    right: tuple[DataFrame, Provenance],
+    policy: ErrorPolicy,
+    quarantine: Quarantine,
+) -> tuple[DataFrame, Provenance]:
+    left_frame, left_prov = left
+    right_frame, right_prov = right
+
+    def joined_with_prov(frame: DataFrame, prov: Provenance):
+        out, lpos, rpos = frame.join(
+            right_frame,
+            on=node.on,
+            how=node.how,
+            suffix=node.suffix,
+            fuzzy=node.fuzzy,
+            return_indices=True,
+        )
+        rows = []
+        for lp, rp in zip(lpos, rpos):
+            row = prov.tuples[int(lp)]
+            if rp >= 0:
+                row = row | right_prov.tuples[int(rp)]
+            rows.append(row)
+        return out, Provenance(rows)
+
+    ok, value, error, __ = _attempt(
+        lambda: joined_with_prov(left_frame, left_prov), policy
+    )
+    if ok:
+        return value
+    if policy.is_fail_fast:
+        raise _operator_error(node, error)
+
+    # Row-wise fallback: join each left row separately so one poisonous key
+    # cannot take down the rest of the batch. (A join has no sensible
+    # substitute value, so substitute_default degrades to skip here.)
+    frames: list[DataFrame] = []
+    prov_rows: list[frozenset] = []
+    for pos in range(left_frame.num_rows):
+        single = left_frame.take([pos])
+        single_prov = left_prov.take([pos])
+        ok_i, value_i, err_i, att_i = _attempt(
+            lambda s=single, sp=single_prov: joined_with_prov(s, sp), policy
+        )
+        if ok_i:
+            out_i, prov_i = value_i
+            if out_i.num_rows:
+                frames.append(out_i)
+                prov_rows.extend(prov_i.tuples)
+        else:
+            quarantine.add(
+                node, _reason_for(err_i), err_i, left_prov.tuples[pos],
+                attempts=att_i,
+            )
+    if not frames:
+        empty, lpos, rpos = left_frame.take(np.empty(0, dtype=np.int64)).join(
+            right_frame,
+            on=node.on,
+            how=node.how,
+            suffix=node.suffix,
+            fuzzy=node.fuzzy,
+            return_indices=True,
+        )
+        return empty, Provenance([])
+    return DataFrame.concat_rows(frames), Provenance(prov_rows)
+
+
 def _run_node(
     node: Node,
     sources: Mapping[str, DataFrame],
     fit: bool,
     cache: dict[int, tuple[DataFrame, Provenance]],
+    policy: ExecutionPolicy | None = None,
+    quarantine: Quarantine | None = None,
 ) -> tuple[DataFrame, Provenance]:
     if node.id in cache:
         return cache[node.id]
+
+    node_policy = policy.resolve(node) if policy is not None else None
+    # "Strict" means the seed code path: plain fail-fast with no guards.
+    strict = node_policy is None or (
+        node_policy.is_fail_fast
+        and node_policy.max_retries == 0
+        and node_policy.timeout is None
+    )
 
     if isinstance(node, SourceNode):
         if node.name not in sources:
@@ -99,35 +369,46 @@ def _run_node(
         frame = sources[node.name]
         result = (frame, Provenance.for_source(node.name, frame.row_ids))
     elif isinstance(node, JoinNode):
-        left_frame, left_prov = _run_node(node.inputs[0], sources, fit, cache)
-        right_frame, right_prov = _run_node(node.inputs[1], sources, fit, cache)
-        joined, lpos, rpos = left_frame.join(
-            right_frame,
-            on=node.on,
-            how=node.how,
-            suffix=node.suffix,
-            fuzzy=node.fuzzy,
-            return_indices=True,
-        )
-        out_prov_rows = []
-        for lp, rp in zip(lpos, rpos):
-            row = left_prov.tuples[int(lp)]
-            if rp >= 0:
-                row = row | right_prov.tuples[int(rp)]
-            out_prov_rows.append(row)
-        result = (joined, Provenance(out_prov_rows))
+        left = _run_node(node.inputs[0], sources, fit, cache, policy, quarantine)
+        right = _run_node(node.inputs[1], sources, fit, cache, policy, quarantine)
+        if strict:
+            left_frame, left_prov = left
+            right_frame, right_prov = right
+            joined, lpos, rpos = left_frame.join(
+                right_frame,
+                on=node.on,
+                how=node.how,
+                suffix=node.suffix,
+                fuzzy=node.fuzzy,
+                return_indices=True,
+            )
+            out_prov_rows = []
+            for lp, rp in zip(lpos, rpos):
+                row = left_prov.tuples[int(lp)]
+                if rp >= 0:
+                    row = row | right_prov.tuples[int(rp)]
+                out_prov_rows.append(row)
+            result = (joined, Provenance(out_prov_rows))
+        else:
+            result = _run_join_guarded(node, left, right, node_policy, quarantine)
     elif isinstance(node, FilterNode):
-        frame, prov = _run_node(node.inputs[0], sources, fit, cache)
-        mask = np.asarray(node.predicate(frame), dtype=bool)
-        positions = np.flatnonzero(mask)
-        result = (frame.take(positions), prov.take(positions))
+        frame, prov = _run_node(node.inputs[0], sources, fit, cache, policy, quarantine)
+        if strict:
+            mask = np.asarray(node.predicate(frame), dtype=bool)
+            positions = np.flatnonzero(mask)
+            result = (frame.take(positions), prov.take(positions))
+        else:
+            result = _run_filter_guarded(node, frame, prov, node_policy, quarantine)
     elif isinstance(node, MapNode):
-        frame, prov = _run_node(node.inputs[0], sources, fit, cache)
-        out = frame.copy()
-        out[node.name] = node.func(frame)
-        result = (out, prov)
+        frame, prov = _run_node(node.inputs[0], sources, fit, cache, policy, quarantine)
+        if strict:
+            out = frame.copy()
+            out[node.name] = node.func(frame)
+            result = (out, prov)
+        else:
+            result = _run_map_guarded(node, frame, prov, node_policy, quarantine)
     elif isinstance(node, ProjectNode):
-        frame, prov = _run_node(node.inputs[0], sources, fit, cache)
+        frame, prov = _run_node(node.inputs[0], sources, fit, cache, policy, quarantine)
         result = (frame.select(node.columns), prov)
     elif isinstance(node, EncodeNode):
         # Handled by the caller (needs to produce X/y, not a frame).
@@ -139,11 +420,80 @@ def _run_node(
     return result
 
 
+def _encode_guarded(
+    sink: EncodeNode,
+    frame: DataFrame,
+    prov: Provenance,
+    fit: bool,
+    policy: ErrorPolicy,
+    quarantine: Quarantine,
+) -> tuple[DataFrame, Provenance, np.ndarray]:
+    """Encode under a policy: quarantine missing labels and (optionally)
+    rows whose encoded features come out non-finite."""
+    if not policy.is_fail_fast:
+        label_mask = frame.column(sink.label_column).isnull()
+        if label_mask.any():
+            for pos in np.flatnonzero(label_mask):
+                quarantine.add(
+                    sink, "missing_label", None, prov.tuples[int(pos)]
+                )
+            keep = np.flatnonzero(~label_mask)
+            frame, prov = frame.take(keep), prov.take(keep)
+
+    encode = (
+        (lambda: sink.encoder.fit_transform(frame))
+        if fit
+        else (lambda: sink.encoder.transform(frame))
+    )
+    ok, X, error, __ = _attempt(encode, policy)
+    if not ok:
+        if policy.is_fail_fast or fit:
+            # A failed *fit* cannot be attributed row-wise (the encoder needs
+            # the full column to fit at all) — surface it with node context.
+            raise _operator_error(sink, error)
+        # fit=False: transform row-by-row, quarantining the rows that fail.
+        keep: list[int] = []
+        blocks: list[np.ndarray] = []
+        for pos in range(frame.num_rows):
+            row_frame = frame.take([pos])
+            ok_i, block, err_i, att_i = _attempt(
+                lambda rf=row_frame: sink.encoder.transform(rf), policy
+            )
+            if ok_i:
+                keep.append(pos)
+                blocks.append(np.asarray(block, dtype=float))
+            else:
+                quarantine.add(
+                    sink, _reason_for(err_i), err_i, prov.tuples[pos],
+                    attempts=att_i,
+                )
+        positions = np.asarray(keep, dtype=np.int64)
+        frame, prov = frame.take(positions), prov.take(positions)
+        width = blocks[0].shape[1] if blocks else 0
+        X = np.vstack(blocks) if blocks else np.empty((0, width))
+
+    X = np.asarray(X, dtype=float)
+    if not policy.is_fail_fast and policy.guard_nonfinite and X.size:
+        bad = ~np.isfinite(X).all(axis=1)
+        if bad.any():
+            for pos in np.flatnonzero(bad):
+                quarantine.add(
+                    sink,
+                    "nonfinite",
+                    ValueError("encoded feature vector contains non-finite values"),
+                    prov.tuples[int(pos)],
+                )
+            keep = np.flatnonzero(~bad)
+            frame, prov, X = frame.take(keep), prov.take(keep), X[keep]
+    return frame, prov, X
+
+
 def execute(
     sink: Node,
     sources: Mapping[str, DataFrame],
     fit: bool = True,
     cache: dict[int, tuple[DataFrame, Provenance]] | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> PipelineResult:
     """Run the pipeline ending at ``sink`` over concrete source frames.
 
@@ -157,26 +507,69 @@ def execute(
         Optional node-result cache keyed by node id. Passing the same dict
         across several ``execute`` calls shares the work of common subplans —
         the mechanism behind what-if analysis (:mod:`repro.pipeline.whatif`).
-        Only valid when the calls bind the *same* source frames.
+        Only valid when the calls bind the *same* source frames (and, when a
+        policy is given, the same policy).
+    policy:
+        Optional :class:`~repro.pipeline.resilience.ExecutionPolicy`. When
+        omitted (or when every node resolves to a bare fail-fast policy)
+        execution follows the seed fail-fast code path exactly. Under a
+        non-fail-fast policy, rows an operator cannot process are dropped
+        into ``result.quarantine`` (or patched with the policy's default)
+        instead of aborting the run.
     """
     if cache is None:
         cache = {}
+    quarantine = Quarantine()
     if isinstance(sink, EncodeNode):
-        frame, prov = _run_node(sink.inputs[0], sources, fit, cache)
-        if fit:
-            X = sink.encoder.fit_transform(frame)
+        frame, prov = _run_node(
+            sink.inputs[0], sources, fit, cache, policy, quarantine
+        )
+        sink_policy = policy.resolve(sink) if policy is not None else None
+        if sink_policy is None:
+            if fit:
+                X = sink.encoder.fit_transform(frame)
+            else:
+                X = sink.encoder.transform(frame)
         else:
-            X = sink.encoder.transform(frame)
+            frame, prov, X = _encode_guarded(
+                sink, frame, prov, fit, sink_policy, quarantine
+            )
         y = np.asarray(frame.column(sink.label_column).to_list())
-        result = PipelineResult(frame=frame, provenance=prov, sink=sink, X=X, y=y)
+        result = PipelineResult(
+            frame=frame, provenance=prov, sink=sink, X=X, y=y,
+            quarantine=quarantine,
+        )
     else:
-        frame, prov = _run_node(sink, sources, fit, cache)
-        result = PipelineResult(frame=frame, provenance=prov, sink=sink)
+        frame, prov = _run_node(sink, sources, fit, cache, policy, quarantine)
+        result = PipelineResult(
+            frame=frame, provenance=prov, sink=sink, quarantine=quarantine
+        )
     reachable = {node.id for node in sink.plan.topological_order(sink)}
     result.intermediates = {
         nid: len(entry[1]) for nid, entry in cache.items() if nid in reachable
     }
     return result
+
+
+def execute_robust(
+    sink: Node,
+    sources: Mapping[str, DataFrame],
+    fit: bool = True,
+    policy: ExecutionPolicy | None = None,
+    **policy_overrides: Any,
+) -> PipelineResult:
+    """Run a pipeline with row-level quarantine instead of fail-fast crashes.
+
+    Equivalent to ``execute(sink, sources, fit, policy=ExecutionPolicy.robust())``
+    — every operator skips-and-quarantines rows it cannot process, retrying
+    transient failures once. Keyword overrides are forwarded to
+    :meth:`ExecutionPolicy.robust` (e.g. ``max_retries=3, timeout=0.5``).
+    """
+    if policy is None:
+        policy = ExecutionPolicy.robust(**policy_overrides)
+    elif policy_overrides:
+        raise TypeError("pass either a policy or overrides, not both")
+    return execute(sink, sources, fit=fit, policy=policy)
 
 
 def with_provenance(
@@ -206,7 +599,8 @@ def incremental_append(
         A previous run whose encoders are already fitted.
     delta_sources:
         The same source bindings as the original run, except the appended
-        source(s) contain *only the new rows* (with fresh row ids).
+        source(s) contain *only the new rows* (with fresh row ids). An empty
+        delta (or one whose rows are all filtered away) is a no-op.
 
     Returns a result equal to re-running the pipeline over the concatenated
     sources with ``fit=False`` (a property the tests verify).
@@ -214,6 +608,17 @@ def incremental_append(
     if result.X is None or result.y is None:
         raise ValueError("incremental_append requires an encoded pipeline result")
     delta = execute(result.sink, delta_sources, fit=False)
+    if delta.frame.num_rows == 0:
+        # Nothing survived the pipeline: the maintained view is unchanged.
+        return PipelineResult(
+            frame=result.frame,
+            provenance=result.provenance,
+            sink=result.sink,
+            X=result.X,
+            y=result.y,
+            intermediates=dict(result.intermediates),
+            quarantine=Quarantine.merge([result.quarantine, delta.quarantine]),
+        )
     combined_frame = DataFrame.concat_rows([result.frame, delta.frame])
     combined_prov = Provenance.concat([result.provenance, delta.provenance])
     return PipelineResult(
@@ -223,4 +628,5 @@ def incremental_append(
         X=np.vstack([result.X, delta.X]),
         y=np.concatenate([result.y, delta.y]),
         intermediates=dict(result.intermediates),
+        quarantine=Quarantine.merge([result.quarantine, delta.quarantine]),
     )

@@ -290,7 +290,10 @@ def infer_schema(frame: DataFrame, max_categories: int = 25) -> Schema:
         minimum = maximum = None
         if col.dtype_kind == "string":
             uniques = col.unique()
-            if len(uniques) <= max_categories:
+            # An empty domain is no evidence, not a constraint: a schema
+            # inferred from a zero-row (or all-missing) column must not
+            # reject every value a later batch presents.
+            if uniques and len(uniques) <= max_categories:
                 categories = uniques
         elif col.is_numeric:
             minimum = float(col.min()) if col.min() is not None else None

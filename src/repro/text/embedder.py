@@ -62,6 +62,8 @@ class TextEmbedder(Transformer):
 
     def transform(self, X: Any) -> np.ndarray:
         cells = as_cells(X)
+        if not len(cells):
+            return np.empty((0, self.output_dim))
         return np.vstack([self.embed_one(c) for c in cells])
 
     def embed(self, texts: Iterable[str]) -> np.ndarray:

@@ -1,0 +1,150 @@
+"""Tests for the chaos fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChaosError, ChaosMonkey
+from repro.frame import DataFrame
+from repro.learn import ColumnTransformer, StandardScaler
+from repro.pipeline import PipelinePlan, execute, execute_robust
+
+
+def build_pipeline(n: int = 80):
+    frame = DataFrame(
+        {
+            "value": np.linspace(0.0, 1.0, n),
+            "group": ["a" if i % 3 else "b" for i in range(n)],
+            "label": ["pos" if i % 2 else "neg" for i in range(n)],
+        }
+    )
+    plan = PipelinePlan()
+    sink = (
+        plan.source("t")
+        .filter(lambda df: df["value"] <= 0.95, "value <= 0.95")
+        .with_column("feat", lambda df: df["value"] * 2.0, "feat")
+        .encode(
+            ColumnTransformer([(StandardScaler(), ["feat"])]), label_column="label"
+        )
+    )
+    return frame, sink
+
+
+class TestChaosConfig:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            ChaosMonkey(error_rate=-0.1)
+        with pytest.raises(ValueError):
+            ChaosMonkey(error_rate=0.6, nan_rate=0.6)
+
+    def test_decisions_are_deterministic_and_order_independent(self):
+        a = ChaosMonkey(seed=3, error_rate=0.2)
+        b = ChaosMonkey(seed=3, error_rate=0.2)
+        ids = list(range(200))
+        assert [a.decide(1, i) for i in ids] == [b.decide(1, i) for i in reversed(ids)][::-1]
+        # Different seeds disagree somewhere.
+        c = ChaosMonkey(seed=4, error_rate=0.2)
+        assert [a.decide(1, i) for i in ids] != [c.decide(1, i) for i in ids]
+
+    def test_rates_approximately_respected(self):
+        monkey = ChaosMonkey(seed=0, error_rate=0.1)
+        decisions = [monkey.decide(0, rid) for rid in range(2000)]
+        fraction = sum(d == "error" for d in decisions) / len(decisions)
+        assert 0.07 < fraction < 0.13
+
+    def test_wrap_leaves_original_plan_untouched(self):
+        frame, sink = build_pipeline()
+        monkey = ChaosMonkey(seed=1, error_rate=0.5)
+        wrapped = monkey.wrap(sink)
+        assert wrapped is not sink and wrapped.plan is not sink.plan
+        # The original executes cleanly after wrapping.
+        result = execute(sink, {"t": frame}, fit=True)
+        assert result.n_rows > 0
+
+
+class TestChaosExecution:
+    def test_fail_fast_dies_robust_survives_with_ground_truth(self):
+        frame, sink = build_pipeline()
+        monkey = ChaosMonkey(seed=7, error_rate=0.08)
+        wrapped = monkey.wrap(sink)
+        with pytest.raises(ChaosError):
+            execute(wrapped, {"t": frame}, fit=True)
+
+        monkey.reset()
+        result = execute_robust(wrapped, {"t": frame})
+        faulted = monkey.triggered_row_ids(["error"])
+        assert len(faulted) >= 1
+        # Every quarantined row is attributed to exactly the injected faults.
+        assert set(result.quarantine.row_ids("t").tolist()) == faulted
+        # Survivors are the clean run minus the faulted rows.
+        clean = execute(sink, {"t": frame}, fit=True)
+        clean_ids = set(clean.provenance.source_row_ids("t").tolist())
+        survivor_ids = set(result.provenance.source_row_ids("t").tolist())
+        assert survivor_ids == clean_ids - faulted
+
+    def test_same_seed_reproduces_same_run(self):
+        results = []
+        for __ in range(2):
+            frame, sink = build_pipeline()
+            monkey = ChaosMonkey(seed=11, error_rate=0.1, type_rate=0.05)
+            outcome = execute_robust(monkey.wrap(sink), {"t": frame})
+            results.append(
+                (
+                    sorted(outcome.quarantine.row_ids("t").tolist()),
+                    outcome.X.copy(),
+                )
+            )
+        assert results[0][0] == results[1][0]
+        assert np.array_equal(results[0][1], results[1][1])
+
+    def test_nan_corruption_caught_at_encode_boundary(self):
+        frame, sink = build_pipeline()
+        monkey = ChaosMonkey(seed=5, nan_rate=0.1, target_kinds=("map",))
+        result = execute_robust(monkey.wrap(sink), {"t": frame})
+        corrupted = monkey.triggered_row_ids(["nan"])
+        assert len(corrupted) >= 1
+        assert set(result.quarantine.row_ids("t").tolist()) == corrupted
+        assert {r.reason for r in result.quarantine} == {"nonfinite"}
+        assert np.isfinite(result.X).all()
+
+    def test_type_corruption_caught_by_cell_guard(self):
+        frame, sink = build_pipeline()
+        monkey = ChaosMonkey(seed=6, type_rate=0.1, target_kinds=("map",))
+        result = execute_robust(monkey.wrap(sink), {"t": frame})
+        corrupted = monkey.triggered_row_ids(["type"])
+        assert len(corrupted) >= 1
+        assert set(result.quarantine.row_ids("t").tolist()) == corrupted
+        assert {r.reason for r in result.quarantine} == {"corrupt_type"}
+
+    def test_transient_faults_survive_with_retry(self):
+        frame, sink = build_pipeline()
+        monkey = ChaosMonkey(seed=9, transient_rate=0.1, target_kinds=("map",))
+        result = execute_robust(
+            monkey.wrap(sink), {"t": frame}, max_retries=2, backoff=0.001
+        )
+        assert len(monkey.triggered_row_ids(["transient"])) >= 1
+        # Retried rows are NOT lost: the run matches the clean one.
+        clean = execute(sink, {"t": frame}, fit=True)
+        assert len(result.quarantine) == 0
+        assert result.n_rows == clean.n_rows
+        assert np.allclose(result.X, clean.X)
+
+    def test_latency_faults_quarantined_by_timeout_guard(self):
+        frame, sink = build_pipeline(40)
+        monkey = ChaosMonkey(
+            seed=12, latency_rate=0.08, latency=0.15, target_kinds=("map",)
+        )
+        result = execute_robust(monkey.wrap(sink), {"t": frame}, timeout=0.05)
+        slow = monkey.triggered_row_ids(["latency"])
+        assert len(slow) >= 1
+        assert set(result.quarantine.row_ids("t").tolist()) == slow
+        assert {r.reason for r in result.quarantine} == {"timeout"}
+
+    def test_quarantine_feeds_error_report(self):
+        frame, sink = build_pipeline()
+        monkey = ChaosMonkey(seed=7, error_rate=0.08)
+        result = execute_robust(monkey.wrap(sink), {"t": frame})
+        report = result.quarantine.to_error_report("t")
+        assert report.kind == "quarantined"
+        assert set(report.row_ids.tolist()) == monkey.triggered_row_ids(["error"])
+        mask = report.affected_mask(frame.row_ids)
+        assert int(mask.sum()) == len(report.row_ids)

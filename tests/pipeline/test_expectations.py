@@ -89,6 +89,63 @@ class TestExpectations:
         assert issues[0].check == "expectation:complete"
 
 
+class TestEdgeCases:
+    """Untested failure modes: all-NaN columns, empty frames, zero-row schemas."""
+
+    @pytest.fixture()
+    def all_nan(self):
+        return DataFrame({"x": [float("nan")] * 4, "s": ["a", "b", "a", "b"]})
+
+    @pytest.fixture()
+    def empty(self):
+        return DataFrame(
+            {"x": np.asarray([], dtype=float), "s": np.asarray([], dtype=str)}
+        )
+
+    def test_all_nan_column_expectations(self, all_nan):
+        result = expect_complete("x").evaluate(all_nan)
+        assert not result.passed and result.observed == 0.0
+        # Range checks are vacuous over zero present values.
+        assert expect_in_range("x", 0.0, 1.0).evaluate(all_nan).passed
+        # A NaN mean is a failure, not a crash.
+        mean_result = expect_column_mean_between("x", 0.0, 1.0).evaluate(all_nan)
+        assert not mean_result.passed
+        assert np.isnan(mean_result.observed)
+
+    def test_all_nan_schema_roundtrip(self, all_nan):
+        schema = infer_schema(all_nan)
+        assert schema.columns["x"].completeness == 0.0
+        assert schema.columns["x"].minimum is None
+        assert schema.columns["x"].maximum is None
+        assert validate_schema(all_nan, schema).passed
+
+    def test_empty_frame_expectations(self, empty):
+        report = run_expectations(
+            empty,
+            [
+                expect_complete("x"),
+                expect_unique("x"),
+                expect_in_range("x", 0.0, 1.0),
+                expect_in_set("s", ["a"]),
+                expect_matches("s", r"[a-z]+"),
+            ],
+        )
+        assert report.passed
+        assert "PASS" in report.render()
+        # Statistics over zero rows fail cleanly instead of crashing.
+        assert not expect_column_mean_between("x", 0.0, 1.0).evaluate(empty).passed
+
+    def test_zero_row_schema_inference_is_unconstraining(self, empty):
+        schema = infer_schema(empty)
+        # No evidence => no domain / range constraints.
+        assert schema.columns["s"].categories is None
+        assert schema.columns["x"].minimum is None
+        assert validate_schema(empty, schema).passed
+        # A later non-empty batch must not be rejected by an empty schema.
+        batch = DataFrame({"x": [0.25, 0.75], "s": ["a", "b"]})
+        assert validate_schema(batch, schema).passed
+
+
 class TestSchemaInference:
     @pytest.fixture(scope="class")
     def letters(self):

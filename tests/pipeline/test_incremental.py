@@ -65,6 +65,40 @@ class TestIncrementalAppend:
         with pytest.raises(ValueError):
             incremental_append(base, {"train_df": delta})
 
+    def test_empty_delta_is_noop(self, hiring_data, split_scenario):
+        """Regression: an empty delta used to crash with a vstack shape error."""
+        __, initial, delta = split_scenario
+        __, sink = build_letters_pipeline()
+        side = {
+            "jobdetail_df": hiring_data["jobdetail"],
+            "social_df": hiring_data["social"],
+        }
+        base = execute(sink, {"train_df": initial, **side}, fit=True)
+        empty = delta.take(np.arange(0))
+        incremented = incremental_append(base, {"train_df": empty, **side})
+        assert incremented.n_rows == base.n_rows
+        assert np.array_equal(incremented.X, base.X)
+        assert np.array_equal(incremented.y, base.y)
+        assert incremented.provenance.tuples == base.provenance.tuples
+
+    def test_delta_filtered_to_zero_rows_is_noop(self, hiring_data, split_scenario):
+        """A non-empty delta whose rows are all filtered away is also a no-op."""
+        __, initial, delta = split_scenario
+        plan, sink = build_letters_pipeline(sector="healthcare")
+        side = {
+            "jobdetail_df": hiring_data["jobdetail"],
+            "social_df": hiring_data["social"],
+        }
+        base = execute(sink, {"train_df": initial, **side}, fit=True)
+        # Keep only delta rows whose joined sector is NOT healthcare.
+        joined = delta.join(hiring_data["jobdetail"], on="job_id")
+        mask = ~np.asarray(joined["sector"] == "healthcare", dtype=bool)
+        doomed = delta.filter(mask)
+        assert doomed.num_rows > 0
+        incremented = incremental_append(base, {"train_df": doomed, **side})
+        assert incremented.n_rows == base.n_rows
+        assert np.array_equal(incremented.X, base.X)
+
     def test_provenance_extended(self, hiring_data, split_scenario):
         __, initial, delta = split_scenario
         __, sink = build_letters_pipeline()

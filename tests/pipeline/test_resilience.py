@@ -1,0 +1,342 @@
+"""Tests for fault-tolerant pipeline execution (policies + quarantine)."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame
+from repro.learn import ColumnTransformer, StandardScaler
+from repro.pipeline import (
+    ErrorPolicy,
+    ExecutionPolicy,
+    OperatorError,
+    OperatorTimeoutError,
+    PipelinePlan,
+    Quarantine,
+    TransientError,
+    execute,
+    execute_robust,
+)
+from repro.pipeline.resilience import (
+    call_with_timeout,
+    deviant_cell_positions,
+    retry_call,
+)
+from tests.pipeline.conftest import build_letters_pipeline
+
+
+def small_frame(n: int = 10) -> DataFrame:
+    return DataFrame(
+        {
+            "value": np.linspace(0.0, 1.0, n),
+            "label": ["pos" if i % 2 else "neg" for i in range(n)],
+        }
+    )
+
+
+def encoded_pipeline(func, description="udf"):
+    plan = PipelinePlan()
+    sink = (
+        plan.source("t")
+        .with_column("feat", func, description)
+        .encode(
+            ColumnTransformer([(StandardScaler(), ["feat"])]), label_column="label"
+        )
+    )
+    return plan, sink
+
+
+def brittle_udf(df):
+    """Doubles ``value`` but refuses rows with value > 0.75."""
+    values = df["value"].to_numpy()
+    if np.any(values > 0.75):
+        raise ValueError("cannot process large values")
+    return values * 2.0
+
+
+class TestErrorPolicy:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            ErrorPolicy(on_error="explode")
+        with pytest.raises(ValueError):
+            ErrorPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            ErrorPolicy(timeout=0.0)
+
+    def test_constructors(self):
+        assert ErrorPolicy.fail_fast().is_fail_fast
+        assert not ErrorPolicy.skip().is_fail_fast
+        sub = ErrorPolicy.substitute(42)
+        assert sub.keeps_row_on_error and sub.default == 42
+
+    def test_resolution_precedence(self):
+        plan = PipelinePlan()
+        node = plan.source("t").filter(lambda df: df["value"] > 0, "positive")
+        policy = ExecutionPolicy(
+            default=ErrorPolicy.fail_fast(),
+            per_kind={"filter": ErrorPolicy.skip()},
+            per_node={node.id: ErrorPolicy.substitute(True)},
+        )
+        assert policy.resolve(node).on_error == "substitute_default"
+        del policy.per_node[node.id]
+        assert policy.resolve(node).on_error == "skip_and_quarantine"
+        del policy.per_kind["filter"]
+        assert policy.resolve(node).is_fail_fast
+
+
+class TestGuards:
+    def test_retry_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientError("flaky")
+            return "done"
+
+        delays = []
+        policy = ErrorPolicy.skip(max_retries=2, backoff=0.1, backoff_factor=2.0)
+        value, attempts = retry_call(flaky, policy, sleep=delays.append)
+        assert value == "done"
+        assert attempts == 3
+        assert delays == [0.1, 0.2]
+
+    def test_retry_budget_exhausted_reraises(self):
+        policy = ErrorPolicy.skip(max_retries=1, backoff=0.0)
+        with pytest.raises(TransientError):
+            retry_call(lambda: (_ for _ in ()).throw(TransientError("x")), policy,
+                       sleep=lambda _: None)
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("hard")
+
+        policy = ErrorPolicy.skip(max_retries=5, backoff=0.0)
+        with pytest.raises(ValueError):
+            retry_call(broken, policy, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_timeout_guard(self):
+        import time
+
+        with pytest.raises(OperatorTimeoutError):
+            call_with_timeout(lambda: time.sleep(0.5), timeout=0.05)
+        assert call_with_timeout(lambda: 7, timeout=1.0) == 7
+        with pytest.raises(KeyError):
+            call_with_timeout(lambda: {}["missing"], timeout=1.0)
+
+
+class TestTypeGuard:
+    def test_deviant_minority_cells_flagged(self):
+        cells = [1.0, 2.0, "#CORRUPT#", 3.0, None, 4.0]
+        assert deviant_cell_positions(cells).tolist() == [2]
+
+    def test_uniform_and_empty_columns_pass(self):
+        assert deviant_cell_positions([]).size == 0
+        assert deviant_cell_positions([1.0, 2.0, None]).size == 0
+        assert deviant_cell_positions(["a", "b"]).size == 0
+
+
+class TestQuarantine:
+    def test_records_and_queries(self):
+        plan = PipelinePlan()
+        node = plan.source("t").with_column("c", lambda df: df["a"], "c")
+        quarantine = Quarantine()
+        quarantine.add(node, "error", ValueError("bad"), frozenset({("t", 3)}))
+        quarantine.add(node, "timeout", None, frozenset({("t", 5), ("side", 1)}))
+        assert len(quarantine) == 2 and bool(quarantine)
+        assert quarantine.sources() == {"t", "side"}
+        assert quarantine.row_ids("t").tolist() == [3, 5]
+        assert quarantine.row_ids("side").tolist() == [1]
+        assert quarantine.by_reason() == {"error": 1, "timeout": 1}
+        assert node.id in quarantine.by_node()
+        assert "2 rows" in quarantine.summary()
+
+    def test_to_error_report(self):
+        plan = PipelinePlan()
+        node = plan.source("t").with_column("c", lambda df: df["a"], "c")
+        quarantine = Quarantine()
+        quarantine.add(node, "error", ValueError("bad"), frozenset({("t", 7)}))
+        report = quarantine.to_error_report("t")
+        assert report.kind == "quarantined"
+        assert report.row_ids.tolist() == [7]
+        assert report.affected_mask(np.asarray([6, 7, 8])).tolist() == [
+            False, True, False,
+        ]
+
+    def test_merge(self):
+        merged = Quarantine.merge([Quarantine(), Quarantine()])
+        assert len(merged) == 0
+        assert merged.summary() == "quarantine: empty"
+
+
+class TestMapPolicies:
+    def test_fail_fast_raises(self):
+        __, sink = encoded_pipeline(brittle_udf)
+        with pytest.raises(ValueError):
+            execute(sink, {"t": small_frame()}, fit=True)
+
+    def test_skip_quarantines_only_bad_rows(self):
+        frame = small_frame(10)
+        __, sink = encoded_pipeline(brittle_udf)
+        result = execute_robust(sink, {"t": frame})
+        bad = frame.row_ids[frame["value"].to_numpy() > 0.75]
+        assert result.quarantine.row_ids("t").tolist() == sorted(bad.tolist())
+        assert result.n_rows == frame.num_rows - len(bad)
+        survivors = result.provenance.source_row_ids("t")
+        assert not set(survivors.tolist()) & set(bad.tolist())
+        # Surviving rows carry the correct UDF output.
+        expected = frame["value"].to_numpy()[frame["value"].to_numpy() <= 0.75] * 2.0
+        assert np.allclose(np.sort(result.frame["feat"].to_numpy()), np.sort(expected))
+
+    def test_substitute_default_keeps_rows(self):
+        frame = small_frame(10)
+        __, sink = encoded_pipeline(brittle_udf)
+        policy = ExecutionPolicy(default=ErrorPolicy.substitute(0.0))
+        result = execute(sink, {"t": frame}, policy=policy)
+        assert result.n_rows == frame.num_rows
+        bad = frame.row_ids[frame["value"].to_numpy() > 0.75]
+        assert result.quarantine.row_ids("t").tolist() == sorted(bad.tolist())
+        assert all(r.substituted for r in result.quarantine)
+        positions = result.frame.positions_of(bad.tolist())
+        assert np.allclose(result.frame["feat"].to_numpy()[positions], 0.0)
+
+    def test_type_guard_quarantines_corrupt_cells(self):
+        frame = small_frame(8)
+
+        def corrupting(df):
+            cells = list(df["value"].to_numpy() * 2.0)
+            out = []
+            for rid, cell in zip(df.row_ids.tolist(), cells):
+                out.append("#CORRUPT#" if rid == 2 else cell)
+            return out
+
+        __, sink = encoded_pipeline(corrupting)
+        result = execute_robust(sink, {"t": frame})
+        assert result.quarantine.row_ids("t").tolist() == [2]
+        assert result.quarantine.records[0].reason == "corrupt_type"
+        assert result.n_rows == frame.num_rows - 1
+
+
+class TestFilterPolicies:
+    @staticmethod
+    def brittle_predicate(df):
+        values = df["value"].to_numpy()
+        if np.any(values > 0.75):
+            raise ValueError("cannot compare large values")
+        return values >= 0.25
+
+    def test_skip_drops_bad_rows(self):
+        frame = small_frame(10)
+        plan = PipelinePlan()
+        sink = plan.source("t").filter(self.brittle_predicate, "brittle")
+        result = execute_robust(sink, {"t": frame})
+        values = frame["value"].to_numpy()
+        bad = frame.row_ids[values > 0.75]
+        expected_survivors = frame.row_ids[(values >= 0.25) & (values <= 0.75)]
+        assert result.quarantine.row_ids("t").tolist() == sorted(bad.tolist())
+        assert sorted(result.frame.row_ids.tolist()) == sorted(
+            expected_survivors.tolist()
+        )
+
+    def test_substitute_true_keeps_bad_rows(self):
+        frame = small_frame(10)
+        plan = PipelinePlan()
+        sink = plan.source("t").filter(self.brittle_predicate, "brittle")
+        policy = ExecutionPolicy(default=ErrorPolicy.substitute(True))
+        result = execute(sink, {"t": frame}, policy=policy)
+        values = frame["value"].to_numpy()
+        expected = frame.row_ids[(values >= 0.25) | (values > 0.75)]
+        assert sorted(result.frame.row_ids.tolist()) == sorted(expected.tolist())
+
+
+class TestJoinPolicies:
+    def test_poisonous_key_quarantined_row_wise(self, monkeypatch):
+        left = DataFrame({"k": [1, 2, 3, 4], "a": [10, 20, 30, 40]})
+        right = DataFrame({"k": [1, 2, 3, 4], "b": [5, 6, 7, 8]})
+        poison_id = 2
+        original_join = DataFrame.join
+
+        def poisoned_join(self, other, **kwargs):
+            if poison_id in set(self.row_ids.tolist()):
+                raise RuntimeError("poisonous join key")
+            return original_join(self, other, **kwargs)
+
+        monkeypatch.setattr(DataFrame, "join", poisoned_join)
+        plan = PipelinePlan()
+        sink = plan.source("left").join(plan.source("right"), on="k", how="inner")
+        with pytest.raises(RuntimeError):
+            execute(sink, {"left": left, "right": right})
+        result = execute_robust(sink, {"left": left, "right": right})
+        assert result.quarantine.row_ids("left").tolist() == [poison_id]
+        assert sorted(result.frame.row_ids.tolist()) == [0, 1, 3]
+        # Joined provenance still carries both sides for the survivors.
+        assert all(len(row) == 2 for row in result.provenance.tuples)
+
+
+class TestEncodeGuards:
+    def test_missing_labels_quarantined(self):
+        frame = DataFrame(
+            {
+                "value": [0.1, 0.2, 0.3, 0.4],
+                "label": ["pos", None, "neg", None],
+            }
+        )
+        __, sink = encoded_pipeline(lambda df: df["value"] * 1.0)
+        result = execute_robust(sink, {"t": frame})
+        assert result.quarantine.row_ids("t").tolist() == [1, 3]
+        assert {r.reason for r in result.quarantine} == {"missing_label"}
+        assert result.n_rows == 2
+        assert set(result.y.tolist()) == {"pos", "neg"}
+
+    def test_nonfinite_features_quarantined(self):
+        frame = small_frame(6)
+
+        def nan_udf(df):
+            values = df["value"].to_numpy() * 2.0
+            values[df.row_ids == 4] = np.nan
+            return values
+
+        __, sink = encoded_pipeline(nan_udf)
+        result = execute_robust(sink, {"t": frame})
+        assert result.quarantine.row_ids("t").tolist() == [4]
+        assert {r.reason for r in result.quarantine} == {"nonfinite"}
+        assert np.isfinite(result.X).all()
+
+
+class TestFailFastEquivalence:
+    def test_policyless_and_fail_fast_policy_match_on_clean_data(
+        self, hiring_data, sources
+    ):
+        __, sink_a = build_letters_pipeline()
+        baseline = execute(sink_a, sources, fit=True)
+        __, sink_b = build_letters_pipeline()
+        strict = execute(
+            sink_b, sources, fit=True,
+            policy=ExecutionPolicy(default=ErrorPolicy.fail_fast()),
+        )
+        __, sink_c = build_letters_pipeline()
+        robust = execute_robust(sink_c, sources)
+        for other in (strict, robust):
+            assert np.array_equal(baseline.X, other.X)
+            assert np.array_equal(baseline.y, other.y)
+            assert baseline.frame.equals(other.frame)
+            assert baseline.provenance.tuples == other.provenance.tuples
+        assert len(robust.quarantine) == 0
+
+    def test_execute_robust_rejects_policy_plus_overrides(self, sources):
+        __, sink = build_letters_pipeline()
+        with pytest.raises(TypeError):
+            execute_robust(
+                sink, sources, policy=ExecutionPolicy.robust(), max_retries=3
+            )
+
+    def test_unencoded_sink_carries_quarantine(self):
+        frame = small_frame(6)
+        plan = PipelinePlan()
+        sink = plan.source("t").with_column("feat", brittle_udf, "brittle")
+        result = execute_robust(sink, {"t": frame})
+        assert result.X is None
+        assert len(result.quarantine) > 0
