@@ -12,13 +12,28 @@ reports, as the training-set size grows:
 Shapes to reproduce: the wall-clock gap between LOO and the closed-form
 methods widens with n; TMC's retraining count grows *sub-linearly* (the
 truncation savings grow with n).
+
+The second experiment (T-engine) exercises the shared valuation engine's
+two cost levers on the same MC-Shapley workload: process fan-out
+(``n_workers``) and subset memoization (a warm cache turns repeat
+valuations into pure lookups). All engine configurations produce
+bit-identical values by construction; only the wall-clock and the
+evaluation accounting change.
+
+Sizes are env-tunable so CI can smoke-test the bench in seconds:
+``REPRO_BENCH_SIZES=30,60`` and ``REPRO_BENCH_ENGINE_N=24``
+``REPRO_BENCH_ENGINE_PERMS=4``.
 """
 
+import os
 import time
+
+import numpy as np
 
 from repro.datasets import make_classification
 from repro.importance import (
     Utility,
+    ValuationEngine,
     influence_importance,
     knn_shapley,
     loo_importance,
@@ -27,9 +42,24 @@ from repro.importance import (
 from repro.learn import LogisticRegression
 from repro.viz import format_records
 
-SIZES = [50, 100, 200, 400]
+
+def _env_sizes(name: str, default: list[int]) -> list[int]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+SIZES = _env_sizes("REPRO_BENCH_SIZES", [50, 100, 200, 400])
+# Env-overridden sizes mean a smoke run (CI): keep the exact invariants but
+# skip the scaling-shape assertions, which only hold at real sizes.
+SMOKE = bool(os.environ.get("REPRO_BENCH_SIZES", "").strip())
 N_VALID = 50
 MC_PERMUTATIONS = 3
+
+ENGINE_N = int(os.environ.get("REPRO_BENCH_ENGINE_N", "80"))
+ENGINE_PERMUTATIONS = int(os.environ.get("REPRO_BENCH_ENGINE_PERMS", "8"))
+ENGINE_WORKERS = 4
 
 
 def time_methods(n: int) -> dict:
@@ -76,15 +106,18 @@ def run_scaling() -> list[dict]:
 
 def test_scalability(benchmark, write_report):
     rows = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
-    write_report("scalability", format_records(rows))
+    write_report("scalability", format_records(rows), records=rows)
 
     for row in rows:
-        # Closed-form methods are much cheaper than n+1 retrainings.
-        assert row["knn_shapley_s"] < row["loo_s"]
-        assert row["influence_s"] < row["loo_s"]
         # LOO cost is exactly n + 1 utility evaluations.
         assert row["loo_retrainings"] == row["n_train"] + 1
+        if not SMOKE:
+            # Closed-form methods are much cheaper than n+1 retrainings.
+            assert row["knn_shapley_s"] < row["loo_s"]
+            assert row["influence_s"] < row["loo_s"]
 
+    if SMOKE:
+        return
     first, last = rows[0], rows[-1]
     # The absolute wall-clock gap between LOO and KNN-Shapley widens with n.
     assert (last["loo_s"] - last["knn_shapley_s"]) > (
@@ -93,3 +126,112 @@ def test_scalability(benchmark, write_report):
     # Truncation savings grow with n (the utility saturates earlier,
     # relatively speaking).
     assert last["tmc_savings"] >= first["tmc_savings"]
+
+
+# --------------------------------------------------------------------- #
+# T-engine: fan-out and memoization on the shared valuation engine      #
+# --------------------------------------------------------------------- #
+
+
+def _engine_task():
+    X, y = make_classification(n=ENGINE_N + N_VALID, n_features=4, seed=1)
+    return Utility(
+        LogisticRegression(max_iter=30),
+        X[:ENGINE_N], y[:ENGINE_N], X[ENGINE_N:], y[ENGINE_N:],
+    )
+
+
+def _timed_run(engine, label: str) -> dict:
+    start = time.perf_counter()
+    result = shapley_mc(
+        None, n_permutations=ENGINE_PERMUTATIONS, seed=0, engine=engine
+    )
+    elapsed = time.perf_counter() - start
+    cache = result.extras["cache"]
+    return {
+        "config": label,
+        "wall_s": round(elapsed, 4),
+        "n_evaluations": result.extras["n_evaluations"],
+        "cache_hits": cache["hits"],
+        "cache_hit_rate": round(cache["hit_rate"], 4),
+        "values": result.values,
+        "_elapsed": elapsed,
+    }
+
+
+def run_engine_sweep() -> list[dict]:
+    serial = _timed_run(ValuationEngine(_engine_task(), n_workers=1), "serial_cold")
+    fanned_engine = ValuationEngine(_engine_task(), n_workers=ENGINE_WORKERS)
+    fanned = _timed_run(fanned_engine, f"parallel{ENGINE_WORKERS}_cold")
+    # Same engine again: every subset the permutation scan needs is cached.
+    warm = _timed_run(fanned_engine, f"parallel{ENGINE_WORKERS}_warm")
+
+    # A convergence-stopped run on a fresh engine, for the stopping column.
+    converged_engine = ValuationEngine(_engine_task(), n_workers=1)
+    start = time.perf_counter()
+    converged = shapley_mc(
+        None,
+        n_permutations=ENGINE_PERMUTATIONS * 8,
+        seed=0,
+        convergence_tolerance=0.05,
+        check_every=ENGINE_PERMUTATIONS,
+        engine=converged_engine,
+    )
+    rows = [serial, fanned, warm]
+    rows.append(
+        {
+            "config": "serial_converged",
+            "wall_s": round(time.perf_counter() - start, 4),
+            "n_evaluations": converged.extras["n_evaluations"],
+            "cache_hits": converged.extras["cache"]["hits"],
+            "cache_hit_rate": round(converged.extras["cache"]["hit_rate"], 4),
+            "values": converged.values,
+            "_elapsed": 0.0,
+            "stopped_early": converged.extras["stopped_early"],
+            "n_permutations_run": converged.extras["n_permutations_run"],
+        }
+    )
+    return rows
+
+
+def test_engine_speedup(benchmark, write_report):
+    rows = benchmark.pedantic(run_engine_sweep, rounds=1, iterations=1)
+    serial, fanned, warm, converged = rows
+
+    # Determinism across every configuration: bit-identical values.
+    assert np.array_equal(serial["values"], fanned["values"])
+    assert np.array_equal(serial["values"], warm["values"])
+
+    speedups = {
+        "fanout_speedup": serial["_elapsed"] / max(fanned["_elapsed"], 1e-9),
+        "warm_cache_speedup": serial["_elapsed"] / max(warm["_elapsed"], 1e-9),
+    }
+    report_rows = []
+    for row in rows:
+        cleaned = {
+            k: v for k, v in row.items() if k not in ("values", "_elapsed")
+        }
+        report_rows.append(cleaned)
+    summary = dict(
+        speedups,
+        n_train=ENGINE_N,
+        n_permutations=ENGINE_PERMUTATIONS,
+        n_workers=ENGINE_WORKERS,
+        identical_values=True,
+    )
+    text = format_records(report_rows) + "\n" + format_records([summary])
+    write_report(
+        "engine_speedup", text, records={"runs": report_rows, "summary": summary}
+    )
+
+    # Cold runs must actually retrain; the warm run must be almost pure
+    # cache traffic — zero new model fits and a (near-)unity hit rate.
+    assert serial["cache_hit_rate"] < 1.0
+    assert warm["cache_hit_rate"] > 0.0
+    assert warm["n_evaluations"] == fanned["n_evaluations"]  # no new fits
+    # Memoization at n_workers=4 beats the cold serial path ≥ 2×. (Fan-out
+    # speedup is reported, not asserted: it depends on available cores.)
+    assert speedups["warm_cache_speedup"] >= 2.0
+    # Convergence stopping must spend fewer evaluations than its budget
+    # (8× the base permutation count) would imply.
+    assert converged["n_permutations_run"] <= ENGINE_PERMUTATIONS * 8

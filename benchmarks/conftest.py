@@ -2,16 +2,37 @@
 
 Every bench writes its rendered report (the paper-style table or figure) to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference concrete
-numbers from the last run.
+numbers from the last run. Benches that pass ``records=`` additionally get
+a machine-readable ``benchmarks/results/<name>.json`` so downstream tooling
+(CI trend tracking, plots) never has to re-parse the rendered tables.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays so json.dump accepts them."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
 
 
 @pytest.fixture(scope="session")
@@ -22,8 +43,12 @@ def results_dir() -> Path:
 
 @pytest.fixture()
 def write_report(results_dir):
-    def writer(name: str, text: str) -> None:
+    def writer(name: str, text: str, records=None) -> None:
         (results_dir / f"{name}.txt").write_text(text + "\n")
+        if records is not None:
+            (results_dir / f"{name}.json").write_text(
+                json.dumps(_jsonable(records), indent=2, sort_keys=True) + "\n"
+            )
         print(f"\n=== {name} ===\n{text}")
 
     return writer

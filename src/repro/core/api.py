@@ -30,7 +30,12 @@ from ..errors import inject_label_errors
 from ..frame import DataFrame
 from ..learn.base import Estimator, clone
 from ..learn.models.logistic import LogisticRegression
+from ..importance.banzhaf import banzhaf_mc
+from ..importance.beta_shapley import beta_shapley_mc
+from ..importance.engine import DEFAULT_CACHE_SIZE, ValuationEngine
 from ..importance.knn_shapley import knn_shapley
+from ..importance.shapley import shapley_mc
+from ..importance.utility import Utility
 from ..pipeline.datascope import SourceImportance, datascope_importance
 from ..pipeline.execute import PipelineResult, execute
 from ..pipeline.execute import execute_robust as _execute_robust
@@ -50,6 +55,10 @@ __all__ = [
     "default_featurize",
     "evaluate_model",
     "knn_shapley_values",
+    "shapley_values",
+    "banzhaf_values",
+    "beta_shapley_values",
+    "valuation_engine",
     "pretty_print",
     "show_query_plan",
     "with_provenance",
@@ -111,16 +120,154 @@ def knn_shapley_values(
     validation: DataFrame,
     label_column: str = "sentiment",
     k: int = 5,
+    block_size: int = 1024,
 ) -> np.ndarray:
-    """Per-training-row KNN-Shapley importance (Figure 2's core call)."""
+    """Per-training-row KNN-Shapley importance (Figure 2's core call).
+
+    ``block_size`` streams the train×valid distance matrix in fixed-size
+    slabs, so memory stays bounded for large validation sets.
+    """
     values = knn_shapley(
         default_featurize(train_df),
         np.asarray(train_df.column(label_column).to_list()),
         default_featurize(validation),
         np.asarray(validation.column(label_column).to_list()),
         k=k,
+        block_size=block_size,
     )
     return values.values
+
+
+def valuation_engine(
+    train_df: DataFrame,
+    validation: DataFrame,
+    label_column: str = "sentiment",
+    model: Estimator | None = None,
+    n_workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+) -> ValuationEngine:
+    """A shared Monte-Carlo valuation engine over the scenario featurisation.
+
+    Pass the returned engine to :func:`shapley_values`,
+    :func:`banzhaf_values`, or :func:`beta_shapley_values` to amortize one
+    subset-utility memo (and one worker pool configuration) across several
+    estimator calls::
+
+        engine = nde.valuation_engine(train_df_err, valid_df, n_workers=4)
+        shap = nde.shapley_values(train_df_err, valid_df, engine=engine)
+        banz = nde.banzhaf_values(train_df_err, valid_df, engine=engine)
+        engine.cache.stats()   # hits / misses / evictions / hit_rate
+    """
+    model = model if model is not None else LogisticRegression(max_iter=100)
+    return ValuationEngine(
+        Utility(
+            model,
+            default_featurize(train_df),
+            np.asarray(train_df.column(label_column).to_list()),
+            default_featurize(validation),
+            np.asarray(validation.column(label_column).to_list()),
+        ),
+        n_workers=n_workers,
+        cache_size=cache_size,
+    )
+
+
+def shapley_values(
+    train_df: DataFrame,
+    validation: DataFrame,
+    label_column: str = "sentiment",
+    n_permutations: int = 50,
+    truncation_tolerance: float = 0.0,
+    convergence_tolerance: float | None = None,
+    check_every: int = 10,
+    antithetic: bool = False,
+    seed: int = 0,
+    n_workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    model: Estimator | None = None,
+    engine: ValuationEngine | None = None,
+) -> np.ndarray:
+    """Per-training-row Monte-Carlo (TMC) Shapley importance.
+
+    The retraining-based sibling of :func:`knn_shapley_values`, run on the
+    shared valuation engine: ``n_workers`` fans permutations out over
+    processes (the values do not depend on the worker count),
+    ``cache_size`` bounds the subset-utility memo, and
+    ``convergence_tolerance`` stops sampling once every point's standard
+    error is below it.
+    """
+    if engine is None:
+        engine = valuation_engine(
+            train_df, validation, label_column=label_column, model=model,
+            n_workers=n_workers, cache_size=cache_size,
+        )
+    result = shapley_mc(
+        None,
+        n_permutations=n_permutations,
+        truncation_tolerance=truncation_tolerance,
+        convergence_tolerance=convergence_tolerance,
+        check_every=check_every,
+        antithetic=antithetic,
+        seed=seed,
+        engine=engine,
+    )
+    return result.values
+
+
+def banzhaf_values(
+    train_df: DataFrame,
+    validation: DataFrame,
+    label_column: str = "sentiment",
+    n_samples: int = 100,
+    seed: int = 0,
+    n_workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    model: Estimator | None = None,
+    engine: ValuationEngine | None = None,
+) -> np.ndarray:
+    """Per-training-row Banzhaf importance (MSR estimator) on the engine."""
+    if engine is None:
+        engine = valuation_engine(
+            train_df, validation, label_column=label_column, model=model,
+            n_workers=n_workers, cache_size=cache_size,
+        )
+    return banzhaf_mc(None, n_samples=n_samples, seed=seed, engine=engine).values
+
+
+def beta_shapley_values(
+    train_df: DataFrame,
+    validation: DataFrame,
+    label_column: str = "sentiment",
+    alpha: float = 1.0,
+    beta: float = 16.0,
+    n_permutations: int = 50,
+    convergence_tolerance: float | None = None,
+    check_every: int = 10,
+    antithetic: bool = False,
+    seed: int = 0,
+    n_workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    model: Estimator | None = None,
+    engine: ValuationEngine | None = None,
+) -> np.ndarray:
+    """Per-training-row Beta(α, β)-Shapley importance on the engine."""
+    if engine is None:
+        engine = valuation_engine(
+            train_df, validation, label_column=label_column, model=model,
+            n_workers=n_workers, cache_size=cache_size,
+        )
+    result = beta_shapley_mc(
+        None,
+        alpha=alpha,
+        beta=beta,
+        n_permutations=n_permutations,
+        convergence_tolerance=convergence_tolerance,
+        check_every=check_every,
+        antithetic=antithetic,
+        seed=seed,
+        engine=engine,
+    )
+    return result.values
 
 
 def with_provenance(
@@ -168,12 +315,31 @@ def datascope(
     validation_result: PipelineResult,
     source: str | None = None,
     k: int = 5,
+    method: str = "knn",
+    n_workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    **method_options: Any,
 ) -> SourceImportance:
-    """Shapley importance over the pipeline's source tuples (Figure 3)."""
+    """Shapley importance over the pipeline's source tuples (Figure 3).
+
+    ``method="knn"`` (default) is the exact polynomial-time KNN proxy;
+    ``method="shapley_mc"`` retrains the real downstream model on the
+    shared valuation engine with ``n_workers``-way fan-out (extra options
+    like ``n_permutations``/``convergence_tolerance``/``model`` pass
+    through to :func:`repro.pipeline.datascope.datascope_importance`).
+    """
     if validation_result.X is None:
         raise TypeError("validation pipeline result has no encoded output")
     return datascope_importance(
-        train_result, validation_result.X, validation_result.y, source=source, k=k
+        train_result,
+        validation_result.X,
+        validation_result.y,
+        source=source,
+        k=k,
+        method=method,
+        n_workers=n_workers,
+        cache_size=cache_size,
+        **method_options,
     )
 
 

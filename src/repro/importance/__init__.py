@@ -30,6 +30,13 @@ from .banzhaf import banzhaf_mc
 from .base import ImportanceResult
 from .beta_shapley import beta_shapley_mc, beta_weights
 from .confident import confident_learning, out_of_sample_probabilities
+from .engine import (
+    DEFAULT_CACHE_SIZE,
+    PermutationRun,
+    SubsetCache,
+    ValuationEngine,
+    parallel_map,
+)
 from .gopher import FairnessExplanation, Predicate, gopher_explanations
 from .influence import influence_importance, per_sample_gradients, tracin_importance
 from .knn_shapley import knn_shapley, knn_shapley_brute_force, knn_utility
@@ -42,6 +49,11 @@ __all__ = [
     "ImportanceResult",
     "AmortizedImportance",
     "amortized_shapley",
+    "DEFAULT_CACHE_SIZE",
+    "PermutationRun",
+    "SubsetCache",
+    "ValuationEngine",
+    "parallel_map",
     "RetrievalCorpus",
     "rag_importance",
     "Utility",

@@ -68,6 +68,8 @@ def amortized_shapley(
     n_permutations: int = 10,
     alpha: float = 1.0,
     seed: int = 0,
+    n_workers: int = 1,
+    engine: Any | None = None,
 ) -> ImportanceResult:
     """Estimate Shapley importance for *all* points from MC labels on a few.
 
@@ -85,7 +87,10 @@ def amortized_shapley(
     n = utility.n_train
     n_labelled = min(n_labelled, n)
 
-    mc = shapley_mc(utility, n_permutations=n_permutations, seed=seed)
+    mc = shapley_mc(
+        utility, n_permutations=n_permutations, seed=seed,
+        n_workers=n_workers, engine=engine,
+    )
     labelled = rng.choice(n, size=n_labelled, replace=False)
 
     model = AmortizedImportance(alpha=alpha)

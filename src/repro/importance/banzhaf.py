@@ -11,13 +11,19 @@ from __future__ import annotations
 import numpy as np
 
 from .base import ImportanceResult
+from .engine import DEFAULT_CACHE_SIZE, ValuationEngine
 from .utility import Utility
 
 __all__ = ["banzhaf_mc"]
 
 
 def banzhaf_mc(
-    utility: Utility, n_samples: int = 200, seed: int = 0
+    utility: Utility | None,
+    n_samples: int = 200,
+    seed: int = 0,
+    n_workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    engine: ValuationEngine | None = None,
 ) -> ImportanceResult:
     """Maximum-sample-reuse Monte-Carlo Banzhaf estimator.
 
@@ -25,15 +31,24 @@ def banzhaf_mc(
     reuses *every* sample for *every* point: φ_i is estimated as the mean
     utility of sampled subsets containing i minus the mean utility of those
     not containing i (the MSR estimator of Wang & Jia).
+
+    Subset evaluations run on the shared valuation engine: duplicate
+    subsets (and subsets already seen by other estimators sharing the
+    ``engine``) are answered from the memo, and cache misses fan out over
+    ``n_workers`` processes. Values are independent of ``n_workers``.
     """
     if n_samples < 2:
         raise ValueError("n_samples must be >= 2")
+    if engine is None:
+        if utility is None:
+            raise ValueError("either utility or engine must be provided")
+        engine = ValuationEngine(utility, n_workers=n_workers, cache_size=cache_size)
     rng = np.random.default_rng(seed)
-    n = utility.n_train
+    n = engine.n_train
     membership = rng.random((n_samples, n)) < 0.5
-    scores = np.empty(n_samples)
-    for s in range(n_samples):
-        scores[s] = utility.evaluate(np.flatnonzero(membership[s]))
+    scores = engine.evaluate_many(
+        [np.flatnonzero(membership[s]) for s in range(n_samples)]
+    )
     values = np.zeros(n)
     for i in range(n):
         with_i = membership[:, i]
@@ -45,5 +60,5 @@ def banzhaf_mc(
     return ImportanceResult(
         method="banzhaf_mc",
         values=values,
-        extras={"n_samples": n_samples},
+        extras={"n_samples": n_samples, **engine.stats()},
     )

@@ -14,6 +14,7 @@ from math import lgamma
 import numpy as np
 
 from .base import ImportanceResult
+from .engine import DEFAULT_CACHE_SIZE, ValuationEngine
 from .utility import Utility
 
 __all__ = ["beta_shapley_mc", "beta_weights"]
@@ -48,11 +49,18 @@ def beta_weights(n: int, alpha: float = 1.0, beta: float = 16.0) -> np.ndarray:
 
 
 def beta_shapley_mc(
-    utility: Utility,
+    utility: Utility | None,
     alpha: float = 1.0,
     beta: float = 16.0,
     n_permutations: int = 100,
     seed: int = 0,
+    n_workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    truncation_tolerance: float = 0.0,
+    convergence_tolerance: float | None = None,
+    check_every: int = 10,
+    antithetic: bool = False,
+    engine: ValuationEngine | None = None,
 ) -> ImportanceResult:
     """Permutation-sampling Beta(α, β)-Shapley estimator.
 
@@ -60,26 +68,39 @@ def beta_shapley_mc(
     contribution of a point inserted at position j by the Beta weight of
     subset size j. With α = β = 1 this degenerates to uniform weights and
     estimates the ordinary Shapley value (a property the tests rely on).
+
+    Runs on the shared valuation engine (see :func:`repro.importance.
+    shapley.shapley_mc` for the ``n_workers``/``cache_size``/convergence/
+    ``engine`` knobs); ``n_workers=1`` with defaults reproduces the
+    historical serial values for the same seed.
     """
-    rng = np.random.default_rng(seed)
-    n = utility.n_train
+    if engine is None:
+        if utility is None:
+            raise ValueError("either utility or engine must be provided")
+        engine = ValuationEngine(utility, n_workers=n_workers, cache_size=cache_size)
+    n = engine.n_train
     weights = beta_weights(n, alpha, beta) * n  # scale: mean weight 1
-    null = utility.evaluate([])
-    totals = np.zeros(n)
-    counts = np.zeros(n)
-    for __ in range(n_permutations):
-        order = rng.permutation(n)
-        prev = null
-        prefix: list[int] = []
-        for position, i in enumerate(order):
-            prefix.append(int(i))
-            current = utility.evaluate(prefix)
-            totals[i] += weights[position] * (current - prev)
-            counts[i] += 1
-            prev = current
-    values = totals / np.maximum(counts, 1)
+    run = engine.run_permutations(
+        n_permutations,
+        seed=seed,
+        weights=weights,
+        truncation_tolerance=truncation_tolerance,
+        convergence_tolerance=convergence_tolerance,
+        check_every=check_every,
+        antithetic=antithetic,
+    )
     return ImportanceResult(
         method=f"beta_shapley({alpha:g},{beta:g})",
-        values=values,
-        extras={"alpha": alpha, "beta": beta, "n_permutations": n_permutations},
+        values=run.values(),
+        extras={
+            "alpha": alpha,
+            "beta": beta,
+            "n_permutations": n_permutations,
+            "n_permutations_run": run.n_permutations,
+            "truncated_scans": run.truncated_scans,
+            "stopped_early": run.stopped_early,
+            "max_stderr": run.max_stderr,
+            "antithetic": antithetic,
+            **engine.stats(),
+        },
     )

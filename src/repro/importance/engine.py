@@ -1,0 +1,586 @@
+"""Shared parallel Monte-Carlo valuation engine.
+
+Every game-theoretic importance estimator in this package (`shapley_mc`,
+`banzhaf_mc`, `beta_shapley_mc`, `loo_importance`) reduces to the same
+primitive: evaluate a utility ``v(S)`` over many training subsets and
+combine the results. Doing that in private serial loops — the pre-engine
+state of this package — recomputes identical subsets across permutations
+*and* across estimators, and never uses more than one core. Following the
+amortization insight of the Datascope line of work (Karlaš et al.), this
+module centralises the primitive:
+
+memoized utility cache
+    ``v(S)`` is cached under the *sorted* index tuple in an LRU-bounded
+    :class:`SubsetCache` with hit/miss/eviction counters. ``v(∅)``, ``v(N)``
+    and every repeated subset are evaluated once per engine, even when
+    several estimators share one :class:`ValuationEngine`.
+
+process-pool fan-out
+    Permutations (or subsets) are partitioned across ``n_workers`` forked
+    worker processes. Results are merged **in permutation order**, so the
+    floating-point accumulation sequence — and therefore the returned
+    values — is bit-identical for any worker count.
+
+deterministic seeding
+    All permutation orderings are pre-drawn in the driver from the single
+    ``np.random.default_rng(seed)`` stream (the same stream the legacy
+    serial estimators consumed), instead of per-worker spawned substreams.
+    This is strictly stronger than substream seeding: the sampled orderings
+    match the pre-engine implementations bit-for-bit *and* are independent
+    of how they are later sharded across workers.
+
+variance-aware early stopping
+    With ``convergence_tolerance`` set, the engine tracks a running
+    standard error of each point's (weighted) marginal contribution and
+    stops drawing permutations once the maximum stderr falls below the
+    tolerance (Ghorbani-&-Zou-style convergence), instead of always burning
+    the full ``n_permutations`` budget. Convergence is checked at fixed
+    ``check_every`` boundaries in permutation order, so the stopping point
+    is also independent of the worker count.
+
+antithetic permutation pairs
+    With ``antithetic=True`` every drawn ordering is followed by its
+    reverse. A point inserted late in σ is inserted early in reversed(σ),
+    which negatively correlates the pair's marginal-contribution noise and
+    reduces estimator variance for near-monotone games.
+
+Determinism caveat: bit-identical results across worker counts (and versus
+the legacy serial code) hold for *deterministic* utilities — model training
+with a fixed algorithm on fixed rows. A stochastic ``SubsetUtility`` (e.g. a
+noisy closure over an RNG) consumes its noise stream in evaluation order,
+which caching and sharding legitimately change.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from bisect import insort
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "SubsetCache",
+    "PermutationRun",
+    "ValuationEngine",
+    "parallel_map",
+]
+
+#: Default bound on the number of memoized subsets. Keys are index tuples
+#: (~8 bytes per small index plus tuple overhead), so the worst case at the
+#: default is tens of megabytes for games with a few hundred points.
+DEFAULT_CACHE_SIZE = 32768
+
+_MISSING = object()
+
+# Fork-based pools inherit the parent's memory, so utilities holding
+# closures, frames, or fitted transformers need no pickling. Platforms
+# without fork (Windows/macOS-spawn) fall back to serial execution.
+_FORK_CTX = (
+    mp.get_context("fork") if "fork" in mp.get_all_start_methods() else None
+)
+
+#: State handed to forked workers by inheritance (set immediately before a
+#: pool is created, cleared right after it is torn down).
+_POOL_STATE: dict | None = None
+
+
+class SubsetCache:
+    """LRU-bounded memo of ``v(S)`` keyed by the sorted index tuple."""
+
+    def __init__(self, max_size: int = DEFAULT_CACHE_SIZE) -> None:
+        if max_size < 0:
+            raise ValueError("max_size must be >= 0")
+        self.max_size = int(max_size)
+        self._data: OrderedDict[tuple[int, ...], float] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(indices: Iterable[int]) -> tuple[int, ...]:
+        """Canonical cache key: the sorted tuple of member indices."""
+        return tuple(sorted(int(i) for i in indices))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: tuple[int, ...]) -> bool:
+        return key in self._data
+
+    def lookup(self, key: tuple[int, ...]) -> Any:
+        """Value for ``key`` (counted as a hit) or ``_MISSING`` (a miss)."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: tuple[int, ...], value: float) -> None:
+        if self.max_size == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.max_size:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def snapshot(self) -> dict[tuple[int, ...], float]:
+        """Plain-dict copy shipped to workers at fork time."""
+        return dict(self._data)
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "size": len(self._data),
+            "max_size": self.max_size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
+@dataclass
+class PermutationRun:
+    """Raw accumulators of one permutation-sampling run.
+
+    ``totals``/``sumsq`` hold the per-point sum and sum of squares of the
+    (position-weighted) marginal contributions; ``counts`` how many
+    permutations each point was credited in (every scanned permutation
+    credits every point — truncated tails are credited zero, exactly like
+    the legacy estimators).
+    """
+
+    totals: np.ndarray
+    counts: np.ndarray
+    sumsq: np.ndarray
+    n_permutations: int
+    truncated_scans: int
+    stopped_early: bool
+    max_stderr: float | None
+
+    def values(self) -> np.ndarray:
+        return self.totals / np.maximum(self.counts, 1)
+
+    def stderr(self) -> np.ndarray:
+        """Standard error of each point's mean marginal contribution."""
+        counts = np.maximum(self.counts, 1)
+        mean = self.totals / counts
+        with np.errstate(invalid="ignore", divide="ignore"):
+            var = (self.sumsq - counts * mean**2) / np.maximum(counts - 1, 1)
+        return np.sqrt(np.clip(var, 0.0, None) / counts)
+
+
+def _scan_orderings(
+    evaluate: Callable[[tuple[int, ...]], float],
+    orderings: Sequence[np.ndarray],
+    weights: np.ndarray,
+    truncation_tolerance: float,
+    null: float,
+    full: float | None,
+) -> tuple[np.ndarray, int]:
+    """Scan permutations, returning one row of weighted marginals each.
+
+    The incremental-prefix loop replicates the legacy estimators exactly:
+    ``prev`` starts at ``v(∅)`` and a scan stops early once the running
+    utility is within ``truncation_tolerance`` of ``v(N)`` (the remaining
+    points keep a zero marginal for that permutation).
+    """
+    n = len(weights)
+    deltas = np.zeros((len(orderings), n))
+    truncated = 0
+    for p, order in enumerate(orderings):
+        prev = null
+        prefix: list[int] = []
+        row = deltas[p]
+        for step, i in enumerate(order):
+            if (
+                truncation_tolerance > 0.0
+                and step > 0
+                and abs(full - prev) <= truncation_tolerance
+            ):
+                truncated += 1
+                break
+            i = int(i)
+            insort(prefix, i)
+            current = evaluate(tuple(prefix))
+            row[i] = weights[step] * (current - prev)
+            prev = current
+    return deltas, truncated
+
+
+def _worker_evaluator() -> tuple[Callable[[tuple[int, ...]], float], dict, list]:
+    """Cache-aware ``v(key)`` for a forked worker.
+
+    The worker's cache starts as the parent's snapshot (inherited at fork)
+    and grows in place, so it persists across tasks within the process. New
+    entries and hit/miss counts are reported back for the parent to merge.
+    """
+    state = _POOL_STATE
+    utility = state["utility"]
+    cache: dict = state["cache"]
+    new_entries: dict = {}
+    counters = [0, 0]  # hits, misses
+
+    def evaluate(key: tuple[int, ...]) -> float:
+        if key in cache:
+            counters[0] += 1
+            return cache[key]
+        counters[1] += 1
+        value = float(utility.evaluate(np.asarray(key, dtype=np.int64)))
+        cache[key] = value
+        new_entries[key] = value
+        return value
+
+    return evaluate, new_entries, counters
+
+
+def _permutation_chunk(bounds: tuple[int, int]):
+    start, stop = bounds
+    state = _POOL_STATE
+    utility = state["utility"]
+    evals_before = utility.n_evaluations
+    evaluate, new_entries, counters = _worker_evaluator()
+    deltas, truncated = _scan_orderings(
+        evaluate,
+        state["orderings"][start:stop],
+        state["weights"],
+        state["truncation_tolerance"],
+        state["null"],
+        state["full"],
+    )
+    evals = utility.n_evaluations - evals_before
+    return start, deltas, truncated, new_entries, evals, counters
+
+
+def _subset_chunk(bounds: tuple[int, int]):
+    start, stop = bounds
+    state = _POOL_STATE
+    utility = state["utility"]
+    evals_before = utility.n_evaluations
+    evaluate, new_entries, counters = _worker_evaluator()
+    values = [evaluate(key) for key in state["keys"][start:stop]]
+    evals = utility.n_evaluations - evals_before
+    return start, values, new_entries, evals, counters
+
+
+def _chunk_bounds(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Contiguous, near-even (start, stop) partition of ``range(n_items)``."""
+    edges = np.linspace(0, n_items, min(n_chunks, n_items) + 1, dtype=int)
+    return [
+        (int(a), int(b)) for a, b in zip(edges[:-1], edges[1:]) if b > a
+    ]
+
+
+class ValuationEngine:
+    """Memoized, parallel driver for subset-sampling importance estimators.
+
+    Parameters
+    ----------
+    utility:
+        Any object with the :class:`repro.importance.Utility` protocol
+        (``n_train``, ``evaluate(indices)``, ``n_evaluations``).
+    n_workers:
+        Worker processes for fan-out. ``1`` (the default) runs fully
+        serial, in-process. Values > 1 require a fork-capable platform and
+        silently fall back to serial elsewhere. The returned values are
+        identical for every worker count (deterministic utilities).
+    cache_size:
+        LRU bound of the subset memo; ``0`` disables memoization.
+    """
+
+    def __init__(
+        self,
+        utility: Any,
+        n_workers: int = 1,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.utility = utility
+        self.n_workers = int(n_workers)
+        self.cache = SubsetCache(cache_size)
+
+    @property
+    def n_train(self) -> int:
+        return int(self.utility.n_train)
+
+    def stats(self) -> dict:
+        """Cache + evaluation accounting, in the shape estimators report."""
+        return {
+            "cache": self.cache.stats(),
+            "n_evaluations": int(self.utility.n_evaluations),
+            "n_workers": self.n_workers,
+        }
+
+    # ------------------------------------------------------------------ #
+    # point evaluations                                                  #
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, indices: Iterable[int]) -> float:
+        """Memoized ``v(S)``; evaluates the utility on the sorted indices."""
+        key = SubsetCache.key(indices)
+        value = self.cache.lookup(key)
+        if value is _MISSING:
+            value = float(self.utility.evaluate(np.asarray(key, dtype=np.int64)))
+            self.cache.put(key, value)
+        return value
+
+    def evaluate_many(self, subsets: Sequence[Iterable[int]]) -> np.ndarray:
+        """``v(S)`` for many subsets, fanned out across workers, in order.
+
+        Duplicate subsets are evaluated once. The fan-out dispatches only
+        cache misses, so a warm engine answers entirely from memory.
+        """
+        keys = [SubsetCache.key(subset) for subset in subsets]
+        if not self._parallel(len(keys)):
+            return np.asarray([self.evaluate(key) for key in keys])
+        values: dict[tuple[int, ...], float] = {}
+        pending: list[tuple[int, ...]] = []
+        for key in OrderedDict.fromkeys(keys):
+            value = self.cache.lookup(key)
+            if value is _MISSING:
+                pending.append(key)
+            else:
+                values[key] = value
+        if pending:
+            results = self._run_pool(
+                _subset_chunk, _chunk_bounds(len(pending), self.n_workers),
+                {"keys": pending},
+            )
+            for start, chunk_values, new_entries, evals, counters in results:
+                for key, value in zip(pending[start : start + len(chunk_values)], chunk_values):
+                    values[key] = value
+                self._merge_worker(new_entries, evals, counters, count_lookups=False)
+        return np.asarray([values[key] for key in keys])
+
+    # ------------------------------------------------------------------ #
+    # permutation sampling                                               #
+    # ------------------------------------------------------------------ #
+
+    def run_permutations(
+        self,
+        n_permutations: int,
+        seed: int = 0,
+        weights: np.ndarray | None = None,
+        truncation_tolerance: float = 0.0,
+        convergence_tolerance: float | None = None,
+        check_every: int = 10,
+        antithetic: bool = False,
+    ) -> PermutationRun:
+        """Sample permutations and accumulate per-point weighted marginals.
+
+        ``weights[j]`` multiplies the marginal contribution of the point
+        inserted at position ``j`` (all-ones = Shapley, Beta weights =
+        Beta-Shapley). See the module docstring for the semantics of
+        ``truncation_tolerance``, ``convergence_tolerance`` and
+        ``antithetic``.
+        """
+        if n_permutations < 1:
+            raise ValueError("n_permutations must be >= 1")
+        n = self.n_train
+        if weights is None:
+            weights = np.ones(n)
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (n,):
+                raise ValueError("weights must have one entry per position")
+        orderings = self._draw_orderings(n_permutations, seed, antithetic)
+        null = self.evaluate(())
+        full = (
+            self.evaluate(range(n)) if truncation_tolerance > 0.0 else None
+        )
+        totals = np.zeros(n)
+        sumsq = np.zeros(n)
+        scanned = 0
+        truncated = 0
+        stopped = False
+        max_stderr: float | None = None
+        wave = (
+            n_permutations
+            if convergence_tolerance is None
+            else max(1, int(check_every))
+        )
+        pool = None
+        try:
+            if self._parallel(n_permutations):
+                pool = self._start_pool(
+                    {
+                        "orderings": orderings,
+                        "weights": weights,
+                        "truncation_tolerance": truncation_tolerance,
+                        "null": null,
+                        "full": full,
+                    }
+                )
+            start = 0
+            while start < n_permutations:
+                stop = min(start + wave, n_permutations)
+                deltas, wave_truncated = self._scan_range(
+                    orderings, start, stop, weights, truncation_tolerance,
+                    null, full, pool,
+                )
+                # Accumulate one permutation at a time so the FP summation
+                # order matches the serial path for every worker count.
+                for row in deltas:
+                    totals += row
+                    sumsq += row * row
+                truncated += wave_truncated
+                scanned = stop
+                if convergence_tolerance is not None and scanned >= 2:
+                    run = PermutationRun(
+                        totals, np.full(n, scanned, dtype=float), sumsq,
+                        scanned, truncated, False, None,
+                    )
+                    max_stderr = float(np.max(run.stderr()))
+                    if max_stderr <= convergence_tolerance:
+                        stopped = True
+                        break
+                start = stop
+        finally:
+            self._stop_pool(pool)
+        return PermutationRun(
+            totals=totals,
+            counts=np.full(n, scanned, dtype=float),
+            sumsq=sumsq,
+            n_permutations=scanned,
+            truncated_scans=truncated,
+            stopped_early=stopped,
+            max_stderr=max_stderr,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _parallel(self, n_tasks: int) -> bool:
+        return self.n_workers > 1 and _FORK_CTX is not None and n_tasks > 1
+
+    def _draw_orderings(
+        self, n_permutations: int, seed: int, antithetic: bool
+    ) -> list[np.ndarray]:
+        """Pre-draw every ordering from the master stream (see module doc)."""
+        rng = np.random.default_rng(seed)
+        n = self.n_train
+        if not antithetic:
+            return [rng.permutation(n) for __ in range(n_permutations)]
+        orderings: list[np.ndarray] = []
+        while len(orderings) < n_permutations:
+            base = rng.permutation(n)
+            orderings.append(base)
+            if len(orderings) < n_permutations:
+                orderings.append(base[::-1].copy())
+        return orderings
+
+    def _scan_range(
+        self,
+        orderings: Sequence[np.ndarray],
+        start: int,
+        stop: int,
+        weights: np.ndarray,
+        truncation_tolerance: float,
+        null: float,
+        full: float | None,
+        pool,
+    ) -> tuple[np.ndarray, int]:
+        if pool is None:
+            return _scan_orderings(
+                lambda key: self.evaluate(key),
+                orderings[start:stop],
+                weights,
+                truncation_tolerance,
+                null,
+                full,
+            )
+        bounds = [
+            (start + a, start + b)
+            for a, b in _chunk_bounds(stop - start, self.n_workers)
+        ]
+        results = pool.map(_permutation_chunk, bounds)
+        results.sort(key=lambda item: item[0])
+        deltas = np.concatenate([item[1] for item in results], axis=0)
+        truncated = 0
+        for __, __deltas, chunk_truncated, new_entries, evals, counters in results:
+            truncated += chunk_truncated
+            self._merge_worker(new_entries, evals, counters, count_lookups=True)
+        return deltas, truncated
+
+    def _merge_worker(
+        self, new_entries: dict, evals: int, counters: list, count_lookups: bool
+    ) -> None:
+        """Fold one worker chunk's cache entries and accounting into ours."""
+        for key, value in new_entries.items():
+            self.cache.put(key, value)
+        self.utility.n_evaluations += int(evals)
+        if count_lookups:
+            self.cache.hits += int(counters[0])
+            self.cache.misses += int(counters[1])
+
+    def _start_pool(self, extra_state: dict):
+        global _POOL_STATE
+        _POOL_STATE = {
+            "utility": self.utility,
+            "cache": self.cache.snapshot(),
+            **extra_state,
+        }
+        try:
+            return _FORK_CTX.Pool(processes=self.n_workers)
+        finally:
+            # Workers inherited the state at fork; the parent reference is
+            # only needed during Pool construction.
+            _POOL_STATE = None
+
+    def _run_pool(self, task, bounds, extra_state):
+        pool = self._start_pool(extra_state)
+        try:
+            results = pool.map(task, bounds)
+        finally:
+            self._stop_pool(pool)
+        results.sort(key=lambda item: item[0])
+        return results
+
+    @staticmethod
+    def _stop_pool(pool) -> None:
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+
+# ---------------------------------------------------------------------- #
+# generic fan-out                                                        #
+# ---------------------------------------------------------------------- #
+
+_MAP_STATE: tuple | None = None
+
+
+def _map_one(index: int):
+    func, items = _MAP_STATE
+    return func(items[index])
+
+
+def parallel_map(func: Callable, items: Sequence, n_workers: int = 1) -> list:
+    """``[func(x) for x in items]`` fanned out over forked workers.
+
+    Order-preserving. Falls back to a serial loop when ``n_workers <= 1``,
+    when fork is unavailable, or for trivially small inputs. Because
+    workers are forked, ``func`` may be a closure over arbitrary state
+    (frames, fitted models) without being picklable — only the *returned*
+    values must pickle.
+    """
+    items = list(items)
+    if n_workers <= 1 or _FORK_CTX is None or len(items) <= 1:
+        return [func(item) for item in items]
+    global _MAP_STATE
+    _MAP_STATE = (func, items)
+    try:
+        with _FORK_CTX.Pool(processes=min(n_workers, len(items))) as pool:
+            return pool.map(_map_one, range(len(items)))
+    finally:
+        _MAP_STATE = None

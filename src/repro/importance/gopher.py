@@ -17,6 +17,7 @@ import numpy as np
 
 from ..frame import DataFrame
 from ..learn.base import Estimator, clone
+from .engine import parallel_map
 
 __all__ = ["Predicate", "FairnessExplanation", "gopher_explanations"]
 
@@ -95,6 +96,7 @@ def gopher_explanations(
     max_support_fraction: float = 0.5,
     max_accuracy_cost: float = 0.05,
     top_k: int = 10,
+    n_workers: int = 1,
 ) -> list[FairnessExplanation]:
     """Rank predicate-removal repairs by bias reduction per removed tuple.
 
@@ -113,6 +115,11 @@ def gopher_explanations(
         Candidate repairs that lower accuracy by more than this are
         discarded — a repair that fixes fairness by destroying the model is
         not an explanation (Gopher's accuracy constraint).
+    n_workers:
+        Candidate retrainings are independent, so they fan out over this
+        many worker processes (``repro.importance.engine.parallel_map``).
+        Distinct predicates selecting the *same* removal set are fitted
+        once either way. The ranking does not depend on ``n_workers``.
     """
     y_all = np.asarray(frame.column(label_column).to_list())
     baseline = clone(model).fit(featurize(frame), y_all)
@@ -125,7 +132,11 @@ def gopher_explanations(
             for c in frame.columns
             if c != label_column and frame.column(c).dtype_kind == "string"
         ]
-    explanations: list[FairnessExplanation] = []
+    # Screen candidates first (cheap mask work), then retrain. Distinct
+    # predicates can select the same removal set; key on the remaining-row
+    # mask so each distinct subset is fitted exactly once.
+    candidates: list[tuple[Predicate, int, bytes]] = []
+    unique_masks: dict[bytes, np.ndarray] = {}
     for predicate in _candidate_predicates(
         frame, explain_columns, max_conjuncts, max_values_per_column
     ):
@@ -133,18 +144,36 @@ def gopher_explanations(
         support = int(removal_mask.sum())
         if support < min_support or support > max_support_fraction * frame.num_rows:
             continue
-        remaining = frame.filter(~removal_mask)
-        y = np.asarray(remaining.column(label_column).to_list())
+        keep_mask = ~removal_mask
+        y = np.asarray(frame.filter(keep_mask).column(label_column).to_list())
         if len(np.unique(y)) < 2:
             continue
-        candidate = clone(model).fit(featurize(remaining), y)
+        key = keep_mask.tobytes()
+        unique_masks.setdefault(key, keep_mask)
+        candidates.append((predicate, support, key))
+
+    def fit_candidate(keep_mask: np.ndarray) -> tuple[float, float]:
+        remaining = frame.filter(keep_mask)
+        y = np.asarray(remaining.column(label_column).to_list())
+        fitted = clone(model).fit(featurize(remaining), y)
+        return float(bias_metric(fitted)), float(accuracy_metric(fitted))
+
+    keys = list(unique_masks)
+    outcomes = parallel_map(
+        fit_candidate, [unique_masks[key] for key in keys], n_workers=n_workers
+    )
+    by_key = dict(zip(keys, outcomes))
+
+    explanations: list[FairnessExplanation] = []
+    for predicate, support, key in candidates:
+        bias_after, accuracy_after = by_key[key]
         explanation = FairnessExplanation(
             predicate=predicate,
             support=support,
             bias_before=bias_before,
-            bias_after=float(bias_metric(candidate)),
+            bias_after=bias_after,
             accuracy_before=accuracy_before,
-            accuracy_after=float(accuracy_metric(candidate)),
+            accuracy_after=accuracy_after,
         )
         if explanation.accuracy_cost <= max_accuracy_cost:
             explanations.append(explanation)

@@ -60,6 +60,7 @@ def knn_shapley(
     y_valid: Any,
     k: int = 5,
     metric: str = "euclidean",
+    block_size: int = 1024,
 ) -> ImportanceResult:
     """Exact Data-Shapley values under the KNN utility, averaged over the
     validation set.
@@ -67,6 +68,13 @@ def knn_shapley(
     Returns one value per training point; the values of each test point sum
     to its utility ``v(N)`` exactly (the efficiency axiom), so the returned
     averages sum to the mean validation KNN utility.
+
+    Validation points are processed in blocks of ``block_size``, so the
+    train×valid distance matrix is streamed in fixed-size slabs instead of
+    materialised whole — memory stays O(block_size · n_train) however many
+    validation points there are. Blocking does not change the result: each
+    validation row's contribution is computed identically and accumulated
+    in the same order.
     """
     x_train = np.asarray(x_train, dtype=float)
     y_train = np.asarray(y_train)
@@ -80,29 +88,38 @@ def knn_shapley(
         raise ValueError("validation set is empty")
     if k < 1:
         raise ValueError("k must be >= 1")
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
     n = len(y_train)
-    distances = pairwise_distances(x_valid, x_train, metric=metric)
-    # Vectorised recursion over all validation points at once: for each row,
-    # s_i = s_{i+1} + (match_i − match_{i+1}) · c_i with
-    # c_i = min(K, rank_i) / (K · rank_i), i.e. a reversed cumulative sum of
-    # the weighted match differences plus the base case.
-    order = np.argsort(distances, axis=1, kind="stable")  # (n_valid, n)
-    match = (y_train[order] == np.asarray(y_valid)[:, None]).astype(float)
     ranks = np.arange(1, n + 1, dtype=float)
     coeff = np.minimum(k, ranks) / (k * ranks)  # c_i for i = 1..n
-    base = match[:, -1] / n * min(k, n) / k
-    diffs = (match[:, :-1] - match[:, 1:]) * coeff[:-1]  # term entering s_i
-    s = np.empty_like(match)
-    s[:, -1] = base
-    # s_i = base + Σ_{j ≥ i} diffs_j  → reversed cumulative sum.
-    s[:, :-1] = base[:, None] + np.cumsum(diffs[:, ::-1], axis=1)[:, ::-1]
     values = np.zeros(n)
-    np.add.at(values, order, s)
+    for start in range(0, len(y_valid), block_size):
+        block = slice(start, start + block_size)
+        distances = pairwise_distances(x_valid[block], x_train, metric=metric)
+        # Vectorised recursion over the block's validation points: for each
+        # row, s_i = s_{i+1} + (match_i − match_{i+1}) · c_i with
+        # c_i = min(K, rank_i) / (K · rank_i), i.e. a reversed cumulative
+        # sum of the weighted match differences plus the base case.
+        order = np.argsort(distances, axis=1, kind="stable")  # (block, n)
+        match = (y_train[order] == y_valid[block][:, None]).astype(float)
+        base = match[:, -1] / n * min(k, n) / k
+        diffs = (match[:, :-1] - match[:, 1:]) * coeff[:-1]  # term in s_i
+        s = np.empty_like(match)
+        s[:, -1] = base
+        # s_i = base + Σ_{j ≥ i} diffs_j  → reversed cumulative sum.
+        s[:, :-1] = base[:, None] + np.cumsum(diffs[:, ::-1], axis=1)[:, ::-1]
+        np.add.at(values, order, s)
     values /= len(y_valid)
     return ImportanceResult(
         method=f"knn_shapley(k={k})",
         values=values,
-        extras={"k": k, "metric": metric, "n_valid": len(y_valid)},
+        extras={
+            "k": k,
+            "metric": metric,
+            "n_valid": len(y_valid),
+            "block_size": block_size,
+        },
     )
 
 

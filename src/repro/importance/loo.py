@@ -5,25 +5,38 @@ from __future__ import annotations
 import numpy as np
 
 from .base import ImportanceResult
+from .engine import DEFAULT_CACHE_SIZE, ValuationEngine
 from .utility import Utility
 
 __all__ = ["loo_importance"]
 
 
-def loo_importance(utility: Utility) -> ImportanceResult:
+def loo_importance(
+    utility: Utility | None,
+    n_workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    engine: ValuationEngine | None = None,
+) -> ImportanceResult:
     """``φ_i = v(N) − v(N \\ {i})`` for every training point.
 
     Requires ``n + 1`` utility evaluations (model retrainings), which is
     exactly the cost profile the tutorial's "Overcoming Computational
-    Challenges" section motivates improving on.
+    Challenges" section motivates improving on. The ``n`` leave-one-out
+    retrainings are independent, so they fan out perfectly over the
+    engine's ``n_workers`` processes.
     """
-    n = utility.n_train
+    if engine is None:
+        if utility is None:
+            raise ValueError("either utility or engine must be provided")
+        engine = ValuationEngine(utility, n_workers=n_workers, cache_size=cache_size)
+    n = engine.n_train
     everything = np.arange(n)
-    full = utility.evaluate(everything)
-    values = np.empty(n)
-    for i in range(n):
-        without = np.delete(everything, i)
-        values[i] = full - utility.evaluate(without)
+    full = engine.evaluate(everything)
+    scores = engine.evaluate_many(
+        [np.delete(everything, i) for i in range(n)]
+    )
     return ImportanceResult(
-        method="loo", values=values, extras={"full_score": full}
+        method="loo",
+        values=full - scores,
+        extras={"full_score": full, **engine.stats()},
     )

@@ -16,6 +16,7 @@ from math import factorial
 import numpy as np
 
 from .base import ImportanceResult
+from .engine import DEFAULT_CACHE_SIZE, ValuationEngine
 from .utility import Utility
 
 __all__ = ["shapley_mc", "shapley_brute_force", "banzhaf_brute_force"]
@@ -75,12 +76,24 @@ def banzhaf_brute_force(utility: Utility) -> ImportanceResult:
 
 
 def shapley_mc(
-    utility: Utility,
+    utility: Utility | None,
     n_permutations: int = 100,
     truncation_tolerance: float = 0.0,
     seed: int = 0,
+    n_workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    convergence_tolerance: float | None = None,
+    check_every: int = 10,
+    antithetic: bool = False,
+    engine: ValuationEngine | None = None,
 ) -> ImportanceResult:
     """Permutation-sampling Monte-Carlo Shapley (TMC-Shapley).
+
+    A thin wrapper over :class:`repro.importance.engine.ValuationEngine`:
+    with the default ``n_workers=1`` and no convergence tolerance, values
+    are identical to the historical serial implementation for the same
+    seed (regression-tested), with repeated subsets answered from the
+    engine's memo instead of retrained.
 
     Parameters
     ----------
@@ -91,44 +104,48 @@ def shapley_mc(
         If > 0, stop scanning a permutation once ``|v(S) − v(N)|`` falls
         below this tolerance and credit zero marginal contribution to the
         remaining points (the TMC speed-up of Ghorbani & Zou).
+    n_workers, cache_size:
+        Engine knobs: worker processes for the permutation fan-out and the
+        LRU bound of the subset memo. The answer does not depend on
+        ``n_workers``.
+    convergence_tolerance:
+        If set, stop drawing permutations (checked every ``check_every``)
+        once the largest per-point standard error falls below it.
+    antithetic:
+        Scan each sampled permutation together with its reverse (variance
+        reduction; changes which orderings are sampled).
+    engine:
+        Share an existing engine — and therefore its subset memo — across
+        estimator calls. Overrides ``utility``/``n_workers``/``cache_size``.
     """
     if n_permutations < 1:
         raise ValueError("n_permutations must be >= 1")
-    rng = np.random.default_rng(seed)
-    n = utility.n_train
-    full = utility.full_score()
-    null = utility.evaluate([])
-    totals = np.zeros(n)
-    counts = np.zeros(n)
-    truncated_scans = 0
-    for __ in range(n_permutations):
-        order = rng.permutation(n)
-        prev = null
-        prefix: list[int] = []
-        for step, i in enumerate(order):
-            if (
-                truncation_tolerance > 0.0
-                and step > 0
-                and abs(full - prev) <= truncation_tolerance
-            ):
-                # Remaining marginals are credited zero (still counted so the
-                # mean stays well-defined).
-                counts[order[step:]] += 1
-                truncated_scans += 1
-                break
-            prefix.append(int(i))
-            current = utility.evaluate(prefix)
-            totals[i] += current - prev
-            counts[i] += 1
-            prev = current
-    values = totals / np.maximum(counts, 1)
+    if engine is None:
+        if utility is None:
+            raise ValueError("either utility or engine must be provided")
+        engine = ValuationEngine(utility, n_workers=n_workers, cache_size=cache_size)
+    full = engine.evaluate(range(engine.n_train))
+    run = engine.run_permutations(
+        n_permutations,
+        seed=seed,
+        truncation_tolerance=truncation_tolerance,
+        convergence_tolerance=convergence_tolerance,
+        check_every=check_every,
+        antithetic=antithetic,
+    )
+    null = engine.evaluate(())
     return ImportanceResult(
         method="shapley_mc",
-        values=values,
+        values=run.values(),
         extras={
             "n_permutations": n_permutations,
-            "truncated_scans": truncated_scans,
+            "n_permutations_run": run.n_permutations,
+            "truncated_scans": run.truncated_scans,
             "full_score": full,
             "null_score": null,
+            "stopped_early": run.stopped_early,
+            "max_stderr": run.max_stderr,
+            "antithetic": antithetic,
+            **engine.stats(),
         },
     )

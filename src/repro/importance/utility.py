@@ -78,7 +78,10 @@ class Utility:
         ys = self.y_train[idx]
         if len(np.unique(ys)) < 2:
             # Single-class subset: the model degenerates to a constant
-            # predictor of that class.
+            # predictor of that class. No model is retrained, but the metric
+            # *is* evaluated, so it counts toward ``n_evaluations`` (only the
+            # empty subset, answered from the cached null score, is free).
+            self.n_evaluations += 1
             constant = np.repeat(ys[:1], len(self.y_valid))
             return float(self.metric(self.y_valid, constant))
         self.n_evaluations += 1

@@ -17,10 +17,7 @@ from ..base import Estimator, check_matrix, check_xy
 __all__ = ["KNeighborsClassifier", "pairwise_distances"]
 
 
-def pairwise_distances(A: np.ndarray, B: np.ndarray, metric: str = "euclidean") -> np.ndarray:
-    """Dense (len(A), len(B)) distance matrix."""
-    A = check_matrix(A)
-    B = check_matrix(B)
+def _dense_distances(A: np.ndarray, B: np.ndarray, metric: str) -> np.ndarray:
     if metric == "euclidean":
         # (a-b)^2 = a^2 + b^2 - 2ab, clipped against FP cancellation.
         sq = (
@@ -37,6 +34,32 @@ def pairwise_distances(A: np.ndarray, B: np.ndarray, metric: str = "euclidean") 
         denom = np.clip(norm_a @ norm_b.T, 1e-12, None)
         return 1.0 - (A @ B.T) / denom
     raise ValueError(f"unknown metric: {metric!r}")
+
+
+def pairwise_distances(
+    A: np.ndarray,
+    B: np.ndarray,
+    metric: str = "euclidean",
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """Dense (len(A), len(B)) distance matrix.
+
+    With ``chunk_size`` set, rows of A are processed in blocks of that
+    many, bounding the intermediate working set (the manhattan kernel's
+    broadcast temporary in particular is ``len(A)·len(B)·n_features``
+    floats when computed in one shot). Each row of the result is computed
+    by the same kernel either way, so chunked and unchunked outputs agree
+    to FP roundoff (exactly, for metrics that avoid BLAS matmul).
+    """
+    A = check_matrix(A)
+    B = check_matrix(B)
+    if chunk_size is None or chunk_size <= 0 or chunk_size >= len(A):
+        return _dense_distances(A, B, metric)
+    out = np.empty((len(A), len(B)))
+    for start in range(0, len(A), chunk_size):
+        block = slice(start, start + chunk_size)
+        out[block] = _dense_distances(A[block], B, metric)
+    return out
 
 
 class KNeighborsClassifier(Estimator):

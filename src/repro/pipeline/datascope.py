@@ -20,7 +20,10 @@ from typing import Any
 import numpy as np
 
 from ..frame import DataFrame
+from ..importance.engine import DEFAULT_CACHE_SIZE, ValuationEngine
 from ..importance.knn_shapley import knn_shapley
+from ..importance.shapley import shapley_mc
+from ..importance.utility import Utility
 from .execute import PipelineResult
 
 __all__ = ["SourceImportance", "datascope_importance"]
@@ -64,6 +67,15 @@ def datascope_importance(
     source: str | None = None,
     k: int = 5,
     attribution: str = "unique",
+    method: str = "knn",
+    model: Any = None,
+    n_permutations: int = 30,
+    truncation_tolerance: float = 0.0,
+    convergence_tolerance: float | None = None,
+    seed: int = 0,
+    n_workers: int = 1,
+    cache_size: int = DEFAULT_CACHE_SIZE,
+    engine: ValuationEngine | None = None,
 ) -> SourceImportance:
     """KNN-Shapley importance of a pipeline's source tuples.
 
@@ -87,9 +99,26 @@ def datascope_importance(
         crediting a tuple the full value of every output row it contributed
         to (a tuple's total value is then the sum over its fan-out, matching
         the group-removal semantics of deleting that side tuple).
+    method:
+        ``"knn"`` (default) computes the exact closed-form KNN-Shapley
+        values of the encoded output — the polynomial-time proxy that makes
+        Datascope practical. ``"shapley_mc"`` instead runs Monte-Carlo
+        Shapley of an *arbitrary* ``model`` over the encoded rows on the
+        shared valuation engine (:mod:`repro.importance.engine`), so
+        importance can be measured under the pipeline's real downstream
+        model, with subset memoization, ``n_workers``-way retraining
+        fan-out, optional truncation and convergence-based stopping.
+    model:
+        Estimator prototype for ``method="shapley_mc"``; defaults to the
+        facade's logistic-regression classifier.
+    engine:
+        Pre-built :class:`ValuationEngine` to reuse (and warm) across
+        calls; overrides ``model``/``n_workers``/``cache_size``.
     """
     if attribution not in ("unique", "shared"):
         raise ValueError(f"unknown attribution mode: {attribution!r}")
+    if method not in ("knn", "shapley_mc"):
+        raise ValueError(f"unknown method: {method!r}")
     if train_result.X is None or train_result.y is None:
         raise ValueError("train_result has no encoded output")
     if source is None:
@@ -120,9 +149,32 @@ def datascope_importance(
                 "pass source= explicitly"
             )
 
-    encoded = knn_shapley(
-        train_result.X, train_result.y, np.asarray(valid_x, float), np.asarray(valid_y), k=k
-    )
+    if method == "knn":
+        encoded = knn_shapley(
+            train_result.X, train_result.y,
+            np.asarray(valid_x, float), np.asarray(valid_y), k=k,
+        )
+    else:
+        if engine is None:
+            if model is None:
+                from ..learn.models.logistic import LogisticRegression
+
+                model = LogisticRegression(max_iter=100)
+            utility = Utility(
+                model, train_result.X, train_result.y,
+                np.asarray(valid_x, float), np.asarray(valid_y),
+            )
+            engine = ValuationEngine(
+                utility, n_workers=n_workers, cache_size=cache_size
+            )
+        encoded = shapley_mc(
+            None,
+            n_permutations=n_permutations,
+            truncation_tolerance=truncation_tolerance,
+            convergence_tolerance=convergence_tolerance,
+            seed=seed,
+            engine=engine,
+        )
     by_row_id: dict[int, float] = {}
     if attribution == "unique":
         src_ids = train_result.provenance.source_row_ids(source)
@@ -138,10 +190,12 @@ def datascope_importance(
     return SourceImportance(
         source=source,
         by_row_id=by_row_id,
+        method=f"datascope_{encoded.method}",
         extras={
             "k": k,
             "n_output_rows": len(train_result.provenance),
             "encoded": encoded,
             "attribution": attribution,
+            "method": method,
         },
     )

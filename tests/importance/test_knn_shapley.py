@@ -95,6 +95,18 @@ class TestSemantics:
         with pytest.raises(ValueError):
             knn_shapley(X, y, Xv, yv, k=0)
 
+    @pytest.mark.parametrize("block_size", [1, 2, 5, 1000])
+    def test_block_size_does_not_change_values(self, block_size):
+        X, y, Xv, yv = random_task(4, n_train=20, n_valid=11)
+        base = knn_shapley(X, y, Xv, yv, k=3).values
+        blocked = knn_shapley(X, y, Xv, yv, k=3, block_size=block_size).values
+        assert np.allclose(blocked, base, atol=1e-12)
+
+    def test_invalid_block_size_raises(self):
+        X, y, Xv, yv = random_task(0)
+        with pytest.raises(ValueError):
+            knn_shapley(X, y, Xv, yv, block_size=0)
+
     def test_length_mismatch_raises(self):
         X, y, Xv, yv = random_task(0)
         with pytest.raises(ValueError):

@@ -221,3 +221,28 @@ class TestGopher:
         predicate = Predicate((("sector", "finance"), ("degree", "none")))
         assert "sector = 'finance'" in str(predicate)
         assert "AND" in str(predicate)
+
+    def test_worker_count_does_not_change_explanations(self):
+        frame = make_biased_hiring(n=150, bias_strength=0.6, seed=4)
+        x = frame.to_numpy(["skill", "experience"])
+        y = np.asarray(frame.column("hired").to_list())
+
+        def bias_metric(model):
+            return float(np.mean(model.predict(x) == y))
+
+        kwargs = dict(
+            label_column="hired",
+            bias_metric=bias_metric,
+            accuracy_metric=bias_metric,
+            explain_columns=["group", "hired"],
+            top_k=4,
+        )
+        featurize = lambda df: df.to_numpy(["skill", "experience"])  # noqa: E731
+        serial = gopher_explanations(
+            frame, LogisticRegression(max_iter=40), featurize, **kwargs
+        )
+        fanned = gopher_explanations(
+            frame, LogisticRegression(max_iter=40), featurize, n_workers=3, **kwargs
+        )
+        assert [str(e.predicate) for e in serial] == [str(e.predicate) for e in fanned]
+        assert [e.bias_reduction for e in serial] == [e.bias_reduction for e in fanned]

@@ -44,6 +44,14 @@ class TestUtility:
         utility.evaluate([])
         assert utility.n_evaluations == before
 
+    def test_single_class_subset_counts_as_evaluation(self, utility, binary_data):
+        # The constant-predictor shortcut still scores the validation set,
+        # so it must be charged (only the cached null score is free).
+        __, ytr, __, __ = binary_data
+        before = utility.n_evaluations
+        utility.evaluate(np.flatnonzero(ytr == 1)[:3])
+        assert utility.n_evaluations == before + 1
+
     def test_custom_metric(self, binary_data):
         Xtr, ytr, Xv, yv = binary_data
         calls = []

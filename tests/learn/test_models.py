@@ -152,6 +152,21 @@ class TestKNN:
         with pytest.raises(ValueError):
             pairwise_distances(rng.normal(size=(2, 2)), rng.normal(size=(2, 2)), "hamming")
 
+    @pytest.mark.parametrize("metric", ["euclidean", "manhattan", "cosine"])
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 50])
+    def test_chunked_matches_unchunked(self, metric, chunk_size, rng):
+        A = rng.normal(size=(13, 4))
+        B = rng.normal(size=(9, 4))
+        full = pairwise_distances(A, B, metric=metric)
+        chunked = pairwise_distances(A, B, metric=metric, chunk_size=chunk_size)
+        # Dot-product kernels go through BLAS, whose blocking depends on the
+        # operand shape, so chunked results can differ in the last bits.
+        assert np.allclose(full, chunked, rtol=1e-12, atol=1e-12)
+        assert np.array_equal(
+            pairwise_distances(A, B, "manhattan"),
+            pairwise_distances(A, B, "manhattan", chunk_size=chunk_size),
+        )
+
 
 class TestDecisionTree:
     def test_fits_nonlinear_boundary(self):

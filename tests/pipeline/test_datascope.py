@@ -80,6 +80,33 @@ class TestDatascope:
         base_rate = len(corrupted_survivors) / max(len(survivors), 1)
         assert hits / max(len(corrupted_survivors), 1) > 2 * base_rate
 
+    def test_shapley_mc_method_uses_engine(self, train_and_valid_results):
+        """Datascope over a real downstream model via the valuation engine,
+        with worker-count-invariant, attribution-preserving results."""
+        train_result, valid_result = train_and_valid_results
+        serial = datascope_importance(
+            train_result, valid_result.X, valid_result.y, source="train_df",
+            method="shapley_mc", n_permutations=4, seed=0,
+        )
+        fanned = datascope_importance(
+            train_result, valid_result.X, valid_result.y, source="train_df",
+            method="shapley_mc", n_permutations=4, seed=0, n_workers=2,
+        )
+        assert serial.method == "datascope_shapley_mc"
+        assert serial.by_row_id == fanned.by_row_id
+        encoded = serial.extras["encoded"]
+        assert encoded.extras["n_evaluations"] > 0
+        assert sum(serial.by_row_id.values()) == pytest.approx(
+            encoded.values.sum(), abs=1e-9
+        )
+
+    def test_unknown_method_raises(self, train_and_valid_results):
+        train_result, valid_result = train_and_valid_results
+        with pytest.raises(ValueError):
+            datascope_importance(
+                train_result, valid_result.X, valid_result.y, method="bogus"
+            )
+
     def test_unencoded_result_raises(self, sources):
         from repro.pipeline import PipelinePlan
 
