@@ -36,6 +36,7 @@ from . import (
     frame,
     importance,
     learn,
+    obs,
     pipeline,
     queries,
     robust,
@@ -56,6 +57,7 @@ __all__ = [
     "frame",
     "importance",
     "learn",
+    "obs",
     "pipeline",
     "queries",
     "robust",

@@ -18,6 +18,8 @@ from ..frame import DataFrame
 from ..importance.influence import per_sample_gradients
 from ..learn.base import clone
 from ..learn.models.logistic import LogisticRegression
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs
 from .iterative import CleaningCurve
 from .oracle import CleaningOracle
 
@@ -52,32 +54,46 @@ def activeclean(
     current = dirty_train.copy()
     cleaned: set[int] = set()
     curve = CleaningCurve(strategy="activeclean")
-    for round_no in range(n_rounds + 1):
-        x_train = featurize(current)
-        y_train = labels_of(current)
-        model = LogisticRegression(l2=l2).fit(x_train, y_train)
-        curve.records.append(
-            {
-                "round": round_no,
-                "n_cleaned": len(cleaned),
-                "valid_accuracy": float(model.score(x_valid, y_valid)),
-            }
-        )
-        if round_no == n_rounds:
-            break
-        gradients = per_sample_gradients(model, x_train, y_train)
-        norms = np.linalg.norm(gradients, axis=1)
-        eligible = np.asarray(
-            [p for p in range(current.num_rows) if int(current.row_ids[p]) not in cleaned]
-        )
-        if len(eligible) == 0:
-            break
-        weights = norms[eligible]
-        total = weights.sum()
-        probabilities = weights / total if total > 0 else None
-        take = min(batch_size, len(eligible))
-        batch = rng.choice(eligible, size=take, replace=False, p=probabilities)
-        batch_ids = [int(current.row_ids[p]) for p in batch]
-        current = oracle.clean(current, batch_ids)
-        cleaned.update(batch_ids)
+    with _obs.span(
+        "cleaning.activeclean", batch_size=batch_size, n_rounds=n_rounds, seed=seed
+    ):
+        for round_no in range(n_rounds + 1):
+            with _obs.span("cleaning.round", round=round_no) as sp:
+                x_train = featurize(current)
+                y_train = labels_of(current)
+                model = LogisticRegression(l2=l2).fit(x_train, y_train)
+                accuracy = float(model.score(x_valid, y_valid))
+                curve.records.append(
+                    {
+                        "round": round_no,
+                        "n_cleaned": len(cleaned),
+                        "valid_accuracy": accuracy,
+                    }
+                )
+                if _obs.enabled():
+                    sp.set(n_cleaned=len(cleaned), valid_accuracy=accuracy)
+                if round_no == n_rounds:
+                    break
+                gradients = per_sample_gradients(model, x_train, y_train)
+                norms = np.linalg.norm(gradients, axis=1)
+                eligible = np.asarray(
+                    [
+                        p
+                        for p in range(current.num_rows)
+                        if int(current.row_ids[p]) not in cleaned
+                    ]
+                )
+                if len(eligible) == 0:
+                    break
+                weights = norms[eligible]
+                total = weights.sum()
+                probabilities = weights / total if total > 0 else None
+                take = min(batch_size, len(eligible))
+                batch = rng.choice(eligible, size=take, replace=False, p=probabilities)
+                batch_ids = [int(current.row_ids[p]) for p in batch]
+                current = oracle.clean(current, batch_ids)
+                cleaned.update(batch_ids)
+                if _obs.enabled():
+                    _obs_metrics.counter("cleaning.rows_cleaned").inc(len(batch_ids))
+                    _obs_metrics.counter("cleaning.rounds").inc()
     return curve

@@ -16,6 +16,8 @@ import numpy as np
 
 from ..frame import DataFrame
 from ..learn.base import Estimator, clone
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs
 from .oracle import CleaningOracle
 from .strategies import Strategy
 
@@ -89,18 +91,35 @@ def iterative_cleaning(
     current = dirty_train.copy()
     cleaned: set[int] = set()
     curve = CleaningCurve(strategy=strategy_name or getattr(strategy, "__name__", "strategy"))
-    curve.records.append({"round": 0, "n_cleaned": 0, **evaluate(current)})
-    for round_no in range(1, n_rounds + 1):
-        x_train = featurize(current)
-        y_train = labels_of(current)
-        ranking = strategy(x_train, y_train, x_valid, y_valid)
-        batch = [p for p in ranking if int(current.row_ids[p]) not in cleaned][:batch_size]
-        if not batch:
-            break
-        batch_ids = [int(current.row_ids[p]) for p in batch]
-        current = oracle.clean(current, batch_ids)
-        cleaned.update(batch_ids)
-        curve.records.append(
-            {"round": round_no, "n_cleaned": len(cleaned), **evaluate(current)}
-        )
+    with _obs.span(
+        "cleaning.iterative",
+        strategy=curve.strategy,
+        batch_size=batch_size,
+        n_rounds=n_rounds,
+    ):
+        curve.records.append({"round": 0, "n_cleaned": 0, **evaluate(current)})
+        for round_no in range(1, n_rounds + 1):
+            with _obs.span("cleaning.round", round=round_no) as sp:
+                x_train = featurize(current)
+                y_train = labels_of(current)
+                ranking = strategy(x_train, y_train, x_valid, y_valid)
+                batch = [
+                    p for p in ranking if int(current.row_ids[p]) not in cleaned
+                ][:batch_size]
+                if not batch:
+                    break
+                batch_ids = [int(current.row_ids[p]) for p in batch]
+                current = oracle.clean(current, batch_ids)
+                cleaned.update(batch_ids)
+                record = {
+                    "round": round_no, "n_cleaned": len(cleaned), **evaluate(current)
+                }
+                curve.records.append(record)
+                if _obs.enabled():
+                    sp.set(
+                        n_cleaned=len(cleaned),
+                        valid_accuracy=record["valid_accuracy"],
+                    )
+                    _obs_metrics.counter("cleaning.rows_cleaned").inc(len(batch))
+                    _obs_metrics.counter("cleaning.rounds").inc()
     return curve

@@ -36,6 +36,7 @@ from ..importance.engine import DEFAULT_CACHE_SIZE, ValuationEngine
 from ..importance.knn_shapley import knn_shapley
 from ..importance.shapley import shapley_mc
 from ..importance.utility import Utility
+from ..obs import TraceReport, tracing
 from ..pipeline.datascope import SourceImportance, datascope_importance
 from ..pipeline.execute import PipelineResult, execute
 from ..pipeline.execute import execute_robust as _execute_robust
@@ -69,6 +70,8 @@ __all__ = [
     "encode_symbolic",
     "estimate_with_zorro",
     "visualize_uncertainty",
+    "tracing",
+    "TraceReport",
 ]
 
 _DEFAULT_EMBEDDER = TextEmbedder(n_features=48)

@@ -61,6 +61,9 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs
+
 __all__ = [
     "DEFAULT_CACHE_SIZE",
     "SubsetCache",
@@ -321,6 +324,38 @@ class ValuationEngine:
         }
 
     # ------------------------------------------------------------------ #
+    # observability                                                      #
+    # ------------------------------------------------------------------ #
+
+    def _stats_baseline(self) -> tuple[int, int, int] | None:
+        """Cache/evaluation counters at entry (None while obs is off)."""
+        if not _obs.enabled():
+            return None
+        return (
+            self.cache.hits,
+            self.cache.misses,
+            int(self.utility.n_evaluations),
+        )
+
+    def _record_stats_delta(self, baseline: tuple[int, int, int] | None) -> None:
+        """Publish what one engine call contributed to the metric registry."""
+        if baseline is None:
+            return
+        hits0, misses0, evals0 = baseline
+        _obs_metrics.counter("engine.cache.hits").inc(self.cache.hits - hits0)
+        _obs_metrics.counter("engine.cache.misses").inc(self.cache.misses - misses0)
+        _obs_metrics.counter("engine.evaluations").inc(
+            int(self.utility.n_evaluations) - evals0
+        )
+        _obs_metrics.gauge("engine.cache.size").set(len(self.cache._data))
+        _obs_metrics.gauge("engine.n_workers").set(self.n_workers)
+        _obs.add_attrs(
+            cache_hits=self.cache.hits - hits0,
+            cache_misses=self.cache.misses - misses0,
+            evaluations=int(self.utility.n_evaluations) - evals0,
+        )
+
+    # ------------------------------------------------------------------ #
     # point evaluations                                                  #
     # ------------------------------------------------------------------ #
 
@@ -340,26 +375,32 @@ class ValuationEngine:
         cache misses, so a warm engine answers entirely from memory.
         """
         keys = [SubsetCache.key(subset) for subset in subsets]
-        if not self._parallel(len(keys)):
-            return np.asarray([self.evaluate(key) for key in keys])
-        values: dict[tuple[int, ...], float] = {}
-        pending: list[tuple[int, ...]] = []
-        for key in OrderedDict.fromkeys(keys):
-            value = self.cache.lookup(key)
-            if value is _MISSING:
-                pending.append(key)
-            else:
-                values[key] = value
-        if pending:
-            results = self._run_pool(
-                _subset_chunk, _chunk_bounds(len(pending), self.n_workers),
-                {"keys": pending},
-            )
-            for start, chunk_values, new_entries, evals, counters in results:
-                for key, value in zip(pending[start : start + len(chunk_values)], chunk_values):
+        with _obs.span("engine.evaluate_many", n_subsets=len(keys)) as sp:
+            stats_before = self._stats_baseline()
+            if not self._parallel(len(keys)):
+                out = np.asarray([self.evaluate(key) for key in keys])
+                self._record_stats_delta(stats_before)
+                return out
+            values: dict[tuple[int, ...], float] = {}
+            pending: list[tuple[int, ...]] = []
+            for key in OrderedDict.fromkeys(keys):
+                value = self.cache.lookup(key)
+                if value is _MISSING:
+                    pending.append(key)
+                else:
                     values[key] = value
-                self._merge_worker(new_entries, evals, counters, count_lookups=False)
-        return np.asarray([values[key] for key in keys])
+            sp.set(pending=len(pending))
+            if pending:
+                results = self._run_pool(
+                    _subset_chunk, _chunk_bounds(len(pending), self.n_workers),
+                    {"keys": pending},
+                )
+                for start, chunk_values, new_entries, evals, counters in results:
+                    for key, value in zip(pending[start : start + len(chunk_values)], chunk_values):
+                        values[key] = value
+                    self._merge_worker(new_entries, evals, counters, count_lookups=False)
+            self._record_stats_delta(stats_before)
+            return np.asarray([values[key] for key in keys])
 
     # ------------------------------------------------------------------ #
     # permutation sampling                                               #
@@ -393,6 +434,16 @@ class ValuationEngine:
             if weights.shape != (n,):
                 raise ValueError("weights must have one entry per position")
         orderings = self._draw_orderings(n_permutations, seed, antithetic)
+        run_span = _obs.span(
+            "engine.run_permutations",
+            n_train=n,
+            n_permutations=n_permutations,
+            n_workers=self.n_workers,
+            antithetic=antithetic,
+            seed=seed,
+        )
+        run_span.__enter__()
+        stats_before = self._stats_baseline()
         null = self.evaluate(())
         full = (
             self.evaluate(range(n)) if truncation_tolerance > 0.0 else None
@@ -423,29 +474,49 @@ class ValuationEngine:
             start = 0
             while start < n_permutations:
                 stop = min(start + wave, n_permutations)
-                deltas, wave_truncated = self._scan_range(
-                    orderings, start, stop, weights, truncation_tolerance,
-                    null, full, pool,
-                )
-                # Accumulate one permutation at a time so the FP summation
-                # order matches the serial path for every worker count.
-                for row in deltas:
-                    totals += row
-                    sumsq += row * row
-                truncated += wave_truncated
-                scanned = stop
-                if convergence_tolerance is not None and scanned >= 2:
-                    run = PermutationRun(
-                        totals, np.full(n, scanned, dtype=float), sumsq,
-                        scanned, truncated, False, None,
+                with _obs.span("engine.wave", start=start, stop=stop) as wave_span:
+                    deltas, wave_truncated = self._scan_range(
+                        orderings, start, stop, weights, truncation_tolerance,
+                        null, full, pool,
                     )
-                    max_stderr = float(np.max(run.stderr()))
-                    if max_stderr <= convergence_tolerance:
-                        stopped = True
-                        break
+                    # Accumulate one permutation at a time so the FP summation
+                    # order matches the serial path for every worker count.
+                    for row in deltas:
+                        totals += row
+                        sumsq += row * row
+                    truncated += wave_truncated
+                    scanned = stop
+                    if convergence_tolerance is not None and scanned >= 2:
+                        run = PermutationRun(
+                            totals, np.full(n, scanned, dtype=float), sumsq,
+                            scanned, truncated, False, None,
+                        )
+                        max_stderr = float(np.max(run.stderr()))
+                        if _obs.enabled():
+                            # SE trajectory: one observation per wave boundary.
+                            wave_span.set(max_stderr=max_stderr)
+                            _obs_metrics.histogram("engine.wave_max_stderr").observe(
+                                max_stderr
+                            )
+                        if max_stderr <= convergence_tolerance:
+                            stopped = True
+                    if _obs.enabled():
+                        wave_span.set(truncated=wave_truncated)
+                        _obs_metrics.counter("engine.permutations").inc(stop - start)
+                if stopped:
+                    break
                 start = stop
         finally:
             self._stop_pool(pool)
+            if _obs.enabled():
+                run_span.set(
+                    n_permutations_run=scanned,
+                    truncated_scans=truncated,
+                    stopped_early=stopped,
+                    max_stderr=max_stderr,
+                )
+                self._record_stats_delta(stats_before)
+            run_span.__exit__(None, None, None)
         return PermutationRun(
             totals=totals,
             counts=np.full(n, scanned, dtype=float),
@@ -503,6 +574,13 @@ class ValuationEngine:
             (start + a, start + b)
             for a, b in _chunk_bounds(stop - start, self.n_workers)
         ]
+        if _obs.enabled():
+            # Utilization: fraction of the configured pool this wave kept
+            # busy (short waves can have fewer chunks than workers).
+            _obs_metrics.counter("engine.pool.tasks").inc(len(bounds))
+            _obs_metrics.histogram("engine.pool.utilization").observe(
+                len(bounds) / self.n_workers
+            )
         results = pool.map(_permutation_chunk, bounds)
         results.sort(key=lambda item: item[0])
         deltas = np.concatenate([item[1] for item in results], axis=0)
@@ -538,6 +616,11 @@ class ValuationEngine:
             _POOL_STATE = None
 
     def _run_pool(self, task, bounds, extra_state):
+        if _obs.enabled():
+            _obs_metrics.counter("engine.pool.tasks").inc(len(bounds))
+            _obs_metrics.histogram("engine.pool.utilization").observe(
+                len(bounds) / self.n_workers
+            )
         pool = self._start_pool(extra_state)
         try:
             results = pool.map(task, bounds)

@@ -23,6 +23,7 @@ from typing import Any
 import numpy as np
 
 from ..learn.models.knn import pairwise_distances
+from ..obs import trace as _obs
 from .base import ImportanceResult
 
 __all__ = ["knn_shapley", "knn_utility", "knn_shapley_brute_force"]
@@ -94,23 +95,30 @@ def knn_shapley(
     ranks = np.arange(1, n + 1, dtype=float)
     coeff = np.minimum(k, ranks) / (k * ranks)  # c_i for i = 1..n
     values = np.zeros(n)
-    for start in range(0, len(y_valid), block_size):
-        block = slice(start, start + block_size)
-        distances = pairwise_distances(x_valid[block], x_train, metric=metric)
-        # Vectorised recursion over the block's validation points: for each
-        # row, s_i = s_{i+1} + (match_i − match_{i+1}) · c_i with
-        # c_i = min(K, rank_i) / (K · rank_i), i.e. a reversed cumulative
-        # sum of the weighted match differences plus the base case.
-        order = np.argsort(distances, axis=1, kind="stable")  # (block, n)
-        match = (y_train[order] == y_valid[block][:, None]).astype(float)
-        base = match[:, -1] / n * min(k, n) / k
-        diffs = (match[:, :-1] - match[:, 1:]) * coeff[:-1]  # term in s_i
-        s = np.empty_like(match)
-        s[:, -1] = base
-        # s_i = base + Σ_{j ≥ i} diffs_j  → reversed cumulative sum.
-        s[:, :-1] = base[:, None] + np.cumsum(diffs[:, ::-1], axis=1)[:, ::-1]
-        np.add.at(values, order, s)
-    values /= len(y_valid)
+    with _obs.span(
+        "importance.knn_shapley",
+        n_train=n,
+        n_valid=len(y_valid),
+        k=k,
+        block_size=block_size,
+    ):
+        for start in range(0, len(y_valid), block_size):
+            block = slice(start, start + block_size)
+            distances = pairwise_distances(x_valid[block], x_train, metric=metric)
+            # Vectorised recursion over the block's validation points: for each
+            # row, s_i = s_{i+1} + (match_i − match_{i+1}) · c_i with
+            # c_i = min(K, rank_i) / (K · rank_i), i.e. a reversed cumulative
+            # sum of the weighted match differences plus the base case.
+            order = np.argsort(distances, axis=1, kind="stable")  # (block, n)
+            match = (y_train[order] == y_valid[block][:, None]).astype(float)
+            base = match[:, -1] / n * min(k, n) / k
+            diffs = (match[:, :-1] - match[:, 1:]) * coeff[:-1]  # term in s_i
+            s = np.empty_like(match)
+            s[:, -1] = base
+            # s_i = base + Σ_{j ≥ i} diffs_j  → reversed cumulative sum.
+            s[:, :-1] = base[:, None] + np.cumsum(diffs[:, ::-1], axis=1)[:, ::-1]
+            np.add.at(values, order, s)
+        values /= len(y_valid)
     return ImportanceResult(
         method=f"knn_shapley(k={k})",
         values=values,

@@ -1,0 +1,84 @@
+"""Observability: tracing, metrics, and profiling for the whole runtime.
+
+The paper's Debug pillar is built on fine-grained pipeline inspection;
+``repro.obs`` applies the same idea to the library's own execution. Three
+zero-dependency layers:
+
+- :mod:`repro.obs.trace` — hierarchical spans with a thread/fork-safe
+  in-memory recorder, a ``span()`` context manager, a ``@traced``
+  decorator, and JSONL export. Off by default; the disabled path is a
+  single flag check.
+- :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges,
+  and histograms with snapshot/reset semantics and JSON export.
+- :mod:`repro.obs.profile` — opt-in cProfile capture that attaches its
+  results to the trace.
+
+The executor (:mod:`repro.pipeline.execute`), the valuation engine
+(:mod:`repro.importance.engine`), and the cleaning loops are instrumented
+through this package; the user-facing window is
+:class:`repro.obs.tracing` (re-exported as ``nde.tracing()``)::
+
+    import repro.core as nde
+
+    with nde.tracing() as report:
+        nde.execute_robust(sink, sources)
+    print(report.render())
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    registry,
+    reset,
+    snapshot,
+)
+from .profile import ProfileResult, profile_block, profiling_requested
+from .report import TraceReport, tracing
+from .trace import (
+    Span,
+    TraceRecorder,
+    add_attrs,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    get_recorder,
+    span,
+    traced,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "TraceRecorder",
+    "enabled",
+    "enable",
+    "disable",
+    "span",
+    "traced",
+    "add_attrs",
+    "current_span",
+    "get_recorder",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "reset",
+    # report / profile
+    "TraceReport",
+    "tracing",
+    "ProfileResult",
+    "profile_block",
+    "profiling_requested",
+]

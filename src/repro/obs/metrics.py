@@ -1,0 +1,230 @@
+"""Process-wide metrics: counters, gauges, histograms.
+
+Tracing (:mod:`repro.obs.trace`) answers "where did the time go in *this*
+run"; metrics answer "how much work happened, cumulatively" — rows
+quarantined by reason, utility-cache hits, permutation waves, standard-error
+trajectories. Instruments are cheap enough to update from moderately hot
+paths (a lock-free attribute increment; registry lookups are dict hits),
+but instrumented library code still gates every update on
+:func:`repro.obs.trace.enabled` so the disabled path stays a flag check.
+
+The registry is fork-aware the same way the trace recorder is: a forked
+worker that inherits it starts from zero on first touch, so parent-side
+snapshots never double-count worker activity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "reset",
+]
+
+#: Observations kept per histogram (ring buffer) so trajectories — e.g. the
+#: engine's per-wave max standard error — stay inspectable without
+#: unbounded growth.
+HISTOGRAM_WINDOW = 512
+
+
+class Counter:
+    """Monotone cumulative count (floats allowed: row counts, seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Running aggregate + bounded window of recent observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "window")
+
+    def __init__(self, name: str, window: int = HISTOGRAM_WINDOW) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.window: deque[float] = deque(maxlen=window)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.window.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "recent": list(self.window),
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.window.clear()
+
+
+class MetricsRegistry:
+    """Name → instrument map with snapshot/reset and JSON export.
+
+    Instruments are created on first use; asking for an existing name with
+    a different instrument kind is an error (it would silently split one
+    metric into two).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pid = os.getpid()
+        self._metrics: dict[str, Any] = {}
+
+    def _guard_fork(self) -> None:
+        if os.getpid() != self._pid:
+            self._pid = os.getpid()
+            self._metrics = {}
+
+    def _get(self, name: str, cls: type) -> Any:
+        with self._lock:
+            self._guard_fork()
+            instrument = self._metrics.get(name)
+            if instrument is None:
+                instrument = cls(name)
+                self._metrics[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {cls.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            self._guard_fork()
+            return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Point-in-time copy: ``{name: {"type": ..., "value"/"count": ...}}``."""
+        with self._lock:
+            self._guard_fork()
+            return {
+                name: instrument.snapshot()
+                for name, instrument in sorted(self._metrics.items())
+            }
+
+    def reset(self, names: Iterable[str] | None = None) -> None:
+        """Zero every instrument (or just ``names``), keeping registrations."""
+        with self._lock:
+            self._guard_fork()
+            targets = self._metrics.keys() if names is None else names
+            for name in list(targets):
+                if name in self._metrics:
+                    self._metrics[name].reset()
+
+    def clear(self) -> None:
+        """Drop every registration entirely."""
+        with self._lock:
+            self._guard_fork()
+            self._metrics = {}
+
+    def export_json(self, path: Any) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry all instrumented code reports into."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _REGISTRY.histogram(name)
+
+
+def snapshot() -> dict[str, dict[str, Any]]:
+    return _REGISTRY.snapshot()
+
+
+def reset(names: Iterable[str] | None = None) -> None:
+    _REGISTRY.reset(names)

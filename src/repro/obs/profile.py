@@ -1,0 +1,101 @@
+"""Profiling hooks: opt-in cProfile capture attached to the trace.
+
+Spans tell you *which* region is slow; a profile tells you *why*. Because
+``cProfile`` costs far more than a flag check, profiling is never implied
+by :func:`repro.obs.trace.enable` — it must be requested explicitly per
+block (or via the ``REPRO_PROFILE=1`` environment variable, which the
+benchmark harness uses)::
+
+    from repro.obs import profile_block
+
+    with profile_block("engine.hot_loop") as prof:
+        engine.run_permutations(200)
+    print(prof.top_functions[:5])
+
+When active, the block is also recorded as a span named
+``profile.<name>`` whose attributes carry the top functions by cumulative
+time, so profiles travel inside ordinary :class:`~repro.obs.report.
+TraceReport` exports.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from . import trace as _trace
+
+__all__ = ["ProfileResult", "profile_block", "profiling_requested"]
+
+
+def profiling_requested() -> bool:
+    """True when the environment opts into profiling (``REPRO_PROFILE=1``)."""
+    return os.environ.get("REPRO_PROFILE", "").strip() not in ("", "0", "false")
+
+
+class ProfileResult:
+    """Outcome of one profiled block (empty when profiling was off)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.active = False
+        self.total_calls = 0
+        self.top_functions: list[dict[str, Any]] = []
+
+    def _load(self, profiler: Any, top: int) -> None:
+        import pstats
+
+        stats = pstats.Stats(profiler)
+        self.active = True
+        self.total_calls = int(stats.total_calls)
+        entries = []
+        for func, (cc, nc, tt, ct, __) in stats.stats.items():  # type: ignore[attr-defined]
+            filename, lineno, funcname = func
+            entries.append(
+                {
+                    "function": f"{os.path.basename(filename)}:{lineno}({funcname})",
+                    "calls": int(nc),
+                    "tottime_s": float(tt),
+                    "cumtime_s": float(ct),
+                }
+            )
+        entries.sort(key=lambda e: -e["cumtime_s"])
+        self.top_functions = entries[:top]
+
+
+class profile_block:
+    """Context manager capturing a cProfile for one block.
+
+    ``enabled=None`` (the default) activates only when
+    :func:`profiling_requested` says so; pass ``enabled=True`` to force.
+    The disabled path costs one boolean check.
+    """
+
+    def __init__(self, name: str, enabled: bool | None = None, top: int = 10) -> None:
+        self.result = ProfileResult(name)
+        self._top = int(top)
+        self._on = profiling_requested() if enabled is None else bool(enabled)
+        self._profiler = None
+        self._span = None
+
+    def __enter__(self) -> ProfileResult:
+        if not self._on:
+            return self.result
+        import cProfile
+
+        self._span = _trace.span(f"profile.{self.result.name}")
+        self._span.__enter__()
+        self._profiler = cProfile.Profile()
+        self._profiler.enable()
+        return self.result
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if not self._on:
+            return
+        self._profiler.disable()
+        self.result._load(self._profiler, self._top)
+        self._span.set(
+            total_calls=self.result.total_calls,
+            top_functions=self.result.top_functions,
+        )
+        self._span.__exit__(exc_type, exc, tb)

@@ -24,6 +24,7 @@ from ..importance.engine import DEFAULT_CACHE_SIZE, ValuationEngine
 from ..importance.knn_shapley import knn_shapley
 from ..importance.shapley import shapley_mc
 from ..importance.utility import Utility
+from ..obs import trace as _obs
 from .execute import PipelineResult
 
 __all__ = ["SourceImportance", "datascope_importance"]
@@ -149,32 +150,39 @@ def datascope_importance(
                 "pass source= explicitly"
             )
 
-    if method == "knn":
-        encoded = knn_shapley(
-            train_result.X, train_result.y,
-            np.asarray(valid_x, float), np.asarray(valid_y), k=k,
-        )
-    else:
-        if engine is None:
-            if model is None:
-                from ..learn.models.logistic import LogisticRegression
+    with _obs.span(
+        "pipeline.datascope",
+        method=method,
+        source=source,
+        n_rows=len(train_result.provenance),
+        attribution=attribution,
+    ):
+        if method == "knn":
+            encoded = knn_shapley(
+                train_result.X, train_result.y,
+                np.asarray(valid_x, float), np.asarray(valid_y), k=k,
+            )
+        else:
+            if engine is None:
+                if model is None:
+                    from ..learn.models.logistic import LogisticRegression
 
-                model = LogisticRegression(max_iter=100)
-            utility = Utility(
-                model, train_result.X, train_result.y,
-                np.asarray(valid_x, float), np.asarray(valid_y),
+                    model = LogisticRegression(max_iter=100)
+                utility = Utility(
+                    model, train_result.X, train_result.y,
+                    np.asarray(valid_x, float), np.asarray(valid_y),
+                )
+                engine = ValuationEngine(
+                    utility, n_workers=n_workers, cache_size=cache_size
+                )
+            encoded = shapley_mc(
+                None,
+                n_permutations=n_permutations,
+                truncation_tolerance=truncation_tolerance,
+                convergence_tolerance=convergence_tolerance,
+                seed=seed,
+                engine=engine,
             )
-            engine = ValuationEngine(
-                utility, n_workers=n_workers, cache_size=cache_size
-            )
-        encoded = shapley_mc(
-            None,
-            n_permutations=n_permutations,
-            truncation_tolerance=truncation_tolerance,
-            convergence_tolerance=convergence_tolerance,
-            seed=seed,
-            engine=engine,
-        )
     by_row_id: dict[int, float] = {}
     if attribution == "unique":
         src_ids = train_result.provenance.source_row_ids(source)

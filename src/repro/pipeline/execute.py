@@ -22,6 +22,8 @@ from typing import Any, Callable, Mapping
 import numpy as np
 
 from ..frame import DataFrame
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs
 from .operators import (
     EncodeNode,
     FilterNode,
@@ -156,6 +158,21 @@ def _cells_of(raw: Any, n_rows: int) -> list:
 def _scalar(raw: Any) -> Any:
     """Extract the single cell from a map-UDF result over a one-row frame."""
     return _cells_of(raw, 1)[0]
+
+
+def _node_span(node: Node, rows_in: int | None = None):
+    """Span for one operator evaluation; inputs are computed *before* the
+    span opens, so a node's duration is its own work, not its subtree's.
+
+    Disabled tracing costs exactly the ``enabled()`` flag check — attrs
+    (including ``describe()`` strings) are never built.
+    """
+    if not _obs.enabled():
+        return _obs._NULL_SPAN
+    attrs: dict[str, Any] = {"op": node.describe()}
+    if rows_in is not None:
+        attrs["rows_in"] = rows_in
+    return _obs.span(f"node.{node.kind}#{node.id}", **attrs)
 
 
 _TIMEOUT_REASON = {True: "timeout", False: "error"}
@@ -351,6 +368,8 @@ def _run_node(
     quarantine: Quarantine | None = None,
 ) -> tuple[DataFrame, Provenance]:
     if node.id in cache:
+        if _obs.enabled():
+            _obs_metrics.counter("pipeline.node_cache.hits").inc()
         return cache[node.id]
 
     node_policy = policy.resolve(node) if policy is not None else None
@@ -366,50 +385,60 @@ def _run_node(
             raise KeyError(
                 f"no input bound for source {node.name!r}; have {sorted(sources)}"
             )
-        frame = sources[node.name]
-        result = (frame, Provenance.for_source(node.name, frame.row_ids))
+        with _node_span(node) as sp:
+            frame = sources[node.name]
+            result = (frame, Provenance.for_source(node.name, frame.row_ids))
+            sp.set(rows_out=frame.num_rows)
     elif isinstance(node, JoinNode):
         left = _run_node(node.inputs[0], sources, fit, cache, policy, quarantine)
         right = _run_node(node.inputs[1], sources, fit, cache, policy, quarantine)
-        if strict:
-            left_frame, left_prov = left
-            right_frame, right_prov = right
-            joined, lpos, rpos = left_frame.join(
-                right_frame,
-                on=node.on,
-                how=node.how,
-                suffix=node.suffix,
-                fuzzy=node.fuzzy,
-                return_indices=True,
-            )
-            out_prov_rows = []
-            for lp, rp in zip(lpos, rpos):
-                row = left_prov.tuples[int(lp)]
-                if rp >= 0:
-                    row = row | right_prov.tuples[int(rp)]
-                out_prov_rows.append(row)
-            result = (joined, Provenance(out_prov_rows))
-        else:
-            result = _run_join_guarded(node, left, right, node_policy, quarantine)
+        with _node_span(node, rows_in=left[0].num_rows) as sp:
+            if strict:
+                left_frame, left_prov = left
+                right_frame, right_prov = right
+                joined, lpos, rpos = left_frame.join(
+                    right_frame,
+                    on=node.on,
+                    how=node.how,
+                    suffix=node.suffix,
+                    fuzzy=node.fuzzy,
+                    return_indices=True,
+                )
+                out_prov_rows = []
+                for lp, rp in zip(lpos, rpos):
+                    row = left_prov.tuples[int(lp)]
+                    if rp >= 0:
+                        row = row | right_prov.tuples[int(rp)]
+                    out_prov_rows.append(row)
+                result = (joined, Provenance(out_prov_rows))
+            else:
+                result = _run_join_guarded(node, left, right, node_policy, quarantine)
+            sp.set(rows_out=result[0].num_rows)
     elif isinstance(node, FilterNode):
         frame, prov = _run_node(node.inputs[0], sources, fit, cache, policy, quarantine)
-        if strict:
-            mask = np.asarray(node.predicate(frame), dtype=bool)
-            positions = np.flatnonzero(mask)
-            result = (frame.take(positions), prov.take(positions))
-        else:
-            result = _run_filter_guarded(node, frame, prov, node_policy, quarantine)
+        with _node_span(node, rows_in=frame.num_rows) as sp:
+            if strict:
+                mask = np.asarray(node.predicate(frame), dtype=bool)
+                positions = np.flatnonzero(mask)
+                result = (frame.take(positions), prov.take(positions))
+            else:
+                result = _run_filter_guarded(node, frame, prov, node_policy, quarantine)
+            sp.set(rows_out=result[0].num_rows)
     elif isinstance(node, MapNode):
         frame, prov = _run_node(node.inputs[0], sources, fit, cache, policy, quarantine)
-        if strict:
-            out = frame.copy()
-            out[node.name] = node.func(frame)
-            result = (out, prov)
-        else:
-            result = _run_map_guarded(node, frame, prov, node_policy, quarantine)
+        with _node_span(node, rows_in=frame.num_rows) as sp:
+            if strict:
+                out = frame.copy()
+                out[node.name] = node.func(frame)
+                result = (out, prov)
+            else:
+                result = _run_map_guarded(node, frame, prov, node_policy, quarantine)
+            sp.set(rows_out=result[0].num_rows)
     elif isinstance(node, ProjectNode):
         frame, prov = _run_node(node.inputs[0], sources, fit, cache, policy, quarantine)
-        result = (frame.select(node.columns), prov)
+        with _node_span(node, rows_in=frame.num_rows) as sp:
+            result = (frame.select(node.columns), prov)
+            sp.set(rows_out=result[0].num_rows)
     elif isinstance(node, EncodeNode):
         # Handled by the caller (needs to produce X/y, not a frame).
         raise TypeError("EncodeNode must be the sink; execute() handles it")
@@ -520,34 +549,41 @@ def execute(
     if cache is None:
         cache = {}
     quarantine = Quarantine()
-    if isinstance(sink, EncodeNode):
-        frame, prov = _run_node(
-            sink.inputs[0], sources, fit, cache, policy, quarantine
-        )
-        sink_policy = policy.resolve(sink) if policy is not None else None
-        if sink_policy is None:
-            if fit:
-                X = sink.encoder.fit_transform(frame)
-            else:
-                X = sink.encoder.transform(frame)
-        else:
-            frame, prov, X = _encode_guarded(
-                sink, frame, prov, fit, sink_policy, quarantine
+    with _obs.span("pipeline.execute", fit=fit, robust=policy is not None) as root:
+        if isinstance(sink, EncodeNode):
+            frame, prov = _run_node(
+                sink.inputs[0], sources, fit, cache, policy, quarantine
             )
-        y = np.asarray(frame.column(sink.label_column).to_list())
-        result = PipelineResult(
-            frame=frame, provenance=prov, sink=sink, X=X, y=y,
-            quarantine=quarantine,
-        )
-    else:
-        frame, prov = _run_node(sink, sources, fit, cache, policy, quarantine)
-        result = PipelineResult(
-            frame=frame, provenance=prov, sink=sink, quarantine=quarantine
-        )
-    reachable = {node.id for node in sink.plan.topological_order(sink)}
-    result.intermediates = {
-        nid: len(entry[1]) for nid, entry in cache.items() if nid in reachable
-    }
+            sink_policy = policy.resolve(sink) if policy is not None else None
+            with _node_span(sink, rows_in=frame.num_rows) as sp:
+                if sink_policy is None:
+                    if fit:
+                        X = sink.encoder.fit_transform(frame)
+                    else:
+                        X = sink.encoder.transform(frame)
+                else:
+                    frame, prov, X = _encode_guarded(
+                        sink, frame, prov, fit, sink_policy, quarantine
+                    )
+                sp.set(rows_out=frame.num_rows)
+            y = np.asarray(frame.column(sink.label_column).to_list())
+            result = PipelineResult(
+                frame=frame, provenance=prov, sink=sink, X=X, y=y,
+                quarantine=quarantine,
+            )
+        else:
+            frame, prov = _run_node(sink, sources, fit, cache, policy, quarantine)
+            result = PipelineResult(
+                frame=frame, provenance=prov, sink=sink, quarantine=quarantine
+            )
+        reachable = {node.id for node in sink.plan.topological_order(sink)}
+        result.intermediates = {
+            nid: len(entry[1]) for nid, entry in cache.items() if nid in reachable
+        }
+        if _obs.enabled():
+            root.set(rows_out=result.n_rows, quarantined=len(quarantine))
+            _obs_metrics.counter("pipeline.runs").inc()
+            _obs_metrics.counter("pipeline.rows_out").inc(result.n_rows)
     return result
 
 

@@ -31,6 +31,9 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs
+
 __all__ = [
     "FAIL_FAST",
     "SKIP_AND_QUARANTINE",
@@ -242,6 +245,9 @@ class Quarantine:
                 substituted=substituted,
             )
         )
+        if _obs.enabled():
+            _obs_metrics.counter(f"pipeline.quarantine.{reason}").inc()
+            _obs_metrics.counter("pipeline.quarantine.total").inc()
 
     # Introspection -------------------------------------------------------
     def __len__(self) -> int:

@@ -1,7 +1,8 @@
-"""Text-based visualisation: tables, line/bar charts, query-plan rendering."""
+"""Text-based visualisation: tables, charts, query-plan and trace rendering."""
 
 from .ascii_chart import bar_chart, histogram, line_chart, reliability_chart
 from .table import format_records, format_table, pretty_print
+from .trace_view import format_metrics, format_span_summary, format_trace
 
 __all__ = [
     "bar_chart",
@@ -11,4 +12,7 @@ __all__ = [
     "format_records",
     "format_table",
     "pretty_print",
+    "format_trace",
+    "format_span_summary",
+    "format_metrics",
 ]

@@ -1,0 +1,124 @@
+"""ASCII rendering of trace spans: tree/flame view, summary, metrics.
+
+Consumes the :class:`repro.obs.Span` objects recorded by the observability
+layer (anything with ``span_id``/``parent_id``/``name``/``duration``/
+``attrs`` works) and renders the views ``TraceReport.render`` composes:
+
+- :func:`format_trace` — the span tree with a duration bar per span (a
+  collapsed flame graph: bar length ∝ share of the window's wall-clock);
+- :func:`format_span_summary` — one aggregate row per span name;
+- :func:`format_metrics` — the metric deltas of a tracing window.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from .table import format_records
+
+__all__ = ["format_trace", "format_span_summary", "format_metrics"]
+
+_BAR_WIDTH = 24
+
+
+def _format_duration(seconds: float | None) -> str:
+    if seconds is None:
+        return "(open)"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def _format_attrs(attrs: Mapping[str, Any], max_attrs: int) -> str:
+    if not attrs or max_attrs <= 0:
+        return ""
+    parts = []
+    for key, value in list(attrs.items())[:max_attrs]:
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        text = str(value)
+        if len(text) > 24:
+            text = text[:21] + "…"
+        parts.append(f"{key}={text}")
+    if len(attrs) > max_attrs:
+        parts.append("…")
+    return "  " + " ".join(parts)
+
+
+def format_trace(spans: Sequence[Any], max_attrs: int = 4) -> str:
+    """Render spans as an indented tree with duration bars.
+
+    Spans are expected in recording (pre-)order; children are grouped under
+    their parent whatever interleaving threads produced.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    by_parent: dict[Any, list[Any]] = {}
+    ids = {s.span_id for s in spans}
+    for s in spans:
+        parent = s.parent_id if s.parent_id in ids else None
+        by_parent.setdefault(parent, []).append(s)
+    total = sum(s.duration or 0.0 for s in by_parent.get(None, ())) or 1.0
+    name_width = min(48, max(len(s.name) for s in spans) + 2)
+
+    lines: list[str] = []
+
+    def emit(span: Any, prefix: str, child_prefix: str) -> None:
+        share = (span.duration or 0.0) / total
+        bar = "█" * max(1 if (span.duration or 0) > 0 else 0, round(share * _BAR_WIDTH))
+        label = prefix + span.name
+        lines.append(
+            f"{label:<{name_width + len(child_prefix)}} "
+            f"{_format_duration(span.duration):>8}  "
+            f"{bar:<{_BAR_WIDTH}}"
+            f"{_format_attrs(span.attrs, max_attrs)}".rstrip()
+        )
+        children = by_parent.get(span.span_id, [])
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            emit(
+                child,
+                child_prefix + ("└─ " if last else "├─ "),
+                child_prefix + ("   " if last else "│  "),
+            )
+
+    for root in by_parent.get(None, []):
+        emit(root, "", "")
+    return "\n".join(lines)
+
+
+def format_span_summary(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Aggregate table produced from ``TraceReport.summary()`` rows."""
+    if not rows:
+        return "(no spans recorded)"
+    display = [
+        {
+            "span": row["name"],
+            "calls": row["calls"],
+            "total": _format_duration(row["total_s"]),
+            "mean": _format_duration(row["mean_s"]),
+            "max": _format_duration(row["max_s"]),
+            "self": _format_duration(row["self_s"]),
+        }
+        for row in rows
+    ]
+    return format_records(display)
+
+
+def format_metrics(metrics: Mapping[str, Mapping[str, Any]]) -> str:
+    """Render a metrics snapshot/delta (``TraceReport.metrics``) as a table."""
+    if not metrics:
+        return "(no metrics recorded)"
+    rows = []
+    for name, snap in sorted(metrics.items()):
+        kind = snap.get("type", "?")
+        if kind == "histogram":
+            count = snap.get("count", 0)
+            mean = (snap.get("sum", 0.0) / count) if count else 0.0
+            value = f"n={count} mean={mean:.4g}"
+        else:
+            value = f"{snap.get('value', 0.0):.6g}"
+        rows.append({"metric": name, "kind": kind, "value": value})
+    return format_records(rows)

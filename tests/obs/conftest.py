@@ -1,0 +1,17 @@
+"""Observability is process-global state; leave none of it behind."""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    obs_trace.disable()
+    obs_trace.get_recorder().reset()
+    obs_metrics.registry().clear()
+    yield
+    obs_trace.disable()
+    obs_trace.get_recorder().reset()
+    obs_metrics.registry().clear()

@@ -1,0 +1,117 @@
+"""Unit tests for the metrics registry: instruments, snapshots, resets."""
+
+import json
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import HISTOGRAM_WINDOW, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = obs_metrics.counter("test.rows")
+        c.inc()
+        c.inc(4.5)
+        assert c.value == 5.5
+        # Same name returns the same instrument.
+        assert obs_metrics.counter("test.rows") is c
+
+    def test_counter_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            obs_metrics.counter("test.neg").inc(-1)
+
+    def test_gauge_is_last_write_wins(self):
+        g = obs_metrics.gauge("test.depth")
+        g.set(3)
+        g.set(7)
+        assert g.value == 7.0
+        assert g.snapshot() == {"type": "gauge", "value": 7.0}
+
+    def test_histogram_aggregates_and_windows(self):
+        h = obs_metrics.histogram("test.latency")
+        for value in (1.0, 3.0, 2.0):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 6.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert snap["mean"] == 2.0
+        assert snap["recent"] == [1.0, 3.0, 2.0]
+
+    def test_histogram_window_is_bounded(self):
+        h = obs_metrics.histogram("test.window")
+        for i in range(HISTOGRAM_WINDOW + 10):
+            h.observe(float(i))
+        snap = h.snapshot()
+        assert snap["count"] == HISTOGRAM_WINDOW + 10  # aggregate keeps all
+        assert len(snap["recent"]) == HISTOGRAM_WINDOW  # window drops oldest
+        assert snap["recent"][0] == 10.0
+
+    def test_empty_histogram_snapshot_has_no_extremes(self):
+        snap = obs_metrics.histogram("test.empty").snapshot()
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["mean"] == 0.0
+
+
+class TestRegistrySemantics:
+    def test_kind_conflict_raises(self):
+        obs_metrics.counter("test.conflict")
+        with pytest.raises(TypeError):
+            obs_metrics.gauge("test.conflict")
+        with pytest.raises(TypeError):
+            obs_metrics.histogram("test.conflict")
+
+    def test_snapshot_is_a_point_in_time_copy(self):
+        c = obs_metrics.counter("test.snap")
+        c.inc(2)
+        before = obs_metrics.snapshot()
+        c.inc(3)
+        assert before["test.snap"]["value"] == 2.0
+        assert obs_metrics.snapshot()["test.snap"]["value"] == 5.0
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        c = obs_metrics.counter("test.reset")
+        h = obs_metrics.histogram("test.reset.h")
+        c.inc(5)
+        h.observe(1.0)
+        obs_metrics.reset()
+        assert obs_metrics.registry().names() == ["test.reset", "test.reset.h"]
+        assert c.value == 0.0
+        assert h.count == 0 and list(h.window) == []
+        # The same objects keep working after reset.
+        c.inc()
+        assert obs_metrics.counter("test.reset") is c
+        assert c.value == 1.0
+
+    def test_selective_reset_by_name(self):
+        a = obs_metrics.counter("test.a")
+        b = obs_metrics.counter("test.b")
+        a.inc(1)
+        b.inc(1)
+        obs_metrics.reset(["test.a", "test.unknown"])  # unknown names ignored
+        assert a.value == 0.0
+        assert b.value == 1.0
+
+    def test_clear_drops_registrations(self):
+        obs_metrics.counter("test.gone").inc()
+        obs_metrics.registry().clear()
+        assert obs_metrics.registry().names() == []
+        # Re-registering after clear starts from zero.
+        assert obs_metrics.counter("test.gone").value == 0.0
+
+    def test_export_json(self, tmp_path):
+        obs_metrics.counter("test.export").inc(3)
+        obs_metrics.histogram("test.export.h").observe(2.0)
+        path = tmp_path / "metrics.json"
+        obs_metrics.registry().export_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["test.export"] == {"type": "counter", "value": 3.0}
+        assert payload["test.export.h"]["count"] == 1
+
+    def test_independent_registries_do_not_share_state(self):
+        private = MetricsRegistry()
+        private.counter("test.private").inc()
+        assert "test.private" not in obs_metrics.registry().names()
+        assert private.snapshot()["test.private"]["value"] == 1.0

@@ -1,0 +1,200 @@
+"""Unit tests for the span recorder: nesting, lifecycle, export, safety."""
+
+import json
+import multiprocessing as mp
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import trace as obs_trace
+
+
+class TestDisabledMode:
+    def test_span_returns_shared_null_singleton(self):
+        assert obs.span("anything") is obs_trace._NULL_SPAN
+        assert obs.span("other", attr=1) is obs_trace._NULL_SPAN
+
+    def test_nothing_is_recorded(self):
+        with obs.span("invisible") as s:
+            s.set(x=1)
+        assert len(obs.get_recorder()) == 0
+        assert obs.current_span() is None
+
+    def test_add_attrs_is_a_noop(self):
+        obs.add_attrs(x=1)  # must not raise with no open span
+        assert len(obs.get_recorder()) == 0
+
+    def test_traced_function_still_runs(self):
+        @obs.traced
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+        assert len(obs.get_recorder()) == 0
+
+
+class TestSpanLifecycle:
+    def test_nesting_sets_parent_ids(self):
+        obs.enable()
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with obs.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        spans = obs.get_recorder().spans
+        assert [s.name for s in spans] == ["outer", "inner", "sibling"]
+        assert spans[0].parent_id is None
+        assert all(s.finished for s in spans)
+        assert all(s.duration >= 0.0 for s in spans)
+
+    def test_spans_recorded_in_preorder(self):
+        obs.enable()
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+            with obs.span("d"):
+                pass
+        names = [s.name for s in obs.get_recorder().spans]
+        assert names == ["a", "b", "c", "d"]  # start order, not end order
+
+    def test_span_ids_are_monotone(self):
+        obs.enable()
+        with obs.span("a"):
+            with obs.span("b"):
+                pass
+        ids = [s.span_id for s in obs.get_recorder().spans]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_attrs_via_kwargs_set_and_add_attrs(self):
+        obs.enable()
+        with obs.span("work", rows=10) as s:
+            s.set(batch=2)
+            obs.add_attrs(note="deep")
+        (span,) = obs.get_recorder().spans
+        assert span.attrs == {"rows": 10, "batch": 2, "note": "deep"}
+
+    def test_exception_marks_span_and_closes_it(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("doomed"):
+                raise ValueError("boom")
+        (span,) = obs.get_recorder().spans
+        assert span.finished
+        assert span.attrs["error"] == "ValueError"
+
+    def test_current_span_tracks_innermost(self):
+        obs.enable()
+        assert obs.current_span() is None
+        with obs.span("outer"):
+            with obs.span("inner"):
+                assert obs.current_span().name == "inner"
+            assert obs.current_span().name == "outer"
+        assert obs.current_span() is None
+
+    def test_traced_decorator_bare_and_configured(self):
+        obs.enable()
+
+        @obs.traced
+        def plain():
+            return 1
+
+        @obs.traced("custom.name", tag="x")
+        def fancy():
+            return 2
+
+        assert plain() == 1 and fancy() == 2
+        spans = obs.get_recorder().spans
+        assert spans[0].name.endswith("plain")
+        assert spans[1].name == "custom.name"
+        assert spans[1].attrs == {"tag": "x"}
+
+    def test_reset_clears_spans_and_ids(self):
+        obs.enable()
+        with obs.span("one"):
+            pass
+        obs.get_recorder().reset()
+        assert len(obs.get_recorder()) == 0
+        with obs.span("two"):
+            pass
+        assert obs.get_recorder().spans[0].span_id == 0
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, tmp_path):
+        obs.enable()
+        with obs.span("root", n=3):
+            with obs.span("leaf"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        count = obs.get_recorder().export_jsonl(path)
+        assert count == 2
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [entry["name"] for entry in lines] == ["root", "leaf"]
+        assert lines[1]["parent_id"] == lines[0]["span_id"]
+        assert lines[0]["attrs"] == {"n": 3}
+        assert all(entry["duration"] > 0 for entry in lines)
+
+    def test_jsonable_coerces_numpy_attrs(self):
+        import numpy as np
+
+        obs.enable()
+        with obs.span("np", count=np.int64(7), values=np.asarray([1.0, 2.0])):
+            pass
+        payload = obs.get_recorder().spans[0].to_dict()
+        assert payload["attrs"] == {"count": 7, "values": [1.0, 2.0]}
+        json.dumps(payload)  # fully serialisable
+
+
+class TestConcurrencySafety:
+    def test_threads_build_disjoint_subtrees(self):
+        obs.enable()
+        barrier = threading.Barrier(2)
+
+        def work(label):
+            barrier.wait()
+            with obs.span(f"thread.{label}"):
+                with obs.span(f"child.{label}"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = {s.name: s for s in obs.get_recorder().spans}
+        assert len(spans) == 4
+        for label in (0, 1):
+            # Each child's parent is its *own* thread's root, despite the
+            # interleaving — the active-span stack is thread-local.
+            assert (
+                spans[f"child.{label}"].parent_id
+                == spans[f"thread.{label}"].span_id
+            )
+
+    def test_forked_child_starts_with_empty_recorder(self):
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("platform without fork")
+        obs.enable()
+        with obs.span("parent.before"):
+            pass
+
+        def child(queue):
+            queue.put(len(obs.get_recorder()))
+            with obs.span("child.work"):
+                pass
+            queue.put([s.name for s in obs.get_recorder().spans])
+
+        ctx = mp.get_context("fork")
+        queue = ctx.Queue()
+        proc = ctx.Process(target=child, args=(queue,))
+        proc.start()
+        proc.join()
+        inherited, child_names = queue.get(), queue.get()
+        # The PID guard dropped the inherited buffer before first use...
+        assert inherited == 0
+        assert child_names == ["child.work"]
+        # ...and the parent's trace is untouched by the child.
+        assert [s.name for s in obs.get_recorder().spans] == ["parent.before"]

@@ -1,0 +1,8 @@
+"""Property-based, metamorphic, and differential correctness suites.
+
+Unlike the unit tests, which pin concrete examples, these tests assert
+*relations* that must hold for whole families of hypothesis-generated
+inputs: serialisation round-trips, algebraic invariants of transformers,
+the Shapley axioms, and bit-identity between implementation variants that
+claim to compute the same thing.
+"""

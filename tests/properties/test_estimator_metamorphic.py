@@ -1,0 +1,164 @@
+"""Metamorphic tests of the game-theoretic importance estimators.
+
+Instead of pinning numeric outputs, these assert the Shapley *axioms*
+(efficiency, symmetry, additivity for additive games) and invariances
+under input transformations that provably must not change the answer:
+permuting the training set, duplicating a point, flipping a label.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.importance import (
+    banzhaf_brute_force,
+    knn_shapley,
+    loo_importance,
+    shapley_brute_force,
+)
+from repro.importance.utility import SubsetUtility
+
+weight_lists = st.lists(
+    st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+    min_size=2,
+    max_size=6,
+)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _random_game(weights, seed):
+    """Deterministic non-additive game: weights plus pairwise interactions."""
+    n = len(weights)
+    rng = np.random.default_rng(seed)
+    pair = rng.normal(scale=0.5, size=(n, n))
+    pair = (pair + pair.T) / 2.0
+    w = np.asarray(weights)
+
+    def v(indices):
+        idx = np.asarray(list(indices), dtype=np.int64)
+        if len(idx) == 0:
+            return 0.0
+        total = float(w[idx].sum())
+        total += float(pair[np.ix_(idx, idx)].sum()) / 2.0
+        return total
+
+    return SubsetUtility(v, n)
+
+
+class TestShapleyAxioms:
+    @given(weights=weight_lists, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_efficiency_on_arbitrary_games(self, weights, seed):
+        utility = _random_game(weights, seed)
+        values = shapley_brute_force(utility).values
+        grand = utility.func(range(len(weights)))
+        assert np.isclose(values.sum(), grand - utility.func([]), atol=1e-8)
+
+    @given(weights=weight_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_additive_games_have_shapley_equal_weights(self, weights):
+        w = np.asarray(weights)
+        utility = SubsetUtility(
+            lambda idx: float(w[np.asarray(list(idx), dtype=np.int64)].sum())
+            if len(list(idx))
+            else 0.0,
+            len(w),
+        )
+        np.testing.assert_allclose(shapley_brute_force(utility).values, w, atol=1e-9)
+
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        seed=seeds,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_symmetric_games_give_equal_values(self, n, seed):
+        # v depends only on |S|: every player is interchangeable, so
+        # symmetry forces all values equal — and efficiency pins them.
+        g = np.random.default_rng(seed).normal(size=n + 1)
+        utility = SubsetUtility(lambda idx: float(g[len(list(idx))]), n)
+        values = shapley_brute_force(utility).values
+        np.testing.assert_allclose(values, values[0], atol=1e-9)
+        assert np.isclose(values.sum(), g[n] - g[0], atol=1e-8)
+
+
+class TestPermutationInvariance:
+    @given(weights=weight_lists, seed=seeds, perm_seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_loo_is_permutation_equivariant(self, weights, seed, perm_seed):
+        n = len(weights)
+        perm = np.random.default_rng(perm_seed).permutation(n)
+        base = _random_game(weights, seed)
+        # The relabelled game: player i plays original player perm[i]'s role.
+        relabelled = SubsetUtility(
+            lambda idx: base.func(perm[np.asarray(list(idx), dtype=np.int64)])
+            if len(list(idx))
+            else base.func([]),
+            n,
+        )
+        original = loo_importance(base).values
+        permuted = loo_importance(relabelled).values
+        np.testing.assert_allclose(permuted, original[perm], atol=1e-9)
+
+    @given(weights=weight_lists, seed=seeds, perm_seed=seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_banzhaf_is_permutation_equivariant(self, weights, seed, perm_seed):
+        n = len(weights)
+        perm = np.random.default_rng(perm_seed).permutation(n)
+        base = _random_game(weights, seed)
+        relabelled = SubsetUtility(
+            lambda idx: base.func(perm[np.asarray(list(idx), dtype=np.int64)])
+            if len(list(idx))
+            else base.func([]),
+            n,
+        )
+        original = banzhaf_brute_force(base).values
+        permuted = banzhaf_brute_force(relabelled).values
+        np.testing.assert_allclose(permuted, original[perm], atol=1e-9)
+
+
+class TestKnnShapleyMetamorphic:
+    @given(seed=seeds, n=st.integers(min_value=4, max_value=15))
+    @settings(max_examples=25, deadline=None)
+    def test_duplicated_training_points_get_equal_values(self, seed, n):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 3))
+        y = rng.integers(0, 2, size=n)
+        # Duplicate point 0 exactly (same features, same label).
+        x_dup = np.vstack([x, x[:1]])
+        y_dup = np.concatenate([y, y[:1]])
+        x_valid = rng.normal(size=(5, 3))
+        y_valid = rng.integers(0, 2, size=5)
+        values = knn_shapley(x_dup, y_dup, x_valid, y_valid, k=3).values
+        # Shapley symmetry: interchangeable players have identical values.
+        assert np.isclose(values[0], values[n], atol=1e-9)
+
+    @given(seed=seeds, n=st.integers(min_value=4, max_value=15))
+    @settings(max_examples=25, deadline=None)
+    def test_flipping_a_label_off_the_validation_set_never_helps(self, seed, n):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 3))
+        y = rng.integers(0, 2, size=n)
+        x_valid = rng.normal(size=(5, 3))
+        y_valid = rng.integers(0, 2, size=5)
+        target = int(rng.integers(0, n))
+        before = knn_shapley(x, y, x_valid, y_valid, k=3).values
+        # Relabel one point to a class absent from validation: its match
+        # indicator can only drop, so its value must weakly decrease.
+        y_flipped = y.copy()
+        y_flipped[target] = 2
+        after = knn_shapley(x, y_flipped, x_valid, y_valid, k=3).values
+        assert after[target] <= before[target] + 1e-9
+
+    @given(seed=seeds, n=st.integers(min_value=3, max_value=12))
+    @settings(max_examples=25, deadline=None)
+    def test_efficiency_against_utility(self, seed, n):
+        from repro.importance.knn_shapley import knn_utility
+
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 2))
+        y = rng.integers(0, 2, size=n)
+        x_valid = rng.normal(size=(4, 2))
+        y_valid = rng.integers(0, 2, size=4)
+        values = knn_shapley(x, y, x_valid, y_valid, k=2).values
+        grand = knn_utility(np.arange(n), x, y, x_valid, y_valid, k=2)
+        assert np.isclose(values.sum(), grand, atol=1e-8)

@@ -1,0 +1,136 @@
+"""Round-trip and algebraic invariants of the DataFrame substrate.
+
+Complements ``tests/frame/test_frame_properties.py`` (which checks joins
+and group-bys against reference implementations) with serialisation
+round-trips and the select/filter/concat identities the pipeline layer
+silently relies on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import DataFrame, from_csv_string, to_csv_string
+
+# Words that cannot be mistaken for ints, floats, bools, or missing cells
+# by the CSV type-inference, so string columns survive a round trip.
+words = st.sampled_from(["alpha", "beta", "gamma", "delta x", "épsilon"])
+floats = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+maybe_floats = st.one_of(st.none(), floats)
+ints = st.integers(min_value=-(2**40), max_value=2**40)
+bools = st.booleans()
+
+
+@st.composite
+def frames(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    # An all-missing column serialises to nothing but empty cells, so its
+    # dtype is unrecoverable by design — keep at least one float observed.
+    f = draw(
+        st.lists(maybe_floats, min_size=n, max_size=n).filter(
+            lambda xs: any(x is not None for x in xs)
+        )
+    )
+    return DataFrame(
+        {
+            "i": draw(st.lists(ints, min_size=n, max_size=n)),
+            "f": f,
+            "b": draw(st.lists(bools, min_size=n, max_size=n)),
+            "s": draw(st.lists(words, min_size=n, max_size=n)),
+        }
+    )
+
+
+class TestCsvRoundTrip:
+    @given(frame=frames())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_preserves_values_and_missingness(self, frame):
+        back = from_csv_string(to_csv_string(frame))
+        assert back.columns == frame.columns
+        assert back.equals(frame)
+
+    @given(frame=frames())
+    @settings(max_examples=30, deadline=None)
+    def test_serialisation_is_stable(self, frame):
+        once = to_csv_string(frame)
+        assert to_csv_string(from_csv_string(once)) == once
+
+
+class TestSelection:
+    @given(frame=frames(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_select_keeps_rows_and_ids(self, frame, data):
+        subset = data.draw(
+            st.lists(st.sampled_from(frame.columns), min_size=1, unique=True)
+        )
+        out = frame.select(subset)
+        assert out.columns == subset
+        assert out.num_rows == frame.num_rows
+        assert out.row_ids.tolist() == frame.row_ids.tolist()
+        for name in subset:
+            assert out.column(name).to_list() == frame.column(name).to_list()
+
+    @given(frame=frames(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_drop_is_complement_of_select(self, frame, data):
+        dropped = data.draw(
+            st.lists(st.sampled_from(frame.columns), min_size=0, unique=True)
+        )
+        remaining = [c for c in frame.columns if c not in dropped]
+        if not remaining:
+            return
+        assert frame.drop(dropped).equals(frame.select(remaining))
+
+
+class TestFilter:
+    @given(frame=frames(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_filter_row_count_and_id_subsequence(self, frame, data):
+        mask = np.asarray(
+            data.draw(
+                st.lists(
+                    st.booleans(),
+                    min_size=frame.num_rows,
+                    max_size=frame.num_rows,
+                )
+            ),
+            dtype=bool,
+        )
+        out = frame.filter(mask)
+        assert out.num_rows == int(mask.sum())
+        assert out.row_ids.tolist() == frame.row_ids[mask].tolist()
+
+    @given(frame=frames())
+    @settings(max_examples=30, deadline=None)
+    def test_filter_all_true_is_identity(self, frame):
+        assert frame.filter(np.ones(frame.num_rows, dtype=bool)).equals(frame)
+
+    @given(frame=frames(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_filters_compose_by_conjunction(self, frame, data):
+        n = frame.num_rows
+        m1 = np.asarray(
+            data.draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+        )
+        m2 = np.asarray(
+            data.draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+        )
+        chained = frame.filter(m1).filter(m2[m1])
+        assert chained.equals(frame.filter(m1 & m2))
+
+
+class TestConcatAndTake:
+    @given(a=frames(), b=frames())
+    @settings(max_examples=60, deadline=None)
+    def test_concat_stacks_rows_and_ids(self, a, b):
+        both = DataFrame.concat_rows([a, b])
+        assert both.num_rows == a.num_rows + b.num_rows
+        assert both.row_ids.tolist() == a.row_ids.tolist() + b.row_ids.tolist()
+        assert both.take(np.arange(a.num_rows)).equals(a)
+        assert both.take(a.num_rows + np.arange(b.num_rows)).equals(b)
+
+    @given(frame=frames(), seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_take_permutation_roundtrip(self, frame, seed):
+        perm = np.random.default_rng(seed).permutation(frame.num_rows)
+        assert frame.take(perm).take(np.argsort(perm)).equals(frame)

@@ -1,0 +1,164 @@
+"""Algebraic invariants of the preprocessing transformers.
+
+Fit idempotence, inverse-transform round-trips, missingness handling, and
+the one-hot simplex constraint — the contracts the encode() pipeline stage
+assumes without checking.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn import (
+    CellImputer,
+    MinMaxScaler,
+    OneHotEncoder,
+    OrdinalEncoder,
+    SimpleImputer,
+    StandardScaler,
+)
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=4)
+)
+seeds = st.integers(min_value=0, max_value=10_000)
+categories = st.sampled_from(["red", "green", "blue", "cyan"])
+maybe_categories = st.one_of(st.none(), categories)
+
+
+def _matrix(shape, seed, nan_fraction=0.0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(scale=10.0, size=shape)
+    if nan_fraction:
+        X[rng.random(shape) < nan_fraction] = np.nan
+    return X
+
+
+class TestScalers:
+    @given(shape=shapes, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_standard_scaler_fit_transform_is_idempotent(self, shape, seed):
+        X = _matrix(shape, seed, nan_fraction=0.2)
+        Y = StandardScaler().fit(X).transform(X)
+        # Already-standardised data is a fixed point of fit-transform.
+        np.testing.assert_allclose(
+            StandardScaler().fit(Y).transform(Y), Y, atol=1e-8, equal_nan=True
+        )
+
+    @given(shape=shapes, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_standard_scaler_inverse_roundtrip_with_nans(self, shape, seed):
+        X = _matrix(shape, seed, nan_fraction=0.3)
+        scaler = StandardScaler().fit(X)
+        back = scaler.inverse_transform(scaler.transform(X))
+        np.testing.assert_allclose(back, X, atol=1e-8, equal_nan=True)
+        # NaN cells pass through both directions untouched.
+        assert np.array_equal(np.isnan(back), np.isnan(X))
+
+    @given(shape=shapes, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_minmax_scaler_fit_is_idempotent(self, shape, seed):
+        X = _matrix(shape, seed)
+        first = MinMaxScaler().fit(X)
+        Y = first.transform(X)
+        second = MinMaxScaler().fit(Y)
+        np.testing.assert_allclose(second.transform(Y), Y, atol=1e-9)
+
+    @given(shape=shapes, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_minmax_training_output_in_unit_box(self, shape, seed):
+        X = _matrix(shape, seed, nan_fraction=0.2)
+        Y = MinMaxScaler().fit(X).transform(X)
+        present = Y[~np.isnan(Y)]
+        assert np.all(present >= -1e-12)
+        assert np.all(present <= 1.0 + 1e-12)
+
+
+class TestImputers:
+    @given(shape=shapes, seed=seeds, strategy=st.sampled_from(["mean", "median", "most_frequent"]))
+    @settings(max_examples=60, deadline=None)
+    def test_simple_imputer_output_is_complete(self, shape, seed, strategy):
+        X = _matrix(shape, seed, nan_fraction=0.4)
+        out = SimpleImputer(strategy=strategy).fit(X).transform(X)
+        assert not np.isnan(out).any()
+        # Observed cells are untouched.
+        observed = ~np.isnan(X)
+        np.testing.assert_array_equal(out[observed], X[observed])
+
+    @given(shape=shapes, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_simple_imputer_identity_on_complete_data(self, shape, seed):
+        X = _matrix(shape, seed)
+        out = SimpleImputer().fit(X).transform(X)
+        np.testing.assert_array_equal(out, X)
+
+    @given(shape=shapes, seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_simple_imputer_mean_fill_matches_nanmean(self, shape, seed):
+        X = _matrix(shape, seed, nan_fraction=0.4)
+        imputer = SimpleImputer(strategy="mean").fit(X)
+        for j in range(X.shape[1]):
+            present = X[~np.isnan(X[:, j]), j]
+            expected = present.mean() if present.size else 0.0
+            assert np.isclose(imputer.statistics_[j], expected)
+
+    @given(cells=st.lists(maybe_categories, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_cell_imputer_fills_from_observed_vocabulary(self, cells):
+        imputer = CellImputer(strategy="most_frequent").fit(cells)
+        out = imputer.transform(cells)
+        observed = {c for c in cells if c is not None}
+        if observed:
+            assert None not in out
+            assert set(out) <= observed
+        # Observed cells are untouched.
+        assert [o for o, c in zip(out, cells) if c is not None] == [
+            c for c in cells if c is not None
+        ]
+
+
+class TestEncoders:
+    @given(cells=st.lists(maybe_categories, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_one_hot_rows_lie_on_the_simplex(self, cells):
+        encoder = OneHotEncoder().fit(cells)
+        out = encoder.transform(cells)
+        assert out.shape == (len(cells), len(encoder.categories_))
+        assert set(np.unique(out)) <= {0.0, 1.0}
+        sums = out.sum(axis=1)
+        for cell, total in zip(cells, sums):
+            assert total == (0.0 if cell is None else 1.0)
+
+    @given(cells=st.lists(categories, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_one_hot_decodes_back_to_input(self, cells):
+        encoder = OneHotEncoder().fit(cells)
+        out = encoder.transform(cells)
+        decoded = [encoder.categories_[j] for j in np.argmax(out, axis=1)]
+        assert decoded == cells
+
+    @given(cells=st.lists(maybe_categories, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_one_hot_unseen_category_is_zero_row(self, cells):
+        encoder = OneHotEncoder().fit(cells)
+        out = encoder.transform(["never-seen-category"])
+        assert not out.any()
+
+    @given(cells=st.lists(maybe_categories, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_ordinal_codes_round_trip(self, cells):
+        encoder = OrdinalEncoder().fit(cells)
+        codes = encoder.transform(cells)[:, 0]
+        for cell, code in zip(cells, codes):
+            if cell is None:
+                assert code == -1
+            else:
+                assert encoder.categories_[int(code)] == cell
+
+    @given(cells=st.lists(maybe_categories, min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_encoder_fit_is_idempotent(self, cells):
+        first = OneHotEncoder().fit(cells)
+        second = OneHotEncoder().fit(cells)
+        assert first.categories_ == second.categories_
+        np.testing.assert_array_equal(first.transform(cells), second.transform(cells))
