@@ -1,0 +1,112 @@
+"""Experiment T-mon — cost and non-perturbation of pipeline monitoring.
+
+The per-node data-quality monitor (:mod:`repro.obs.quality`) streams
+completeness/distinctness/moments/histograms for every column a node
+emits. Its contract has two measurable halves, both pinned here:
+
+- **never perturbs**: a monitored run must produce bit-identical encoded
+  matrices, labels, and frames to an unmonitored run — the monitor only
+  *observes* node outputs after each span closes;
+- **cheap enough to leave on**: monitored wall-clock must stay within 15%
+  of unmonitored on the Figure-3 letters pipeline (best-of-``REPEATS``
+  runs, so scheduler noise does not fail CI).
+
+Both runs are recorded into a :class:`repro.obs.RunLedger` whose JSONL file
+lands in ``benchmarks/results/monitoring_ledger.jsonl`` (the CI artifact),
+and the two records must diff to *zero* drift alerts — same data, same
+pipeline, no false positives from timing jitter.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.datasets import generate_hiring_data
+from repro.obs import PipelineMonitor, RunLedger, compare_runs
+from repro.pipeline import execute
+from repro.pipeline.templates import letters_pipeline
+from repro.viz import format_records
+
+ROWS = int(os.environ.get("REPRO_BENCH_MONITOR_ROWS", "4000"))
+REPEATS = int(os.environ.get("REPRO_BENCH_MONITOR_REPEATS", "5"))
+MAX_OVERHEAD = 0.15
+
+
+def _sources():
+    data = generate_hiring_data(n=ROWS, seed=7)
+    return {
+        "train_df": data["letters"],
+        "jobdetail_df": data["jobdetail"],
+        "social_df": data["social"],
+    }
+
+
+def _timed_run(sink, sources, monitor=None):
+    start = time.perf_counter()
+    result = execute(sink, sources, monitor=monitor)
+    return time.perf_counter() - start, result
+
+
+def run_monitoring_bench(results_dir) -> dict:
+    sources = _sources()
+    __, sink = letters_pipeline(text_features=16)
+
+    plain_walls, monitored_walls = [], []
+    plain = monitored = None
+    monitors = []
+    for __rep in range(REPEATS):
+        wall, plain = _timed_run(sink, sources)
+        plain_walls.append(wall)
+        monitor = PipelineMonitor()
+        wall, monitored = _timed_run(sink, sources, monitor=monitor)
+        monitored_walls.append(wall)
+        monitors.append(monitor)
+
+    # -- non-perturbation: monitoring must not change a single value ----
+    assert np.array_equal(plain.X, monitored.X)
+    assert np.array_equal(plain.y, monitored.y)
+    assert plain.frame.num_rows == monitored.frame.num_rows
+    for name in plain.frame.columns:
+        assert plain.frame.column(name).to_list() == (
+            monitored.frame.column(name).to_list()
+        )
+
+    # -- ledger artifact + zero-drift sanity ----------------------------
+    ledger_path = results_dir / "monitoring_ledger.jsonl"
+    ledger_path.unlink(missing_ok=True)
+    ledger = RunLedger(ledger_path)
+    for run_id, monitor in zip(("bench-a", "bench-b"), monitors[-2:]):
+        ledger.record_run(
+            monitored, monitor=monitor, sources=sources,
+            config={"rows": ROWS}, run_id=run_id,
+        )
+    diff = compare_runs(*ledger.last(2))
+    assert not diff.has_drift, f"same-data runs must not alert: {diff.alerts}"
+
+    best_plain = min(plain_walls)
+    best_monitored = min(monitored_walls)
+    overhead = best_monitored / best_plain - 1.0
+    profiles = monitors[-1].profiles()
+    return {
+        "rows": ROWS,
+        "nodes_profiled": len(profiles),
+        "columns_profiled": sum(len(p.columns) for p in profiles.values()),
+        "plain_wall_s": round(best_plain, 4),
+        "monitored_wall_s": round(best_monitored, 4),
+        "overhead_fraction": round(overhead, 4),
+        "drift_alerts_same_data": len(diff.alerts),
+        "_overhead": overhead,
+    }
+
+
+def test_monitoring_overhead_under_15_percent(benchmark, write_report, results_dir):
+    row = benchmark.pedantic(
+        run_monitoring_bench, args=(results_dir,), rounds=1, iterations=1
+    )
+    overhead = row.pop("_overhead")
+    write_report("monitoring_overhead", format_records([row]), records=row)
+    assert (results_dir / "monitoring_ledger.jsonl").exists()
+    assert overhead < MAX_OVERHEAD, (
+        f"monitoring overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%}"
+    )

@@ -36,7 +36,16 @@ from ..importance.engine import DEFAULT_CACHE_SIZE, ValuationEngine
 from ..importance.knn_shapley import knn_shapley
 from ..importance.shapley import shapley_mc
 from ..importance.utility import Utility
-from ..obs import TraceReport, tracing
+from ..obs import (
+    DriftThresholds,
+    PipelineMonitor,
+    RunDiff,
+    RunLedger,
+    RunRecord,
+    TraceReport,
+    compare_runs,
+    tracing,
+)
 from ..pipeline.datascope import SourceImportance, datascope_importance
 from ..pipeline.execute import PipelineResult, execute
 from ..pipeline.execute import execute_robust as _execute_robust
@@ -72,6 +81,13 @@ __all__ = [
     "visualize_uncertainty",
     "tracing",
     "TraceReport",
+    "monitor",
+    "compare_runs",
+    "PipelineMonitor",
+    "RunLedger",
+    "RunRecord",
+    "RunDiff",
+    "DriftThresholds",
 ]
 
 _DEFAULT_EMBEDDER = TextEmbedder(n_features=48)
@@ -287,11 +303,30 @@ def with_provenance(
     return result.X, result
 
 
+def monitor(bins: int = 10, max_rows: int | None = None) -> PipelineMonitor:
+    """A fresh per-node data-quality monitor for ``monitor=`` knobs.
+
+    Pass it to :func:`execute_robust` (or ``pipeline.execute``) to stream
+    per-column quality profiles — completeness, distinctness, moments,
+    histograms, categorical top-k — at every pipeline node, then persist
+    them with :class:`RunLedger` and diff runs with :func:`compare_runs`::
+
+        mon = nde.monitor()
+        result = nde.execute_robust(sink, sources, monitor=mon)
+        ledger = nde.RunLedger("runs.jsonl")
+        record = ledger.record_run(result, monitor=mon, sources=sources)
+        diff = nde.compare_runs(ledger.last(2)[0], record)
+        print(diff.render())
+    """
+    return PipelineMonitor(bins=bins, max_rows=max_rows)
+
+
 def execute_robust(
     pipeline_sink: Node,
     sources: Mapping[str, DataFrame],
     fit: bool = True,
     policy: ExecutionPolicy | None = None,
+    monitor: PipelineMonitor | bool | None = None,
     **policy_overrides: Any,
 ) -> PipelineResult:
     """Run a pipeline with row-level quarantine instead of fail-fast crashes.
@@ -306,10 +341,17 @@ def execute_robust(
         report = result.quarantine.to_error_report("train_df")
 
     Keyword overrides (``max_retries=3``, ``timeout=0.5``, ...) are forwarded
-    to :meth:`repro.pipeline.ExecutionPolicy.robust`.
+    to :meth:`repro.pipeline.ExecutionPolicy.robust`. ``monitor`` (an
+    :func:`nde.monitor` object, or ``True`` for a default one) streams
+    per-node data-quality profiles into ``result.quality_profiles``.
     """
     return _execute_robust(
-        pipeline_sink, sources, fit=fit, policy=policy, **policy_overrides
+        pipeline_sink,
+        sources,
+        fit=fit,
+        policy=policy,
+        monitor=monitor,
+        **policy_overrides,
     )
 
 

@@ -54,6 +54,7 @@ which caching and sharding legitimately change.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from bisect import insort
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -297,6 +298,10 @@ class ValuationEngine:
         identical for every worker count (deterministic utilities).
     cache_size:
         LRU bound of the subset memo; ``0`` disables memoization.
+    ledger:
+        Optional :class:`repro.obs.RunLedger`; when set, every
+        :meth:`run_permutations` call appends a ``"valuation"`` event
+        (sampling config + cache/evaluation accounting) to the run store.
     """
 
     def __init__(
@@ -304,12 +309,14 @@ class ValuationEngine:
         utility: Any,
         n_workers: int = 1,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        ledger: Any | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.utility = utility
         self.n_workers = int(n_workers)
         self.cache = SubsetCache(cache_size)
+        self.ledger = ledger
 
     @property
     def n_train(self) -> int:
@@ -433,6 +440,8 @@ class ValuationEngine:
             weights = np.asarray(weights, dtype=float)
             if weights.shape != (n,):
                 raise ValueError("weights must have one entry per position")
+        started = time.perf_counter()
+        evals_at_entry = int(self.utility.n_evaluations)
         orderings = self._draw_orderings(n_permutations, seed, antithetic)
         run_span = _obs.span(
             "engine.run_permutations",
@@ -517,6 +526,29 @@ class ValuationEngine:
                 )
                 self._record_stats_delta(stats_before)
             run_span.__exit__(None, None, None)
+        if self.ledger is not None:
+            self.ledger.record_event(
+                "valuation",
+                config={
+                    "n_train": n,
+                    "n_permutations": n_permutations,
+                    "seed": seed,
+                    "n_workers": self.n_workers,
+                    "antithetic": antithetic,
+                    "truncation_tolerance": truncation_tolerance,
+                    "convergence_tolerance": convergence_tolerance,
+                },
+                stats={
+                    "n_permutations_run": scanned,
+                    "truncated_scans": truncated,
+                    "stopped_early": stopped,
+                    "max_stderr": max_stderr,
+                    "evaluations": int(self.utility.n_evaluations)
+                    - evals_at_entry,
+                    "cache": self.cache.stats(),
+                },
+                wall_time_s=time.perf_counter() - started,
+            )
         return PermutationRun(
             totals=totals,
             counts=np.full(n, scanned, dtype=float),

@@ -13,6 +13,14 @@ zero-dependency layers:
 - :mod:`repro.obs.profile` — opt-in cProfile capture that attaches its
   results to the trace.
 
+On top of the in-process layers sits the *continuous* observability stack
+(PR 4): :mod:`repro.obs.quality` computes streaming per-column
+data-quality profiles at every pipeline node (``monitor=`` knob on
+``pipeline.execute``), :mod:`repro.obs.ledger` persists each run —
+config, dataset fingerprints, node profiles, trace skeleton, quarantine
+summary — to an append-only JSONL store, and :mod:`repro.obs.diff`
+compares two runs into drift scores and threshold-based alerts.
+
 The executor (:mod:`repro.pipeline.execute`), the valuation engine
 (:mod:`repro.importance.engine`), and the cleaning loops are instrumented
 through this package; the user-facing window is
@@ -21,10 +29,19 @@ through this package; the user-facing window is
     import repro.core as nde
 
     with nde.tracing() as report:
-        nde.execute_robust(sink, sources)
-    print(report.render())
+        result = nde.execute_robust(sink, sources, monitor=(mon := nde.monitor()))
+    nde.RunLedger("runs.jsonl").record_run(result, monitor=mon, report=report)
 """
 
+from .diff import (
+    Alert,
+    DriftThresholds,
+    RunDiff,
+    compare_runs,
+    cramers_v,
+    population_stability_index,
+)
+from .ledger import RunLedger, RunRecord
 from .metrics import (
     Counter,
     Gauge,
@@ -38,8 +55,17 @@ from .metrics import (
     snapshot,
 )
 from .profile import ProfileResult, profile_block, profiling_requested
+from .quality import (
+    ColumnProfile,
+    ColumnQualityCollector,
+    NodeQualityProfile,
+    PipelineMonitor,
+    fingerprint_frame,
+    profile_frame,
+)
 from .report import TraceReport, tracing
 from .trace import (
+    TRACE_SCHEMA_VERSION,
     Span,
     TraceRecorder,
     add_attrs,
@@ -56,6 +82,7 @@ __all__ = [
     # trace
     "Span",
     "TraceRecorder",
+    "TRACE_SCHEMA_VERSION",
     "enabled",
     "enable",
     "disable",
@@ -81,4 +108,20 @@ __all__ = [
     "ProfileResult",
     "profile_block",
     "profiling_requested",
+    # quality monitors
+    "ColumnProfile",
+    "ColumnQualityCollector",
+    "NodeQualityProfile",
+    "PipelineMonitor",
+    "profile_frame",
+    "fingerprint_frame",
+    # run ledger + cross-run diffing
+    "RunLedger",
+    "RunRecord",
+    "RunDiff",
+    "Alert",
+    "DriftThresholds",
+    "compare_runs",
+    "population_stability_index",
+    "cramers_v",
 ]

@@ -1,0 +1,543 @@
+"""Cross-run regression diffing: drift scores, alerts, ``compare_runs``.
+
+Lourenço et al. ("Debugging Machine Learning Pipelines") localise
+regressions by comparing *instrumented runs*; this module is that
+comparison for two :class:`~repro.obs.ledger.RunRecord`\\ s. Per node and
+per column it computes distribution drift — PSI on numeric histograms,
+a Cramér's-V-normalised chi-squared on categorical top-k tables, relative
+change on scalar statistics — plus latency / row-count / quarantine-rate
+regressions, and turns threshold crossings into :class:`Alert`\\ s that
+merge into the library's :class:`repro.errors.report.ErrorReport` shape.
+
+Everything is threshold-based and zero-dependency: no p-values (that
+would drag in SciPy), just effect sizes with documented cutoffs in
+:class:`DriftThresholds`. Two identical seeded runs diff to zero alerts;
+the latency guards carry absolute floors so timing jitter on a fast
+pipeline can never page anyone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from .ledger import RunRecord
+from .quality import ColumnProfile, NodeQualityProfile
+
+__all__ = [
+    "Alert",
+    "ColumnDrift",
+    "NodeDiff",
+    "RunDiff",
+    "DriftThresholds",
+    "compare_runs",
+    "population_stability_index",
+    "cramers_v",
+]
+
+_EPS = 1e-12
+#: Proportion floor for PSI (empty bins would make the log blow up).
+_PSI_FLOOR = 1e-4
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """Alert cutoffs. The defaults follow industry folklore (PSI 0.2 =
+    "significant shift") and are deliberately conservative; tighten them
+    per deployment. Critical severity fires at twice the warn threshold.
+    """
+
+    psi: float = 0.2
+    cramers_v: float = 0.2
+    completeness_drop: float = 0.05
+    scalar_rel_change: float = 0.25
+    row_count_rel_change: float = 0.10
+    latency_ratio: float = 2.0
+    latency_floor_s: float = 0.05
+    run_latency_floor_s: float = 0.25
+    quarantine_rate_increase: float = 0.05
+
+
+@dataclass
+class Alert:
+    """One threshold crossing between two runs."""
+
+    severity: str  # "warn" | "critical"
+    kind: str  # "psi" | "categorical" | "completeness" | "scalar" | ...
+    node: str
+    column: str | None
+    metric: str
+    value: float
+    threshold: float
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "severity": self.severity,
+            "kind": self.kind,
+            "node": self.node,
+            "column": self.column,
+            "metric": self.metric,
+            "value": self.value,
+            "threshold": self.threshold,
+            "message": self.message,
+        }
+
+
+def population_stability_index(
+    hist_a: Mapping[str, Any] | None, hist_b: Mapping[str, Any] | None
+) -> float | None:
+    """PSI between two fixed-bin histograms (``{"edges", "counts"}``).
+
+    Histograms from different runs may have different frozen edges; both
+    are rebinned onto the union range via piecewise-linear CDF
+    interpolation before comparing, so the index only reflects the data.
+    Returns ``None`` when either side is missing or empty.
+    """
+    if not hist_a or not hist_b:
+        return None
+    edges_a, counts_a = list(hist_a["edges"]), list(hist_a["counts"])
+    edges_b, counts_b = list(hist_b["edges"]), list(hist_b["counts"])
+    total_a, total_b = sum(counts_a), sum(counts_b)
+    if total_a == 0 or total_b == 0:
+        return None
+    lo = min(edges_a[0], edges_b[0])
+    hi = max(edges_a[-1], edges_b[-1])
+    if hi == lo:
+        return 0.0
+    n_bins = max(len(counts_a), len(counts_b))
+    common = [lo + (hi - lo) * i / n_bins for i in range(n_bins + 1)]
+    props_a = _rebin_proportions(edges_a, counts_a, common)
+    props_b = _rebin_proportions(edges_b, counts_b, common)
+    psi = 0.0
+    for pa, pb in zip(props_a, props_b):
+        pa = max(pa, _PSI_FLOOR)
+        pb = max(pb, _PSI_FLOOR)
+        psi += (pa - pb) * math.log(pa / pb)
+    return psi
+
+
+def _rebin_proportions(
+    edges: list[float], counts: list[float], new_edges: list[float]
+) -> list[float]:
+    """Proportions of a histogram re-expressed over ``new_edges`` via the
+    piecewise-linear CDF (mass spreads uniformly within each source bin)."""
+    total = float(sum(counts))
+    cum = [0.0]
+    for count in counts:
+        cum.append(cum[-1] + count / total)
+
+    def cdf(x: float) -> float:
+        if x <= edges[0]:
+            return 0.0
+        if x >= edges[-1]:
+            return 1.0
+        for i in range(len(edges) - 1):
+            if x < edges[i + 1]:
+                width = edges[i + 1] - edges[i]
+                frac = (x - edges[i]) / width if width > 0 else 1.0
+                return cum[i] + (cum[i + 1] - cum[i]) * frac
+        return 1.0
+
+    values = [cdf(edge) for edge in new_edges]
+    return [values[i + 1] - values[i] for i in range(len(values) - 1)]
+
+
+def cramers_v(
+    top_a: list[list[Any]], other_a: int, top_b: list[list[Any]], other_b: int
+) -> float | None:
+    """Cramér's V over the aligned categorical top-k tables of two runs.
+
+    The union of tracked categories (plus the ``other`` overflow bucket)
+    forms a 2×k contingency table; V normalises its chi-squared statistic
+    to [0, 1] so one threshold works at any sample size. Returns ``None``
+    when either side is empty.
+    """
+    counts_a = {str(value): float(count) for value, count in top_a}
+    counts_b = {str(value): float(count) for value, count in top_b}
+    if other_a:
+        counts_a["__other__"] = counts_a.get("__other__", 0.0) + other_a
+    if other_b:
+        counts_b["__other__"] = counts_b.get("__other__", 0.0) + other_b
+    categories = sorted(set(counts_a) | set(counts_b))
+    n_a = sum(counts_a.values())
+    n_b = sum(counts_b.values())
+    if n_a == 0 or n_b == 0 or len(categories) < 2:
+        return None
+    total = n_a + n_b
+    chi2 = 0.0
+    for category in categories:
+        pooled = (counts_a.get(category, 0.0) + counts_b.get(category, 0.0)) / total
+        for observed, n in ((counts_a.get(category, 0.0), n_a),
+                            (counts_b.get(category, 0.0), n_b)):
+            expected = pooled * n
+            if expected > 0:
+                chi2 += (observed - expected) ** 2 / expected
+    # 2×k table: min(rows-1, cols-1) = 1, so V² = χ²/N.
+    return math.sqrt(chi2 / total)
+
+
+def _relative_change(a: float | None, b: float | None, scale: float | None) -> float:
+    """|b − a| over a robust scale (falls back to |a|, then to 1)."""
+    if a is None or b is None:
+        return 0.0
+    denom = max(abs(scale) if scale else 0.0, abs(a), _EPS)
+    return abs(b - a) / denom
+
+
+@dataclass
+class ColumnDrift:
+    """Drift of one column at one node between two runs."""
+
+    column: str
+    kind: str
+    psi: float | None = None
+    cramers_v: float | None = None
+    completeness_a: float = 1.0
+    completeness_b: float = 1.0
+    mean_change: float = 0.0
+    std_change: float = 0.0
+
+    @property
+    def score(self) -> float:
+        """Scalar drift severity: the worst indicator, each normalised so
+        1.0 ≈ "at the default alert threshold"."""
+        defaults = DriftThresholds()
+        candidates = [
+            (self.psi or 0.0) / defaults.psi,
+            (self.cramers_v or 0.0) / defaults.cramers_v,
+            abs(self.completeness_a - self.completeness_b)
+            / defaults.completeness_drop,
+            self.mean_change / defaults.scalar_rel_change,
+            self.std_change / defaults.scalar_rel_change,
+        ]
+        return max(candidates)
+
+
+@dataclass
+class NodeDiff:
+    """Per-node comparison: data drift plus operational regressions."""
+
+    node: str
+    label: str = ""
+    rows_a: int = 0
+    rows_b: int = 0
+    latency_a_s: float = 0.0
+    latency_b_s: float = 0.0
+    columns: dict[str, ColumnDrift] = field(default_factory=dict)
+
+    @property
+    def score(self) -> float:
+        return max((drift.score for drift in self.columns.values()), default=0.0)
+
+    def worst_column(self) -> ColumnDrift | None:
+        if not self.columns:
+            return None
+        return max(self.columns.values(), key=lambda drift: drift.score)
+
+
+@dataclass
+class RunDiff:
+    """Everything that changed between two ledger records."""
+
+    run_a: str
+    run_b: str
+    nodes: dict[str, NodeDiff] = field(default_factory=dict)
+    alerts: list[Alert] = field(default_factory=list)
+    wall_time_a_s: float | None = None
+    wall_time_b_s: float | None = None
+
+    @property
+    def has_drift(self) -> bool:
+        return bool(self.alerts)
+
+    def alerts_for(self, column: str) -> list[Alert]:
+        return [a for a in self.alerts if a.column == column]
+
+    def render(self) -> str:
+        """ASCII comparison: per-node table + alert table."""
+        from ..viz.diff_view import format_run_diff
+
+        return format_run_diff(self)
+
+    def to_error_report(self):
+        """Adapt the alerts to :class:`repro.errors.report.ErrorReport` so
+        drift regressions flow into the same reporting machinery as
+        injected and quarantined errors. Row ids are unknown at this
+        granularity (drift is a distribution-level signal), so the report
+        carries the alerts in ``params`` instead."""
+        from ..errors.report import ErrorReport
+
+        columns = {a.column for a in self.alerts if a.column}
+        return ErrorReport(
+            kind="drift",
+            column=columns.pop() if len(columns) == 1 else "",
+            row_ids=[],
+            params={
+                "run_a": self.run_a,
+                "run_b": self.run_b,
+                "n_alerts": len(self.alerts),
+                "alerts": [alert.to_dict() for alert in self.alerts],
+            },
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "run_a": self.run_a,
+            "run_b": self.run_b,
+            "alerts": [alert.to_dict() for alert in self.alerts],
+            "nodes": {
+                key: {
+                    "label": diff.label,
+                    "rows_a": diff.rows_a,
+                    "rows_b": diff.rows_b,
+                    "latency_a_s": diff.latency_a_s,
+                    "latency_b_s": diff.latency_b_s,
+                    "score": diff.score,
+                    "columns": {
+                        name: {
+                            "psi": drift.psi,
+                            "cramers_v": drift.cramers_v,
+                            "completeness_a": drift.completeness_a,
+                            "completeness_b": drift.completeness_b,
+                            "mean_change": drift.mean_change,
+                            "std_change": drift.std_change,
+                            "score": drift.score,
+                        }
+                        for name, drift in diff.columns.items()
+                    },
+                }
+                for key, diff in self.nodes.items()
+            },
+        }
+
+
+def _severity(value: float, threshold: float) -> str:
+    return "critical" if value >= 2 * threshold else "warn"
+
+
+def _diff_column(
+    node_key: str,
+    a: ColumnProfile,
+    b: ColumnProfile,
+    thresholds: DriftThresholds,
+    alerts: list[Alert],
+) -> ColumnDrift:
+    drift = ColumnDrift(
+        column=a.name,
+        kind=a.kind or b.kind,
+        psi=population_stability_index(a.histogram, b.histogram),
+        cramers_v=cramers_v(a.top_k, a.other_count, b.top_k, b.other_count),
+        completeness_a=a.completeness,
+        completeness_b=b.completeness,
+        mean_change=_relative_change(a.mean, b.mean, a.std),
+        std_change=_relative_change(a.std, b.std, a.std),
+    )
+    completeness_drop = drift.completeness_a - drift.completeness_b
+    if completeness_drop > thresholds.completeness_drop:
+        alerts.append(
+            Alert(
+                severity=_severity(completeness_drop, thresholds.completeness_drop),
+                kind="completeness",
+                node=node_key,
+                column=a.name,
+                metric="completeness_drop",
+                value=completeness_drop,
+                threshold=thresholds.completeness_drop,
+                message=(
+                    f"{node_key}: column {a.name!r} completeness fell "
+                    f"{drift.completeness_a:.3f} → {drift.completeness_b:.3f}"
+                ),
+            )
+        )
+    if drift.psi is not None and drift.psi > thresholds.psi:
+        alerts.append(
+            Alert(
+                severity=_severity(drift.psi, thresholds.psi),
+                kind="psi",
+                node=node_key,
+                column=a.name,
+                metric="psi",
+                value=drift.psi,
+                threshold=thresholds.psi,
+                message=(
+                    f"{node_key}: column {a.name!r} distribution shifted "
+                    f"(PSI {drift.psi:.3f} > {thresholds.psi})"
+                ),
+            )
+        )
+    if drift.cramers_v is not None and drift.cramers_v > thresholds.cramers_v:
+        alerts.append(
+            Alert(
+                severity=_severity(drift.cramers_v, thresholds.cramers_v),
+                kind="categorical",
+                node=node_key,
+                column=a.name,
+                metric="cramers_v",
+                value=drift.cramers_v,
+                threshold=thresholds.cramers_v,
+                message=(
+                    f"{node_key}: column {a.name!r} category mix shifted "
+                    f"(Cramér's V {drift.cramers_v:.3f} > {thresholds.cramers_v})"
+                ),
+            )
+        )
+    for metric, change in (("mean", drift.mean_change), ("std", drift.std_change)):
+        if change > thresholds.scalar_rel_change:
+            alerts.append(
+                Alert(
+                    severity=_severity(change, thresholds.scalar_rel_change),
+                    kind="scalar",
+                    node=node_key,
+                    column=a.name,
+                    metric=metric,
+                    value=change,
+                    threshold=thresholds.scalar_rel_change,
+                    message=(
+                        f"{node_key}: column {a.name!r} {metric} moved by "
+                        f"{change:.2f}× its scale"
+                    ),
+                )
+            )
+    return drift
+
+
+def _diff_node(
+    key: str,
+    a: NodeQualityProfile,
+    b: NodeQualityProfile,
+    thresholds: DriftThresholds,
+    alerts: list[Alert],
+) -> NodeDiff:
+    diff = NodeDiff(
+        node=key,
+        label=a.node_label or b.node_label,
+        rows_a=a.rows_out,
+        rows_b=b.rows_out,
+        latency_a_s=a.wall_time_s,
+        latency_b_s=b.wall_time_s,
+    )
+    if a.rows_out:
+        rel = abs(b.rows_out - a.rows_out) / a.rows_out
+        if rel > thresholds.row_count_rel_change:
+            alerts.append(
+                Alert(
+                    severity=_severity(rel, thresholds.row_count_rel_change),
+                    kind="row_count",
+                    node=key,
+                    column=None,
+                    metric="rows_out",
+                    value=rel,
+                    threshold=thresholds.row_count_rel_change,
+                    message=(
+                        f"{key}: output rows changed "
+                        f"{a.rows_out} → {b.rows_out} ({rel:+.1%})"
+                    ),
+                )
+            )
+    if (
+        b.wall_time_s > a.wall_time_s * thresholds.latency_ratio
+        and b.wall_time_s - a.wall_time_s > thresholds.latency_floor_s
+    ):
+        ratio = b.wall_time_s / max(a.wall_time_s, _EPS)
+        alerts.append(
+            Alert(
+                severity="warn",
+                kind="latency",
+                node=key,
+                column=None,
+                metric="wall_time_s",
+                value=ratio,
+                threshold=thresholds.latency_ratio,
+                message=(
+                    f"{key}: node latency regressed "
+                    f"{a.wall_time_s * 1e3:.1f}ms → {b.wall_time_s * 1e3:.1f}ms"
+                ),
+            )
+        )
+    for name, profile_a in a.columns.items():
+        profile_b = b.columns.get(name)
+        if profile_b is None:
+            continue
+        diff.columns[name] = _diff_column(
+            key, profile_a, profile_b, thresholds, alerts
+        )
+    return diff
+
+
+def compare_runs(
+    run_a: RunRecord | Mapping[str, Any],
+    run_b: RunRecord | Mapping[str, Any],
+    thresholds: DriftThresholds | None = None,
+) -> RunDiff:
+    """Diff two ledger records and raise threshold-based alerts.
+
+    ``run_a`` is the baseline (yesterday's good run), ``run_b`` the
+    candidate. Only nodes and columns present in *both* runs are compared
+    — a changed pipeline topology is a code change, not data drift.
+    Accepts :class:`RunRecord` objects or raw ledger dicts.
+    """
+    if not isinstance(run_a, RunRecord):
+        run_a = RunRecord.from_dict(run_a)
+    if not isinstance(run_b, RunRecord):
+        run_b = RunRecord.from_dict(run_b)
+    thresholds = thresholds or DriftThresholds()
+    alerts: list[Alert] = []
+    diff = RunDiff(
+        run_a=run_a.run_id,
+        run_b=run_b.run_id,
+        wall_time_a_s=run_a.wall_time_s,
+        wall_time_b_s=run_b.wall_time_s,
+    )
+    profiles_a = run_a.node_profiles()
+    profiles_b = run_b.node_profiles()
+    for key in profiles_a:
+        if key in profiles_b:
+            diff.nodes[key] = _diff_node(
+                key, profiles_a[key], profiles_b[key], thresholds, alerts
+            )
+    rate_a, rate_b = run_a.quarantine_rate, run_b.quarantine_rate
+    if rate_b - rate_a > thresholds.quarantine_rate_increase:
+        alerts.append(
+            Alert(
+                severity=_severity(
+                    rate_b - rate_a, thresholds.quarantine_rate_increase
+                ),
+                kind="quarantine",
+                node="pipeline",
+                column=None,
+                metric="quarantine_rate",
+                value=rate_b - rate_a,
+                threshold=thresholds.quarantine_rate_increase,
+                message=(
+                    f"quarantine rate rose {rate_a:.3f} → {rate_b:.3f} "
+                    f"(+{rate_b - rate_a:.3f})"
+                ),
+            )
+        )
+    if (
+        run_a.wall_time_s
+        and run_b.wall_time_s
+        and run_b.wall_time_s > run_a.wall_time_s * thresholds.latency_ratio
+        and run_b.wall_time_s - run_a.wall_time_s > thresholds.run_latency_floor_s
+    ):
+        alerts.append(
+            Alert(
+                severity="warn",
+                kind="latency",
+                node="pipeline",
+                column=None,
+                metric="wall_time_s",
+                value=run_b.wall_time_s / max(run_a.wall_time_s, _EPS),
+                threshold=thresholds.latency_ratio,
+                message=(
+                    f"run wall time regressed {run_a.wall_time_s:.2f}s → "
+                    f"{run_b.wall_time_s:.2f}s"
+                ),
+            )
+        )
+    severity_rank = {"critical": 0, "warn": 1}
+    alerts.sort(key=lambda a: (severity_rank[a.severity], -a.value))
+    diff.alerts = alerts
+    return diff

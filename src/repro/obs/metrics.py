@@ -107,6 +107,25 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Linear-interpolated quantile over the *windowed* observations.
+
+        ``q`` is in ``[0, 1]``. Returns ``None`` while the window is empty;
+        a single observation answers every quantile. Once more than
+        ``window`` values have been observed the estimate covers only the
+        most recent ``window`` of them (the ring buffer's contents).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.window:
+            return None
+        ordered = sorted(self.window)
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "type": "histogram",

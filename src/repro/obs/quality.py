@@ -1,0 +1,633 @@
+"""Streaming per-column data-quality collectors and the pipeline monitor.
+
+The Debug strand of the paper (Datascope, mlinspect/ArgusEyes) watches the
+*data* flowing through a pipeline, not just the code. Tracing
+(:mod:`repro.obs.trace`) already answers "where did the time go"; this
+module answers "what did the data look like at every node" — the signal a
+long-running service diffs across runs to localise regressions
+(:mod:`repro.obs.diff`).
+
+Three layers, all zero-dependency beyond NumPy (which the frame layer
+already requires):
+
+- :class:`ColumnQualityCollector` — a single-pass streaming collector per
+  column: completeness, a capped-exact/KMV distinctness estimate, min/max,
+  Welford mean/std (batch-merged, so repeated ``update`` calls over chunks
+  equal one pass over the concatenation), a fixed-bin histogram whose
+  edges freeze on the first batch (later out-of-range values clip into the
+  edge bins), and a bounded categorical top-k with an ``other`` overflow
+  counter.
+- :class:`NodeQualityProfile` — the frozen snapshot one pipeline node
+  emits: rows in/out, wall time, and a :class:`ColumnProfile` per output
+  column. Serialises to plain dicts (schema-versioned by the run ledger).
+- :class:`PipelineMonitor` — the object threaded through
+  ``pipeline.execute(..., monitor=...)``. It observes every node's output
+  frame *after* the node's span closes, so monitoring can never perturb
+  the computed result (a property ``benchmarks/bench_monitoring.py``
+  asserts) and the profiling cost is excluded from the node's own timing.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "ColumnProfile",
+    "ColumnQualityCollector",
+    "NodeQualityProfile",
+    "PipelineMonitor",
+    "profile_frame",
+    "fingerprint_frame",
+]
+
+#: Bins used for numeric histograms (edges frozen on the first batch).
+DEFAULT_BINS = 10
+#: Distinct values tracked exactly; beyond this the collector switches to a
+#: KMV (k-minimum-values) estimate over the same hash set.
+DISTINCT_CAP = 1024
+#: Categorical values tracked exactly before overflow goes to ``other``.
+TRACKED_CATEGORIES = 64
+#: Entries reported in a profile's ``top_k``.
+TOP_K = 12
+
+_HASH_SPACE = float(2**32)
+#: Fibonacci multiplier for the vectorised numeric hash (2^64 / φ, odd).
+_FIB_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+
+#: Process-wide string→hash memo. The same string objects flow through
+#: every node of a pipeline, so each unique value pays for one crc32 and
+#: every later sighting is a dict hit (str caches its own ``__hash__``).
+_STR_HASH_MEMO: dict[str, int] = {}
+_STR_HASH_MEMO_CAP = 1 << 17
+
+
+def _stable_hash(value: Any) -> int:
+    """Deterministic 32-bit hash (``hash()`` is salted per process)."""
+    if isinstance(value, str):
+        cached = _STR_HASH_MEMO.get(value)
+        if cached is None:
+            if len(_STR_HASH_MEMO) >= _STR_HASH_MEMO_CAP:
+                _STR_HASH_MEMO.clear()
+            cached = zlib.crc32(value.encode("utf-8", "backslashreplace"))
+            _STR_HASH_MEMO[value] = cached
+        return cached
+    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
+
+
+def _hash_ustrings(arr: np.ndarray) -> np.ndarray:
+    """Vectorised 32-bit hashes for a fixed-width unicode (``U``) array.
+
+    Folds up to 16 codepoints strided across each value's width (all of
+    them for narrow columns, so short strings hash exactly). Wide values
+    differing only between sampled positions collide — acceptable for KMV
+    distinctness estimation, and orders of magnitude cheaper than
+    materialising a Python string per cell to crc32 it.
+    """
+    n = arr.shape[0]
+    width = arr.dtype.itemsize // 4
+    codes = np.ascontiguousarray(arr).view(np.uint32).reshape(n, width)
+    if width > 16:
+        cols = np.unique(np.linspace(0, width - 1, num=16).astype(np.int64))
+        codes = codes[:, cols]
+    folded = np.zeros(n, dtype=np.uint64)
+    prime = np.uint64(1099511628211)  # FNV-1a prime
+    for j in range(codes.shape[1]):
+        folded = folded * prime + codes[:, j]
+    return (folded * _FIB_MULT) >> np.uint64(32)
+
+
+@dataclass
+class ColumnProfile:
+    """Frozen per-column quality statistics (one :class:`Column`, one node).
+
+    ``distinct`` is exact while the collector tracked at most
+    :data:`DISTINCT_CAP` values (``distinct_exact=True``) and a KMV
+    estimate beyond that. Numeric fields are ``None`` for non-numeric
+    columns; ``histogram`` is ``None`` when no finite value was seen.
+    """
+
+    name: str
+    kind: str
+    count: int
+    missing: int
+    distinct: int
+    distinct_exact: bool = True
+    mean: float | None = None
+    std: float | None = None
+    min: float | None = None
+    max: float | None = None
+    histogram: dict[str, list[float]] | None = None
+    top_k: list[list[Any]] = field(default_factory=list)
+    other_count: int = 0
+
+    @property
+    def completeness(self) -> float:
+        return 1.0 - (self.missing / self.count) if self.count else 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "count": self.count,
+            "missing": self.missing,
+            "completeness": self.completeness,
+            "distinct": self.distinct,
+            "distinct_exact": self.distinct_exact,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+            "histogram": self.histogram,
+            "top_k": [[str(value), int(count)] for value, count in self.top_k],
+            "other_count": self.other_count,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ColumnProfile":
+        """Rebuild from a dict, ignoring unknown keys (forward compat)."""
+        known = {f for f in cls.__dataclass_fields__}
+        data = {k: v for k, v in payload.items() if k in known}
+        data.setdefault("name", "")
+        data.setdefault("kind", "")
+        data.setdefault("count", 0)
+        data.setdefault("missing", 0)
+        data.setdefault("distinct", 0)
+        data["top_k"] = [list(entry) for entry in data.get("top_k") or []]
+        return cls(**data)
+
+
+class ColumnQualityCollector:
+    """Single-pass streaming quality statistics for one column.
+
+    ``update`` accepts :class:`repro.frame.Column` batches; calling it
+    several times over chunks yields the same aggregate as one call over
+    the concatenation (Welford/Chan merge for mean/std, monotone min/max,
+    hash-set union for distinctness). Histogram edges freeze on the first
+    numeric batch so bin counts stay comparable as a stream grows.
+    """
+
+    def __init__(self, name: str, bins: int = DEFAULT_BINS) -> None:
+        self.name = name
+        self.bins = int(bins)
+        self.kind = ""
+        self.count = 0
+        self.missing = 0
+        self._n_obs = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = np.inf
+        self._max = -np.inf
+        self._hash_arr: np.ndarray = np.empty(0, dtype=np.uint64)  # sorted
+        self._distinct_exact = True
+        self._kmv_threshold: int | None = None
+        self._edges: np.ndarray | None = None
+        self._bin_counts: np.ndarray | None = None
+        self._categories: dict[Any, int] = {}
+        self._tracked_sorted: np.ndarray | None = None
+        self._cat_by_hash: dict[int, str] = {}
+        self._tracked_hashes: np.ndarray | None = None
+        self._other = 0
+
+    # -- batch ingestion -------------------------------------------------
+    def update(self, column: Any) -> "ColumnQualityCollector":
+        mask = np.asarray(column.mask, dtype=bool)
+        n_missing = int(mask.sum())
+        self.count += len(mask)
+        self.missing += n_missing
+        if not self.kind:
+            self.kind = column.dtype_kind
+        present = column.values if n_missing == 0 else column.values[~mask]
+        if present.size == 0:
+            return self
+        kind = column.dtype_kind
+        if kind in ("float", "int", "bool"):
+            arr = present.astype(float)
+            self._update_numeric(arr)
+            self._update_distinct_numeric(arr)
+            if kind in ("bool", "int"):
+                self._update_categories_sorted(present)
+        elif kind == "string" and present.dtype.kind == "U":
+            # Fixed-width unicode arrays: hash the codepoint buffer
+            # directly — .tolist() would materialise fresh Python strings
+            # for every node the column flows through, and numpy
+            # sort/unique on wide U dtypes pays per-comparison for the
+            # full width. One vectorised hash serves both sketches.
+            hashed = _hash_ustrings(present)
+            self._update_distinct_hashes(hashed)
+            self._update_categories_hashed(hashed, present)
+        else:
+            # One hash-based tally serves both distinctness and top-k —
+            # much cheaper than sorting object arrays with np.unique.
+            tally = Counter(present.tolist())
+            self._update_distinct_values(tally)
+            if kind == "string":
+                self._update_categories_from(tally)
+        return self
+
+    def _update_numeric(self, arr: np.ndarray) -> None:
+        total_b = float(arr.sum())
+        if not np.isfinite(total_b):
+            # NaN/inf poison the sum; only then pay for the filtering pass.
+            arr = arr[np.isfinite(arr)]
+        if arr.size == 0:
+            return
+        n_b = int(arr.size)
+        mean_b = float(arr.mean())
+        centered = arr - mean_b
+        m2_b = float(np.dot(centered, centered))
+        n_a = self._n_obs
+        total = n_a + n_b
+        delta = mean_b - self._mean
+        self._m2 += m2_b + delta * delta * n_a * n_b / total
+        self._mean += delta * n_b / total
+        self._n_obs = total
+        batch_min, batch_max = float(arr.min()), float(arr.max())
+        self._min = min(self._min, batch_min)
+        self._max = max(self._max, batch_max)
+        if self._edges is None:
+            lo, hi = batch_min, batch_max
+            if lo == hi:
+                lo, hi = lo - 0.5, hi + 0.5
+            self._edges = np.linspace(lo, hi, self.bins + 1)
+            self._bin_counts = np.zeros(self.bins, dtype=np.int64)
+        # Direct uniform binning (the edges are linspace by construction);
+        # out-of-range values clip into the edge bins so streamed batches
+        # beyond the frozen range are still counted (and visible as mass
+        # piling up at the extremes — itself a drift signal).
+        lo, hi = float(self._edges[0]), float(self._edges[-1])
+        scale = self.bins / (hi - lo)
+        idx = ((arr - lo) * scale).astype(np.int64)
+        np.clip(idx, 0, self.bins - 1, out=idx)
+        self._bin_counts += np.bincount(idx, minlength=self.bins)
+
+    def _update_distinct_numeric(self, arr: np.ndarray) -> None:
+        # Fibonacci multiply-shift hash of the IEEE-754 bit patterns,
+        # fully vectorised; the high 32 bits land in the same [0, 2^32)
+        # KMV hash space as the per-value string path.
+        bits = np.ascontiguousarray(arr, dtype=np.float64).view(np.uint64)
+        self._update_distinct_hashes((bits * _FIB_MULT) >> np.uint64(32))
+
+    def _update_distinct_hashes(self, hashed: np.ndarray) -> None:
+        if self._kmv_threshold is not None:
+            # Saturated sketch: only hashes below the kept k-th minimum
+            # can change it — filter vectorised before merging.
+            hashed = hashed[hashed < self._kmv_threshold]
+            if hashed.size == 0:
+                return
+        merged = np.union1d(self._hash_arr, hashed)
+        if merged.size > DISTINCT_CAP:
+            # Keep the DISTINCT_CAP smallest hashes: the classic KMV sketch
+            # (estimate from the k-th minimum of a uniform hash space).
+            # ``merged`` is sorted, so the k smallest are a slice away.
+            merged = merged[:DISTINCT_CAP]
+            self._kmv_threshold = int(merged[-1])
+            self._distinct_exact = False
+        self._hash_arr = merged
+
+    def _update_distinct_values(self, values: Iterable[Any]) -> None:
+        # Inlined _stable_hash: one attribute lookup and no call overhead
+        # per value on the hot string path.
+        batch: list[int] = []
+        append = batch.append
+        memo = _STR_HASH_MEMO
+        crc32 = zlib.crc32
+        for value in values:
+            if type(value) is str:
+                cached = memo.get(value)
+                if cached is None:
+                    if len(memo) >= _STR_HASH_MEMO_CAP:
+                        memo.clear()
+                    cached = crc32(value.encode("utf-8", "backslashreplace"))
+                    memo[value] = cached
+                append(cached)
+            else:
+                append(_stable_hash(value))
+        if batch:
+            self._update_distinct_hashes(np.asarray(batch, dtype=np.uint64))
+
+    def _update_categories(
+        self, values: Iterable[Any], counts: Iterable[int]
+    ) -> None:
+        categories = self._categories
+        for value, count in zip(values, counts):
+            if value in categories:
+                categories[value] += int(count)
+            elif len(categories) < TRACKED_CATEGORIES:
+                categories[value] = int(count)
+            else:
+                self._other += int(count)
+
+    def _update_categories_from(self, tally: Mapping[Any, int]) -> None:
+        categories = self._categories
+        if len(categories) >= TRACKED_CATEGORIES and len(tally) > len(categories):
+            # Table is full and the batch is high-cardinality: scan the 64
+            # tracked keys instead of the (possibly thousands of) new ones.
+            matched = 0
+            for value, have in categories.items():
+                add = tally.get(value)
+                if add:
+                    categories[value] = have + add
+                    matched += add
+            self._other += sum(tally.values()) - matched
+            return
+        self._update_categories(tally.keys(), tally.values())
+
+    def _update_categories_sorted(self, present: np.ndarray) -> None:
+        """Category counts for a sortable array (``U``/int/bool dtypes).
+
+        Once the table is full its key set is frozen, so counting reduces
+        to a vectorised ``searchsorted`` against the cached sorted keys —
+        no per-value Python loop, no ``.tolist()`` of the whole batch.
+        """
+        categories = self._categories
+        if len(categories) < TRACKED_CATEGORIES:
+            uniques, counts = np.unique(present, return_counts=True)
+            if not categories and len(uniques) >= TRACKED_CATEGORIES:
+                # First batch of a high-cardinality column: fill the table
+                # from the head and batch-sum the overflow, instead of a
+                # per-unique Python loop over thousands of values.
+                head = TRACKED_CATEGORIES
+                self._update_categories(
+                    uniques[:head].tolist(), counts[:head].tolist()
+                )
+                self._other += int(counts[head:].sum())
+            else:
+                self._update_categories(uniques.tolist(), counts.tolist())
+            self._tracked_sorted = None  # may have just filled up
+            return
+        tracked = self._tracked_sorted
+        if tracked is None:
+            tracked = self._tracked_sorted = np.sort(np.asarray(list(categories)))
+        idx = np.searchsorted(tracked, present)
+        np.clip(idx, 0, len(tracked) - 1, out=idx)
+        hit = tracked[idx] == present
+        counts = np.bincount(idx[hit], minlength=len(tracked))
+        for key, count in zip(tracked.tolist(), counts.tolist()):
+            if count:
+                categories[key] += count
+        self._other += int(present.size - counts.sum())
+
+    def _update_categories_hashed(
+        self, hashed: np.ndarray, present: np.ndarray
+    ) -> None:
+        """Category counts for wide unicode columns, keyed by value hash.
+
+        Tracked keys are chosen in hash order (not value order) and a
+        hash collision folds the colliding value into an existing key —
+        both acceptable for a profiling sketch, and they buy counting
+        without ever sorting or materialising the string values.
+        """
+        categories = self._categories
+        by_hash = self._cat_by_hash
+        if len(categories) >= TRACKED_CATEGORIES:
+            tracked = self._tracked_hashes
+            if tracked is None:
+                tracked = self._tracked_hashes = np.sort(
+                    np.fromiter(by_hash, dtype=np.uint64, count=len(by_hash))
+                )
+            idx = np.searchsorted(tracked, hashed)
+            np.clip(idx, 0, len(tracked) - 1, out=idx)
+            hit = tracked[idx] == hashed
+            counts = np.bincount(idx[hit], minlength=len(tracked))
+            for key_hash, count in zip(tracked.tolist(), counts.tolist()):
+                if count:
+                    categories[by_hash[key_hash]] += count
+            self._other += int(hashed.size - counts.sum())
+            return
+        uniques, first, counts = np.unique(
+            hashed, return_index=True, return_counts=True
+        )
+        if not categories and len(uniques) >= TRACKED_CATEGORIES:
+            # First batch of a high-cardinality column: track the head,
+            # batch-sum the overflow (see _update_categories_sorted).
+            head = TRACKED_CATEGORIES
+            for key_hash, index, count in zip(
+                uniques[:head].tolist(), first[:head].tolist(), counts[:head].tolist()
+            ):
+                value = str(present[index])
+                by_hash[key_hash] = value
+                categories[value] = count
+            self._other += int(counts[head:].sum())
+            self._tracked_hashes = None
+            return
+        for key_hash, index, count in zip(
+            uniques.tolist(), first.tolist(), counts.tolist()
+        ):
+            value = by_hash.get(key_hash)
+            if value is not None:
+                categories[value] += count
+            elif len(categories) < TRACKED_CATEGORIES:
+                value = str(present[index])
+                by_hash[key_hash] = value
+                categories[value] = count
+            else:
+                self._other += count
+        self._tracked_hashes = None  # may have just filled up
+
+    # -- snapshot --------------------------------------------------------
+    @property
+    def distinct(self) -> int:
+        n = int(self._hash_arr.size)
+        if self._distinct_exact or n == 0:
+            return n
+        kth = int(self._hash_arr[-1])  # sorted: the k-th minimum is last
+        if kth == 0:
+            return n
+        return int(round((n - 1) * _HASH_SPACE / kth))
+
+    def snapshot(self) -> ColumnProfile:
+        numeric = self._n_obs > 0
+        std = (self._m2 / self._n_obs) ** 0.5 if self._n_obs else None
+        top = sorted(
+            self._categories.items(), key=lambda item: (-item[1], str(item[0]))
+        )[:TOP_K]
+        other = self._other + sum(
+            count for __, count in self._categories.items()
+        ) - sum(count for __, count in top)
+        histogram = None
+        if self._edges is not None:
+            histogram = {
+                "edges": [float(e) for e in self._edges],
+                "counts": [int(c) for c in self._bin_counts],
+            }
+        return ColumnProfile(
+            name=self.name,
+            kind=self.kind,
+            count=self.count,
+            missing=self.missing,
+            distinct=self.distinct,
+            distinct_exact=self._distinct_exact,
+            mean=self._mean if numeric else None,
+            std=std,
+            min=self._min if numeric else None,
+            max=self._max if numeric else None,
+            histogram=histogram,
+            top_k=[[value, count] for value, count in top],
+            other_count=int(other),
+        )
+
+
+@dataclass
+class NodeQualityProfile:
+    """What one pipeline node's output data looked like during a run."""
+
+    node_id: int
+    node_kind: str
+    node_label: str
+    rows_in: int
+    rows_out: int
+    wall_time_s: float
+    columns: dict[str, ColumnProfile] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.node_kind}#{self.node_id}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "node_kind": self.node_kind,
+            "node_label": self.node_label,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "wall_time_s": self.wall_time_s,
+            "columns": {name: prof.to_dict() for name, prof in self.columns.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "NodeQualityProfile":
+        """Rebuild from a dict, ignoring unknown keys (forward compat)."""
+        return cls(
+            node_id=int(payload.get("node_id", -1)),
+            node_kind=str(payload.get("node_kind", "")),
+            node_label=str(payload.get("node_label", "")),
+            rows_in=int(payload.get("rows_in", 0)),
+            rows_out=int(payload.get("rows_out", 0)),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            columns={
+                name: ColumnProfile.from_dict(prof)
+                for name, prof in (payload.get("columns") or {}).items()
+            },
+        )
+
+
+def profile_frame(
+    frame: Any, bins: int = DEFAULT_BINS, columns: Iterable[str] | None = None
+) -> dict[str, ColumnProfile]:
+    """One-shot per-column quality profile of a frame."""
+    names = list(columns) if columns is not None else frame.columns
+    out: dict[str, ColumnProfile] = {}
+    for name in names:
+        out[name] = (
+            ColumnQualityCollector(name, bins=bins)
+            .update(frame.column(name))
+            .snapshot()
+        )
+    return out
+
+
+def fingerprint_frame(frame: Any, bins: int = DEFAULT_BINS) -> dict[str, Any]:
+    """Schema hash + per-column stats identifying a dataset's shape.
+
+    Two frames with the same columns, dtype kinds, and per-column
+    statistics fingerprint identically; the ``schema_hash`` alone changes
+    whenever a column is added, dropped, renamed, or retyped.
+    """
+    schema = "|".join(
+        f"{name}:{frame.column(name).dtype_kind}" for name in frame.columns
+    )
+    return {
+        "n_rows": int(frame.num_rows),
+        "n_columns": int(frame.num_columns),
+        "schema_hash": f"{zlib.crc32(schema.encode('utf-8')):08x}",
+        "columns": {
+            name: prof.to_dict()
+            for name, prof in profile_frame(frame, bins=bins).items()
+        },
+    }
+
+
+class PipelineMonitor:
+    """Collects a :class:`NodeQualityProfile` per pipeline node.
+
+    Pass one to ``pipeline.execute(..., monitor=monitor)`` (or
+    ``monitor=True`` for a throwaway instance). Observing the same node
+    again — a second ``execute`` sharing the monitor, or an incremental
+    append — *streams* into the existing collectors: row counts and wall
+    time accumulate and the statistics merge as if the node had seen all
+    the data at once.
+
+    Parameters
+    ----------
+    bins:
+        Histogram bins per numeric column.
+    max_rows:
+        When set, only the first ``max_rows`` rows of each node output are
+        profiled — a sampling knob for very wide/long frames.
+    """
+
+    def __init__(self, bins: int = DEFAULT_BINS, max_rows: int | None = None) -> None:
+        self.bins = int(bins)
+        self.max_rows = max_rows
+        self._profiles: dict[str, NodeQualityProfile] = {}
+        self._collectors: dict[str, dict[str, ColumnQualityCollector]] = {}
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def observe_node(
+        self, node: Any, rows_in: int, frame: Any, wall_time_s: float
+    ) -> None:
+        """Fold one node evaluation's output frame into the profile set."""
+        key = f"{node.kind}#{node.id}"
+        profile = self._profiles.get(key)
+        if profile is None:
+            profile = NodeQualityProfile(
+                node_id=node.id,
+                node_kind=node.kind,
+                node_label=node.describe(),
+                rows_in=0,
+                rows_out=0,
+                wall_time_s=0.0,
+            )
+            self._profiles[key] = profile
+            self._collectors[key] = {}
+        profile.rows_in += int(rows_in)
+        profile.rows_out += int(frame.num_rows)
+        profile.wall_time_s += float(wall_time_s)
+        if self.max_rows is not None and frame.num_rows > self.max_rows:
+            frame = frame.take(np.arange(self.max_rows))
+        collectors = self._collectors[key]
+        for name in frame.columns:
+            collector = collectors.get(name)
+            if collector is None:
+                collector = ColumnQualityCollector(name, bins=self.bins)
+                collectors[name] = collector
+            collector.update(frame.column(name))
+
+    def profiles(self) -> dict[str, NodeQualityProfile]:
+        """Snapshot: node key → profile with frozen column statistics."""
+        out: dict[str, NodeQualityProfile] = {}
+        for key, profile in self._profiles.items():
+            out[key] = NodeQualityProfile(
+                node_id=profile.node_id,
+                node_kind=profile.node_kind,
+                node_label=profile.node_label,
+                rows_in=profile.rows_in,
+                rows_out=profile.rows_out,
+                wall_time_s=profile.wall_time_s,
+                columns={
+                    name: collector.snapshot()
+                    for name, collector in self._collectors[key].items()
+                },
+            )
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {key: prof.to_dict() for key, prof in self.profiles().items()}

@@ -25,7 +25,7 @@ from typing import Any
 
 from . import metrics as _metrics
 from . import trace as _trace
-from .trace import Span, _jsonable
+from .trace import TRACE_SCHEMA_VERSION, Span, _jsonable
 
 __all__ = ["TraceReport", "tracing"]
 
@@ -144,17 +144,63 @@ class TraceReport:
     # -- export -----------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         return {
+            "schema_version": TRACE_SCHEMA_VERSION,
             "spans": [s.to_dict() for s in self.spans],
             "metrics": _jsonable(self.metrics),
         }
 
     def save_jsonl(self, path: Any) -> int:
-        """One JSON line per span, plus a final ``{"metrics": ...}`` line."""
+        """Schema-versioned header line, one JSON line per span, plus a
+        final ``{"metrics": ...}`` line."""
         with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "schema_version": TRACE_SCHEMA_VERSION,
+                        "kind": "trace_report",
+                        "n_spans": len(self.spans),
+                    }
+                )
+                + "\n"
+            )
             for span in self.spans:
                 handle.write(json.dumps(span.to_dict()) + "\n")
             handle.write(json.dumps({"metrics": _jsonable(self.metrics)}) + "\n")
         return len(self.spans)
+
+    @classmethod
+    def from_jsonl(cls, path: Any) -> "TraceReport":
+        """Round-trip loader for :meth:`save_jsonl` files.
+
+        Forward-compatible by construction: unknown keys on span lines are
+        dropped, unknown line kinds (a future header field, a new record
+        type) are ignored, and files written before the schema-version
+        header existed still load. The report comes back ``closed``.
+        """
+        span_fields = set(Span.__dataclass_fields__)
+        report = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                if not isinstance(payload, dict):
+                    continue
+                if "span_id" in payload:
+                    known = {
+                        k: v for k, v in payload.items() if k in span_fields
+                    }
+                    known.setdefault("parent_id", None)
+                    known.setdefault("name", "")
+                    known.setdefault("start", 0.0)
+                    known.setdefault("attrs", {})
+                    report.spans.append(Span(**known))
+                elif "metrics" in payload:
+                    report.metrics = payload["metrics"] or {}
+                # anything else (headers, future record kinds) is ignored
+        report.closed = True
+        return report
 
     def save_json(self, path: Any) -> None:
         with open(path, "w", encoding="utf-8") as handle:

@@ -45,6 +45,7 @@ from typing import Any, Callable, Iterator
 __all__ = [
     "Span",
     "TraceRecorder",
+    "TRACE_SCHEMA_VERSION",
     "enabled",
     "enable",
     "disable",
@@ -54,6 +55,10 @@ __all__ = [
     "current_span",
     "get_recorder",
 ]
+
+#: Version stamped into every trace JSONL export (header line). Readers
+#: must ignore unknown fields, so this only gates *incompatible* changes.
+TRACE_SCHEMA_VERSION = 1
 
 #: Process-wide on/off switch. Read via :func:`enabled`; instrumentation
 #: sites must treat ``False`` as "do nothing at all".
@@ -197,9 +202,20 @@ class TraceRecorder:
             self._local = threading.local()
 
     def export_jsonl(self, path: Any) -> int:
-        """Write one JSON object per completed span; returns the count."""
+        """Write a schema-version header then one JSON object per completed
+        span; returns the span count."""
         spans = [s for s in self.spans if s.finished]
         with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "schema_version": TRACE_SCHEMA_VERSION,
+                        "kind": "trace_recorder",
+                        "n_spans": len(spans),
+                    }
+                )
+                + "\n"
+            )
             for span_obj in spans:
                 handle.write(json.dumps(span_obj.to_dict()) + "\n")
         return len(spans)

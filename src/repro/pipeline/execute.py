@@ -16,6 +16,7 @@ whose whole-frame evaluation raised, so clean data pays nothing.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -24,6 +25,7 @@ import numpy as np
 from ..frame import DataFrame
 from ..obs import metrics as _obs_metrics
 from ..obs import trace as _obs
+from ..obs.quality import NodeQualityProfile, PipelineMonitor
 from .operators import (
     EncodeNode,
     FilterNode,
@@ -73,6 +75,9 @@ class PipelineResult:
         Rows dropped (or patched) by a non-fail-fast
         :class:`~repro.pipeline.resilience.ExecutionPolicy`, each with its
         why-provenance. Empty under fail-fast execution.
+    quality_profiles:
+        Per-node :class:`~repro.obs.quality.NodeQualityProfile`\\ s when the
+        run was executed with ``monitor=``; empty otherwise.
     """
 
     frame: DataFrame
@@ -82,6 +87,7 @@ class PipelineResult:
     y: np.ndarray | None = None
     intermediates: dict[int, int] = field(default_factory=dict)  # node id -> rows
     quarantine: Quarantine = field(default_factory=Quarantine)
+    quality_profiles: dict[str, NodeQualityProfile] = field(default_factory=dict)
 
     @property
     def n_rows(self) -> int:
@@ -173,6 +179,29 @@ def _node_span(node: Node, rows_in: int | None = None):
     if rows_in is not None:
         attrs["rows_in"] = rows_in
     return _obs.span(f"node.{node.kind}#{node.id}", **attrs)
+
+
+def _monitor_clock(monitor: PipelineMonitor | None) -> float:
+    """Timestamp for per-node monitor timing; 0.0 (no clock read) when off."""
+    return time.perf_counter() if monitor is not None else 0.0
+
+
+def _monitor_observe(
+    monitor: PipelineMonitor | None,
+    node: Node,
+    rows_in: int,
+    frame: DataFrame,
+    t0: float,
+) -> None:
+    """Fold a node's output frame into the monitor *after* its span closed.
+
+    The elapsed time is taken before profiling starts, so the monitor's own
+    cost is excluded from the node latency it records — and observation
+    happens strictly after the node's result exists, so monitoring can
+    never change what the pipeline computes.
+    """
+    if monitor is not None:
+        monitor.observe_node(node, rows_in, frame, time.perf_counter() - t0)
 
 
 _TIMEOUT_REASON = {True: "timeout", False: "error"}
@@ -366,6 +395,7 @@ def _run_node(
     cache: dict[int, tuple[DataFrame, Provenance]],
     policy: ExecutionPolicy | None = None,
     quarantine: Quarantine | None = None,
+    monitor: PipelineMonitor | None = None,
 ) -> tuple[DataFrame, Provenance]:
     if node.id in cache:
         if _obs.enabled():
@@ -385,13 +415,20 @@ def _run_node(
             raise KeyError(
                 f"no input bound for source {node.name!r}; have {sorted(sources)}"
             )
+        t0 = _monitor_clock(monitor)
         with _node_span(node) as sp:
             frame = sources[node.name]
             result = (frame, Provenance.for_source(node.name, frame.row_ids))
             sp.set(rows_out=frame.num_rows)
+        _monitor_observe(monitor, node, frame.num_rows, result[0], t0)
     elif isinstance(node, JoinNode):
-        left = _run_node(node.inputs[0], sources, fit, cache, policy, quarantine)
-        right = _run_node(node.inputs[1], sources, fit, cache, policy, quarantine)
+        left = _run_node(
+            node.inputs[0], sources, fit, cache, policy, quarantine, monitor
+        )
+        right = _run_node(
+            node.inputs[1], sources, fit, cache, policy, quarantine, monitor
+        )
+        t0 = _monitor_clock(monitor)
         with _node_span(node, rows_in=left[0].num_rows) as sp:
             if strict:
                 left_frame, left_prov = left
@@ -414,8 +451,12 @@ def _run_node(
             else:
                 result = _run_join_guarded(node, left, right, node_policy, quarantine)
             sp.set(rows_out=result[0].num_rows)
+        _monitor_observe(monitor, node, left[0].num_rows, result[0], t0)
     elif isinstance(node, FilterNode):
-        frame, prov = _run_node(node.inputs[0], sources, fit, cache, policy, quarantine)
+        frame, prov = _run_node(
+            node.inputs[0], sources, fit, cache, policy, quarantine, monitor
+        )
+        t0 = _monitor_clock(monitor)
         with _node_span(node, rows_in=frame.num_rows) as sp:
             if strict:
                 mask = np.asarray(node.predicate(frame), dtype=bool)
@@ -424,8 +465,12 @@ def _run_node(
             else:
                 result = _run_filter_guarded(node, frame, prov, node_policy, quarantine)
             sp.set(rows_out=result[0].num_rows)
+        _monitor_observe(monitor, node, frame.num_rows, result[0], t0)
     elif isinstance(node, MapNode):
-        frame, prov = _run_node(node.inputs[0], sources, fit, cache, policy, quarantine)
+        frame, prov = _run_node(
+            node.inputs[0], sources, fit, cache, policy, quarantine, monitor
+        )
+        t0 = _monitor_clock(monitor)
         with _node_span(node, rows_in=frame.num_rows) as sp:
             if strict:
                 out = frame.copy()
@@ -434,11 +479,16 @@ def _run_node(
             else:
                 result = _run_map_guarded(node, frame, prov, node_policy, quarantine)
             sp.set(rows_out=result[0].num_rows)
+        _monitor_observe(monitor, node, frame.num_rows, result[0], t0)
     elif isinstance(node, ProjectNode):
-        frame, prov = _run_node(node.inputs[0], sources, fit, cache, policy, quarantine)
+        frame, prov = _run_node(
+            node.inputs[0], sources, fit, cache, policy, quarantine, monitor
+        )
+        t0 = _monitor_clock(monitor)
         with _node_span(node, rows_in=frame.num_rows) as sp:
             result = (frame.select(node.columns), prov)
             sp.set(rows_out=result[0].num_rows)
+        _monitor_observe(monitor, node, frame.num_rows, result[0], t0)
     elif isinstance(node, EncodeNode):
         # Handled by the caller (needs to produce X/y, not a frame).
         raise TypeError("EncodeNode must be the sink; execute() handles it")
@@ -523,6 +573,7 @@ def execute(
     fit: bool = True,
     cache: dict[int, tuple[DataFrame, Provenance]] | None = None,
     policy: ExecutionPolicy | None = None,
+    monitor: PipelineMonitor | bool | None = None,
 ) -> PipelineResult:
     """Run the pipeline ending at ``sink`` over concrete source frames.
 
@@ -545,17 +596,31 @@ def execute(
         non-fail-fast policy, rows an operator cannot process are dropped
         into ``result.quarantine`` (or patched with the policy's default)
         instead of aborting the run.
+    monitor:
+        Optional :class:`~repro.obs.quality.PipelineMonitor` (or ``True``
+        for a throwaway instance). Every node then emits a
+        :class:`~repro.obs.quality.NodeQualityProfile` of its output frame
+        — completeness, distinctness, histograms, categorical top-k —
+        collected into ``result.quality_profiles`` (and into the monitor,
+        which streams across runs that share it). Monitoring observes node
+        outputs after the fact and never changes what is computed.
     """
     if cache is None:
         cache = {}
+    if monitor is True:
+        monitor = PipelineMonitor()
+    elif monitor is False:
+        monitor = None
     quarantine = Quarantine()
     with _obs.span("pipeline.execute", fit=fit, robust=policy is not None) as root:
         if isinstance(sink, EncodeNode):
             frame, prov = _run_node(
-                sink.inputs[0], sources, fit, cache, policy, quarantine
+                sink.inputs[0], sources, fit, cache, policy, quarantine, monitor
             )
             sink_policy = policy.resolve(sink) if policy is not None else None
-            with _node_span(sink, rows_in=frame.num_rows) as sp:
+            rows_in = frame.num_rows
+            t0 = _monitor_clock(monitor)
+            with _node_span(sink, rows_in=rows_in) as sp:
                 if sink_policy is None:
                     if fit:
                         X = sink.encoder.fit_transform(frame)
@@ -566,13 +631,16 @@ def execute(
                         sink, frame, prov, fit, sink_policy, quarantine
                     )
                 sp.set(rows_out=frame.num_rows)
+            _monitor_observe(monitor, sink, rows_in, frame, t0)
             y = np.asarray(frame.column(sink.label_column).to_list())
             result = PipelineResult(
                 frame=frame, provenance=prov, sink=sink, X=X, y=y,
                 quarantine=quarantine,
             )
         else:
-            frame, prov = _run_node(sink, sources, fit, cache, policy, quarantine)
+            frame, prov = _run_node(
+                sink, sources, fit, cache, policy, quarantine, monitor
+            )
             result = PipelineResult(
                 frame=frame, provenance=prov, sink=sink, quarantine=quarantine
             )
@@ -580,10 +648,14 @@ def execute(
         result.intermediates = {
             nid: len(entry[1]) for nid, entry in cache.items() if nid in reachable
         }
+        if monitor is not None:
+            result.quality_profiles = monitor.profiles()
         if _obs.enabled():
             root.set(rows_out=result.n_rows, quarantined=len(quarantine))
             _obs_metrics.counter("pipeline.runs").inc()
             _obs_metrics.counter("pipeline.rows_out").inc(result.n_rows)
+            if monitor is not None:
+                _obs_metrics.counter("pipeline.monitored_runs").inc()
     return result
 
 
@@ -592,6 +664,7 @@ def execute_robust(
     sources: Mapping[str, DataFrame],
     fit: bool = True,
     policy: ExecutionPolicy | None = None,
+    monitor: PipelineMonitor | bool | None = None,
     **policy_overrides: Any,
 ) -> PipelineResult:
     """Run a pipeline with row-level quarantine instead of fail-fast crashes.
@@ -600,12 +673,14 @@ def execute_robust(
     — every operator skips-and-quarantines rows it cannot process, retrying
     transient failures once. Keyword overrides are forwarded to
     :meth:`ExecutionPolicy.robust` (e.g. ``max_retries=3, timeout=0.5``).
+    ``monitor`` attaches per-node data-quality profiling exactly as in
+    :func:`execute`.
     """
     if policy is None:
         policy = ExecutionPolicy.robust(**policy_overrides)
     elif policy_overrides:
         raise TypeError("pass either a policy or overrides, not both")
-    return execute(sink, sources, fit=fit, policy=policy)
+    return execute(sink, sources, fit=fit, policy=policy, monitor=monitor)
 
 
 def with_provenance(

@@ -1,6 +1,8 @@
-"""Text-based visualisation: tables, charts, query-plan and trace rendering."""
+"""Text-based visualisation: tables, charts, query-plan, trace and run-diff
+rendering."""
 
 from .ascii_chart import bar_chart, histogram, line_chart, reliability_chart
+from .diff_view import format_run_diff
 from .table import format_records, format_table, pretty_print
 from .trace_view import format_metrics, format_span_summary, format_trace
 
@@ -15,4 +17,5 @@ __all__ = [
     "format_trace",
     "format_span_summary",
     "format_metrics",
+    "format_run_diff",
 ]

@@ -1,0 +1,72 @@
+"""ASCII rendering of a cross-run comparison (:class:`repro.obs.diff.RunDiff`).
+
+Two tables: the per-node overview (rows, latency, worst column drift) and
+the alert table — the thing an operator reads first when a nightly run
+regresses. Consumed by ``RunDiff.render()`` and the monitoring example.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .table import format_records
+
+__all__ = ["format_run_diff"]
+
+
+def _fmt_latency(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def format_run_diff(diff: Any) -> str:
+    """Render a ``RunDiff`` as node-overview + alert tables."""
+    lines = [f"run diff: {diff.run_a} → {diff.run_b}"]
+    if diff.wall_time_a_s is not None and diff.wall_time_b_s is not None:
+        lines[0] += (
+            f"  (wall {_fmt_latency(diff.wall_time_a_s)}"
+            f" → {_fmt_latency(diff.wall_time_b_s)})"
+        )
+    if diff.nodes:
+        node_rows = []
+        for key in sorted(diff.nodes, key=lambda k: diff.nodes[k].score, reverse=True):
+            node = diff.nodes[key]
+            worst = node.worst_column()
+            node_rows.append(
+                {
+                    "node": key,
+                    "rows": f"{node.rows_a}→{node.rows_b}"
+                    if node.rows_a != node.rows_b
+                    else str(node.rows_a),
+                    "latency": f"{_fmt_latency(node.latency_a_s)}→"
+                    f"{_fmt_latency(node.latency_b_s)}",
+                    "drift": f"{node.score:.2f}",
+                    "worst column": (
+                        f"{worst.column} ({worst.score:.2f})" if worst else "-"
+                    ),
+                }
+            )
+        lines += ["", format_records(node_rows)]
+    if diff.alerts:
+        alert_rows = [
+            {
+                "severity": alert.severity,
+                "kind": alert.kind,
+                "node": alert.node,
+                "column": alert.column or "-",
+                "metric": alert.metric,
+                "value": f"{alert.value:.3f}",
+                "threshold": f"{alert.threshold:.3f}",
+            }
+            for alert in diff.alerts
+        ]
+        lines += [
+            "",
+            f"{len(diff.alerts)} alert(s):",
+            format_records(alert_rows),
+        ]
+        lines += [""] + [f"  ! {alert.message}" for alert in diff.alerts]
+    else:
+        lines += ["", "no drift alerts"]
+    return "\n".join(lines)

@@ -150,6 +150,24 @@ class TestIterativeCleaning:
         )
         assert oracle.spent == 60  # 3 disjoint batches
 
+    def test_ledger_hook_records_cleaning_event(self, dirty_scenario, tmp_path):
+        from repro.obs import RunLedger
+
+        clean, dirty, valid, __ = dirty_scenario
+        oracle = CleaningOracle(clean)
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        curve = iterative_cleaning(
+            dirty, valid, default_featurize, "sentiment", oracle,
+            make_strategy("random"), LogisticRegression(max_iter=30),
+            batch_size=10, n_rounds=2, strategy_name="random", ledger=ledger,
+        )
+        (record,) = ledger.load()
+        assert record.kind == "cleaning"
+        assert record.config["strategy"] == "random"
+        assert record.stats["n_cleaned"] == curve.records[-1]["n_cleaned"]
+        assert record.stats["final_accuracy"] == curve.final_accuracy
+        assert record.wall_time_s > 0
+
 
 class TestActiveClean:
     def test_curve_shape_and_improvement(self, dirty_scenario):

@@ -255,9 +255,47 @@ class TestTracingWindow:
         path = tmp_path / "trace.jsonl"
         count = report.save_jsonl(path)
         lines = [json.loads(line) for line in path.read_text().splitlines()]
-        assert len(lines) == count + 1  # spans + trailing metrics line
-        assert lines[0]["name"] == "pipeline.execute"
+        # header + spans + trailing metrics line
+        assert len(lines) == count + 2
+        assert lines[0]["kind"] == "trace_report"
+        assert lines[1]["name"] == "pipeline.execute"
         assert lines[-1]["metrics"]["pipeline.runs"]["value"] == 1
+        loaded = type(report).from_jsonl(path)
+        assert loaded.span_names() == report.span_names()
+        assert loaded.metrics.keys() == report.metrics.keys()
+
+    def test_from_jsonl_ignores_unknown_fields_and_kinds(self, tmp_path):
+        """Forward compat: a file written by a *newer* schema still loads."""
+        from repro.obs import TraceReport
+
+        path = tmp_path / "future.jsonl"
+        lines = [
+            # future header with extra fields
+            {"schema_version": 99, "kind": "trace_report", "host": "somewhere"},
+            # span with unknown extra keys
+            {
+                "span_id": 0, "parent_id": None, "name": "root", "start": 0.0,
+                "duration": 0.5, "attrs": {"n": 1}, "future_field": [1, 2],
+            },
+            # span missing optional keys entirely
+            {"span_id": 1, "name": "leaf", "duration": 0.1},
+            # an unknown record kind
+            {"kind": "annotations", "payload": {"x": 1}},
+            # a non-dict line
+            [1, 2, 3],
+            # trailing metrics with extras
+            {"metrics": {"pipeline.runs": {"type": "counter", "value": 2}},
+             "extra": True},
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(json.dumps(line) + "\n")
+        report = TraceReport.from_jsonl(path)
+        assert report.closed
+        assert report.span_names() == ["root", "leaf"]
+        assert report.spans[0].attrs == {"n": 1}
+        assert report.spans[1].parent_id is None  # defaulted
+        assert report.metrics["pipeline.runs"]["value"] == 2
 
     def test_summary_self_time_never_exceeds_total(self):
         frame, sink = build_pipeline(20)

@@ -55,6 +55,84 @@ class TestInstruments:
         assert snap["mean"] == 0.0
 
 
+class TestHistogramEdgeCases:
+    def test_window_overflow_evicts_in_fifo_order(self):
+        h = obs_metrics.Histogram("local", window=4)
+        for i in range(7):
+            h.observe(float(i))
+        # Exactly the 4 most recent observations survive, oldest-first.
+        assert list(h.window) == [3.0, 4.0, 5.0, 6.0]
+        h.observe(7.0)
+        assert list(h.window) == [4.0, 5.0, 6.0, 7.0]
+        # Aggregates keep counting past the window.
+        assert h.count == 8
+        assert h.min == 0.0 and h.max == 7.0
+
+    def test_single_observation_answers_every_quantile(self):
+        h = obs_metrics.Histogram("local")
+        h.observe(42.0)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 42.0
+
+    def test_quantile_interpolates_and_bounds(self):
+        h = obs_metrics.Histogram("local")
+        for value in (4.0, 1.0, 3.0, 2.0):
+            h.observe(value)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 4.0
+        assert h.quantile(0.5) == pytest.approx(2.5)
+        assert h.quantile(0.25) == pytest.approx(1.75)
+
+    def test_quantile_covers_only_the_window_after_overflow(self):
+        h = obs_metrics.Histogram("local", window=3)
+        for value in (100.0, 1.0, 2.0, 3.0):
+            h.observe(value)
+        assert h.quantile(1.0) == 3.0  # the evicted 100.0 is gone
+
+    def test_empty_quantile_is_none_and_bad_q_raises(self):
+        h = obs_metrics.Histogram("local")
+        assert h.quantile(0.5) is None
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_reset_restores_pristine_state(self):
+        h = obs_metrics.Histogram("local", window=4)
+        for i in range(10):
+            h.observe(float(i))
+        h.reset()
+        assert h.count == 0 and h.total == 0.0
+        assert h.quantile(0.5) is None
+        h.observe(5.0)  # usable again after reset
+        assert h.snapshot()["recent"] == [5.0]
+
+    def test_registry_histograms_reset_after_fork(self):
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("platform without fork")
+        obs_metrics.histogram("test.fork").observe(1.0)
+
+        def child(queue):
+            h = obs_metrics.histogram("test.fork")
+            queue.put((h.count, h.quantile(0.5)))
+            h.observe(9.0)
+            queue.put((h.count, h.quantile(0.5)))
+
+        ctx = mp.get_context("fork")
+        queue = ctx.Queue()
+        proc = ctx.Process(target=child, args=(queue,))
+        proc.start()
+        proc.join()
+        inherited, after = queue.get(), queue.get()
+        # The fork guard dropped the parent's instruments in the child...
+        assert inherited == (0, None)
+        assert after == (1, 9.0)
+        # ...and the parent's histogram is untouched by the child.
+        h = obs_metrics.histogram("test.fork")
+        assert h.count == 1 and h.quantile(0.5) == 1.0
+
+
 class TestRegistrySemantics:
     def test_kind_conflict_raises(self):
         obs_metrics.counter("test.conflict")

@@ -1,0 +1,218 @@
+"""Streaming per-column quality collectors and the pipeline monitor.
+
+Pins the collector's core contract — chunked updates aggregate exactly
+like one pass over the concatenation — plus the KMV distinctness switch,
+frozen histogram edges, bounded top-k, and the executor integration
+(``monitor=`` never changes what a pipeline computes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.frame import Column, DataFrame
+from repro.learn import ColumnTransformer, StandardScaler
+from repro.obs.quality import (
+    DISTINCT_CAP,
+    TOP_K,
+    TRACKED_CATEGORIES,
+    ColumnProfile,
+    ColumnQualityCollector,
+    NodeQualityProfile,
+    PipelineMonitor,
+    fingerprint_frame,
+    profile_frame,
+)
+from repro.pipeline import PipelinePlan, execute
+
+
+def build_pipeline(n: int = 80):
+    frame = DataFrame(
+        {
+            "value": np.linspace(0.0, 1.0, n),
+            "group": ["a" if i % 3 else "b" for i in range(n)],
+            "label": ["pos" if i % 2 else "neg" for i in range(n)],
+        }
+    )
+    plan = PipelinePlan()
+    sink = (
+        plan.source("t")
+        .filter(lambda df: df["value"] <= 0.95, "value <= 0.95")
+        .with_column("feat", lambda df: df["value"] * 2.0, "feat")
+        .encode(
+            ColumnTransformer([(StandardScaler(), ["feat"])]), label_column="label"
+        )
+    )
+    return frame, sink
+
+
+class TestColumnCollector:
+    def test_chunked_updates_equal_single_pass(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(3.0, 2.0, size=500)
+        column = Column(values)
+        whole = ColumnQualityCollector("x").update(column).snapshot()
+        chunked = ColumnQualityCollector("x")
+        for start in (0, 130, 260, 390):
+            chunked.update(Column(values[start : start + 130]))
+        merged = chunked.snapshot()
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean)
+        assert merged.std == pytest.approx(whole.std)
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+        assert merged.distinct == whole.distinct
+
+    def test_completeness_counts_masked_cells(self):
+        column = Column(
+            np.asarray([1.0, 2.0, 3.0, 4.0]),
+            mask=np.asarray([False, True, True, False]),
+        )
+        profile = ColumnQualityCollector("x").update(column).snapshot()
+        assert profile.count == 4
+        assert profile.missing == 2
+        assert profile.completeness == pytest.approx(0.5)
+        # Masked cells never contribute to the moments.
+        assert profile.mean == pytest.approx(2.5)
+
+    def test_all_missing_column_profiles_without_stats(self):
+        column = Column(np.asarray([np.nan, np.nan]))
+        profile = ColumnQualityCollector("x").update(column).snapshot()
+        assert profile.completeness == 0.0
+        assert profile.mean is None
+        assert profile.histogram is None
+
+    def test_distinct_exact_until_cap_then_kmv_estimate(self):
+        collector = ColumnQualityCollector("x")
+        collector.update(Column(np.arange(DISTINCT_CAP, dtype=float)))
+        assert collector._distinct_exact
+        assert collector.distinct == DISTINCT_CAP
+        collector.update(Column(np.arange(5 * DISTINCT_CAP, dtype=float)))
+        profile = collector.snapshot()
+        assert not profile.distinct_exact
+        # KMV over crc32 is coarse; demand the right order of magnitude.
+        assert 0.5 * 5 * DISTINCT_CAP < profile.distinct < 2.0 * 5 * DISTINCT_CAP
+
+    def test_histogram_edges_freeze_and_clip(self):
+        collector = ColumnQualityCollector("x", bins=4)
+        collector.update(Column(np.asarray([0.0, 1.0, 2.0, 3.0, 4.0])))
+        edges_first = list(collector.snapshot().histogram["edges"])
+        collector.update(Column(np.asarray([100.0, -50.0])))
+        profile = collector.snapshot()
+        assert profile.histogram["edges"] == edges_first  # frozen on first batch
+        assert sum(profile.histogram["counts"]) == 7  # clipped, not dropped
+        assert profile.histogram["counts"][0] >= 2  # -50 piled into the low bin
+        assert profile.max == 100.0  # true extremes still tracked
+
+    def test_constant_column_widens_degenerate_edges(self):
+        profile = (
+            ColumnQualityCollector("x").update(Column(np.full(10, 7.0))).snapshot()
+        )
+        edges = profile.histogram["edges"]
+        assert edges[0] < 7.0 < edges[-1]
+        assert sum(profile.histogram["counts"]) == 10
+        assert profile.std == pytest.approx(0.0)
+
+    def test_categorical_top_k_is_bounded_with_other_overflow(self):
+        values = [f"cat{i:03d}" for i in range(TRACKED_CATEGORIES)] * 2
+        overflow = [f"extra{i:03d}" for i in range(20)]
+        collector = ColumnQualityCollector("x")
+        collector.update(Column(np.asarray(values + overflow, dtype=object)))
+        profile = collector.snapshot()
+        assert len(profile.top_k) == TOP_K
+        assert all(count == 2 for __, count in profile.top_k)
+        # Everything beyond the reported top-k lands in other_count.
+        total = sum(count for __, count in profile.top_k) + profile.other_count
+        assert total == len(values) + len(overflow)
+
+    def test_profile_roundtrips_through_dict_ignoring_unknown_keys(self):
+        profile = (
+            ColumnQualityCollector("x")
+            .update(Column(np.asarray(["a", "b", "a"], dtype=object)))
+            .snapshot()
+        )
+        payload = profile.to_dict()
+        payload["a_future_field"] = {"nested": True}
+        restored = ColumnProfile.from_dict(payload)
+        assert restored.name == profile.name
+        assert restored.distinct == profile.distinct
+        assert restored.top_k == [["a", 2], ["b", 1]]
+
+
+class TestFrameProfiles:
+    def test_profile_frame_covers_every_column(self):
+        frame = DataFrame(
+            {"x": np.asarray([1.0, 2.0]), "s": ["u", "v"]}
+        )
+        profiles = profile_frame(frame)
+        assert set(profiles) == {"x", "s"}
+        assert profiles["x"].kind == "float"
+        assert profiles["s"].kind == "string"
+
+    def test_fingerprint_changes_with_schema_not_with_copy(self):
+        frame = DataFrame({"x": np.asarray([1.0, 2.0]), "s": ["u", "v"]})
+        fp = fingerprint_frame(frame)
+        assert fp == fingerprint_frame(frame.copy())
+        renamed = DataFrame({"y": np.asarray([1.0, 2.0]), "s": ["u", "v"]})
+        assert fingerprint_frame(renamed)["schema_hash"] != fp["schema_hash"]
+
+
+class TestPipelineMonitor:
+    def test_monitor_profiles_every_node(self):
+        frame, sink = build_pipeline(60)
+        monitor = PipelineMonitor()
+        result = execute(sink, {"t": frame}, monitor=monitor)
+        profiles = result.quality_profiles
+        kinds = sorted(p.node_kind for p in profiles.values())
+        assert kinds == ["encode", "filter", "map", "source"]
+        source = next(p for p in profiles.values() if p.node_kind == "source")
+        assert source.rows_out == frame.num_rows
+        assert set(source.columns) == {"value", "group", "label"}
+        map_node = next(p for p in profiles.values() if p.node_kind == "map")
+        assert "feat" in map_node.columns
+        assert all(p.wall_time_s >= 0.0 for p in profiles.values())
+
+    def test_monitor_true_attaches_throwaway_profiles(self):
+        frame, sink = build_pipeline(30)
+        result = execute(sink, {"t": frame}, monitor=True)
+        assert result.quality_profiles
+
+    def test_monitoring_never_changes_outputs(self):
+        frame, sink = build_pipeline(60)
+        plain = execute(sink, {"t": frame})
+        monitored = execute(sink, {"t": frame}, monitor=True)
+        np.testing.assert_array_equal(plain.X, monitored.X)
+        np.testing.assert_array_equal(plain.y, monitored.y)
+        assert plain.frame.num_rows == monitored.frame.num_rows
+        assert not plain.quality_profiles  # default stays profile-free
+
+    def test_shared_monitor_streams_across_runs(self):
+        frame, sink = build_pipeline(40)
+        monitor = PipelineMonitor()
+        execute(sink, {"t": frame}, monitor=monitor)
+        execute(sink, {"t": frame}, monitor=monitor)
+        source = next(
+            p for p in monitor.profiles().values() if p.node_kind == "source"
+        )
+        assert source.rows_out == 2 * frame.num_rows
+        assert source.columns["value"].count == 2 * frame.num_rows
+
+    def test_max_rows_samples_wide_outputs(self):
+        frame, sink = build_pipeline(80)
+        monitor = PipelineMonitor(max_rows=10)
+        execute(sink, {"t": frame}, monitor=monitor)
+        source = next(
+            p for p in monitor.profiles().values() if p.node_kind == "source"
+        )
+        assert source.rows_out == frame.num_rows  # row accounting stays exact
+        assert source.columns["value"].count == 10  # stats are sampled
+
+    def test_node_profile_dict_roundtrip(self):
+        frame, sink = build_pipeline(25)
+        monitor = PipelineMonitor()
+        execute(sink, {"t": frame}, monitor=monitor)
+        for key, profile in monitor.profiles().items():
+            payload = profile.to_dict()
+            payload["future"] = 1
+            restored = NodeQualityProfile.from_dict(payload)
+            assert restored.key == key == profile.key
+            assert set(restored.columns) == set(profile.columns)

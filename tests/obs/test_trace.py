@@ -131,7 +131,11 @@ class TestExport:
         path = tmp_path / "trace.jsonl"
         count = obs.get_recorder().export_jsonl(path)
         assert count == 2
-        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        header, *lines = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert header["schema_version"] == obs.TRACE_SCHEMA_VERSION
+        assert header["n_spans"] == 2
         assert [entry["name"] for entry in lines] == ["root", "leaf"]
         assert lines[1]["parent_id"] == lines[0]["span_id"]
         assert lines[0]["attrs"] == {"n": 3}

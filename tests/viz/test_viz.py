@@ -106,3 +106,46 @@ class TestReliabilityChart:
 
         with pytest.raises(ValueError):
             reliability_chart([])
+
+
+class TestEmptyTraceRendering:
+    """An empty tracing window must render a stable report, never crash."""
+
+    def test_format_trace_empty_is_stable(self):
+        from repro.viz import format_metrics, format_span_summary, format_trace
+
+        assert format_trace([]) == "(no spans recorded)"
+        assert format_span_summary([]) == "(no spans recorded)"
+        assert format_metrics({}) == "(no metrics recorded)"
+
+    def test_empty_tracing_window_renders_no_spans_report(self):
+        from repro.obs import tracing
+
+        with tracing():
+            pass  # nothing instrumented inside the window
+        # re-open a fresh window to get the report object
+        with tracing() as report:
+            pass
+        assert report.closed
+        assert report.spans == []
+        text = report.render()
+        assert "(no spans recorded)" in text
+        assert report.tree() == "(no spans recorded)"
+        assert report.summary_table() == "(no spans recorded)"
+        assert report.total_duration() == 0.0
+
+    def test_open_span_renders_as_open_not_crash(self):
+        from repro.obs.trace import Span
+        from repro.viz import format_trace
+
+        open_span = Span(span_id=0, parent_id=None, name="stuck", start=0.0)
+        text = format_trace([open_span])
+        assert "(open)" in text and "stuck" in text
+
+    def test_format_run_diff_without_alerts_says_so(self):
+        from repro.obs.diff import RunDiff
+        from repro.viz import format_run_diff
+
+        text = format_run_diff(RunDiff(run_a="a", run_b="b"))
+        assert "no drift alerts" in text
+        assert "a" in text and "b" in text
