@@ -1,0 +1,167 @@
+"""Fault-tolerant valuation runtime: recovery overhead and resume fidelity.
+
+Two questions the supervision + checkpoint layers must answer with numbers:
+
+1. **What does surviving a fault cost?** A parallel Shapley run with an
+   injected worker crash *and* an injected worker hang is timed against the
+   same run with no faults. The gap is the recovery overhead: detection
+   latency (the hang deadline), two re-forks, and one re-executed chunk
+   each. Values must stay bit-identical to serial throughout.
+2. **What does a kill cost after a checkpoint?** A run is stopped partway
+   (budget knob standing in for ``kill -9`` — the snapshot format is
+   identical) and resumed from its wave-boundary snapshot. Fidelity must be
+   bit-exact, and the resumed run must only pay for the permutations that
+   were *not* yet in the snapshot.
+
+Environment knobs (CI smoke sizes): ``REPRO_BENCH_FT_N`` (game size),
+``REPRO_BENCH_FT_PERMS`` (permutations), ``REPRO_BENCH_FT_DELAY`` (per-eval
+sleep, seconds — gives chunks a measurable latency so hang detection has
+something to time).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ChaosMonkey
+from repro.importance import SubsetUtility, ValuationEngine
+from repro.importance.engine import _FORK_CTX
+from repro.viz import format_records
+
+N = int(os.environ.get("REPRO_BENCH_FT_N", "12"))
+PERMS = int(os.environ.get("REPRO_BENCH_FT_PERMS", "30"))
+DELAY = float(os.environ.get("REPRO_BENCH_FT_DELAY", "0.002"))
+SEED = 7
+
+
+def make_game(delay: float = DELAY) -> SubsetUtility:
+    rng = np.random.default_rng(3)
+    w = rng.normal(size=N)
+
+    def func(indices):
+        if delay:
+            time.sleep(delay)
+        idx = np.asarray(indices, dtype=int)
+        return float(np.tanh(w[idx].sum())) if len(idx) else 0.0
+
+    return SubsetUtility(func, N)
+
+
+def run_fault_tolerance() -> dict:
+    serial = ValuationEngine(make_game()).run_permutations(PERMS, seed=SEED)
+
+    t0 = time.perf_counter()
+    clean_engine = ValuationEngine(make_game(), n_workers=2)
+    clean = clean_engine.run_permutations(PERMS, seed=SEED)
+    clean_s = time.perf_counter() - t0
+
+    chaos = ChaosMonkey(
+        worker_crash_chunks=[1], worker_hang_chunks=[2], hang_duration=60.0
+    )
+    t0 = time.perf_counter()
+    chaos_engine = ValuationEngine(
+        make_game(), n_workers=2, chaos=chaos, chunk_timeout_s=1.0
+    )
+    chaotic = chaos_engine.run_permutations(PERMS, seed=SEED)
+    chaos_s = time.perf_counter() - t0
+
+    # Kill/resume fidelity: stop partway, resume from the snapshot.
+    from tempfile import TemporaryDirectory
+
+    full_game = make_game()
+    t0 = time.perf_counter()
+    uninterrupted = ValuationEngine(full_game).run_permutations(PERMS, seed=SEED)
+    full_s = time.perf_counter() - t0
+    with TemporaryDirectory() as tmp:
+        ck = os.path.join(tmp, "ck.json")
+        partial_game = make_game()
+        partial = ValuationEngine(partial_game, checkpoint=ck).run_permutations(
+            PERMS, seed=SEED, max_evals=max(2, full_game.n_evaluations // 3)
+        )
+        resumed_game = make_game()
+        t0 = time.perf_counter()
+        resumed = ValuationEngine(
+            resumed_game, checkpoint=ck, resume=True
+        ).run_permutations(PERMS, seed=SEED)
+        resume_s = time.perf_counter() - t0
+
+    return {
+        "clean_parallel_s": round(clean_s, 4),
+        "chaos_parallel_s": round(chaos_s, 4),
+        "recovery_overhead_s": round(chaos_s - clean_s, 4),
+        "worker_restarts": chaos_engine.worker_restarts,
+        "crashes": chaos_engine.supervision.crashes,
+        "hangs": chaos_engine.supervision.hangs,
+        "chunk_retries": chaos_engine.supervision.chunk_retries,
+        "parallel_bit_identical": bool(
+            np.array_equal(clean.values(), serial.values())
+        ),
+        "chaos_bit_identical": bool(
+            np.array_equal(chaotic.values(), serial.values())
+        ),
+        "resume": {
+            "full_run_s": round(full_s, 4),
+            "resume_s": round(resume_s, 4),
+            "permutations_checkpointed": partial.n_permutations,
+            "evals_full": full_game.n_evaluations,
+            "evals_resumed": resumed_game.n_evaluations,
+            "evals_saved_frac": round(
+                1.0 - resumed_game.n_evaluations / max(1, full_game.n_evaluations),
+                3,
+            ),
+            "resume_bit_identical": bool(
+                np.array_equal(resumed.values(), uninterrupted.values())
+            ),
+        },
+    }
+
+
+@pytest.mark.skipif(_FORK_CTX is None, reason="requires a fork-capable platform")
+def test_fault_tolerance(benchmark, write_report):
+    result = benchmark.pedantic(run_fault_tolerance, rounds=1, iterations=1)
+    resume = result["resume"]
+    rows = [
+        {
+            "scenario": "parallel, no faults",
+            "wall_s": result["clean_parallel_s"],
+            "bit_identical": result["parallel_bit_identical"],
+        },
+        {
+            "scenario": "parallel, 1 crash + 1 hang injected",
+            "wall_s": result["chaos_parallel_s"],
+            "bit_identical": result["chaos_bit_identical"],
+        },
+        {
+            "scenario": "serial, uninterrupted",
+            "wall_s": resume["full_run_s"],
+            "bit_identical": True,
+        },
+        {
+            "scenario": "serial, killed + resumed",
+            "wall_s": resume["resume_s"],
+            "bit_identical": resume["resume_bit_identical"],
+        },
+    ]
+    report = format_records(rows)
+    report += (
+        f"\n\nrecovery overhead: {result['recovery_overhead_s']:.3f}s"
+        f" ({result['worker_restarts']} restarts:"
+        f" {result['crashes']} crash, {result['hangs']} hang,"
+        f" {result['chunk_retries']} chunk retries)"
+        f"\nresume skipped {resume['permutations_checkpointed']}/{PERMS}"
+        f" checkpointed permutations"
+        f" ({resume['evals_saved_frac']:.0%} of evaluations saved)"
+    )
+    write_report("fault_tolerance", report, records=result)
+
+    # Fidelity is non-negotiable; timing asserts stay loose (shared runners).
+    assert result["parallel_bit_identical"]
+    assert result["chaos_bit_identical"]
+    assert resume["resume_bit_identical"]
+    assert result["worker_restarts"] >= 2
+    assert result["crashes"] == 1 and result["hangs"] == 1
+    assert resume["evals_resumed"] < resume["evals_full"]

@@ -31,8 +31,10 @@ from ..frame import DataFrame
 from ..learn.base import Estimator, clone
 from ..learn.models.logistic import LogisticRegression
 from ..importance.banzhaf import banzhaf_mc
+from ..importance.base import ImportanceResult
 from ..importance.beta_shapley import beta_shapley_mc
-from ..importance.engine import DEFAULT_CACHE_SIZE, ValuationEngine
+from ..importance.checkpoint import CheckpointStore
+from ..importance.engine import DEFAULT_CACHE_SIZE, ValuationEngine, ValuationResult
 from ..importance.knn_shapley import knn_shapley
 from ..importance.shapley import shapley_mc
 from ..importance.utility import Utility
@@ -59,6 +61,8 @@ from ..viz.ascii_chart import line_chart
 from ..viz.table import pretty_print
 
 __all__ = [
+    "CheckpointStore",
+    "ValuationResult",
     "load_recommendation_letters",
     "load_sidedata",
     "inject_labelerrors",
@@ -164,6 +168,8 @@ def valuation_engine(
     model: Estimator | None = None,
     n_workers: int = 1,
     cache_size: int = DEFAULT_CACHE_SIZE,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ValuationEngine:
     """A shared Monte-Carlo valuation engine over the scenario featurisation.
 
@@ -176,6 +182,11 @@ def valuation_engine(
         shap = nde.shapley_values(train_df_err, valid_df, engine=engine)
         banz = nde.banzhaf_values(train_df_err, valid_df, engine=engine)
         engine.cache.stats()   # hits / misses / evictions / hit_rate
+
+    ``checkpoint=`` (a file path) makes valuation runs snapshot their
+    accumulator state at wave boundaries; ``resume=True`` restores a killed
+    run from its snapshot and finishes bit-identical to an uninterrupted
+    one (refusing on a configuration mismatch).
     """
     model = model if model is not None else LogisticRegression(max_iter=100)
     return ValuationEngine(
@@ -188,6 +199,8 @@ def valuation_engine(
         ),
         n_workers=n_workers,
         cache_size=cache_size,
+        checkpoint=checkpoint,
+        resume=resume,
     )
 
 
@@ -203,9 +216,14 @@ def shapley_values(
     seed: int = 0,
     n_workers: int = 1,
     cache_size: int = DEFAULT_CACHE_SIZE,
+    deadline_s: float | None = None,
+    max_evals: int | None = None,
+    checkpoint=None,
+    resume: bool = False,
+    return_result: bool = False,
     model: Estimator | None = None,
     engine: ValuationEngine | None = None,
-) -> np.ndarray:
+) -> np.ndarray | ImportanceResult:
     """Per-training-row Monte-Carlo (TMC) Shapley importance.
 
     The retraining-based sibling of :func:`knn_shapley_values`, run on the
@@ -214,11 +232,21 @@ def shapley_values(
     ``cache_size`` bounds the subset-utility memo, and
     ``convergence_tolerance`` stops sampling once every point's standard
     error is below it.
+
+    ``deadline_s``/``max_evals`` degrade gracefully: when the budget runs
+    out mid-run the best current estimate comes back instead of an
+    exception. ``checkpoint``/``resume`` make the run killable: state is
+    snapshotted at wave boundaries and a resumed run finishes bit-identical
+    to an uninterrupted one. Pass ``return_result=True`` for the full
+    :class:`~repro.importance.ImportanceResult` (per-row ``stderr``,
+    ``converged`` flag, evaluation census in ``extras``) instead of the
+    bare values array.
     """
     if engine is None:
         engine = valuation_engine(
             train_df, validation, label_column=label_column, model=model,
             n_workers=n_workers, cache_size=cache_size,
+            checkpoint=checkpoint, resume=resume,
         )
     result = shapley_mc(
         None,
@@ -228,9 +256,11 @@ def shapley_values(
         check_every=check_every,
         antithetic=antithetic,
         seed=seed,
+        deadline_s=deadline_s,
+        max_evals=max_evals,
         engine=engine,
     )
-    return result.values
+    return result if return_result else result.values
 
 
 def banzhaf_values(
@@ -241,16 +271,25 @@ def banzhaf_values(
     seed: int = 0,
     n_workers: int = 1,
     cache_size: int = DEFAULT_CACHE_SIZE,
+    checkpoint=None,
+    resume: bool = False,
+    return_result: bool = False,
     model: Estimator | None = None,
     engine: ValuationEngine | None = None,
-) -> np.ndarray:
-    """Per-training-row Banzhaf importance (MSR estimator) on the engine."""
+) -> np.ndarray | ImportanceResult:
+    """Per-training-row Banzhaf importance (MSR estimator) on the engine.
+
+    ``checkpoint``/``resume`` snapshot the evaluated subset utilities in
+    waves, so a killed run resumes without re-paying for finished subsets.
+    """
     if engine is None:
         engine = valuation_engine(
             train_df, validation, label_column=label_column, model=model,
             n_workers=n_workers, cache_size=cache_size,
+            checkpoint=checkpoint, resume=resume,
         )
-    return banzhaf_mc(None, n_samples=n_samples, seed=seed, engine=engine).values
+    result = banzhaf_mc(None, n_samples=n_samples, seed=seed, engine=engine)
+    return result if return_result else result.values
 
 
 def beta_shapley_values(
@@ -266,14 +305,24 @@ def beta_shapley_values(
     seed: int = 0,
     n_workers: int = 1,
     cache_size: int = DEFAULT_CACHE_SIZE,
+    deadline_s: float | None = None,
+    max_evals: int | None = None,
+    checkpoint=None,
+    resume: bool = False,
+    return_result: bool = False,
     model: Estimator | None = None,
     engine: ValuationEngine | None = None,
-) -> np.ndarray:
-    """Per-training-row Beta(α, β)-Shapley importance on the engine."""
+) -> np.ndarray | ImportanceResult:
+    """Per-training-row Beta(α, β)-Shapley importance on the engine.
+
+    Shares :func:`shapley_values`' budget (``deadline_s``/``max_evals``)
+    and checkpoint/resume semantics.
+    """
     if engine is None:
         engine = valuation_engine(
             train_df, validation, label_column=label_column, model=model,
             n_workers=n_workers, cache_size=cache_size,
+            checkpoint=checkpoint, resume=resume,
         )
     result = beta_shapley_mc(
         None,
@@ -284,9 +333,11 @@ def beta_shapley_values(
         check_every=check_every,
         antithetic=antithetic,
         seed=seed,
+        deadline_s=deadline_s,
+        max_evals=max_evals,
         engine=engine,
     )
-    return result.values
+    return result if return_result else result.values
 
 
 def with_provenance(

@@ -22,10 +22,22 @@ rows fault whether the executor runs the operator vectorised or row-wise.
 Every fault that actually fires is recorded in :attr:`ChaosMonkey.triggered`
 as ground truth for tests and benchmarks — graceful degradation is proven
 by checking the executor's quarantine against exactly this record.
+
+Beyond operator faults, the monkey also injects *worker-level* faults into
+the valuation engine's supervised fan-out (pass the monkey as
+``ValuationEngine(chaos=...)``): a targeted chunk either **crashes** its
+worker process (``os._exit``, an abnormal exit with no Python unwinding —
+the moral equivalent of a segfault or OOM kill) or **hangs** it
+(``time.sleep`` past the dispatcher's deadline). Worker faults fire only on
+a chunk's *first* attempt, so the supervised retry succeeds and the run is
+expected to complete — with :attr:`ChaosMonkey.triggered` again recording
+exactly which chunks faulted (``node_kind="worker"``, ``row_id`` holding
+the chunk sequence number).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
@@ -84,6 +96,17 @@ class ChaosMonkey:
     target_kinds:
         Which operator kinds get wrapped (corruption only applies to maps —
         filters have no output cells to corrupt).
+    worker_crash_rate, worker_hang_rate:
+        Per-chunk probabilities of killing (``os._exit``) or hanging
+        (``time.sleep(hang_duration)``) the valuation worker that picks the
+        chunk up. Seeded per chunk sequence number, independent of which
+        worker runs it; fires only on the chunk's first attempt.
+    hang_duration:
+        Sleep duration for worker hang faults — pick it well past the
+        dispatcher's chunk deadline so the hang is detected, not waited out.
+    worker_crash_chunks, worker_hang_chunks:
+        Explicit chunk sequence numbers to fault deterministically
+        (overrides the rates for those chunks) — "crash on the Nth chunk".
     """
 
     def __init__(
@@ -96,6 +119,11 @@ class ChaosMonkey:
         latency_rate: float = 0.0,
         latency: float = 0.05,
         target_kinds: Sequence[str] = ("map", "filter"),
+        worker_crash_rate: float = 0.0,
+        worker_hang_rate: float = 0.0,
+        hang_duration: float = 30.0,
+        worker_crash_chunks: Sequence[int] = (),
+        worker_hang_chunks: Sequence[int] = (),
     ) -> None:
         rates = {
             "error": float(error_rate),
@@ -106,10 +134,27 @@ class ChaosMonkey:
         }
         if any(r < 0 for r in rates.values()) or sum(rates.values()) > 1.0:
             raise ValueError("fault rates must be non-negative and sum to <= 1")
+        worker_rates = {
+            "worker_crash": float(worker_crash_rate),
+            "worker_hang": float(worker_hang_rate),
+        }
+        if any(r < 0 for r in worker_rates.values()) or sum(worker_rates.values()) > 1.0:
+            raise ValueError(
+                "worker fault rates must be non-negative and sum to <= 1"
+            )
+        overlap = set(worker_crash_chunks) & set(worker_hang_chunks)
+        if overlap:
+            raise ValueError(
+                f"chunks {sorted(overlap)} listed for both crash and hang"
+            )
         self.seed = int(seed)
         self.rates = rates
         self.latency = float(latency)
         self.target_kinds = tuple(target_kinds)
+        self.worker_rates = worker_rates
+        self.hang_duration = float(hang_duration)
+        self.worker_crash_chunks = frozenset(int(c) for c in worker_crash_chunks)
+        self.worker_hang_chunks = frozenset(int(c) for c in worker_hang_chunks)
         self.triggered: list[InjectedFault] = []
         self._transient_seen: set[tuple[int, int]] = set()
 
@@ -149,6 +194,65 @@ class ChaosMonkey:
         """Clear the trigger record and transient-failure memory."""
         self.triggered.clear()
         self._transient_seen.clear()
+
+    # ------------------------------------------------------------------
+    # Worker-level faults (valuation engine supervision)
+    # ------------------------------------------------------------------
+    def worker_fault(self, chunk_ord: int, attempt: int) -> str | None:
+        """Fault kind for one dispatched chunk, or None. Pure and seeded.
+
+        Faults fire only on ``attempt == 0``: a re-queued chunk must
+        succeed, so supervised recovery — not an infinite crash loop — is
+        what chaos runs exercise.
+        """
+        if attempt != 0:
+            return None
+        chunk_ord = int(chunk_ord)
+        if chunk_ord in self.worker_crash_chunks:
+            return "worker_crash"
+        if chunk_ord in self.worker_hang_chunks:
+            return "worker_hang"
+        if not any(self.worker_rates.values()):
+            return None
+        # A distinct stream from operator faults: 7919 keys the worker
+        # domain so adding worker rates never perturbs operator decisions.
+        rng = np.random.default_rng([self.seed, 7919, chunk_ord])
+        draw = rng.random()
+        cumulative = 0.0
+        for kind, rate in self.worker_rates.items():
+            cumulative += rate
+            if draw < cumulative:
+                return kind
+        return None
+
+    def apply_worker_fault(self, chunk_ord: int, attempt: int) -> None:
+        """Execute the planned fault *inside a worker process*, if any.
+
+        A crash is ``os._exit`` — no exception, no unwinding, the pipe just
+        goes dead, which is exactly what the dispatcher must detect. The
+        trigger record cannot be updated here (this process is about to
+        die, and its memory is not the driver's); the engine records fired
+        worker faults driver-side via :meth:`record_worker_fault` when the
+        dispatcher reports the failure.
+        """
+        kind = self.worker_fault(chunk_ord, attempt)
+        if kind == "worker_crash":
+            os._exit(66)
+        elif kind == "worker_hang":
+            time.sleep(self.hang_duration)
+
+    def record_worker_fault(self, kind: str, chunk_ord: int) -> None:
+        """Driver-side ground-truth record of a fired worker fault."""
+        self._record(-1, "worker", kind, int(chunk_ord))
+
+    def planned_worker_faults(self, n_chunks: int) -> dict[str, list[int]]:
+        """Expected worker faults over the first ``n_chunks`` chunk ords."""
+        out: dict[str, list[int]] = {}
+        for chunk_ord in range(int(n_chunks)):
+            kind = self.worker_fault(chunk_ord, 0)
+            if kind is not None:
+                out.setdefault(kind, []).append(chunk_ord)
+        return out
 
     # ------------------------------------------------------------------
     # Fault application

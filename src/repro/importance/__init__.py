@@ -29,12 +29,19 @@ from .aum import aum_importance
 from .banzhaf import banzhaf_mc
 from .base import ImportanceResult
 from .beta_shapley import beta_shapley_mc, beta_weights
+from .checkpoint import (
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointStore,
+    config_fingerprint,
+)
 from .confident import confident_learning, out_of_sample_probabilities
 from .engine import (
     DEFAULT_CACHE_SIZE,
     PermutationRun,
     SubsetCache,
     ValuationEngine,
+    ValuationResult,
     parallel_map,
 )
 from .gopher import FairnessExplanation, Predicate, gopher_explanations
@@ -43,6 +50,12 @@ from .knn_shapley import knn_shapley, knn_shapley_brute_force, knn_utility
 from .loo import loo_importance
 from .rag import RetrievalCorpus, rag_importance
 from .shapley import banzhaf_brute_force, shapley_brute_force, shapley_mc
+from .supervision import (
+    ChunkDispatcher,
+    ChunkFailure,
+    DeadlinePolicy,
+    SupervisionStats,
+)
 from .utility import SubsetUtility, Utility
 
 __all__ = [
@@ -53,7 +66,16 @@ __all__ = [
     "PermutationRun",
     "SubsetCache",
     "ValuationEngine",
+    "ValuationResult",
     "parallel_map",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointStore",
+    "config_fingerprint",
+    "ChunkDispatcher",
+    "ChunkFailure",
+    "DeadlinePolicy",
+    "SupervisionStats",
     "RetrievalCorpus",
     "rag_importance",
     "Utility",

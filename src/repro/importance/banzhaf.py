@@ -23,6 +23,8 @@ def banzhaf_mc(
     seed: int = 0,
     n_workers: int = 1,
     cache_size: int = DEFAULT_CACHE_SIZE,
+    checkpoint=None,
+    resume: bool = False,
     engine: ValuationEngine | None = None,
 ) -> ImportanceResult:
     """Maximum-sample-reuse Monte-Carlo Banzhaf estimator.
@@ -36,18 +38,34 @@ def banzhaf_mc(
     subsets (and subsets already seen by other estimators sharing the
     ``engine``) are answered from the memo, and cache misses fan out over
     ``n_workers`` processes. Values are independent of ``n_workers``.
+
+    With ``checkpoint=`` set (or a shared ``engine`` configured with one),
+    evaluated subset utilities are snapshotted in waves; ``resume=True``
+    reloads them into the memo so a killed run only pays for subsets not
+    yet evaluated — final values are bit-identical either way.
     """
     if n_samples < 2:
         raise ValueError("n_samples must be >= 2")
     if engine is None:
         if utility is None:
             raise ValueError("either utility or engine must be provided")
-        engine = ValuationEngine(utility, n_workers=n_workers, cache_size=cache_size)
+        engine = ValuationEngine(
+            utility,
+            n_workers=n_workers,
+            cache_size=cache_size,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
     rng = np.random.default_rng(seed)
     n = engine.n_train
     membership = rng.random((n_samples, n)) < 0.5
     scores = engine.evaluate_many(
-        [np.flatnonzero(membership[s]) for s in range(n_samples)]
+        [np.flatnonzero(membership[s]) for s in range(n_samples)],
+        checkpoint_config=(
+            {"estimator": "banzhaf_mc", "n_train": n, "seed": seed, "n_samples": n_samples}
+            if engine.checkpoint is not None
+            else None
+        ),
     )
     values = np.zeros(n)
     for i in range(n):

@@ -60,6 +60,10 @@ def beta_shapley_mc(
     convergence_tolerance: float | None = None,
     check_every: int = 10,
     antithetic: bool = False,
+    deadline_s: float | None = None,
+    max_evals: int | None = None,
+    checkpoint=None,
+    resume: bool = False,
     engine: ValuationEngine | None = None,
 ) -> ImportanceResult:
     """Permutation-sampling Beta(α, β)-Shapley estimator.
@@ -77,7 +81,13 @@ def beta_shapley_mc(
     if engine is None:
         if utility is None:
             raise ValueError("either utility or engine must be provided")
-        engine = ValuationEngine(utility, n_workers=n_workers, cache_size=cache_size)
+        engine = ValuationEngine(
+            utility,
+            n_workers=n_workers,
+            cache_size=cache_size,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
     n = engine.n_train
     weights = beta_weights(n, alpha, beta) * n  # scale: mean weight 1
     run = engine.run_permutations(
@@ -88,7 +98,10 @@ def beta_shapley_mc(
         convergence_tolerance=convergence_tolerance,
         check_every=check_every,
         antithetic=antithetic,
+        deadline_s=deadline_s,
+        max_evals=max_evals,
     )
+    result = engine.result_from_run(run, n_permutations)
     return ImportanceResult(
         method=f"beta_shapley({alpha:g},{beta:g})",
         values=run.values(),
@@ -101,6 +114,10 @@ def beta_shapley_mc(
             "stopped_early": run.stopped_early,
             "max_stderr": run.max_stderr,
             "antithetic": antithetic,
+            "converged": result.converged,
+            "stop_reason": result.stop_reason,
+            "stderr": result.stderr,
+            "census": result.census,
             **engine.stats(),
         },
     )

@@ -1,0 +1,172 @@
+"""Checkpoint/resume for valuation runs.
+
+The Identify track's Monte-Carlo estimators are the most expensive jobs in
+the toolkit — hours of model retrainings whose only output is a handful of
+accumulator arrays. A preempted or killed run used to lose every
+permutation already paid for. This module makes valuation state durable:
+
+- :class:`CheckpointStore` persists a schema-versioned JSON snapshot
+  atomically (staged + fsync + rename, via :mod:`repro.obs.atomicio`), so
+  a run killed *mid-write* leaves the previous snapshot intact and a
+  resumed run never loads a torn file.
+- :func:`config_fingerprint` hashes everything that determines the
+  sampling trajectory — game size, seed, target budget, position weights,
+  truncation/convergence settings, antithetic pairing — and the store
+  refuses to resume when the fingerprint disagrees
+  (:class:`CheckpointMismatchError`): resuming a run under a different
+  configuration would silently blend two different estimators.
+
+The resume invariant, which the engine's tests enforce bit-for-bit: because
+every permutation ordering is pre-drawn from the master
+``np.random.default_rng(seed)`` stream, the *RNG position* of a run is
+fully captured by ``(seed, completed-permutation watermark)``. A resumed
+run re-draws the same orderings, restores the per-row sums / sums of
+squares / evaluation census exactly (JSON round-trips IEEE-754 doubles
+losslessly), skips the watermarked prefix, and accumulates the remaining
+waves in the original order — producing values bit-identical to a run that
+was never interrupted, for any worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..obs.atomicio import atomic_write_text
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "CheckpointStore",
+    "config_fingerprint",
+]
+
+#: Bump when the snapshot layout changes incompatibly. Loaders refuse to
+#: resume from a different major version — unlike the lenient ledger
+#: readers, a checkpoint read wrong silently corrupts results.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be loaded (unreadable, wrong schema, ...)."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """Refusing to resume: the stored run had a different configuration."""
+
+
+def _canonical(value: Any) -> Any:
+    """JSON-stable form of a config value (arrays → hashed, tuples → lists)."""
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha256(
+                np.ascontiguousarray(value).tobytes()
+            ).hexdigest(),
+            "shape": list(value.shape),
+            "dtype": str(value.dtype),
+        }
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    return value
+
+
+def config_fingerprint(config: Mapping[str, Any]) -> str:
+    """Deterministic hex digest of a run configuration."""
+    payload = json.dumps(_canonical(dict(config)), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+class CheckpointStore:
+    """Atomic, schema-versioned snapshot file for one valuation run.
+
+    One store holds one snapshot (the latest wave boundary); history is not
+    kept — the point is crash durability, not time travel. The snapshot is
+    a single JSON document::
+
+        {"schema_version": 1, "kind": "permutation", "fingerprint": "...",
+         "completed": 40, "totals": [...], "sumsq": [...], ...}
+
+    ``save`` goes through :func:`repro.obs.atomicio.atomic_write_text`;
+    ``load`` validates the schema version and (when asked) the config
+    fingerprint before handing state back.
+    """
+
+    def __init__(self, path: Any) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(self, state: Mapping[str, Any]) -> None:
+        """Atomically replace the snapshot with ``state``."""
+        payload = {"schema_version": CHECKPOINT_SCHEMA_VERSION, **state}
+        atomic_write_text(self.path, json.dumps(payload, sort_keys=True) + "\n")
+
+    def load(self) -> dict[str, Any] | None:
+        """The stored snapshot, or None when no checkpoint exists yet."""
+        if not self.path.exists():
+            return None
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"unreadable checkpoint at {self.path}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError(f"malformed checkpoint at {self.path}")
+        version = payload.get("schema_version")
+        if version != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint schema v{version} at {self.path} is not "
+                f"readable by this runtime (expected v{CHECKPOINT_SCHEMA_VERSION})"
+            )
+        return payload
+
+    def load_matching(
+        self, kind: str, fingerprint: str
+    ) -> dict[str, Any] | None:
+        """Load and validate against the resuming run's identity.
+
+        Returns None when no checkpoint exists; raises
+        :class:`CheckpointMismatchError` when one exists but belongs to a
+        different run kind or configuration.
+        """
+        payload = self.load()
+        if payload is None:
+            return None
+        if payload.get("kind") != kind:
+            raise CheckpointMismatchError(
+                f"checkpoint at {self.path} is a {payload.get('kind')!r} "
+                f"snapshot, not {kind!r}"
+            )
+        if payload.get("fingerprint") != fingerprint:
+            raise CheckpointMismatchError(
+                f"checkpoint at {self.path} was written under a different "
+                "run configuration (fingerprint mismatch); refusing to "
+                "resume — delete the file or rerun with the original "
+                "settings"
+            )
+        return payload
+
+    def clear(self) -> None:
+        """Remove the snapshot (e.g. after a run completes)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "present" if self.exists() else "absent"
+        return f"CheckpointStore({str(self.path)!r}, {state})"

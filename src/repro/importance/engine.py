@@ -15,11 +15,17 @@ memoized utility cache
     and every repeated subset are evaluated once per engine, even when
     several estimators share one :class:`ValuationEngine`.
 
-process-pool fan-out
-    Permutations (or subsets) are partitioned across ``n_workers`` forked
-    worker processes. Results are merged **in permutation order**, so the
-    floating-point accumulation sequence — and therefore the returned
-    values — is bit-identical for any worker count.
+supervised process fan-out
+    Permutations (or subsets) are partitioned into chunks dispatched across
+    ``n_workers`` forked worker processes by a
+    :class:`~repro.importance.supervision.ChunkDispatcher`. The dispatcher
+    detects worker *crashes* (abnormal exit) and *hangs* (per-chunk
+    deadlines derived from observed chunk-latency quantiles), restarts dead
+    workers, and re-queues their unfinished chunks. Because every chunk is
+    a slice of pre-drawn orderings, re-execution is deterministic, and
+    results are merged **in chunk order** — so the floating-point
+    accumulation sequence, and therefore the returned values, is
+    bit-identical for any worker count and any crash/retry history.
 
 deterministic seeding
     All permutation orderings are pre-drawn in the driver from the single
@@ -29,14 +35,26 @@ deterministic seeding
     match the pre-engine implementations bit-for-bit *and* are independent
     of how they are later sharded across workers.
 
-variance-aware early stopping
+checkpoint / resume
+    With ``checkpoint=`` set, the engine snapshots its accumulator state —
+    per-row sums and sums of squares, the completed-permutation watermark,
+    the evaluation census, and a config fingerprint — atomically at every
+    wave boundary (:mod:`repro.importance.checkpoint`). ``resume=True``
+    restores a killed run from its last snapshot and produces values
+    bit-identical to an uninterrupted run; a fingerprint mismatch refuses
+    to resume instead of silently blending two different runs.
+
+variance-aware early stopping and budget degradation
     With ``convergence_tolerance`` set, the engine tracks a running
     standard error of each point's (weighted) marginal contribution and
     stops drawing permutations once the maximum stderr falls below the
-    tolerance (Ghorbani-&-Zou-style convergence), instead of always burning
-    the full ``n_permutations`` budget. Convergence is checked at fixed
-    ``check_every`` boundaries in permutation order, so the stopping point
-    is also independent of the worker count.
+    tolerance (Ghorbani-&-Zou-style convergence). ``deadline_s`` and
+    ``max_evals`` bound wall-clock and utility-evaluation spend: when a
+    budget runs out the engine *returns* a partial result flagged
+    ``converged=False`` (with per-row standard errors and an evaluation
+    census) instead of raising. All stopping decisions happen at fixed
+    ``check_every`` wave boundaries in permutation order, so the stopping
+    point is independent of the worker count.
 
 antithetic permutation pairs
     With ``antithetic=True`` every drawn ordering is followed by its
@@ -55,20 +73,24 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import time
+import warnings
 from bisect import insort
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..obs import metrics as _obs_metrics
 from ..obs import trace as _obs
+from .checkpoint import CheckpointStore, config_fingerprint
+from .supervision import ChunkDispatcher, DeadlinePolicy, SupervisionStats
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
     "SubsetCache",
     "PermutationRun",
+    "ValuationResult",
     "ValuationEngine",
     "parallel_map",
 ]
@@ -82,14 +104,33 @@ _MISSING = object()
 
 # Fork-based pools inherit the parent's memory, so utilities holding
 # closures, frames, or fitted transformers need no pickling. Platforms
-# without fork (Windows/macOS-spawn) fall back to serial execution.
+# without fork (Windows/macOS-spawn) fall back to serial execution — loudly,
+# via a single RuntimeWarning per process (see _warn_no_fork).
 _FORK_CTX = (
     mp.get_context("fork") if "fork" in mp.get_all_start_methods() else None
 )
 
-#: State handed to forked workers by inheritance (set immediately before a
-#: pool is created, cleared right after it is torn down).
-_POOL_STATE: dict | None = None
+_WARNED_NO_FORK = False
+
+
+def _warn_no_fork() -> None:
+    """One warning per process when parallelism was requested without fork.
+
+    Silent behavioral divergence between platforms is the failure mode this
+    guards: on spawn-only platforms (Windows, macOS default) the engine and
+    :func:`parallel_map` produce identical *values* serially, but the user
+    asked for a fleet and should know they did not get one.
+    """
+    global _WARNED_NO_FORK
+    if not _WARNED_NO_FORK:
+        _WARNED_NO_FORK = True
+        warnings.warn(
+            "the multiprocessing 'fork' start method is unavailable on this "
+            "platform; valuation parallelism (n_workers > 1) falls back to "
+            "serial execution. Results are identical, only slower.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 class SubsetCache:
@@ -169,6 +210,11 @@ class PermutationRun:
     truncated_scans: int
     stopped_early: bool
     max_stderr: float | None
+    converged: bool = True
+    stop_reason: str = "completed"
+    n_evaluations: int = 0
+    elapsed_s: float = 0.0
+    resumed_from: int = 0
 
     def values(self) -> np.ndarray:
         return self.totals / np.maximum(self.counts, 1)
@@ -180,6 +226,27 @@ class PermutationRun:
         with np.errstate(invalid="ignore", divide="ignore"):
             var = (self.sumsq - counts * mean**2) / np.maximum(counts - 1, 1)
         return np.sqrt(np.clip(var, 0.0, None) / counts)
+
+
+@dataclass
+class ValuationResult:
+    """A (possibly partial) valuation with its uncertainty and accounting.
+
+    The graceful-degradation contract of the engine: when a wall-clock
+    deadline or evaluation budget runs out, callers get *this* — the best
+    current estimate with per-row standard errors, ``converged=False``, the
+    ``stop_reason``, and an evaluation census — instead of an exception.
+    """
+
+    values: np.ndarray
+    stderr: np.ndarray
+    converged: bool
+    #: "completed" | "converged" | "deadline" | "eval_budget"
+    stop_reason: str
+    census: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.values)
 
 
 def _scan_orderings(
@@ -220,14 +287,13 @@ def _scan_orderings(
     return deltas, truncated
 
 
-def _worker_evaluator() -> tuple[Callable[[tuple[int, ...]], float], dict, list]:
+def _worker_evaluator(state: dict) -> tuple[Callable[[tuple[int, ...]], float], dict, list]:
     """Cache-aware ``v(key)`` for a forked worker.
 
     The worker's cache starts as the parent's snapshot (inherited at fork)
     and grows in place, so it persists across tasks within the process. New
     entries and hit/miss counts are reported back for the parent to merge.
     """
-    state = _POOL_STATE
     utility = state["utility"]
     cache: dict = state["cache"]
     new_entries: dict = {}
@@ -246,12 +312,12 @@ def _worker_evaluator() -> tuple[Callable[[tuple[int, ...]], float], dict, list]
     return evaluate, new_entries, counters
 
 
-def _permutation_chunk(bounds: tuple[int, int]):
+def _permutation_chunk(state: dict, bounds: tuple[int, int]):
+    """Worker task: scan ``orderings[start:stop]`` (safe to re-execute)."""
     start, stop = bounds
-    state = _POOL_STATE
     utility = state["utility"]
     evals_before = utility.n_evaluations
-    evaluate, new_entries, counters = _worker_evaluator()
+    evaluate, new_entries, counters = _worker_evaluator(state)
     deltas, truncated = _scan_orderings(
         evaluate,
         state["orderings"][start:stop],
@@ -264,12 +330,12 @@ def _permutation_chunk(bounds: tuple[int, int]):
     return start, deltas, truncated, new_entries, evals, counters
 
 
-def _subset_chunk(bounds: tuple[int, int]):
+def _subset_chunk(state: dict, bounds: tuple[int, int]):
+    """Worker task: evaluate ``keys[start:stop]`` (safe to re-execute)."""
     start, stop = bounds
-    state = _POOL_STATE
     utility = state["utility"]
     evals_before = utility.n_evaluations
-    evaluate, new_entries, counters = _worker_evaluator()
+    evaluate, new_entries, counters = _worker_evaluator(state)
     values = [evaluate(key) for key in state["keys"][start:stop]]
     evals = utility.n_evaluations - evals_before
     return start, values, new_entries, evals, counters
@@ -284,7 +350,7 @@ def _chunk_bounds(n_items: int, n_chunks: int) -> list[tuple[int, int]]:
 
 
 class ValuationEngine:
-    """Memoized, parallel driver for subset-sampling importance estimators.
+    """Memoized, supervised, resumable driver for subset-sampling estimators.
 
     Parameters
     ----------
@@ -294,14 +360,39 @@ class ValuationEngine:
     n_workers:
         Worker processes for fan-out. ``1`` (the default) runs fully
         serial, in-process. Values > 1 require a fork-capable platform and
-        silently fall back to serial elsewhere. The returned values are
-        identical for every worker count (deterministic utilities).
+        fall back to serial elsewhere with a single ``RuntimeWarning``. The
+        returned values are identical for every worker count
+        (deterministic utilities).
     cache_size:
         LRU bound of the subset memo; ``0`` disables memoization.
     ledger:
         Optional :class:`repro.obs.RunLedger`; when set, every
         :meth:`run_permutations` call appends a ``"valuation"`` event
-        (sampling config + cache/evaluation accounting) to the run store.
+        (sampling config + cache/evaluation/supervision accounting) to the
+        run store.
+    checkpoint:
+        Path (or :class:`~repro.importance.checkpoint.CheckpointStore`) for
+        wave-boundary accumulator snapshots. With ``resume=True`` a killed
+        run restarts from its last snapshot and finishes bit-identical to
+        an uninterrupted run; a config-fingerprint mismatch raises instead
+        of resuming.
+    chunk_timeout_s:
+        Hard per-chunk deadline for hang detection. Default None: deadlines
+        adapt from observed chunk-latency quantiles (``hang_factor`` × the
+        p95 of recent chunk latencies, once enough samples exist).
+    hang_factor, max_chunk_retries, max_worker_restarts:
+        Supervision knobs: the latency-quantile multiplier, the per-chunk
+        retry budget (exhaustion raises
+        :class:`~repro.importance.supervision.ChunkFailure`), and the
+        engine-lifetime cap on worker restarts.
+    chunks_per_worker:
+        Chunk granularity of each fan-out: more chunks per worker means
+        finer re-queue units and better latency-quantile estimates at
+        slightly more dispatch overhead. Does not affect returned values.
+    chaos:
+        Optional :class:`repro.errors.chaos.ChaosMonkey` whose seeded
+        *worker-level* faults (crash-on-chunk, hang-on-chunk) are injected
+        inside workers — the supervision path's end-to-end test hook.
     """
 
     def __init__(
@@ -310,17 +401,45 @@ class ValuationEngine:
         n_workers: int = 1,
         cache_size: int = DEFAULT_CACHE_SIZE,
         ledger: Any | None = None,
+        checkpoint: Any | None = None,
+        resume: bool = False,
+        chunk_timeout_s: float | None = None,
+        hang_factor: float = 8.0,
+        max_chunk_retries: int = 3,
+        max_worker_restarts: int = 32,
+        chunks_per_worker: int = 2,
+        chaos: Any | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be >= 1")
         self.utility = utility
         self.n_workers = int(n_workers)
         self.cache = SubsetCache(cache_size)
         self.ledger = ledger
+        if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+            self.checkpoint = checkpoint
+        else:
+            self.checkpoint = CheckpointStore(checkpoint)
+        self.resume = bool(resume)
+        self.chunk_timeout_s = chunk_timeout_s
+        self.hang_factor = float(hang_factor)
+        self.max_chunk_retries = int(max_chunk_retries)
+        self.max_worker_restarts = int(max_worker_restarts)
+        self.chunks_per_worker = int(chunks_per_worker)
+        self.chaos = chaos
+        #: Lifetime supervision counters (crashes, hangs, retries, restarts).
+        self.supervision = SupervisionStats()
 
     @property
     def n_train(self) -> int:
         return int(self.utility.n_train)
+
+    @property
+    def worker_restarts(self) -> int:
+        """Workers restarted over this engine's lifetime (crashes + hangs)."""
+        return self.supervision.worker_restarts
 
     def stats(self) -> dict:
         """Cache + evaluation accounting, in the shape estimators report."""
@@ -328,6 +447,7 @@ class ValuationEngine:
             "cache": self.cache.stats(),
             "n_evaluations": int(self.utility.n_evaluations),
             "n_workers": self.n_workers,
+            "supervision": self.supervision.to_dict(),
         }
 
     # ------------------------------------------------------------------ #
@@ -362,6 +482,19 @@ class ValuationEngine:
             evaluations=int(self.utility.n_evaluations) - evals0,
         )
 
+    def _supervision_event(self, kind: str, chunk_ord: int, attempt: int) -> None:
+        """Bridge dispatcher events into obs metrics + chaos ground truth."""
+        if _obs.enabled():
+            _obs_metrics.counter(f"engine.supervision.{kind}").inc()
+        if (
+            self.chaos is not None
+            and kind in ("crash", "hang")
+            and hasattr(self.chaos, "record_worker_fault")
+        ):
+            planned = self.chaos.worker_fault(chunk_ord, attempt)
+            if planned is not None:
+                self.chaos.record_worker_fault(planned, chunk_ord)
+
     # ------------------------------------------------------------------ #
     # point evaluations                                                  #
     # ------------------------------------------------------------------ #
@@ -375,13 +508,72 @@ class ValuationEngine:
             self.cache.put(key, value)
         return value
 
-    def evaluate_many(self, subsets: Sequence[Iterable[int]]) -> np.ndarray:
+    def evaluate_many(
+        self,
+        subsets: Sequence[Iterable[int]],
+        checkpoint_config: Mapping[str, Any] | None = None,
+        wave_size: int = 64,
+    ) -> np.ndarray:
         """``v(S)`` for many subsets, fanned out across workers, in order.
 
         Duplicate subsets are evaluated once. The fan-out dispatches only
         cache misses, so a warm engine answers entirely from memory.
+
+        With the engine's ``checkpoint`` set and a ``checkpoint_config``
+        identifying the sampling run (the subset-sampling estimators pass
+        their own config), evaluated values are snapshotted every
+        ``wave_size`` subsets; ``resume=True`` reloads them into the memo,
+        so a killed run only pays for subsets not yet evaluated and returns
+        values bit-identical to an uninterrupted one.
         """
         keys = [SubsetCache.key(subset) for subset in subsets]
+        store = self.checkpoint if checkpoint_config is not None else None
+        fingerprint = None
+        evals_resumed = 0
+        if store is not None:
+            fingerprint = config_fingerprint(
+                {"kind": "subset", **dict(checkpoint_config)}
+            )
+            if self.resume:
+                snapshot = store.load_matching("subset", fingerprint)
+                if snapshot is not None:
+                    for key, value in snapshot.get("values", []):
+                        self.cache.put(tuple(int(i) for i in key), float(value))
+                    evals_resumed = int(snapshot.get("n_evaluations", 0))
+        evals_at_entry = int(self.utility.n_evaluations)
+
+        def save(completed: int, finished: bool) -> None:
+            if store is None:
+                return
+            seen = OrderedDict.fromkeys(keys[:completed])
+            store.save(
+                {
+                    "kind": "subset",
+                    "fingerprint": fingerprint,
+                    "completed": completed,
+                    "n_subsets": len(keys),
+                    "values": [
+                        [list(key), self.cache._data[key]]
+                        for key in seen
+                        if key in self.cache._data
+                    ],
+                    "n_evaluations": evals_resumed
+                    + int(self.utility.n_evaluations)
+                    - evals_at_entry,
+                    "finished": finished,
+                }
+            )
+
+        if store is None:
+            return self._evaluate_many(keys)
+        out = np.empty(len(keys))
+        for start in range(0, len(keys), max(1, int(wave_size))):
+            stop = min(start + max(1, int(wave_size)), len(keys))
+            out[start:stop] = self._evaluate_many(keys[start:stop])
+            save(stop, finished=stop >= len(keys))
+        return out
+
+    def _evaluate_many(self, keys: Sequence[tuple[int, ...]]) -> np.ndarray:
         with _obs.span("engine.evaluate_many", n_subsets=len(keys)) as sp:
             stats_before = self._stats_baseline()
             if not self._parallel(len(keys)):
@@ -398,12 +590,22 @@ class ValuationEngine:
                     values[key] = value
             sp.set(pending=len(pending))
             if pending:
-                results = self._run_pool(
-                    _subset_chunk, _chunk_bounds(len(pending), self.n_workers),
-                    {"keys": pending},
+                bounds = _chunk_bounds(
+                    len(pending), self.n_workers * self.chunks_per_worker
                 )
+                self._pool_metrics(bounds)
+                state = {
+                    "utility": self.utility,
+                    "cache": self.cache.snapshot(),
+                    "keys": pending,
+                    "chaos": self.chaos,
+                }
+                with self._make_dispatcher(state, _subset_chunk) as dispatcher:
+                    results = dispatcher.dispatch(bounds)
                 for start, chunk_values, new_entries, evals, counters in results:
-                    for key, value in zip(pending[start : start + len(chunk_values)], chunk_values):
+                    for key, value in zip(
+                        pending[start : start + len(chunk_values)], chunk_values
+                    ):
                         values[key] = value
                     self._merge_worker(new_entries, evals, counters, count_lookups=False)
             self._record_stats_delta(stats_before)
@@ -422,6 +624,8 @@ class ValuationEngine:
         convergence_tolerance: float | None = None,
         check_every: int = 10,
         antithetic: bool = False,
+        deadline_s: float | None = None,
+        max_evals: int | None = None,
     ) -> PermutationRun:
         """Sample permutations and accumulate per-point weighted marginals.
 
@@ -430,9 +634,23 @@ class ValuationEngine:
         Beta-Shapley). See the module docstring for the semantics of
         ``truncation_tolerance``, ``convergence_tolerance`` and
         ``antithetic``.
+
+        ``deadline_s`` bounds this call's wall clock and ``max_evals`` the
+        run's cumulative utility evaluations (including evaluations
+        restored from a resumed checkpoint); both are checked at wave
+        boundaries and stop the run with a *partial* accumulator state —
+        ``converged=False`` and the appropriate ``stop_reason`` — instead
+        of raising. Budget knobs are deliberately excluded from the
+        checkpoint fingerprint: resuming a budget-stopped run with a larger
+        budget is the intended workflow, and the accumulator prefix at any
+        watermark does not depend on where a previous invocation stopped.
         """
         if n_permutations < 1:
             raise ValueError("n_permutations must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if max_evals is not None and max_evals < 1:
+            raise ValueError("max_evals must be >= 1 (or None)")
         n = self.n_train
         if weights is None:
             weights = np.ones(n)
@@ -442,7 +660,85 @@ class ValuationEngine:
                 raise ValueError("weights must have one entry per position")
         started = time.perf_counter()
         evals_at_entry = int(self.utility.n_evaluations)
+        supervision_before = self.supervision.to_dict()
         orderings = self._draw_orderings(n_permutations, seed, antithetic)
+
+        # -- checkpoint identity + resume ------------------------------- #
+        store = self.checkpoint
+        fingerprint = None
+        totals = np.zeros(n)
+        sumsq = np.zeros(n)
+        scanned = 0
+        truncated = 0
+        evals_resumed = 0
+        elapsed_prior = 0.0
+        resumed_from = 0
+        finished_on_load: str | None = None
+        if store is not None:
+            fingerprint = config_fingerprint(
+                {
+                    "kind": "permutation",
+                    "n_train": n,
+                    "seed": seed,
+                    "n_permutations": n_permutations,
+                    "weights": weights,
+                    "truncation_tolerance": truncation_tolerance,
+                    "convergence_tolerance": convergence_tolerance,
+                    "check_every": check_every,
+                    "antithetic": antithetic,
+                }
+            )
+            if self.resume:
+                snapshot = store.load_matching("permutation", fingerprint)
+                if snapshot is not None:
+                    totals = np.asarray(snapshot["totals"], dtype=float)
+                    sumsq = np.asarray(snapshot["sumsq"], dtype=float)
+                    scanned = int(snapshot["completed"])
+                    truncated = int(snapshot["truncated_scans"])
+                    evals_resumed = int(snapshot.get("n_evaluations", 0))
+                    elapsed_prior = float(snapshot.get("elapsed_s", 0.0))
+                    resumed_from = scanned
+                    if snapshot.get("finished"):
+                        finished_on_load = str(
+                            snapshot.get("stop_reason", "completed")
+                        )
+
+        def spent_evals() -> int:
+            return (
+                evals_resumed
+                + int(self.utility.n_evaluations)
+                - evals_at_entry
+            )
+
+        stopped = False
+        converged = True
+        stop_reason = "completed"
+        max_stderr: float | None = None
+
+        if finished_on_load is not None:
+            # The checkpointed run already finished — nothing to redo.
+            run = PermutationRun(
+                totals=totals,
+                counts=np.full(n, scanned, dtype=float),
+                sumsq=sumsq,
+                n_permutations=scanned,
+                truncated_scans=truncated,
+                stopped_early=finished_on_load == "converged",
+                max_stderr=None,
+                converged=finished_on_load in ("completed", "converged"),
+                stop_reason=finished_on_load,
+                n_evaluations=evals_resumed,
+                elapsed_s=elapsed_prior,
+                resumed_from=resumed_from,
+            )
+            if convergence_tolerance is not None and scanned >= 2:
+                run.max_stderr = float(np.max(run.stderr()))
+                if finished_on_load == "completed":
+                    # The stored run spent its full budget; whether it
+                    # "converged" depends on the tolerance being asked now.
+                    run.converged = run.max_stderr <= convergence_tolerance
+            return run
+
         run_span = _obs.span(
             "engine.run_permutations",
             n_train=n,
@@ -457,36 +753,70 @@ class ValuationEngine:
         full = (
             self.evaluate(range(n)) if truncation_tolerance > 0.0 else None
         )
-        totals = np.zeros(n)
-        sumsq = np.zeros(n)
-        scanned = 0
-        truncated = 0
-        stopped = False
-        max_stderr: float | None = None
-        wave = (
-            n_permutations
-            if convergence_tolerance is None
-            else max(1, int(check_every))
+        # Waves exist wherever a boundary decision is needed: convergence
+        # checks, budget checks, or checkpoint snapshots.
+        bounded = (
+            convergence_tolerance is not None
+            or deadline_s is not None
+            or max_evals is not None
+            or store is not None
         )
-        pool = None
+        wave = max(1, int(check_every)) if bounded else n_permutations
+        dispatcher = None
+
+        def save_checkpoint(finished: bool) -> None:
+            if store is None:
+                return
+            store.save(
+                {
+                    "kind": "permutation",
+                    "fingerprint": fingerprint,
+                    "n_train": n,
+                    "seed": seed,
+                    "n_permutations": n_permutations,
+                    "completed": scanned,
+                    "totals": totals.tolist(),
+                    "sumsq": sumsq.tolist(),
+                    "truncated_scans": truncated,
+                    "n_evaluations": spent_evals(),
+                    "elapsed_s": elapsed_prior
+                    + (time.perf_counter() - started),
+                    "finished": finished,
+                    "stop_reason": stop_reason if finished else None,
+                }
+            )
+
         try:
-            if self._parallel(n_permutations):
-                pool = self._start_pool(
-                    {
-                        "orderings": orderings,
-                        "weights": weights,
-                        "truncation_tolerance": truncation_tolerance,
-                        "null": null,
-                        "full": full,
-                    }
-                )
-            start = 0
+            if self._parallel(n_permutations - scanned):
+                state = {
+                    "utility": self.utility,
+                    "cache": self.cache.snapshot(),
+                    "orderings": orderings,
+                    "weights": weights,
+                    "truncation_tolerance": truncation_tolerance,
+                    "null": null,
+                    "full": full,
+                    "chaos": self.chaos,
+                }
+                dispatcher = self._make_dispatcher(state, _permutation_chunk)
+            start = scanned
             while start < n_permutations:
+                # Budgets already exhausted (e.g. a resumed run handed the
+                # same max_evals): stop before paying for another wave.
+                if max_evals is not None and spent_evals() >= max_evals:
+                    stopped, converged, stop_reason = True, False, "eval_budget"
+                    break
+                if (
+                    deadline_s is not None
+                    and time.perf_counter() - started >= deadline_s
+                ):
+                    stopped, converged, stop_reason = True, False, "deadline"
+                    break
                 stop = min(start + wave, n_permutations)
                 with _obs.span("engine.wave", start=start, stop=stop) as wave_span:
                     deltas, wave_truncated = self._scan_range(
                         orderings, start, stop, weights, truncation_tolerance,
-                        null, full, pool,
+                        null, full, dispatcher,
                     )
                     # Accumulate one permutation at a time so the FP summation
                     # order matches the serial path for every worker count.
@@ -509,14 +839,38 @@ class ValuationEngine:
                             )
                         if max_stderr <= convergence_tolerance:
                             stopped = True
+                            stop_reason = "converged"
                     if _obs.enabled():
                         wave_span.set(truncated=wave_truncated)
                         _obs_metrics.counter("engine.permutations").inc(stop - start)
+                if not stopped:
+                    if max_evals is not None and spent_evals() >= max_evals:
+                        stopped, converged, stop_reason = True, False, "eval_budget"
+                    elif (
+                        deadline_s is not None
+                        and time.perf_counter() - started >= deadline_s
+                    ):
+                        stopped, converged, stop_reason = True, False, "deadline"
+                save_checkpoint(
+                    finished=stop_reason in ("completed", "converged")
+                    and (stopped or scanned >= n_permutations)
+                )
                 if stopped:
                     break
                 start = stop
+            if (
+                not stopped
+                and convergence_tolerance is not None
+                and scanned >= n_permutations
+            ):
+                # Full budget spent without reaching the tolerance.
+                converged = (
+                    max_stderr is not None
+                    and max_stderr <= convergence_tolerance
+                )
         finally:
-            self._stop_pool(pool)
+            if dispatcher is not None:
+                dispatcher.close()
             if _obs.enabled():
                 run_span.set(
                     n_permutations_run=scanned,
@@ -526,6 +880,10 @@ class ValuationEngine:
                 )
                 self._record_stats_delta(stats_before)
             run_span.__exit__(None, None, None)
+        supervision_delta = {
+            key: self.supervision.to_dict()[key] - supervision_before[key]
+            for key in supervision_before
+        }
         if self.ledger is not None:
             self.ledger.record_event(
                 "valuation",
@@ -537,15 +895,22 @@ class ValuationEngine:
                     "antithetic": antithetic,
                     "truncation_tolerance": truncation_tolerance,
                     "convergence_tolerance": convergence_tolerance,
+                    "deadline_s": deadline_s,
+                    "max_evals": max_evals,
+                    "checkpoint": str(store.path) if store is not None else None,
                 },
                 stats={
                     "n_permutations_run": scanned,
+                    "resumed_from": resumed_from,
                     "truncated_scans": truncated,
                     "stopped_early": stopped,
+                    "converged": converged if stopped or scanned else None,
+                    "stop_reason": stop_reason,
                     "max_stderr": max_stderr,
                     "evaluations": int(self.utility.n_evaluations)
                     - evals_at_entry,
                     "cache": self.cache.stats(),
+                    "supervision": supervision_delta,
                 },
                 wall_time_s=time.perf_counter() - started,
             )
@@ -555,8 +920,36 @@ class ValuationEngine:
             sumsq=sumsq,
             n_permutations=scanned,
             truncated_scans=truncated,
-            stopped_early=stopped,
+            stopped_early=stopped and stop_reason == "converged",
             max_stderr=max_stderr,
+            converged=converged if stop_reason != "converged" else True,
+            stop_reason=stop_reason,
+            n_evaluations=spent_evals(),
+            elapsed_s=elapsed_prior + (time.perf_counter() - started),
+            resumed_from=resumed_from,
+        )
+
+    def result_from_run(
+        self, run: PermutationRun, n_permutations_target: int
+    ) -> ValuationResult:
+        """Package a :class:`PermutationRun` as a :class:`ValuationResult`."""
+        return ValuationResult(
+            values=run.values(),
+            stderr=run.stderr(),
+            converged=run.converged,
+            stop_reason=run.stop_reason,
+            census={
+                "n_permutations_target": int(n_permutations_target),
+                "n_permutations_run": run.n_permutations,
+                "resumed_from": run.resumed_from,
+                "truncated_scans": run.truncated_scans,
+                "n_evaluations": run.n_evaluations,
+                "elapsed_s": run.elapsed_s,
+                "max_stderr": run.max_stderr,
+                "cache": self.cache.stats(),
+                "supervision": self.supervision.to_dict(),
+                "n_workers": self.n_workers,
+            },
         )
 
     # ------------------------------------------------------------------ #
@@ -564,7 +957,38 @@ class ValuationEngine:
     # ------------------------------------------------------------------ #
 
     def _parallel(self, n_tasks: int) -> bool:
-        return self.n_workers > 1 and _FORK_CTX is not None and n_tasks > 1
+        if self.n_workers <= 1 or n_tasks <= 1:
+            return False
+        if _FORK_CTX is None:
+            _warn_no_fork()
+            return False
+        return True
+
+    def _make_dispatcher(
+        self, state: dict, task_fn: Callable[[dict, Any], Any]
+    ) -> ChunkDispatcher:
+        return ChunkDispatcher(
+            _FORK_CTX,
+            self.n_workers,
+            state,
+            task_fn,
+            deadline=DeadlinePolicy(
+                hard_timeout_s=self.chunk_timeout_s, factor=self.hang_factor
+            ),
+            max_chunk_retries=self.max_chunk_retries,
+            max_worker_restarts=self.max_worker_restarts,
+            stats=self.supervision,
+            on_event=self._supervision_event,
+        )
+
+    def _pool_metrics(self, bounds: Sequence[tuple[int, int]]) -> None:
+        if _obs.enabled():
+            # Utilization: fraction of the configured pool this fan-out
+            # keeps busy (short waves can have fewer chunks than workers).
+            _obs_metrics.counter("engine.pool.tasks").inc(len(bounds))
+            _obs_metrics.histogram("engine.pool.utilization").observe(
+                min(1.0, len(bounds) / self.n_workers)
+            )
 
     def _draw_orderings(
         self, n_permutations: int, seed: int, antithetic: bool
@@ -591,9 +1015,9 @@ class ValuationEngine:
         truncation_tolerance: float,
         null: float,
         full: float | None,
-        pool,
+        dispatcher: ChunkDispatcher | None,
     ) -> tuple[np.ndarray, int]:
-        if pool is None:
+        if dispatcher is None:
             return _scan_orderings(
                 lambda key: self.evaluate(key),
                 orderings[start:stop],
@@ -604,17 +1028,12 @@ class ValuationEngine:
             )
         bounds = [
             (start + a, start + b)
-            for a, b in _chunk_bounds(stop - start, self.n_workers)
-        ]
-        if _obs.enabled():
-            # Utilization: fraction of the configured pool this wave kept
-            # busy (short waves can have fewer chunks than workers).
-            _obs_metrics.counter("engine.pool.tasks").inc(len(bounds))
-            _obs_metrics.histogram("engine.pool.utilization").observe(
-                len(bounds) / self.n_workers
+            for a, b in _chunk_bounds(
+                stop - start, self.n_workers * self.chunks_per_worker
             )
-        results = pool.map(_permutation_chunk, bounds)
-        results.sort(key=lambda item: item[0])
+        ]
+        self._pool_metrics(bounds)
+        results = dispatcher.dispatch(bounds)
         deltas = np.concatenate([item[1] for item in results], axis=0)
         truncated = 0
         for __, __deltas, chunk_truncated, new_entries, evals, counters in results:
@@ -633,40 +1052,6 @@ class ValuationEngine:
             self.cache.hits += int(counters[0])
             self.cache.misses += int(counters[1])
 
-    def _start_pool(self, extra_state: dict):
-        global _POOL_STATE
-        _POOL_STATE = {
-            "utility": self.utility,
-            "cache": self.cache.snapshot(),
-            **extra_state,
-        }
-        try:
-            return _FORK_CTX.Pool(processes=self.n_workers)
-        finally:
-            # Workers inherited the state at fork; the parent reference is
-            # only needed during Pool construction.
-            _POOL_STATE = None
-
-    def _run_pool(self, task, bounds, extra_state):
-        if _obs.enabled():
-            _obs_metrics.counter("engine.pool.tasks").inc(len(bounds))
-            _obs_metrics.histogram("engine.pool.utilization").observe(
-                len(bounds) / self.n_workers
-            )
-        pool = self._start_pool(extra_state)
-        try:
-            results = pool.map(task, bounds)
-        finally:
-            self._stop_pool(pool)
-        results.sort(key=lambda item: item[0])
-        return results
-
-    @staticmethod
-    def _stop_pool(pool) -> None:
-        if pool is not None:
-            pool.close()
-            pool.join()
-
 
 # ---------------------------------------------------------------------- #
 # generic fan-out                                                        #
@@ -684,12 +1069,14 @@ def parallel_map(func: Callable, items: Sequence, n_workers: int = 1) -> list:
     """``[func(x) for x in items]`` fanned out over forked workers.
 
     Order-preserving. Falls back to a serial loop when ``n_workers <= 1``,
-    when fork is unavailable, or for trivially small inputs. Because
-    workers are forked, ``func`` may be a closure over arbitrary state
-    (frames, fitted models) without being picklable — only the *returned*
-    values must pickle.
+    when fork is unavailable (with a single ``RuntimeWarning`` per
+    process), or for trivially small inputs. Because workers are forked,
+    ``func`` may be a closure over arbitrary state (frames, fitted models)
+    without being picklable — only the *returned* values must pickle.
     """
     items = list(items)
+    if n_workers > 1 and _FORK_CTX is None:
+        _warn_no_fork()
     if n_workers <= 1 or _FORK_CTX is None or len(items) <= 1:
         return [func(item) for item in items]
     global _MAP_STATE

@@ -85,6 +85,10 @@ def shapley_mc(
     convergence_tolerance: float | None = None,
     check_every: int = 10,
     antithetic: bool = False,
+    deadline_s: float | None = None,
+    max_evals: int | None = None,
+    checkpoint=None,
+    resume: bool = False,
     engine: ValuationEngine | None = None,
 ) -> ImportanceResult:
     """Permutation-sampling Monte-Carlo Shapley (TMC-Shapley).
@@ -114,6 +118,17 @@ def shapley_mc(
     antithetic:
         Scan each sampled permutation together with its reverse (variance
         reduction; changes which orderings are sampled).
+    deadline_s, max_evals:
+        Graceful-degradation budgets: wall-clock seconds for this call and
+        total utility evaluations for the run. Exhausting either returns a
+        *partial* estimate (``extras["converged"] = False`` with the
+        ``stop_reason`` and per-point ``stderr``) instead of raising.
+    checkpoint, resume:
+        Path for wave-boundary accumulator snapshots; with ``resume=True``
+        a killed run restarts from its checkpoint and finishes with values
+        bit-identical to an uninterrupted run. Only consulted when the
+        wrapper constructs the engine (a shared ``engine`` keeps its own
+        checkpoint configuration).
     engine:
         Share an existing engine — and therefore its subset memo — across
         estimator calls. Overrides ``utility``/``n_workers``/``cache_size``.
@@ -123,7 +138,13 @@ def shapley_mc(
     if engine is None:
         if utility is None:
             raise ValueError("either utility or engine must be provided")
-        engine = ValuationEngine(utility, n_workers=n_workers, cache_size=cache_size)
+        engine = ValuationEngine(
+            utility,
+            n_workers=n_workers,
+            cache_size=cache_size,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
     full = engine.evaluate(range(engine.n_train))
     run = engine.run_permutations(
         n_permutations,
@@ -132,8 +153,11 @@ def shapley_mc(
         convergence_tolerance=convergence_tolerance,
         check_every=check_every,
         antithetic=antithetic,
+        deadline_s=deadline_s,
+        max_evals=max_evals,
     )
     null = engine.evaluate(())
+    result = engine.result_from_run(run, n_permutations)
     return ImportanceResult(
         method="shapley_mc",
         values=run.values(),
@@ -146,6 +170,10 @@ def shapley_mc(
             "stopped_early": run.stopped_early,
             "max_stderr": run.max_stderr,
             "antithetic": antithetic,
+            "converged": result.converged,
+            "stop_reason": result.stop_reason,
+            "stderr": result.stderr,
+            "census": result.census,
             **engine.stats(),
         },
     )

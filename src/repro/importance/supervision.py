@@ -1,0 +1,413 @@
+"""Worker supervision for the valuation engine's chunk fan-out.
+
+The engine's original fan-out was a bare ``multiprocessing.Pool.map``: one
+crashed worker (a segfault in a native kernel, an OOM kill, an injected
+``os._exit``) tears down the whole valuation run, and one hung worker (a
+stuck I/O call, a pathological retraining) blocks it forever. Both failure
+modes are routine at the scale the Identify track runs at — thousands of
+model retrainings across long-lived processes — and both are *recoverable*,
+because the engine's chunks are deterministic: every chunk is a slice of
+pre-drawn permutation orderings (or subset keys), so re-executing it on a
+fresh worker reproduces the same floats.
+
+:class:`ChunkDispatcher` is the supervised replacement. Each worker is a
+forked process joined to the driver by a dedicated pipe; the driver assigns
+one chunk at a time and watches for three signals:
+
+- a **result** on the pipe — the chunk is done; its latency feeds the
+  deadline estimator;
+- a **crash** — the pipe hits EOF or the process stops being alive; the
+  worker is restarted (a fresh fork inherits the driver's current state)
+  and the in-flight chunk is re-queued;
+- a **hang** — the chunk exceeds its deadline, derived from observed
+  chunk-latency quantiles (:class:`DeadlinePolicy`); the worker is killed,
+  restarted, and the chunk re-queued.
+
+A chunk that fails more than ``max_chunk_retries`` times raises
+:class:`ChunkFailure` (supervision cannot save a deterministically crashing
+chunk), and total restarts are capped by ``max_worker_restarts`` so a
+crash-looping fleet fails loudly instead of forking forever. Results are
+returned in chunk order, so the engine's merge — and therefore the returned
+values — stays bit-identical to serial execution whatever crashed, hung, or
+was retried along the way.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ChunkFailure",
+    "DeadlinePolicy",
+    "SupervisionStats",
+    "ChunkDispatcher",
+]
+
+#: Message sent to a worker to make it exit its task loop cleanly.
+_SHUTDOWN = None
+
+#: How long the driver sleeps in :func:`multiprocessing.connection.wait`
+#: between liveness/deadline sweeps. Small enough that hang detection is
+#: prompt, large enough that a healthy fleet burns no measurable CPU.
+_POLL_INTERVAL_S = 0.02
+
+
+class ChunkFailure(RuntimeError):
+    """A chunk kept failing after exhausting its retry budget."""
+
+
+@dataclass
+class SupervisionStats:
+    """Counters accumulated by a dispatcher (and, across runs, an engine)."""
+
+    chunks_completed: int = 0
+    worker_restarts: int = 0
+    chunk_retries: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    events: list[dict] = field(default_factory=list)
+
+    def merge(self, other: "SupervisionStats") -> None:
+        self.chunks_completed += other.chunks_completed
+        self.worker_restarts += other.worker_restarts
+        self.chunk_retries += other.chunk_retries
+        self.crashes += other.crashes
+        self.hangs += other.hangs
+        self.events.extend(other.events)
+
+    def to_dict(self) -> dict:
+        return {
+            "chunks_completed": self.chunks_completed,
+            "worker_restarts": self.worker_restarts,
+            "chunk_retries": self.chunk_retries,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+        }
+
+
+class DeadlinePolicy:
+    """Per-chunk deadline from observed chunk-latency quantiles.
+
+    With no samples there is no basis for declaring a hang, so the policy
+    abstains (``deadline() is None``) until ``min_samples`` chunk latencies
+    have been observed; after that a chunk is declared hung once it runs
+    longer than ``factor`` times the ``quantile`` of the recent latency
+    window, floored at ``floor_s`` to keep micro-chunks from tripping on
+    scheduler jitter. An explicit ``hard_timeout_s`` overrides the adaptive
+    estimate entirely — the knob tests and impatient callers use.
+    """
+
+    def __init__(
+        self,
+        hard_timeout_s: float | None = None,
+        factor: float = 8.0,
+        quantile: float = 0.95,
+        min_samples: int = 3,
+        floor_s: float = 0.25,
+        window: int = 256,
+    ) -> None:
+        if hard_timeout_s is not None and hard_timeout_s <= 0:
+            raise ValueError("hard_timeout_s must be positive (or None)")
+        if factor <= 1.0:
+            raise ValueError("factor must be > 1")
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        self.hard_timeout_s = hard_timeout_s
+        self.factor = float(factor)
+        self.quantile = float(quantile)
+        self.min_samples = int(min_samples)
+        self.floor_s = float(floor_s)
+        self.samples: deque[float] = deque(maxlen=int(window))
+
+    def observe(self, latency_s: float) -> None:
+        self.samples.append(float(latency_s))
+
+    def deadline(self) -> float | None:
+        """Seconds a chunk may run before being declared hung (None = never)."""
+        if self.hard_timeout_s is not None:
+            return self.hard_timeout_s
+        if len(self.samples) < self.min_samples:
+            return None
+        estimate = float(np.quantile(np.asarray(self.samples), self.quantile))
+        return max(self.floor_s, self.factor * estimate)
+
+
+def _worker_main(conn, state: dict, task_fn: Callable[[dict, Any], Any]) -> None:
+    """Task loop run inside each forked worker.
+
+    ``state`` and ``task_fn`` arrive by fork inheritance (no pickling), so
+    utilities may hold arbitrary closures. Messages are
+    ``(chunk_id, chunk_ord, attempt, payload)``; replies are
+    ``(chunk_id, result)``. Any exception inside a task is deliberately
+    *not* caught: an exception here is a bug in deterministic engine code,
+    and the resulting abnormal exit is exactly what the driver supervises.
+    """
+    chaos = state.get("chaos")
+    while True:
+        message = conn.recv()
+        if message is _SHUTDOWN:
+            conn.close()
+            return
+        chunk_id, chunk_ord, attempt, payload = message
+        if chaos is not None:
+            # Injected worker-level faults (crash via os._exit, hang via
+            # sleep) for end-to-end supervision testing.
+            chaos.apply_worker_fault(chunk_ord, attempt)
+        conn.send((chunk_id, task_fn(state, payload)))
+
+
+@dataclass
+class _Worker:
+    proc: Any
+    conn: Any
+    task: tuple[int, int, int, Any] | None = None  # (chunk_id, ord, attempt, payload)
+    started_at: float = 0.0
+
+
+class ChunkDispatcher:
+    """Supervised fan-out of deterministic chunks over forked workers.
+
+    Parameters
+    ----------
+    ctx:
+        A fork-capable :mod:`multiprocessing` context.
+    n_workers:
+        Size of the worker fleet.
+    state:
+        Shared read-only state inherited by every worker at fork time (the
+        engine's utility, cache snapshot, orderings, ...). A *restarted*
+        worker forks from the driver's current state, which may include a
+        warmer cache — harmless, because chunk results are deterministic.
+    task_fn:
+        ``task_fn(state, payload) -> result``; must be safe to re-execute.
+    deadline:
+        A :class:`DeadlinePolicy`; chunk latencies feed it, and its
+        ``deadline()`` bounds every in-flight chunk.
+    stats:
+        A :class:`SupervisionStats` to accumulate into (the engine passes
+        its own so counters survive the dispatcher).
+    on_event:
+        Optional callback ``on_event(kind, chunk_ord, attempt)`` invoked for
+        every ``"crash"``/``"hang"``/``"retry"``/``"restart"`` the
+        supervisor handles — the engine bridges this into
+        :mod:`repro.obs.metrics` and the run ledger.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        n_workers: int,
+        state: dict,
+        task_fn: Callable[[dict, Any], Any],
+        deadline: DeadlinePolicy | None = None,
+        max_chunk_retries: int = 3,
+        max_worker_restarts: int = 32,
+        stats: SupervisionStats | None = None,
+        on_event: Callable[[str, int, int], None] | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self._ctx = ctx
+        self.n_workers = int(n_workers)
+        self._state = state
+        self._task_fn = task_fn
+        self.deadline = deadline or DeadlinePolicy()
+        self.max_chunk_retries = int(max_chunk_retries)
+        self.max_worker_restarts = int(max_worker_restarts)
+        self.stats = stats if stats is not None else SupervisionStats()
+        self._on_event = on_event
+        self._workers: list[_Worker] = []
+        self._next_ord = 0  # lifetime chunk sequence number (chaos identity)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # worker lifecycle                                                   #
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._state, self._task_fn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # the worker holds its own copy
+        return _Worker(proc=proc, conn=parent_conn)
+
+    def _ensure_fleet(self, n_needed: int) -> None:
+        while len(self._workers) < min(self.n_workers, max(1, n_needed)):
+            self._workers.append(self._spawn())
+
+    def _restart(self, worker: _Worker, reason: str, chunk_ord: int, attempt: int) -> None:
+        """Tear down one worker and fork its replacement."""
+        if worker.proc.is_alive():
+            worker.proc.terminate()
+        worker.proc.join(timeout=5.0)
+        if worker.proc.is_alive():  # pragma: no cover - last-resort kill
+            worker.proc.kill()
+            worker.proc.join(timeout=5.0)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        self.stats.worker_restarts += 1
+        self._emit("restart", chunk_ord, attempt)
+        if self.stats.worker_restarts > self.max_worker_restarts:
+            raise ChunkFailure(
+                f"worker restart budget exhausted "
+                f"({self.max_worker_restarts}) after repeated {reason}s"
+            )
+        replacement = self._spawn()
+        self._workers[self._workers.index(worker)] = replacement
+
+    def _emit(self, kind: str, chunk_ord: int, attempt: int) -> None:
+        self.stats.events.append(
+            {"kind": kind, "chunk": chunk_ord, "attempt": attempt}
+        )
+        if self._on_event is not None:
+            self._on_event(kind, chunk_ord, attempt)
+
+    # ------------------------------------------------------------------ #
+    # dispatch                                                           #
+    # ------------------------------------------------------------------ #
+
+    def dispatch(self, payloads: Sequence[Any]) -> list[Any]:
+        """Run every payload through ``task_fn`` on the fleet; results in
+        payload order. Crashed or hung chunks are re-queued transparently."""
+        if self._closed:
+            raise RuntimeError("dispatcher already closed")
+        if not payloads:
+            return []
+        pending: deque[tuple[int, int, int, Any]] = deque()
+        for chunk_id, payload in enumerate(payloads):
+            pending.append((chunk_id, self._next_ord, 0, payload))
+            self._next_ord += 1
+        results: dict[int, Any] = {}
+        self._ensure_fleet(len(pending))
+        while len(results) < len(payloads):
+            self._assign(pending)
+            busy = [w for w in self._workers if w.task is not None]
+            if not busy:
+                if pending:  # pragma: no cover - defensive
+                    continue
+                raise ChunkFailure(
+                    "dispatcher stalled with missing results"
+                )  # pragma: no cover - defensive
+            ready = _mp_connection.wait(
+                [w.conn for w in busy], timeout=_POLL_INTERVAL_S
+            )
+            for conn in ready:
+                worker = next(w for w in busy if w.conn is conn)
+                if worker.task is None:  # pragma: no cover - defensive
+                    continue
+                try:
+                    chunk_id, result = conn.recv()
+                except (EOFError, OSError):
+                    self._handle_failure(worker, "crash", pending)
+                    continue
+                results[chunk_id] = result
+                self.deadline.observe(time.monotonic() - worker.started_at)
+                self.stats.chunks_completed += 1
+                worker.task = None
+            self._sweep(pending)
+        return [results[chunk_id] for chunk_id in range(len(payloads))]
+
+    def _assign(self, pending: deque) -> None:
+        for index, worker in enumerate(self._workers):
+            if not pending:
+                break
+            if worker.task is not None:
+                continue
+            if not worker.proc.is_alive():
+                # Died while idle (e.g. killed between waves): replace it
+                # quietly before handing it work.
+                head = pending[0]
+                self._restart(worker, "idle crash", head[1], head[2])
+                worker = self._workers[index]
+            task = pending.popleft()
+            try:
+                worker.conn.send(task)
+            except (OSError, BrokenPipeError):
+                # Lost the liveness race: requeue and let the next pass
+                # restart the worker via the sweep.
+                pending.appendleft(task)
+                continue
+            worker.task = task
+            worker.started_at = time.monotonic()
+
+    def _sweep(self, pending: deque) -> None:
+        """Liveness + deadline checks over every in-flight chunk."""
+        deadline = self.deadline.deadline()
+        now = time.monotonic()
+        for worker in list(self._workers):
+            if worker.task is None:
+                continue
+            if not worker.proc.is_alive():
+                self._handle_failure(worker, "crash", pending)
+            elif deadline is not None and now - worker.started_at > deadline:
+                self._handle_failure(worker, "hang", pending)
+
+    def _handle_failure(self, worker: _Worker, kind: str, pending: deque) -> None:
+        chunk_id, chunk_ord, attempt, payload = worker.task
+        worker.task = None
+        if kind == "crash":
+            self.stats.crashes += 1
+        else:
+            self.stats.hangs += 1
+        self._emit(kind, chunk_ord, attempt)
+        if attempt + 1 > self.max_chunk_retries:
+            self._restart(worker, kind, chunk_ord, attempt)
+            raise ChunkFailure(
+                f"chunk {chunk_ord} failed {attempt + 1} times "
+                f"(last failure: {kind}); giving up"
+            )
+        self.stats.chunk_retries += 1
+        self._emit("retry", chunk_ord, attempt + 1)
+        pending.appendleft((chunk_id, chunk_ord, attempt + 1, payload))
+        self._restart(worker, kind, chunk_ord, attempt)
+
+    # ------------------------------------------------------------------ #
+    # teardown                                                           #
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Shut the fleet down; idempotent, never raises."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                if worker.proc.is_alive():
+                    worker.conn.send(_SHUTDOWN)
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in self._workers:
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        self._workers = []
+
+    def __enter__(self) -> "ChunkDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

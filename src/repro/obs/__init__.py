@@ -33,6 +33,7 @@ through this package; the user-facing window is
     nde.RunLedger("runs.jsonl").record_run(result, monitor=mon, report=report)
 """
 
+from .atomicio import atomic_append_line, atomic_write_text, atomic_writer
 from .diff import (
     Alert,
     DriftThresholds,
@@ -124,4 +125,8 @@ __all__ = [
     "compare_runs",
     "population_stability_index",
     "cramers_v",
+    # atomic artifact writes
+    "atomic_writer",
+    "atomic_write_text",
+    "atomic_append_line",
 ]

@@ -1,0 +1,91 @@
+"""Atomic file writes — readers never observe torn lines.
+
+Every on-disk artifact this library produces (the :class:`~repro.obs.ledger.
+RunLedger` JSONL, trace exports, valuation checkpoints) may be read while a
+writer is mid-flight — a monitoring dashboard tailing the ledger, a resumed
+run loading the checkpoint a killed run was writing. A plain ``open(...,
+"w")`` or ``"a"`` exposes two failure windows: a reader can observe a
+half-written ("torn") line, and a writer killed mid-write leaves a corrupt
+file behind permanently.
+
+The helpers here close both windows with the classic ``write temp + fsync +
+rename`` protocol: content is staged in a temporary file *in the target's
+directory* (same filesystem, so the rename is atomic), flushed and fsync'd,
+then moved over the target with :func:`os.replace`. POSIX guarantees that
+readers see either the old file or the new one, never a mixture; a writer
+killed at any point leaves the target untouched (the orphaned ``*.tmp``
+staging file is invisible to loaders and reclaimed on the next write).
+
+Appends (:func:`atomic_append_line`) are implemented as copy + append +
+rename, which is O(file size) per append — the right trade for the small,
+human-scale ledgers this library writes. Lenient line-skipping loaders stay
+in place downstream as defense-in-depth for files produced by third-party
+writers that do not use this module.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, TextIO
+
+__all__ = ["atomic_writer", "atomic_write_text", "atomic_append_line"]
+
+
+@contextmanager
+def atomic_writer(path: Any, encoding: str = "utf-8") -> Iterator[TextIO]:
+    """Context manager yielding a text handle whose contents replace ``path``
+    atomically on clean exit.
+
+    On an exception inside the body, the staging file is removed and the
+    target is left exactly as it was — a crashed writer is invisible.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Any, text: str, encoding: str = "utf-8") -> None:
+    """Replace ``path``'s contents with ``text`` atomically."""
+    with atomic_writer(path, encoding=encoding) as handle:
+        handle.write(text)
+
+
+def atomic_append_line(path: Any, line: str, encoding: str = "utf-8") -> None:
+    """Append one line to ``path`` so readers never see a torn suffix.
+
+    The existing contents are copied to a staging file, the new line is
+    appended (a trailing newline is added if missing), and the staging file
+    is renamed over the original. Concurrent readers observe either the old
+    file or the old file plus the complete new line — never a prefix of it.
+    """
+    path = Path(path)
+    if not line.endswith("\n"):
+        line += "\n"
+    existing = ""
+    if path.exists():
+        with open(path, "r", encoding=encoding) as handle:
+            existing = handle.read()
+        if existing and not existing.endswith("\n"):
+            # A torn tail from a non-atomic writer: quarantine it behind a
+            # newline so the lenient loader skips exactly one bad line.
+            existing += "\n"
+    with atomic_writer(path, encoding=encoding) as handle:
+        handle.write(existing)
+        handle.write(line)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from .atomicio import atomic_append_line
 from .quality import NodeQualityProfile, PipelineMonitor, fingerprint_frame
 
 __all__ = ["RunRecord", "RunLedger", "LEDGER_SCHEMA_VERSION"]
@@ -127,12 +128,17 @@ class RunLedger:
 
     # -- write -----------------------------------------------------------
     def append(self, record: RunRecord) -> RunRecord:
-        """Append one record (one JSON line) and return it."""
+        """Append one record (one JSON line) atomically and return it.
+
+        The write goes through :func:`repro.obs.atomicio.atomic_append_line`
+        (copy + append + fsync + rename), so a concurrent reader sees either
+        the previous ledger or the previous ledger plus the whole new line —
+        never a torn suffix. The lenient :meth:`load` stays as
+        defense-in-depth for ledgers produced by other writers.
+        """
         if not record.created_at:
             record.created_at = time.time()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        atomic_append_line(self.path, json.dumps(record.to_dict(), sort_keys=True))
         return record
 
     def record_run(

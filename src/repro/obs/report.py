@@ -25,6 +25,7 @@ from typing import Any
 
 from . import metrics as _metrics
 from . import trace as _trace
+from .atomicio import atomic_writer
 from .trace import TRACE_SCHEMA_VERSION, Span, _jsonable
 
 __all__ = ["TraceReport", "tracing"]
@@ -151,8 +152,9 @@ class TraceReport:
 
     def save_jsonl(self, path: Any) -> int:
         """Schema-versioned header line, one JSON line per span, plus a
-        final ``{"metrics": ...}`` line."""
-        with open(path, "w", encoding="utf-8") as handle:
+        final ``{"metrics": ...}`` line. Written atomically (staged +
+        renamed), so readers never observe a torn export."""
+        with atomic_writer(path) as handle:
             handle.write(
                 json.dumps(
                     {
@@ -203,7 +205,7 @@ class TraceReport:
         return report
 
     def save_json(self, path: Any) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
+        with atomic_writer(path) as handle:
             json.dump(self.to_dict(), handle, indent=2)
             handle.write("\n")
 

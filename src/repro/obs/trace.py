@@ -203,9 +203,12 @@ class TraceRecorder:
 
     def export_jsonl(self, path: Any) -> int:
         """Write a schema-version header then one JSON object per completed
-        span; returns the span count."""
+        span; returns the span count. The file is staged and renamed into
+        place atomically, so readers never observe a partial export."""
+        from .atomicio import atomic_writer
+
         spans = [s for s in self.spans if s.finished]
-        with open(path, "w", encoding="utf-8") as handle:
+        with atomic_writer(path) as handle:
             handle.write(
                 json.dumps(
                     {

@@ -148,3 +148,67 @@ class TestChaosExecution:
         assert set(report.row_ids.tolist()) == monkey.triggered_row_ids(["error"])
         mask = report.affected_mask(frame.row_ids)
         assert int(mask.sum()) == len(report.row_ids)
+
+
+class TestWorkerFaults:
+    """Seeded worker-level faults for the valuation engine's supervision."""
+
+    def test_worker_rate_validation(self):
+        with pytest.raises(ValueError):
+            ChaosMonkey(worker_crash_rate=-0.1)
+        with pytest.raises(ValueError):
+            ChaosMonkey(worker_crash_rate=0.7, worker_hang_rate=0.7)
+        with pytest.raises(ValueError, match="both crash and hang"):
+            ChaosMonkey(worker_crash_chunks=[1, 2], worker_hang_chunks=[2, 3])
+
+    def test_explicit_chunks_fire_deterministically(self):
+        monkey = ChaosMonkey(worker_crash_chunks=[0, 5], worker_hang_chunks=[2])
+        assert monkey.worker_fault(0, 0) == "worker_crash"
+        assert monkey.worker_fault(2, 0) == "worker_hang"
+        assert monkey.worker_fault(1, 0) is None
+        assert monkey.worker_fault(5, 0) == "worker_crash"
+
+    def test_faults_fire_only_on_first_attempt(self):
+        monkey = ChaosMonkey(worker_crash_chunks=[4], worker_crash_rate=0.0)
+        assert monkey.worker_fault(4, 0) == "worker_crash"
+        assert monkey.worker_fault(4, 1) is None  # the retry must succeed
+        rated = ChaosMonkey(seed=1, worker_crash_rate=1.0)
+        assert rated.worker_fault(7, 0) == "worker_crash"
+        assert rated.worker_fault(7, 3) is None
+
+    def test_seeded_decisions_are_deterministic(self):
+        a = ChaosMonkey(seed=9, worker_crash_rate=0.3, worker_hang_rate=0.2)
+        b = ChaosMonkey(seed=9, worker_crash_rate=0.3, worker_hang_rate=0.2)
+        decisions = [a.worker_fault(i, 0) for i in range(50)]
+        assert decisions == [b.worker_fault(i, 0) for i in range(50)]
+        assert "worker_crash" in decisions and "worker_hang" in decisions
+        different = ChaosMonkey(seed=10, worker_crash_rate=0.3, worker_hang_rate=0.2)
+        assert decisions != [different.worker_fault(i, 0) for i in range(50)]
+
+    def test_worker_rates_do_not_perturb_operator_decisions(self):
+        plain = ChaosMonkey(seed=3, error_rate=0.2)
+        with_worker = ChaosMonkey(seed=3, error_rate=0.2, worker_crash_rate=0.5)
+        rows = list(range(100))
+        assert [plain.decide(0, r) for r in rows] == [
+            with_worker.decide(0, r) for r in rows
+        ]
+
+    def test_planned_worker_faults_matches_decisions(self):
+        monkey = ChaosMonkey(seed=2, worker_crash_rate=0.25, worker_hang_rate=0.25)
+        planned = monkey.planned_worker_faults(40)
+        for kind, chunks in planned.items():
+            for chunk in chunks:
+                assert monkey.worker_fault(chunk, 0) == kind
+        covered = {c for chunks in planned.values() for c in chunks}
+        for chunk in set(range(40)) - covered:
+            assert monkey.worker_fault(chunk, 0) is None
+
+    def test_record_worker_fault_lands_in_ground_truth(self):
+        monkey = ChaosMonkey(worker_crash_chunks=[3])
+        monkey.record_worker_fault("worker_crash", 3)
+        (fault,) = monkey.triggered
+        assert fault.node_kind == "worker"
+        assert fault.kind == "worker_crash"
+        assert fault.row_id == 3  # row_id carries the chunk ordinal
+        monkey.reset()
+        assert monkey.triggered == []
