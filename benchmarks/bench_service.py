@@ -1,0 +1,236 @@
+"""Valuation-as-a-service under load: latency, backpressure, zero lost jobs.
+
+A seeded load generator drives the job runtime the way a production
+deployment would be driven: several tenants submitting bursts of valuation
+jobs concurrently, one chaos-slowed "noisy" tenant, seeded mid-job crashes
+(recovered by per-job retry budgets), a cohort of identical requests that
+must dedup into one execution, and a cohort with already-expired deadlines
+that must degrade instead of running. Bursts are submitted without
+yielding the event loop, so admission control — not scheduling luck —
+decides who queues, who is shed, and who is rejected.
+
+Reported: p50/p99 end-to-end latency for admitted-and-completed traffic
+vs time-to-rejection for shed traffic, terminal-state counts, retry and
+dedup counts, and the hard invariants (bounded queue depth, every
+submitted job terminal, empty recovery set afterwards — zero lost jobs).
+
+Environment knobs (CI smoke sizes): ``REPRO_BENCH_SVC_ROUNDS`` (burst
+rounds), ``REPRO_BENCH_SVC_JOBS`` (jobs per tenant per burst),
+``REPRO_BENCH_SVC_DEPTH`` (queue bound), ``REPRO_BENCH_SVC_CONC``
+(worker concurrency), ``REPRO_BENCH_SVC_DELAY`` (per-eval sleep),
+``REPRO_BENCH_SVC_CRASH_RATE`` (seeded job crash probability; smoke
+sizes raise it so at least one crash fires in a short run).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from tempfile import TemporaryDirectory
+
+import numpy as np
+import pytest
+
+from repro.errors import ChaosMonkey
+from repro.importance import SubsetUtility, ValuationEngine
+from repro.service import (
+    AdmissionPolicy,
+    JobJournal,
+    JobRejected,
+    JobRequest,
+    JobRuntime,
+    JobState,
+    RetryPolicy,
+    register_valuation,
+)
+from repro.viz import format_records
+
+ROUNDS = int(os.environ.get("REPRO_BENCH_SVC_ROUNDS", "3"))
+JOBS_PER_TENANT = int(os.environ.get("REPRO_BENCH_SVC_JOBS", "4"))
+DEPTH = int(os.environ.get("REPRO_BENCH_SVC_DEPTH", "6"))
+CONCURRENCY = int(os.environ.get("REPRO_BENCH_SVC_CONC", "2"))
+DELAY = float(os.environ.get("REPRO_BENCH_SVC_DELAY", "0.0005"))
+CRASH_RATE = float(os.environ.get("REPRO_BENCH_SVC_CRASH_RATE", "0.15"))
+GAME_N = 8
+PERMS = 5
+#: tenant -> priority. The noisy (chaos-slowed) tenant outranks part of the
+#: field so its jobs actually execute and the slow-tenant fault fires.
+TENANTS = {"alpha": 0, "beta": 1, "gamma": 2, "noisy": 2}
+
+
+def make_engine(params: dict) -> ValuationEngine:
+    rng = np.random.default_rng(3)
+    w = rng.normal(size=GAME_N)
+
+    def func(indices):
+        if DELAY:
+            time.sleep(DELAY)
+        idx = np.asarray(indices, dtype=int)
+        return float(np.tanh(w[idx].sum())) if len(idx) else 0.0
+
+    return ValuationEngine(SubsetUtility(func, GAME_N))
+
+
+def percentile(values: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q)) if values else float("nan")
+
+
+async def drive(journal_path: str, checkpoint_dir: str) -> dict:
+    chaos = ChaosMonkey(
+        seed=11,
+        job_crash_rate=CRASH_RATE,
+        slow_tenants=["noisy"],
+        tenant_delay_s=0.01,
+    )
+    runtime = JobRuntime(
+        journal=journal_path,
+        checkpoint_dir=checkpoint_dir,
+        policy=AdmissionPolicy(max_queue_depth=DEPTH),
+        retry=RetryPolicy(backoff_base_s=0.002, max_backoff_s=0.01),
+        max_concurrency=CONCURRENCY,
+        chaos=chaos,
+    )
+    register_valuation(runtime, make_engine)
+
+    submitted = 0
+    seed = 0
+    async with runtime:
+        for round_index in range(ROUNDS):
+            # One burst, submitted without yielding: admission control
+            # alone decides the fate of everything past the queue bound.
+            for tenant, tenant_priority in TENANTS.items():
+                for job_index in range(JOBS_PER_TENANT):
+                    seed += 1
+                    expired = job_index == JOBS_PER_TENANT - 1
+                    request = JobRequest(
+                        kind="valuation",
+                        params={
+                            "n_permutations": PERMS,
+                            "seed": seed,
+                            "check_every": PERMS,
+                        },
+                        tenant=tenant,
+                        priority=tenant_priority,
+                        # Last job per tenant: deadline already spent at
+                        # submission -> must degrade, not run or vanish.
+                        deadline_s=0.0 if expired else None,
+                        max_retries=1,  # absorbs seeded attempt-0 crashes
+                        dedup=False,
+                    )
+                    submitted += 1
+                    try:
+                        runtime.submit(request)
+                    except JobRejected:
+                        pass  # accounted in runtime.counts
+            # Dedup cohort: identical requests from every tenant fan into
+            # one execution (tenant is excluded from the dedup key).
+            for tenant in TENANTS:
+                submitted += 1
+                try:
+                    runtime.submit(
+                        JobRequest(
+                            kind="valuation",
+                            params={
+                                "n_permutations": PERMS,
+                                "seed": 999_000 + round_index,
+                                "check_every": PERMS,
+                            },
+                            tenant=tenant,
+                            priority=5,  # outranks the storm: always admitted
+                            max_retries=1,
+                            dataset_fingerprint="shared-dataset",
+                        )
+                    )
+                except JobRejected:
+                    pass
+            await runtime.drain()  # absorb the burst before the next one
+
+    jobs = list(runtime.jobs.values())
+    completed = [j.latency_s for j in jobs if j.state is JobState.COMPLETED]
+    degraded = [j.latency_s for j in jobs if j.state is JobState.DEGRADED]
+    rejected = [j.latency_s for j in jobs if j.state is JobState.REJECTED]
+    stats = runtime.stats()
+    return {
+        "offered_load": submitted,
+        "counts": {k: stats[k] for k in (
+            "submitted", "admitted", "deduplicated", "rejected", "shed",
+            "completed", "degraded", "failed", "retries",
+        )},
+        "latency": {
+            "completed_p50_ms": round(1e3 * percentile(completed, 50), 2),
+            "completed_p99_ms": round(1e3 * percentile(completed, 99), 2),
+            "degraded_p50_ms": round(1e3 * percentile(degraded, 50), 2),
+            "rejected_p99_ms": round(1e3 * percentile(rejected, 99), 2),
+        },
+        "max_queue_depth_seen": stats["max_queue_depth_seen"],
+        "queue_bound": DEPTH,
+        "chaos_job_crashes": sum(
+            1 for f in chaos.triggered if f.kind == "job_crash"
+        ),
+        "chaos_slow_tenant_hits": sum(
+            1 for f in chaos.triggered if f.kind == "slow_tenant"
+        ),
+        "slow_tenant_exercised": any(
+            f.kind == "slow_tenant" for f in chaos.triggered
+        ),
+        "non_terminal_jobs": sum(1 for j in jobs if not j.done),
+        "journal_in_flight_after": len(JobJournal(journal_path).in_flight()),
+    }
+
+
+def run_service_load() -> dict:
+    with TemporaryDirectory() as tmp:
+        return asyncio.run(
+            drive(os.path.join(tmp, "journal.jsonl"), os.path.join(tmp, "ck"))
+        )
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_load(benchmark, write_report):
+    result = benchmark.pedantic(run_service_load, rounds=1, iterations=1)
+    counts = result["counts"]
+
+    # Zero lost jobs: every submission is accounted for by an explicit
+    # terminal state, and nothing is left for crash recovery to find.
+    assert result["non_terminal_jobs"] == 0
+    assert result["journal_in_flight_after"] == 0
+    assert counts["failed"] == 0  # every seeded crash was retried away
+    terminal = (
+        counts["completed"] + counts["degraded"]
+        + counts["rejected"] + counts["shed"]
+    )
+    assert terminal + counts["deduplicated"] == counts["submitted"]
+    assert counts["submitted"] == result["offered_load"]
+
+    # Backpressure: the queue bound held throughout the storm.
+    assert result["max_queue_depth_seen"] <= result["queue_bound"]
+    # The load generator genuinely overloaded the runtime and the fault
+    # injection genuinely fired.
+    assert counts["rejected"] + counts["shed"] > 0
+    assert counts["degraded"] > 0
+    assert counts["deduplicated"] > 0
+    assert counts["retries"] >= result["chaos_job_crashes"] > 0
+    assert result["slow_tenant_exercised"]
+
+    rows = [
+        {"metric": "offered jobs", "value": result["offered_load"]},
+        {"metric": "completed", "value": counts["completed"]},
+        {"metric": "degraded (deadline)", "value": counts["degraded"]},
+        {"metric": "rejected + shed", "value": counts["rejected"] + counts["shed"]},
+        {"metric": "deduplicated", "value": counts["deduplicated"]},
+        {"metric": "retries (chaos crashes)", "value": counts["retries"]},
+        {"metric": "max queue depth / bound",
+         "value": f"{result['max_queue_depth_seen']}/{result['queue_bound']}"},
+        {"metric": "completed p50 (ms)",
+         "value": result["latency"]["completed_p50_ms"]},
+        {"metric": "completed p99 (ms)",
+         "value": result["latency"]["completed_p99_ms"]},
+        {"metric": "rejected p99 (ms)",
+         "value": result["latency"]["rejected_p99_ms"]},
+    ]
+    text = "valuation service under burst load (chaos: crashes + noisy tenant)\n"
+    text += format_records(rows)
+    write_report("service", text, records=result)
+    print()
+    print(text)

@@ -40,6 +40,7 @@ from . import (
     pipeline,
     queries,
     robust,
+    service,
     text,
     unlearning,
     uncertainty,
@@ -61,6 +62,7 @@ __all__ = [
     "pipeline",
     "queries",
     "robust",
+    "service",
     "text",
     "unlearning",
     "uncertainty",

@@ -3,6 +3,7 @@
 from .challenge import ChallengeSubmission, DebuggingChallenge
 from .leaderboard import Leaderboard, LeaderboardEntry
 from .selection import SelectionChallenge, SelectionSubmission
+from .service import leaderboard_request, register_challenge, submission_request
 
 __all__ = [
     "ChallengeSubmission",
@@ -11,4 +12,7 @@ __all__ = [
     "LeaderboardEntry",
     "SelectionChallenge",
     "SelectionSubmission",
+    "leaderboard_request",
+    "register_challenge",
+    "submission_request",
 ]

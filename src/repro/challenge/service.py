@@ -1,0 +1,125 @@
+"""Serving the debugging challenge through the job runtime.
+
+The live challenge is the paper's most service-shaped workload: many
+participants (tenants) submitting cleaning attempts and polling the
+leaderboard concurrently. This module routes both through
+:class:`~repro.service.runtime.JobRuntime`, so submissions get admission
+control, fair-share scheduling, and journaling, while leaderboard reads —
+idempotent and identical across participants — deduplicate into shared
+executions.
+
+::
+
+    runtime = JobRuntime(policy=AdmissionPolicy(max_queue_depth=32))
+    register_challenge(runtime, challenge)
+    async with runtime:
+        job = runtime.submit(submission_request("alice", [3, 17, 40]))
+        outcome = await job.wait()          # dict: accuracies + n_cleaned
+        board = await runtime.submit(leaderboard_request()).wait()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from .challenge import DebuggingChallenge
+
+__all__ = [
+    "leaderboard_request",
+    "register_challenge",
+    "submission_request",
+]
+
+
+def register_challenge(
+    runtime: Any,
+    challenge: DebuggingChallenge,
+    prefix: str = "challenge",
+) -> None:
+    """Register ``<prefix>.submit`` and ``<prefix>.leaderboard`` handlers.
+
+    Submissions mutate per-participant oracle state, so requests for them
+    must opt out of dedup (:func:`submission_request` does); leaderboard
+    queries are pure reads and dedup freely.
+    """
+
+    def submit(params: Mapping[str, Any], context: Any) -> dict[str, Any]:
+        outcome = challenge.submit(
+            str(params["participant"]),
+            [int(row) for row in params.get("row_ids", [])],
+        )
+        return {
+            "participant": outcome.participant,
+            "n_cleaned": outcome.n_cleaned,
+            "hidden_test_accuracy": outcome.hidden_test_accuracy,
+            "validation_accuracy": outcome.validation_accuracy,
+        }
+
+    def leaderboard(params: Mapping[str, Any], context: Any) -> dict[str, Any]:
+        standings = challenge.leaderboard.standings()
+        top = params.get("top")
+        if top is not None:
+            standings = standings[: int(top)]
+        return {
+            "baseline_accuracy": challenge.baseline_accuracy,
+            "standings": [
+                {
+                    "rank": rank,
+                    "participant": entry.participant,
+                    "score": entry.score,
+                    "n_submissions": entry.n_submissions,
+                }
+                for rank, entry in enumerate(standings, start=1)
+            ],
+        }
+
+    runtime.register_handler(f"{prefix}.submit", submit)
+    runtime.register_handler(f"{prefix}.leaderboard", leaderboard)
+
+
+def submission_request(
+    participant: str,
+    row_ids: Iterable[int],
+    priority: int = 0,
+    deadline_s: float | None = None,
+    prefix: str = "challenge",
+) -> Any:
+    """A :class:`~repro.service.job.JobRequest` for one cleaning attempt.
+
+    The participant is the tenant (fair share across players, per-player
+    circuit breaking) and dedup is off — every attempt spends real budget
+    and must really run.
+    """
+    from ..service.job import JobRequest
+
+    return JobRequest(
+        kind=f"{prefix}.submit",
+        params={
+            "participant": str(participant),
+            "row_ids": [int(row) for row in row_ids],
+        },
+        tenant=str(participant),
+        priority=priority,
+        deadline_s=deadline_s,
+        dedup=False,
+    )
+
+
+def leaderboard_request(
+    top: int | None = None,
+    tenant: str = "default",
+    priority: int = 0,
+    prefix: str = "challenge",
+) -> Any:
+    """A dedup-friendly standings query (shared across concurrent pollers)."""
+    from ..service.job import JobRequest
+
+    params: dict[str, Any] = {}
+    if top is not None:
+        params["top"] = int(top)
+    return JobRequest(
+        kind=f"{prefix}.leaderboard",
+        params=params,
+        tenant=tenant,
+        priority=priority,
+    )

@@ -49,6 +49,16 @@ from ..obs import (
     tracing,
 )
 from ..pipeline.datascope import SourceImportance, datascope_importance
+from ..service import (
+    AdmissionPolicy,
+    BreakerPolicy,
+    JobRejected,
+    JobRequest,
+    JobRuntime,
+    JobState,
+    RetryPolicy,
+    register_valuation,
+)
 from ..pipeline.execute import PipelineResult, execute
 from ..pipeline.execute import execute_robust as _execute_robust
 from ..pipeline.operators import Node
@@ -92,6 +102,15 @@ __all__ = [
     "RunRecord",
     "RunDiff",
     "DriftThresholds",
+    "AdmissionPolicy",
+    "BreakerPolicy",
+    "JobRejected",
+    "JobRequest",
+    "JobRuntime",
+    "JobState",
+    "RetryPolicy",
+    "job_runtime",
+    "register_valuation",
 ]
 
 _DEFAULT_EMBEDDER = TextEmbedder(n_features=48)
@@ -521,3 +540,65 @@ def visualize_uncertainty(max_losses: Mapping[float, float], feature: str) -> st
     )
     print(chart)
     return chart
+
+
+def job_runtime(
+    journal: Any | None = None,
+    checkpoint_dir: Any | None = None,
+    ledger: RunLedger | None = None,
+    max_queue_depth: int = 64,
+    max_queued_per_tenant: int | None = None,
+    max_concurrency: int = 2,
+    failure_threshold: int = 3,
+    cooldown_s: float = 30.0,
+    chaos: Any | None = None,
+    train_df: DataFrame | None = None,
+    validation: DataFrame | None = None,
+    label_column: str = "sentiment",
+    model: Estimator | None = None,
+    n_workers: int = 1,
+) -> JobRuntime:
+    """A ready-to-serve :class:`~repro.service.JobRuntime` (the nde facade).
+
+    Wires up admission control (``max_queue_depth``, per-tenant quota),
+    per-tenant circuit breakers (``failure_threshold``/``cooldown_s``),
+    the crash-safe job journal, and per-job checkpointing. When
+    ``train_df``/``validation`` are given, a ``"valuation"`` handler over
+    the scenario featurisation is registered too, so::
+
+        runtime = nde.job_runtime(journal="svc.jsonl", checkpoint_dir="ck",
+                                  train_df=train_df_err, validation=valid_df)
+        async with runtime:
+            job = runtime.submit(nde.JobRequest(
+                kind="valuation",
+                params={"n_permutations": 100, "seed": 0},
+                tenant="alice", deadline_s=30.0,
+            ))
+            values = (await job.wait()).values()
+
+    serves deduplicated, deadline-bounded Shapley runs to many tenants.
+    """
+    runtime = JobRuntime(
+        journal=journal,
+        checkpoint_dir=checkpoint_dir,
+        ledger=ledger,
+        policy=AdmissionPolicy(
+            max_queue_depth=max_queue_depth,
+            max_queued_per_tenant=max_queued_per_tenant,
+        ),
+        breaker_policy=BreakerPolicy(
+            failure_threshold=failure_threshold, cooldown_s=cooldown_s
+        ),
+        max_concurrency=max_concurrency,
+        chaos=chaos,
+    )
+    if train_df is not None and validation is not None:
+        engine = valuation_engine(
+            train_df,
+            validation,
+            label_column=label_column,
+            model=model,
+            n_workers=n_workers,
+        )
+        register_valuation(runtime, lambda params: engine)
+    return runtime

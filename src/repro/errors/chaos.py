@@ -107,6 +107,18 @@ class ChaosMonkey:
     worker_crash_chunks, worker_hang_chunks:
         Explicit chunk sequence numbers to fault deterministically
         (overrides the rates for those chunks) — "crash on the Nth chunk".
+    job_crash_rate, job_crash_jobs:
+        *Job-level* faults for the service runtime
+        (:class:`repro.service.JobRuntime` passes the monkey as
+        ``chaos=``): the per-job probability that a job's handler raises a
+        :class:`ChaosError` mid-execution, or explicit job sequence
+        numbers to crash deterministically. Like worker faults, job
+        crashes fire only on a job's first attempt, so the runtime's
+        retry-with-backoff recovers and the run is expected to terminate.
+    slow_tenants, tenant_delay_s:
+        Tenants whose every job is slowed by ``tenant_delay_s`` seconds
+        before the handler runs — the noisy-neighbor scenario fair-share
+        scheduling must isolate.
     """
 
     def __init__(
@@ -124,6 +136,10 @@ class ChaosMonkey:
         hang_duration: float = 30.0,
         worker_crash_chunks: Sequence[int] = (),
         worker_hang_chunks: Sequence[int] = (),
+        job_crash_rate: float = 0.0,
+        job_crash_jobs: Sequence[int] = (),
+        slow_tenants: Sequence[str] = (),
+        tenant_delay_s: float = 0.05,
     ) -> None:
         rates = {
             "error": float(error_rate),
@@ -147,6 +163,8 @@ class ChaosMonkey:
             raise ValueError(
                 f"chunks {sorted(overlap)} listed for both crash and hang"
             )
+        if not 0.0 <= float(job_crash_rate) <= 1.0:
+            raise ValueError("job_crash_rate must be within [0, 1]")
         self.seed = int(seed)
         self.rates = rates
         self.latency = float(latency)
@@ -155,6 +173,10 @@ class ChaosMonkey:
         self.hang_duration = float(hang_duration)
         self.worker_crash_chunks = frozenset(int(c) for c in worker_crash_chunks)
         self.worker_hang_chunks = frozenset(int(c) for c in worker_hang_chunks)
+        self.job_crash_rate = float(job_crash_rate)
+        self.job_crash_jobs = frozenset(int(j) for j in job_crash_jobs)
+        self.slow_tenants = frozenset(str(t) for t in slow_tenants)
+        self.tenant_delay_s = float(tenant_delay_s)
         self.triggered: list[InjectedFault] = []
         self._transient_seen: set[tuple[int, int]] = set()
 
@@ -252,6 +274,54 @@ class ChaosMonkey:
             kind = self.worker_fault(chunk_ord, 0)
             if kind is not None:
                 out.setdefault(kind, []).append(chunk_ord)
+        return out
+
+    # ------------------------------------------------------------------
+    # Job-level faults (service runtime)
+    # ------------------------------------------------------------------
+    def job_fault(self, job_ord: int, attempt: int) -> str | None:
+        """Fault kind for one service job, or None. Pure and seeded.
+
+        Like worker faults, job crashes fire only on ``attempt == 0`` so
+        the runtime's retry budget — not an unrecoverable crash loop — is
+        what chaos runs exercise.
+        """
+        if attempt != 0:
+            return None
+        job_ord = int(job_ord)
+        if job_ord in self.job_crash_jobs:
+            return "job_crash"
+        if not self.job_crash_rate:
+            return None
+        # 104729 keys the job domain: adding job rates never perturbs
+        # operator or worker fault decisions drawn from the same seed.
+        rng = np.random.default_rng([self.seed, 104729, job_ord])
+        return "job_crash" if rng.random() < self.job_crash_rate else None
+
+    def apply_job_fault(
+        self, job_ord: int, attempt: int, tenant: str | None = None
+    ) -> None:
+        """Execute planned job faults inside a handler (driver-side).
+
+        Slow-tenant delay applies on *every* attempt (the neighbor stays
+        noisy); a planned crash raises :class:`ChaosError` on the first
+        attempt only. Both are recorded in :attr:`triggered` with
+        ``node_kind="job"`` and ``row_id`` holding the job sequence number.
+        """
+        if tenant is not None and tenant in self.slow_tenants:
+            self._record(-1, "job", "slow_tenant", int(job_ord))
+            time.sleep(self.tenant_delay_s)
+        if self.job_fault(job_ord, attempt) == "job_crash":
+            self._record(-1, "job", "job_crash", int(job_ord))
+            raise ChaosError(f"injected crash for service job #{int(job_ord)}")
+
+    def planned_job_faults(self, n_jobs: int) -> dict[str, list[int]]:
+        """Expected job crashes over the first ``n_jobs`` job ords."""
+        out: dict[str, list[int]] = {}
+        for job_ord in range(int(n_jobs)):
+            kind = self.job_fault(job_ord, 0)
+            if kind is not None:
+                out.setdefault(kind, []).append(job_ord)
         return out
 
     # ------------------------------------------------------------------

@@ -90,9 +90,9 @@ def config_fingerprint(config: Mapping[str, Any]) -> str:
 class CheckpointStore:
     """Atomic, schema-versioned snapshot file for one valuation run.
 
-    One store holds one snapshot (the latest wave boundary); history is not
-    kept — the point is crash durability, not time travel. The snapshot is
-    a single JSON document::
+    By default one store holds one snapshot (the latest wave boundary);
+    history is not kept — the point is crash durability, not time travel.
+    The snapshot is a single JSON document::
 
         {"schema_version": 1, "kind": "permutation", "fingerprint": "...",
          "completed": 40, "totals": [...], "sumsq": [...], ...}
@@ -100,18 +100,52 @@ class CheckpointStore:
     ``save`` goes through :func:`repro.obs.atomicio.atomic_write_text`;
     ``load`` validates the schema version and (when asked) the config
     fingerprint before handing state back.
+
+    ``keep_last=N`` additionally archives each wave snapshot next to the
+    primary file (``<name>.wave<completed>``) and prunes superseded
+    archives beyond the newest ``N`` — the retention knob long service
+    runs need so a checkpoint directory holding many jobs' stores stays
+    bounded while still allowing a short rewind. Resume always reads the
+    primary file, so pruning never affects crash recovery.
     """
 
-    def __init__(self, path: Any) -> None:
+    def __init__(self, path: Any, keep_last: int | None = None) -> None:
+        if keep_last is not None and keep_last < 1:
+            raise ValueError("keep_last must be >= 1 (or None)")
         self.path = Path(path)
+        self.keep_last = keep_last
 
     def exists(self) -> bool:
         return self.path.exists()
 
     def save(self, state: Mapping[str, Any]) -> None:
-        """Atomically replace the snapshot with ``state``."""
+        """Atomically replace the snapshot with ``state``.
+
+        With ``keep_last`` set, also write a per-wave archive and prune
+        superseded archives so at most ``keep_last`` remain.
+        """
         payload = {"schema_version": CHECKPOINT_SCHEMA_VERSION, **state}
-        atomic_write_text(self.path, json.dumps(payload, sort_keys=True) + "\n")
+        text = json.dumps(payload, sort_keys=True) + "\n"
+        atomic_write_text(self.path, text)
+        if self.keep_last is not None:
+            completed = int(state.get("completed", 0))
+            archive = self.path.with_name(
+                f"{self.path.name}.wave{completed:08d}"
+            )
+            atomic_write_text(archive, text)
+            self._prune()
+
+    def archives(self) -> list[Path]:
+        """Retained per-wave archives, oldest watermark first."""
+        pattern = f"{self.path.name}.wave*"
+        return sorted(self.path.parent.glob(pattern))
+
+    def _prune(self) -> None:
+        for stale in self.archives()[: -int(self.keep_last)]:
+            try:
+                stale.unlink()
+            except FileNotFoundError:  # pragma: no cover - concurrent prune
+                pass
 
     def load(self) -> dict[str, Any] | None:
         """The stored snapshot, or None when no checkpoint exists yet."""
@@ -161,11 +195,12 @@ class CheckpointStore:
         return payload
 
     def clear(self) -> None:
-        """Remove the snapshot (e.g. after a run completes)."""
-        try:
-            self.path.unlink()
-        except FileNotFoundError:
-            pass
+        """Remove the snapshot and any archives (e.g. after a run completes)."""
+        for target in [self.path, *self.archives()]:
+            try:
+                target.unlink()
+            except FileNotFoundError:
+                pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "present" if self.exists() else "absent"

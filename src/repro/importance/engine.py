@@ -626,6 +626,7 @@ class ValuationEngine:
         antithetic: bool = False,
         deadline_s: float | None = None,
         max_evals: int | None = None,
+        progress_callback: Callable[[dict], None] | None = None,
     ) -> PermutationRun:
         """Sample permutations and accumulate per-point weighted marginals.
 
@@ -640,17 +641,32 @@ class ValuationEngine:
         restored from a resumed checkpoint); both are checked at wave
         boundaries and stop the run with a *partial* accumulator state —
         ``converged=False`` and the appropriate ``stop_reason`` — instead
-        of raising. Budget knobs are deliberately excluded from the
-        checkpoint fingerprint: resuming a budget-stopped run with a larger
-        budget is the intended workflow, and the accumulator prefix at any
-        watermark does not depend on where a previous invocation stopped.
+        of raising. A budget of exactly zero is a valid degenerate case:
+        the call returns immediately with a well-formed zero-permutation
+        partial result (``stop_reason`` = ``"deadline"`` /
+        ``"eval_budget"``) without evaluating the utility at all — the
+        admission-control contract the service runtime relies on for jobs
+        whose end-to-end deadline expired while queued. Budget knobs are
+        deliberately excluded from the checkpoint fingerprint: resuming a
+        budget-stopped run with a larger budget is the intended workflow,
+        and the accumulator prefix at any watermark does not depend on
+        where a previous invocation stopped.
+
+        ``progress_callback`` is invoked at every wave boundary (after the
+        wave's checkpoint, so the stream never runs ahead of durable
+        state) with a snapshot dict — ``completed``, ``target``,
+        ``values``, ``stderr``, ``max_stderr``, ``n_evaluations``,
+        ``elapsed_s`` — the hook the service runtime uses to fan streamed
+        partial results out to subscribers. The callback must not mutate
+        the arrays it receives (they are copies, but treat them as
+        read-only telemetry); exceptions it raises propagate.
         """
         if n_permutations < 1:
             raise ValueError("n_permutations must be >= 1")
-        if deadline_s is not None and deadline_s <= 0:
-            raise ValueError("deadline_s must be positive (or None)")
-        if max_evals is not None and max_evals < 1:
-            raise ValueError("max_evals must be >= 1 (or None)")
+        if deadline_s is not None and deadline_s < 0:
+            raise ValueError("deadline_s must be >= 0 (or None)")
+        if max_evals is not None and max_evals < 0:
+            raise ValueError("max_evals must be >= 0 (or None)")
         n = self.n_train
         if weights is None:
             weights = np.ones(n)
@@ -749,17 +765,28 @@ class ValuationEngine:
         )
         run_span.__enter__()
         stats_before = self._stats_baseline()
-        null = self.evaluate(())
+        # Budgets already spent at entry — zero budgets, or a resumed run
+        # handed the max_evals it had already consumed. Skip even the
+        # null/full anchor evaluations ("return immediately" means zero
+        # utility calls) and let the loop's first boundary check produce
+        # the well-formed partial result.
+        exhausted_at_entry = (
+            max_evals is not None and spent_evals() >= max_evals
+        ) or (deadline_s is not None and deadline_s <= 0)
+        null = 0.0 if exhausted_at_entry else self.evaluate(())
         full = (
-            self.evaluate(range(n)) if truncation_tolerance > 0.0 else None
+            self.evaluate(range(n))
+            if truncation_tolerance > 0.0 and not exhausted_at_entry
+            else None
         )
         # Waves exist wherever a boundary decision is needed: convergence
-        # checks, budget checks, or checkpoint snapshots.
+        # checks, budget checks, checkpoint snapshots, or progress streams.
         bounded = (
             convergence_tolerance is not None
             or deadline_s is not None
             or max_evals is not None
             or store is not None
+            or progress_callback is not None
         )
         wave = max(1, int(check_every)) if bounded else n_permutations
         dispatcher = None
@@ -787,7 +814,7 @@ class ValuationEngine:
             )
 
         try:
-            if self._parallel(n_permutations - scanned):
+            if not exhausted_at_entry and self._parallel(n_permutations - scanned):
                 state = {
                     "utility": self.utility,
                     "cache": self.cache.snapshot(),
@@ -855,6 +882,23 @@ class ValuationEngine:
                     finished=stop_reason in ("completed", "converged")
                     and (stopped or scanned >= n_permutations)
                 )
+                if progress_callback is not None:
+                    snapshot_run = PermutationRun(
+                        totals, np.full(n, scanned, dtype=float), sumsq,
+                        scanned, truncated, False, max_stderr,
+                    )
+                    progress_callback(
+                        {
+                            "completed": scanned,
+                            "target": n_permutations,
+                            "values": snapshot_run.values(),
+                            "stderr": snapshot_run.stderr(),
+                            "max_stderr": max_stderr,
+                            "n_evaluations": spent_evals(),
+                            "elapsed_s": elapsed_prior
+                            + (time.perf_counter() - started),
+                        }
+                    )
                 if stopped:
                     break
                 start = stop

@@ -33,7 +33,12 @@ through this package; the user-facing window is
     nde.RunLedger("runs.jsonl").record_run(result, monitor=mon, report=report)
 """
 
-from .atomicio import atomic_append_line, atomic_write_text, atomic_writer
+from .atomicio import (
+    advisory_lock,
+    atomic_append_line,
+    atomic_write_text,
+    atomic_writer,
+)
 from .diff import (
     Alert,
     DriftThresholds,
@@ -126,6 +131,7 @@ __all__ = [
     "population_stability_index",
     "cramers_v",
     # atomic artifact writes
+    "advisory_lock",
     "atomic_writer",
     "atomic_write_text",
     "atomic_append_line",

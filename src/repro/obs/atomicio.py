@@ -21,6 +21,15 @@ rename, which is O(file size) per append — the right trade for the small,
 human-scale ledgers this library writes. Lenient line-skipping loaders stay
 in place downstream as defense-in-depth for files produced by third-party
 writers that do not use this module.
+
+Copy-and-rename appends are atomic against *readers* but not against other
+*writers*: two processes that read the same base file and rename over each
+other lose one of the two lines. :func:`advisory_lock` closes that window
+with a cross-process ``fcntl`` advisory lock on a ``<name>.lock`` sidecar,
+and :func:`atomic_append_line` takes it by default — concurrent service
+jobs appending to one ledger serialize instead of clobbering. On platforms
+without ``fcntl`` (Windows) the lock degrades to a no-op, matching the
+single-writer assumption that held before it existed.
 """
 
 from __future__ import annotations
@@ -31,7 +40,42 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, TextIO
 
-__all__ = ["atomic_writer", "atomic_write_text", "atomic_append_line"]
+try:  # POSIX only; Windows degrades to unlocked single-writer behavior.
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - exercised only on Windows
+    _fcntl = None
+
+__all__ = [
+    "advisory_lock",
+    "atomic_writer",
+    "atomic_write_text",
+    "atomic_append_line",
+]
+
+
+@contextmanager
+def advisory_lock(path: Any) -> Iterator[bool]:
+    """Hold an exclusive cross-process advisory lock scoped to ``path``.
+
+    The lock lives on a ``<name>.lock`` sidecar file (never on the target
+    itself — the target is replaced by rename, which would orphan a lock
+    held on its inode). Yields True while the lock is held, or False when
+    ``fcntl`` is unavailable and the caller proceeds unlocked. Reentrant
+    use within one process deadlocks by design — hold it briefly around a
+    single read-modify-rename cycle.
+    """
+    if _fcntl is None:
+        yield False
+        return
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lock_path = path.with_name(path.name + ".lock")
+    with open(lock_path, "a", encoding="utf-8") as handle:
+        _fcntl.flock(handle.fileno(), _fcntl.LOCK_EX)
+        try:
+            yield True
+        finally:
+            _fcntl.flock(handle.fileno(), _fcntl.LOCK_UN)
 
 
 @contextmanager
@@ -67,25 +111,41 @@ def atomic_write_text(path: Any, text: str, encoding: str = "utf-8") -> None:
         handle.write(text)
 
 
-def atomic_append_line(path: Any, line: str, encoding: str = "utf-8") -> None:
+def atomic_append_line(
+    path: Any, line: str, encoding: str = "utf-8", lock: bool = True
+) -> None:
     """Append one line to ``path`` so readers never see a torn suffix.
 
     The existing contents are copied to a staging file, the new line is
     appended (a trailing newline is added if missing), and the staging file
     is renamed over the original. Concurrent readers observe either the old
     file or the old file plus the complete new line — never a prefix of it.
+
+    With ``lock=True`` (the default) the whole read-append-rename cycle
+    runs under :func:`advisory_lock`, so concurrent *writers* in separate
+    processes serialize instead of renaming over each other's lines. Pass
+    ``lock=False`` only when the caller already holds the lock or is
+    provably the sole writer.
     """
     path = Path(path)
     if not line.endswith("\n"):
         line += "\n"
-    existing = ""
-    if path.exists():
-        with open(path, "r", encoding=encoding) as handle:
-            existing = handle.read()
-        if existing and not existing.endswith("\n"):
-            # A torn tail from a non-atomic writer: quarantine it behind a
-            # newline so the lenient loader skips exactly one bad line.
-            existing += "\n"
-    with atomic_writer(path, encoding=encoding) as handle:
-        handle.write(existing)
-        handle.write(line)
+
+    def append() -> None:
+        existing = ""
+        if path.exists():
+            with open(path, "r", encoding=encoding) as handle:
+                existing = handle.read()
+            if existing and not existing.endswith("\n"):
+                # A torn tail from a non-atomic writer: quarantine it behind
+                # a newline so the lenient loader skips exactly one bad line.
+                existing += "\n"
+        with atomic_writer(path, encoding=encoding) as handle:
+            handle.write(existing)
+            handle.write(line)
+
+    if lock:
+        with advisory_lock(path):
+            append()
+    else:
+        append()

@@ -1,0 +1,70 @@
+"""Valuation as a service: a crash-safe, multi-tenant asyncio job runtime.
+
+The ROADMAP's production story — millions of users querying importance
+scores — needs more than a fast engine: it needs a *server* that admits,
+schedules, deduplicates, degrades, and survives crashes. This package is
+that layer, built entirely on the primitives grown in earlier PRs:
+
+- :mod:`repro.service.job` — the JSON-able :class:`JobRequest`, the
+  :class:`Job` lifecycle state machine (every accepted job reaches exactly
+  one terminal state), and :class:`JobRejected` backpressure.
+- :mod:`repro.service.journal` — the write-ahead :class:`JobJournal`
+  (atomic, cross-process-locked JSONL) that lets a SIGKILL'd runtime
+  replay and resume every in-flight job.
+- :mod:`repro.service.admission` — bounded fair-share queueing, priority
+  load shedding, per-tenant circuit breakers, retry backoff.
+- :mod:`repro.service.runtime` — the asyncio :class:`JobRuntime` tying it
+  together: handler registry, worker fleet, dedup fan-out with streamed
+  partial results, deadline propagation, chaos hooks.
+- :mod:`repro.service.handlers` — the valuation adapter mapping jobs onto
+  :class:`~repro.importance.engine.ValuationEngine` runs.
+
+Quickstart::
+
+    from repro.service import JobRequest, JobRuntime, register_valuation
+
+    runtime = JobRuntime(journal="svc/journal.jsonl", checkpoint_dir="svc/ck")
+    register_valuation(runtime, lambda params: make_engine(params["dataset"]))
+    async with runtime:
+        job = runtime.submit(JobRequest(
+            kind="valuation",
+            params={"dataset": "imdb", "n_permutations": 200, "seed": 0},
+            tenant="alice", deadline_s=60.0,
+            dataset_fingerprint=fp,
+        ))
+        values = (await job.wait()).values()
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    FairShareQueue,
+    RetryPolicy,
+)
+from .handlers import make_valuation_handler, register_valuation
+from .job import TERMINAL_STATES, Job, JobRejected, JobRequest, JobState
+from .journal import JOURNAL_SCHEMA_VERSION, JobJournal, JournalEntry
+from .runtime import JobContext, JobRuntime
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "FairShareQueue",
+    "JOURNAL_SCHEMA_VERSION",
+    "Job",
+    "JobContext",
+    "JobJournal",
+    "JobRejected",
+    "JobRequest",
+    "JobRuntime",
+    "JobState",
+    "JournalEntry",
+    "RetryPolicy",
+    "TERMINAL_STATES",
+    "make_valuation_handler",
+    "register_valuation",
+]

@@ -1,0 +1,319 @@
+"""Admission control: bounded queues, fair share, shedding, circuit breaking.
+
+Unbounded queues are how services die politely — accept everything, answer
+nothing. This module is the explicit alternative, as pure synchronous state
+machines (no asyncio) so the hypothesis suites can drive them through
+millions of random submit/complete/fail sequences:
+
+- :class:`FairShareQueue` — per-tenant FIFO lanes drained round-robin, so
+  one tenant's submit storm cannot starve the others; within a lane,
+  higher priority runs first.
+- :class:`AdmissionController` — bounded total depth and optional
+  per-tenant quota. A submission over the bound either *sheds* the
+  lowest-priority queued job (when the newcomer strictly outranks it) or
+  is itself rejected — either way someone gets an explicit
+  :class:`~repro.service.job.JobRejected`, and the bound holds as a hard
+  invariant.
+- :class:`CircuitBreaker` — per-tenant: ``failure_threshold`` consecutive
+  job failures open the circuit, rejecting that tenant's submissions for
+  ``cooldown_s``; after the cooldown the breaker goes half-open and lets
+  probes through — one success closes it, one failure re-opens. A broken
+  workload stops burning engine time without ever locking a tenant out
+  permanently.
+- :class:`RetryPolicy` — exponential backoff schedule for per-job retry
+  budgets.
+
+All decision logic takes an injectable ``clock`` so tests (and the
+hypothesis state machines) can step time deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from .job import Job, JobRejected
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "FairShareQueue",
+    "RetryPolicy",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounds on what the runtime accepts.
+
+    ``max_queue_depth`` caps jobs *queued* (running jobs are bounded
+    separately by the runtime's concurrency). ``max_queued_per_tenant``
+    optionally caps one tenant's share of the queue.
+    ``shed_lower_priority`` enables evicting the lowest-priority queued
+    job when a strictly higher-priority one arrives at a full queue.
+    """
+
+    max_queue_depth: int = 64
+    max_queued_per_tenant: int | None = None
+    shed_lower_priority: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if (
+            self.max_queued_per_tenant is not None
+            and self.max_queued_per_tenant < 1
+        ):
+            raise ValueError("max_queued_per_tenant must be >= 1 (or None)")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule for handler-failure retries."""
+
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.backoff_base_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def delay_s(self, retry_index: int) -> float:
+        """Sleep before retry number ``retry_index`` (0-based)."""
+        return min(
+            self.backoff_base_s * self.backoff_factor ** max(0, int(retry_index)),
+            self.max_backoff_s,
+        )
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Per-tenant circuit-breaker thresholds."""
+
+    failure_threshold: int = 3
+    cooldown_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker: closed → open → half-open → closed.
+
+    The state machine the hypothesis suite pins:
+
+    - *closed*: everything allowed; ``failure_threshold`` consecutive
+      failures (no intervening success) trip it open.
+    - *open*: nothing allowed until ``cooldown_s`` elapses, then the next
+      :meth:`allow` observes *half-open*.
+    - *half-open*: probes allowed; the first success closes the breaker
+      (full reset), the first failure re-opens it with a fresh cooldown.
+
+    There is deliberately no terminal "stuck" state: from any state, a
+    cooldown plus one successful probe always returns to closed.
+    """
+
+    def __init__(
+        self,
+        policy: BreakerPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or BreakerPolicy()
+        self._clock = clock
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.policy.cooldown_s:
+            return "half_open"
+        return "open"
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """May this tenant submit right now?"""
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        if self.state == "half_open":
+            # Failed probe: re-open with a fresh cooldown.
+            self._opened_at = self._clock()
+            return
+        self._consecutive_failures += 1
+        if (
+            self._opened_at is None
+            and self._consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._opened_at = self._clock()
+
+
+class FairShareQueue:
+    """Per-tenant FIFO lanes drained round-robin; priority within a lane.
+
+    ``pop`` serves tenants in rotating order (each pop advances the
+    rotation), so a tenant that floods the queue still only gets one slot
+    per full rotation. Within a tenant's lane, the highest-priority job
+    wins, FIFO among equals. All operations are O(queued) — queues are
+    admission-bounded, so scans stay trivially small.
+    """
+
+    def __init__(self) -> None:
+        self._lanes: dict[str, list[Job]] = {}
+        self._rotation: list[str] = []
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def depth(self, tenant: str) -> int:
+        return len(self._lanes.get(tenant, ()))
+
+    def tenants(self) -> list[str]:
+        return [t for t in self._rotation if self._lanes.get(t)]
+
+    def push(self, job: Job) -> None:
+        tenant = job.request.tenant
+        if tenant not in self._lanes:
+            self._lanes[tenant] = []
+            self._rotation.append(tenant)
+        self._lanes[tenant].append(job)
+
+    def pop(self) -> Job | None:
+        """Next job under fair-share rotation, or None when empty."""
+        active = self.tenants()
+        if not active:
+            return None
+        tenant = active[0]
+        # Advance the rotation: the served tenant goes to the back.
+        self._rotation.remove(tenant)
+        self._rotation.append(tenant)
+        lane = self._lanes[tenant]
+        best = max(range(len(lane)), key=lambda i: (lane[i].request.priority, -i))
+        return lane.pop(best)
+
+    def lowest_priority(self) -> Job | None:
+        """Shedding candidate: globally lowest priority, newest first.
+
+        The newest of the lowest-priority jobs is evicted — the oldest has
+        waited longest and keeps its place.
+        """
+        candidate: Job | None = None
+        for lane in self._lanes.values():
+            for job in lane:
+                if (
+                    candidate is None
+                    or job.request.priority < candidate.request.priority
+                    or (
+                        job.request.priority == candidate.request.priority
+                        and job.submitted_at >= candidate.submitted_at
+                    )
+                ):
+                    candidate = job
+        return candidate
+
+    def remove(self, job: Job) -> bool:
+        lane = self._lanes.get(job.request.tenant)
+        if lane is None or job not in lane:
+            return False
+        lane.remove(job)
+        return True
+
+
+class AdmissionController:
+    """Combines queue bounds, per-tenant quotas, shedding, and breakers.
+
+    The single invariant everything else hangs off: after any sequence of
+    :meth:`admit` / :meth:`next_job` / :meth:`record_result` calls,
+    ``len(self.queue) <= policy.max_queue_depth``.
+    """
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy | None = None,
+        breaker_policy: BreakerPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self.breaker_policy = breaker_policy or BreakerPolicy()
+        self._clock = clock
+        self.queue = FairShareQueue()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, tenant: str) -> CircuitBreaker:
+        if tenant not in self._breakers:
+            self._breakers[tenant] = CircuitBreaker(
+                self.breaker_policy, clock=self._clock
+            )
+        return self._breakers[tenant]
+
+    def admit(self, job: Job) -> Job | None:
+        """Queue ``job`` or raise :class:`JobRejected`.
+
+        Returns the job shed to make room (already removed from the
+        queue), or None when no eviction was needed. The caller owns
+        marking the shed job rejected and notifying its subscribers.
+        """
+        tenant = job.request.tenant
+        if not self.breaker(tenant).allow():
+            raise JobRejected(
+                "circuit_open",
+                f"tenant {tenant!r} is cooling down after repeated failures",
+            )
+        if (
+            self.policy.max_queued_per_tenant is not None
+            and self.queue.depth(tenant) >= self.policy.max_queued_per_tenant
+        ):
+            raise JobRejected(
+                "tenant_quota",
+                f"tenant {tenant!r} already has "
+                f"{self.queue.depth(tenant)} queued jobs",
+            )
+        shed: Job | None = None
+        if len(self.queue) >= self.policy.max_queue_depth:
+            victim = (
+                self.queue.lowest_priority()
+                if self.policy.shed_lower_priority
+                else None
+            )
+            if (
+                victim is not None
+                and victim.request.priority < job.request.priority
+            ):
+                self.queue.remove(victim)
+                shed = victim
+            else:
+                raise JobRejected(
+                    "queue_full",
+                    f"depth={len(self.queue)} "
+                    f"(max {self.policy.max_queue_depth})",
+                )
+        self.queue.push(job)
+        return shed
+
+    def next_job(self) -> Job | None:
+        """Dequeue the next job under fair-share rotation."""
+        return self.queue.pop()
+
+    def record_result(self, tenant: str, ok: bool) -> None:
+        """Feed a job's terminal outcome into the tenant's breaker."""
+        if ok:
+            self.breaker(tenant).record_success()
+        else:
+            self.breaker(tenant).record_failure()

@@ -1,0 +1,160 @@
+"""Durable, crash-safe job journal (append-only JSONL).
+
+The journal is the service's write-ahead log: every lifecycle edge of every
+job — submission (with the full JSON request), admission, start, progress
+watermarks, retries, and the terminal state — is appended *before* the
+in-memory state moves on. Appends go through
+:func:`repro.obs.atomicio.atomic_append_line` under the cross-process
+advisory lock, so a SIGKILL at any instant leaves either the previous
+journal or the previous journal plus one complete line — never a torn
+record — and concurrent writers (a second runtime sharing the journal
+directory) cannot interleave.
+
+:meth:`JobJournal.replay` folds the event log into one
+:class:`JournalEntry` per job. Entries whose last event is non-terminal are
+exactly the jobs a restarted runtime must recover: their requests are
+reconstructed from the submission record and re-enqueued, and their engine
+checkpoints (keyed by the stable job id) take over from the last durable
+watermark. Records are schema-versioned and loaded leniently — unknown
+fields are ignored, malformed lines skipped — so old readers survive new
+writers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..obs.atomicio import atomic_append_line
+from .job import TERMINAL_STATES, JobRequest, JobState
+
+__all__ = ["JOURNAL_SCHEMA_VERSION", "JobJournal", "JournalEntry"]
+
+#: Bump when the event layout changes incompatibly; readers keep ignoring
+#: unknown fields either way.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Events that carry a job's terminal state.
+_TERMINAL_EVENTS = frozenset(state.value for state in TERMINAL_STATES)
+
+
+@dataclass
+class JournalEntry:
+    """Folded view of one job after replaying its journal events."""
+
+    job_id: str
+    request: JobRequest | None = None
+    state: str = JobState.SUBMITTED.value
+    submitted_at: float = 0.0
+    attempts: int = 0
+    progress_completed: int = 0
+    result_summary: dict[str, Any] = field(default_factory=dict)
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL_EVENTS
+
+    @property
+    def recoverable(self) -> bool:
+        """In-flight at crash time with enough journaled state to rebuild."""
+        return not self.terminal and self.request is not None
+
+
+class JobJournal:
+    """Append-only JSONL write-ahead log of job lifecycle events."""
+
+    def __init__(self, path: Any) -> None:
+        self.path = Path(path)
+
+    # -- write -----------------------------------------------------------
+    def record(
+        self,
+        event: str,
+        job_id: str,
+        payload: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Durably append one event line (atomic + cross-process locked)."""
+        line = json.dumps(
+            {
+                "schema_version": JOURNAL_SCHEMA_VERSION,
+                "ts": time.time(),
+                "event": str(event),
+                "job_id": str(job_id),
+                "payload": dict(payload or {}),
+            },
+            sort_keys=True,
+        )
+        atomic_append_line(self.path, line)
+
+    # -- read ------------------------------------------------------------
+    def events(self) -> list[dict[str, Any]]:
+        """Every parseable event, in append order (malformed lines skipped)."""
+        if not self.path.exists():
+            return []
+        out: list[dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a non-atomic writer
+                if isinstance(payload, dict) and payload.get("event"):
+                    out.append(payload)
+        return out
+
+    def replay(self) -> dict[str, JournalEntry]:
+        """Fold the event log into the latest per-job state, in job order.
+
+        The fold is tolerant by construction: events for jobs whose
+        submission line is missing (pre-truncated journals) still produce
+        an entry, just one that is not :attr:`~JournalEntry.recoverable`.
+        """
+        entries: dict[str, JournalEntry] = {}
+        for record in self.events():
+            job_id = str(record["job_id"])
+            event = str(record["event"])
+            payload = record.get("payload") or {}
+            entry = entries.setdefault(job_id, JournalEntry(job_id=job_id))
+            entry.events.append(event)
+            if event == "submitted":
+                try:
+                    entry.request = JobRequest.from_dict(
+                        payload.get("request", {})
+                    )
+                except (TypeError, ValueError):
+                    entry.request = None
+                entry.submitted_at = float(record.get("ts", 0.0))
+            elif event == "started":
+                entry.attempts = int(payload.get("attempt", entry.attempts)) + 1
+                entry.state = JobState.RUNNING.value
+            elif event == "progress":
+                entry.progress_completed = int(
+                    payload.get("completed", entry.progress_completed)
+                )
+            elif event == "queued":
+                entry.state = JobState.QUEUED.value
+            elif event in _TERMINAL_EVENTS:
+                entry.state = event
+                entry.result_summary = dict(payload)
+            # "retrying", "deduplicated", "recovered", ... only append to
+            # entry.events — the next started/terminal event carries state.
+        return entries
+
+    def in_flight(self) -> list[JournalEntry]:
+        """Recoverable (accepted, non-terminal) jobs, in submission order."""
+        return [
+            entry for entry in self.replay().values() if entry.recoverable
+        ]
+
+    def __len__(self) -> int:
+        return len(self.events())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JobJournal({str(self.path)!r}, events={len(self)})"

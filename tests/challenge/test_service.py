@@ -1,0 +1,73 @@
+"""The debugging challenge served through the job runtime."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.challenge import (
+    DebuggingChallenge,
+    leaderboard_request,
+    register_challenge,
+    submission_request,
+)
+from repro.service import AdmissionPolicy, JobRuntime, JobState
+
+
+@pytest.fixture(scope="module")
+def challenge():
+    return DebuggingChallenge(n=80, cleaning_budget=20)
+
+
+def test_submissions_and_leaderboard_roundtrip(challenge):
+    async def main():
+        runtime = JobRuntime(policy=AdmissionPolicy(max_queue_depth=16))
+        register_challenge(runtime, challenge)
+        async with runtime:
+            errors = challenge.reveal_errors()[:5].tolist()
+            alice = runtime.submit(submission_request("alice", errors))
+            bob = runtime.submit(submission_request("bob", [0]))
+            alice_out = await alice.wait()
+            bob_out = await bob.wait()
+            board = await runtime.submit(leaderboard_request()).wait()
+        assert alice_out["n_cleaned"] == 5
+        assert 0.0 <= alice_out["hidden_test_accuracy"] <= 1.0
+        assert bob_out["participant"] == "bob"
+        names = [entry["participant"] for entry in board["standings"]]
+        assert set(names) == {"alice", "bob"}
+        assert board["standings"][0]["rank"] == 1
+        assert board["baseline_accuracy"] == challenge.baseline_accuracy
+
+    asyncio.run(main())
+
+
+def test_submissions_never_dedup_but_leaderboard_reads_do(challenge):
+    async def main():
+        runtime = JobRuntime(max_concurrency=1)
+        register_challenge(runtime, challenge)
+        async with runtime:
+            first = runtime.submit(submission_request("carol", [1]))
+            second = runtime.submit(submission_request("carol", [1]))
+            assert first is not second  # every attempt spends real budget
+            await first.wait(), await second.wait()
+
+            poll_a = runtime.submit(leaderboard_request(tenant="carol"))
+            poll_b = runtime.submit(leaderboard_request(tenant="dave"))
+            # Identical pure reads share one execution across tenants.
+            assert poll_a is poll_b and poll_a.subscribers == 2
+            await poll_a.wait()
+        assert all(
+            job.state in (JobState.COMPLETED, JobState.DEGRADED)
+            for job in runtime.jobs.values()
+        )
+
+    asyncio.run(main())
+
+
+def test_participant_is_the_tenant(challenge):
+    request = submission_request("erin", [2], priority=3)
+    assert request.tenant == "erin"
+    assert request.priority == 3
+    assert request.dedup is False
+    assert request.params["row_ids"] == [2]

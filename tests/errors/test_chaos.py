@@ -212,3 +212,62 @@ class TestWorkerFaults:
         assert fault.row_id == 3  # row_id carries the chunk ordinal
         monkey.reset()
         assert monkey.triggered == []
+
+
+class TestJobFaults:
+    def test_job_faults_fire_first_attempt_only(self):
+        monkey = ChaosMonkey(seed=1, job_crash_jobs=[4])
+        assert monkey.job_fault(4, attempt=0) == "job_crash"
+        assert monkey.job_fault(4, attempt=1) is None
+        assert monkey.job_fault(3, attempt=0) is None
+
+    def test_job_fault_decisions_are_deterministic(self):
+        decisions = [ChaosMonkey(seed=9, job_crash_rate=0.3).job_fault(i, 0) for i in range(60)]
+        again = [ChaosMonkey(seed=9, job_crash_rate=0.3).job_fault(i, 0) for i in range(60)]
+        assert decisions == again
+        assert "job_crash" in decisions  # 30% over 60 jobs fires somewhere
+
+    def test_job_rates_do_not_perturb_operator_or_worker_decisions(self):
+        plain = ChaosMonkey(seed=3, error_rate=0.2, worker_crash_rate=0.2)
+        with_jobs = ChaosMonkey(
+            seed=3, error_rate=0.2, worker_crash_rate=0.2, job_crash_rate=0.5
+        )
+        rows = list(range(80))
+        assert [plain.decide(0, r) for r in rows] == [
+            with_jobs.decide(0, r) for r in rows
+        ]
+        assert [plain.worker_fault(i, 0) for i in rows] == [
+            with_jobs.worker_fault(i, 0) for i in rows
+        ]
+
+    def test_apply_job_fault_raises_and_records(self):
+        monkey = ChaosMonkey(job_crash_jobs=[0])
+        with pytest.raises(ChaosError, match="job #0"):
+            monkey.apply_job_fault(0, attempt=0)
+        (fault,) = monkey.triggered
+        assert (fault.node_kind, fault.kind, fault.row_id) == ("job", "job_crash", 0)
+        monkey.apply_job_fault(0, attempt=1)  # retry passes clean
+
+    def test_slow_tenant_delays_every_attempt(self):
+        import time as _time
+
+        monkey = ChaosMonkey(slow_tenants=["noisy"], tenant_delay_s=0.02)
+        start = _time.perf_counter()
+        monkey.apply_job_fault(0, attempt=0, tenant="noisy")
+        monkey.apply_job_fault(0, attempt=1, tenant="noisy")
+        assert _time.perf_counter() - start >= 0.04
+        assert [f.kind for f in monkey.triggered] == ["slow_tenant"] * 2
+        before = len(monkey.triggered)
+        monkey.apply_job_fault(1, attempt=0, tenant="quiet")
+        assert len(monkey.triggered) == before  # other tenants untouched
+
+    def test_planned_job_faults_matches_decisions(self):
+        monkey = ChaosMonkey(seed=2, job_crash_rate=0.25)
+        planned = monkey.planned_job_faults(40)
+        for kind, jobs in planned.items():
+            for job_ord in jobs:
+                assert monkey.job_fault(job_ord, 0) == kind
+
+    def test_job_crash_rate_validation(self):
+        with pytest.raises(ValueError, match="job_crash_rate"):
+            ChaosMonkey(job_crash_rate=1.5)

@@ -325,11 +325,13 @@ class TestBudgetDegradation:
         assert len(result.extras["stderr"]) == 10
 
     def test_validation(self):
+        # Negative budgets are caller bugs; zero budgets are a legitimate
+        # "already out of budget" state (see TestZeroBudgets below).
         engine = ValuationEngine(saturating_game())
         with pytest.raises(ValueError):
-            engine.run_permutations(10, deadline_s=0.0)
+            engine.run_permutations(10, deadline_s=-0.1)
         with pytest.raises(ValueError):
-            engine.run_permutations(10, max_evals=0)
+            engine.run_permutations(10, max_evals=-1)
 
 
 # ---------------------------------------------------------------------- #
@@ -387,3 +389,122 @@ class TestSubsetResume:
             banzhaf_mc(
                 saturating_game(), n_samples=21, seed=2, checkpoint=ck, resume=True
             )
+
+
+# ---------------------------------------------------------------------- #
+# zero budgets and progress snapshots (service-layer contracts)          #
+# ---------------------------------------------------------------------- #
+
+
+class TestZeroBudgets:
+    """`deadline_s=0` / `max_evals=0` return immediately with a well-formed
+    empty partial result — the contract the service runtime leans on for
+    jobs whose deadline expired while they were queued."""
+
+    def test_zero_deadline_returns_immediately(self):
+        calls = []
+        game = saturating_game()
+        original = game.evaluate
+
+        def counting(indices):
+            calls.append(tuple(indices))
+            return original(indices)
+
+        game.evaluate = counting
+        run = ValuationEngine(game).run_permutations(50, seed=1, deadline_s=0.0)
+        assert calls == []  # not a single utility evaluation
+        assert run.stop_reason == "deadline"
+        assert not run.converged
+        assert run.n_permutations == 0
+        assert np.array_equal(run.values(), np.zeros(game.n_train))
+        assert np.all(np.isfinite(run.stderr()))
+
+    def test_zero_max_evals_returns_immediately(self):
+        run = ValuationEngine(saturating_game()).run_permutations(
+            50, seed=1, max_evals=0
+        )
+        assert run.stop_reason == "eval_budget"
+        assert run.n_permutations == 0 and run.n_evaluations == 0
+        assert np.all(np.isfinite(run.values()))
+
+    def test_zero_budget_with_truncation_skips_anchor_evals(self):
+        # truncation_tolerance normally forces a full-coalition anchor
+        # evaluation; a zero budget must skip even that.
+        run = ValuationEngine(saturating_game()).run_permutations(
+            50, seed=1, truncation_tolerance=0.1, max_evals=0
+        )
+        assert run.n_evaluations == 0
+        assert run.stop_reason == "eval_budget"
+
+class TestProgressCallback:
+    def test_wave_boundary_snapshots(self):
+        snapshots = []
+        run = ValuationEngine(saturating_game()).run_permutations(
+            20, seed=2, check_every=5, progress_callback=snapshots.append
+        )
+        completed = [s["completed"] for s in snapshots]
+        assert completed == [5, 10, 15, 20]
+        assert all(s["target"] == 20 for s in snapshots)
+        # The last snapshot matches the final result bit-for-bit.
+        assert np.array_equal(snapshots[-1]["values"], run.values())
+        assert snapshots[-1]["n_evaluations"] == run.n_evaluations
+        evals = [s["n_evaluations"] for s in snapshots]
+        assert evals == sorted(evals)
+
+    def test_progress_does_not_perturb_values(self):
+        plain = ValuationEngine(saturating_game()).run_permutations(20, seed=2)
+        observed = ValuationEngine(saturating_game()).run_permutations(
+            20, seed=2, progress_callback=lambda s: None
+        )
+        assert np.array_equal(plain.values(), observed.values())
+
+
+# ---------------------------------------------------------------------- #
+# retention (keep_last pruning of wave archives)                         #
+# ---------------------------------------------------------------------- #
+
+
+class TestRetention:
+    def test_keep_last_bounds_archives(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json", keep_last=2)
+        for wave in range(1, 6):
+            store.save({"completed": wave * 5, "config_fingerprint": "fp"})
+        names = [path.name for path in store.archives()]
+        assert names == ["ck.json.wave00000020", "ck.json.wave00000025"]
+        assert store.load()["completed"] == 25  # primary is always newest
+
+    def test_resume_unaffected_by_pruning(self, tmp_path):
+        ck = tmp_path / "ck.json"
+        game = saturating_game()
+        interrupted = ValuationEngine(game, checkpoint=CheckpointStore(ck, keep_last=1))
+        interrupted.run_permutations(20, seed=7, check_every=5, max_evals=60)
+        store = CheckpointStore(ck, keep_last=1)
+        assert len(store.archives()) == 1  # superseded waves pruned
+        resumed = ValuationEngine(
+            saturating_game(), checkpoint=CheckpointStore(ck, keep_last=1),
+            resume=True,
+        ).run_permutations(20, seed=7, check_every=5)
+        uninterrupted = ValuationEngine(saturating_game()).run_permutations(
+            20, seed=7, check_every=5
+        )
+        assert resumed.resumed_from > 0
+        assert np.array_equal(resumed.values(), uninterrupted.values())
+
+    def test_clear_removes_archives_too(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json", keep_last=3)
+        for wave in range(3):
+            store.save({"completed": wave})
+        store.clear()
+        assert not store.exists() and store.archives() == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_keep_last_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_last"):
+            CheckpointStore(tmp_path / "ck.json", keep_last=0)
+
+    def test_default_keeps_no_archives(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ck.json")
+        store.save({"completed": 1})
+        store.save({"completed": 2})
+        assert store.archives() == []
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]

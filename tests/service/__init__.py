@@ -1,0 +1,1 @@
+"""Tests for the valuation-as-a-service job runtime."""

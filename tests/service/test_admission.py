@@ -1,0 +1,168 @@
+"""Admission control: fair share, bounded depth, shedding, circuit breaking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    AdmissionController,
+    AdmissionPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    FairShareQueue,
+    Job,
+    JobRejected,
+    JobRequest,
+    RetryPolicy,
+)
+
+
+def job(tenant="t", priority=0, ident="j"):
+    return Job(ident, JobRequest(kind="v", tenant=tenant, priority=priority))
+
+
+class TestFairShareQueue:
+    def test_round_robin_across_tenants(self):
+        queue = FairShareQueue()
+        # Tenant a floods; b and c each queue one job.
+        for i in range(4):
+            queue.push(job("a", ident=f"a{i}"))
+        queue.push(job("b", ident="b0"))
+        queue.push(job("c", ident="c0"))
+        order = [queue.pop().job_id for _ in range(6)]
+        # Every tenant is served once per rotation: b and c never wait
+        # behind a's backlog.
+        assert order == ["a0", "b0", "c0", "a1", "a2", "a3"]
+
+    def test_priority_within_lane_fifo_among_equals(self):
+        queue = FairShareQueue()
+        queue.push(job("t", priority=0, ident="low"))
+        queue.push(job("t", priority=5, ident="hi-first"))
+        queue.push(job("t", priority=5, ident="hi-second"))
+        assert [queue.pop().job_id for _ in range(3)] == [
+            "hi-first", "hi-second", "low",
+        ]
+
+    def test_lowest_priority_prefers_newest(self):
+        queue = FairShareQueue()
+        old = job("a", priority=0, ident="old")
+        queue.push(old)
+        new = job("b", priority=0, ident="new")
+        new.submitted_at = old.submitted_at + 1.0
+        queue.push(new)
+        queue.push(job("c", priority=3, ident="high"))
+        assert queue.lowest_priority().job_id == "new"
+
+    def test_remove(self):
+        queue = FairShareQueue()
+        target = job("t", ident="x")
+        queue.push(target)
+        assert queue.remove(target) and len(queue) == 0
+        assert not queue.remove(target)
+
+
+class TestAdmissionController:
+    def test_queue_full_rejects_equal_priority(self):
+        controller = AdmissionController(AdmissionPolicy(max_queue_depth=2))
+        controller.admit(job(ident="a"))
+        controller.admit(job(ident="b"))
+        with pytest.raises(JobRejected, match="queue_full"):
+            controller.admit(job(ident="c"))
+        assert len(controller.queue) == 2
+
+    def test_higher_priority_sheds_the_lowest(self):
+        controller = AdmissionController(AdmissionPolicy(max_queue_depth=2))
+        controller.admit(job(priority=0, ident="victim"))
+        controller.admit(job(priority=5, ident="keeper"))
+        shed = controller.admit(job(priority=3, ident="vip"))
+        assert shed.job_id == "victim"
+        assert len(controller.queue) == 2  # bound holds through the swap
+
+    def test_shedding_requires_strictly_higher_priority(self):
+        controller = AdmissionController(AdmissionPolicy(max_queue_depth=1))
+        controller.admit(job(priority=2, ident="incumbent"))
+        with pytest.raises(JobRejected, match="queue_full"):
+            controller.admit(job(priority=2, ident="peer"))
+
+    def test_shedding_can_be_disabled(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_queue_depth=1, shed_lower_priority=False)
+        )
+        controller.admit(job(priority=0))
+        with pytest.raises(JobRejected, match="queue_full"):
+            controller.admit(job(priority=9))
+
+    def test_tenant_quota(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_queue_depth=10, max_queued_per_tenant=1)
+        )
+        controller.admit(job("greedy", ident="a"))
+        with pytest.raises(JobRejected, match="tenant_quota"):
+            controller.admit(job("greedy", ident="b"))
+        controller.admit(job("other", ident="c"))  # other tenants unaffected
+
+    def test_open_breaker_rejects_submissions(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            AdmissionPolicy(max_queue_depth=10),
+            BreakerPolicy(failure_threshold=2, cooldown_s=5.0),
+            clock=clock,
+        )
+        controller.record_result("t", ok=False)
+        controller.record_result("t", ok=False)
+        with pytest.raises(JobRejected, match="circuit_open"):
+            controller.admit(job("t"))
+        controller.admit(job("other"))  # breakers are per tenant
+        clock.now += 5.0
+        controller.admit(job("t"))  # half-open lets a probe through
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_full_cycle(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=3, cooldown_s=10.0), clock=clock
+        )
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # below threshold
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        clock.now += 10.0
+        assert breaker.state == "half_open" and breaker.allow()
+        breaker.record_failure()  # failed probe re-opens with fresh cooldown
+        assert breaker.state == "open"
+        clock.now += 10.0
+        breaker.record_success()  # successful probe closes fully
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2))
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_with_cap(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0, max_backoff_s=0.5)
+        assert [policy.delay_s(i) for i in range(4)] == [0.1, 0.2, 0.4, 0.5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)

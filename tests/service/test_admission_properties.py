@@ -1,0 +1,159 @@
+"""Property-based pinning of the backpressure and breaker state machines.
+
+Random submit/pop/fail/succeed sequences must never violate the queue
+bound, lose a job silently, or leave a circuit breaker permanently stuck.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.service import (
+    AdmissionController,
+    AdmissionPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    Job,
+    JobRejected,
+    JobRequest,
+)
+
+
+class SteppableClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class AdmissionMachine(RuleBasedStateMachine):
+    """Every admission outcome is explicit and the depth bound is hard."""
+
+    MAX_DEPTH = 5
+
+    def __init__(self):
+        super().__init__()
+        self.clock = SteppableClock()
+        self.controller = AdmissionController(
+            AdmissionPolicy(max_queue_depth=self.MAX_DEPTH),
+            BreakerPolicy(failure_threshold=3, cooldown_s=10.0),
+            clock=self.clock,
+        )
+        self.seq = 0
+        self.departed = 0  # popped + shed + rejected
+
+    @rule(
+        tenant=st.sampled_from(["a", "b", "c"]),
+        priority=st.integers(min_value=0, max_value=3),
+    )
+    def submit(self, tenant, priority):
+        self.seq += 1
+        job = Job(
+            f"j{self.seq}",
+            JobRequest(kind="v", tenant=tenant, priority=priority),
+        )
+        before = len(self.controller.queue)
+        try:
+            shed = self.controller.admit(job)
+        except JobRejected as exc:
+            assert exc.reason in ("queue_full", "circuit_open")
+            assert len(self.controller.queue) == before  # rejection is a no-op
+            self.departed += 1
+            return
+        if shed is not None:
+            self.departed += 1
+        # Shedding swaps one job for another; plain admission grows by one.
+        expected = before + (1 if shed is None else 0)
+        assert len(self.controller.queue) == expected
+
+    @rule()
+    def pop(self):
+        job = self.controller.next_job()
+        if job is not None:
+            self.departed += 1
+
+    @rule(tenant=st.sampled_from(["a", "b", "c"]), ok=st.booleans())
+    def finish(self, tenant, ok):
+        self.controller.record_result(tenant, ok)
+
+    @rule(dt=st.floats(min_value=0.0, max_value=20.0))
+    def advance_time(self, dt):
+        self.clock.now += dt
+
+    @invariant()
+    def queue_bound_is_hard(self):
+        assert len(self.controller.queue) <= self.MAX_DEPTH
+
+    @invariant()
+    def no_job_vanishes(self):
+        # queued-now plus everything that left through an explicit door
+        # (pop, shed, reject) accounts for every submission.
+        assert len(self.controller.queue) + self.departed == self.seq
+
+    @invariant()
+    def breakers_are_never_stuck_open_forever(self):
+        for breaker in self.controller._breakers.values():
+            if breaker.state == "open":
+                # A cooldown away from allowing probes again.
+                saved = self.clock.now
+                # Tiny epsilon absorbs float accumulation in the fake clock.
+                self.clock.now += breaker.policy.cooldown_s + 1e-6
+                assert breaker.allow()
+                self.clock.now = saved
+
+
+TestAdmissionMachine = AdmissionMachine.TestCase
+TestAdmissionMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+
+
+@given(
+    outcomes=st.lists(st.booleans(), min_size=1, max_size=60),
+    threshold=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=100, deadline=None)
+def test_breaker_recovers_after_any_history(outcomes, threshold):
+    """From any random success/failure history, cooldown + one successful
+    probe always returns the breaker to closed."""
+    clock = SteppableClock()
+    breaker = CircuitBreaker(
+        BreakerPolicy(failure_threshold=threshold, cooldown_s=7.0), clock=clock
+    )
+    for ok in outcomes:
+        if ok:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+        clock.now += 0.5
+    clock.now += 7.0
+    assert breaker.allow()  # at worst half-open, never hard-stuck
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+
+@given(outcomes=st.lists(st.booleans(), min_size=1, max_size=60))
+@settings(max_examples=100, deadline=None)
+def test_breaker_only_opens_at_consecutive_threshold(outcomes):
+    """The breaker opens iff some window of 3 consecutive failures occurs
+    with no intervening success (and no cooldown elapses: time is frozen)."""
+    breaker = CircuitBreaker(
+        BreakerPolicy(failure_threshold=3, cooldown_s=1e9),
+        clock=lambda: 0.0,
+    )
+    streak = 0
+    tripped = False
+    for ok in outcomes:
+        if ok:
+            breaker.record_success()
+            streak = 0
+        else:
+            breaker.record_failure()
+            streak += 1
+        if streak >= 3:
+            tripped = True
+            break  # an open breaker ignores further bookkeeping here
+    assert (breaker.state == "open") == tripped

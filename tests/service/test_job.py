@@ -1,0 +1,128 @@
+"""Job model: request fingerprints, lifecycle state machine, streaming."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    TERMINAL_STATES,
+    Job,
+    JobRejected,
+    JobRequest,
+    JobState,
+)
+
+
+class TestJobRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobRequest(kind="")
+        with pytest.raises(ValueError):
+            JobRequest(kind="v", deadline_s=-1.0)
+        with pytest.raises(ValueError):
+            JobRequest(kind="v", max_retries=-1)
+        JobRequest(kind="v", deadline_s=0.0)  # zero budget is legal
+
+    def test_config_fingerprint_covers_kind_and_params_only(self):
+        base = JobRequest(kind="v", params={"n": 5, "seed": 1})
+        same_compute = JobRequest(
+            kind="v", params={"seed": 1, "n": 5},  # key order irrelevant
+            tenant="other", priority=7, deadline_s=3.0, max_retries=2,
+        )
+        assert base.config_fingerprint() == same_compute.config_fingerprint()
+        assert (
+            base.config_fingerprint()
+            != JobRequest(kind="v", params={"n": 6, "seed": 1}).config_fingerprint()
+        )
+        assert (
+            base.config_fingerprint()
+            != JobRequest(kind="w", params={"n": 5, "seed": 1}).config_fingerprint()
+        )
+
+    def test_dedup_key_includes_dataset_fingerprint(self):
+        a = JobRequest(kind="v", params={"n": 5}, dataset_fingerprint="abc")
+        b = JobRequest(kind="v", params={"n": 5}, dataset_fingerprint="xyz")
+        c = JobRequest(kind="v", params={"n": 5}, dataset_fingerprint="abc")
+        assert a.dedup_key() == c.dedup_key()
+        assert a.dedup_key() != b.dedup_key()
+
+    def test_dict_roundtrip_ignores_unknown_fields(self):
+        request = JobRequest(
+            kind="v", params={"n": 5}, tenant="t", priority=2,
+            deadline_s=1.5, max_retries=1, dataset_fingerprint="fp",
+            dedup=False,
+        )
+        payload = request.to_dict()
+        payload["from_the_future"] = True
+        assert JobRequest.from_dict(payload) == request
+
+
+class TestJobLifecycle:
+    def test_terminal_is_final(self):
+        job = Job("j1", JobRequest(kind="v"))
+        job.transition(JobState.QUEUED)
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.COMPLETED)
+        assert job.done and job.finished_at is not None
+        for state in JobState:
+            with pytest.raises(RuntimeError, match="already terminal"):
+                job.transition(state)
+
+    def test_every_terminal_state_resolves_waiters(self):
+        async def run(state):
+            job = Job("j", JobRequest(kind="v"))
+            job.result = "r"
+            job.reject_reason = "queue_full"
+            job.error = "boom"
+            job.transition(state)
+            return await job.wait()
+
+        assert asyncio.run(run(JobState.COMPLETED)) == "r"
+        assert asyncio.run(run(JobState.DEGRADED)) == "r"
+        with pytest.raises(JobRejected, match="queue_full"):
+            asyncio.run(run(JobState.REJECTED))
+        with pytest.raises(RuntimeError, match="boom"):
+            asyncio.run(run(JobState.FAILED))
+
+    def test_stream_fans_out_and_replays_latest_to_late_joiners(self):
+        async def run():
+            job = Job("j", JobRequest(kind="v"))
+            job.transition(JobState.RUNNING)
+            job.publish_progress({"completed": 1})
+
+            async def consume():
+                return [s["completed"] async for s in job.stream()]
+
+            late = asyncio.create_task(consume())
+            await asyncio.sleep(0)  # let the subscriber attach
+            job.publish_progress({"completed": 2})
+            job.transition(JobState.COMPLETED)
+            return await late
+
+        # The late joiner sees the replayed latest snapshot, then live ones.
+        assert asyncio.run(run()) == [1, 2]
+
+    def test_latency_accounting(self):
+        job = Job("j", JobRequest(kind="v"))
+        assert job.queue_wait_s is None and job.latency_s is None
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.DEGRADED)
+        assert job.queue_wait_s >= 0.0
+        assert job.latency_s >= job.queue_wait_s
+
+    def test_summary_is_jsonable(self):
+        import json
+
+        job = Job("j", JobRequest(kind="v", tenant="t"))
+        job.transition(JobState.REJECTED)
+        assert json.loads(json.dumps(job.summary()))["state"] == "rejected"
+
+    def test_terminal_states_cover_exactly_the_final_states(self):
+        assert TERMINAL_STATES == {
+            JobState.COMPLETED,
+            JobState.DEGRADED,
+            JobState.FAILED,
+            JobState.REJECTED,
+        }

@@ -1,0 +1,86 @@
+"""Write-ahead job journal: durability, replay folding, recovery set."""
+
+from __future__ import annotations
+
+import json
+
+from repro.service import JobJournal, JobRequest
+
+
+def submit(journal: JobJournal, job_id: str, **kwargs) -> JobRequest:
+    request = JobRequest(kind="v", **kwargs)
+    journal.record("submitted", job_id, {"request": request.to_dict()})
+    return request
+
+
+class TestRecordAndReplay:
+    def test_events_in_append_order(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        submit(journal, "a")
+        journal.record("queued", "a")
+        journal.record("started", "a", {"attempt": 0})
+        assert [e["event"] for e in journal.events()] == [
+            "submitted", "queued", "started",
+        ]
+        assert len(journal) == 3
+
+    def test_replay_folds_to_latest_state(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        request = submit(journal, "a", params={"n": 3}, tenant="t")
+        journal.record("queued", "a")
+        journal.record("started", "a", {"attempt": 0})
+        journal.record("progress", "a", {"completed": 4, "target": 10})
+        journal.record("retrying", "a", {"attempt": 0})
+        journal.record("started", "a", {"attempt": 1})
+        entry = journal.replay()["a"]
+        assert entry.request == request
+        assert entry.state == "running"
+        assert entry.attempts == 2
+        assert entry.progress_completed == 4
+        assert not entry.terminal and entry.recoverable
+
+    def test_terminal_events_close_the_entry(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        for job_id, terminal in [
+            ("a", "completed"), ("b", "degraded"),
+            ("c", "failed"), ("d", "rejected"),
+        ]:
+            submit(journal, job_id)
+            journal.record(terminal, job_id, {"latency_s": 0.1})
+        entries = journal.replay()
+        assert all(entry.terminal for entry in entries.values())
+        assert journal.in_flight() == []
+        assert entries["a"].result_summary == {"latency_s": 0.1}
+
+    def test_in_flight_returns_only_recoverable_jobs(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        submit(journal, "done")
+        journal.record("completed", "done")
+        submit(journal, "queued-at-crash")
+        journal.record("queued", "queued-at-crash")
+        submit(journal, "running-at-crash")
+        journal.record("started", "running-at-crash", {"attempt": 0})
+        # A stray event without its submission record (truncated journal):
+        journal.record("queued", "orphan")
+        in_flight = [entry.job_id for entry in journal.in_flight()]
+        assert in_flight == ["queued-at-crash", "running-at-crash"]
+
+    def test_malformed_and_foreign_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = JobJournal(path)
+        submit(journal, "a")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn": \n')
+            handle.write("not json at all\n")
+            handle.write('{"event": "", "job_id": "x"}\n')  # empty event
+        journal.record("completed", "a")
+        assert [e["event"] for e in journal.events()] == ["submitted", "completed"]
+        assert journal.replay()["a"].terminal
+
+    def test_records_are_schema_versioned_sorted_json(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        JobJournal(path).record("submitted", "a", {"z": 1, "a": 2})
+        record = json.loads(path.read_text().strip())
+        assert record["schema_version"] == 1
+        assert list(record) == sorted(record)
+        assert record["payload"] == {"z": 1, "a": 2}
