@@ -14,11 +14,17 @@ methods widens with n; TMC's retraining count grows *sub-linearly* (the
 truncation savings grow with n).
 
 The second experiment (T-engine) exercises the shared valuation engine's
-two cost levers on the same MC-Shapley workload: process fan-out
-(``n_workers``) and subset memoization (a warm cache turns repeat
-valuations into pure lookups). All engine configurations produce
-bit-identical values by construction; only the wall-clock and the
-evaluation accounting change.
+cost levers on the same MC-Shapley workload: process fan-out
+(``n_workers``), subset memoization (a warm cache turns repeat
+valuations into pure lookups), and the persistent shared-memory worker
+pool (fork-per-run fan-out paid process creation and a cache snapshot on
+every call; the pool pays them once and streams only chunk descriptors).
+All engine configurations produce bit-identical values by construction —
+including the evaluation census — and only the wall-clock changes.
+
+The pool speedup gates are hardware-conditioned: they only bind when the
+machine actually has ``ENGINE_WORKERS`` cores (CI runners do; a 1-core
+sandbox reports the ratios without asserting them).
 
 Sizes are env-tunable so CI can smoke-test the bench in seconds:
 ``REPRO_BENCH_SIZES=30,60`` and ``REPRO_BENCH_ENGINE_N=24``
@@ -34,6 +40,7 @@ from repro.datasets import make_classification
 from repro.importance import (
     Utility,
     ValuationEngine,
+    WorkerPool,
     influence_importance,
     knn_shapley,
     loo_importance,
@@ -60,6 +67,14 @@ MC_PERMUTATIONS = 3
 ENGINE_N = int(os.environ.get("REPRO_BENCH_ENGINE_N", "80"))
 ENGINE_PERMUTATIONS = int(os.environ.get("REPRO_BENCH_ENGINE_PERMS", "8"))
 ENGINE_WORKERS = 4
+
+
+def _effective_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def time_methods(n: int) -> dict:
@@ -166,6 +181,28 @@ def run_engine_sweep() -> list[dict]:
     # Same engine again: every subset the permutation scan needs is cached.
     warm = _timed_run(fanned_engine, f"parallel{ENGINE_WORKERS}_warm")
 
+    # The persistent pool: processes forked and arrays published ONCE
+    # (pool_setup_s, reported separately — it amortizes over every later
+    # run), then the cold run streams only chunk descriptors.
+    pool_utility = _engine_task()
+    setup_start = time.perf_counter()
+    pool = WorkerPool(pool_utility, n_workers=ENGINE_WORKERS)
+    pool_setup_s = time.perf_counter() - setup_start
+    pool_cold = _timed_run(
+        ValuationEngine(pool_utility, n_workers=ENGINE_WORKERS, pool=pool),
+        f"pool{ENGINE_WORKERS}_cold",
+    )
+    pool_cold["pool_setup_s"] = round(pool_setup_s, 4)
+    pool_cold["pool_mode"] = pool.mode
+    # A *fresh* engine on the same warm pool: the workers' local caches
+    # (kept coherent by the journal) answer everything — the service
+    # runtime's repeat-job case.
+    pool_warm = _timed_run(
+        ValuationEngine(_engine_task(), n_workers=ENGINE_WORKERS, pool=pool),
+        f"pool{ENGINE_WORKERS}_warm",
+    )
+    pool.close()
+
     # A convergence-stopped run on a fresh engine, for the stopping column.
     converged_engine = ValuationEngine(_engine_task(), n_workers=1)
     start = time.perf_counter()
@@ -177,7 +214,7 @@ def run_engine_sweep() -> list[dict]:
         check_every=ENGINE_PERMUTATIONS,
         engine=converged_engine,
     )
-    rows = [serial, fanned, warm]
+    rows = [serial, fanned, warm, pool_cold, pool_warm]
     rows.append(
         {
             "config": "serial_converged",
@@ -196,15 +233,28 @@ def run_engine_sweep() -> list[dict]:
 
 def test_engine_speedup(benchmark, write_report):
     rows = benchmark.pedantic(run_engine_sweep, rounds=1, iterations=1)
-    serial, fanned, warm, converged = rows
+    serial, fanned, warm, pool_cold, pool_warm, converged = rows
 
     # Determinism across every configuration: bit-identical values.
-    assert np.array_equal(serial["values"], fanned["values"])
-    assert np.array_equal(serial["values"], warm["values"])
+    for row in (fanned, warm, pool_cold, pool_warm):
+        assert np.array_equal(serial["values"], row["values"])
+    # ... and a bit-identical evaluation census: the pooled cold run
+    # retrains exactly as often as serial (duplicate subsets evaluated by
+    # independent workers are charged once, like any other cache hit).
+    assert pool_cold["n_evaluations"] == serial["n_evaluations"]
+    # A fresh engine on the warm pool retrains nothing at all.
+    assert pool_warm["n_evaluations"] == 0
 
+    cores = _effective_cores()
     speedups = {
         "fanout_speedup": serial["_elapsed"] / max(fanned["_elapsed"], 1e-9),
         "warm_cache_speedup": serial["_elapsed"] / max(warm["_elapsed"], 1e-9),
+        "pool_cold_speedup": serial["_elapsed"]
+        / max(pool_cold["_elapsed"], 1e-9),
+        "pool_warm_speedup": serial["_elapsed"]
+        / max(pool_warm["_elapsed"], 1e-9),
+        "pool_vs_fork_cold": fanned["_elapsed"]
+        / max(pool_cold["_elapsed"], 1e-9),
     }
     report_rows = []
     for row in rows:
@@ -213,11 +263,14 @@ def test_engine_speedup(benchmark, write_report):
         }
         report_rows.append(cleaned)
     summary = dict(
-        speedups,
+        {k: round(v, 4) for k, v in speedups.items()},
         n_train=ENGINE_N,
         n_permutations=ENGINE_PERMUTATIONS,
         n_workers=ENGINE_WORKERS,
+        effective_cores=cores,
+        pool_mode=pool_cold["pool_mode"],
         identical_values=True,
+        identical_census=True,
     )
     text = format_records(report_rows) + "\n" + format_records([summary])
     write_report(
@@ -232,6 +285,12 @@ def test_engine_speedup(benchmark, write_report):
     # Memoization at n_workers=4 beats the cold serial path ≥ 2×. (Fan-out
     # speedup is reported, not asserted: it depends on available cores.)
     assert speedups["warm_cache_speedup"] >= 2.0
+    # The pool's cold-start gates only bind on hardware that can actually
+    # run ENGINE_WORKERS processes at once — CI runners can; a single-core
+    # sandbox just reports the ratios. Smoke sizes (tiny chunks, fixed
+    # per-chunk overhead) get the softer CI gate; real sizes must hit 3x.
+    if cores >= ENGINE_WORKERS:
+        assert speedups["pool_cold_speedup"] > (1.5 if SMOKE else 3.0)
     # Convergence stopping must spend fewer evaluations than its budget
     # (8× the base permutation count) would imply.
     assert converged["n_permutations_run"] <= ENGINE_PERMUTATIONS * 8

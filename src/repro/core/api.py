@@ -36,6 +36,7 @@ from ..importance.beta_shapley import beta_shapley_mc
 from ..importance.checkpoint import CheckpointStore
 from ..importance.engine import DEFAULT_CACHE_SIZE, ValuationEngine, ValuationResult
 from ..importance.knn_shapley import knn_shapley
+from ..importance.pool import PoolRegistry, WorkerPool, valuation_pool
 from ..importance.shapley import shapley_mc
 from ..importance.utility import Utility
 from ..obs import (
@@ -83,6 +84,9 @@ __all__ = [
     "banzhaf_values",
     "beta_shapley_values",
     "valuation_engine",
+    "valuation_pool",
+    "WorkerPool",
+    "PoolRegistry",
     "pretty_print",
     "show_query_plan",
     "with_provenance",
@@ -189,6 +193,7 @@ def valuation_engine(
     cache_size: int = DEFAULT_CACHE_SIZE,
     checkpoint=None,
     resume: bool = False,
+    pool: Any | None = None,
 ) -> ValuationEngine:
     """A shared Monte-Carlo valuation engine over the scenario featurisation.
 
@@ -201,6 +206,11 @@ def valuation_engine(
         shap = nde.shapley_values(train_df_err, valid_df, engine=engine)
         banz = nde.banzhaf_values(train_df_err, valid_df, engine=engine)
         engine.cache.stats()   # hits / misses / evictions / hit_rate
+
+    ``pool=True`` gives the engine its own persistent
+    :class:`~repro.importance.WorkerPool` (shared-memory data plane, no
+    fork-per-run); inside a :func:`valuation_pool` block the default
+    (``pool=None``) leases a warm pool from the registry automatically.
 
     ``checkpoint=`` (a file path) makes valuation runs snapshot their
     accumulator state at wave boundaries; ``resume=True`` restores a killed
@@ -220,6 +230,7 @@ def valuation_engine(
         cache_size=cache_size,
         checkpoint=checkpoint,
         resume=resume,
+        pool=pool,
     )
 
 
@@ -242,6 +253,7 @@ def shapley_values(
     return_result: bool = False,
     model: Estimator | None = None,
     engine: ValuationEngine | None = None,
+    pool: Any | None = None,
 ) -> np.ndarray | ImportanceResult:
     """Per-training-row Monte-Carlo (TMC) Shapley importance.
 
@@ -250,7 +262,9 @@ def shapley_values(
     processes (the values do not depend on the worker count),
     ``cache_size`` bounds the subset-utility memo, and
     ``convergence_tolerance`` stops sampling once every point's standard
-    error is below it.
+    error is below it. ``pool=`` (or an enclosing :func:`valuation_pool`
+    block) runs the fan-out on a persistent shared-memory worker pool
+    instead of forking a fleet per call.
 
     ``deadline_s``/``max_evals`` degrade gracefully: when the budget runs
     out mid-run the best current estimate comes back instead of an
@@ -265,7 +279,7 @@ def shapley_values(
         engine = valuation_engine(
             train_df, validation, label_column=label_column, model=model,
             n_workers=n_workers, cache_size=cache_size,
-            checkpoint=checkpoint, resume=resume,
+            checkpoint=checkpoint, resume=resume, pool=pool,
         )
     result = shapley_mc(
         None,
@@ -295,17 +309,20 @@ def banzhaf_values(
     return_result: bool = False,
     model: Estimator | None = None,
     engine: ValuationEngine | None = None,
+    pool: Any | None = None,
 ) -> np.ndarray | ImportanceResult:
     """Per-training-row Banzhaf importance (MSR estimator) on the engine.
 
     ``checkpoint``/``resume`` snapshot the evaluated subset utilities in
     waves, so a killed run resumes without re-paying for finished subsets.
+    ``pool=`` (or an enclosing :func:`valuation_pool` block) runs subset
+    evaluation on a persistent shared-memory worker pool.
     """
     if engine is None:
         engine = valuation_engine(
             train_df, validation, label_column=label_column, model=model,
             n_workers=n_workers, cache_size=cache_size,
-            checkpoint=checkpoint, resume=resume,
+            checkpoint=checkpoint, resume=resume, pool=pool,
         )
     result = banzhaf_mc(None, n_samples=n_samples, seed=seed, engine=engine)
     return result if return_result else result.values
@@ -331,17 +348,18 @@ def beta_shapley_values(
     return_result: bool = False,
     model: Estimator | None = None,
     engine: ValuationEngine | None = None,
+    pool: Any | None = None,
 ) -> np.ndarray | ImportanceResult:
     """Per-training-row Beta(α, β)-Shapley importance on the engine.
 
-    Shares :func:`shapley_values`' budget (``deadline_s``/``max_evals``)
-    and checkpoint/resume semantics.
+    Shares :func:`shapley_values`' budget (``deadline_s``/``max_evals``),
+    checkpoint/resume, and ``pool=`` semantics.
     """
     if engine is None:
         engine = valuation_engine(
             train_df, validation, label_column=label_column, model=model,
             n_workers=n_workers, cache_size=cache_size,
-            checkpoint=checkpoint, resume=resume,
+            checkpoint=checkpoint, resume=resume, pool=pool,
         )
     result = beta_shapley_mc(
         None,
@@ -557,14 +575,18 @@ def job_runtime(
     label_column: str = "sentiment",
     model: Estimator | None = None,
     n_workers: int = 1,
+    pool: Any | None = None,
 ) -> JobRuntime:
     """A ready-to-serve :class:`~repro.service.JobRuntime` (the nde facade).
 
     Wires up admission control (``max_queue_depth``, per-tenant quota),
     per-tenant circuit breakers (``failure_threshold``/``cooldown_s``),
-    the crash-safe job journal, and per-job checkpointing. When
-    ``train_df``/``validation`` are given, a ``"valuation"`` handler over
-    the scenario featurisation is registered too, so::
+    the crash-safe job journal, and per-job checkpointing. ``pool=4``
+    (an int, or a :class:`PoolRegistry`) gives valuation jobs a warm
+    shared-memory worker-pool registry: sequential jobs over the same
+    dataset fingerprint reuse one long-lived fleet instead of forking per
+    run. When ``train_df``/``validation`` are given, a ``"valuation"``
+    handler over the scenario featurisation is registered too, so::
 
         runtime = nde.job_runtime(journal="svc.jsonl", checkpoint_dir="ck",
                                   train_df=train_df_err, validation=valid_df)
@@ -590,6 +612,7 @@ def job_runtime(
             failure_threshold=failure_threshold, cooldown_s=cooldown_s
         ),
         max_concurrency=max_concurrency,
+        pool=pool,
         chaos=chaos,
     )
     if train_df is not None and validation is not None:

@@ -45,6 +45,13 @@ from .engine import (
     parallel_map,
 )
 from .gopher import FairnessExplanation, Predicate, gopher_explanations
+from .pool import (
+    PoolRegistry,
+    PoolUnavailable,
+    WorkerPool,
+    valuation_pool,
+)
+from .shm import SharedArrayBundle, reap_stale_segments
 from .influence import influence_importance, per_sample_gradients, tracin_importance
 from .knn_shapley import knn_shapley, knn_shapley_brute_force, knn_utility
 from .loo import loo_importance
@@ -76,6 +83,12 @@ __all__ = [
     "ChunkFailure",
     "DeadlinePolicy",
     "SupervisionStats",
+    "PoolRegistry",
+    "PoolUnavailable",
+    "WorkerPool",
+    "valuation_pool",
+    "SharedArrayBundle",
+    "reap_stale_segments",
     "RetrievalCorpus",
     "rag_importance",
     "Utility",

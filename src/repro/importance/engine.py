@@ -72,6 +72,7 @@ which caching and sharding legitimately change.
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
 import time
 import warnings
 from bisect import insort
@@ -84,7 +85,13 @@ import numpy as np
 from ..obs import metrics as _obs_metrics
 from ..obs import trace as _obs
 from .checkpoint import CheckpointStore, config_fingerprint
-from .supervision import ChunkDispatcher, DeadlinePolicy, SupervisionStats
+from .pool import PoolUnavailable, WorkerPool, active_map_pool, current_registry
+from .supervision import (
+    ChunkDispatcher,
+    ChunkFailure,
+    DeadlinePolicy,
+    SupervisionStats,
+)
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
@@ -102,34 +109,56 @@ DEFAULT_CACHE_SIZE = 32768
 
 _MISSING = object()
 
-# Fork-based pools inherit the parent's memory, so utilities holding
-# closures, frames, or fitted transformers need no pickling. Platforms
-# without fork (Windows/macOS-spawn) fall back to serial execution — loudly,
-# via a single RuntimeWarning per process (see _warn_no_fork).
+# Fork-based fan-out inherits the parent's memory, so utilities holding
+# closures, frames, or fitted transformers need no pickling. On platforms
+# without fork (Windows/macOS-spawn) the *pool* still runs — shared memory
+# plus picklable chunk descriptors cross a spawn boundary — and only the
+# modes that genuinely cannot degrade to serial, loudly, one RuntimeWarning
+# per mode per process (see _warn_no_fork).
 _FORK_CTX = (
     mp.get_context("fork") if "fork" in mp.get_all_start_methods() else None
 )
 
-_WARNED_NO_FORK = False
+#: Degradation modes already warned about in this process. A set, not a
+#: bool: "your per-call fan-out went serial" and "your worker pool could
+#: not be built" are different surprises and each deserves its own (single)
+#: warning.
+_WARNED_NO_FORK: set[str] = set()
+
+_NO_FORK_DETAILS = {
+    "engine": (
+        "engine fan-out (n_workers > 1) fell back to serial execution: the "
+        "'fork' start method is unavailable and no worker pool could serve "
+        "this utility. Results are identical, only slower. A picklable "
+        "model/metric (or a valuation_pool() context) restores parallelism "
+        "via the shared-memory spawn pool."
+    ),
+    "map": (
+        "parallel_map fell back to a serial loop: the 'fork' start method "
+        "is unavailable and no open worker pool could run the function. "
+        "Results are identical, only slower."
+    ),
+    "pool": (
+        "a worker pool was requested but cannot serve this utility on this "
+        "platform (arrays not shareable or model/metric not picklable, and "
+        "'fork' is unavailable); falling back to per-call fan-out or serial "
+        "execution. Results are identical, only slower."
+    ),
+}
 
 
-def _warn_no_fork() -> None:
-    """One warning per process when parallelism was requested without fork.
+def _warn_no_fork(mode: str = "engine") -> None:
+    """One warning per degradation mode per process.
 
     Silent behavioral divergence between platforms is the failure mode this
-    guards: on spawn-only platforms (Windows, macOS default) the engine and
-    :func:`parallel_map` produce identical *values* serially, but the user
-    asked for a fleet and should know they did not get one.
+    guards: on spawn-only platforms the engine and :func:`parallel_map`
+    produce identical *values*, but the user asked for a fleet and should
+    know exactly which execution mode they did not get.
     """
-    global _WARNED_NO_FORK
-    if not _WARNED_NO_FORK:
-        _WARNED_NO_FORK = True
+    if mode not in _WARNED_NO_FORK:
+        _WARNED_NO_FORK.add(mode)
         warnings.warn(
-            "the multiprocessing 'fork' start method is unavailable on this "
-            "platform; valuation parallelism (n_workers > 1) falls back to "
-            "serial execution. Results are identical, only slower.",
-            RuntimeWarning,
-            stacklevel=3,
+            _NO_FORK_DETAILS[mode], RuntimeWarning, stacklevel=3
         )
 
 
@@ -389,6 +418,18 @@ class ValuationEngine:
         Chunk granularity of each fan-out: more chunks per worker means
         finer re-queue units and better latency-quantile estimates at
         slightly more dispatch overhead. Does not affect returned values.
+    pool:
+        Where fan-outs execute. ``None`` (default): lease from the active
+        :func:`~repro.importance.pool.valuation_pool` registry when one is
+        installed, else fall back to per-call forked fleets. ``True``:
+        eagerly create an engine-owned
+        :class:`~repro.importance.pool.WorkerPool` (released by
+        :meth:`close` / the engine's context manager; raises
+        :class:`~repro.importance.pool.PoolUnavailable` if impossible). A
+        :class:`~repro.importance.pool.WorkerPool` instance: borrow it
+        (caller keeps ownership). ``False``: never use a pool, even under
+        an active registry. Returned values are bit-identical in every
+        mode.
     chaos:
         Optional :class:`repro.errors.chaos.ChaosMonkey` whose seeded
         *worker-level* faults (crash-on-chunk, hang-on-chunk) are injected
@@ -408,6 +449,7 @@ class ValuationEngine:
         max_chunk_retries: int = 3,
         max_worker_restarts: int = 32,
         chunks_per_worker: int = 2,
+        pool: Any | None = None,
         chaos: Any | None = None,
     ) -> None:
         if n_workers < 1:
@@ -431,6 +473,24 @@ class ValuationEngine:
         self.chaos = chaos
         #: Lifetime supervision counters (crashes, hangs, retries, restarts).
         self.supervision = SupervisionStats()
+        # -- execution substrate ---------------------------------------- #
+        self._pool: WorkerPool | None = None
+        self._owns_pool = False
+        self._pool_disabled = pool is False
+        if pool is True:
+            self._pool = WorkerPool(
+                utility,
+                n_workers=self.n_workers,
+                ledger=ledger,
+                chunk_timeout_s=chunk_timeout_s,
+                hang_factor=self.hang_factor,
+                max_chunk_retries=self.max_chunk_retries,
+                max_worker_restarts=self.max_worker_restarts,
+                chaos=chaos,
+            )
+            self._owns_pool = True
+        elif isinstance(pool, WorkerPool):
+            self._adopt_pool(pool)
 
     @property
     def n_train(self) -> int:
@@ -443,12 +503,48 @@ class ValuationEngine:
 
     def stats(self) -> dict:
         """Cache + evaluation accounting, in the shape estimators report."""
+        pool = self._pool
         return {
             "cache": self.cache.stats(),
             "n_evaluations": int(self.utility.n_evaluations),
             "n_workers": self.n_workers,
             "supervision": self.supervision.to_dict(),
+            "pool": pool.stats() if pool is not None and not pool.closed else None,
         }
+
+    def close(self) -> None:
+        """Release an engine-owned pool; borrowed/leased pools stay open."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ValuationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def use_pool(self, pool: WorkerPool) -> None:
+        """Borrow ``pool`` for subsequent fan-outs (caller keeps ownership).
+
+        The hook the service runtime uses to hand sequential jobs over the
+        same dataset one warm pool instead of a fleet per job.
+        """
+        if self._owns_pool and self._pool is not None and not self._pool.closed:
+            raise RuntimeError("engine already owns a live pool")
+        self._adopt_pool(pool)
+        self._owns_pool = False
+        self._pool_disabled = False
+
+    def _adopt_pool(self, pool: WorkerPool) -> None:
+        """Take ``pool`` as the fan-out substrate and absorb its warmth.
+
+        The pool's journal (every subset value any of its workers ever
+        reported) is replayed into this engine's cache, so driver-side
+        evaluations — the full-set utility for truncation thresholds,
+        point :meth:`evaluate` calls — are as warm as the fleet.
+        """
+        self._pool = pool
+        pool.warm_cache(self.cache)
 
     # ------------------------------------------------------------------ #
     # observability                                                      #
@@ -594,20 +690,44 @@ class ValuationEngine:
                     len(pending), self.n_workers * self.chunks_per_worker
                 )
                 self._pool_metrics(bounds)
-                state = {
-                    "utility": self.utility,
-                    "cache": self.cache.snapshot(),
-                    "keys": pending,
-                    "chaos": self.chaos,
-                }
-                with self._make_dispatcher(state, _subset_chunk) as dispatcher:
-                    results = dispatcher.dispatch(bounds)
-                for start, chunk_values, new_entries, evals, counters in results:
-                    for key, value in zip(
-                        pending[start : start + len(chunk_values)], chunk_values
-                    ):
-                        values[key] = value
-                    self._merge_worker(new_entries, evals, counters, count_lookups=False)
+                pool = self._resolve_pool()
+                if pool is not None:
+                    pool.sync_cache(self.cache._data)
+                    payloads = [
+                        {"kind": "subset", "keys": pending[a:b]}
+                        for a, b in bounds
+                    ]
+                    results = pool.dispatch(
+                        payloads, on_event=self._pool_event
+                    )
+                    self.supervision.chunks_completed += len(payloads)
+                    for (a, b), result in zip(bounds, results):
+                        __, chunk_values, entries, evals, counters, __m = result
+                        self._merge_worker(
+                            dict(entries), evals, counters, count_lookups=False
+                        )
+                        # A warm worker may have answered from its local
+                        # cache (no new entry); the driver memo still
+                        # learns every requested subset.
+                        for key, value in zip(pending[a:b], chunk_values):
+                            values[key] = value
+                            self.cache.put(key, value)
+                    pool.sync_cache(self.cache._data)
+                else:
+                    state = {
+                        "utility": self.utility,
+                        "cache": self.cache.snapshot(),
+                        "keys": pending,
+                        "chaos": self.chaos,
+                    }
+                    with self._make_dispatcher(state, _subset_chunk) as dispatcher:
+                        results = dispatcher.dispatch(bounds)
+                    for start, chunk_values, new_entries, evals, counters in results:
+                        for key, value in zip(
+                            pending[start : start + len(chunk_values)], chunk_values
+                        ):
+                            values[key] = value
+                        self._merge_worker(new_entries, evals, counters, count_lookups=False)
             self._record_stats_delta(stats_before)
             return np.asarray([values[key] for key in keys])
 
@@ -789,7 +909,10 @@ class ValuationEngine:
             or progress_callback is not None
         )
         wave = max(1, int(check_every)) if bounded else n_permutations
-        dispatcher = None
+        # Either a WorkerPool (persistent fleet, shared-memory data plane)
+        # or a per-run ChunkDispatcher (legacy fork-per-run) — or None for
+        # serial. _scan_range routes on the type.
+        executor: WorkerPool | ChunkDispatcher | None = None
 
         def save_checkpoint(finished: bool) -> None:
             if store is None:
@@ -815,17 +938,19 @@ class ValuationEngine:
 
         try:
             if not exhausted_at_entry and self._parallel(n_permutations - scanned):
-                state = {
-                    "utility": self.utility,
-                    "cache": self.cache.snapshot(),
-                    "orderings": orderings,
-                    "weights": weights,
-                    "truncation_tolerance": truncation_tolerance,
-                    "null": null,
-                    "full": full,
-                    "chaos": self.chaos,
-                }
-                dispatcher = self._make_dispatcher(state, _permutation_chunk)
+                executor = self._resolve_pool()
+                if executor is None:
+                    state = {
+                        "utility": self.utility,
+                        "cache": self.cache.snapshot(),
+                        "orderings": orderings,
+                        "weights": weights,
+                        "truncation_tolerance": truncation_tolerance,
+                        "null": null,
+                        "full": full,
+                        "chaos": self.chaos,
+                    }
+                    executor = self._make_dispatcher(state, _permutation_chunk)
             start = scanned
             while start < n_permutations:
                 # Budgets already exhausted (e.g. a resumed run handed the
@@ -843,7 +968,7 @@ class ValuationEngine:
                 with _obs.span("engine.wave", start=start, stop=stop) as wave_span:
                     deltas, wave_truncated = self._scan_range(
                         orderings, start, stop, weights, truncation_tolerance,
-                        null, full, dispatcher,
+                        null, full, executor,
                     )
                     # Accumulate one permutation at a time so the FP summation
                     # order matches the serial path for every worker count.
@@ -913,8 +1038,9 @@ class ValuationEngine:
                     and max_stderr <= convergence_tolerance
                 )
         finally:
-            if dispatcher is not None:
-                dispatcher.close()
+            # Per-run dispatchers die with the run; a pool outlives it.
+            if isinstance(executor, ChunkDispatcher):
+                executor.close()
             if _obs.enabled():
                 run_span.set(
                     n_permutations_run=scanned,
@@ -936,6 +1062,11 @@ class ValuationEngine:
                     "n_permutations": n_permutations,
                     "seed": seed,
                     "n_workers": self.n_workers,
+                    "pool_mode": (
+                        executor.mode
+                        if isinstance(executor, WorkerPool)
+                        else None
+                    ),
                     "antithetic": antithetic,
                     "truncation_tolerance": truncation_tolerance,
                     "convergence_tolerance": convergence_tolerance,
@@ -993,6 +1124,11 @@ class ValuationEngine:
                 "cache": self.cache.stats(),
                 "supervision": self.supervision.to_dict(),
                 "n_workers": self.n_workers,
+                "pool": (
+                    self._pool.stats()
+                    if self._pool is not None and not self._pool.closed
+                    else None
+                ),
             },
         )
 
@@ -1003,10 +1139,52 @@ class ValuationEngine:
     def _parallel(self, n_tasks: int) -> bool:
         if self.n_workers <= 1 or n_tasks <= 1:
             return False
+        if self._resolve_pool() is not None:
+            return True
         if _FORK_CTX is None:
-            _warn_no_fork()
+            _warn_no_fork("engine")
             return False
         return True
+
+    def _resolve_pool(self) -> WorkerPool | None:
+        """The pool fan-outs run on: owned, borrowed, or registry-leased."""
+        pool = self._pool
+        if pool is not None and not pool.closed:
+            return pool
+        if self._pool_disabled or self._owns_pool:
+            # pool=False, or an owned pool this engine already closed.
+            return None
+        registry = current_registry()
+        if registry is not None:
+            try:
+                self._adopt_pool(registry.lease(self.utility, self.n_workers))
+                return self._pool
+            except PoolUnavailable:
+                _warn_no_fork("pool")
+                self._pool_disabled = True
+                return None
+        return None
+
+    def _pool_event(self, kind: str, chunk_ord: int, attempt: int) -> None:
+        """Mirror a pool-run chunk's supervision events into this engine.
+
+        The pool's dispatcher accumulates into the *pool's* stats; engines
+        borrowing the fleet still need their own lifetime counters (ledger
+        events, census, ``worker_restarts``) to reflect what happened to
+        their chunks.
+        """
+        if kind == "crash":
+            self.supervision.crashes += 1
+        elif kind == "hang":
+            self.supervision.hangs += 1
+        elif kind == "retry":
+            self.supervision.chunk_retries += 1
+        elif kind == "restart":
+            self.supervision.worker_restarts += 1
+        self.supervision.events.append(
+            {"kind": kind, "chunk": chunk_ord, "attempt": attempt}
+        )
+        self._supervision_event(kind, chunk_ord, attempt)
 
     def _make_dispatcher(
         self, state: dict, task_fn: Callable[[dict, Any], Any]
@@ -1059,9 +1237,9 @@ class ValuationEngine:
         truncation_tolerance: float,
         null: float,
         full: float | None,
-        dispatcher: ChunkDispatcher | None,
+        executor: "WorkerPool | ChunkDispatcher | None",
     ) -> tuple[np.ndarray, int]:
-        if dispatcher is None:
+        if executor is None:
             return _scan_orderings(
                 lambda key: self.evaluate(key),
                 orderings[start:stop],
@@ -1070,14 +1248,43 @@ class ValuationEngine:
                 null,
                 full,
             )
-        bounds = [
-            (start + a, start + b)
-            for a, b in _chunk_bounds(
-                stop - start, self.n_workers * self.chunks_per_worker
-            )
-        ]
+        bounds = _chunk_bounds(
+            stop - start, self.n_workers * self.chunks_per_worker
+        )
         self._pool_metrics(bounds)
-        results = dispatcher.dispatch(bounds)
+        if isinstance(executor, WorkerPool):
+            # Stream chunk descriptors only: the orderings slice plus scan
+            # knobs. The dataset crossed once, at pool creation; the
+            # driver's cache warmth rides along as journal deltas.
+            executor.sync_cache(self.cache._data)
+            payloads = [
+                {
+                    "kind": "permutation",
+                    "orderings": orderings[start + a : start + b],
+                    "weights": weights,
+                    "truncation_tolerance": truncation_tolerance,
+                    "null": null,
+                    "full": full,
+                }
+                for a, b in bounds
+            ]
+            results = executor.dispatch(payloads, on_event=self._pool_event)
+            self.supervision.chunks_completed += len(payloads)
+            deltas = np.concatenate([item[1] for item in results], axis=0)
+            truncated = 0
+            for __, __d, chunk_truncated, entries, evals, counters, __m in results:
+                truncated += chunk_truncated
+                self._merge_worker(
+                    dict(entries), evals, counters, count_lookups=True
+                )
+            # Post-merge sync: entries one worker evaluated reach its peers
+            # (and future engines leasing this pool) via the journal, so a
+            # warm pool answers from memory fleet-wide, not per process.
+            executor.sync_cache(self.cache._data)
+            return deltas, truncated
+        results = executor.dispatch(
+            [(start + a, start + b) for a, b in bounds]
+        )
         deltas = np.concatenate([item[1] for item in results], axis=0)
         truncated = 0
         for __, __deltas, chunk_truncated, new_entries, evals, counters in results:
@@ -1088,13 +1295,30 @@ class ValuationEngine:
     def _merge_worker(
         self, new_entries: dict, evals: int, counters: list, count_lookups: bool
     ) -> None:
-        """Fold one worker chunk's cache entries and accounting into ours."""
+        """Fold one worker chunk's cache entries and accounting into ours.
+
+        The evaluation census is charged per subset *newly learned by the
+        driver*, not per worker-side utility call: two workers holding
+        independent caches can both evaluate the same subset in one wave,
+        and charging raw worker counts made the parallel census drift from
+        serial (the 632-vs-633 ``n_evaluations`` artifact in the old
+        benchmark results). Physically duplicated work is still visible as
+        the ``engine.pool.duplicate_evals`` counter. Lookup accounting is
+        normalized the same way, so hit/miss totals match the serial scan.
+        """
+        duplicates = 0
         for key, value in new_entries.items():
+            if key in self.cache._data:
+                duplicates += 1
             self.cache.put(key, value)
-        self.utility.n_evaluations += int(evals)
+        charged = max(0, int(evals) - duplicates)
+        self.utility.n_evaluations += charged
+        if duplicates and _obs.enabled():
+            _obs_metrics.counter("engine.pool.duplicate_evals").inc(duplicates)
         if count_lookups:
-            self.cache.hits += int(counters[0])
-            self.cache.misses += int(counters[1])
+            extra_hits = max(0, int(counters[1]) - charged)
+            self.cache.hits += int(counters[0]) + extra_hits
+            self.cache.misses += int(counters[1]) - extra_hits
 
 
 # ---------------------------------------------------------------------- #
@@ -1110,23 +1334,45 @@ def _map_one(index: int):
 
 
 def parallel_map(func: Callable, items: Sequence, n_workers: int = 1) -> list:
-    """``[func(x) for x in items]`` fanned out over forked workers.
+    """``[func(x) for x in items]`` fanned out over worker processes.
 
-    Order-preserving. Falls back to a serial loop when ``n_workers <= 1``,
-    when fork is unavailable (with a single ``RuntimeWarning`` per
-    process), or for trivially small inputs. Because workers are forked,
-    ``func`` may be a closure over arbitrary state (frames, fitted models)
-    without being picklable — only the *returned* values must pickle.
+    Order-preserving. When a :class:`~repro.importance.pool.WorkerPool` is
+    open (e.g. inside a :func:`~repro.importance.pool.valuation_pool`
+    block) and ``func`` pickles, the map runs on that persistent fleet —
+    no per-call forking at all. Otherwise a forked fleet is created for
+    the call; because those workers are forked, ``func`` may then be a
+    closure over arbitrary state (frames, fitted models) without being
+    picklable — only the *returned* values must pickle. Falls back to a
+    serial loop when ``n_workers <= 1``, when neither a pool nor fork is
+    available (with a single ``RuntimeWarning`` per process), or for
+    trivially small inputs.
     """
     items = list(items)
-    if n_workers > 1 and _FORK_CTX is None:
-        _warn_no_fork()
-    if n_workers <= 1 or _FORK_CTX is None or len(items) <= 1:
+    if n_workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    pool = active_map_pool()
+    if pool is not None:
+        try:
+            pickle.dumps(func)
+        except Exception:
+            # Closure over unpicklable state: the persistent fleet cannot
+            # receive it; fall through to fork-per-call (or serial).
+            pool = None
+    if pool is not None:
+        try:
+            return pool.map(func, items, n_chunks=min(n_workers, len(items)))
+        except ChunkFailure:
+            # The fleet kept failing on this function (e.g. it unpickles
+            # only in the driver); a per-call forked fleet inherits it
+            # directly, so fall through rather than give up.
+            pool = None
+    if _FORK_CTX is None:
+        _warn_no_fork("map")
         return [func(item) for item in items]
     global _MAP_STATE
     _MAP_STATE = (func, items)
     try:
-        with _FORK_CTX.Pool(processes=min(n_workers, len(items))) as pool:
-            return pool.map(_map_one, range(len(items)))
+        with _FORK_CTX.Pool(processes=min(n_workers, len(items))) as mp_pool:
+            return mp_pool.map(_map_one, range(len(items)))
     finally:
         _MAP_STATE = None

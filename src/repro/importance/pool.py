@@ -1,0 +1,802 @@
+"""Persistent worker pool for the valuation engine.
+
+The engine's original fan-out forked a fresh fleet per call: every
+``run_permutations`` / ``evaluate_many`` paid process creation, a subset
+cache snapshot, and (on worker restart) re-inheriting the whole driver
+address space. ``benchmarks/results/engine_speedup.json`` recorded the
+bill — a cold "speedup" *below 1×*. This module replaces that with the
+amortized substrate the Datascope line of work presupposes:
+
+:class:`WorkerPool`
+    A long-lived, supervised fleet created **once**. The training and
+    validation arrays are published a single time into a
+    :class:`~repro.importance.shm.SharedArrayBundle`; workers rebuild the
+    utility around zero-copy read-only views and keep a process-local
+    subset cache that persists across waves, runs, and even across
+    engines sharing the pool. After creation, the driver streams only
+    small *chunk descriptors* — ordering slices, subset keys, seeds/knobs
+    — over the existing :class:`~repro.importance.supervision.ChunkDispatcher`
+    pipes. A crashed or hung worker is replaced by a process that
+    *re-attaches* to the shared segments instead of re-copying the
+    dataset, and the driver replays its subset-cache journal so the
+    replacement warms straight back up.
+
+:class:`PoolRegistry` and :func:`valuation_pool`
+    Pools keyed by utility fingerprint (dataset bytes + model + metric), so
+    sequential jobs on the same dataset — the service runtime's common
+    case — reuse one warm pool instead of paying setup per job. The
+    context manager installs a process-wide registry that
+    :class:`~repro.importance.engine.ValuationEngine` (and therefore every
+    ``nde.*_values`` facade) leases from automatically.
+
+Cache coherence keeps the driver's cache the single source of truth:
+workers report every newly evaluated subset back with their chunk results,
+the driver merges them (charging the evaluation census only for subsets it
+did not already know — so the census stays bit-identical to serial), and a
+monotone journal of merged entries is replayed to each worker via per-slot
+watermarks piggybacked on chunk descriptors. Results are merged in chunk
+order, so values are bit-identical to serial for any worker count, any
+start method, and any crash/retry history.
+
+Start methods: ``fork`` is preferred (cheap worker replacement). On
+spawn-only platforms the pool still runs — shared memory plus picklable
+chunk descriptors need no fork — provided the utility's model/metric
+pickle; otherwise pool construction raises :class:`PoolUnavailable` and
+the engine degrades loudly (see ``_warn_no_fork`` in the engine module).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+import weakref
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _obs
+from .checkpoint import config_fingerprint
+from .shm import SHM_AVAILABLE, SharedArrayBundle, shareable_arrays
+from .supervision import ChunkDispatcher, DeadlinePolicy, SupervisionStats
+
+__all__ = [
+    "PoolUnavailable",
+    "WorkerPool",
+    "PoolRegistry",
+    "valuation_pool",
+    "current_registry",
+    "active_map_pool",
+    "utility_fingerprint",
+]
+
+#: Journal compaction threshold: when the merged-entry journal exceeds
+#: this, the oldest half is dropped (workers that never received those
+#: entries simply re-evaluate on demand; the census stays correct because
+#: the driver charges per *newly learned* subset, not per worker call).
+_JOURNAL_CAP = 65536
+
+#: Arrays a standard :class:`~repro.importance.utility.Utility` carries.
+_UTILITY_ARRAYS = ("x_train", "y_train", "x_valid", "y_valid")
+
+
+class PoolUnavailable(RuntimeError):
+    """A worker pool cannot run this utility on this platform."""
+
+
+# --------------------------------------------------------------------- #
+# worker-side task execution                                            #
+# --------------------------------------------------------------------- #
+
+
+def _rebuild_utility(state: dict) -> Any:
+    """Worker-side utility: inherited (fork mode) or rebuilt over SHM views."""
+    if state.get("utility") is not None:
+        return state["utility"], None
+    spec = state["spec"]
+    attach_started = time.perf_counter()
+    bundle = SharedArrayBundle.attach(spec["bundle"])
+    views = bundle.arrays
+    from .utility import Utility
+
+    utility = Utility.__new__(Utility)
+    utility.model = spec["model"]
+    utility.x_train = views["x_train"]
+    utility.y_train = views["y_train"]
+    utility.x_valid = views["x_valid"]
+    utility.y_valid = views["y_valid"]
+    utility.metric = spec["metric"]
+    utility.null_score = float(spec["null_score"])
+    utility.n_evaluations = 0
+    # The bundle must outlive the views: park it on the utility.
+    utility._shm_bundle = bundle
+    return utility, time.perf_counter() - attach_started
+
+
+def _pool_local(state: dict) -> dict:
+    """Per-worker-process mutable context, built lazily on the first task.
+
+    ``state`` is this process's private copy (fork COW or spawn pickle),
+    so mutating it never leaks across workers or back to the driver. The
+    local subset cache persists for the worker's lifetime — the warm-pool
+    effect — and the one-shot ``meta`` records attach latency for the
+    driver's observability satellite.
+    """
+    local = state.get("_pool_local")
+    if local is None:
+        utility, attach_s = _rebuild_utility(state)
+        local = {
+            "utility": utility,
+            "cache": {},
+            "meta": {"attach_s": attach_s},
+        }
+        state["_pool_local"] = local
+    return local
+
+
+def _pool_task(state: dict, payload: Mapping[str, Any]):
+    """Execute one chunk descriptor; safe to re-execute after crash/hang.
+
+    Every result tuple ends with ``meta`` — None except on a worker's
+    first completed chunk, where it carries the attach latency.
+    """
+    local = _pool_local(state)
+    cache: dict = local["cache"]
+    for key, value in payload.get("cache", ()):
+        cache[tuple(key)] = value
+    meta = local["meta"]
+    if meta is not None:
+        local["meta"] = None
+    kind = payload["kind"]
+    if kind == "ping":
+        return ("ping", meta)
+    if kind == "map":
+        func = pickle.loads(payload["func"])
+        return ("map", [func(item) for item in payload["items"]], meta)
+
+    utility = local["utility"]
+    new_entries: dict = {}
+    counters = [0, 0]  # hits, misses
+
+    def evaluate(key: tuple[int, ...]) -> float:
+        if key in cache:
+            counters[0] += 1
+            return cache[key]
+        counters[1] += 1
+        value = float(utility.evaluate(np.asarray(key, dtype=np.int64)))
+        cache[key] = value
+        new_entries[key] = value
+        return value
+
+    evals_before = utility.n_evaluations
+    if kind == "permutation":
+        from .engine import _scan_orderings
+
+        deltas, truncated = _scan_orderings(
+            evaluate,
+            payload["orderings"],
+            payload["weights"],
+            payload["truncation_tolerance"],
+            payload["null"],
+            payload["full"],
+        )
+        evals = utility.n_evaluations - evals_before
+        return (
+            "permutation",
+            deltas,
+            truncated,
+            list(new_entries.items()),
+            evals,
+            counters,
+            meta,
+        )
+    if kind == "subset":
+        values = [evaluate(tuple(key)) for key in payload["keys"]]
+        evals = utility.n_evaluations - evals_before
+        return (
+            "subset",
+            values,
+            list(new_entries.items()),
+            evals,
+            counters,
+            meta,
+        )
+    raise ValueError(f"unknown pool task kind: {kind!r}")  # pragma: no cover
+
+
+# --------------------------------------------------------------------- #
+# fingerprinting                                                        #
+# --------------------------------------------------------------------- #
+
+
+def utility_fingerprint(utility: Any) -> str:
+    """Stable identity of the (dataset, model, metric) a pool serves.
+
+    Standard utilities hash their arrays, pickled model prototype, metric
+    qualname, and null score — two independently constructed utilities
+    over the same data share a pool. Anything unhashable falls back to
+    object identity: correct, never shared. Memoized on the utility (its
+    arrays are immutable by the engine's contract), so warm-pool leases
+    pay the hash once.
+    """
+    cached = getattr(utility, "_pool_fingerprint", None)
+    if cached is not None:
+        return cached
+    try:
+        payload = {
+            key: np.ascontiguousarray(getattr(utility, key))
+            for key in _UTILITY_ARRAYS
+        }
+        payload["model"] = config_fingerprint(
+            {"pickle": pickle.dumps(utility.model).hex()}
+        )
+        metric = getattr(utility, "metric", None)
+        payload["metric"] = getattr(metric, "__qualname__", repr(metric))
+        payload["null_score"] = float(utility.null_score)
+        fingerprint = config_fingerprint(payload)
+    except Exception:
+        return f"id:{id(utility)}"
+    try:
+        utility._pool_fingerprint = fingerprint
+    except Exception:  # pragma: no cover - slotted/frozen utilities
+        pass
+    return fingerprint
+
+
+def _utility_spec(utility: Any) -> dict | None:
+    """Picklable rebuild recipe for a standard utility, or None.
+
+    Requires the four dataset arrays to be shareable (fixed-itemsize numpy)
+    and the model/metric/chaos-free remainder to pickle. Non-standard
+    utilities (closures over arbitrary state) return None and ride on fork
+    inheritance instead.
+    """
+    if not all(hasattr(utility, key) for key in _UTILITY_ARRAYS):
+        return None
+    if not hasattr(utility, "model") or not hasattr(utility, "metric"):
+        return None
+    arrays = {key: getattr(utility, key) for key in _UTILITY_ARRAYS}
+    if not shareable_arrays(arrays):
+        return None
+    try:
+        small = {
+            "model": utility.model,
+            "metric": utility.metric,
+            "null_score": float(utility.null_score),
+        }
+        pickle.dumps(small)
+    except Exception:
+        return None
+    return {"arrays": arrays, **small}
+
+
+# --------------------------------------------------------------------- #
+# the pool                                                              #
+# --------------------------------------------------------------------- #
+
+#: Open pools, newest last — :func:`active_map_pool`'s lookup order.
+_OPEN_POOLS: list["weakref.ref[WorkerPool]"] = []
+_OPEN_POOLS_LOCK = threading.Lock()
+
+
+class WorkerPool:
+    """Long-lived supervised fleet with a shared-memory data plane.
+
+    Parameters
+    ----------
+    utility:
+        The utility game workers will evaluate. Standard utilities (the
+        four dataset arrays + picklable model/metric) are published into
+        shared memory and rebuilt in each worker; anything else requires a
+        fork-capable platform (workers inherit the object).
+    n_workers:
+        Fleet size (>= 1).
+    start_method:
+        ``"fork"``, ``"spawn"``, or None for the platform preference
+        (fork where available).
+    warmup:
+        Dispatch one ping per worker at construction so processes start,
+        attach to the segments, and report attach latency before the
+        first real chunk arrives. Setup cost is paid here, once, instead
+        of inside the first valuation call.
+    ledger:
+        Optional :class:`repro.obs.RunLedger`; the pool appends a
+        ``"pool"`` lifecycle event at close (workers, chunks, shm bytes,
+        restarts).
+    chunk_timeout_s, hang_factor, max_chunk_retries, max_worker_restarts:
+        Supervision knobs, exactly as on the engine.
+    hang_floor_s:
+        Minimum adaptive hang deadline. A persistent pool observes wildly
+        heterogeneous chunk latencies — sub-millisecond warmup pings and
+        warm-cache chunks next to multi-second cold model fits — so the
+        per-run default floor would flag ordinary cold chunks as hung
+        whenever the recent window happens to be fast. Five seconds keeps
+        genuine infinite hangs detected without ever tripping on the
+        warm-to-cold latency cliff.
+    chaos:
+        Optional ChaosMonkey forwarded into workers (fork mode, or spawn
+        when picklable) for fault-injection tests.
+    """
+
+    def __init__(
+        self,
+        utility: Any,
+        n_workers: int,
+        start_method: str | None = None,
+        warmup: bool = True,
+        ledger: Any | None = None,
+        chunk_timeout_s: float | None = None,
+        hang_factor: float = 8.0,
+        hang_floor_s: float = 5.0,
+        max_chunk_retries: int = 3,
+        max_worker_restarts: int = 32,
+        chaos: Any | None = None,
+    ) -> None:
+        import multiprocessing as mp
+
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        available = mp.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else "spawn"
+        if start_method not in available:
+            raise PoolUnavailable(
+                f"start method {start_method!r} unavailable on this platform"
+            )
+        self.n_workers = int(n_workers)
+        self.start_method = start_method
+        self.ledger = ledger
+        self.utility = utility
+        self.fingerprint = utility_fingerprint(utility)
+        self.supervision = SupervisionStats()
+        self._closed = False
+        self._created_at = time.perf_counter()
+
+        spec = _utility_spec(utility)
+        self.bundle: SharedArrayBundle | None = None
+        if spec is not None and SHM_AVAILABLE:
+            self.bundle = SharedArrayBundle.create(spec.pop("arrays"))
+            state: dict = {
+                "spec": {"bundle": self.bundle.spec(), **spec},
+                "utility": None,
+            }
+            self.mode = f"shm-{start_method}"
+        elif start_method == "fork":
+            # Closure utilities ride on fork inheritance; still long-lived.
+            state = {"spec": None, "utility": utility}
+            self.mode = "fork"
+        else:
+            raise PoolUnavailable(
+                "utility cannot cross a spawn boundary (arrays not "
+                "shareable or model/metric not picklable) and fork is "
+                "unavailable"
+            )
+        if chaos is not None:
+            if start_method == "fork":
+                state["chaos"] = chaos
+            else:
+                try:
+                    pickle.dumps(chaos)
+                    state["chaos"] = chaos
+                except Exception:
+                    state["chaos"] = None
+
+        self.shm_bytes = self.bundle.nbytes if self.bundle is not None else 0
+        # Cache-coherence journal: every subset the driver has merged, in
+        # merge order; per-slot watermarks of what each worker has seen.
+        self._journal: list[tuple[tuple[int, ...], float]] = []
+        self._known: set[tuple[int, ...]] = set()
+        self._journal_dropped = 0
+        self._watermarks: dict[int, int] = {}
+        self._workers_alive = 0
+        self._spawns = 0
+        self.chunks_dispatched = 0
+        self.chunks_requeued = 0
+        self.attach_latencies: list[float] = []
+        self._on_event_extra: Callable[[str, int, int], None] | None = None
+
+        self._span = None
+        if _obs.enabled():
+            self._span = _obs.span(
+                "engine.pool.lifecycle",
+                n_workers=self.n_workers,
+                mode=self.mode,
+                shm_bytes=self.shm_bytes,
+                fingerprint=self.fingerprint,
+            )
+            self._span.__enter__()
+
+        self.dispatcher = ChunkDispatcher(
+            mp.get_context(start_method),
+            self.n_workers,
+            state,
+            _pool_task,
+            deadline=DeadlinePolicy(
+                hard_timeout_s=chunk_timeout_s,
+                factor=hang_factor,
+                floor_s=hang_floor_s,
+            ),
+            max_chunk_retries=max_chunk_retries,
+            max_worker_restarts=max_worker_restarts,
+            stats=self.supervision,
+            on_event=self._on_event,
+            payload_hook=self._payload_hook,
+            on_worker_start=self._on_worker_start,
+        )
+        setup_started = time.perf_counter()
+        if warmup:
+            self._collect_meta(
+                self.dispatcher.dispatch(
+                    [{"kind": "ping"} for __ in range(self.n_workers)]
+                )
+            )
+        self.setup_s = time.perf_counter() - setup_started
+        with _OPEN_POOLS_LOCK:
+            _OPEN_POOLS.append(weakref.ref(self))
+        self._finalizer = weakref.finalize(self, _close_pool_resources, self)
+
+    # ------------------------------------------------------------------ #
+    # cache coherence                                                    #
+    # ------------------------------------------------------------------ #
+
+    def sync_cache(self, entries: Mapping[tuple[int, ...], float]) -> int:
+        """Queue driver-cache entries workers have not been told about.
+
+        Called by the engine before each fan-out (and after merging worker
+        results) with its full cache; only entries the journal has never
+        seen are appended. Returns how many were new.
+        """
+        added = 0
+        for key, value in entries.items():
+            if key not in self._known:
+                self._known.add(key)
+                self._journal.append((key, value))
+                added += 1
+        if len(self._journal) > _JOURNAL_CAP:
+            drop = len(self._journal) - _JOURNAL_CAP // 2
+            dropped_keys = self._journal[:drop]
+            self._journal = self._journal[drop:]
+            self._journal_dropped += drop
+            for key, __ in dropped_keys:
+                self._known.discard(key)
+            for slot in self._watermarks:
+                self._watermarks[slot] = max(0, self._watermarks[slot] - drop)
+        return added
+
+    def warm_cache(self, cache: Any) -> int:
+        """Replay the journal into an adopting engine's subset cache.
+
+        A fresh engine borrowing a warm pool starts with an empty driver
+        cache, but the driver evaluates a few subsets itself (the full
+        set for truncation thresholds, ad-hoc :meth:`ValuationEngine.evaluate`
+        calls) — without this replay those would re-fit models the pool's
+        workers already paid for. ``cache`` is a
+        :class:`~repro.importance.engine.SubsetCache`; returns the number
+        of entries replayed.
+        """
+        for key, value in self._journal:
+            cache.put(key, value)
+        return len(self._journal)
+
+    def _payload_hook(self, slot: int, payload: Any) -> Any:
+        """Attach this worker's journal delta to an outgoing descriptor."""
+        if not isinstance(payload, dict):  # pragma: no cover - defensive
+            return payload
+        watermark = self._watermarks.get(slot, 0)
+        delta = self._journal[watermark:]
+        self._watermarks[slot] = len(self._journal)
+        if not delta:
+            return payload
+        return {**payload, "cache": delta}
+
+    def _on_worker_start(self, slot: int) -> None:
+        """A process now occupies ``slot`` with an empty local cache.
+
+        Fired for first spawns and replacements alike: a replacement
+        re-attaches to the existing shared segments, so only its cache
+        warmth needs replaying — resetting the watermark to zero makes the
+        next descriptor carry the full journal.
+        """
+        self._watermarks[slot] = 0
+        self._spawns += 1
+        self._workers_alive = len(self._watermarks)
+        if _obs.enabled():
+            _obs_metrics.gauge("engine.pool.workers_alive").set(
+                self._workers_alive
+            )
+            _obs_metrics.counter("engine.pool.worker_starts").inc()
+
+    def _on_event(self, kind: str, chunk_ord: int, attempt: int) -> None:
+        if kind == "retry":
+            self.chunks_requeued += 1
+            if _obs.enabled():
+                _obs_metrics.counter("engine.pool.chunks_requeued").inc()
+        if _obs.enabled() and kind in ("crash", "hang", "restart"):
+            _obs_metrics.counter(f"engine.pool.{kind}s").inc()
+        if self._on_event_extra is not None:
+            self._on_event_extra(kind, chunk_ord, attempt)
+
+    # ------------------------------------------------------------------ #
+    # dispatch                                                           #
+    # ------------------------------------------------------------------ #
+
+    def dispatch(
+        self,
+        payloads: Sequence[Mapping[str, Any]],
+        on_event: Callable[[str, int, int], None] | None = None,
+    ) -> list[Any]:
+        """Run chunk descriptors on the fleet; results in payload order.
+
+        ``on_event`` lets the borrowing engine bridge supervision events
+        into its own metrics/chaos accounting for the duration of one
+        fan-out.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        self.chunks_dispatched += len(payloads)
+        if _obs.enabled():
+            _obs_metrics.counter("engine.pool.chunks_dispatched").inc(
+                len(payloads)
+            )
+        self._on_event_extra = on_event
+        try:
+            results = self.dispatcher.dispatch(list(payloads))
+        finally:
+            self._on_event_extra = None
+        self._collect_meta(results)
+        return results
+
+    def _collect_meta(self, results: Sequence[Any]) -> None:
+        """Harvest first-chunk worker meta (attach latency) from results."""
+        for result in results:
+            meta = result[-1]
+            if meta is not None and meta.get("attach_s") is not None:
+                self.attach_latencies.append(float(meta["attach_s"]))
+                if _obs.enabled():
+                    _obs_metrics.histogram(
+                        "engine.pool.attach_latency_s"
+                    ).observe(float(meta["attach_s"]))
+
+    def map(self, func: Callable, items: Sequence, n_chunks: int) -> list:
+        """Order-preserving ``[func(x) for x in items]`` on the fleet.
+
+        ``func`` must pickle (workers are pre-existing processes, so fork
+        inheritance cannot carry a fresh closure); callers should fall
+        back to their own fan-out when it does not.
+        """
+        func_bytes = pickle.dumps(func)
+        items = list(items)
+        edges = np.linspace(
+            0, len(items), min(max(1, n_chunks), len(items)) + 1, dtype=int
+        )
+        payloads = [
+            {"kind": "map", "func": func_bytes, "items": items[a:b]}
+            for a, b in zip(edges[:-1], edges[1:])
+            if b > a
+        ]
+        results = self.dispatch(payloads)
+        out: list = []
+        for result in results:
+            out.extend(result[1])
+        return out
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict:
+        attach = self.attach_latencies
+        return {
+            "mode": self.mode,
+            "n_workers": self.n_workers,
+            "workers_alive": self._workers_alive,
+            "worker_starts": self._spawns,
+            "chunks_dispatched": self.chunks_dispatched,
+            "chunks_requeued": self.chunks_requeued,
+            "shm_bytes": self.shm_bytes,
+            "setup_s": round(self.setup_s, 6),
+            "attach_latency_s": {
+                "count": len(attach),
+                "mean": float(np.mean(attach)) if attach else None,
+                "max": float(np.max(attach)) if attach else None,
+            },
+            "journal_entries": len(self._journal),
+            "journal_dropped": self._journal_dropped,
+            "supervision": self.supervision.to_dict(),
+        }
+
+    def close(self) -> None:
+        """Shut workers down and unlink the shared segments. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        stats = self.stats()
+        self._finalizer.detach()
+        _close_pool_resources(self)
+        if _obs.enabled():
+            _obs_metrics.gauge("engine.pool.workers_alive").set(0)
+        if self._span is not None:
+            self._span.set(**{"final." + k: v for k, v in stats.items()
+                              if not isinstance(v, dict)})
+            self._span.__exit__(None, None, None)
+            self._span = None
+        if self.ledger is not None:
+            self.ledger.record_event(
+                "pool",
+                config={
+                    "n_workers": self.n_workers,
+                    "mode": self.mode,
+                    "fingerprint": self.fingerprint,
+                },
+                stats=stats,
+                wall_time_s=time.perf_counter() - self._created_at,
+            )
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _close_pool_resources(pool: WorkerPool) -> None:
+    """Terminate workers and unlink segments (finalizer-safe)."""
+    pool._closed = True
+    try:
+        pool.dispatcher.close()
+    except Exception:  # pragma: no cover - teardown best effort
+        pass
+    if pool.bundle is not None:
+        pool.bundle.close()
+
+
+# --------------------------------------------------------------------- #
+# registry + context manager                                            #
+# --------------------------------------------------------------------- #
+
+
+class PoolRegistry:
+    """Warm pools keyed by utility fingerprint, LRU-bounded.
+
+    ``lease`` returns an existing open pool when the fingerprint matches
+    (same dataset bytes, model, metric — sequential service jobs on one
+    dataset hit this) and otherwise creates one, evicting and closing the
+    least-recently-used pool beyond ``max_pools``. Registry-owned pools
+    are closed by :meth:`close_all` (the :func:`valuation_pool` context
+    manager's exit), never by the engines borrowing them.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        max_pools: int = 2,
+        start_method: str | None = None,
+        ledger: Any | None = None,
+        **pool_knobs: Any,
+    ) -> None:
+        if max_pools < 1:
+            raise ValueError("max_pools must be >= 1")
+        self.n_workers = int(n_workers)
+        self.max_pools = int(max_pools)
+        self.start_method = start_method
+        self.ledger = ledger
+        self.pool_knobs = pool_knobs
+        self._pools: dict[str, WorkerPool] = {}
+        self._lock = threading.Lock()
+        self.leases = 0
+        self.reuses = 0
+
+    def lease(
+        self, utility: Any, n_workers: int | None = None
+    ) -> WorkerPool:
+        """An open pool for ``utility`` — warm when the dataset matches.
+
+        A matching warm pool is reused even if its fleet size differs from
+        ``n_workers``: warm worker caches beat an exact fleet size.
+        """
+        workers = (
+            int(n_workers) if n_workers and n_workers > 1 else self.n_workers
+        )
+        fingerprint = utility_fingerprint(utility)
+        with self._lock:
+            self.leases += 1
+            pool = self._pools.get(fingerprint)
+            if pool is not None and not pool.closed:
+                self.reuses += 1
+                self._pools[fingerprint] = self._pools.pop(fingerprint)  # LRU
+                return pool
+            pool = WorkerPool(
+                utility,
+                n_workers=workers,
+                start_method=self.start_method,
+                ledger=self.ledger,
+                **self.pool_knobs,
+            )
+            self._pools[fingerprint] = pool
+            while len(self._pools) > self.max_pools:
+                oldest = next(iter(self._pools))
+                self._pools.pop(oldest).close()
+            return pool
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "pools": len(self._pools),
+                "leases": self.leases,
+                "reuses": self.reuses,
+                "fingerprints": list(self._pools),
+            }
+
+    def close_all(self) -> None:
+        with self._lock:
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.close()
+
+
+_REGISTRY_STACK: list[PoolRegistry] = []
+_REGISTRY_LOCK = threading.Lock()
+
+
+def current_registry() -> PoolRegistry | None:
+    """The innermost active :func:`valuation_pool` registry, if any."""
+    with _REGISTRY_LOCK:
+        return _REGISTRY_STACK[-1] if _REGISTRY_STACK else None
+
+
+class valuation_pool:
+    """Context manager installing a process-wide warm-pool registry.
+
+    Inside the block, every :class:`ValuationEngine` built with
+    ``n_workers > 1`` (including via the ``nde.*_values`` facades and the
+    service runtime) leases its fleet from the registry instead of forking
+    per run — and engines over the same dataset share one warm pool::
+
+        with nde.valuation_pool(n_workers=4):
+            shap = nde.shapley_values(train_df, validation=valid_df,
+                                      n_workers=4)
+            banz = nde.banzhaf_values(train_df, validation=valid_df,
+                                      n_workers=4)   # reuses the warm pool
+
+    Exiting closes every registry-owned pool and unlinks their segments.
+    Usable directly as ``valuation_pool(...)`` or via the ``nde`` facade.
+    """
+
+    def __init__(self, n_workers: int = 4, **registry_kwargs: Any) -> None:
+        self.registry = PoolRegistry(n_workers=n_workers, **registry_kwargs)
+
+    def __enter__(self) -> PoolRegistry:
+        with _REGISTRY_LOCK:
+            _REGISTRY_STACK.append(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info) -> None:
+        with _REGISTRY_LOCK:
+            if self.registry in _REGISTRY_STACK:
+                _REGISTRY_STACK.remove(self.registry)
+        self.registry.close_all()
+
+
+def active_map_pool() -> WorkerPool | None:
+    """Newest open pool, for :func:`~repro.importance.engine.parallel_map`.
+
+    ``parallel_map`` carries no utility, so any open pool's fleet will do —
+    map chunks ship their own pickled function. Dead references are pruned
+    as a side effect.
+    """
+    with _OPEN_POOLS_LOCK:
+        alive: list[weakref.ref[WorkerPool]] = []
+        found: WorkerPool | None = None
+        for ref in _OPEN_POOLS:
+            pool = ref()
+            if pool is not None and not pool.closed:
+                alive.append(ref)
+                found = pool
+        _OPEN_POOLS[:] = alive
+        return found

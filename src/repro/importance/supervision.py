@@ -167,6 +167,7 @@ def _worker_main(conn, state: dict, task_fn: Callable[[dict, Any], Any]) -> None
 class _Worker:
     proc: Any
     conn: Any
+    slot: int = 0  # stable fleet position, preserved across restarts
     task: tuple[int, int, int, Any] | None = None  # (chunk_id, ord, attempt, payload)
     started_at: float = 0.0
 
@@ -198,6 +199,21 @@ class ChunkDispatcher:
         every ``"crash"``/``"hang"``/``"retry"``/``"restart"`` the
         supervisor handles — the engine bridges this into
         :mod:`repro.obs.metrics` and the run ledger.
+    payload_hook:
+        Optional ``payload_hook(slot, payload) -> payload`` applied at
+        *send* time, per assignment. The queued payload stays pristine (a
+        re-queued chunk is re-hooked for whichever worker picks it up);
+        only the wire copy is transformed. The worker pool uses this to
+        piggyback per-worker subset-cache deltas onto chunk descriptors.
+    on_worker_start:
+        Optional ``on_worker_start(slot)`` invoked after a worker process
+        (re)starts in fleet position ``slot`` — restarts included, so
+        pool-side per-worker state (cache watermarks, liveness gauges) can
+        reset exactly when the process forgets everything.
+    worker_main:
+        Replacement for the default worker task loop; must accept
+        ``(conn, state, task_fn)``. With a spawn-based context this — and
+        ``state``/``task_fn`` — must be picklable.
     """
 
     def __init__(
@@ -211,6 +227,9 @@ class ChunkDispatcher:
         max_worker_restarts: int = 32,
         stats: SupervisionStats | None = None,
         on_event: Callable[[str, int, int], None] | None = None,
+        payload_hook: Callable[[int, Any], Any] | None = None,
+        on_worker_start: Callable[[int], None] | None = None,
+        worker_main: Callable[..., None] | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -223,6 +242,9 @@ class ChunkDispatcher:
         self.max_worker_restarts = int(max_worker_restarts)
         self.stats = stats if stats is not None else SupervisionStats()
         self._on_event = on_event
+        self._payload_hook = payload_hook
+        self._on_worker_start = on_worker_start
+        self._worker_main = worker_main if worker_main is not None else _worker_main
         self._workers: list[_Worker] = []
         self._next_ord = 0  # lifetime chunk sequence number (chaos identity)
         self._closed = False
@@ -231,20 +253,22 @@ class ChunkDispatcher:
     # worker lifecycle                                                   #
     # ------------------------------------------------------------------ #
 
-    def _spawn(self) -> _Worker:
+    def _spawn(self, slot: int) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
-            target=_worker_main,
+            target=self._worker_main,
             args=(child_conn, self._state, self._task_fn),
             daemon=True,
         )
         proc.start()
         child_conn.close()  # the worker holds its own copy
-        return _Worker(proc=proc, conn=parent_conn)
+        if self._on_worker_start is not None:
+            self._on_worker_start(slot)
+        return _Worker(proc=proc, conn=parent_conn, slot=slot)
 
     def _ensure_fleet(self, n_needed: int) -> None:
         while len(self._workers) < min(self.n_workers, max(1, n_needed)):
-            self._workers.append(self._spawn())
+            self._workers.append(self._spawn(len(self._workers)))
 
     def _restart(self, worker: _Worker, reason: str, chunk_ord: int, attempt: int) -> None:
         """Tear down one worker and fork its replacement."""
@@ -265,7 +289,7 @@ class ChunkDispatcher:
                 f"worker restart budget exhausted "
                 f"({self.max_worker_restarts}) after repeated {reason}s"
             )
-        replacement = self._spawn()
+        replacement = self._spawn(worker.slot)
         self._workers[self._workers.index(worker)] = replacement
 
     def _emit(self, kind: str, chunk_ord: int, attempt: int) -> None:
@@ -333,11 +357,22 @@ class ChunkDispatcher:
                 self._restart(worker, "idle crash", head[1], head[2])
                 worker = self._workers[index]
             task = pending.popleft()
+            message = task
+            if self._payload_hook is not None:
+                chunk_id, chunk_ord, attempt, payload = task
+                message = (
+                    chunk_id,
+                    chunk_ord,
+                    attempt,
+                    self._payload_hook(worker.slot, payload),
+                )
             try:
-                worker.conn.send(task)
+                worker.conn.send(message)
             except (OSError, BrokenPipeError):
                 # Lost the liveness race: requeue and let the next pass
-                # restart the worker via the sweep.
+                # restart the worker via the sweep. ``task`` (not the
+                # hooked wire copy) goes back so the next assignment hooks
+                # it afresh for its new worker.
                 pending.appendleft(task)
                 continue
             worker.task = task

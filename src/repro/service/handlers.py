@@ -27,6 +27,7 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from ..importance.pool import PoolUnavailable
 from .runtime import JobContext, JobRuntime
 
 __all__ = ["make_valuation_handler", "register_valuation"]
@@ -67,6 +68,21 @@ def make_valuation_handler(
             # after a runtime SIGKILL. A factory-provided store wins.
             engine.checkpoint = context.checkpoint
             engine.resume = context.resume
+        registry = getattr(context, "pool_registry", None)
+        if (
+            registry is not None
+            and engine.n_workers > 1
+            and getattr(engine, "_pool", None) is None
+        ):
+            # Sequential jobs over the same dataset fingerprint land on
+            # one warm shared-memory fleet instead of forking per run.
+            # An unpoolable utility just keeps the per-run fan-out.
+            try:
+                engine.use_pool(
+                    registry.lease(engine.utility, engine.n_workers)
+                )
+            except PoolUnavailable:
+                pass
         kwargs = {key: params[key] for key in _RUN_KEYS if key in params}
         kwargs.setdefault("n_permutations", 50)
         if params.get("weights") is not None:

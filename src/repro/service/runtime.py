@@ -97,6 +97,11 @@ class JobContext:
         self.deadline_s = deadline_s
         self.checkpoint = checkpoint
         self.resume = resume
+        #: The runtime's warm-pool registry (or None). The valuation
+        #: handler leases a shared-memory worker pool from it, so
+        #: sequential jobs over the same dataset fingerprint reuse one
+        #: warm fleet instead of forking per run.
+        self.pool_registry = runtime.pool_registry
 
     def progress(self, snapshot: Mapping[str, Any]) -> None:
         """Publish one progress snapshot to every subscriber (thread-safe).
@@ -139,6 +144,13 @@ class JobRuntime:
     keep_checkpoints:
         ``keep_last`` retention for each job's checkpoint store, bounding
         checkpoint-directory growth over long service runs.
+    pool:
+        Warm worker pools for valuation jobs. An ``int`` builds a
+        :class:`~repro.importance.pool.PoolRegistry` with that fleet size;
+        a registry is used as-is; ``None`` disables pooling (per-run
+        fork fan-out). Pools are keyed by dataset fingerprint, so
+        sequential jobs over the same data share one long-lived
+        shared-memory fleet; :meth:`stop` closes every runtime-owned pool.
     chaos:
         Optional :class:`repro.errors.chaos.ChaosMonkey`; its seeded
         job-level faults (mid-job crash, slow tenant) fire inside handler
@@ -155,6 +167,7 @@ class JobRuntime:
         retry: RetryPolicy | None = None,
         max_concurrency: int = 2,
         keep_checkpoints: int | None = 3,
+        pool: Any | None = None,
         chaos: Any | None = None,
     ) -> None:
         if max_concurrency < 1:
@@ -170,6 +183,17 @@ class JobRuntime:
         self.retry = retry or RetryPolicy()
         self.max_concurrency = int(max_concurrency)
         self.keep_checkpoints = keep_checkpoints
+        if pool is None or pool is False:
+            self.pool_registry = None
+            self._owns_pools = False
+        elif isinstance(pool, int) and not isinstance(pool, bool):
+            from ..importance.pool import PoolRegistry
+
+            self.pool_registry = PoolRegistry(n_workers=pool, ledger=ledger)
+            self._owns_pools = True
+        else:
+            self.pool_registry = pool
+            self._owns_pools = False
         self.chaos = chaos
         self.admission = AdmissionController(policy, breaker_policy)
         self.jobs: dict[str, Job] = {}
@@ -239,6 +263,11 @@ class JobRuntime:
         if self._workers:
             await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
+        if self._owns_pools and self.pool_registry is not None:
+            # Runtime-owned worker fleets die with the service; shared
+            # segments are unlinked here. A later start() re-leases fresh
+            # pools on demand.
+            self.pool_registry.close_all()
 
     async def drain(self) -> None:
         """Wait until every job this runtime accepted is terminal."""

@@ -1,0 +1,243 @@
+"""Shared-memory data plane: packing, attach, lifecycle, and leak safety.
+
+The contract under test: arrays published through a
+:class:`SharedArrayBundle` are bit-identical and read-only on both sides
+of the process boundary, the owner's segment is always unlinked — on
+explicit close, at normal interpreter exit, and (via the reaper) after a
+``kill -9`` that skips every atexit hook — and the reaper never touches
+segments it does not own.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.importance.shm import (
+    SEGMENT_PREFIX,
+    SHM_AVAILABLE,
+    SharedArrayBundle,
+    reap_stale_segments,
+    shareable_arrays,
+)
+
+pytestmark = pytest.mark.skipif(
+    not SHM_AVAILABLE, reason="multiprocessing.shared_memory unavailable"
+)
+
+_SHM_DIR = "/dev/shm"
+needs_shm_dir = pytest.mark.skipif(
+    not os.path.isdir(_SHM_DIR), reason="no /dev/shm on this platform"
+)
+
+
+def sample_arrays() -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(0)
+    return {
+        "x_train": rng.normal(size=(13, 4)),
+        "y_train": rng.integers(0, 2, size=13, dtype=np.int64),
+        "x_valid": np.asarray(rng.normal(size=(5, 4)), dtype=np.float32),
+        "y_valid": np.ones(5, dtype=bool),
+    }
+
+
+class TestShareableArrays:
+    def test_fixed_itemsize_arrays_are_shareable(self):
+        assert shareable_arrays(sample_arrays())
+
+    def test_object_dtype_is_not(self):
+        assert not shareable_arrays({"a": np.array([{"k": 1}], dtype=object)})
+
+    def test_non_arrays_are_not(self):
+        assert not shareable_arrays({"a": [1, 2, 3]})
+
+
+class TestSharedArrayBundle:
+    def test_round_trip_is_bit_identical(self):
+        arrays = sample_arrays()
+        with SharedArrayBundle.create(arrays) as bundle:
+            attached = SharedArrayBundle.attach(bundle.spec())
+            try:
+                for key, original in arrays.items():
+                    for side in (bundle, attached):
+                        view = side.arrays[key]
+                        assert view.dtype == original.dtype
+                        assert view.shape == original.shape
+                        assert np.array_equal(view, original)
+            finally:
+                attached.close()
+
+    def test_views_are_read_only_on_both_sides(self):
+        with SharedArrayBundle.create(sample_arrays()) as bundle:
+            attached = SharedArrayBundle.attach(bundle.spec())
+            try:
+                for side in (bundle, attached):
+                    with pytest.raises(ValueError):
+                        side.arrays["x_train"][0, 0] = 99.0
+            finally:
+                attached.close()
+
+    def test_arrays_are_cache_line_aligned(self):
+        with SharedArrayBundle.create(sample_arrays()) as bundle:
+            for meta in bundle.spec()["arrays"].values():
+                assert meta["offset"] % 64 == 0
+
+    def test_spec_is_picklable(self):
+        with SharedArrayBundle.create(sample_arrays()) as bundle:
+            spec = pickle.loads(pickle.dumps(bundle.spec()))
+            attached = SharedArrayBundle.attach(spec)
+            try:
+                assert np.array_equal(
+                    attached.arrays["y_train"],
+                    sample_arrays()["y_train"],
+                )
+            finally:
+                attached.close()
+
+    def test_create_rejects_empty_and_object_dtype(self):
+        with pytest.raises(ValueError):
+            SharedArrayBundle.create({})
+        with pytest.raises(ValueError):
+            SharedArrayBundle.create(
+                {"a": np.array(["x", None], dtype=object)}
+            )
+
+    def test_segment_name_embeds_owner_pid(self):
+        with SharedArrayBundle.create(sample_arrays()) as bundle:
+            assert bundle.name.startswith(
+                f"{SEGMENT_PREFIX}{os.getpid()}-"
+            )
+
+    @needs_shm_dir
+    def test_owner_close_unlinks_the_segment(self):
+        bundle = SharedArrayBundle.create(sample_arrays())
+        path = os.path.join(_SHM_DIR, bundle.name)
+        assert os.path.exists(path)
+        bundle.close()
+        assert not os.path.exists(path)
+        bundle.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            bundle.arrays
+
+    @needs_shm_dir
+    def test_attacher_close_keeps_the_segment(self):
+        with SharedArrayBundle.create(sample_arrays()) as bundle:
+            attached = SharedArrayBundle.attach(bundle.spec())
+            attached.close()
+            assert os.path.exists(os.path.join(_SHM_DIR, bundle.name))
+            with pytest.raises(RuntimeError):
+                attached.unlink()
+
+    def test_attach_after_unlink_raises(self):
+        bundle = SharedArrayBundle.create(sample_arrays())
+        spec = bundle.spec()
+        bundle.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedArrayBundle.attach(spec)
+
+
+class TestReaper:
+    def test_reaps_only_dead_owner_segments(self, tmp_path):
+        dead = f"{SEGMENT_PREFIX}999999-aa"
+        alive = f"{SEGMENT_PREFIX}1234-bb"
+        mine = f"{SEGMENT_PREFIX}{os.getpid()}-cc"
+        foreign = "psm_something_else"
+        unparsable = f"{SEGMENT_PREFIX}notapid-dd"
+        for name in (dead, alive, mine, foreign, unparsable):
+            (tmp_path / name).write_bytes(b"x")
+        reaped = reap_stale_segments(str(tmp_path), pids_alive=[1234])
+        assert reaped == [dead]
+        assert not (tmp_path / dead).exists()
+        for name in (alive, mine, foreign, unparsable):
+            assert (tmp_path / name).exists()
+
+    def test_missing_dir_is_a_noop(self, tmp_path):
+        assert reap_stale_segments(str(tmp_path / "nope")) == []
+
+
+# ---------------------------------------------------------------------- #
+# leak tests: segments never outlive their owner                         #
+# ---------------------------------------------------------------------- #
+
+
+def _run_child(script: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH="src")
+    return subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(script)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def _segments_of(pid: int) -> list[str]:
+    prefix = f"{SEGMENT_PREFIX}{pid}-"
+    return [
+        name for name in os.listdir(_SHM_DIR) if name.startswith(prefix)
+    ]
+
+
+@needs_shm_dir
+@pytest.mark.slow
+def test_no_segment_leak_on_normal_exit():
+    """A child that creates bundles and a pool, then exits normally,
+    leaves nothing in /dev/shm — even for a bundle it never closed
+    (the atexit hook covers leaked references)."""
+    child = _run_child(
+        """
+        import numpy as np
+        from repro.importance import ValuationEngine, Utility
+        from repro.importance.shm import SharedArrayBundle
+        from repro.learn import LogisticRegression
+        from repro.datasets import make_classification
+
+        leaked = SharedArrayBundle.create({"a": np.arange(8.0)})  # never closed
+        X, y = make_classification(n=40, n_features=3, seed=1)
+        utility = Utility(LogisticRegression(max_iter=20), X[:30], y[:30],
+                          X[30:], y[30:])
+        engine = ValuationEngine(utility, n_workers=2, pool=True)
+        engine.run_permutations(4, seed=0)
+        engine.close()
+        print(f"PID={__import__('os').getpid()}")
+        """
+    )
+    assert child.returncode == 0, child.stderr
+    pid = int(child.stdout.strip().split("PID=")[1])
+    assert _segments_of(pid) == []
+
+
+@needs_shm_dir
+@pytest.mark.slow
+def test_crashed_owner_segments_are_reaped():
+    """``os._exit`` skips every atexit/finalizer hook. Python's resource
+    tracker would normally still unlink the segment — but a ``kill -9`` of
+    the whole process group takes the tracker down too, so the child
+    disables it to simulate that worst case. The segment survives the
+    crash, and the next pool's construction-time reap (or an explicit
+    call) reclaims it."""
+    child = _run_child(
+        """
+        import os
+        import numpy as np
+        from multiprocessing import resource_tracker
+        from repro.importance.shm import SharedArrayBundle
+
+        resource_tracker.register = lambda *a, **k: None  # tracker "died"
+        bundle = SharedArrayBundle.create({"a": np.arange(16.0)})
+        print(f"PID={os.getpid()}", flush=True)
+        os._exit(9)  # no cleanup runs
+        """
+    )
+    assert child.returncode == 9
+    pid = int(child.stdout.strip().split("PID=")[1])
+    assert _segments_of(pid), "crash should have leaked the segment"
+    reaped = reap_stale_segments()
+    assert any(name.startswith(f"{SEGMENT_PREFIX}{pid}-") for name in reaped)
+    assert _segments_of(pid) == []

@@ -292,9 +292,9 @@ class TestNoForkFallback:
     def test_engine_falls_back_to_serial_with_one_warning(self, monkeypatch):
         serial = ValuationEngine(saturating_game()).run_permutations(10, seed=2)
         monkeypatch.setattr(engine_mod, "_FORK_CTX", None)
-        monkeypatch.setattr(engine_mod, "_WARNED_NO_FORK", False)
+        monkeypatch.setattr(engine_mod, "_WARNED_NO_FORK", set())
         engine = ValuationEngine(saturating_game(), n_workers=4)
-        with pytest.warns(RuntimeWarning, match="falls? back to serial"):
+        with pytest.warns(RuntimeWarning, match="fell back to serial"):
             run = engine.run_permutations(10, seed=2)
         assert np.array_equal(run.values(), serial.values())
         # The warning fires once per process, not once per call.
@@ -306,15 +306,30 @@ class TestNoForkFallback:
 
     def test_parallel_map_falls_back_to_serial_with_warning(self, monkeypatch):
         monkeypatch.setattr(engine_mod, "_FORK_CTX", None)
-        monkeypatch.setattr(engine_mod, "_WARNED_NO_FORK", False)
-        with pytest.warns(RuntimeWarning):
+        monkeypatch.setattr(engine_mod, "_WARNED_NO_FORK", set())
+        with pytest.warns(RuntimeWarning, match="parallel_map fell back"):
             out = parallel_map(lambda x: x + 1, [1, 2, 3], n_workers=4)
         assert out == [2, 3, 4]
+
+    def test_each_degradation_mode_warns_separately(self, monkeypatch):
+        # The engine-serial and map-serial degradations are different
+        # surprises; each gets its own (single) RuntimeWarning.
+        monkeypatch.setattr(engine_mod, "_FORK_CTX", None)
+        monkeypatch.setattr(engine_mod, "_WARNED_NO_FORK", set())
+        with pytest.warns(RuntimeWarning, match="engine fan-out"):
+            ValuationEngine(saturating_game(), n_workers=2).run_permutations(
+                4, seed=0
+            )
+        with pytest.warns(RuntimeWarning, match="parallel_map"):
+            parallel_map(lambda x: x, [1, 2], n_workers=2)
+        assert engine_mod._WARNED_NO_FORK == {"engine", "map"}
 
     def test_evaluate_many_serial_fallback_matches(self, monkeypatch):
         subsets = [[0, 1], [2], [], [0, 1], [1, 2, 3]]
         expected = ValuationEngine(saturating_game()).evaluate_many(subsets)
         monkeypatch.setattr(engine_mod, "_FORK_CTX", None)
-        monkeypatch.setattr(engine_mod, "_WARNED_NO_FORK", True)
+        monkeypatch.setattr(
+            engine_mod, "_WARNED_NO_FORK", {"engine", "map", "pool"}
+        )
         got = ValuationEngine(saturating_game(), n_workers=3).evaluate_many(subsets)
         assert np.array_equal(expected, got)
