@@ -541,9 +541,12 @@ class ValuationEngine:
         The pool's journal (every subset value any of its workers ever
         reported) is replayed into this engine's cache, so driver-side
         evaluations — the full-set utility for truncation thresholds,
-        point :meth:`evaluate` calls — are as warm as the fleet.
+        point :meth:`evaluate` calls — are as warm as the fleet. The
+        engine also registers a weak borrower claim so registry LRU
+        eviction cannot close the pool out from under a live run.
         """
         self._pool = pool
+        pool.add_borrower(self)
         pool.warm_cache(self.cache)
 
     # ------------------------------------------------------------------ #

@@ -43,6 +43,14 @@ spawn-only platforms the pool still runs — shared memory plus picklable
 chunk descriptors need no fork — provided the utility's model/metric
 pickle; otherwise pool construction raises :class:`PoolUnavailable` and
 the engine degrades loudly (see ``_warn_no_fork`` in the engine module).
+
+Thread safety: one pool is routinely shared across threads — the service
+runtime runs handlers concurrently and :class:`PoolRegistry` hands every
+job on a dataset fingerprint the same pool — but the dispatcher's pipes,
+per-dispatch chunk ids, and the cache journal's watermarks are all
+single-fan-out state. A per-pool re-entrant lock therefore serializes
+:meth:`dispatch` (and the journal mutators) so concurrent fan-outs queue
+instead of consuming each other's chunk results; see ``_lock``.
 """
 
 from __future__ import annotations
@@ -352,6 +360,16 @@ class WorkerPool:
         self.supervision = SupervisionStats()
         self._closed = False
         self._created_at = time.perf_counter()
+        # Fan-outs are serialized: the dispatcher's pipes and chunk ids are
+        # single-dispatch state, so concurrent borrowers (service jobs on
+        # one dataset, parallel_map from another thread) queue here rather
+        # than stealing each other's results. RLock, so a borrower's
+        # nested dispatch (map inside a fan-out callback) cannot deadlock.
+        self._lock = threading.RLock()
+        # Live borrowers (engines adopting this pool). Weak: a finished
+        # job's engine falling out of scope releases its claim without an
+        # explicit hand-back, letting the registry evict the pool.
+        self._borrower_refs: "weakref.WeakSet[Any]" = weakref.WeakSet()
 
         spec = _utility_spec(utility)
         self.bundle: SharedArrayBundle | None = None
@@ -448,20 +466,23 @@ class WorkerPool:
         seen are appended. Returns how many were new.
         """
         added = 0
-        for key, value in entries.items():
-            if key not in self._known:
-                self._known.add(key)
-                self._journal.append((key, value))
-                added += 1
-        if len(self._journal) > _JOURNAL_CAP:
-            drop = len(self._journal) - _JOURNAL_CAP // 2
-            dropped_keys = self._journal[:drop]
-            self._journal = self._journal[drop:]
-            self._journal_dropped += drop
-            for key, __ in dropped_keys:
-                self._known.discard(key)
-            for slot in self._watermarks:
-                self._watermarks[slot] = max(0, self._watermarks[slot] - drop)
+        with self._lock:
+            for key, value in entries.items():
+                if key not in self._known:
+                    self._known.add(key)
+                    self._journal.append((key, value))
+                    added += 1
+            if len(self._journal) > _JOURNAL_CAP:
+                drop = len(self._journal) - _JOURNAL_CAP // 2
+                dropped_keys = self._journal[:drop]
+                self._journal = self._journal[drop:]
+                self._journal_dropped += drop
+                for key, __ in dropped_keys:
+                    self._known.discard(key)
+                for slot in self._watermarks:
+                    self._watermarks[slot] = max(
+                        0, self._watermarks[slot] - drop
+                    )
         return added
 
     def warm_cache(self, cache: Any) -> int:
@@ -475,9 +496,11 @@ class WorkerPool:
         :class:`~repro.importance.engine.SubsetCache`; returns the number
         of entries replayed.
         """
-        for key, value in self._journal:
+        with self._lock:
+            entries = list(self._journal)
+        for key, value in entries:
             cache.put(key, value)
-        return len(self._journal)
+        return len(entries)
 
     def _payload_hook(self, slot: int, payload: Any) -> Any:
         """Attach this worker's journal delta to an outgoing descriptor."""
@@ -518,6 +541,28 @@ class WorkerPool:
             self._on_event_extra(kind, chunk_ord, attempt)
 
     # ------------------------------------------------------------------ #
+    # borrowers                                                          #
+    # ------------------------------------------------------------------ #
+
+    def add_borrower(self, borrower: Any) -> None:
+        """Record ``borrower`` (an engine) as a live user of this pool.
+
+        Claims are weak references: when the borrower is garbage-collected
+        its claim vanishes, so finished jobs need no explicit hand-back.
+        The registry refuses to evict-close a pool while any claim is
+        live (see :meth:`PoolRegistry.lease`).
+        """
+        try:
+            self._borrower_refs.add(borrower)
+        except TypeError:  # pragma: no cover - non-weakrefable borrower
+            pass
+
+    @property
+    def borrowed(self) -> bool:
+        """Whether any registered borrower is still alive."""
+        return len(self._borrower_refs) > 0
+
+    # ------------------------------------------------------------------ #
     # dispatch                                                           #
     # ------------------------------------------------------------------ #
 
@@ -530,22 +575,24 @@ class WorkerPool:
 
         ``on_event`` lets the borrowing engine bridge supervision events
         into its own metrics/chaos accounting for the duration of one
-        fan-out.
+        fan-out. Thread-safe: concurrent callers queue on the pool lock —
+        one fan-out owns the pipes (and the ``on_event`` slot) at a time.
         """
-        if self._closed:
-            raise RuntimeError("worker pool is closed")
-        self.chunks_dispatched += len(payloads)
-        if _obs.enabled():
-            _obs_metrics.counter("engine.pool.chunks_dispatched").inc(
-                len(payloads)
-            )
-        self._on_event_extra = on_event
-        try:
-            results = self.dispatcher.dispatch(list(payloads))
-        finally:
-            self._on_event_extra = None
-        self._collect_meta(results)
-        return results
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            self.chunks_dispatched += len(payloads)
+            if _obs.enabled():
+                _obs_metrics.counter("engine.pool.chunks_dispatched").inc(
+                    len(payloads)
+                )
+            self._on_event_extra = on_event
+            try:
+                results = self.dispatcher.dispatch(list(payloads))
+            finally:
+                self._on_event_extra = None
+            self._collect_meta(results)
+            return results
 
     def _collect_meta(self, results: Sequence[Any]) -> None:
         """Harvest first-chunk worker meta (attach latency) from results."""
@@ -607,17 +654,24 @@ class WorkerPool:
             },
             "journal_entries": len(self._journal),
             "journal_dropped": self._journal_dropped,
+            "borrowers": len(self._borrower_refs),
             "supervision": self.supervision.to_dict(),
         }
 
     def close(self) -> None:
-        """Shut workers down and unlink the shared segments. Idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        stats = self.stats()
-        self._finalizer.detach()
-        _close_pool_resources(self)
+        """Shut workers down and unlink the shared segments. Idempotent.
+
+        Serializes with :meth:`dispatch`: a close racing an in-flight
+        fan-out waits for it to drain instead of terminating workers
+        under it.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            stats = self.stats()
+            self._finalizer.detach()
+            _close_pool_resources(self)
         if _obs.enabled():
             _obs_metrics.gauge("engine.pool.workers_alive").set(0)
         if self._span is not None:
@@ -666,9 +720,16 @@ class PoolRegistry:
     ``lease`` returns an existing open pool when the fingerprint matches
     (same dataset bytes, model, metric — sequential service jobs on one
     dataset hit this) and otherwise creates one, evicting and closing the
-    least-recently-used pool beyond ``max_pools``. Registry-owned pools
-    are closed by :meth:`close_all` (the :func:`valuation_pool` context
-    manager's exit), never by the engines borrowing them.
+    least-recently-used pool beyond ``max_pools``. Eviction never closes
+    a pool with live borrowers (engines that adopted it register a weak
+    claim via :meth:`WorkerPool.add_borrower`): a concurrent job
+    mid-dispatch on an LRU pool would otherwise have its workers
+    terminated under it. Borrowed pools are skipped — the registry may
+    briefly hold more than ``max_pools`` — and become evictable on a
+    later lease once their borrowers are garbage-collected.
+    Registry-owned pools are closed by :meth:`close_all` (the
+    :func:`valuation_pool` context manager's exit), never by the engines
+    borrowing them.
     """
 
     def __init__(
@@ -718,9 +779,19 @@ class PoolRegistry:
                 **self.pool_knobs,
             )
             self._pools[fingerprint] = pool
-            while len(self._pools) > self.max_pools:
-                oldest = next(iter(self._pools))
-                self._pools.pop(oldest).close()
+            if len(self._pools) > self.max_pools:
+                # Evict oldest-first, but never a pool with live
+                # borrowers (a job may be mid-dispatch on it) and never
+                # the pool just leased. Skipped pools overshoot the bound
+                # until their borrowers are collected; close_all still
+                # reaps everything.
+                for key in list(self._pools):
+                    if len(self._pools) <= self.max_pools:
+                        break
+                    candidate = self._pools[key]
+                    if candidate is pool or candidate.borrowed:
+                        continue
+                    self._pools.pop(key).close()
             return pool
 
     def stats(self) -> dict:

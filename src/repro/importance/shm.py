@@ -24,15 +24,20 @@ their creator unless explicitly unlinked, so every owner registers both a
 ``weakref.finalize`` (covers garbage collection and interpreter shutdown)
 and an ``atexit`` hook (covers leaked references) that close and unlink the
 segment; attachers register close-only finalizers. Segment names embed the
-owner's PID (``repro-shm-<pid>-<token>``) so :func:`reap_stale_segments`
-can sweep segments whose owner died without running cleanup (``kill -9``):
-pool construction calls it, making any crashed run's segments reclaimed by
-the next pool instead of accumulating in ``/dev/shm``.
+owner's provenance — PID plus, on reapable platforms, a boot/PID-namespace
+token and the owner's process start time
+(``repro-shm-<pid>-<node>-<start>-<token>``) — so
+:func:`reap_stale_segments` can sweep segments whose owner died without
+running cleanup (``kill -9``) while never confusing a recycled PID or a
+live process in a foreign namespace for the owner: pool construction calls
+it, making any crashed run's segments reclaimed by the next pool instead
+of accumulating in ``/dev/shm``.
 """
 
 from __future__ import annotations
 
 import atexit
+import hashlib
 import os
 import secrets
 import weakref
@@ -183,7 +188,7 @@ class SharedArrayBundle:
             cursor = (cursor + _ALIGN - 1) // _ALIGN * _ALIGN
             offsets[key] = cursor
             cursor += value.nbytes
-        name = f"{SEGMENT_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
+        name = _segment_name()
         shm = _shared_memory.SharedMemory(
             create=True, size=max(1, cursor), name=name
         )
@@ -293,15 +298,20 @@ def _cleanup_segment(shm: Any, owner: bool) -> None:
         # mapping lives exactly until the last view dies (then the mmap's
         # own GC releases it), and disarming the handle keeps the stdlib
         # ``__del__`` from retrying the failing close at collection time.
-        # The unlink below still runs, so the *name* cannot leak.
+        # The unlink below still runs, so the *name* cannot leak. The
+        # attributes are CPython-stdlib internals, so any that are
+        # missing or renamed simply leave the handle to GC.
         try:
             if shm._fd >= 0:
                 os.close(shm._fd)
                 shm._fd = -1
-        except OSError:  # pragma: no cover - already closed
+        except (AttributeError, OSError):  # pragma: no cover - fallback
             pass
-        shm._buf = None
-        shm._mmap = None
+        try:
+            shm._buf = None
+            shm._mmap = None
+        except AttributeError:  # pragma: no cover - non-CPython layout
+            pass
     except OSError:  # pragma: no cover - already torn down
         pass
     if owner:
@@ -313,16 +323,109 @@ def _cleanup_segment(shm: Any, owner: bool) -> None:
             pass
 
 
-def _segment_pid(filename: str) -> int | None:
-    """Owner PID encoded in a segment filename, or None if unparsable."""
+_NODE_TOKEN: str | None = None
+
+
+def _node_token() -> str:
+    """8-hex digest identifying this boot + PID namespace.
+
+    A segment named under a different boot or PID namespace (a container
+    sharing ``/dev/shm``) carries a different token: its owner PID is
+    meaningless in our namespace, so the reaper must treat it as alive.
+    """
+    global _NODE_TOKEN
+    if _NODE_TOKEN is None:
+        parts = []
+        try:
+            with open("/proc/sys/kernel/random/boot_id") as fh:
+                parts.append(fh.read().strip())
+        except OSError:  # pragma: no cover - non-Linux
+            pass
+        try:
+            parts.append(str(os.stat("/proc/self/ns/pid").st_ino))
+        except OSError:  # pragma: no cover - non-Linux
+            pass
+        digest = hashlib.sha256("|".join(parts).encode()).hexdigest()
+        _NODE_TOKEN = digest[:8]
+    return _NODE_TOKEN
+
+
+def _pid_start(pid: int) -> int | None:
+    """Process start time (clock ticks since boot), or None off-Linux.
+
+    Field 22 of ``/proc/<pid>/stat``; the comm field may itself contain
+    spaces and parentheses, so parse after the *last* ``)``.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as fh:
+            stat = fh.read().decode("ascii", "replace")
+        return int(stat.rsplit(")", 1)[1].split()[19])
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+def _segment_name() -> str:
+    """Fresh segment name carrying owner provenance where reapable.
+
+    Where segments surface in :data:`_SHM_DIR` (the only place
+    :func:`reap_stale_segments` works) the name embeds a node token and
+    the owner's start time besides its PID, so the reaper can tell a dead
+    owner from a recycled PID or a foreign-namespace process. Elsewhere
+    (e.g. macOS, whose shm names are length-capped and never reaped) the
+    short PID-only form is kept.
+    """
+    pid = os.getpid()
+    suffix = secrets.token_hex(4)
+    if not os.path.isdir(_SHM_DIR):
+        return f"{SEGMENT_PREFIX}{pid}-{suffix}"
+    return (
+        f"{SEGMENT_PREFIX}{pid}-{_node_token()}-"
+        f"{_pid_start(pid) or 0}-{suffix}"
+    )
+
+
+def _parse_segment(
+    filename: str,
+) -> tuple[int, str | None, int | None] | None:
+    """``(pid, node_token, start_ticks)`` parsed from a segment filename.
+
+    Names without provenance fields (the short non-reapable form, or
+    fabricated test names) parse with ``None`` provenance; names without
+    a leading PID are not ours and parse to None.
+    """
     if not filename.startswith(SEGMENT_PREFIX):
         return None
-    remainder = filename[len(SEGMENT_PREFIX):]
-    pid_part = remainder.split("-", 1)[0]
+    parts = filename[len(SEGMENT_PREFIX):].split("-")
     try:
-        return int(pid_part)
-    except ValueError:
+        pid = int(parts[0])
+    except (IndexError, ValueError):
         return None
+    if len(parts) >= 4:
+        try:
+            return pid, parts[1], int(parts[2])
+        except ValueError:
+            return pid, None, None
+    return pid, None, None
+
+
+def _owner_alive(pid: int, node: str | None, start: int | None) -> bool:
+    """Conservative owner liveness for the reaper.
+
+    Unresolvable provenance — no node token, or one minted under another
+    boot / PID namespace — means ``os.kill(pid, 0)`` would probe an
+    unrelated process, so the owner is reported alive. Within our own
+    namespace, a live PID whose start time no longer matches the one
+    baked into the name was recycled: the real owner is gone.
+    """
+    if node is None or node != _node_token():
+        return True
+    if not _pid_alive(pid):
+        return False
+    if start:
+        current = _pid_start(pid)
+        if current is not None and current != start:
+            return False
+    return True
 
 
 def _pid_alive(pid: int) -> bool:
@@ -343,9 +446,13 @@ def reap_stale_segments(
     """Unlink segments whose owner process is dead; returns reaped names.
 
     Only names carrying :data:`SEGMENT_PREFIX` are candidates, and only
-    when the PID baked into the name no longer exists — a ``kill -9``'d
-    driver cannot run its atexit hooks, so the *next* pool (or an explicit
-    call) reclaims what it left behind. ``pids_alive`` overrides liveness
+    when their provenance proves the owner gone — named under this boot
+    and PID namespace, and the PID either no longer exists or was
+    recycled by a process with a different start time. A ``kill -9``'d
+    driver cannot run its atexit hooks, so the *next* pool (or an
+    explicit call) reclaims what it left behind; segments whose owner
+    cannot be resolved (foreign namespace or boot, missing provenance)
+    are conservatively left alone. ``pids_alive`` overrides all liveness
     checks for tests.
     """
     if not SHM_AVAILABLE or not os.path.isdir(shm_dir):
@@ -357,13 +464,16 @@ def reap_stale_segments(
     except OSError:  # pragma: no cover - permissions
         return []
     for filename in entries:
-        pid = _segment_pid(filename)
-        if pid is None or pid == os.getpid():
+        parsed = _parse_segment(filename)
+        if parsed is None:
+            continue
+        pid, node, start = parsed
+        if pid == os.getpid():
             continue
         if alive is not None:
             if pid in alive:
                 continue
-        elif _pid_alive(pid):
+        elif _owner_alive(pid, node, start):
             continue
         try:
             os.unlink(os.path.join(shm_dir, filename))

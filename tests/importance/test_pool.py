@@ -12,6 +12,7 @@ driver), and the pool's lifecycle is visible in metrics and the ledger.
 
 from __future__ import annotations
 
+import gc
 import os
 import signal
 import subprocess
@@ -256,6 +257,48 @@ class TestWarmReuse:
             registry.close_all()
         assert second.closed
 
+    def test_eviction_defers_while_pool_is_borrowed(self):
+        """A pool with a live borrower survives LRU eviction: closing it
+        would terminate workers under whatever run the borrower has in
+        flight. Once the borrower is collected, the next lease evicts."""
+
+        class Borrower:
+            pass
+
+        registry = PoolRegistry(n_workers=2, max_pools=1)
+        try:
+            first = registry.lease(small_utility(seed=11))
+            borrower = Borrower()
+            first.add_borrower(borrower)
+            assert first.borrowed
+            second = registry.lease(small_utility(seed=12))
+            assert not first.closed  # live borrower: eviction deferred
+            assert not second.closed
+            del borrower
+            gc.collect()
+            assert not first.borrowed
+            third = registry.lease(small_utility(seed=13))
+            assert first.closed
+            assert second.closed  # unborrowed backlog evicted too
+            assert not third.closed
+        finally:
+            registry.close_all()
+
+    def test_engine_lease_blocks_eviction_while_engine_lives(self):
+        """Engines register themselves as borrowers on adoption, so a
+        concurrent job's pool cannot be evicted out from under it."""
+        with valuation_pool(n_workers=2, max_pools=1):
+            engine = ValuationEngine(small_utility(seed=11), n_workers=2)
+            engine.run_permutations(4, seed=0)
+            pool = engine._pool
+            assert pool is not None and pool.borrowed
+            other = ValuationEngine(small_utility(seed=12), n_workers=2)
+            other.run_permutations(4, seed=0)
+            assert not pool.closed
+            # The first engine keeps working on its still-open pool.
+            first_rerun = engine.run_permutations(4, seed=0)
+            assert first_rerun.values().shape == (engine.n_train,)
+
     def test_engine_with_pool_false_never_leases(self):
         with valuation_pool(n_workers=2):
             engine = ValuationEngine(small_utility(), n_workers=2, pool=False)
@@ -280,6 +323,118 @@ def _double(x):
 
 def _square(x):
     return x * x
+
+
+# ---------------------------------------------------------------------- #
+# thread safety                                                          #
+# ---------------------------------------------------------------------- #
+
+
+class TestThreadSafety:
+    def test_concurrent_fan_outs_do_not_cross_results(self):
+        """Concurrent dispatches on one pool — the service runtime's
+        concurrent-jobs-per-dataset shape — serialize on the pool lock.
+        Without it, both threads recv() on the same pipes with chunk ids
+        both starting at 0 and silently swap each other's results."""
+        serial_u = small_utility()
+        n = serial_u.n_train
+        rng = np.random.default_rng(7)
+        keysets = [
+            [
+                tuple(sorted(rng.choice(n, size=5, replace=False).tolist()))
+                for __ in range(6)
+            ]
+            for __ in range(4)
+        ]
+        expected = [
+            [
+                float(serial_u.evaluate(np.asarray(keys, dtype=np.int64)))
+                for keys in keyset
+            ]
+            for keyset in keysets
+        ]
+        results: dict[int, list] = {}
+        errors: list[Exception] = []
+        with WorkerPool(small_utility(), n_workers=2) as pool:
+
+            def run(tid: int) -> None:
+                try:
+                    out = pool.dispatch(
+                        [
+                            {"kind": "subset", "keys": keysets[tid][:3]},
+                            {"kind": "subset", "keys": keysets[tid][3:]},
+                        ]
+                    )
+                    results[tid] = list(out[0][1]) + list(out[1][1])
+                except Exception as exc:  # pragma: no cover - fail below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(tid,)) for tid in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+        for tid in range(4):
+            assert results[tid] == expected[tid]
+
+    def test_concurrent_engines_on_shared_pool_match_serial(self):
+        """Two engines leasing the same warm pool from parallel threads
+        (exactly what JobRuntime's max_concurrency=2 default produces)
+        each return values bit-identical to a serial run."""
+        serial = ValuationEngine(small_utility()).run_permutations(8, seed=4)
+        runs: dict[int, object] = {}
+        errors: list[Exception] = []
+        with valuation_pool(n_workers=2):
+
+            def run(tid: int) -> None:
+                try:
+                    runs[tid] = ValuationEngine(
+                        small_utility(), n_workers=2
+                    ).run_permutations(8, seed=4)
+                except Exception as exc:  # pragma: no cover - fail below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(tid,)) for tid in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+        for tid in range(2):
+            assert np.array_equal(runs[tid].values(), serial.values())
+            assert np.array_equal(runs[tid].stderr(), serial.stderr())
+
+    def test_concurrent_maps_preserve_per_call_order(self):
+        """parallel_map from several threads over one active pool."""
+        outs: dict[int, list] = {}
+        errors: list[Exception] = []
+        with WorkerPool(small_utility(), n_workers=2) as pool:
+
+            def run(tid: int) -> None:
+                try:
+                    items = list(range(tid * 10, tid * 10 + 13))
+                    outs[tid] = (
+                        pool.map(_square, items, n_chunks=3),
+                        [x * x for x in items],
+                    )
+                except Exception as exc:  # pragma: no cover - fail below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(tid,)) for tid in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+        for got, want in outs.values():
+            assert got == want
 
 
 # ---------------------------------------------------------------------- #

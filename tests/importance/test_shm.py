@@ -23,6 +23,9 @@ from repro.importance.shm import (
     SEGMENT_PREFIX,
     SHM_AVAILABLE,
     SharedArrayBundle,
+    _cleanup_segment,
+    _node_token,
+    _pid_start,
     reap_stale_segments,
     shareable_arrays,
 )
@@ -159,6 +162,82 @@ class TestReaper:
 
     def test_missing_dir_is_a_noop(self, tmp_path):
         assert reap_stale_segments(str(tmp_path / "nope")) == []
+
+    @staticmethod
+    def _dead_pid() -> int:
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        return proc.pid
+
+    @needs_shm_dir
+    def test_segment_name_embeds_provenance(self):
+        """Reapable platforms bake node token + owner start time into the
+        name so the reaper can resolve owner liveness exactly."""
+        with SharedArrayBundle.create(sample_arrays()) as bundle:
+            parts = bundle.name[len(SEGMENT_PREFIX):].split("-")
+            assert int(parts[0]) == os.getpid()
+            assert parts[1] == _node_token()
+            assert int(parts[2]) == (_pid_start(os.getpid()) or 0)
+
+    def test_reaps_dead_owner_with_matching_provenance(self, tmp_path):
+        name = f"{SEGMENT_PREFIX}{self._dead_pid()}-{_node_token()}-123-aa"
+        (tmp_path / name).write_bytes(b"x")
+        assert reap_stale_segments(str(tmp_path)) == [name]
+        assert not (tmp_path / name).exists()
+
+    def test_leaves_foreign_namespace_segments(self, tmp_path):
+        """A node token from another boot or PID namespace means the PID
+        cannot be resolved here — a live foreign owner must not lose its
+        segment, so the reaper treats it as alive."""
+        node = _node_token()
+        foreign_node = ("f" if node[0] != "f" else "e") + node[1:]
+        name = f"{SEGMENT_PREFIX}{self._dead_pid()}-{foreign_node}-123-aa"
+        (tmp_path / name).write_bytes(b"x")
+        assert reap_stale_segments(str(tmp_path)) == []
+        assert (tmp_path / name).exists()
+
+    def test_leaves_names_without_provenance(self, tmp_path):
+        """Short names (non-reapable platforms) have unresolvable owners
+        and are conservatively kept on the real-liveness path."""
+        name = f"{SEGMENT_PREFIX}{self._dead_pid()}-aa"
+        (tmp_path / name).write_bytes(b"x")
+        assert reap_stale_segments(str(tmp_path)) == []
+        assert (tmp_path / name).exists()
+
+    def test_reaps_recycled_pid(self, tmp_path):
+        """A live PID whose start time differs from the one in the name
+        is a recycled PID: the true owner is dead and the segment stale."""
+        if _pid_start(os.getpid()) is None:
+            pytest.skip("no /proc start-time source on this platform")
+        # Our parent is alive in this namespace but certainly did not
+        # start at tick 1.
+        name = f"{SEGMENT_PREFIX}{os.getppid()}-{_node_token()}-1-aa"
+        (tmp_path / name).write_bytes(b"x")
+        assert reap_stale_segments(str(tmp_path)) == [name]
+        assert not (tmp_path / name).exists()
+
+
+class TestCleanupSegment:
+    def test_survives_handles_without_private_attrs(self):
+        """The BufferError fallback pokes CPython-private SharedMemory
+        internals; a handle without them must still unlink, not raise
+        inside a finalizer."""
+
+        class Stub:
+            __slots__ = ("unlinked",)
+
+            def __init__(self):
+                self.unlinked = False
+
+            def close(self):
+                raise BufferError("a view is still alive")
+
+            def unlink(self):
+                self.unlinked = True
+
+        stub = Stub()
+        _cleanup_segment(stub, owner=True)
+        assert stub.unlinked
 
 
 # ---------------------------------------------------------------------- #
