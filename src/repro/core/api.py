@@ -49,6 +49,7 @@ from ..obs import (
     compare_runs,
     tracing,
 )
+from ..pipeline.canonical import CanonicalPipeline, compile_pipeline
 from ..pipeline.datascope import SourceImportance, datascope_importance
 from ..service import (
     AdmissionPolicy,
@@ -92,6 +93,9 @@ __all__ = [
     "with_provenance",
     "execute_robust",
     "datascope",
+    "exact_knn_values",
+    "compile_pipeline",
+    "CanonicalPipeline",
     "remove",
     "evaluate_change",
     "encode_symbolic",
@@ -473,6 +477,39 @@ def datascope(
         n_workers=n_workers,
         cache_size=cache_size,
         **method_options,
+    )
+
+
+def exact_knn_values(
+    train_result: PipelineResult,
+    validation_result: PipelineResult,
+    source: str | None = None,
+    k: int = 1,
+    ledger: RunLedger | None = None,
+    **options: Any,
+) -> SourceImportance:
+    """Exact PTIME Shapley over the pipeline's source rows (Datascope).
+
+    The sub-second replacement for hours of Monte-Carlo retraining: the
+    pipeline is compiled to canonical provenance form
+    (:func:`compile_pipeline`) and the KNN-Shapley game is played with
+    *source rows as players*, valued exactly — ``stderr`` is identically
+    zero and ``extras["valuation"].stop_reason == "exact"``. Any ``k``
+    for map-form pipelines; fork-form (a source row feeding several
+    encoded rows) requires ``k=1``. Pass ``ledger=`` to record the
+    compile fingerprint in the run ledger.
+    """
+    if validation_result.X is None:
+        raise TypeError("validation pipeline result has no encoded output")
+    return datascope_importance(
+        train_result,
+        validation_result.X,
+        validation_result.y,
+        source=source,
+        k=k,
+        method="exact_knn",
+        ledger=ledger,
+        **options,
     )
 
 

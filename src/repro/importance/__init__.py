@@ -12,6 +12,7 @@ method                 cost profile                                   needs
 ``banzhaf_mc``         n_samples retrainings (max sample reuse)       valid set
 ``beta_shapley_mc``    like ``shapley_mc``                            valid set
 ``knn_shapley``        exact, O(n log n) per validation point         valid set
+``exact_knn_shapley``  exact, per *pipeline source row* (PTIME)       canonical form
 ``influence``          1 training + 1 linear solve                    valid set
 ``tracin``             1 training + matrix product                    valid set
 ``confident_learning`` k-fold cross-validation                        labels only
@@ -44,6 +45,7 @@ from .engine import (
     ValuationResult,
     parallel_map,
 )
+from .exact_knn import exact_knn_shapley, grouped_knn_utility
 from .gopher import FairnessExplanation, Predicate, gopher_explanations
 from .pool import (
     PoolRegistry,
@@ -103,6 +105,8 @@ __all__ = [
     "FairnessExplanation",
     "Predicate",
     "gopher_explanations",
+    "exact_knn_shapley",
+    "grouped_knn_utility",
     "influence_importance",
     "per_sample_gradients",
     "tracin_importance",

@@ -6,13 +6,24 @@
   policies, retry/timeout guards, and the row-level :class:`Quarantine`.
 - :mod:`plan`: query-plan rendering (``show_query_plan``).
 - :mod:`datascope`: Shapley importance over pipelines via the KNN proxy.
+- :mod:`canonical`: the Datascope canonical-pipeline compiler — classifies
+  nodes as map/fork/join/estimator and emits per-source-row additive
+  provenance polynomials for exact PTIME valuation
+  (``datascope_importance(method="exact_knn")``).
 - :mod:`inspections` / :mod:`screening`: mlinspect-style checks and
   ArgusEyes-style CI screening.
 - :mod:`complaints`: Rain-style complaint-driven data debugging.
 """
 
+from .canonical import (
+    CanonicalCompileError,
+    CanonicalPipeline,
+    classify_nodes,
+    compile_pipeline,
+    infer_attribution_source,
+)
 from .complaints import Complaint, ComplaintResolution, resolve_complaint
-from .datascope import SourceImportance, datascope_importance
+from .datascope import ALLOWED_METHODS, SourceImportance, datascope_importance
 from .drift import categorical_drift, drift_report, label_balance_shift, numeric_drift
 from .execute import (
     PipelineResult,
@@ -72,9 +83,15 @@ from .templates import letters_pipeline
 from .whatif import WhatIfReport, WhatIfVariant, run_what_if
 
 __all__ = [
+    "CanonicalCompileError",
+    "CanonicalPipeline",
+    "classify_nodes",
+    "compile_pipeline",
+    "infer_attribution_source",
     "Complaint",
     "ComplaintResolution",
     "resolve_complaint",
+    "ALLOWED_METHODS",
     "SourceImportance",
     "datascope_importance",
     "categorical_drift",

@@ -10,10 +10,20 @@ of the pipeline's *source tables*, where repairs actually happen:
 3. push each output row's value back to the unique source tuple it descends
    from; source tuples filtered out by the pipeline receive zero (they
    cannot influence the model through this pipeline).
+
+``method="exact_knn"`` goes one step further (Karlaš et al., arXiv
+2204.11131): the pipeline is compiled to canonical provenance form
+(:mod:`repro.pipeline.canonical`) and the Shapley game is played over
+*source rows as players* — each player's coalition membership toggles its
+whole candidate group — valued exactly in polynomial time by
+:mod:`repro.importance.exact_knn`. That is the correct group-removal
+semantics for fan-out pipelines, where pushing per-encoded-row values
+back (steps 2–3 above) is only an approximation.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -21,13 +31,19 @@ import numpy as np
 
 from ..frame import DataFrame
 from ..importance.engine import DEFAULT_CACHE_SIZE, ValuationEngine
+from ..importance.exact_knn import exact_knn_shapley
 from ..importance.knn_shapley import knn_shapley
 from ..importance.shapley import shapley_mc
 from ..importance.utility import Utility
 from ..obs import trace as _obs
+from .canonical import compile_pipeline, infer_attribution_source
 from .execute import PipelineResult
 
-__all__ = ["SourceImportance", "datascope_importance"]
+__all__ = ["SourceImportance", "datascope_importance", "ALLOWED_METHODS"]
+
+#: Valuation methods ``datascope_importance`` accepts; error messages
+#: enumerate this tuple so it can never drift from the dispatch below.
+ALLOWED_METHODS = ("knn", "shapley_mc", "exact_knn")
 
 
 @dataclass
@@ -77,6 +93,7 @@ def datascope_importance(
     n_workers: int = 1,
     cache_size: int = DEFAULT_CACHE_SIZE,
     engine: ValuationEngine | None = None,
+    ledger: Any = None,
 ) -> SourceImportance:
     """KNN-Shapley importance of a pipeline's source tuples.
 
@@ -103,52 +120,49 @@ def datascope_importance(
     method:
         ``"knn"`` (default) computes the exact closed-form KNN-Shapley
         values of the encoded output — the polynomial-time proxy that makes
-        Datascope practical. ``"shapley_mc"`` instead runs Monte-Carlo
-        Shapley of an *arbitrary* ``model`` over the encoded rows on the
-        shared valuation engine (:mod:`repro.importance.engine`), so
-        importance can be measured under the pipeline's real downstream
-        model, with subset memoization, ``n_workers``-way retraining
-        fan-out, optional truncation and convergence-based stopping.
+        Datascope practical. ``"exact_knn"`` compiles the pipeline to
+        canonical provenance form and values *source rows as players*
+        exactly (group-removal semantics; see
+        :mod:`repro.importance.exact_knn` for the map/fork forms and the
+        fork ``k=1`` restriction). ``"shapley_mc"`` instead runs
+        Monte-Carlo Shapley of an *arbitrary* ``model`` over the encoded
+        rows on the shared valuation engine
+        (:mod:`repro.importance.engine`), so importance can be measured
+        under the pipeline's real downstream model, with subset
+        memoization, ``n_workers``-way retraining fan-out, optional
+        truncation and convergence-based stopping.
     model:
         Estimator prototype for ``method="shapley_mc"``; defaults to the
         facade's logistic-regression classifier.
     engine:
         Pre-built :class:`ValuationEngine` to reuse (and warm) across
         calls; overrides ``model``/``n_workers``/``cache_size``.
+    ledger:
+        Optional :class:`~repro.obs.ledger.RunLedger`. With
+        ``method="exact_knn"`` the compile fingerprint and an
+        ``exact_knn`` valuation event are recorded on it.
     """
     if attribution not in ("unique", "shared"):
         raise ValueError(f"unknown attribution mode: {attribution!r}")
-    if method not in ("knn", "shapley_mc"):
-        raise ValueError(f"unknown method: {method!r}")
+    if method not in ALLOWED_METHODS:
+        raise ValueError(
+            f"unknown method: {method!r}; allowed methods: "
+            f"{', '.join(repr(m) for m in ALLOWED_METHODS)}"
+        )
     if train_result.X is None or train_result.y is None:
         raise ValueError("train_result has no encoded output")
+    if len(train_result.X) == 0:
+        raise ValueError(
+            "pipeline produced no encoded rows; nothing to value "
+            "(every source tuple was filtered out or quarantined)"
+        )
     if source is None:
-        # Candidates: sources whose tuples map 1:1 onto output rows (side
-        # tables feed many outputs from few tuples, so they drop out).
-        candidates = sorted(train_result.provenance.sources())
-        unique = []
-        for name in candidates:
-            try:
-                ids = train_result.provenance.source_row_ids(name)
-            except ValueError:
-                continue
-            if len(np.unique(ids)) == len(ids):
-                unique.append(name)
-        # Tie-break: the *driving* table of a left-deep pipeline is the
-        # leftmost source node reachable from the sink.
-        node = train_result.sink
-        while node.inputs:
-            node = node.inputs[0]
-        leftmost = getattr(node, "name", None)
-        if leftmost in unique:
-            source = leftmost
-        elif len(unique) == 1:
-            source = unique[0]
-        else:
-            raise ValueError(
-                f"cannot infer attribution source automatically from {unique}; "
-                "pass source= explicitly"
-            )
+        source = infer_attribution_source(train_result)
+
+    if method == "exact_knn":
+        return _exact_knn_importance(
+            train_result, valid_x, valid_y, source=source, k=k, ledger=ledger
+        )
 
     with _obs.span(
         "pipeline.datascope",
@@ -205,5 +219,65 @@ def datascope_importance(
             "encoded": encoded,
             "attribution": attribution,
             "method": method,
+        },
+    )
+
+
+def _exact_knn_importance(
+    train_result: PipelineResult,
+    valid_x: Any,
+    valid_y: Any,
+    source: str,
+    k: int,
+    ledger: Any,
+) -> SourceImportance:
+    """The exact PTIME path: compile to canonical form, value per player.
+
+    Unlike the push-back paths, attribution semantics are fixed: the
+    players *are* source rows, so each value already carries the full
+    group-removal meaning and no ``attribution`` mode applies.
+    """
+    started = time.perf_counter()
+    with _obs.span(
+        "pipeline.datascope",
+        method="exact_knn",
+        source=source,
+        n_rows=len(train_result.provenance),
+        attribution="group",
+    ):
+        compiled = compile_pipeline(train_result, source=source, ledger=ledger)
+        valuation = exact_knn_shapley(
+            train_result.X,
+            train_result.y,
+            np.asarray(valid_x, float),
+            np.asarray(valid_y),
+            groups=compiled.groups,
+            k=k,
+        )
+    if ledger is not None:
+        ledger.record_event(
+            "exact_knn",
+            config={"source": source, "k": k,
+                    "compile_fingerprint": compiled.fingerprint},
+            stats=dict(valuation.census, stop_reason=valuation.stop_reason),
+            wall_time_s=time.perf_counter() - started,
+        )
+    by_row_id = {
+        int(rid): float(value)
+        for rid, value in zip(compiled.player_row_ids, valuation.values)
+    }
+    return SourceImportance(
+        source=source,
+        by_row_id=by_row_id,
+        method=f"datascope_exact_knn(k={k})",
+        extras={
+            "k": k,
+            "n_output_rows": len(train_result.provenance),
+            "valuation": valuation,
+            "compiled": compiled,
+            "form": compiled.form,
+            "compile_fingerprint": compiled.fingerprint,
+            "attribution": "group",
+            "method": "exact_knn",
         },
     )

@@ -65,8 +65,14 @@ class Node:
     def filter(self, predicate: Callable, description: str = "") -> "FilterNode":
         return FilterNode(self.plan, self, predicate, description)
 
-    def with_column(self, name: str, func: Callable, description: str = "") -> "MapNode":
-        return MapNode(self.plan, self, name, func, description)
+    def with_column(
+        self,
+        name: str,
+        func: Callable,
+        description: str = "",
+        aggregate: bool = False,
+    ) -> "MapNode":
+        return MapNode(self.plan, self, name, func, description, aggregate=aggregate)
 
     def project(self, columns: Sequence[str]) -> "ProjectNode":
         return ProjectNode(self.plan, self, list(columns))
@@ -131,15 +137,30 @@ class FilterNode(Node):
 
 
 class MapNode(Node):
-    """Adds or replaces a column via a user-defined function over the frame."""
+    """Adds or replaces a column via a user-defined function over the frame.
+
+    ``aggregate=True`` declares that the UDF reads *across* rows (a mean,
+    a rank, a window) rather than row-locally. Execution is unchanged —
+    provenance stays row-preserving either way — but the canonical
+    compiler (:mod:`repro.pipeline.canonical`) refuses to compile
+    aggregate maps: their outputs depend on every input row, so exact
+    per-source valuation through them would silently mis-attribute.
+    """
 
     kind = "map"
 
     def __init__(
-        self, plan: "PipelinePlan", parent: Node, name: str, func: Callable, description: str
+        self,
+        plan: "PipelinePlan",
+        parent: Node,
+        name: str,
+        func: Callable,
+        description: str,
+        aggregate: bool = False,
     ) -> None:
         self.name = name
         self.func = func
+        self.aggregate = bool(aggregate)
         self.description = description or f"{name} = udf(row)"
         super().__init__(plan, [parent])
 

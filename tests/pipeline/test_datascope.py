@@ -107,6 +107,22 @@ class TestDatascope:
                 train_result, valid_result.X, valid_result.y, method="bogus"
             )
 
+    def test_unknown_method_message_enumerates_allowed(self, train_and_valid_results):
+        """The error must name every allowed method, derived dynamically —
+        adding a method to ALLOWED_METHODS updates the diagnostic for free."""
+        from repro.pipeline import ALLOWED_METHODS
+
+        train_result, valid_result = train_and_valid_results
+        with pytest.raises(ValueError, match="allowed methods") as exc:
+            datascope_importance(
+                train_result, valid_result.X, valid_result.y, method="bogus"
+            )
+        message = str(exc.value)
+        assert "'bogus'" in message
+        for allowed in ALLOWED_METHODS:
+            assert f"'{allowed}'" in message
+        assert set(ALLOWED_METHODS) == {"knn", "shapley_mc", "exact_knn"}
+
     def test_unencoded_result_raises(self, sources):
         from repro.pipeline import PipelinePlan
 
@@ -115,3 +131,108 @@ class TestDatascope:
         result = execute(node, {"train_df": sources["train_df"]})
         with pytest.raises(ValueError):
             datascope_importance(result, np.zeros((2, 2)), np.zeros(2))
+
+    @pytest.mark.parametrize("method", ["knn", "exact_knn"])
+    def test_empty_encoded_frame_raises(self, sources, method):
+        """A pipeline whose filters drop every row cannot be valued."""
+        from repro.learn import ColumnTransformer, StandardScaler
+        from repro.pipeline import PipelinePlan
+
+        plan = PipelinePlan()
+        sink = (
+            plan.source("train_df")
+            .filter(lambda df: df["age"] > 10_000, "age > 10000")
+            .encode(
+                ColumnTransformer([(StandardScaler(), ["age"])]),
+                label_column="sentiment",
+            )
+        )
+        result = execute(sink, {"train_df": sources["train_df"]}, fit=True)
+        assert result.n_rows == 0
+        with pytest.raises(ValueError, match="no encoded rows"):
+            datascope_importance(
+                result, np.zeros((2, 1)), np.zeros(2), source="train_df",
+                method=method,
+            )
+
+
+class TestExactKnn:
+    def test_exact_knn_matches_push_back_on_map_form(self, train_and_valid_results):
+        """The letters pipeline is 1:1 from train_df to encoded rows, so the
+        grouped game degenerates to the per-row game and the exact path must
+        agree with the classic per-row push-back to the digit."""
+        train_result, valid_result = train_and_valid_results
+        exact = datascope_importance(
+            train_result, valid_result.X, valid_result.y, source="train_df",
+            k=3, method="exact_knn",
+        )
+        push_back = datascope_importance(
+            train_result, valid_result.X, valid_result.y, source="train_df",
+            k=3, method="knn",
+        )
+        assert exact.extras["form"] == "map"
+        assert set(exact.by_row_id) == set(push_back.by_row_id)
+        for rid, value in exact.by_row_id.items():
+            assert value == pytest.approx(push_back.by_row_id[rid], abs=1e-9)
+
+    def test_exact_knn_valuation_metadata(self, train_and_valid_results):
+        train_result, valid_result = train_and_valid_results
+        importance = datascope_importance(
+            train_result, valid_result.X, valid_result.y, source="train_df",
+            k=1, method="exact_knn",
+        )
+        valuation = importance.extras["valuation"]
+        assert valuation.stop_reason == "exact"
+        assert valuation.converged
+        assert np.all(valuation.stderr == 0.0)
+        assert valuation.census["n_evaluations"] == 0
+        compiled = importance.extras["compiled"]
+        assert importance.extras["compile_fingerprint"] == compiled.fingerprint
+        assert importance.method.startswith("datascope_exact_knn")
+
+    def test_exact_knn_records_ledger_events(self, train_and_valid_results, tmp_path):
+        from repro.obs import RunLedger
+
+        train_result, valid_result = train_and_valid_results
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        datascope_importance(
+            train_result, valid_result.X, valid_result.y, source="train_df",
+            k=1, method="exact_knn", ledger=ledger,
+        )
+        kinds = [record.kind for record in ledger.load()]
+        assert "canonical_compile" in kinds
+        assert "exact_knn" in kinds
+        compile_record = next(
+            r for r in ledger.load() if r.kind == "canonical_compile"
+        )
+        assert compile_record.stats["form"] == "map"
+        assert compile_record.stats["fingerprint"]
+
+    def test_exact_knn_single_class_training_set(self):
+        """Degenerate but legal: one class everywhere — every subset scores
+        identical utility per validation point, values are well-defined."""
+        from repro.frame import DataFrame
+        from repro.learn import ColumnTransformer, StandardScaler
+        from repro.pipeline import PipelinePlan
+
+        rng = np.random.default_rng(0)
+        frame = DataFrame(
+            {"a": rng.normal(size=8), "b": rng.normal(size=8),
+             "y": np.zeros(8, dtype=np.int64)},
+            row_ids=np.arange(8),
+        )
+        plan = PipelinePlan()
+        sink = plan.source("t").encode(
+            ColumnTransformer([(StandardScaler(), ["a", "b"])]), label_column="y"
+        )
+        result = execute(sink, {"t": frame}, fit=True)
+        vx = rng.normal(size=(4, 2))
+        importance = datascope_importance(
+            result, vx, np.zeros(4, dtype=np.int64), source="t",
+            k=1, method="exact_knn",
+        )
+        values = np.asarray(list(importance.by_row_id.values()))
+        # Matches everywhere: the grand utility is 1.0 and, with v(∅)=0,
+        # only the first-seated player gets credit symmetry spreads it.
+        assert values.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(values >= -1e-12)

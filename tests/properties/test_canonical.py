@@ -1,0 +1,193 @@
+"""Property tests of the canonical-pipeline compiler.
+
+Hypothesis generates random *compilable* pipelines (chains of filters,
+row-wise maps, and projections over one or two sources, ending in an
+encode) and asserts the compiler's contracts:
+
+- round-trip: the emitted provenance polynomials reconstruct exactly the
+  provenance the executor recorded (``CanonicalPipeline.validate``);
+- determinism: recompiling — and re-executing then recompiling — yields
+  the identical fingerprint, groups, and node classification;
+- rejection: non-compilable constructs (aggregate maps, self-joins where
+  the attribution source reaches both join inputs) always raise
+  :class:`CanonicalCompileError` naming the offending node.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import DataFrame
+from repro.learn import ColumnTransformer, StandardScaler
+from repro.pipeline import (
+    CanonicalCompileError,
+    PipelinePlan,
+    classify_nodes,
+    compile_pipeline,
+    execute,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+# Each op is (tag, parameter); applied in sequence on top of the source.
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("filter"), st.floats(min_value=-1.0, max_value=1.0)),
+        st.tuples(st.just("map"), st.sampled_from(["a+b", "a*b", "a-b"])),
+        st.tuples(st.just("project"), st.just(None)),
+    ),
+    min_size=0,
+    max_size=4,
+)
+
+MAP_FUNCS = {
+    "a+b": lambda df: df["a"] + df["b"],
+    "a*b": lambda df: df["a"] * df["b"],
+    "a-b": lambda df: df["a"] - df["b"],
+}
+
+
+def _encoder():
+    return ColumnTransformer([(StandardScaler(), ["a", "b"])])
+
+
+def _frame(n, seed, with_key=False):
+    rng = np.random.default_rng(seed)
+    data = {
+        "a": rng.normal(size=n),
+        "b": rng.normal(size=n),
+        "y": rng.integers(0, 2, size=n),
+    }
+    if with_key:
+        data["key"] = ["k%d" % (i % 3) for i in range(n)]
+    return DataFrame(data, row_ids=np.arange(n))
+
+
+def _build(op_list, seed, joined):
+    """Random compilable pipeline; returns (sink, frames, source_name)."""
+    plan = PipelinePlan()
+    node = plan.source("train_df")
+    frames = {"train_df": _frame(10, seed, with_key=joined)}
+    if joined:
+        side = DataFrame(
+            {"key": ["k0", "k1", "k2"], "w": [0.1, 0.2, 0.3]},
+            row_ids=[500, 501, 502],
+        )
+        frames["side_df"] = side
+        node = node.join(plan.source("side_df"), on="key")
+    for i, (tag, param) in enumerate(op_list):
+        if tag == "filter":
+            # Capture param by value; keep at least a loose predicate so
+            # most generated pipelines keep some rows.
+            node = node.filter(
+                (lambda t: lambda df: df["a"] > t)(param), f"a > {param:.2f}"
+            )
+        elif tag == "map":
+            node = node.with_column(f"m{i}", MAP_FUNCS[param], param)
+        else:
+            keep = ["a", "b", "y"] + (["key"] if joined else [])
+            node = node.project(keep)
+    sink = node.encode(_encoder(), label_column="y")
+    return sink, frames
+
+
+class TestRoundTrip:
+    @given(op_list=ops, seed=seeds, joined=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_polynomials_round_trip_provenance(self, op_list, seed, joined):
+        sink, frames = _build(op_list, seed, joined)
+        result = execute(sink, frames)
+        if result.n_rows == 0:
+            return  # filters dropped everything; compile rejects, tested below
+        compiled = compile_pipeline(result, source="train_df")
+        compiled.validate(result.provenance)
+        # Every group position is a real output row, every output row is
+        # owned by exactly one player.
+        owned = np.concatenate(
+            [g for g in compiled.groups if len(g)] or [np.array([], dtype=np.int64)]
+        )
+        assert sorted(owned.tolist()) == list(range(result.n_rows))
+        # Groups sizes mirror the executor's provenance fan-out.
+        for rid, group in zip(compiled.player_row_ids, compiled.groups):
+            expect = [
+                i
+                for i, tuples in enumerate(result.provenance.tuples)
+                if any(s == "train_df" and r == rid for s, r in tuples)
+            ]
+            assert group.tolist() == expect
+
+    @given(op_list=ops, seed=seeds, joined=st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_compile_is_deterministic(self, op_list, seed, joined):
+        sink, frames = _build(op_list, seed, joined)
+        result = execute(sink, frames)
+        if result.n_rows == 0:
+            return
+        first = compile_pipeline(result, source="train_df")
+        again = compile_pipeline(result, source="train_df")
+        rerun = compile_pipeline(execute(sink, frames), source="train_df")
+        for other in (again, rerun):
+            assert other.fingerprint == first.fingerprint
+            assert other.form == first.form
+            assert other.node_classes == first.node_classes
+            assert other.player_row_ids.tolist() == first.player_row_ids.tolist()
+            for g1, g2 in zip(first.groups, other.groups):
+                assert g1.tolist() == g2.tolist()
+
+    @given(op_list=ops, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_single_source_chains_are_map_form(self, op_list, seed):
+        sink, frames = _build(op_list, seed, joined=False)
+        result = execute(sink, frames)
+        if result.n_rows == 0:
+            return
+        compiled = compile_pipeline(result, source="train_df")
+        assert compiled.form == "map"
+        assert all(len(g) <= 1 for g in compiled.groups)
+
+
+class TestRejection:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_aggregate_map_always_rejected(self, seed):
+        plan = PipelinePlan()
+        node = plan.source("train_df").with_column(
+            "mean_a",
+            lambda df: np.full(len(df["a"]), df["a"].mean()),
+            "mean(a)", aggregate=True,
+        )
+        sink = node.encode(_encoder(), label_column="y")
+        result = execute(sink, {"train_df": _frame(8, seed)})
+        with pytest.raises(CanonicalCompileError, match="aggregation") as exc:
+            compile_pipeline(result, source="train_df")
+        assert exc.value.node_kind == "map"
+        assert f"#{node.id}" in str(exc.value)
+        with pytest.raises(CanonicalCompileError):
+            classify_nodes(sink, "train_df")
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_self_join_always_rejected(self, seed):
+        # The attribution source reaches both join inputs → conjunction
+        # polynomials, not compilable to additive canonical form.
+        plan = PipelinePlan()
+        src = plan.source("train_df")
+        joined = src.join(src, on="key")
+        sink = joined.encode(_encoder(), label_column="y")
+        result = execute(sink, {"train_df": _frame(6, seed, with_key=True)})
+        with pytest.raises(CanonicalCompileError, match="both join inputs") as exc:
+            compile_pipeline(result, source="train_df")
+        assert exc.value.node_id == joined.id
+
+    def test_empty_output_rejected_with_diagnostic(self):
+        plan = PipelinePlan()
+        sink = (
+            plan.source("train_df")
+            .filter(lambda df: df["a"] > 1e9, "a > 1e9")
+            .encode(_encoder(), label_column="y")
+        )
+        result = execute(sink, {"train_df": _frame(6, seed=0)})
+        assert result.n_rows == 0
+        with pytest.raises(CanonicalCompileError, match="no output rows"):
+            compile_pipeline(result, source="train_df")

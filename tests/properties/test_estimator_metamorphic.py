@@ -12,6 +12,8 @@ from hypothesis import strategies as st
 
 from repro.importance import (
     banzhaf_brute_force,
+    exact_knn_shapley,
+    grouped_knn_utility,
     knn_shapley,
     loo_importance,
     shapley_brute_force,
@@ -162,3 +164,73 @@ class TestKnnShapleyMetamorphic:
         values = knn_shapley(x, y, x_valid, y_valid, k=2).values
         grand = knn_utility(np.arange(n), x, y, x_valid, y_valid, k=2)
         assert np.isclose(values.sum(), grand, atol=1e-8)
+
+
+def _random_groups(rng, n_players, n_candidates):
+    """Random disjoint fan-out: every candidate owned by exactly one player."""
+    owner = rng.integers(0, n_players, size=n_candidates)
+    return [np.flatnonzero(owner == p) for p in range(n_players)]
+
+
+class TestExactKnnMetamorphic:
+    """The exact pipeline path must satisfy the same Shapley axioms."""
+
+    @given(seed=seeds, n_players=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_efficiency_sums_to_utility_gap(self, seed, n_players):
+        rng = np.random.default_rng(seed)
+        n = n_players * 2
+        x = rng.normal(size=(n, 2))
+        y = rng.integers(0, 2, size=n)
+        x_valid = rng.normal(size=(4, 2))
+        y_valid = rng.integers(0, 2, size=4)
+        groups = _random_groups(rng, n_players, n)
+        values = exact_knn_shapley(x, y, x_valid, y_valid, groups, k=1).values
+        grand = grouped_knn_utility(
+            range(n_players), groups, x, y, x_valid, y_valid, k=1
+        )
+        empty = grouped_knn_utility([], groups, x, y, x_valid, y_valid, k=1)
+        assert np.isclose(values.sum(), grand - empty, atol=1e-8)
+
+    @given(seed=seeds, n_players=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_duplicate_source_rows_get_equal_values(self, seed, n_players):
+        # Two players whose candidate groups are identical copies (same
+        # features, same labels) are interchangeable: Shapley symmetry.
+        rng = np.random.default_rng(seed)
+        per = int(rng.integers(1, 4))
+        block = rng.normal(size=(per, 2))
+        labels = rng.integers(0, 2, size=per)
+        extra = rng.normal(size=(n_players * 2, 2))
+        extra_y = rng.integers(0, 2, size=n_players * 2)
+        x = np.vstack([block, block, extra])
+        y = np.concatenate([labels, labels, extra_y])
+        groups = [np.arange(per), np.arange(per, 2 * per)]
+        rest = _random_groups(rng, n_players, len(extra))
+        groups += [g + 2 * per for g in rest]
+        x_valid = rng.normal(size=(4, 2))
+        y_valid = rng.integers(0, 2, size=4)
+        values = exact_knn_shapley(x, y, x_valid, y_valid, groups, k=1).values
+        assert np.isclose(values[0], values[1], atol=1e-9)
+
+    @given(seed=seeds, n_players=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_flipping_a_source_rows_labels_never_helps(self, seed, n_players):
+        # Relabel every candidate of one player to a class absent from the
+        # validation set: the player's match indicators can only drop, so
+        # its exact value must weakly decrease.
+        rng = np.random.default_rng(seed)
+        n = n_players * 2
+        x = rng.normal(size=(n, 2))
+        y = rng.integers(0, 2, size=n)
+        x_valid = rng.normal(size=(4, 2))
+        y_valid = rng.integers(0, 2, size=4)
+        groups = _random_groups(rng, n_players, n)
+        target = int(rng.integers(0, n_players))
+        before = exact_knn_shapley(x, y, x_valid, y_valid, groups, k=1).values
+        y_flipped = y.copy()
+        y_flipped[groups[target]] = 2
+        after = exact_knn_shapley(
+            x, y_flipped, x_valid, y_valid, groups, k=1
+        ).values
+        assert after[target] <= before[target] + 1e-9
