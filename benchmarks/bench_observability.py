@@ -17,6 +17,13 @@ valuation-engine workload and pins it with an assertion:
 
 Direct enabled-vs-disabled wall-clock deltas are reported but not asserted:
 on shared CI runners the noise floor exceeds the overhead being measured.
+
+The second experiment prices the *worker-span backhaul*: a warm-pool
+parallel run with tracing on ships every worker's spans and metric deltas
+home over the result pipes. Best-of-N wall-clock for traced vs untraced
+pooled runs is asserted to stay within 5% (plus an absolute noise floor
+for short smoke-sized runs), with values bit-identical either way and the
+merged trace actually containing the workers' chunk spans.
 """
 
 import os
@@ -25,7 +32,7 @@ import time
 import numpy as np
 
 from repro.datasets import make_classification
-from repro.importance import Utility, ValuationEngine, shapley_mc
+from repro.importance import Utility, ValuationEngine, shapley_mc, valuation_pool
 from repro.learn import LogisticRegression
 from repro.obs import trace as obs
 from repro.obs import tracing
@@ -38,6 +45,11 @@ MICROBENCH_CALLS = 200_000
 #: Every span comes with a handful of ``enabled()``-gated metric updates;
 #: 4 flag checks per span over-counts every instrumentation site in tree.
 SITES_PER_SPAN = 4
+POOL_WORKERS = int(os.environ.get("REPRO_BENCH_OBS_POOL_WORKERS", "2"))
+BACKHAUL_REPEATS = int(os.environ.get("REPRO_BENCH_OBS_REPEATS", "3"))
+#: Absolute slack added to the 5% bound: smoke-sized runs finish in tens of
+#: milliseconds, where scheduler jitter alone exceeds five percent.
+BACKHAUL_NOISE_FLOOR_S = 0.05
 
 
 def _utility() -> Utility:
@@ -48,9 +60,9 @@ def _utility() -> Utility:
     )
 
 
-def _workload(engine: ValuationEngine) -> np.ndarray:
+def _workload(engine: ValuationEngine, seed: int = 0) -> np.ndarray:
     return shapley_mc(
-        None, n_permutations=ENGINE_PERMUTATIONS, seed=0, engine=engine
+        None, n_permutations=ENGINE_PERMUTATIONS, seed=seed, engine=engine
     ).values
 
 
@@ -123,3 +135,87 @@ def test_disabled_overhead_under_five_percent(benchmark, write_report, results_d
         ENGINE_PERMUTATIONS
     )
     assert trace_path.exists()
+
+
+def run_pool_backhaul_overhead() -> dict:
+    """Best-of-N pooled wall-clock, tracing (and span backhaul) off vs on.
+
+    Every *timed* run gets its own permutation seed: the warm pool's
+    subset cache is shared across engines over the same dataset, so a
+    repeated seed would be served from cache and the timing would price
+    cache-hit dispatch, not the backhaul riding real evaluations.
+    Bit-identity is checked untimed on a shared seed at the end.
+    """
+    obs.disable()
+    obs.get_recorder().reset()
+
+    def pooled_run(seed: int) -> np.ndarray:
+        return _workload(
+            ValuationEngine(_utility(), n_workers=POOL_WORKERS), seed=seed
+        )
+
+    with valuation_pool(n_workers=POOL_WORKERS):
+        # Warm the fleet (and the per-fingerprint dataset segments) once so
+        # neither side of the comparison pays process start-up.
+        pooled_run(seed=10_000)
+
+        disabled_wall = []
+        for repeat in range(BACKHAUL_REPEATS):
+            start = time.perf_counter()
+            pooled_run(seed=repeat)
+            disabled_wall.append(time.perf_counter() - start)
+        assert len(obs.get_recorder()) == 0  # nothing shipped while off
+
+        enabled_wall = []
+        worker_span_counts = []
+        for repeat in range(BACKHAUL_REPEATS):
+            start = time.perf_counter()
+            with tracing() as report:
+                pooled_run(seed=1_000 + repeat)
+            enabled_wall.append(time.perf_counter() - start)
+            worker_span_counts.append(sum(
+                1 for s in report.spans if s.name.startswith("worker.")
+            ))
+
+        # Fidelity, untimed (cache hits are fine here): a traced pooled
+        # run returns exactly what the untraced one did.
+        untraced = pooled_run(seed=20_000)
+        with tracing():
+            traced = pooled_run(seed=20_000)
+        assert np.array_equal(traced, untraced)
+
+    disabled_best = min(disabled_wall)
+    enabled_best = min(enabled_wall)
+    return {
+        "pool_workers": POOL_WORKERS,
+        "repeats": BACKHAUL_REPEATS,
+        "disabled_best_s": round(disabled_best, 4),
+        "enabled_best_s": round(enabled_best, 4),
+        "backhaul_delta_s": round(enabled_best - disabled_best, 4),
+        "backhaul_overhead_fraction": round(
+            (enabled_best - disabled_best) / disabled_best, 6
+        ),
+        "worker_spans_merged": worker_span_counts[0],
+        "_disabled_best": disabled_best,
+        "_enabled_best": enabled_best,
+    }
+
+
+def test_pool_backhaul_overhead_under_five_percent(benchmark, write_report):
+    row = benchmark.pedantic(
+        run_pool_backhaul_overhead, rounds=1, iterations=1
+    )
+    disabled_best = row.pop("_disabled_best")
+    enabled_best = row.pop("_enabled_best")
+    write_report("obs_backhaul", format_records([row]), records=row)
+
+    # Fidelity first: the traced pooled run actually merged worker spans
+    # into the driver trace (the backhaul was exercised, not skipped).
+    assert row["worker_spans_merged"] > 0
+
+    # Shipping worker spans home over the result pipes must cost < 5% of
+    # the pooled run. Best-of-N suppresses scheduler jitter; the absolute
+    # floor keeps smoke-sized runs (tens of ms) from failing on noise.
+    assert enabled_best <= (
+        1.05 * disabled_best + BACKHAUL_NOISE_FLOOR_S
+    )

@@ -10,9 +10,12 @@ yielding the event loop, so admission control — not scheduling luck —
 decides who queues, who is shed, and who is rejected.
 
 Reported: p50/p99 end-to-end latency for admitted-and-completed traffic
-vs time-to-rejection for shed traffic, terminal-state counts, retry and
-dedup counts, and the hard invariants (bounded queue depth, every
-submitted job terminal, empty recovery set afterwards — zero lost jobs).
+vs time-to-rejection for shed traffic, per-tenant p50/p99 and burn rate
+straight from the runtime's :class:`~repro.obs.slo.SLOTracker` (the same
+histograms the ``/metrics`` and ``/slo`` endpoints serve), terminal-state
+counts, retry and dedup counts, and the hard invariants (bounded queue
+depth, every submitted job terminal, empty recovery set afterwards — zero
+lost jobs).
 
 Environment knobs (CI smoke sizes): ``REPRO_BENCH_SVC_ROUNDS`` (burst
 rounds), ``REPRO_BENCH_SVC_JOBS`` (jobs per tenant per burst),
@@ -147,20 +150,42 @@ async def drive(journal_path: str, checkpoint_dir: str) -> dict:
             await runtime.drain()  # absorb the burst before the next one
 
     jobs = list(runtime.jobs.values())
-    completed = [j.latency_s for j in jobs if j.state is JobState.COMPLETED]
-    degraded = [j.latency_s for j in jobs if j.state is JobState.DEGRADED]
     rejected = [j.latency_s for j in jobs if j.state is JobState.REJECTED]
     stats = runtime.stats()
+    # Per-tenant latency comes from the runtime's SLO tracker — the same
+    # windowed histograms the /metrics and /slo endpoints serve — rather
+    # than re-deriving it from raw job records here.
+    slo_snapshot = runtime.slo.snapshot()
+    tenants = {}
+    for tenant in runtime.slo.tenants():
+        quantiles = runtime.slo.quantiles(tenant, kind="valuation")
+        tenants[tenant] = {
+            "p50_ms": round(1e3 * (quantiles["p50_s"] or 0.0), 2),
+            "p99_ms": round(1e3 * (quantiles["p99_s"] or 0.0), 2),
+            "observed": quantiles["count"],
+            "burn_rate": round(slo_snapshot[tenant]["burn_rate"], 3),
+            "deadline_hit_ratio": round(
+                slo_snapshot[tenant]["deadline_hit_ratio"], 3
+            ),
+            "shed_ratio": round(slo_snapshot[tenant]["shed_ratio"], 3),
+        }
+    fleet_completed = [
+        j.latency_s for j in jobs if j.state is JobState.COMPLETED
+    ]
     return {
         "offered_load": submitted,
         "counts": {k: stats[k] for k in (
             "submitted", "admitted", "deduplicated", "rejected", "shed",
             "completed", "degraded", "failed", "retries",
         )},
+        "tenants": tenants,
+        "slo_jobs_observed": sum(
+            snap["jobs"] for snap in slo_snapshot.values()
+        ),
+        "slo_alerts": [a.to_dict() for a in runtime.slo.alerts()],
         "latency": {
-            "completed_p50_ms": round(1e3 * percentile(completed, 50), 2),
-            "completed_p99_ms": round(1e3 * percentile(completed, 99), 2),
-            "degraded_p50_ms": round(1e3 * percentile(degraded, 50), 2),
+            "completed_p50_ms": round(1e3 * percentile(fleet_completed, 50), 2),
+            "completed_p99_ms": round(1e3 * percentile(fleet_completed, 99), 2),
             "rejected_p99_ms": round(1e3 * percentile(rejected, 99), 2),
         },
         "max_queue_depth_seen": stats["max_queue_depth_seen"],
@@ -213,6 +238,12 @@ def test_service_load(benchmark, write_report):
     assert counts["retries"] >= result["chaos_job_crashes"] > 0
     assert result["slow_tenant_exercised"]
 
+    # The SLO tracker observed every terminal job the runtime produced.
+    assert result["slo_jobs_observed"] == terminal
+    assert set(result["tenants"]) == set(TENANTS)
+    for tenant_stats in result["tenants"].values():
+        assert tenant_stats["observed"] > 0
+
     rows = [
         {"metric": "offered jobs", "value": result["offered_load"]},
         {"metric": "completed", "value": counts["completed"]},
@@ -229,6 +260,12 @@ def test_service_load(benchmark, write_report):
         {"metric": "rejected p99 (ms)",
          "value": result["latency"]["rejected_p99_ms"]},
     ]
+    for tenant, tenant_stats in sorted(result["tenants"].items()):
+        rows.append({
+            "metric": f"tenant {tenant} p50/p99 (ms, SLO tracker)",
+            "value": f"{tenant_stats['p50_ms']}/{tenant_stats['p99_ms']}"
+                     f" burn={tenant_stats['burn_rate']}",
+        })
     text = "valuation service under burst load (chaos: crashes + noisy tenant)\n"
     text += format_records(rows)
     write_report("service", text, records=result)

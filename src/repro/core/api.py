@@ -45,8 +45,13 @@ from ..obs import (
     RunDiff,
     RunLedger,
     RunRecord,
+    SLOPolicy,
+    SLOTracker,
     TraceReport,
     compare_runs,
+    flight_recorder,
+    parse_openmetrics,
+    render_openmetrics,
     tracing,
 )
 from ..pipeline.canonical import CanonicalPipeline, compile_pipeline
@@ -59,6 +64,7 @@ from ..service import (
     JobRuntime,
     JobState,
     RetryPolicy,
+    TelemetryServer,
     register_valuation,
 )
 from ..pipeline.execute import PipelineResult, execute
@@ -117,8 +123,15 @@ __all__ = [
     "JobRuntime",
     "JobState",
     "RetryPolicy",
+    "SLOPolicy",
+    "SLOTracker",
+    "TelemetryServer",
+    "flight_recorder",
     "job_runtime",
+    "parse_openmetrics",
     "register_valuation",
+    "render_openmetrics",
+    "telemetry_server",
 ]
 
 _DEFAULT_EMBEDDER = TextEmbedder(n_features=48)
@@ -613,12 +626,17 @@ def job_runtime(
     model: Estimator | None = None,
     n_workers: int = 1,
     pool: Any | None = None,
+    slo: SLOPolicy | SLOTracker | None = None,
+    flight_dir: Any | None = None,
 ) -> JobRuntime:
     """A ready-to-serve :class:`~repro.service.JobRuntime` (the nde facade).
 
     Wires up admission control (``max_queue_depth``, per-tenant quota),
     per-tenant circuit breakers (``failure_threshold``/``cooldown_s``),
-    the crash-safe job journal, and per-job checkpointing. ``pool=4``
+    the crash-safe job journal, per-job checkpointing, per-tenant SLO
+    tracking (``slo`` — a policy or a shared tracker), and the crash
+    flight recorder (``flight_dir`` — where dumps land on worker crashes
+    and failed jobs). ``pool=4``
     (an int, or a :class:`PoolRegistry`) gives valuation jobs a warm
     shared-memory worker-pool registry: sequential jobs over the same
     dataset fingerprint reuse one long-lived fleet instead of forking per
@@ -651,6 +669,8 @@ def job_runtime(
         max_concurrency=max_concurrency,
         pool=pool,
         chaos=chaos,
+        slo=slo,
+        flight_dir=flight_dir,
     )
     if train_df is not None and validation is not None:
         engine = valuation_engine(
@@ -662,3 +682,25 @@ def job_runtime(
         )
         register_valuation(runtime, lambda params: engine)
     return runtime
+
+
+def telemetry_server(
+    runtime: JobRuntime,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> TelemetryServer:
+    """The operational HTTP surface for a runtime (the nde facade).
+
+    Returns an (unstarted) :class:`~repro.service.TelemetryServer` bound to
+    ``runtime``, serving ``/metrics`` (OpenMetrics text with tenant-labeled
+    latency histograms), ``/healthz`` (flips to 503 while draining),
+    ``/jobs``, and ``/slo``::
+
+        runtime = nde.job_runtime(train_df=train_df_err, validation=valid_df)
+        async with runtime, nde.telemetry_server(runtime) as server:
+            print(f"scrape {server.url}/metrics")
+
+    ``port=0`` (the default) binds an ephemeral port; read ``server.port``
+    after ``start()``.
+    """
+    return TelemetryServer(runtime, host=host, port=port)

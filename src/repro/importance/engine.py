@@ -1204,7 +1204,16 @@ class ValuationEngine:
             max_worker_restarts=self.max_worker_restarts,
             stats=self.supervision,
             on_event=self._supervision_event,
+            telemetry_sink=self._absorb_telemetry,
         )
+
+    def _absorb_telemetry(self, items: Sequence[tuple[int, int, Any]]) -> None:
+        """Merge worker telemetry from a fork-dispatcher fan-out: metric
+        deltas into the registry, spans adopted under per-slot ``worker[i]``
+        groups beneath the open wave span (same shape as the pool path)."""
+        groups: dict[int, Any] = {}
+        for slot, __chunk_id, delta in items:
+            _obs.merge_worker_telemetry(slot, delta, groups)
 
     def _pool_metrics(self, bounds: Sequence[tuple[int, int]]) -> None:
         if _obs.enabled():

@@ -104,8 +104,9 @@ def _rebuild_utility(state: dict) -> Any:
         return state["utility"], None
     spec = state["spec"]
     attach_started = time.perf_counter()
-    bundle = SharedArrayBundle.attach(spec["bundle"])
-    views = bundle.arrays
+    with _obs.span("worker.attach", bundle=spec["bundle"].get("name")):
+        bundle = SharedArrayBundle.attach(spec["bundle"])
+        views = bundle.arrays
     from .utility import Utility
 
     utility = Utility.__new__(Utility)
@@ -190,6 +191,7 @@ def _pool_task(state: dict, payload: Mapping[str, Any]):
             payload["full"],
         )
         evals = utility.n_evaluations - evals_before
+        _note_worker_counters(evals, counters)
         return (
             "permutation",
             deltas,
@@ -202,6 +204,7 @@ def _pool_task(state: dict, payload: Mapping[str, Any]):
     if kind == "subset":
         values = [evaluate(tuple(key)) for key in payload["keys"]]
         evals = utility.n_evaluations - evals_before
+        _note_worker_counters(evals, counters)
         return (
             "subset",
             values,
@@ -211,6 +214,21 @@ def _pool_task(state: dict, payload: Mapping[str, Any]):
             meta,
         )
     raise ValueError(f"unknown pool task kind: {kind!r}")  # pragma: no cover
+
+
+def _note_worker_counters(evals: int, counters: Sequence[int]) -> None:
+    """Worker-local metric emission; reaches the driver via telemetry
+    backhaul (the driver separately charges ``engine.*`` counters from the
+    result census, so these are namespaced ``worker.*`` to avoid
+    double-counting one evaluation in the same series)."""
+    if not _obs.enabled():
+        return
+    if counters[0]:
+        _obs_metrics.counter("worker.cache.hits").inc(counters[0])
+    if counters[1]:
+        _obs_metrics.counter("worker.cache.misses").inc(counters[1])
+    if evals:
+        _obs_metrics.counter("worker.evaluations").inc(evals)
 
 
 # --------------------------------------------------------------------- #
@@ -441,6 +459,7 @@ class WorkerPool:
             on_event=self._on_event,
             payload_hook=self._payload_hook,
             on_worker_start=self._on_worker_start,
+            telemetry_sink=self._absorb_telemetry,
         )
         setup_started = time.perf_counter()
         if warmup:
@@ -503,15 +522,34 @@ class WorkerPool:
         return len(entries)
 
     def _payload_hook(self, slot: int, payload: Any) -> Any:
-        """Attach this worker's journal delta to an outgoing descriptor."""
+        """Attach this worker's journal delta — and, when tracing is on,
+        the telemetry flag — to an outgoing descriptor. Spawn-mode workers
+        share no globals with the driver, so the flag on the wire copy is
+        how they learn that spans/metrics should be captured and shipped
+        back. Only the wire copy is touched; the queued payload stays
+        pristine for potential re-queues."""
         if not isinstance(payload, dict):  # pragma: no cover - defensive
             return payload
         watermark = self._watermarks.get(slot, 0)
         delta = self._journal[watermark:]
         self._watermarks[slot] = len(self._journal)
-        if not delta:
+        extra: dict[str, Any] = {}
+        if delta:
+            extra["cache"] = delta
+        if _obs.enabled():
+            extra["telemetry"] = True
+        if not extra:
             return payload
-        return {**payload, "cache": delta}
+        return {**payload, **extra}
+
+    def _absorb_telemetry(self, items: Sequence[tuple[int, int, Any]]) -> None:
+        """Merge worker telemetry shipped with one fan-out's results:
+        metric deltas into the registry, spans adopted under per-slot
+        ``worker[i]`` group spans beneath the currently open driver span
+        (the engine's wave span, or the pool lifecycle span at warmup)."""
+        groups: dict[int, Any] = {}
+        for slot, __chunk_id, delta in items:
+            _obs.merge_worker_telemetry(slot, delta, groups)
 
     def _on_worker_start(self, slot: int) -> None:
         """A process now occupies ``slot`` with an empty local cache.

@@ -43,6 +43,9 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from ..obs import flight as _obs_flight
+from ..obs import trace as _obs_trace
+
 __all__ = [
     "ChunkFailure",
     "DeadlinePolicy",
@@ -145,11 +148,18 @@ def _worker_main(conn, state: dict, task_fn: Callable[[dict, Any], Any]) -> None
     ``state`` and ``task_fn`` arrive by fork inheritance (no pickling), so
     utilities may hold arbitrary closures. Messages are
     ``(chunk_id, chunk_ord, attempt, payload)``; replies are
-    ``(chunk_id, result)``. Any exception inside a task is deliberately
-    *not* caught: an exception here is a bug in deterministic engine code,
-    and the resulting abnormal exit is exactly what the driver supervises.
+    ``(chunk_id, result)`` — or ``(chunk_id, result, telemetry_delta)``
+    when telemetry is on, piggybacking the worker's spans and metric
+    deltas on the result pipe for the driver to merge. Telemetry engages
+    when tracing was enabled at fork time or the payload carries a
+    ``"telemetry"`` flag (how spawn-mode pool workers, which share no
+    globals with the driver, learn tracing is on). Any exception inside a
+    task is deliberately *not* caught: an exception here is a bug in
+    deterministic engine code, and the resulting abnormal exit is exactly
+    what the driver supervises.
     """
     chaos = state.get("chaos")
+    capture: _obs_trace.WorkerTelemetry | None = None
     while True:
         message = conn.recv()
         if message is _SHUTDOWN:
@@ -160,7 +170,22 @@ def _worker_main(conn, state: dict, task_fn: Callable[[dict, Any], Any]) -> None
             # Injected worker-level faults (crash via os._exit, hang via
             # sleep) for end-to-end supervision testing.
             chaos.apply_worker_fault(chunk_ord, attempt)
-        conn.send((chunk_id, task_fn(state, payload)))
+        want_telemetry = (
+            capture is not None
+            or _obs_trace.enabled()
+            or (isinstance(payload, dict) and bool(payload.get("telemetry")))
+        )
+        if not want_telemetry:
+            conn.send((chunk_id, task_fn(state, payload)))
+            continue
+        if capture is None:
+            capture = _obs_trace.WorkerTelemetry(enable_tracing=True)
+        attrs: dict[str, Any] = {"chunk": chunk_ord, "attempt": attempt}
+        if isinstance(payload, dict) and "kind" in payload:
+            attrs["kind"] = payload["kind"]
+        with _obs_trace.span("worker.chunk", **attrs):
+            result = task_fn(state, payload)
+        conn.send((chunk_id, result, capture.collect()))
 
 
 @dataclass
@@ -214,6 +239,13 @@ class ChunkDispatcher:
         Replacement for the default worker task loop; must accept
         ``(conn, state, task_fn)``. With a spawn-based context this — and
         ``state``/``task_fn`` — must be picklable.
+    telemetry_sink:
+        Optional ``telemetry_sink(items)`` receiving every telemetry delta
+        workers piggybacked on their replies during one :meth:`dispatch`
+        call, as ``[(slot, chunk_id, delta), ...]`` sorted by chunk id (a
+        deterministic merge order). The pool and engine bridge this into
+        :func:`repro.obs.trace.merge_worker_telemetry`. A sink failure is
+        recorded on the flight recorder but never fails the dispatch.
     """
 
     def __init__(
@@ -230,6 +262,7 @@ class ChunkDispatcher:
         payload_hook: Callable[[int, Any], Any] | None = None,
         on_worker_start: Callable[[int], None] | None = None,
         worker_main: Callable[..., None] | None = None,
+        telemetry_sink: Callable[[list[tuple[int, int, Any]]], None] | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -245,6 +278,8 @@ class ChunkDispatcher:
         self._payload_hook = payload_hook
         self._on_worker_start = on_worker_start
         self._worker_main = worker_main if worker_main is not None else _worker_main
+        self._telemetry_sink = telemetry_sink
+        self._telemetry_pending: dict[int, tuple[int, Any]] = {}
         self._workers: list[_Worker] = []
         self._next_ord = 0  # lifetime chunk sequence number (chaos identity)
         self._closed = False
@@ -315,6 +350,8 @@ class ChunkDispatcher:
             pending.append((chunk_id, self._next_ord, 0, payload))
             self._next_ord += 1
         results: dict[int, Any] = {}
+        telemetry: dict[int, tuple[int, Any]] = {}
+        self._telemetry_pending = telemetry
         self._ensure_fleet(len(pending))
         while len(results) < len(payloads):
             self._assign(pending)
@@ -333,16 +370,37 @@ class ChunkDispatcher:
                 if worker.task is None:  # pragma: no cover - defensive
                     continue
                 try:
-                    chunk_id, result = conn.recv()
+                    reply = conn.recv()
                 except (EOFError, OSError):
                     self._handle_failure(worker, "crash", pending)
                     continue
+                chunk_id, result = reply[0], reply[1]
+                # Telemetry (if any) rides the reply as a third element and
+                # is stripped here, so task results keep their exact shape.
+                if len(reply) > 2 and reply[2] is not None:
+                    telemetry[chunk_id] = (worker.slot, reply[2])
                 results[chunk_id] = result
                 self.deadline.observe(time.monotonic() - worker.started_at)
                 self.stats.chunks_completed += 1
                 worker.task = None
             self._sweep(pending)
+        self._drain_telemetry(telemetry)
         return [results[chunk_id] for chunk_id in range(len(payloads))]
+
+    def _drain_telemetry(self, telemetry: dict[int, tuple[int, Any]]) -> None:
+        if not telemetry or self._telemetry_sink is None:
+            return
+        items = [
+            (slot, chunk_id, delta)
+            for chunk_id, (slot, delta) in sorted(telemetry.items())
+        ]
+        telemetry.clear()  # drained exactly once (flushes may precede the end)
+        try:
+            self._telemetry_sink(items)
+        except Exception as exc:  # telemetry must never fail a dispatch
+            _obs_flight.record(
+                "supervision.telemetry_sink_error", error=repr(exc)
+            )
 
     def _assign(self, pending: deque) -> None:
         for index, worker in enumerate(self._workers):
@@ -398,6 +456,20 @@ class ChunkDispatcher:
         else:
             self.stats.hangs += 1
         self._emit(kind, chunk_ord, attempt)
+        # Flush telemetry received so far this dispatch, then flight-record
+        # the failure — naming the in-flight chunk — and dump the ring
+        # (no-op unless a dump_dir is configured) so post-mortems see the
+        # workers' last shipped spans next to the failure event.
+        self._drain_telemetry(self._telemetry_pending)
+        _obs_flight.record(
+            f"supervision.{kind}",
+            slot=worker.slot,
+            pid=worker.proc.pid,
+            chunk=chunk_ord,
+            chunk_id=chunk_id,
+            attempt=attempt,
+        )
+        _obs_flight.auto_dump(f"worker-{kind}")
         if attempt + 1 > self.max_chunk_retries:
             self._restart(worker, kind, chunk_ord, attempt)
             raise ChunkFailure(

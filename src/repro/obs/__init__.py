@@ -47,6 +47,17 @@ from .diff import (
     cramers_v,
     population_stability_index,
 )
+from .export import (
+    CONTENT_TYPE,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+from .flight import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    flight_recorder,
+)
 from .ledger import RunLedger, RunRecord
 from .metrics import (
     Counter,
@@ -54,10 +65,13 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     counter,
+    delta_snapshots,
     gauge,
     histogram,
+    merge_delta,
     registry,
     reset,
+    series_name,
     snapshot,
 )
 from .profile import ProfileResult, profile_block, profiling_requested
@@ -70,16 +84,19 @@ from .quality import (
     profile_frame,
 )
 from .report import TraceReport, tracing
+from .slo import SLOPolicy, SLOTracker
 from .trace import (
     TRACE_SCHEMA_VERSION,
     Span,
     TraceRecorder,
+    WorkerTelemetry,
     add_attrs,
     current_span,
     disable,
     enable,
     enabled,
     get_recorder,
+    merge_worker_telemetry,
     span,
     traced,
 )
@@ -88,6 +105,7 @@ __all__ = [
     # trace
     "Span",
     "TraceRecorder",
+    "WorkerTelemetry",
     "TRACE_SCHEMA_VERSION",
     "enabled",
     "enable",
@@ -97,6 +115,7 @@ __all__ = [
     "add_attrs",
     "current_span",
     "get_recorder",
+    "merge_worker_telemetry",
     # metrics
     "Counter",
     "Gauge",
@@ -108,6 +127,21 @@ __all__ = [
     "histogram",
     "snapshot",
     "reset",
+    "series_name",
+    "delta_snapshots",
+    "merge_delta",
+    # openmetrics export
+    "CONTENT_TYPE",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "sanitize_metric_name",
+    # flight recorder
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
+    "flight_recorder",
+    # per-tenant SLOs
+    "SLOPolicy",
+    "SLOTracker",
     # report / profile
     "TraceReport",
     "tracing",

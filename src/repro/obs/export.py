@@ -1,0 +1,211 @@
+"""OpenMetrics / Prometheus text exposition for the metrics registry.
+
+Zero-dependency renderer turning :func:`repro.obs.metrics.snapshot`-shaped
+dicts into the `OpenMetrics text format
+<https://prometheus.io/docs/specs/om/open_metrics_spec/>`_ that any
+Prometheus-compatible scraper ingests:
+
+- counters render as ``name_total`` samples with a ``# TYPE name counter``
+  family line;
+- gauges render verbatim;
+- histograms render as summaries — ``{quantile="0.5"|"0.95"|"0.99"}``
+  samples straight from the snapshot's p50/p95/p99 plus ``_count`` and
+  ``_sum`` — because our windowed histograms carry quantiles, not
+  cumulative buckets;
+- labels are escaped per spec and the exposition always ends in ``# EOF``.
+
+:func:`parse_openmetrics` is the matching minimal validating parser, used
+by the test suite and the CI telemetry-smoke job to assert that whatever
+``/metrics`` serves actually parses.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+from . import metrics as _metrics
+
+__all__ = [
+    "CONTENT_TYPE",
+    "sanitize_metric_name",
+    "render_openmetrics",
+    "parse_openmetrics",
+]
+
+#: The content type a compliant scraper negotiates for OpenMetrics 1.0.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SAMPLE_LINE = re.compile(
+    # The label block admits quoted strings so a `}` inside a label value
+    # does not terminate it early.
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(?:\{(?P<labels>(?:[^"}]|"(?:[^"\\]|\\.)*")*)\})?'
+    r"\s+(?P<value>[^\s]+)(?:\s+[^\s]+)?$"
+)
+
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted internal name onto the OpenMetrics charset:
+    ``engine.cache.hits`` → ``engine_cache_hits``."""
+    cleaned = _NAME_OK.sub("_", name.replace(".", "_"))
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label_value(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: Mapping[str, Any] | None, extra: str = "") -> str:
+    parts = [
+        f'{sanitize_metric_name(str(k))}="{_escape_label_value(v)}"'
+        for k, v in sorted((labels or {}).items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_openmetrics(
+    snapshot: Mapping[str, Mapping[str, Any]] | None = None,
+) -> str:
+    """Render a registry snapshot (default: the live registry) as
+    OpenMetrics text, terminated by the mandatory ``# EOF``."""
+    if snapshot is None:
+        snapshot = _metrics.snapshot()
+
+    # Group series by family so each family gets exactly one TYPE line
+    # even when many label sets share a name.
+    families: dict[str, list[tuple[Mapping[str, Any], Mapping[str, Any]]]] = {}
+    family_kind: dict[str, str] = {}
+    for series in sorted(snapshot):
+        snap = snapshot[series]
+        name, parsed_labels = _metrics.split_series(series)
+        labels = snap.get("labels") or parsed_labels
+        family = sanitize_metric_name(name)
+        kind = snap.get("type", "gauge")
+        if family_kind.setdefault(family, kind) != kind:
+            # Same sanitized family with conflicting kinds: keep the first,
+            # skip the rest rather than emit an invalid exposition.
+            continue
+        families.setdefault(family, []).append((labels, snap))
+
+    lines: list[str] = []
+    for family, entries in families.items():
+        kind = family_kind[family]
+        if kind == "counter":
+            lines.append(f"# TYPE {family} counter")
+            for labels, snap in entries:
+                lines.append(
+                    f"{family}_total{_label_str(labels)} "
+                    f"{_format_value(snap.get('value', 0.0))}"
+                )
+        elif kind == "histogram":
+            lines.append(f"# TYPE {family} summary")
+            for labels, snap in entries:
+                quantiles = _histogram_quantiles(snap)
+                for q_label, q_value in quantiles:
+                    quantile_label = 'quantile="%s"' % q_label
+                    lines.append(
+                        f"{family}{_label_str(labels, quantile_label)} "
+                        f"{_format_value(q_value)}"
+                    )
+                lines.append(
+                    f"{family}_count{_label_str(labels)} "
+                    f"{_format_value(snap.get('count', 0))}"
+                )
+                lines.append(
+                    f"{family}_sum{_label_str(labels)} "
+                    f"{_format_value(snap.get('sum', 0.0))}"
+                )
+        else:
+            lines.append(f"# TYPE {family} gauge")
+            for labels, snap in entries:
+                lines.append(
+                    f"{family}{_label_str(labels)} "
+                    f"{_format_value(snap.get('value', 0.0))}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _histogram_quantiles(snap: Mapping[str, Any]) -> list[tuple[str, float]]:
+    out: list[tuple[str, float]] = []
+    recent = snap.get("recent")
+    for q_label, key, q in (("0.5", "p50", 0.50), ("0.95", "p95", 0.95), ("0.99", "p99", 0.99)):
+        value = snap.get(key)
+        if value is None and recent:
+            # Older snapshots (schema v1) carry only the window; recompute.
+            ordered = sorted(float(v) for v in recent)
+            position = q * (len(ordered) - 1)
+            lower = int(position)
+            upper = min(lower + 1, len(ordered) - 1)
+            fraction = position - lower
+            value = ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+        if value is not None:
+            out.append((q_label, float(value)))
+    return out
+
+
+def parse_openmetrics(text: str) -> dict[str, list[dict[str, Any]]]:
+    """Minimal validating parser for the exposition format.
+
+    Returns ``{sample_name: [{"labels": {...}, "value": float}, ...]}``.
+    Raises :class:`ValueError` on malformed lines or a missing ``# EOF``
+    terminator — strict enough that the CI smoke job catches a broken
+    renderer, not a full OpenMetrics implementation.
+    """
+    samples: dict[str, list[dict[str, Any]]] = {}
+    saw_eof = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError(f"content after # EOF: {line!r}")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("#"):
+            if not re.match(r"^# (TYPE|HELP|UNIT) [a-zA-Z_:][a-zA-Z0-9_:]* ", line + " "):
+                raise ValueError(f"malformed comment line: {line!r}")
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {line!r}")
+        labels = {
+            key: value.encode().decode("unicode_escape")
+            for key, value in _LABEL_PAIR.findall(match.group("labels") or "")
+        }
+        try:
+            value = float(match.group("value").replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError as exc:
+            raise ValueError(f"malformed sample value: {line!r}") from exc
+        samples.setdefault(match.group("name"), []).append(
+            {"labels": labels, "value": value}
+        )
+    if not saw_eof:
+        raise ValueError("exposition does not end with # EOF")
+    return samples

@@ -1,4 +1,4 @@
-"""Process-wide metrics: counters, gauges, histograms.
+"""Process-wide metrics: counters, gauges, histograms — with labels.
 
 Tracing (:mod:`repro.obs.trace`) answers "where did the time go in *this*
 run"; metrics answer "how much work happened, cumulatively" — rows
@@ -8,9 +8,21 @@ paths (a lock-free attribute increment; registry lookups are dict hits),
 but instrumented library code still gates every update on
 :func:`repro.obs.trace.enabled` so the disabled path stays a flag check.
 
+Instruments may carry **labels** (``counter("service.job.terminal",
+tenant="acme", state="completed")``): each distinct label set is its own
+series, registered under the canonical series name
+``name{tenant=acme,state=completed}`` (keys sorted). Unlabeled instruments
+keep their bare name and their snapshots carry no ``labels`` key, so
+existing consumers are unaffected.
+
 The registry is fork-aware the same way the trace recorder is: a forked
 worker that inherits it starts from zero on first touch, so parent-side
-snapshots never double-count worker activity.
+snapshots never double-count worker activity. Worker-side activity is not
+lost, though: :class:`repro.obs.trace.WorkerTelemetry` snapshots the child
+registry, ships the delta back over the result pipe, and the driver folds
+it in via :meth:`MetricsRegistry.merge_delta` (Chan-style mergeable
+aggregates: counters add, gauges last-write-win, histograms merge
+count/sum/min/max and extend the recent window).
 """
 
 from __future__ import annotations
@@ -19,7 +31,7 @@ import json
 import os
 import threading
 from collections import deque
-from typing import Any, Iterable
+from typing import Any, Iterable, Mapping
 
 __all__ = [
     "Counter",
@@ -32,6 +44,10 @@ __all__ = [
     "histogram",
     "snapshot",
     "reset",
+    "series_name",
+    "split_series",
+    "delta_snapshots",
+    "merge_delta",
 ]
 
 #: Observations kept per histogram (ring buffer) so trajectories — e.g. the
@@ -40,14 +56,42 @@ __all__ = [
 HISTOGRAM_WINDOW = 512
 
 
+def series_name(name: str, labels: Mapping[str, Any] | None = None) -> str:
+    """Canonical registry key for ``name`` + ``labels``.
+
+    ``series_name("job.latency", {"tenant": "a"})`` →
+    ``"job.latency{tenant=a}"``. Keys are sorted so the key is independent
+    of call-site kwarg order. Unlabeled series keep the bare name.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_series(series: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`series_name`: ``"a{k=v}"`` → ``("a", {"k": "v"})``."""
+    if "{" not in series or not series.endswith("}"):
+        return series, {}
+    name, _, inner = series.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        labels[key] = value
+    return name, labels
+
+
 class Counter:
     """Monotone cumulative count (floats allowed: row counts, seconds)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: Mapping[str, str] | None = None) -> None:
         self.name = name
         self.value = 0.0
+        self.labels = dict(labels) if labels else {}
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -55,7 +99,10 @@ class Counter:
         self.value += amount
 
     def snapshot(self) -> dict[str, Any]:
-        return {"type": "counter", "value": self.value}
+        snap: dict[str, Any] = {"type": "counter", "value": self.value}
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
     def reset(self) -> None:
         self.value = 0.0
@@ -64,17 +111,21 @@ class Counter:
 class Gauge:
     """Last-write-wins instantaneous value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: Mapping[str, str] | None = None) -> None:
         self.name = name
         self.value = 0.0
+        self.labels = dict(labels) if labels else {}
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def snapshot(self) -> dict[str, Any]:
-        return {"type": "gauge", "value": self.value}
+        snap: dict[str, Any] = {"type": "gauge", "value": self.value}
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
 
     def reset(self) -> None:
         self.value = 0.0
@@ -83,15 +134,21 @@ class Gauge:
 class Histogram:
     """Running aggregate + bounded window of recent observations."""
 
-    __slots__ = ("name", "count", "total", "min", "max", "window")
+    __slots__ = ("name", "count", "total", "min", "max", "window", "labels")
 
-    def __init__(self, name: str, window: int = HISTOGRAM_WINDOW) -> None:
+    def __init__(
+        self,
+        name: str,
+        window: int = HISTOGRAM_WINDOW,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
         self.window: deque[float] = deque(maxlen=window)
+        self.labels = dict(labels) if labels else {}
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -127,15 +184,48 @@ class Histogram:
         return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
 
     def snapshot(self) -> dict[str, Any]:
-        return {
+        snap: dict[str, Any] = {
             "type": "histogram",
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "recent": list(self.window),
         }
+        if self.labels:
+            snap["labels"] = dict(self.labels)
+        return snap
+
+    def merge(self, snap: Mapping[str, Any]) -> None:
+        """Fold another histogram's snapshot (or delta) into this one.
+
+        Chan-style: counts and sums add, min/max combine, and the recent
+        window is extended with the incoming observations (bounded by this
+        histogram's ``maxlen``, so merged quantiles cover the most recent
+        observations across both sources).
+        """
+        recent = list(snap.get("recent", ()))
+        count = int(snap.get("count", len(recent)))
+        if count <= 0 and not recent:
+            return
+        total = snap.get("sum")
+        if total is None:
+            total = float(sum(recent))
+        self.count += count
+        self.total += float(total)
+        candidates = [v for v in (snap.get("min"), snap.get("max")) if v is not None]
+        candidates.extend(recent)
+        for value in candidates:
+            value = float(value)
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.window.extend(float(v) for v in recent)
 
     def reset(self) -> None:
         self.count = 0
@@ -146,11 +236,12 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Name → instrument map with snapshot/reset and JSON export.
+    """Series → instrument map with snapshot/reset/merge and JSON export.
 
-    Instruments are created on first use; asking for an existing name with
-    a different instrument kind is an error (it would silently split one
-    metric into two).
+    Instruments are created on first use; asking for an existing series
+    with a different instrument kind is an error (it would silently split
+    one metric into two). Labeled calls register one instrument per
+    distinct label set, keyed by :func:`series_name`.
     """
 
     def __init__(self) -> None:
@@ -163,28 +254,29 @@ class MetricsRegistry:
             self._pid = os.getpid()
             self._metrics = {}
 
-    def _get(self, name: str, cls: type) -> Any:
+    def _get(self, name: str, cls: type, labels: dict[str, str] | None = None) -> Any:
+        key = series_name(name, labels)
         with self._lock:
             self._guard_fork()
-            instrument = self._metrics.get(name)
+            instrument = self._metrics.get(key)
             if instrument is None:
-                instrument = cls(name)
-                self._metrics[name] = instrument
+                instrument = cls(name, labels=labels)
+                self._metrics[key] = instrument
             elif not isinstance(instrument, cls):
                 raise TypeError(
-                    f"metric {name!r} already registered as "
+                    f"metric {key!r} already registered as "
                     f"{type(instrument).__name__}, not {cls.__name__}"
                 )
             return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(name, Counter, labels or None)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(name, Gauge, labels or None)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get(name, Histogram, labels or None)
 
     def names(self) -> list[str]:
         with self._lock:
@@ -192,13 +284,31 @@ class MetricsRegistry:
             return sorted(self._metrics)
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
-        """Point-in-time copy: ``{name: {"type": ..., "value"/"count": ...}}``."""
+        """Point-in-time copy: ``{series: {"type": ..., "value"/"count": ...}}``."""
         with self._lock:
             self._guard_fork()
             return {
                 name: instrument.snapshot()
                 for name, instrument in sorted(self._metrics.items())
             }
+
+    def merge_delta(self, delta: Mapping[str, Mapping[str, Any]]) -> None:
+        """Fold a snapshot-shaped delta (e.g. a worker's shipped telemetry)
+        into this registry: counters add, gauges last-write-win, histograms
+        :meth:`Histogram.merge`. Unknown series are created on the fly,
+        preserving any ``labels`` in the delta."""
+        for series, snap in delta.items():
+            kind = snap.get("type")
+            name, labels = split_series(series)
+            labels = dict(snap.get("labels") or labels) or None
+            if kind == "counter":
+                amount = float(snap.get("value", 0.0))
+                if amount:
+                    self._get(name, Counter, labels).inc(amount)
+            elif kind == "gauge":
+                self._get(name, Gauge, labels).set(float(snap.get("value", 0.0)))
+            elif kind == "histogram":
+                self._get(name, Histogram, labels).merge(snap)
 
     def reset(self, names: Iterable[str] | None = None) -> None:
         """Zero every instrument (or just ``names``), keeping registrations."""
@@ -221,6 +331,50 @@ class MetricsRegistry:
             handle.write("\n")
 
 
+def delta_snapshots(
+    before: Mapping[str, Mapping[str, Any]],
+    after: Mapping[str, Mapping[str, Any]],
+) -> dict[str, dict[str, Any]]:
+    """What changed between two registry snapshots, in mergeable form.
+
+    Counters keep the numeric difference (dropped when zero); gauges keep
+    their final value (they are last-write-wins, not cumulative);
+    histograms keep the incremental count/sum plus only the observations
+    appended since ``before``. The result feeds
+    :meth:`MetricsRegistry.merge_delta` and trace reports alike.
+    """
+    delta: dict[str, dict[str, Any]] = {}
+    for series, snap in after.items():
+        prior = before.get(series)
+        kind = snap.get("type")
+        if kind == "counter":
+            prior_value = prior.get("value", 0.0) if prior else 0.0
+            diff = snap["value"] - prior_value
+            if diff:
+                entry: dict[str, Any] = {"type": "counter", "value": diff}
+                if snap.get("labels"):
+                    entry["labels"] = dict(snap["labels"])
+                delta[series] = entry
+        elif kind == "gauge":
+            delta[series] = dict(snap)
+        elif kind == "histogram":
+            prior_count = prior.get("count", 0) if prior else 0
+            delta_count = snap["count"] - prior_count
+            if delta_count:
+                prior_sum = prior.get("sum", 0.0) if prior else 0.0
+                recent = snap.get("recent", [])
+                entry = {
+                    "type": "histogram",
+                    "count": delta_count,
+                    "sum": snap.get("sum", 0.0) - prior_sum,
+                    "recent": list(recent[-delta_count:]),
+                }
+                if snap.get("labels"):
+                    entry["labels"] = dict(snap["labels"])
+                delta[series] = entry
+    return delta
+
+
 _REGISTRY = MetricsRegistry()
 
 
@@ -229,16 +383,16 @@ def registry() -> MetricsRegistry:
     return _REGISTRY
 
 
-def counter(name: str) -> Counter:
-    return _REGISTRY.counter(name)
+def counter(name: str, **labels: str) -> Counter:
+    return _REGISTRY.counter(name, **labels)
 
 
-def gauge(name: str) -> Gauge:
-    return _REGISTRY.gauge(name)
+def gauge(name: str, **labels: str) -> Gauge:
+    return _REGISTRY.gauge(name, **labels)
 
 
-def histogram(name: str) -> Histogram:
-    return _REGISTRY.histogram(name)
+def histogram(name: str, **labels: str) -> Histogram:
+    return _REGISTRY.histogram(name, **labels)
 
 
 def snapshot() -> dict[str, dict[str, Any]]:
@@ -247,3 +401,7 @@ def snapshot() -> dict[str, dict[str, Any]]:
 
 def reset(names: Iterable[str] | None = None) -> None:
     _REGISTRY.reset(names)
+
+
+def merge_delta(delta: Mapping[str, Mapping[str, Any]]) -> None:
+    _REGISTRY.merge_delta(delta)

@@ -31,31 +31,10 @@ from .trace import TRACE_SCHEMA_VERSION, Span, _jsonable
 __all__ = ["TraceReport", "tracing"]
 
 
-def _metrics_delta(
-    before: dict[str, dict[str, Any]], after: dict[str, dict[str, Any]]
-) -> dict[str, dict[str, Any]]:
-    """What the window contributed: counter/histogram deltas, gauge values."""
-    out: dict[str, dict[str, Any]] = {}
-    for name, snap in after.items():
-        base = before.get(name)
-        kind = snap["type"]
-        if kind == "counter":
-            delta = snap["value"] - (base["value"] if base else 0.0)
-            if delta:
-                out[name] = {"type": "counter", "value": delta}
-        elif kind == "gauge":
-            out[name] = dict(snap)
-        else:  # histogram
-            base_count = base["count"] if base else 0
-            delta_count = snap["count"] - base_count
-            if delta_count:
-                out[name] = {
-                    "type": "histogram",
-                    "count": delta_count,
-                    "sum": snap["sum"] - (base["sum"] if base else 0.0),
-                    "recent": snap["recent"][-delta_count:],
-                }
-    return out
+# What a window contributed: counter/histogram deltas, gauge values.
+# Shared with the worker-telemetry backhaul, which ships the same shape
+# over the result pipe — the canonical implementation lives in metrics.
+_metrics_delta = _metrics.delta_snapshots
 
 
 class TraceReport:

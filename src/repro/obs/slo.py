@@ -1,0 +1,296 @@
+"""Per-tenant SLO tracking for the valuation service.
+
+The ROADMAP's millions-of-users story needs more than raw latency
+histograms: operators reason in *objectives* — "95% of jobs under 5s,
+99% of jobs succeed" — and page on *burn rate* (how fast the error budget
+is being spent). :class:`SLOTracker` keeps per-tenant, per-kind latency
+histograms (labeled :class:`~repro.obs.metrics.Histogram` instruments),
+terminal-state counts, deadline-hit/degraded/shed ratios, and a recent
+outcome window from which it derives burn-rate alerts reusing the
+severity vocabulary of :class:`repro.obs.diff.Alert` — so service alerts
+and drift alerts rank on one scale.
+
+The tracker is deliberately standalone (its instruments do not live in the
+global registry) so it observes every job regardless of whether tracing is
+enabled; :meth:`SLOTracker.metrics_snapshot` exposes its series in registry
+snapshot shape for the ``/metrics`` endpoint, which is how tenant-labeled
+latency histograms reach Prometheus even with tracing off.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from . import trace as _trace
+from . import metrics as _metrics
+from .diff import Alert
+from .metrics import Counter, Histogram, series_name
+
+__all__ = ["SLOPolicy", "SLOTracker"]
+
+#: Job terminal states counted as meeting the success objective. Degraded
+#: jobs returned *partial* results by design (deadline/budget policy), so
+#: they spend latency budget, not error budget.
+_OK_STATES = frozenset({"completed", "degraded"})
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Objectives one tenant is held to (same defaults for all tenants).
+
+    ``warn_burn_rate``/``critical_burn_rate`` are multiples of the error
+    budget implied by ``success_objective``: burn rate 1.0 means failures
+    are arriving exactly as fast as the budget allows; 6.0 means the
+    budget would be gone in 1/6 of the window (the classic page-now
+    threshold from the SRE workbook).
+    """
+
+    latency_objective_s: float = 5.0
+    latency_quantile: float = 0.95
+    success_objective: float = 0.99
+    window: int = 256
+    warn_burn_rate: float = 1.0
+    critical_burn_rate: float = 6.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "latency_objective_s": self.latency_objective_s,
+            "latency_quantile": self.latency_quantile,
+            "success_objective": self.success_objective,
+            "window": self.window,
+            "warn_burn_rate": self.warn_burn_rate,
+            "critical_burn_rate": self.critical_burn_rate,
+        }
+
+
+class _TenantState:
+    """Mutable per-tenant aggregates (guarded by the tracker's lock)."""
+
+    __slots__ = ("latency", "queue_wait", "states", "deadline_hits", "recent", "jobs")
+
+    def __init__(self, tenant: str, window: int) -> None:
+        self.latency: dict[str, Histogram] = {}
+        self.queue_wait = Histogram(
+            "service.job.queue_wait_s", window=window, labels={"tenant": tenant}
+        )
+        self.states: dict[str, int] = {}
+        self.deadline_hits = 0
+        self.recent: deque[bool] = deque(maxlen=window)
+        self.jobs = 0
+
+
+class SLOTracker:
+    """Tracks latency/success objectives per tenant and raises alerts."""
+
+    def __init__(self, policy: SLOPolicy | None = None) -> None:
+        self.policy = policy or SLOPolicy()
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _TenantState] = {}
+
+    # -- ingestion -------------------------------------------------------
+    def observe_job(self, job: Any) -> None:
+        """Fold one terminal :class:`~repro.service.job.Job` in (reads
+        ``request.tenant``/``request.kind``, ``state``, latency properties,
+        and ``stop_reason``)."""
+        request = getattr(job, "request", None)
+        state = getattr(job, "state", None)
+        self.observe(
+            tenant=str(getattr(request, "tenant", "unknown")),
+            kind=str(getattr(request, "kind", "unknown")),
+            state=str(getattr(state, "value", state or "unknown")),
+            latency_s=getattr(job, "latency_s", None),
+            queue_wait_s=getattr(job, "queue_wait_s", None),
+            stop_reason=getattr(job, "stop_reason", None),
+        )
+
+    def observe(
+        self,
+        tenant: str,
+        kind: str,
+        state: str,
+        latency_s: float | None = None,
+        queue_wait_s: float | None = None,
+        stop_reason: str | None = None,
+    ) -> None:
+        """Record one terminal job outcome for ``tenant``."""
+        with self._lock:
+            entry = self._tenants.get(tenant)
+            if entry is None:
+                entry = _TenantState(tenant, self.policy.window)
+                self._tenants[tenant] = entry
+            entry.jobs += 1
+            entry.states[state] = entry.states.get(state, 0) + 1
+            entry.recent.append(state in _OK_STATES)
+            if stop_reason == "deadline":
+                entry.deadline_hits += 1
+            if latency_s is not None:
+                hist = entry.latency.get(kind)
+                if hist is None:
+                    hist = Histogram(
+                        "service.job.latency_s",
+                        window=self.policy.window,
+                        labels={"tenant": tenant, "kind": kind},
+                    )
+                    entry.latency[kind] = hist
+                hist.observe(latency_s)
+            if queue_wait_s is not None:
+                entry.queue_wait.observe(queue_wait_s)
+        # Mirror into the global registry when tracing is on, so tracing()
+        # windows over service runs see labeled job metrics too.
+        if _trace.enabled():
+            _metrics.counter("service.job.terminal", tenant=tenant, state=state).inc()
+            if latency_s is not None:
+                _metrics.histogram(
+                    "service.job.latency_s", tenant=tenant, kind=kind
+                ).observe(latency_s)
+
+    # -- derived views ---------------------------------------------------
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def _burn_rate(self, entry: _TenantState) -> float:
+        if not entry.recent:
+            return 0.0
+        bad = entry.recent.count(False) / len(entry.recent)
+        budget = 1.0 - self.policy.success_objective
+        return bad / budget if budget > 0 else float("inf") if bad else 0.0
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant aggregate view: counts, ratios, burn rate, and
+        per-kind latency quantiles."""
+        with self._lock:
+            out: dict[str, dict[str, Any]] = {}
+            for tenant in sorted(self._tenants):
+                entry = self._tenants[tenant]
+                jobs = entry.jobs or 1
+                latency = {
+                    kind: {
+                        "count": hist.count,
+                        "mean_s": hist.mean,
+                        "p50_s": hist.quantile(0.50),
+                        "p95_s": hist.quantile(0.95),
+                        "p99_s": hist.quantile(0.99),
+                    }
+                    for kind, hist in sorted(entry.latency.items())
+                }
+                out[tenant] = {
+                    "jobs": entry.jobs,
+                    "states": dict(entry.states),
+                    "degraded_ratio": entry.states.get("degraded", 0) / jobs,
+                    "failure_ratio": sum(
+                        n for s, n in entry.states.items() if s not in _OK_STATES
+                    )
+                    / jobs,
+                    "shed_ratio": entry.states.get("rejected", 0) / jobs,
+                    "deadline_hit_ratio": entry.deadline_hits / jobs,
+                    "burn_rate": self._burn_rate(entry),
+                    "queue_wait_p95_s": entry.queue_wait.quantile(0.95),
+                    "latency": latency,
+                }
+            return out
+
+    def quantiles(self, tenant: str, kind: str | None = None) -> dict[str, float | None]:
+        """p50/p95/p99 for one tenant (optionally one job kind) — the
+        numbers ``bench_service`` reports instead of ad-hoc timing."""
+        with self._lock:
+            entry = self._tenants.get(tenant)
+            if entry is None:
+                return {"p50_s": None, "p95_s": None, "p99_s": None, "count": 0}
+            if kind is not None:
+                hists = [h for k, h in entry.latency.items() if k == kind]
+            else:
+                hists = list(entry.latency.values())
+            merged = Histogram("quantiles", window=self.policy.window * max(1, len(hists)))
+            for hist in hists:
+                merged.merge(hist.snapshot())
+            return {
+                "p50_s": merged.quantile(0.50),
+                "p95_s": merged.quantile(0.95),
+                "p99_s": merged.quantile(0.99),
+                "count": merged.count,
+            }
+
+    def metrics_snapshot(self) -> dict[str, dict[str, Any]]:
+        """The tracker's series in registry-snapshot shape, for merging
+        into the ``/metrics`` exposition (present even with tracing off)."""
+        out: dict[str, dict[str, Any]] = {}
+        with self._lock:
+            for tenant in sorted(self._tenants):
+                entry = self._tenants[tenant]
+                for kind, hist in sorted(entry.latency.items()):
+                    out[series_name(hist.name, hist.labels)] = hist.snapshot()
+                if entry.queue_wait.count:
+                    out[
+                        series_name(entry.queue_wait.name, entry.queue_wait.labels)
+                    ] = entry.queue_wait.snapshot()
+                for state, count in sorted(entry.states.items()):
+                    series = Counter(
+                        "service.job.terminal", labels={"tenant": tenant, "state": state}
+                    )
+                    series.inc(count)
+                    out[series_name(series.name, series.labels)] = series.snapshot()
+        return out
+
+    # -- alerting --------------------------------------------------------
+    def alerts(self) -> list[Alert]:
+        """Burn-rate and latency-objective violations, critical first."""
+        policy = self.policy
+        out: list[Alert] = []
+        for tenant, snap in self.snapshot().items():
+            burn = snap["burn_rate"]
+            if burn >= policy.warn_burn_rate and snap["jobs"] >= 5:
+                severity = (
+                    "critical" if burn >= policy.critical_burn_rate else "warn"
+                )
+                out.append(
+                    Alert(
+                        severity=severity,
+                        kind="slo_burn",
+                        node=f"tenant:{tenant}",
+                        column=None,
+                        metric="burn_rate",
+                        value=burn,
+                        threshold=policy.warn_burn_rate,
+                        message=(
+                            f"tenant {tenant!r} burning error budget at "
+                            f"{burn:.2f}x (objective {policy.success_objective:.2%})"
+                        ),
+                    )
+                )
+            q_label = f"p{int(policy.latency_quantile * 100)}_s"
+            for kind, stats in snap["latency"].items():
+                observed = stats.get(q_label)
+                if observed is None or stats["count"] < 5:
+                    continue
+                if observed > policy.latency_objective_s:
+                    ratio = observed / policy.latency_objective_s
+                    out.append(
+                        Alert(
+                            severity="critical" if ratio >= 2.0 else "warn",
+                            kind="slo_latency",
+                            node=f"tenant:{tenant}",
+                            column=kind,
+                            metric=q_label,
+                            value=observed,
+                            threshold=policy.latency_objective_s,
+                            message=(
+                                f"tenant {tenant!r} {kind} {q_label}="
+                                f"{observed:.3f}s exceeds objective "
+                                f"{policy.latency_objective_s:.3f}s"
+                            ),
+                        )
+                    )
+        severity_rank = {"critical": 0, "warn": 1}
+        out.sort(key=lambda a: (severity_rank.get(a.severity, 2), a.node, a.kind))
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy.to_dict(),
+            "tenants": self.snapshot(),
+            "alerts": [alert.to_dict() for alert in self.alerts()],
+        }

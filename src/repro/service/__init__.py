@@ -18,6 +18,9 @@ that layer, built entirely on the primitives grown in earlier PRs:
   partial results, deadline propagation, chaos hooks.
 - :mod:`repro.service.handlers` — the valuation adapter mapping jobs onto
   :class:`~repro.importance.engine.ValuationEngine` runs.
+- :mod:`repro.service.telemetry` — the zero-dependency HTTP endpoint
+  (:class:`TelemetryServer`) exposing ``/metrics`` (OpenMetrics),
+  ``/healthz``, ``/jobs``, and ``/slo`` for scrapers and load balancers.
 
 Quickstart::
 
@@ -47,6 +50,7 @@ from .handlers import make_valuation_handler, register_valuation
 from .job import TERMINAL_STATES, Job, JobRejected, JobRequest, JobState
 from .journal import JOURNAL_SCHEMA_VERSION, JobJournal, JournalEntry
 from .runtime import JobContext, JobRuntime
+from .telemetry import TelemetryServer
 
 __all__ = [
     "AdmissionController",
@@ -65,6 +69,7 @@ __all__ = [
     "JournalEntry",
     "RetryPolicy",
     "TERMINAL_STATES",
+    "TelemetryServer",
     "make_valuation_handler",
     "register_valuation",
 ]

@@ -52,8 +52,10 @@ from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from ..importance.checkpoint import CheckpointStore
+from ..obs import flight as _obs_flight
 from ..obs import metrics as _obs_metrics
 from ..obs import trace as _obs
+from ..obs.slo import SLOPolicy, SLOTracker
 from .admission import (
     AdmissionController,
     AdmissionPolicy,
@@ -155,6 +157,17 @@ class JobRuntime:
         Optional :class:`repro.errors.chaos.ChaosMonkey`; its seeded
         job-level faults (mid-job crash, slow tenant) fire inside handler
         execution.
+    slo:
+        Per-tenant service objectives: an :class:`repro.obs.SLOPolicy`
+        (or a preconfigured :class:`repro.obs.SLOTracker`). A tracker is
+        always constructed — every terminal job feeds it — so
+        ``runtime.slo`` answers per-tenant latency quantiles, burn rates,
+        and alerts regardless of whether tracing is on.
+    flight_dir:
+        Directory for automatic flight-recorder dumps. When set, a FAILED
+        job (and any worker crash/hang detected by supervision) atomically
+        dumps the in-memory event ring there for post-mortems; ``None``
+        leaves automatic dumps off.
     """
 
     def __init__(
@@ -169,6 +182,8 @@ class JobRuntime:
         keep_checkpoints: int | None = 3,
         pool: Any | None = None,
         chaos: Any | None = None,
+        slo: SLOPolicy | SLOTracker | None = None,
+        flight_dir: Any | None = None,
     ) -> None:
         if max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
@@ -195,6 +210,9 @@ class JobRuntime:
             self.pool_registry = pool
             self._owns_pools = False
         self.chaos = chaos
+        self.slo = slo if isinstance(slo, SLOTracker) else SLOTracker(slo)
+        if flight_dir is not None:
+            _obs_flight.configure(dump_dir=flight_dir)
         self.admission = AdmissionController(policy, breaker_policy)
         self.jobs: dict[str, Job] = {}
         self._handlers: dict[str, Callable[[dict, JobContext], Any]] = {}
@@ -203,6 +221,7 @@ class JobRuntime:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._wake: asyncio.Event | None = None
         self._running = False
+        self.draining = False
         self._seq = 0
         self._chaos_ord = 0
         self.counts = {
@@ -270,14 +289,41 @@ class JobRuntime:
             self.pool_registry.close_all()
 
     async def drain(self) -> None:
-        """Wait until every job this runtime accepted is terminal."""
-        while True:
-            pending = [job for job in self.jobs.values() if not job.done]
-            if not pending:
-                return
-            await asyncio.wait(
-                [asyncio.ensure_future(job._done.wait()) for job in pending]
-            )
+        """Wait until every job this runtime accepted is terminal.
+
+        While draining, :meth:`health` reports ``"draining"`` (and the
+        ``/healthz`` endpoint answers 503), which is how load balancers
+        stop routing new work at a runtime that is being shut down.
+        """
+        self.draining = True
+        try:
+            while True:
+                pending = [job for job in self.jobs.values() if not job.done]
+                if not pending:
+                    return
+                await asyncio.wait(
+                    [asyncio.ensure_future(job._done.wait()) for job in pending]
+                )
+        finally:
+            self.draining = False
+
+    def health(self) -> dict:
+        """Liveness/readiness summary for the ``/healthz`` endpoint."""
+        if not self._running:
+            status = "stopped"
+        elif self.draining:
+            status = "draining"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "running": self._running,
+            "draining": self.draining,
+            "queue_depth": len(self.admission.queue),
+            "jobs_in_flight": sum(
+                1 for job in self.jobs.values() if not job.done
+            ),
+        }
 
     async def __aenter__(self) -> "JobRuntime":
         await self.start()
@@ -533,6 +579,7 @@ class JobRuntime:
         if count:
             self.counts["rejected"] += 1
             self._metric("service.rejected")
+        self.slo.observe_job(job)
         self._record_ledger(job)
 
     def _finish(self, job: Job, state: JobState) -> None:
@@ -551,6 +598,20 @@ class JobRuntime:
                 _obs_metrics.histogram("service.queue_wait_s").observe(
                     job.queue_wait_s
                 )
+        self.slo.observe_job(job)
+        if state is JobState.FAILED:
+            # Flight-record the failure and dump the ring (no-op unless a
+            # flight_dir was configured) so the post-mortem carries the
+            # job's identity next to the workers' last shipped spans.
+            _obs_flight.record(
+                "job.failed",
+                job_id=job.job_id,
+                tenant=job.request.tenant,
+                job_kind=job.request.kind,
+                error=job.error,
+                attempts=job.attempts,
+            )
+            _obs_flight.auto_dump("job-failed")
         self._record_ledger(job)
 
     def _record_ledger(self, job: Job) -> None:

@@ -1,0 +1,188 @@
+"""Zero-dependency HTTP telemetry endpoint for :class:`JobRuntime`.
+
+A tiny asyncio HTTP/1.1 server — no frameworks, stdlib only — exposing
+the operational surface a production deployment scrapes and probes:
+
+``/metrics``
+    OpenMetrics text (:func:`repro.obs.export.render_openmetrics`) over
+    the process metrics registry merged with the runtime's per-tenant SLO
+    series, so tenant-labeled latency histograms are present even when
+    tracing is off.
+``/healthz``
+    JSON liveness/readiness from :meth:`JobRuntime.health`; HTTP 200 while
+    serving, 503 while draining or stopped — the signal load balancers key
+    on during rolling restarts.
+``/jobs``
+    Runtime counters plus recent job summaries.
+``/slo``
+    The SLO policy, per-tenant snapshot, and current burn-rate/latency
+    alerts.
+
+Usage::
+
+    async with JobRuntime(...) as runtime:
+        async with TelemetryServer(runtime) as server:
+            print(f"curl http://{server.host}:{server.port}/metrics")
+            ...
+
+The server binds port 0 by default (ephemeral), reads one request per
+connection, and always closes it — deliberately boring HTTP that cannot
+wedge the event loop the runtime's workers share.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from ..obs import metrics as _obs_metrics
+from ..obs.export import CONTENT_TYPE, render_openmetrics
+
+__all__ = ["TelemetryServer"]
+
+#: Hard ceilings keeping a malicious/buggy client from wedging the server.
+_REQUEST_TIMEOUT_S = 5.0
+_MAX_HEADER_LINES = 64
+_MAX_JOBS_LISTED = 200
+
+
+class TelemetryServer:
+    """Serve a :class:`~repro.service.runtime.JobRuntime`'s telemetry."""
+
+    def __init__(
+        self,
+        runtime: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.runtime = runtime
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> "TelemetryServer":
+        if self._server is not None:
+            return self
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def __aenter__(self) -> "TelemetryServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    # -- request handling ------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=_REQUEST_TIMEOUT_S
+            )
+            parts = request_line.decode("latin-1", "replace").split()
+            if len(parts) < 2:
+                return
+            method, target = parts[0].upper(), parts[1]
+            for __ in range(_MAX_HEADER_LINES):  # drain headers
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=_REQUEST_TIMEOUT_S
+                )
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            status, content_type, body = self._route(method, target)
+            head = method == "HEAD"
+            await self._respond(writer, status, content_type, body, head=head)
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    def _route(self, method: str, target: str) -> tuple[int, str, bytes]:
+        path = target.split("?", 1)[0]
+        if method not in ("GET", "HEAD"):
+            return 405, "text/plain; charset=utf-8", b"method not allowed\n"
+        if path == "/metrics":
+            return self._metrics()
+        if path == "/healthz":
+            return self._healthz()
+        if path == "/jobs":
+            return self._jobs()
+        if path == "/slo":
+            return self._slo()
+        return 404, "text/plain; charset=utf-8", b"not found\n"
+
+    def _metrics(self) -> tuple[int, str, bytes]:
+        # Live registry series first, then the SLO tracker's per-tenant
+        # series (which exist regardless of the tracing flag). SLO series
+        # win name collisions — they are the authoritative service view.
+        snapshot = dict(_obs_metrics.snapshot())
+        snapshot.update(self.runtime.slo.metrics_snapshot())
+        body = render_openmetrics(snapshot).encode("utf-8")
+        return 200, CONTENT_TYPE, body
+
+    def _healthz(self) -> tuple[int, str, bytes]:
+        health = self.runtime.health()
+        status = 200 if health.get("status") == "ok" else 503
+        return status, "application/json", _json_bytes(health)
+
+    def _jobs(self) -> tuple[int, str, bytes]:
+        jobs = list(self.runtime.jobs.values())[-_MAX_JOBS_LISTED:]
+        payload = {
+            "counts": self.runtime.stats(),
+            "jobs": [job.summary() for job in jobs],
+        }
+        return 200, "application/json", _json_bytes(payload)
+
+    def _slo(self) -> tuple[int, str, bytes]:
+        return 200, "application/json", _json_bytes(self.runtime.slo.to_dict())
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: bytes,
+        head: bool = False,
+    ) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed", 503: "Service Unavailable"}.get(
+            status, "OK"
+        )
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("latin-1")
+        )
+        if not head:
+            writer.write(body)
+        await writer.drain()
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return (json.dumps(payload, default=repr, sort_keys=True) + "\n").encode(
+        "utf-8"
+    )

@@ -118,6 +118,8 @@ def format_metrics(metrics: Mapping[str, Mapping[str, Any]]) -> str:
             count = snap.get("count", 0)
             mean = (snap.get("sum", 0.0) / count) if count else 0.0
             value = f"n={count} mean={mean:.4g}"
+            if snap.get("p95") is not None:
+                value += f" p95={snap['p95']:.4g}"
         else:
             value = f"{snap.get('value', 0.0):.6g}"
         rows.append({"metric": name, "kind": kind, "value": value})

@@ -2,16 +2,22 @@
 
 import pytest
 
+from repro.obs import flight as obs_flight
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 
 
+def _clean():
+    obs_trace.disable()
+    obs_trace.get_recorder().reset()
+    obs_metrics.registry().clear()
+    recorder = obs_flight.flight_recorder()
+    recorder.clear()
+    recorder.dump_dir = None
+
+
 @pytest.fixture(autouse=True)
 def clean_observability():
-    obs_trace.disable()
-    obs_trace.get_recorder().reset()
-    obs_metrics.registry().clear()
+    _clean()
     yield
-    obs_trace.disable()
-    obs_trace.get_recorder().reset()
-    obs_metrics.registry().clear()
+    _clean()

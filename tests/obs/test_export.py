@@ -1,0 +1,110 @@
+"""OpenMetrics exposition: rendering, escaping, and the validating parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import (
+    CONTENT_TYPE,
+    parse_openmetrics,
+    render_openmetrics,
+    sanitize_metric_name,
+)
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("engine.cache.hits") == "engine_cache_hits"
+
+    def test_forbidden_chars_replaced_and_digit_prefixed(self):
+        assert sanitize_metric_name("9lives!") == "_9lives_"
+
+
+class TestRender:
+    def test_counter_renders_as_total_with_type_line(self):
+        obs_metrics.counter("engine.evals").inc(7)
+        text = render_openmetrics()
+        assert "# TYPE engine_evals counter" in text
+        assert "engine_evals_total 7" in text
+        assert text.endswith("# EOF\n")
+
+    def test_labeled_counter_renders_sorted_labels(self):
+        obs_metrics.counter("job.terminal", tenant="acme", state="ok").inc()
+        text = render_openmetrics()
+        assert 'job_terminal_total{state="ok",tenant="acme"} 1' in text
+
+    def test_histogram_renders_as_summary_with_quantiles(self):
+        hist = obs_metrics.histogram("job.latency_s", tenant="a")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            hist.observe(value)
+        text = render_openmetrics()
+        assert "# TYPE job_latency_s summary" in text
+        assert 'job_latency_s{tenant="a",quantile="0.5"}' in text
+        assert 'job_latency_s{tenant="a",quantile="0.95"}' in text
+        assert 'job_latency_s{tenant="a",quantile="0.99"}' in text
+        assert 'job_latency_s_count{tenant="a"} 4' in text
+        assert 'job_latency_s_sum{tenant="a"} 1\n' in text
+
+    def test_label_values_are_escaped(self):
+        obs_metrics.counter("c", who='ev"il\\guy').inc()
+        text = render_openmetrics()
+        assert 'who="ev\\"il\\\\guy"' in text
+        # and the escaped form survives a parse round-trip
+        samples = parse_openmetrics(text)
+        assert samples["c_total"][0]["labels"]["who"] == 'ev"il\\guy'
+
+    def test_braces_in_label_values_round_trip(self):
+        # A `}` inside a quoted label value must not terminate the label
+        # block early on the way back in.
+        obs_metrics.counter("c", shape="{a=1}").inc()
+        samples = parse_openmetrics(render_openmetrics())
+        assert samples["c_total"][0]["labels"]["shape"] == "{a=1}"
+
+    def test_v1_histogram_snapshot_quantiles_recomputed_from_window(self):
+        # Forward-compat: a snapshot without p50/p95/p99 keys (schema v1)
+        # still gets quantile samples, recomputed from ``recent``.
+        snap = {
+            "h": {
+                "type": "histogram",
+                "count": 3,
+                "sum": 6.0,
+                "recent": [1.0, 2.0, 3.0],
+            }
+        }
+        text = render_openmetrics(snap)
+        assert 'h{quantile="0.5"} 2' in text
+
+    def test_empty_snapshot_is_just_eof(self):
+        assert render_openmetrics({}) == "# EOF\n"
+        assert parse_openmetrics(render_openmetrics({})) == {}
+
+    def test_content_type_advertises_openmetrics(self):
+        assert "openmetrics-text" in CONTENT_TYPE
+
+
+class TestParse:
+    def test_roundtrip_of_live_registry(self):
+        obs_metrics.counter("a.b").inc(2)
+        obs_metrics.gauge("g", zone="z").set(1.5)
+        obs_metrics.histogram("h").observe(0.5)
+        samples = parse_openmetrics(render_openmetrics())
+        assert samples["a_b_total"][0]["value"] == 2
+        assert samples["g"][0] == {"labels": {"zone": "z"}, "value": 1.5}
+        assert samples["h_count"][0]["value"] == 1
+
+    def test_missing_eof_is_rejected(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("a_total 1\n")
+
+    def test_content_after_eof_is_rejected(self):
+        with pytest.raises(ValueError, match="after"):
+            parse_openmetrics("# EOF\na_total 1\n")
+
+    def test_malformed_sample_is_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_openmetrics("}bogus{ 1\n# EOF\n")
+
+    def test_malformed_value_is_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_openmetrics("a_total xyz\n# EOF\n")

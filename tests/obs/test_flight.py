@@ -1,0 +1,139 @@
+"""Flight recorder: bounded ring, atomic dumps, fork hygiene."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs import flight as obs_flight
+from repro.obs.flight import FLIGHT_SCHEMA_VERSION, FlightRecorder
+
+
+def read_dump(path):
+    with open(path, encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    return lines[0], lines[1:]
+
+
+class TestRing:
+    def test_record_and_snapshot(self):
+        rec = FlightRecorder()
+        rec.record("supervision.crash", slot=1, chunk=4)
+        events = rec.snapshot()
+        assert len(rec) == 1
+        assert events[0]["kind"] == "supervision.crash"
+        assert events[0]["slot"] == 1 and events[0]["chunk"] == 4
+        assert events[0]["seq"] == 0 and "ts" in events[0]
+
+    def test_ring_is_bounded_and_keeps_newest(self):
+        rec = FlightRecorder(capacity=8)
+        for i in range(50):
+            rec.record("e", i=i)
+        events = rec.snapshot()
+        assert len(events) == 8
+        assert [e["i"] for e in events] == list(range(42, 50))
+        assert events[-1]["seq"] == 49  # seq keeps counting past evictions
+
+    def test_configure_resize_preserves_tail(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(4):
+            rec.record("e", i=i)
+        rec.configure(capacity=2)
+        assert [e["i"] for e in rec.snapshot()] == [2, 3]
+
+    def test_clear_empties_ring(self):
+        rec = FlightRecorder()
+        rec.record("e")
+        rec.clear()
+        assert len(rec) == 0
+
+    def test_record_span_extracts_name_and_attrs(self):
+        rec = FlightRecorder()
+        rec.record_span(
+            "worker[2]",
+            {"name": "worker.chunk", "attrs": {"chunk": 3}, "duration": 0.1},
+        )
+        event = rec.snapshot()[0]
+        assert event["kind"] == "span"
+        assert event["origin"] == "worker[2]"
+        assert event["name"] == "worker.chunk"
+        assert event["attrs"] == {"chunk": 3}
+
+
+class TestDump:
+    def test_dump_writes_header_then_events(self, tmp_path):
+        rec = FlightRecorder()
+        rec.record("a", x=1)
+        rec.record("b", y=2)
+        path = tmp_path / "flight.jsonl"
+        assert rec.dump(path, reason="test") == 2
+        header, events = read_dump(path)
+        assert header["schema_version"] == FLIGHT_SCHEMA_VERSION
+        assert header["kind"] == "flight_dump"
+        assert header["reason"] == "test"
+        assert header["n_events"] == 2
+        assert [e["kind"] for e in events] == ["a", "b"]
+
+    def test_dump_serializes_unjsonable_payloads_via_repr(self, tmp_path):
+        rec = FlightRecorder()
+        rec.record("weird", obj=object())
+        path = tmp_path / "flight.jsonl"
+        rec.dump(path)
+        _, events = read_dump(path)
+        assert "object object" in events[0]["obj"]
+
+    def test_auto_dump_noop_when_unconfigured(self):
+        rec = FlightRecorder()
+        rec.record("e")
+        assert rec.auto_dump("crash") is None
+
+    def test_auto_dump_noop_when_ring_empty(self, tmp_path):
+        rec = FlightRecorder()
+        rec.configure(dump_dir=tmp_path)
+        assert rec.auto_dump("crash") is None
+
+    def test_auto_dump_writes_into_configured_dir(self, tmp_path):
+        rec = FlightRecorder()
+        rec.configure(dump_dir=tmp_path / "dumps")
+        rec.record("supervision.crash", chunk=7)
+        path = rec.auto_dump("worker-crash")
+        assert path is not None and os.path.exists(path)
+        assert os.path.dirname(path) == str(tmp_path / "dumps")
+        header, events = read_dump(path)
+        assert header["reason"] == "worker-crash"
+        assert events[0]["chunk"] == 7
+
+    def test_auto_dump_sanitizes_reason_and_numbers_files(self, tmp_path):
+        rec = FlightRecorder()
+        rec.configure(dump_dir=tmp_path)
+        rec.record("e")
+        first = rec.auto_dump("bad/reason with spaces")
+        rec.record("e")
+        second = rec.auto_dump("bad/reason with spaces")
+        assert "/" not in os.path.basename(first).replace("flight-", "", 1)
+        assert "bad-reason-with-spaces" in first
+        assert first != second  # counter keeps dumps distinct
+
+
+class TestForkHygiene:
+    def test_inherited_ring_starts_fresh_in_child(self):
+        rec = FlightRecorder()
+        rec.record("parent-event")
+        # Simulate a fork: the recorded pid no longer matches the process.
+        rec._pid = rec._pid - 1
+        assert len(rec) == 0  # guard fired, parent history gone
+        rec.record("child-event")
+        events = rec.snapshot()
+        assert [e["kind"] for e in events] == ["child-event"]
+        assert events[0]["seq"] == 0
+
+
+class TestModuleFacade:
+    def test_module_functions_hit_the_singleton(self, tmp_path):
+        obs_flight.configure(dump_dir=tmp_path)
+        obs_flight.record("facade", n=1)
+        assert any(
+            e["kind"] == "facade" for e in obs_flight.flight_recorder().snapshot()
+        )
+        path = obs_flight.auto_dump("facade-test")
+        assert path is not None and os.path.exists(path)

@@ -172,14 +172,39 @@ class TestEngineTracing:
 
     def test_parallel_run_has_same_span_skeleton_as_serial(self):
         skeletons = []
+        reports = []
         for n_workers in (1, 3):
             engine = _additive_engine([1.0, -2.0, 0.5, 3.0, 1.5], n_workers)
             with tracing() as report:
                 engine.run_permutations(6, seed=3)
-            skeletons.append(_skeleton(report))
-        # Forked workers reset their inherited recorder, so the driver's
-        # trace does not depend on the worker count.
+            reports.append(report)
+            # Worker spans are backhauled into the parallel trace (grouped
+            # under worker[i]); the *driver's* skeleton must still not
+            # depend on the worker count, so compare with them filtered.
+            driver_spans = [
+                s
+                for s in report.spans
+                if not s.name.startswith(("worker[", "worker."))
+            ]
+            position = {s.span_id: i for i, s in enumerate(driver_spans)}
+            skeletons.append(
+                [(s.name, position.get(s.parent_id)) for s in driver_spans]
+            )
         assert skeletons[0] == skeletons[1]
+        # The serial run has no worker spans; the parallel run's adopted
+        # chunk spans are each parented under a worker[i] group, which in
+        # turn hangs off a driver span (the wave).
+        serial, parallel = reports
+        assert not [s for s in serial.spans if s.name.startswith("worker")]
+        groups = [s for s in parallel.spans if s.name.startswith("worker[")]
+        chunks = [s for s in parallel.spans if s.name == "worker.chunk"]
+        assert groups and chunks
+        by_id = {s.span_id: s for s in parallel.spans}
+        group_ids = {g.span_id for g in groups}
+        assert all(c.parent_id in group_ids for c in chunks)
+        assert all(
+            by_id[g.parent_id].name == "engine.wave" for g in groups
+        )
 
     def test_evaluate_many_span_reports_pending(self):
         engine = _additive_engine([1.0, 2.0, 3.0])

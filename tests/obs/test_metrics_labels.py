@@ -1,0 +1,205 @@
+"""Labeled metrics: series naming, percentile snapshots, Chan-style merges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    delta_snapshots,
+    series_name,
+    split_series,
+)
+
+
+class TestSeriesNames:
+    def test_unlabeled_series_is_bare_name(self):
+        assert series_name("engine.cache.hits") == "engine.cache.hits"
+        assert series_name("engine.cache.hits", {}) == "engine.cache.hits"
+
+    def test_labels_are_sorted_into_the_key(self):
+        a = series_name("job.latency", {"tenant": "acme", "kind": "valuation"})
+        b = series_name("job.latency", {"kind": "valuation", "tenant": "acme"})
+        assert a == b == "job.latency{kind=valuation,tenant=acme}"
+
+    def test_split_inverts_series_name(self):
+        series = series_name("job.latency", {"tenant": "a", "kind": "v"})
+        name, labels = split_series(series)
+        assert name == "job.latency"
+        assert labels == {"tenant": "a", "kind": "v"}
+
+    def test_split_of_bare_name_gives_no_labels(self):
+        assert split_series("plain.metric") == ("plain.metric", {})
+
+
+class TestLabeledInstruments:
+    def test_distinct_label_sets_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("job.terminal", tenant="a").inc()
+        reg.counter("job.terminal", tenant="b").inc(2)
+        snap = reg.snapshot()
+        assert snap["job.terminal{tenant=a}"]["value"] == 1
+        assert snap["job.terminal{tenant=b}"]["value"] == 2
+
+    def test_unlabeled_snapshot_has_no_labels_key(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(1.0)
+        for snap in reg.snapshot().values():
+            assert "labels" not in snap
+
+    def test_labeled_snapshot_carries_labels(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", tenant="acme").observe(0.5)
+        snap = reg.snapshot()["h{tenant=acme}"]
+        assert snap["labels"] == {"tenant": "acme"}
+
+    def test_kind_conflict_on_same_series_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", tenant="a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x", tenant="a")
+
+    def test_same_name_different_labels_same_instrument_on_repeat(self):
+        reg = MetricsRegistry()
+        first = reg.counter("x", tenant="a")
+        again = reg.counter("x", tenant="a")
+        assert first is again
+
+
+class TestHistogramPercentiles:
+    def test_snapshot_carries_p50_p95_p99(self):
+        hist = Histogram("h")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        snap = hist.snapshot()
+        assert snap["p50"] == pytest.approx(50.5)
+        assert snap["p95"] == pytest.approx(95.05)
+        assert snap["p99"] == pytest.approx(99.01)
+
+    def test_empty_histogram_percentiles_are_none(self):
+        snap = Histogram("h").snapshot()
+        assert snap["p50"] is None and snap["p95"] is None and snap["p99"] is None
+
+    def test_forward_compat_merge_of_v1_snapshot(self):
+        # A schema-v1 snapshot (no p50/p95/p99 keys) still merges cleanly.
+        v1 = {"type": "histogram", "count": 3, "sum": 6.0, "min": 1.0,
+              "max": 3.0, "recent": [1.0, 2.0, 3.0]}
+        hist = Histogram("h")
+        hist.observe(10.0)
+        hist.merge(v1)
+        assert hist.count == 4
+        assert hist.total == pytest.approx(16.0)
+        assert hist.min == 1.0 and hist.max == 10.0
+
+    def test_merge_combines_count_sum_min_max_window(self):
+        left, right = Histogram("h"), Histogram("h")
+        for value in (1.0, 5.0):
+            left.observe(value)
+        for value in (0.5, 9.0):
+            right.observe(value)
+        left.merge(right.snapshot())
+        assert left.count == 4
+        assert left.total == pytest.approx(15.5)
+        assert left.min == 0.5 and left.max == 9.0
+        assert sorted(left.window) == [0.5, 1.0, 5.0, 9.0]
+
+
+class TestDeltaSnapshots:
+    def test_counter_delta_keeps_difference_and_drops_zero(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.counter("b").inc(1)
+        before = reg.snapshot()
+        reg.counter("a").inc(2)
+        delta = delta_snapshots(before, reg.snapshot())
+        assert delta["a"] == {"type": "counter", "value": 2}
+        assert "b" not in delta
+
+    def test_gauge_delta_is_final_value(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.0)
+        before = reg.snapshot()
+        reg.gauge("g").set(7.0)
+        delta = delta_snapshots(before, reg.snapshot())
+        assert delta["g"]["value"] == 7.0
+
+    def test_histogram_delta_is_incremental(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1.0)
+        before = reg.snapshot()
+        reg.histogram("h").observe(2.0)
+        reg.histogram("h").observe(3.0)
+        delta = delta_snapshots(before, reg.snapshot())
+        assert delta["h"]["count"] == 2
+        assert delta["h"]["sum"] == pytest.approx(5.0)
+        assert delta["h"]["recent"] == [2.0, 3.0]
+
+    def test_labels_ride_the_delta(self):
+        reg = MetricsRegistry()
+        before = reg.snapshot()
+        reg.counter("c", tenant="a").inc()
+        reg.histogram("h", kind="v").observe(1.0)
+        delta = delta_snapshots(before, reg.snapshot())
+        assert delta["c{tenant=a}"]["labels"] == {"tenant": "a"}
+        assert delta["h{kind=v}"]["labels"] == {"kind": "v"}
+
+
+class TestMergeDelta:
+    def test_counters_add_gauges_overwrite_histograms_merge(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(1.0)
+        reg.merge_delta(
+            {
+                "c": {"type": "counter", "value": 2},
+                "g": {"type": "gauge", "value": 9.0},
+                "h": {"type": "histogram", "count": 1, "sum": 4.0,
+                      "recent": [4.0]},
+            }
+        )
+        snap = reg.snapshot()
+        assert snap["c"]["value"] == 3
+        assert snap["g"]["value"] == 9.0
+        assert snap["h"]["count"] == 2 and snap["h"]["sum"] == pytest.approx(5.0)
+
+    def test_unknown_labeled_series_created_with_labels(self):
+        reg = MetricsRegistry()
+        reg.merge_delta(
+            {
+                "c{tenant=a}": {
+                    "type": "counter",
+                    "value": 5,
+                    "labels": {"tenant": "a"},
+                }
+            }
+        )
+        snap = reg.snapshot()["c{tenant=a}"]
+        assert snap["value"] == 5 and snap["labels"] == {"tenant": "a"}
+
+    def test_worker_roundtrip_delta_merges_into_parent(self):
+        # The backhaul path end-to-end in miniature: child computes a delta
+        # against its base snapshot, parent folds it in.
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        parent.counter("evals").inc(10)
+        base = child.snapshot()
+        child.counter("evals").inc(4)
+        child.histogram("lat", tenant="a").observe(0.25)
+        parent.merge_delta(delta_snapshots(base, child.snapshot()))
+        snap = parent.snapshot()
+        assert snap["evals"]["value"] == 14
+        assert snap["lat{tenant=a}"]["count"] == 1
+
+    def test_module_level_facade(self):
+        obs_metrics.counter("facade.c", tenant="t").inc()
+        obs_metrics.merge_delta(
+            {"facade.c{tenant=t}": {"type": "counter", "value": 2,
+                                    "labels": {"tenant": "t"}}}
+        )
+        assert obs_metrics.snapshot()["facade.c{tenant=t}"]["value"] == 3

@@ -1,0 +1,174 @@
+"""Per-tenant SLO tracking: ratios, quantiles, burn-rate alerts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.slo import SLOPolicy, SLOTracker
+
+
+def feed(tracker, tenant, n, state="completed", latency=0.1, **kw):
+    for _ in range(n):
+        tracker.observe(tenant=tenant, kind="valuation", state=state,
+                        latency_s=latency, **kw)
+
+
+class TestSnapshot:
+    def test_counts_and_ratios(self):
+        tracker = SLOTracker()
+        feed(tracker, "acme", 8, "completed", latency=0.2)
+        feed(tracker, "acme", 1, "degraded", latency=0.9,
+             stop_reason="deadline")
+        feed(tracker, "acme", 1, "failed", latency=None)
+        snap = tracker.snapshot()["acme"]
+        assert snap["jobs"] == 10
+        assert snap["states"] == {"completed": 8, "degraded": 1, "failed": 1}
+        assert snap["degraded_ratio"] == pytest.approx(0.1)
+        assert snap["failure_ratio"] == pytest.approx(0.1)
+        assert snap["deadline_hit_ratio"] == pytest.approx(0.1)
+        assert snap["latency"]["valuation"]["count"] == 9
+
+    def test_tenants_are_isolated(self):
+        tracker = SLOTracker()
+        feed(tracker, "a", 3)
+        feed(tracker, "b", 1, "failed")
+        assert tracker.tenants() == ["a", "b"]
+        assert tracker.snapshot()["a"]["failure_ratio"] == 0.0
+        assert tracker.snapshot()["b"]["failure_ratio"] == 1.0
+
+    def test_rejected_counts_as_shed(self):
+        tracker = SLOTracker()
+        feed(tracker, "a", 1, "rejected", latency=None)
+        assert tracker.snapshot()["a"]["shed_ratio"] == 1.0
+
+    def test_observe_job_reads_job_shaped_objects(self):
+        class Request:
+            tenant, kind = "acme", "valuation"
+
+        class State:
+            value = "completed"
+
+        class FakeJob:
+            request = Request()
+            state = State()
+            latency_s = 0.25
+            queue_wait_s = 0.05
+            stop_reason = None
+
+        tracker = SLOTracker()
+        tracker.observe_job(FakeJob())
+        snap = tracker.snapshot()["acme"]
+        assert snap["jobs"] == 1
+        assert snap["latency"]["valuation"]["p50_s"] == pytest.approx(0.25)
+
+
+class TestQuantiles:
+    def test_quantiles_for_bench_reporting(self):
+        tracker = SLOTracker()
+        for value in (0.1, 0.2, 0.3, 0.4, 0.5):
+            tracker.observe("a", "valuation", "completed", latency_s=value)
+        stats = tracker.quantiles("a", kind="valuation")
+        assert stats["count"] == 5
+        assert stats["p50_s"] == pytest.approx(0.3)
+        assert stats["p99_s"] == pytest.approx(0.496)
+
+    def test_unknown_tenant_quantiles_empty(self):
+        stats = SLOTracker().quantiles("ghost")
+        assert stats == {"p50_s": None, "p95_s": None, "p99_s": None,
+                         "count": 0}
+
+
+class TestBurnRateAlerts:
+    def test_healthy_tenant_raises_nothing(self):
+        tracker = SLOTracker()
+        feed(tracker, "a", 20, "completed")
+        assert tracker.alerts() == []
+
+    def test_budget_burn_warns_then_pages(self):
+        # 10% failures against a 99% objective = burn rate 10x > critical 6x.
+        tracker = SLOTracker()
+        feed(tracker, "a", 18, "completed")
+        feed(tracker, "a", 2, "failed", latency=None)
+        alerts = [a for a in tracker.alerts() if a.kind == "slo_burn"]
+        assert len(alerts) == 1
+        assert alerts[0].severity == "critical"
+        assert alerts[0].node == "tenant:a"
+        assert alerts[0].value == pytest.approx(0.1 / 0.01)
+
+    def test_warn_between_thresholds(self):
+        # 2% failures with a 99% objective = 2x burn: warn, not critical.
+        policy = SLOPolicy(critical_burn_rate=6.0)
+        tracker = SLOTracker(policy)
+        feed(tracker, "a", 98, "completed")
+        feed(tracker, "a", 2, "failed", latency=None)
+        alerts = [a for a in tracker.alerts() if a.kind == "slo_burn"]
+        assert [a.severity for a in alerts] == ["warn"]
+
+    def test_too_few_jobs_suppresses_burn_alert(self):
+        tracker = SLOTracker()
+        feed(tracker, "a", 2, "failed", latency=None)
+        assert tracker.alerts() == []
+
+    def test_latency_objective_violation(self):
+        policy = SLOPolicy(latency_objective_s=0.5)
+        tracker = SLOTracker(policy)
+        feed(tracker, "a", 10, "completed", latency=0.8)
+        alerts = [a for a in tracker.alerts() if a.kind == "slo_latency"]
+        assert len(alerts) == 1
+        assert alerts[0].metric == "p95_s"
+        assert alerts[0].column == "valuation"
+        assert alerts[0].severity == "warn"
+        # 2x the objective escalates to critical
+        feed(tracker, "b", 10, "completed", latency=2.0)
+        severities = {a.node: a.severity for a in tracker.alerts()}
+        assert severities["tenant:b"] == "critical"
+
+    def test_critical_alerts_sort_first(self):
+        policy = SLOPolicy(latency_objective_s=0.5)
+        tracker = SLOTracker(policy)
+        feed(tracker, "warned", 10, "completed", latency=0.6)
+        feed(tracker, "paged", 20, "failed", latency=None)
+        severities = [a.severity for a in tracker.alerts()]
+        assert severities == sorted(
+            severities, key=lambda s: {"critical": 0, "warn": 1}[s]
+        )
+
+
+class TestMetricsSurface:
+    def test_metrics_snapshot_has_labeled_series_without_tracing(self):
+        assert not obs_trace.enabled()
+        tracker = SLOTracker()
+        feed(tracker, "acme", 3, "completed", latency=0.2, queue_wait_s=0.01)
+        snap = tracker.metrics_snapshot()
+        latency = snap["service.job.latency_s{kind=valuation,tenant=acme}"]
+        assert latency["type"] == "histogram" and latency["count"] == 3
+        assert latency["labels"] == {"tenant": "acme", "kind": "valuation"}
+        terminal = snap["service.job.terminal{state=completed,tenant=acme}"]
+        assert terminal["value"] == 3
+        assert "service.job.queue_wait_s{tenant=acme}" in snap
+        # the tracker is standalone: nothing leaked into the global registry
+        assert "service.job.terminal{state=completed,tenant=acme}" not in (
+            obs_metrics.snapshot()
+        )
+
+    def test_tracing_mirrors_into_global_registry(self):
+        obs_trace.enable()
+        tracker = SLOTracker()
+        tracker.observe("acme", "valuation", "completed", latency_s=0.1)
+        snap = obs_metrics.snapshot()
+        assert snap["service.job.terminal{state=completed,tenant=acme}"][
+            "value"
+        ] == 1
+        assert snap["service.job.latency_s{kind=valuation,tenant=acme}"][
+            "count"
+        ] == 1
+
+    def test_to_dict_shape(self):
+        tracker = SLOTracker()
+        feed(tracker, "a", 1)
+        payload = tracker.to_dict()
+        assert set(payload) == {"policy", "tenants", "alerts"}
+        assert payload["policy"]["success_objective"] == 0.99
+        assert "a" in payload["tenants"]

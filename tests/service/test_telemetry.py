@@ -1,0 +1,265 @@
+"""TelemetryServer end-to-end: real HTTP over a real socket.
+
+Each test boots a JobRuntime + TelemetryServer inside ``asyncio.run`` (no
+pytest-asyncio), then speaks raw HTTP/1.1 through ``asyncio.open_connection``
+— the same path a Prometheus scraper or load-balancer probe takes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import parse_openmetrics
+from repro.service import BreakerPolicy, JobRequest, JobRuntime, TelemetryServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def http_get(server, path, method="GET"):
+    reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+class TestMetricsEndpoint:
+    def test_metrics_parse_as_openmetrics_with_tenant_labels(self):
+        async def main():
+            runtime = JobRuntime()
+            runtime.register_handler("echo", lambda p, ctx: p["x"])
+            async with runtime, TelemetryServer(runtime) as server:
+                for tenant in ("alice", "bob", "alice"):
+                    await runtime.submit(
+                        JobRequest(kind="echo", params={"x": 1}, dedup=False,
+                                   tenant=tenant)
+                    ).wait()
+                return await http_get(server, "/metrics")
+
+        status, headers, body = run(main())
+        assert status == 200
+        assert "openmetrics-text" in headers["content-type"]
+        assert headers["content-length"] == str(len(body))
+        samples = parse_openmetrics(body.decode("utf-8"))
+        # tenant-labeled latency histograms (SLO series, tracing off)
+        latencies = samples["service_job_latency_s_count"]
+        tenants = {s["labels"]["tenant"] for s in latencies}
+        assert tenants == {"alice", "bob"}
+        by_tenant = {s["labels"]["tenant"]: s["value"] for s in latencies}
+        assert by_tenant["alice"] == 2 and by_tenant["bob"] == 1
+        assert all(
+            s["labels"]["kind"] == "echo" for s in latencies
+        )
+        quantiled = samples["service_job_latency_s"]
+        assert {s["labels"]["quantile"] for s in quantiled} >= {"0.5", "0.99"}
+        terminals = samples["service_job_terminal_total"]
+        assert {(s["labels"]["tenant"], s["labels"]["state"])
+                for s in terminals} == {("alice", "completed"),
+                                        ("bob", "completed")}
+
+    def test_live_registry_series_are_included(self):
+        async def main():
+            obs_metrics.counter("custom.counter").inc(3)
+            runtime = JobRuntime()
+            async with runtime, TelemetryServer(runtime) as server:
+                return await http_get(server, "/metrics")
+
+        status, _, body = run(main())
+        samples = parse_openmetrics(body.decode("utf-8"))
+        assert samples["custom_counter_total"][0]["value"] == 3
+        obs_metrics.registry().clear()
+
+
+class TestHealthz:
+    def test_ok_while_serving_and_503_while_draining(self):
+        async def main():
+            runtime = JobRuntime(max_concurrency=1)
+            gate = threading.Event()
+            runtime.register_handler(
+                "slow", lambda p, ctx: gate.wait(timeout=10.0)
+            )
+            async with runtime, TelemetryServer(runtime) as server:
+                status_ok, _, body_ok = await http_get(server, "/healthz")
+                job = runtime.submit(JobRequest(kind="slow", dedup=False))
+                drain_task = asyncio.ensure_future(runtime.drain())
+                while not runtime.draining:
+                    await asyncio.sleep(0.001)
+                status_draining, _, body_draining = await http_get(
+                    server, "/healthz"
+                )
+                gate.set()
+                await drain_task
+                await job.wait()
+                status_after, _, _ = await http_get(server, "/healthz")
+            return (status_ok, body_ok, status_draining, body_draining,
+                    status_after)
+
+        ok, body_ok, draining, body_draining, after = run(main())
+        assert ok == 200
+        assert json.loads(body_ok)["status"] == "ok"
+        assert draining == 503
+        payload = json.loads(body_draining)
+        assert payload["status"] == "draining" and payload["draining"]
+        assert after == 200
+
+    def test_stopped_runtime_reports_503(self):
+        async def main():
+            runtime = JobRuntime()
+            server = TelemetryServer(runtime)
+            await server.start()
+            try:
+                return await http_get(server, "/healthz")
+            finally:
+                await server.stop()
+
+        status, _, body = run(main())
+        assert status == 503
+        assert json.loads(body)["status"] == "stopped"
+
+
+class TestJobsAndSlo:
+    def test_jobs_lists_counts_and_summaries(self):
+        async def main():
+            runtime = JobRuntime()
+            runtime.register_handler("echo", lambda p, ctx: p["x"])
+            async with runtime, TelemetryServer(runtime) as server:
+                await runtime.submit(
+                    JobRequest(kind="echo", params={"x": 9}, tenant="t1")
+                ).wait()
+                return await http_get(server, "/jobs")
+
+        status, _, body = run(main())
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["counts"]["completed"] == 1
+        assert len(payload["jobs"]) == 1
+        assert payload["jobs"][0]["tenant"] == "t1"
+        assert payload["jobs"][0]["state"] == "completed"
+
+    def test_slo_exposes_policy_tenants_alerts(self):
+        async def main():
+            # a lenient breaker: six straight failures must reach the SLO
+            # tracker rather than trip per-tenant admission control
+            runtime = JobRuntime(
+                breaker_policy=BreakerPolicy(failure_threshold=50)
+            )
+            runtime.register_handler("boom", lambda p, ctx: 1 / 0)
+            async with runtime, TelemetryServer(runtime) as server:
+                for _ in range(6):
+                    job = runtime.submit(JobRequest(kind="boom", dedup=False,
+                                                    tenant="unlucky"))
+                    with pytest.raises(Exception):
+                        await job.wait()
+                return await http_get(server, "/slo")
+
+        status, _, body = run(main())
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["policy"]["success_objective"] == 0.99
+        tenant = payload["tenants"]["unlucky"]
+        assert tenant["states"]["failed"] >= 1
+        assert tenant["burn_rate"] > 1.0
+        burn_alerts = [a for a in payload["alerts"] if a["kind"] == "slo_burn"]
+        assert burn_alerts and burn_alerts[0]["severity"] == "critical"
+
+
+class TestFailedJobFlightDump:
+    def test_failed_job_dumps_flight_with_job_identity(self, tmp_path):
+        from repro.obs import flight as obs_flight
+
+        async def main():
+            runtime = JobRuntime(
+                flight_dir=tmp_path,
+                breaker_policy=BreakerPolicy(failure_threshold=50),
+            )
+            runtime.register_handler("boom", lambda p, ctx: 1 / 0)
+            async with runtime:
+                job = runtime.submit(JobRequest(kind="boom", tenant="t9"))
+                with pytest.raises(Exception):
+                    await job.wait()
+                return job.job_id
+
+        try:
+            job_id = run(main())
+            dumps = sorted(tmp_path.glob("flight-*job-failed*.jsonl"))
+            assert dumps, "FAILED job produced no flight dump"
+            with open(dumps[0], encoding="utf-8") as handle:
+                events = [json.loads(line) for line in handle][1:]
+            failed = [e for e in events if e["kind"] == "job.failed"]
+            assert failed
+            assert failed[-1]["job_id"] == job_id
+            assert failed[-1]["tenant"] == "t9"
+            assert failed[-1]["job_kind"] == "boom"
+            assert "ZeroDivisionError" in failed[-1]["error"]
+        finally:
+            recorder = obs_flight.flight_recorder()
+            recorder.clear()
+            recorder.dump_dir = None
+
+
+class TestHttpPlumbing:
+    def test_unknown_path_404(self):
+        async def main():
+            runtime = JobRuntime()
+            async with runtime, TelemetryServer(runtime) as server:
+                return await http_get(server, "/nope")
+
+        status, _, _ = run(main())
+        assert status == 404
+
+    def test_post_is_405(self):
+        async def main():
+            runtime = JobRuntime()
+            async with runtime, TelemetryServer(runtime) as server:
+                return await http_get(server, "/metrics", method="POST")
+
+        status, _, _ = run(main())
+        assert status == 405
+
+    def test_head_omits_body_but_keeps_length(self):
+        async def main():
+            runtime = JobRuntime()
+            async with runtime, TelemetryServer(runtime) as server:
+                return await http_get(server, "/healthz", method="HEAD")
+
+        status, headers, body = run(main())
+        assert status in (200, 503) and body == b""
+        assert int(headers["content-length"]) > 0
+
+    def test_query_strings_are_ignored(self):
+        async def main():
+            runtime = JobRuntime()
+            async with runtime, TelemetryServer(runtime) as server:
+                return await http_get(server, "/metrics?format=prom")
+
+        status, _, body = run(main())
+        assert status == 200
+        parse_openmetrics(body.decode("utf-8"))
+
+    def test_url_reports_bound_ephemeral_port(self):
+        async def main():
+            runtime = JobRuntime()
+            async with runtime, TelemetryServer(runtime) as server:
+                assert server.port != 0
+                return server.url
+
+        url = run(main())
+        assert url.startswith("http://127.0.0.1:")

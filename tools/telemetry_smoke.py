@@ -1,0 +1,137 @@
+"""End-to-end smoke for the telemetry plane — run by the CI telemetry job.
+
+Two acts, both against the real thing (no mocks, no monkeypatching):
+
+1. Boot a :class:`~repro.service.JobRuntime` with a
+   :class:`~repro.service.TelemetryServer`, drive multi-tenant jobs
+   through it, and scrape ``/metrics``, ``/healthz``, and ``/slo`` over a
+   real TCP socket. The ``/metrics`` body must parse as valid OpenMetrics
+   and carry the per-tenant latency series; the scrape is saved to
+   ``benchmarks/results/telemetry_metrics.txt`` as a CI artifact.
+
+2. Crash a pooled valuation worker with :class:`~repro.errors.ChaosMonkey`
+   under an armed flight recorder, producing a real flight dump in
+   ``benchmarks/results/flight/`` — uploaded so a red CI run demonstrates
+   exactly what an operator would pull off a crashed deployment.
+
+Usage::
+
+    PYTHONPATH=src python tools/telemetry_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+RESULTS = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+async def _http_get(port: int, path: str) -> tuple[int, bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), body
+
+
+async def scrape_live_server() -> str:
+    from repro.obs.export import parse_openmetrics
+    from repro.service import JobRequest, JobRuntime, TelemetryServer
+
+    runtime = JobRuntime()
+    runtime.register_handler("echo", lambda params, ctx: params["x"])
+    async with runtime, TelemetryServer(runtime) as server:
+        for tenant in ("alice", "bob", "alice"):
+            await runtime.submit(
+                JobRequest(kind="echo", params={"x": 1}, dedup=False,
+                           tenant=tenant)
+            ).wait()
+
+        status, health = await _http_get(server.port, "/healthz")
+        assert status == 200, f"/healthz -> {status}"
+        assert json.loads(health)["status"] == "ok"
+
+        status, metrics = await _http_get(server.port, "/metrics")
+        assert status == 200, f"/metrics -> {status}"
+        text = metrics.decode("utf-8")
+        samples = parse_openmetrics(text)  # must be valid OpenMetrics
+        tenants = {
+            s["labels"]["tenant"]
+            for s in samples["service_job_latency_s_count"]
+        }
+        assert tenants == {"alice", "bob"}, tenants
+
+        status, slo = await _http_get(server.port, "/slo")
+        assert status == 200, f"/slo -> {status}"
+        assert set(json.loads(slo)["tenants"]) == {"alice", "bob"}
+    return text
+
+
+def crash_a_pooled_worker(dump_dir: Path) -> Path:
+    from repro.errors import ChaosMonkey
+    from repro.importance import SubsetUtility, ValuationEngine
+    from repro.obs import flight as obs_flight
+    from repro.obs import trace as obs_trace
+
+    rng = np.random.default_rng(3)
+    w = rng.normal(size=10)
+
+    def func(indices):
+        idx = np.asarray(indices, dtype=int)
+        return float(np.tanh(w[idx].sum())) if len(idx) else 0.0
+
+    obs_flight.configure(dump_dir=dump_dir)
+    engine = ValuationEngine(
+        SubsetUtility(func, 10),
+        n_workers=2,
+        chaos=ChaosMonkey(worker_crash_chunks=[3]),
+    )
+    obs_trace.enable()
+    try:
+        run = engine.run_permutations(16, seed=5)
+    finally:
+        obs_trace.disable()
+    assert run is not None, "engine did not recover from the seeded crash"
+
+    dumps = sorted(dump_dir.glob("flight-*worker-crash*.jsonl"))
+    assert dumps, f"no flight dump in {dump_dir}"
+    events = [
+        json.loads(line)
+        for line in dumps[0].read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    assert events[0]["kind"] == "flight_dump"
+    kinds = {e["kind"] for e in events[1:]}
+    assert "supervision.crash" in kinds, kinds
+    assert "span" in kinds, kinds  # the crashed worker's backhauled spans
+    return dumps[0]
+
+
+def main() -> int:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+
+    metrics_text = asyncio.run(scrape_live_server())
+    metrics_path = RESULTS / "telemetry_metrics.txt"
+    metrics_path.write_text(metrics_text, encoding="utf-8")
+    print(f"scraped /metrics OK -> {metrics_path}"
+          f" ({len(metrics_text.splitlines())} lines)")
+
+    flight_dir = RESULTS / "flight"
+    flight_dir.mkdir(parents=True, exist_ok=True)
+    dump = crash_a_pooled_worker(flight_dir)
+    print(f"flight dump OK -> {dump}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
