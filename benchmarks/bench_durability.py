@@ -1,0 +1,294 @@
+"""Durable state plane: what does the checksummed envelope cost?
+
+Three questions with numbers attached:
+
+1. **Append overhead.** Every JSONL artifact line is now CRC32-framed
+   (``{"_env": 2, "crc": ..., "data": ...}``). The durability contract
+   budgets **< 5%** for the framing itself — the checksum must be in the
+   noise next to the fsync it protects. And it literally is in the noise:
+   a durable append is fsync/metadata-bound at ~2 ms with heavy-tailed
+   latency, while framing adds single-digit microseconds — so a gate on
+   the stochastic end-to-end ratio would be a coin flip. The gated number
+   is instead *decomposed into its deterministic components*, each
+   measured where it is measurable: the CPU delta of ``frame_line`` vs.
+   ``canonical_json`` (many-rep timing) plus the envelope's extra bytes
+   priced at the measured copy throughput, over the measured median
+   durable append. Interleaved end-to-end medians for both variants are
+   reported alongside as the (noisy) sanity check.
+2. **Validated-load overhead.** ``read_jsonl`` (CRC check per line) vs. a
+   raw ``json.loads`` loop over the identical un-framed file.
+3. **Recovery cost.** A corrupted artifact (5% of lines damaged) is loaded
+   once with quarantine enabled — the worst-case path: every bad line is
+   CRC-rejected, deduped, and copied to the ``.corrupt`` sidecar — and the
+   accounting must balance: loaded + quarantined == total.
+
+Environment knobs (CI smoke sizes): ``REPRO_BENCH_DUR_N`` (pre-seeded
+records), ``REPRO_BENCH_DUR_APPENDS`` (timed appends per round),
+``REPRO_BENCH_DUR_ROUNDS`` (sampling rounds).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.atomicio import (
+    atomic_append_line,
+    atomic_writer,
+    canonical_json,
+    frame_line,
+    read_jsonl,
+)
+from repro.viz import format_records
+
+N_SEED = int(os.environ.get("REPRO_BENCH_DUR_N", "400"))
+N_APPENDS = int(os.environ.get("REPRO_BENCH_DUR_APPENDS", "25"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_DUR_ROUNDS", "5"))
+CORRUPT_FRAC = 0.05
+
+
+def _payload(i: int) -> dict:
+    """One representative artifact record (~700 canonical bytes).
+
+    Sized like the real traffic — a run-ledger record with its config,
+    per-node stats, and metrics — not a toy line: the envelope is a fixed
+    ~35 bytes, so the overhead ratio is only meaningful against records
+    the shape the state plane actually persists.
+    """
+    return {
+        "schema_version": 1,
+        "ts": 1700000000.0 + i,
+        "event": "progress",
+        "job_id": f"job-{i % 7}",
+        "run_id": f"run-2026-08-08-{i:06d}",
+        "payload": {
+            "completed": i,
+            "target": N_SEED,
+            "seq": i,
+            "config": {
+                "n_permutations": 200,
+                "seed": 11,
+                "check_every": 8,
+                "truncation_tolerance": 0.001,
+                "convergence_tolerance": 0.0,
+                "antithetic": True,
+                "weights": "shapley",
+                "n_workers": 4,
+            },
+            "node_stats": [
+                {
+                    "node": f"clean[{k}]",
+                    "rows_in": 4096 + i,
+                    "rows_out": 4032 - k,
+                    "null_rate": 0.0125,
+                    "wall_s": 0.0042,
+                }
+                for k in range(4)
+            ],
+            "metrics": {
+                "queue_depth": 3,
+                "attempt": 1,
+                "heartbeat_s": 0.25,
+                "rss_mb": 412.5,
+            },
+        },
+    }
+
+
+def _seed_file(path: Path, framed: bool, n: int) -> None:
+    encode = frame_line if framed else canonical_json
+    with atomic_writer(path) as handle:
+        for i in range(n):
+            handle.write(encode(_payload(i)) + "\n")
+
+
+def _framing_components() -> dict:
+    """Deterministic framing costs, measured where they are measurable."""
+    payloads = [_payload(i) for i in range(50)]
+    reps = 40
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        for p in payloads:
+            canonical_json(p)
+    t1 = time.perf_counter()
+    for _ in range(reps):
+        for p in payloads:
+            frame_line(p)
+    t2 = time.perf_counter()
+    n = reps * len(payloads)
+    cpu_delta_s = max(0.0, ((t2 - t1) - (t1 - t0)) / n)
+    # Price the envelope's extra bytes at the measured copy throughput of
+    # the append path (shutil.copyfileobj, same chunk size).
+    blob = b"x" * (8 << 20)
+    with io.BytesIO(blob) as src, open(os.devnull, "wb") as dst:
+        t0 = time.perf_counter()
+        shutil.copyfileobj(src, dst, 1 << 20)
+        copy_throughput = len(blob) / (time.perf_counter() - t0)
+    envelope_bytes = len(frame_line(payloads[0])) - len(
+        canonical_json(payloads[0])
+    )
+    # An append copies the whole pre-seeded file: ~N_SEED envelopes' worth
+    # of extra bytes ride every framed copy.
+    copy_delta_s = envelope_bytes * N_SEED / copy_throughput
+    return {
+        "cpu_delta_us": round(1e6 * cpu_delta_s, 3),
+        "envelope_bytes": int(envelope_bytes),
+        "copy_throughput_gb_s": round(copy_throughput / 1e9, 2),
+        "copy_delta_us": round(1e6 * copy_delta_s, 3),
+        "framing_cost_us": round(1e6 * (cpu_delta_s + copy_delta_s), 3),
+    }
+
+
+def run_durability(workdir: Path) -> dict:
+    # -- 1. framed vs un-framed append ---------------------------------- #
+    # End-to-end medians, interleaved with alternating order so latency
+    # drift and position bias cancel. These are the sanity check; the
+    # gated overhead comes from the component decomposition below.
+    framed_path = workdir / "append-framed.jsonl"
+    raw_path = workdir / "append-raw.jsonl"
+    _seed_file(framed_path, True, N_SEED)
+    _seed_file(raw_path, False, N_SEED)
+    framed_samples, raw_samples = [], []
+    for i in range(N_APPENDS * ROUNDS):
+        payload = _payload(N_SEED + i)
+        framed_line = frame_line(payload)
+        raw_line = canonical_json(payload)
+        order = (
+            ((raw_path, raw_line, raw_samples),
+             (framed_path, framed_line, framed_samples))
+            if i % 2 == 0
+            else ((framed_path, framed_line, framed_samples),
+                  (raw_path, raw_line, raw_samples))
+        )
+        for target, line, bucket in order:
+            t0 = time.perf_counter()
+            atomic_append_line(target, line)
+            bucket.append(time.perf_counter() - t0)
+    median_framed = float(np.median(framed_samples))
+    median_raw = float(np.median(raw_samples))
+    components = _framing_components()
+    append_overhead_pct = 100.0 * (
+        components["framing_cost_us"] / (1e6 * median_raw)
+    )
+
+    # -- 2. validated load vs raw json.loads ---------------------------- #
+    framed_path = workdir / "load-framed.jsonl"
+    raw_path = workdir / "load-raw.jsonl"
+    _seed_file(framed_path, True, N_SEED)
+    _seed_file(raw_path, False, N_SEED)
+    load_framed_s = load_raw_s = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        payloads, report = read_jsonl(framed_path, artifact="bench")
+        load_framed_s = min(load_framed_s, time.perf_counter() - t0)
+        assert report.clean and len(payloads) == N_SEED
+        t0 = time.perf_counter()
+        with open(raw_path, encoding="utf-8") as handle:
+            raw = [json.loads(line) for line in handle]
+        load_raw_s = min(load_raw_s, time.perf_counter() - t0)
+        assert len(raw) == N_SEED
+
+    # -- 3. recovery: quarantine a 5%-corrupted artifact ---------------- #
+    corrupt_path = workdir / "recovery.jsonl"
+    _seed_file(corrupt_path, True, N_SEED)
+    rng = np.random.default_rng(23)
+    lines = corrupt_path.read_text().splitlines()
+    n_corrupt = max(1, int(CORRUPT_FRAC * len(lines)))
+    for idx in rng.choice(len(lines), size=n_corrupt, replace=False):
+        lines[idx] = lines[idx][: max(1, len(lines[idx]) // 2)]  # torn
+    corrupt_path.write_text("\n".join(lines) + "\n")
+    t0 = time.perf_counter()
+    payloads, report = read_jsonl(corrupt_path, artifact="bench-recovery")
+    recovery_s = time.perf_counter() - t0
+    assert report.n_loaded + report.n_quarantined == N_SEED
+    assert report.n_quarantined == n_corrupt
+
+    return {
+        "n_seed_records": N_SEED,
+        "n_appends": N_APPENDS,
+        "rounds": ROUNDS,
+        "append": {
+            "framed_median_us": round(1e6 * median_framed, 1),
+            "raw_median_us": round(1e6 * median_raw, 1),
+            "n_samples": N_APPENDS * ROUNDS,
+            "components": components,
+            "overhead_pct": round(append_overhead_pct, 3),
+            "budget_pct": 5.0,
+        },
+        "load": {
+            "validated_s": round(load_framed_s, 5),
+            "raw_s": round(load_raw_s, 5),
+            "validated_us_per_record": round(1e6 * load_framed_s / N_SEED, 2),
+            "raw_us_per_record": round(1e6 * load_raw_s / N_SEED, 2),
+        },
+        "recovery": {
+            "n_records": N_SEED,
+            "n_corrupted": int(n_corrupt),
+            "n_loaded": report.n_loaded,
+            "n_quarantined": report.n_quarantined,
+            "wall_s": round(recovery_s, 5),
+            "records_per_s": round(N_SEED / recovery_s, 1),
+        },
+    }
+
+
+def test_durability(benchmark, write_report, tmp_path):
+    result = benchmark.pedantic(
+        lambda: run_durability(tmp_path), rounds=1, iterations=1
+    )
+    append, load, recovery = (
+        result["append"], result["load"], result["recovery"],
+    )
+    rows = [
+        {
+            "operation": "append (un-framed), median",
+            "wall_us": append["raw_median_us"],
+        },
+        {
+            "operation": "append (CRC-framed), median",
+            "wall_us": append["framed_median_us"],
+        },
+        {
+            "operation": f"load x{N_SEED} (raw json.loads)",
+            "wall_us": round(1e6 * load["raw_s"], 1),
+        },
+        {
+            "operation": f"load x{N_SEED} (validated read_jsonl)",
+            "wall_us": round(1e6 * load["validated_s"], 1),
+        },
+        {
+            "operation": (
+                f"recovery load, {recovery['n_corrupted']} torn lines"
+            ),
+            "wall_us": round(1e6 * recovery["wall_s"], 1),
+        },
+    ]
+    report = format_records(rows)
+    comp = append["components"]
+    report += (
+        f"\n\nCRC framing append overhead: {append['overhead_pct']:+.2f}%"
+        f" (budget < {append['budget_pct']:.0f}%):"
+        f" {comp['cpu_delta_us']:.1f}us CPU"
+        f" + {comp['copy_delta_us']:.1f}us copy"
+        f" ({comp['envelope_bytes']}B envelope x {N_SEED} records"
+        f" at {comp['copy_throughput_gb_s']:.1f} GB/s)"
+        f" over a {append['raw_median_us']:.0f}us median durable append"
+        f"\nvalidated load: {load['validated_us_per_record']:.1f} us/record"
+        f" vs raw {load['raw_us_per_record']:.1f} us/record"
+        f"\nrecovery: {recovery['n_quarantined']}/{recovery['n_records']}"
+        f" lines quarantined at {recovery['records_per_s']:.0f} records/s"
+    )
+    write_report("durability", report, records=result)
+    # The contract: checksummed persistence must be nearly free next to
+    # the fsync-bound append protocol it rides on.
+    assert append["overhead_pct"] < append["budget_pct"], (
+        f"CRC framing overhead {append['overhead_pct']:.2f}% exceeds the "
+        f"{append['budget_pct']:.0f}% budget"
+    )
+    assert recovery["n_loaded"] + recovery["n_quarantined"] == N_SEED

@@ -6,7 +6,14 @@ bias), and out-of-distribution values.
 """
 
 from .bias import inject_distribution_shift, inject_duplicates, inject_selection_bias
-from .chaos import ChaosError, ChaosMonkey, InjectedFault, TransientChaosError
+from .chaos import (
+    DISK_FAULT_KINDS,
+    ChaosError,
+    ChaosMonkey,
+    DiskChaos,
+    InjectedFault,
+    TransientChaosError,
+)
 from .labels import inject_group_label_bias, inject_label_errors
 from .missing import MECHANISMS, inject_missing
 from .noise import (
@@ -23,6 +30,8 @@ __all__ = [
     "merge_reports",
     "ChaosError",
     "ChaosMonkey",
+    "DISK_FAULT_KINDS",
+    "DiskChaos",
     "InjectedFault",
     "TransientChaosError",
     "MECHANISMS",

@@ -33,18 +33,29 @@ a chunk's *first* attempt, so the supervised retry succeeds and the run is
 expected to complete — with :attr:`ChaosMonkey.triggered` again recording
 exactly which chunks faulted (``node_kind="worker"``, ``row_id`` holding
 the chunk sequence number).
+
+Finally, :class:`DiskChaos` extends the same seeded-fault discipline to the
+*storage* layer: it plugs into the :class:`repro.obs.atomicio.IOHooks`
+call points of the atomic write protocol and injects short writes, ENOSPC,
+EIO/lying fsync, and crash-before/after-rename faults at exact commit
+ordinals — the fault model the crash-consistency harness
+(``tools/crashconsist.py``) sweeps.
 """
 
 from __future__ import annotations
 
+import errno
 import os
+import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence, TextIO
 
 import numpy as np
 
 from ..frame import DataFrame
+from ..obs.atomicio import IOHooks, SimulatedCrash
 from ..pipeline.operators import (
     EncodeNode,
     FilterNode,
@@ -57,7 +68,14 @@ from ..pipeline.operators import (
 )
 from ..pipeline.resilience import TransientError
 
-__all__ = ["ChaosError", "TransientChaosError", "InjectedFault", "ChaosMonkey"]
+__all__ = [
+    "ChaosError",
+    "TransientChaosError",
+    "InjectedFault",
+    "ChaosMonkey",
+    "DISK_FAULT_KINDS",
+    "DiskChaos",
+]
 
 CORRUPT_MARKER = "#CHAOS-CORRUPT#"
 
@@ -463,3 +481,208 @@ class ChaosMonkey:
                 raise TypeError(f"cannot wrap node type: {type(node).__name__}")
             mapping[node.id] = clone
         return mapping[sink.id]
+
+
+# ---------------------------------------------------------------------- #
+# storage-layer chaos (atomic write protocol fault injection)            #
+# ---------------------------------------------------------------------- #
+
+#: Fault kinds :class:`DiskChaos` can fire, at the commit stage each hits:
+#: ``short_write``/``enospc`` at :meth:`~repro.obs.atomicio.IOHooks.
+#: on_commit`, ``eio_fsync``/``lying_fsync`` at ``on_fsync``, and the two
+#: crash kinds around ``os.replace``.
+DISK_FAULT_KINDS = (
+    "short_write",
+    "enospc",
+    "eio_fsync",
+    "lying_fsync",
+    "crash_before_rename",
+    "crash_after_rename",
+)
+
+
+class DiskChaos(IOHooks):
+    """Seeded storage-fault injector for the atomic write protocol.
+
+    Install with :func:`repro.obs.atomicio.io_hooks` (scoped) or
+    :func:`~repro.obs.atomicio.install_io_hooks`; every
+    :func:`~repro.obs.atomicio.atomic_writer` commit then counts as one
+    *op* and may fault:
+
+    - ``short_write`` — the staged file is truncated by
+      ``short_write_bytes`` before fsync, so the rename publishes a torn
+      last record (what a real partial write leaves after power loss);
+    - ``enospc`` — ``on_commit`` raises ``OSError(ENOSPC)``; the write
+      aborts and the target is untouched;
+    - ``eio_fsync`` — ``on_fsync`` raises ``OSError(EIO)`` (dying disk);
+    - ``lying_fsync`` — the real fsync is *skipped* but the write
+      continues (firmware that acknowledges flushes it never performed);
+    - ``crash_before_rename`` / ``crash_after_rename`` — the process dies
+      at the exact instant around ``os.replace``: either
+      :class:`~repro.obs.atomicio.SimulatedCrash` is raised
+      (``crash_mode="raise"``, for in-process tests — it derives from
+      ``BaseException`` so production handlers cannot absorb it) or the
+      process hard-exits with code 71 (``crash_mode="exit"``, for
+      subprocess harnesses; no unwinding, like a ``kill -9``).
+
+    Fault decisions are a pure function of ``(seed, op ordinal)`` — domain
+    prime 27644437 keeps them independent of the operator/worker/job fault
+    streams — or explicit via ``fault_at={op_ord: kind}``, which is how
+    the crash-consistency harness sweeps every fault point one run at a
+    time. Ops on ``.corrupt`` / ``.lock`` / staging sidecars are never
+    counted or faulted (quarantine and recovery must be able to proceed
+    under chaos); ``only`` restricts faulting to paths containing a
+    substring. Fired faults land in :attr:`triggered` with
+    ``node_kind="disk"`` and ``row_id`` holding the op ordinal.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        short_write_rate: float = 0.0,
+        enospc_rate: float = 0.0,
+        eio_fsync_rate: float = 0.0,
+        lying_fsync_rate: float = 0.0,
+        crash_before_rename_rate: float = 0.0,
+        crash_after_rename_rate: float = 0.0,
+        fault_at: Mapping[int, str] | None = None,
+        crash_mode: str = "raise",
+        short_write_bytes: int = 12,
+        only: str | None = None,
+    ) -> None:
+        rates = {
+            "short_write": float(short_write_rate),
+            "enospc": float(enospc_rate),
+            "eio_fsync": float(eio_fsync_rate),
+            "lying_fsync": float(lying_fsync_rate),
+            "crash_before_rename": float(crash_before_rename_rate),
+            "crash_after_rename": float(crash_after_rename_rate),
+        }
+        if any(r < 0 for r in rates.values()) or sum(rates.values()) > 1.0:
+            raise ValueError(
+                "disk fault rates must be non-negative and sum to <= 1"
+            )
+        if crash_mode not in ("raise", "exit"):
+            raise ValueError("crash_mode must be 'raise' or 'exit'")
+        bad_kinds = set((fault_at or {}).values()) - set(DISK_FAULT_KINDS)
+        if bad_kinds:
+            raise ValueError(f"unknown disk fault kinds: {sorted(bad_kinds)}")
+        self.seed = int(seed)
+        self.disk_rates = rates
+        self.fault_at = {int(k): str(v) for k, v in (fault_at or {}).items()}
+        self.crash_mode = crash_mode
+        self.short_write_bytes = int(short_write_bytes)
+        self.only = only
+        self.triggered: list[InjectedFault] = []
+        self.n_ops = 0
+        self._lock = threading.Lock()
+        self._pending: tuple[int, str] | None = None
+
+    # -- decisions -------------------------------------------------------
+    def disk_fault(self, op_ord: int) -> str | None:
+        """Fault kind for one commit ordinal, or None. Pure and seeded."""
+        op_ord = int(op_ord)
+        if op_ord in self.fault_at:
+            return self.fault_at[op_ord]
+        if not any(self.disk_rates.values()):
+            return None
+        # 27644437 keys the disk domain: adding storage rates never
+        # perturbs operator, worker, or job fault decisions.
+        rng = np.random.default_rng([self.seed, 27644437, op_ord])
+        draw = rng.random()
+        cumulative = 0.0
+        for kind, rate in self.disk_rates.items():
+            cumulative += rate
+            if draw < cumulative:
+                return kind
+        return None
+
+    def planned_disk_faults(self, n_ops: int) -> dict[str, list[int]]:
+        """Expected disk faults over the first ``n_ops`` commit ordinals."""
+        out: dict[str, list[int]] = {}
+        for op_ord in range(int(n_ops)):
+            kind = self.disk_fault(op_ord)
+            if kind is not None:
+                out.setdefault(kind, []).append(op_ord)
+        return out
+
+    def reset(self) -> None:
+        """Clear the trigger record and the op-ordinal counter."""
+        with self._lock:
+            self.triggered.clear()
+            self.n_ops = 0
+            self._pending = None
+
+    # -- internals -------------------------------------------------------
+    def _targets(self, path: Path) -> bool:
+        name = Path(path).name
+        if name.endswith((".corrupt", ".lock", ".tmp")):
+            return False
+        return self.only is None or self.only in str(path)
+
+    def _record_disk(self, op_ord: int, kind: str) -> None:
+        self.triggered.append(
+            InjectedFault(
+                op_index=op_ord, node_kind="disk", kind=kind, row_id=op_ord
+            )
+        )
+
+    def _crash(self, kind: str, path: Path) -> None:
+        if self.crash_mode == "exit":
+            os._exit(71)
+        raise SimulatedCrash(f"injected {kind} for {path}")
+
+    # -- IOHooks call points ---------------------------------------------
+    def on_commit(self, path: Path, handle: TextIO) -> None:
+        if not self._targets(path):
+            return
+        with self._lock:
+            op_ord = self.n_ops
+            self.n_ops += 1
+            kind = self.disk_fault(op_ord)
+            self._pending = (op_ord, kind) if kind is not None else None
+        if kind == "short_write":
+            with self._lock:
+                self._pending = None
+                self._record_disk(op_ord, kind)
+            handle.flush()
+            size = os.fstat(handle.fileno()).st_size
+            os.ftruncate(
+                handle.fileno(), max(0, size - self.short_write_bytes)
+            )
+        elif kind == "enospc":
+            with self._lock:
+                self._pending = None
+                self._record_disk(op_ord, kind)
+            raise OSError(
+                errno.ENOSPC, "injected ENOSPC (no space left)", str(path)
+            )
+
+    def on_fsync(self, path: Path, fileno: int) -> bool:
+        with self._lock:
+            if self._pending is None:
+                return True
+            op_ord, kind = self._pending
+            if kind not in ("eio_fsync", "lying_fsync"):
+                return True
+            self._pending = None
+            self._record_disk(op_ord, kind)
+        if kind == "eio_fsync":
+            raise OSError(errno.EIO, "injected EIO on fsync", str(path))
+        return False  # lying_fsync: report success, flush nothing
+
+    def on_replace(self, tmp: str, path: Path, when: str) -> None:
+        with self._lock:
+            if self._pending is None:
+                return
+            op_ord, kind = self._pending
+            if kind != f"crash_{when}_rename":
+                return
+            self._pending = None
+            self._record_disk(op_ord, kind)
+        self._crash(kind, path)
+
+    def on_dirsync(self, dirpath: Path) -> bool:
+        with self._lock:
+            self._pending = None  # op completed; nothing left to fire
+        return True

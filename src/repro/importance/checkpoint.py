@@ -5,10 +5,17 @@ the toolkit — hours of model retrainings whose only output is a handful of
 accumulator arrays. A preempted or killed run used to lose every
 permutation already paid for. This module makes valuation state durable:
 
-- :class:`CheckpointStore` persists a schema-versioned JSON snapshot
-  atomically (staged + fsync + rename, via :mod:`repro.obs.atomicio`), so
-  a run killed *mid-write* leaves the previous snapshot intact and a
-  resumed run never loads a torn file.
+- :class:`CheckpointStore` persists a schema-versioned, CRC-framed JSON
+  snapshot atomically (staged + fsync + rename + directory fsync, via
+  :mod:`repro.obs.atomicio`), so a run killed *mid-write* leaves the
+  previous snapshot intact and a resumed run never loads a torn file.
+  Loads verify the envelope checksum; a primary snapshot corrupted *after*
+  the fact (bit rot, a partial restore) is quarantined to a
+  ``<file>.corrupt`` sidecar and recovery falls back generation by
+  generation through the retained ``keep_last`` wave archives to the
+  newest valid snapshot — resuming from an older watermark is always
+  correct (merely slower) because the RNG position is fully captured by
+  ``(seed, completed watermark)``.
 - :func:`config_fingerprint` hashes everything that determines the
   sampling trajectory — game size, seed, target budget, position weights,
   truncation/convergence settings, antithetic pairing — and the store
@@ -36,7 +43,13 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from ..obs.atomicio import atomic_write_text
+from ..obs.atomicio import (
+    atomic_write_text,
+    frame_line,
+    quarantine_file,
+    record_storage_alert,
+    unframe,
+)
 
 __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
@@ -114,6 +127,10 @@ class CheckpointStore:
             raise ValueError("keep_last must be >= 1 (or None)")
         self.path = Path(path)
         self.keep_last = keep_last
+        #: Accounting for the most recent :meth:`load` that had to recover
+        #: (quarantined primary, archives tried, winning watermark);
+        #: ``None`` when the last load was clean.
+        self.last_recovery: dict[str, Any] | None = None
 
     def exists(self) -> bool:
         return self.path.exists()
@@ -125,7 +142,7 @@ class CheckpointStore:
         superseded archives so at most ``keep_last`` remain.
         """
         payload = {"schema_version": CHECKPOINT_SCHEMA_VERSION, **state}
-        text = json.dumps(payload, sort_keys=True) + "\n"
+        text = frame_line(payload) + "\n"
         atomic_write_text(self.path, text)
         if self.keep_last is not None:
             completed = int(state.get("completed", 0))
@@ -147,26 +164,112 @@ class CheckpointStore:
             except FileNotFoundError:  # pragma: no cover - concurrent prune
                 pass
 
-    def load(self) -> dict[str, Any] | None:
-        """The stored snapshot, or None when no checkpoint exists yet."""
-        if not self.path.exists():
-            return None
+    def _read_snapshot(
+        self, path: Path
+    ) -> tuple[dict[str, Any] | None, str | None, str | None]:
+        """Parse + CRC-verify one snapshot file.
+
+        Returns ``(payload, error_message, reason_tag)`` — exactly one of
+        ``payload`` / ``error_message`` is set. Never raises: callers
+        decide whether an invalid snapshot is fatal (no archive left) or
+        merely the next fallback candidate.
+        """
         try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError) as exc:
-            raise CheckpointError(
-                f"unreadable checkpoint at {self.path}: {exc}"
-            ) from exc
+            with open(path, "r", encoding="utf-8", errors="replace") as handle:
+                obj = json.loads(handle.read())
+        except OSError as exc:
+            return None, f"unreadable checkpoint at {path}: {exc}", "unreadable"
+        except json.JSONDecodeError as exc:
+            return None, f"unreadable checkpoint at {path}: {exc}", "not_json"
+        payload, err = unframe(obj)
+        if err is not None:
+            return None, f"unreadable checkpoint at {path}: {err}", err
         if not isinstance(payload, dict):
-            raise CheckpointError(f"malformed checkpoint at {self.path}")
+            return None, f"malformed checkpoint at {path}", "not_object"
         version = payload.get("schema_version")
         if version != CHECKPOINT_SCHEMA_VERSION:
-            raise CheckpointError(
-                f"checkpoint schema v{version} at {self.path} is not "
-                f"readable by this runtime (expected v{CHECKPOINT_SCHEMA_VERSION})"
+            return (
+                None,
+                f"checkpoint schema v{version} at {path} is not readable "
+                f"by this runtime (expected v{CHECKPOINT_SCHEMA_VERSION})",
+                "schema_mismatch",
             )
-        return payload
+        return payload, None, None
+
+    def load(self) -> dict[str, Any] | None:
+        """The stored snapshot, or None when no checkpoint exists yet.
+
+        A primary snapshot that fails to parse, fails its CRC, or carries
+        the wrong schema version is quarantined to ``<path>.corrupt`` and
+        recovery walks the retained wave archives newest-first to the most
+        recent valid snapshot (see :attr:`last_recovery`); the primary is
+        healed from the winning archive so the next load is clean. Only
+        when *no* valid generation remains does the load raise
+        :class:`CheckpointError`.
+        """
+        self.last_recovery = None
+        if not self.path.exists():
+            return None
+        payload, error, reason = self._read_snapshot(self.path)
+        if error is None:
+            return payload
+        return self._fall_back(error, reason or "unreadable")
+
+    def _fall_back(self, primary_error: str, reason: str) -> dict[str, Any]:
+        """Quarantine the corrupt primary and resume from the newest valid
+        archive generation, healing the primary on the way out."""
+        quarantine_file(self.path, artifact="checkpoint", reason=reason)
+        recovery: dict[str, Any] = {
+            "path": str(self.path),
+            "primary_error": primary_error,
+            "archives_tried": 0,
+            "recovered_from": None,
+            "completed": None,
+        }
+        for archive in reversed(self.archives()):
+            recovery["archives_tried"] += 1
+            candidate, c_error, _ = self._read_snapshot(archive)
+            if c_error is not None:
+                continue
+            atomic_write_text(
+                self.path, archive.read_text(encoding="utf-8")
+            )
+            recovery["recovered_from"] = archive.name
+            recovery["completed"] = candidate.get("completed")
+            self.last_recovery = recovery
+            self._note_fallback(recovery)
+            return candidate
+        self.last_recovery = recovery
+        raise CheckpointError(primary_error)
+
+    def _note_fallback(self, recovery: dict[str, Any]) -> None:
+        # Lazy: keep checkpoint importable without dragging in the whole
+        # observability stack at module load.
+        from ..obs import flight as _flight
+        from ..obs import metrics as _metrics
+        from ..obs.diff import Alert
+
+        _metrics.counter(
+            "storage.checkpoint_fallback", artifact="checkpoint"
+        ).inc()
+        _flight.record("storage.checkpoint_fallback", **recovery)
+        record_storage_alert(
+            Alert(
+                severity="warn",
+                kind="storage_corruption",
+                node="checkpoint",
+                column=None,
+                metric="storage.checkpoint_fallback",
+                value=float(recovery["archives_tried"]),
+                threshold=0.0,
+                message=(
+                    f"checkpoint at {self.path} was corrupt "
+                    f"({recovery['primary_error']}); resumed from archive "
+                    f"{recovery['recovered_from']} at watermark "
+                    f"{recovery['completed']}"
+                ),
+            )
+        )
 
     def load_matching(
         self, kind: str, fingerprint: str

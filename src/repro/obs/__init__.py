@@ -34,10 +34,23 @@ through this package; the user-facing window is
 """
 
 from .atomicio import (
+    ENVELOPE_SCHEMA_VERSION,
+    IOHooks,
+    LoadReport,
+    SimulatedCrash,
     advisory_lock,
     atomic_append_line,
     atomic_write_text,
     atomic_writer,
+    canonical_json,
+    crc32_hex,
+    frame_line,
+    fsync_dir,
+    install_io_hooks,
+    io_hooks,
+    read_jsonl,
+    storage_alerts,
+    unframe,
 )
 from .diff import (
     Alert,
@@ -54,9 +67,11 @@ from .export import (
     sanitize_metric_name,
 )
 from .flight import (
+    DEFAULT_KEEP_DUMPS,
     FLIGHT_SCHEMA_VERSION,
     FlightRecorder,
     flight_recorder,
+    load_dump,
 )
 from .ledger import RunLedger, RunRecord
 from .metrics import (
@@ -97,6 +112,7 @@ from .trace import (
     enabled,
     get_recorder,
     merge_worker_telemetry,
+    read_trace_export,
     span,
     traced,
 )
@@ -116,6 +132,7 @@ __all__ = [
     "current_span",
     "get_recorder",
     "merge_worker_telemetry",
+    "read_trace_export",
     # metrics
     "Counter",
     "Gauge",
@@ -137,8 +154,10 @@ __all__ = [
     "sanitize_metric_name",
     # flight recorder
     "FLIGHT_SCHEMA_VERSION",
+    "DEFAULT_KEEP_DUMPS",
     "FlightRecorder",
     "flight_recorder",
+    "load_dump",
     # per-tenant SLOs
     "SLOPolicy",
     "SLOTracker",
@@ -164,9 +183,22 @@ __all__ = [
     "compare_runs",
     "population_stability_index",
     "cramers_v",
-    # atomic artifact writes
+    # atomic artifact writes + durable-state plane
     "advisory_lock",
     "atomic_writer",
     "atomic_write_text",
     "atomic_append_line",
+    "ENVELOPE_SCHEMA_VERSION",
+    "IOHooks",
+    "LoadReport",
+    "SimulatedCrash",
+    "canonical_json",
+    "crc32_hex",
+    "frame_line",
+    "fsync_dir",
+    "install_io_hooks",
+    "io_hooks",
+    "read_jsonl",
+    "storage_alerts",
+    "unframe",
 ]

@@ -17,27 +17,32 @@ it atomically (via :mod:`repro.obs.atomicio`) when something goes wrong:
 Recording is always-on (an append to a bounded deque — no clock beyond
 ``time.time()``, no allocation beyond the event dict) but dumps only
 happen when a ``dump_dir`` has been configured, so the default footprint
-is a few hundred dicts of memory and zero I/O.
+is a few hundred dicts of memory and zero I/O. Dump files are CRC-framed
+JSONL (load them with :func:`load_dump`), and the dump directory is
+retention-bounded: a process stuck in a crash loop prunes its oldest dumps
+past ``keep_last`` instead of filling the disk.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import threading
 import time
 from collections import deque
+from pathlib import Path
 from typing import Any
 
 __all__ = [
     "FLIGHT_SCHEMA_VERSION",
     "DEFAULT_CAPACITY",
+    "DEFAULT_KEEP_DUMPS",
     "FlightRecorder",
     "flight_recorder",
     "configure",
     "record",
     "record_span",
     "auto_dump",
+    "load_dump",
 ]
 
 #: Stamped into every dump header; readers must ignore unknown fields.
@@ -48,17 +53,28 @@ FLIGHT_SCHEMA_VERSION = 1
 #: events around a crash.
 DEFAULT_CAPACITY = 512
 
+#: Dumps retained per dump directory by default: repeated crash loops keep
+#: the newest N post-mortems and prune the rest (oldest first).
+DEFAULT_KEEP_DUMPS = 16
+
 
 class FlightRecorder:
     """Bounded, fork-aware ring buffer of observability events."""
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        keep_last: int | None = DEFAULT_KEEP_DUMPS,
+    ) -> None:
+        if keep_last is not None and keep_last < 1:
+            raise ValueError("keep_last must be >= 1 (or None for unbounded)")
         self._lock = threading.Lock()
         self._pid = os.getpid()
         self._events: deque[dict[str, Any]] = deque(maxlen=capacity)
         self._seq = 0
         self._dumps = 0
         self.dump_dir: str | None = None
+        self.keep_last = keep_last
 
     def _guard_fork(self) -> None:
         # A forked child inherits the parent's ring; its events are the
@@ -71,16 +87,22 @@ class FlightRecorder:
             self._dumps = 0
 
     def configure(
-        self, capacity: int | None = None, dump_dir: Any | None = None
+        self,
+        capacity: int | None = None,
+        dump_dir: Any | None = None,
+        keep_last: int | None = None,
     ) -> None:
-        """Resize the ring and/or set the directory :meth:`auto_dump` writes
-        into (``None`` disables automatic dumps)."""
+        """Resize the ring, set the directory :meth:`auto_dump` writes into
+        (``None`` disables automatic dumps), and/or set the dump-retention
+        bound (``keep_last=0`` means unbounded)."""
         with self._lock:
             self._guard_fork()
             if capacity is not None and capacity != self._events.maxlen:
                 self._events = deque(self._events, maxlen=int(capacity))
             if dump_dir is not None:
                 self.dump_dir = os.fspath(dump_dir)
+            if keep_last is not None:
+                self.keep_last = int(keep_last) if keep_last > 0 else None
 
     def record(self, kind: str, **payload: Any) -> None:
         """Append one event (cheap; always-on)."""
@@ -119,9 +141,10 @@ class FlightRecorder:
             self._seq = 0
 
     def dump(self, path: Any, reason: str = "", extra: dict[str, Any] | None = None) -> int:
-        """Atomically write the ring as JSONL (header + one event per line);
-        returns the event count. Readers never observe a partial dump."""
-        from .atomicio import atomic_writer
+        """Atomically write the ring as CRC-framed JSONL (header + one event
+        per line); returns the event count. Readers never observe a partial
+        dump, and :func:`load_dump` quarantines any later bit rot."""
+        from .atomicio import atomic_writer, frame_line
 
         events = self.snapshot()
         header: dict[str, Any] = {
@@ -135,14 +158,16 @@ class FlightRecorder:
         if extra:
             header.update(extra)
         with atomic_writer(path) as handle:
-            handle.write(json.dumps(header) + "\n")
+            handle.write(frame_line(header) + "\n")
             for event in events:
-                handle.write(json.dumps(event, default=repr) + "\n")
+                handle.write(frame_line(event, default=repr) + "\n")
         return len(events)
 
     def auto_dump(self, reason: str) -> str | None:
         """Dump into the configured ``dump_dir`` (no-op returning ``None``
-        when unconfigured or the ring is empty). Returns the dump path."""
+        when unconfigured or the ring is empty). Returns the dump path.
+        Oldest dumps beyond ``keep_last`` are pruned afterwards, so a
+        crash-looping process cannot fill the disk with post-mortems."""
         with self._lock:
             self._guard_fork()
             dump_dir = self.dump_dir
@@ -156,7 +181,30 @@ class FlightRecorder:
             dump_dir, f"flight-{os.getpid()}-{counter:03d}-{safe or 'dump'}.jsonl"
         )
         self.dump(path, reason=reason)
+        self._prune_dumps(dump_dir)
         return path
+
+    def _prune_dumps(self, dump_dir: str) -> list[str]:
+        """Drop the oldest ``flight-*.jsonl`` dumps beyond ``keep_last``.
+
+        Ordered by modification time (dump names from different pids do
+        not sort chronologically). Quarantine sidecars are left alone —
+        they are evidence, not telemetry.
+        """
+        if self.keep_last is None:
+            return []
+        dumps = sorted(
+            Path(dump_dir).glob("flight-*.jsonl"),
+            key=lambda p: (p.stat().st_mtime, p.name),
+        )
+        pruned: list[str] = []
+        for stale in dumps[: -int(self.keep_last)]:
+            try:
+                stale.unlink()
+                pruned.append(str(stale))
+            except OSError:  # pragma: no cover - concurrent prune
+                pass
+        return pruned
 
 
 _FLIGHT = FlightRecorder()
@@ -181,3 +229,24 @@ def record_span(origin: str, span_dict: dict[str, Any]) -> None:
 
 def auto_dump(reason: str) -> str | None:
     return _FLIGHT.auto_dump(reason)
+
+
+def load_dump(path: Any) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Load one flight dump: ``(header, events)``.
+
+    Goes through the validating loader (:func:`repro.obs.atomicio.
+    read_jsonl`): corrupt lines are quarantined to ``<path>.corrupt`` with
+    metrics and an alert, and the surviving events still load. Un-framed
+    (v1) dumps load unchanged. A damaged or missing header yields ``{}``.
+    """
+    from .atomicio import read_jsonl
+
+    payloads, _ = read_jsonl(path, artifact="flight")
+    header: dict[str, Any] = {}
+    events: list[dict[str, Any]] = []
+    for payload in payloads:
+        if not header and payload.get("kind") == "flight_dump":
+            header = payload
+        else:
+            events.append(payload)
+    return header, events

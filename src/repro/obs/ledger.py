@@ -9,21 +9,24 @@ source, per-node quality profiles, the trace skeleton and metric snapshot
 of the run's :class:`~repro.obs.report.TraceReport`, the quarantine
 summary, and wall time.
 
-Records are schema-versioned and loaded leniently: unknown fields are
-ignored and malformed lines are skipped (an append-only log on shared
-storage must tolerate torn writes), so old readers survive new writers.
+Records are schema-versioned and CRC-framed (:func:`repro.obs.atomicio.
+frame_line`): each line is a checksummed envelope, so a flipped bit — not
+just a torn tail — is detected at load time. Loading is lenient but loud:
+unknown fields are ignored, v1 (un-framed) ledgers still load, and corrupt
+lines are quarantined to a ``<file>.corrupt`` sidecar with ``storage.*``
+metrics and an alert (see :func:`repro.obs.atomicio.read_jsonl`) instead
+of being skipped silently.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
-from .atomicio import atomic_append_line
+from .atomicio import LoadReport, atomic_append_line, frame_line, read_jsonl
 from .quality import NodeQualityProfile, PipelineMonitor, fingerprint_frame
 
 __all__ = ["RunRecord", "RunLedger", "LEDGER_SCHEMA_VERSION"]
@@ -125,20 +128,24 @@ class RunLedger:
 
     def __init__(self, path: Any) -> None:
         self.path = Path(path)
+        #: Accounting for the most recent :meth:`load` (quarantine counts,
+        #: alerts); ``None`` until the first load.
+        self.last_load_report: LoadReport | None = None
 
     # -- write -----------------------------------------------------------
     def append(self, record: RunRecord) -> RunRecord:
-        """Append one record (one JSON line) atomically and return it.
+        """Append one CRC-framed record (one JSON line) atomically.
 
         The write goes through :func:`repro.obs.atomicio.atomic_append_line`
-        (copy + append + fsync + rename), so a concurrent reader sees either
-        the previous ledger or the previous ledger plus the whole new line —
-        never a torn suffix. The lenient :meth:`load` stays as
-        defense-in-depth for ledgers produced by other writers.
+        (copy + append + fsync + rename + directory fsync), so a concurrent
+        reader sees either the previous ledger or the previous ledger plus
+        the whole new line — never a torn suffix — and an acknowledged
+        append survives power loss. The validating :meth:`load` detects and
+        quarantines any line corrupted after the fact.
         """
         if not record.created_at:
             record.created_at = time.time()
-        atomic_append_line(self.path, json.dumps(record.to_dict(), sort_keys=True))
+        atomic_append_line(self.path, frame_line(record.to_dict()))
         return record
 
     def record_run(
@@ -236,22 +243,17 @@ class RunLedger:
 
     # -- read ------------------------------------------------------------
     def load(self) -> list[RunRecord]:
-        """Every parseable record, in append order (malformed lines skipped)."""
-        if not self.path.exists():
-            return []
-        records: list[RunRecord] = []
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn write on an append-only log
-                if isinstance(payload, dict):
-                    records.append(RunRecord.from_dict(payload))
-        return records
+        """Every valid record, in append order.
+
+        Corrupt lines (CRC failures, torn tails, garbage) are quarantined
+        to ``<path>.corrupt`` with metrics and an alert — see
+        :attr:`last_load_report` for the accounting — and the remaining
+        records still load.
+        """
+        payloads, self.last_load_report = read_jsonl(
+            self.path, artifact="ledger"
+        )
+        return [RunRecord.from_dict(payload) for payload in payloads]
 
     def last(self, n: int = 1) -> list[RunRecord]:
         """The most recent ``n`` records, oldest first."""

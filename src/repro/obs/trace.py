@@ -43,7 +43,6 @@ deterministic structure
 
 from __future__ import annotations
 
-import json
 import os
 import threading
 import time
@@ -68,6 +67,7 @@ __all__ = [
     "current_span",
     "get_recorder",
     "merge_worker_telemetry",
+    "read_trace_export",
 ]
 
 #: Version stamped into every trace JSONL export (header line). Readers
@@ -303,15 +303,17 @@ class TraceRecorder:
             self._fork_dropped = 0
 
     def export_jsonl(self, path: Any) -> int:
-        """Write a schema-version header then one JSON object per completed
-        span; returns the span count. The file is staged and renamed into
-        place atomically, so readers never observe a partial export."""
-        from .atomicio import atomic_writer
+        """Write a schema-version header then one CRC-framed JSON object per
+        completed span; returns the span count. The file is staged and
+        renamed into place atomically, so readers never observe a partial
+        export; :func:`read_trace_export` verifies the CRCs and quarantines
+        any later bit rot."""
+        from .atomicio import atomic_writer, frame_line
 
         spans = [s for s in self.spans if s.finished]
         with atomic_writer(path) as handle:
             handle.write(
-                json.dumps(
+                frame_line(
                     {
                         "schema_version": TRACE_SCHEMA_VERSION,
                         "kind": "trace_recorder",
@@ -321,8 +323,30 @@ class TraceRecorder:
                 + "\n"
             )
             for span_obj in spans:
-                handle.write(json.dumps(span_obj.to_dict()) + "\n")
+                handle.write(frame_line(span_obj.to_dict()) + "\n")
         return len(spans)
+
+
+def read_trace_export(path: Any) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Load one trace export: ``(header, span_dicts)``.
+
+    Goes through the validating loader (:func:`repro.obs.atomicio.
+    read_jsonl`): corrupt lines are quarantined to ``<path>.corrupt`` with
+    metrics and an alert, and the surviving spans still load. Un-framed
+    (v1/v2 plain-JSONL) exports load unchanged. A damaged or missing
+    header yields ``{}``.
+    """
+    from .atomicio import read_jsonl
+
+    payloads, _ = read_jsonl(path, artifact="trace")
+    header: dict[str, Any] = {}
+    spans: list[dict[str, Any]] = []
+    for payload in payloads:
+        if not header and payload.get("kind") == "trace_recorder":
+            header = payload
+        else:
+            spans.append(payload)
+    return header, spans
 
 
 _RECORDER = TraceRecorder()

@@ -15,23 +15,47 @@ directory) cannot interleave.
 exactly the jobs a restarted runtime must recover: their requests are
 reconstructed from the submission record and re-enqueued, and their engine
 checkpoints (keyed by the stable job id) take over from the last durable
-watermark. Records are schema-versioned and loaded leniently — unknown
-fields are ignored, malformed lines skipped — so old readers survive new
-writers.
+watermark.
+
+Records are schema-versioned and CRC-framed (:func:`repro.obs.atomicio.
+frame_line`); loading is lenient but loud — unknown fields are ignored, v1
+(un-framed) journals still load, and corrupt lines are quarantined to a
+``<file>.corrupt`` sidecar with ``storage.*`` metrics and an alert instead
+of being skipped silently.
+
+Because appends are copy-on-write (O(file) each), an unbounded journal
+degrades every subsequent append. :meth:`JobJournal.compact` bounds that:
+it atomically rewrites the log with each *terminal* job collapsed to a
+single summary record (non-terminal jobs keep their full event chains —
+they are what recovery needs), and :meth:`maybe_compact` applies a
+size/record-count trigger, which :meth:`repro.service.runtime.JobRuntime.
+recover` invokes on every restart.
 """
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
-from ..obs.atomicio import atomic_append_line
+from ..obs.atomicio import (
+    LoadReport,
+    advisory_lock,
+    atomic_append_line,
+    atomic_writer,
+    frame_line,
+    read_jsonl,
+)
 from .job import TERMINAL_STATES, JobRequest, JobState
 
 __all__ = ["JOURNAL_SCHEMA_VERSION", "JobJournal", "JournalEntry"]
+
+#: Auto-compaction triggers (see :meth:`JobJournal.maybe_compact`): compact
+#: when the journal holds more than this many records or bytes. ~512
+#: events is roughly 80 jobs' worth of lifecycle edges.
+COMPACT_MAX_EVENTS = 512
+COMPACT_MAX_BYTES = 1 << 20
 
 #: Bump when the event layout changes incompatibly; readers keep ignoring
 #: unknown fields either way.
@@ -69,6 +93,9 @@ class JobJournal:
 
     def __init__(self, path: Any) -> None:
         self.path = Path(path)
+        #: Accounting for the most recent :meth:`events` load (quarantine
+        #: counts, alerts); ``None`` until the first load.
+        self.last_load_report: LoadReport | None = None
 
     # -- write -----------------------------------------------------------
     def record(
@@ -77,37 +104,35 @@ class JobJournal:
         job_id: str,
         payload: Mapping[str, Any] | None = None,
     ) -> None:
-        """Durably append one event line (atomic + cross-process locked)."""
-        line = json.dumps(
+        """Durably append one CRC-framed event line (atomic + locked)."""
+        line = frame_line(
             {
                 "schema_version": JOURNAL_SCHEMA_VERSION,
                 "ts": time.time(),
                 "event": str(event),
                 "job_id": str(job_id),
                 "payload": dict(payload or {}),
-            },
-            sort_keys=True,
+            }
         )
         atomic_append_line(self.path, line)
 
     # -- read ------------------------------------------------------------
     def events(self) -> list[dict[str, Any]]:
-        """Every parseable event, in append order (malformed lines skipped)."""
-        if not self.path.exists():
-            return []
-        out: list[dict[str, Any]] = []
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn write from a non-atomic writer
-                if isinstance(payload, dict) and payload.get("event"):
-                    out.append(payload)
-        return out
+        """Every valid event, in append order.
+
+        Corrupt lines are quarantined to ``<path>.corrupt`` with metrics
+        and an alert (see :attr:`last_load_report`); valid records that are
+        not journal events (no ``event`` field) are ignored, matching the
+        shared-file tolerance the journal has always had.
+        """
+        payloads, self.last_load_report = read_jsonl(
+            self.path, artifact="journal"
+        )
+        return [
+            payload
+            for payload in payloads
+            if isinstance(payload, dict) and payload.get("event")
+        ]
 
     def replay(self) -> dict[str, JournalEntry]:
         """Fold the event log into the latest per-job state, in job order.
@@ -152,6 +177,92 @@ class JobJournal:
         return [
             entry for entry in self.replay().values() if entry.recoverable
         ]
+
+    # -- compaction ------------------------------------------------------
+    def compact(self) -> dict[str, Any]:
+        """Atomically rewrite the journal with terminal jobs collapsed.
+
+        Appends are copy-on-write — O(file) each — so an ever-growing
+        journal makes every later append slower. Compaction rewrites the
+        log under the cross-process advisory lock: each job that reached a
+        terminal state is collapsed to one summary record carrying its
+        folded result (``payload.compacted_events`` counts the collapsed
+        lines); every record of a *non-terminal* job is kept verbatim, so
+        :meth:`replay`/:meth:`in_flight` recover exactly the same jobs
+        before and after. Returns the compaction stats.
+        """
+        stats = {
+            "events_before": 0,
+            "events_after": 0,
+            "bytes_before": 0,
+            "bytes_after": 0,
+            "jobs_terminal": 0,
+            "jobs_active": 0,
+        }
+        with advisory_lock(self.path):
+            if not self.path.exists():
+                return stats
+            stats["bytes_before"] = self.path.stat().st_size
+            records = self.events()
+            stats["events_before"] = len(records)
+            # Fold per job over the raw records (same logic as replay, but
+            # we need the records grouped to rewrite non-terminal chains).
+            by_job: dict[str, list[dict[str, Any]]] = {}
+            for record in records:
+                by_job.setdefault(str(record["job_id"]), []).append(record)
+            entries = self.replay()
+            lines: list[str] = []
+            for job_id, job_records in by_job.items():
+                if job_id == "-":
+                    # Bookkeeping records (recovery audits) are not jobs:
+                    # keep only the newest so restarts do not accumulate.
+                    lines.append(frame_line(job_records[-1]))
+                    continue
+                entry = entries.get(job_id)
+                if entry is not None and entry.terminal:
+                    stats["jobs_terminal"] += 1
+                    last = job_records[-1]
+                    lines.append(
+                        frame_line(
+                            {
+                                "schema_version": JOURNAL_SCHEMA_VERSION,
+                                "ts": float(last.get("ts", 0.0)),
+                                "event": entry.state,
+                                "job_id": job_id,
+                                "payload": {
+                                    **entry.result_summary,
+                                    "compacted_events": len(job_records),
+                                },
+                            }
+                        )
+                    )
+                else:
+                    stats["jobs_active"] += 1
+                    lines.extend(frame_line(record) for record in job_records)
+            stats["events_after"] = len(lines)
+            with atomic_writer(self.path) as handle:
+                for line in lines:
+                    handle.write(line + "\n")
+            stats["bytes_after"] = self.path.stat().st_size
+        return stats
+
+    def maybe_compact(
+        self,
+        max_events: int = COMPACT_MAX_EVENTS,
+        max_bytes: int = COMPACT_MAX_BYTES,
+    ) -> dict[str, Any] | None:
+        """Run :meth:`compact` when the journal exceeds either trigger.
+
+        The cheap size probe runs first so the common small-journal case
+        costs one ``stat``; the record count is only taken when the byte
+        bound passes. Returns the stats when compaction ran, else None.
+        """
+        if not self.path.exists():
+            return None
+        if self.path.stat().st_size <= max_bytes:
+            if len(self.events()) <= max_events:
+                return None
+        return self.compact()
 
     def __len__(self) -> int:
         return len(self.events())

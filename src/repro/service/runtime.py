@@ -401,6 +401,12 @@ class JobRuntime:
         admitted once; re-shedding them would turn a crash into data
         loss), which can transiently overshoot the queue bound by at most
         the crashed runtime's ``max_concurrency``.
+
+        Every restart also leaves a ``recovery_audit`` journal record —
+        jobs re-enqueued, quarantine accounting from the journal load, and
+        the stats of the auto-compaction (:meth:`JobJournal.maybe_compact`)
+        that runs here — so an operator can reconstruct what recovery saw
+        and did after the fact.
         """
         if self.journal is None:
             return []
@@ -424,6 +430,24 @@ class JobRuntime:
             self.counts["recovered"] += 1
             self._metric("service.recovered")
             recovered.append(job)
+        audit: dict[str, Any] = {
+            "recovered_jobs": len(recovered),
+            "job_ids": [job.job_id for job in recovered],
+        }
+        load_report = self.journal.last_load_report
+        if load_report is not None:
+            audit["journal_load"] = {
+                "n_loaded": load_report.n_loaded,
+                "n_quarantined": load_report.n_quarantined,
+                "reasons": dict(load_report.reasons),
+                "quarantine_path": load_report.quarantine_path,
+            }
+        compaction = self.journal.maybe_compact()
+        if compaction is not None:
+            audit["compaction"] = compaction
+            self._metric("service.journal_compacted")
+        self._journal("recovery_audit", "-", audit)
+        _obs_flight.record("service.recovery_audit", **audit)
         if recovered and self._wake is not None:
             self._wake.set()
         return recovered

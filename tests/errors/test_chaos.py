@@ -271,3 +271,149 @@ class TestJobFaults:
     def test_job_crash_rate_validation(self):
         with pytest.raises(ValueError, match="job_crash_rate"):
             ChaosMonkey(job_crash_rate=1.5)
+
+
+class TestDiskChaos:
+    """Storage-fault injection through the atomic write protocol's hooks."""
+
+    def _append(self, path, i):
+        from repro.obs.atomicio import atomic_append_line, frame_line
+
+        atomic_append_line(path, frame_line({"i": i}))
+
+    def test_config_validation(self):
+        from repro.errors import DiskChaos
+
+        with pytest.raises(ValueError, match="sum to"):
+            DiskChaos(short_write_rate=0.8, enospc_rate=0.4)
+        with pytest.raises(ValueError, match="crash_mode"):
+            DiskChaos(crash_mode="explode")
+        with pytest.raises(ValueError, match="unknown disk fault"):
+            DiskChaos(fault_at={0: "meteor_strike"})
+
+    def test_short_write_leaves_quarantinable_torn_tail(self, tmp_path):
+        from repro.errors import DiskChaos
+        from repro.obs.atomicio import io_hooks, read_jsonl
+
+        path = tmp_path / "a.jsonl"
+        self._append(path, 0)
+        chaos = DiskChaos(fault_at={0: "short_write"})
+        with io_hooks(chaos):
+            self._append(path, 1)
+        payloads, report = read_jsonl(path, artifact="t")
+        assert [p["i"] for p in payloads] == [0]  # prior record intact
+        assert report.n_quarantined == 1  # the torn line is accounted for
+        assert [f.kind for f in chaos.triggered] == ["short_write"]
+
+    def test_enospc_aborts_write_and_preserves_target(self, tmp_path):
+        from repro.errors import DiskChaos
+        from repro.obs.atomicio import io_hooks, read_jsonl
+
+        path = tmp_path / "a.jsonl"
+        self._append(path, 0)
+        with io_hooks(DiskChaos(fault_at={0: "enospc"})):
+            with pytest.raises(OSError):
+                self._append(path, 1)
+        payloads, report = read_jsonl(path)
+        assert [p["i"] for p in payloads] == [0] and report.clean
+
+    def test_crash_before_rename_loses_nothing_acked(self, tmp_path):
+        from repro.errors import DiskChaos
+        from repro.obs.atomicio import SimulatedCrash, io_hooks, read_jsonl
+
+        path = tmp_path / "a.jsonl"
+        self._append(path, 0)
+        with io_hooks(DiskChaos(fault_at={0: "crash_before_rename"})):
+            with pytest.raises(SimulatedCrash):
+                self._append(path, 1)
+        payloads, report = read_jsonl(path)
+        assert [p["i"] for p in payloads] == [0] and report.clean
+
+    def test_crash_after_rename_keeps_whole_new_line(self, tmp_path):
+        from repro.errors import DiskChaos
+        from repro.obs.atomicio import SimulatedCrash, io_hooks, read_jsonl
+
+        path = tmp_path / "a.jsonl"
+        self._append(path, 0)
+        with io_hooks(DiskChaos(fault_at={0: "crash_after_rename"})):
+            with pytest.raises(SimulatedCrash):
+                self._append(path, 1)
+        payloads, report = read_jsonl(path)
+        assert [p["i"] for p in payloads] == [0, 1] and report.clean
+
+    def test_eio_fsync_raises_and_target_is_preserved(self, tmp_path):
+        from repro.errors import DiskChaos
+        from repro.obs.atomicio import io_hooks, read_jsonl
+
+        path = tmp_path / "a.jsonl"
+        self._append(path, 0)
+        with io_hooks(DiskChaos(fault_at={0: "eio_fsync"})):
+            with pytest.raises(OSError):
+                self._append(path, 1)
+        payloads, _ = read_jsonl(path)
+        assert [p["i"] for p in payloads] == [0]
+
+    def test_lying_fsync_continues_and_is_recorded(self, tmp_path):
+        from repro.errors import DiskChaos
+        from repro.obs.atomicio import io_hooks, read_jsonl
+
+        path = tmp_path / "a.jsonl"
+        chaos = DiskChaos(fault_at={0: "lying_fsync"})
+        with io_hooks(chaos):
+            self._append(path, 0)
+        payloads, report = read_jsonl(path)
+        assert [p["i"] for p in payloads] == [0] and report.clean
+        assert [f.kind for f in chaos.triggered] == ["lying_fsync"]
+
+    def test_decisions_are_seeded_and_match_planned(self, tmp_path):
+        from repro.errors import DiskChaos
+        from repro.obs.atomicio import io_hooks
+
+        a = DiskChaos(seed=7, short_write_rate=0.3, lying_fsync_rate=0.2)
+        b = DiskChaos(seed=7, short_write_rate=0.3, lying_fsync_rate=0.2)
+        assert a.planned_disk_faults(64) == b.planned_disk_faults(64)
+        planned = a.planned_disk_faults(16)
+        with io_hooks(a):
+            for i in range(16):
+                self._append(tmp_path / "r.jsonl", i)
+        fired = {}
+        for fault in a.triggered:
+            fired.setdefault(fault.kind, []).append(fault.op_index)
+        assert fired == planned
+
+    def test_sidecars_are_never_faulted(self, tmp_path):
+        from repro.errors import DiskChaos
+        from repro.obs.atomicio import io_hooks, read_jsonl
+
+        path = tmp_path / "a.jsonl"
+        self._append(path, 0)
+        path.write_text(path.read_text() + "garbage-tail\n")
+        # every op faults — yet quarantining (sidecar writes) must proceed
+        chaos = DiskChaos(short_write_rate=1.0, only=None)
+        with io_hooks(chaos):
+            payloads, report = read_jsonl(path, artifact="t")
+        assert report.n_quarantined == 1
+        assert (tmp_path / "a.jsonl.corrupt").exists()
+        assert all(f.row_id >= 0 for f in chaos.triggered)
+
+    def test_only_filter_scopes_faults_to_matching_paths(self, tmp_path):
+        from repro.errors import DiskChaos
+        from repro.obs.atomicio import io_hooks, read_jsonl
+
+        chaos = DiskChaos(fault_at={0: "short_write"}, only="target")
+        with io_hooks(chaos):
+            self._append(tmp_path / "other.jsonl", 0)  # not counted
+            self._append(tmp_path / "target.jsonl", 0)  # op 0: faults
+        assert read_jsonl(tmp_path / "other.jsonl")[1].clean
+        assert read_jsonl(tmp_path / "target.jsonl")[1].n_quarantined == 1
+
+    def test_reset_clears_counters_and_triggers(self, tmp_path):
+        from repro.errors import DiskChaos
+        from repro.obs.atomicio import io_hooks
+
+        chaos = DiskChaos(fault_at={0: "lying_fsync"})
+        with io_hooks(chaos):
+            self._append(tmp_path / "a.jsonl", 0)
+        assert chaos.n_ops == 1 and chaos.triggered
+        chaos.reset()
+        assert chaos.n_ops == 0 and not chaos.triggered

@@ -299,9 +299,7 @@ class TestCrashFlightDump:
         assert run is not None  # recovered despite the crash
         dumps = sorted(tmp_path.glob("flight-*worker-crash*.jsonl"))
         assert dumps, "crash produced no flight dump"
-        with open(dumps[0], encoding="utf-8") as handle:
-            lines = [json.loads(line) for line in handle if line.strip()]
-        header, events = lines[0], lines[1:]
+        header, events = obs_flight.load_dump(dumps[0])
         assert header["kind"] == "flight_dump"
         assert header["reason"] == "worker-crash"
         crashes = [e for e in events if e["kind"] == "supervision.crash"]

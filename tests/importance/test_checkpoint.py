@@ -508,3 +508,117 @@ class TestRetention:
         store.save({"completed": 2})
         assert store.archives() == []
         assert [p.name for p in tmp_path.iterdir()] == ["ck.json"]
+
+
+# ---------------------------------------------------------------------- #
+# corruption: quarantine + generation-by-generation archive fallback     #
+# ---------------------------------------------------------------------- #
+
+
+class TestCorruptionFallback:
+    def _populate(self, tmp_path, waves=4, keep_last=3):
+        store = CheckpointStore(tmp_path / "ck.json", keep_last=keep_last)
+        for wave in range(1, waves + 1):
+            store.save(
+                {"kind": "permutation", "fingerprint": "fp",
+                 "completed": wave * 5, "totals": [float(wave)]}
+            )
+        return store
+
+    def test_corrupt_primary_falls_back_to_newest_archive(self, tmp_path):
+        store = self._populate(tmp_path)
+        store.path.write_text("{bit rot", encoding="utf-8")
+        payload = store.load()
+        assert payload["completed"] == 20  # newest retained generation
+        assert store.last_recovery["recovered_from"].endswith("wave00000020")
+        assert store.last_recovery["completed"] == 20
+        # the primary was healed: the next load is clean
+        assert store.load()["completed"] == 20
+        assert store.last_recovery is None
+
+    def test_crc_mismatch_detected_and_recovered(self, tmp_path):
+        store = self._populate(tmp_path)
+        text = store.path.read_text(encoding="utf-8")
+        # flip payload bytes but keep the line valid JSON: parses fine,
+        # fails the CRC — exactly what un-checksummed persistence missed
+        store.path.write_text(text.replace('"completed":20', '"completed":99'))
+        payload = store.load()
+        assert payload["completed"] == 20
+        assert "crc_mismatch" in store.last_recovery["primary_error"]
+
+    def test_falls_back_past_corrupt_archives(self, tmp_path):
+        store = self._populate(tmp_path)
+        store.path.write_text("garbage")
+        archives = store.archives()
+        archives[-1].write_text("also garbage")  # newest archive is bad too
+        payload = store.load()
+        assert payload["completed"] == 15  # second-newest generation wins
+        assert store.last_recovery["archives_tried"] == 2
+
+    def test_quarantines_corrupt_primary_to_sidecar(self, tmp_path):
+        from repro.obs.atomicio import read_jsonl
+
+        store = self._populate(tmp_path)
+        store.path.write_text("{bit rot")
+        store.load()
+        sidecar = tmp_path / "ck.json.corrupt"
+        assert sidecar.exists()
+        records, report = read_jsonl(sidecar, artifact="quarantine")
+        assert report.clean
+        assert records[0]["kind"] == "quarantined_record"
+        assert records[0]["raw"] == "{bit rot"
+
+    def test_raises_original_error_when_no_archive_survives(self, tmp_path):
+        store = self._populate(tmp_path)
+        store.path.write_text("{bit rot")
+        for archive in store.archives():
+            archive.write_text("dead")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            store.load()
+        assert store.last_recovery["recovered_from"] is None
+
+    def test_wrong_schema_is_a_fallback_candidate_not_fatal(self, tmp_path):
+        store = self._populate(tmp_path)
+        store.path.write_text(
+            json.dumps({"schema_version": 999, "kind": "permutation"})
+        )
+        assert store.load()["completed"] == 20
+
+    def test_fallback_emits_metrics_and_warn_alert(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.atomicio import storage_alerts
+
+        storage_alerts(clear=True)
+        store = self._populate(tmp_path)
+        store.path.write_text("junk")
+        store.load()
+        snap = obs_metrics.snapshot()
+        assert any(
+            name.startswith("storage.checkpoint_fallback")
+            and entry["value"] >= 1
+            for name, entry in snap.items()
+        )
+        alerts = storage_alerts()
+        fallback = [
+            a for a in alerts if a.metric == "storage.checkpoint_fallback"
+        ]
+        assert fallback and fallback[-1].severity == "warn"
+
+    def test_resume_bit_identical_after_primary_corruption(self, tmp_path):
+        ck = tmp_path / "ck.json"
+        interrupted = ValuationEngine(
+            saturating_game(), checkpoint=CheckpointStore(ck, keep_last=3)
+        )
+        interrupted.run_permutations(30, seed=5, check_every=5, max_evals=60)
+        # rot the primary snapshot after the "crash"
+        ck.write_bytes(ck.read_bytes()[:-7] + b"XXXXXXX")
+        resumed = ValuationEngine(
+            saturating_game(),
+            checkpoint=CheckpointStore(ck, keep_last=3),
+            resume=True,
+        ).run_permutations(30, seed=5, check_every=5)
+        uninterrupted = ValuationEngine(saturating_game()).run_permutations(
+            30, seed=5, check_every=5
+        )
+        assert resumed.resumed_from > 0
+        assert np.array_equal(resumed.values(), uninterrupted.values())

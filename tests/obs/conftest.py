@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.obs import atomicio as obs_atomicio
 from repro.obs import flight as obs_flight
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
@@ -14,6 +15,8 @@ def _clean():
     recorder = obs_flight.flight_recorder()
     recorder.clear()
     recorder.dump_dir = None
+    obs_atomicio.storage_alerts(clear=True)
+    obs_atomicio.install_io_hooks(None)
 
 
 @pytest.fixture(autouse=True)

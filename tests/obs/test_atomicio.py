@@ -157,3 +157,212 @@ class TestAdvisoryLock:
         for who in ("a", "b"):
             mine = [r.config["i"] for r in records if r.config["who"] == who]
             assert mine == list(range(40))
+
+
+class TestEnvelopeFraming:
+    def test_frame_is_one_json_object_per_line(self):
+        from repro.obs.atomicio import ENVELOPE_SCHEMA_VERSION, frame_line
+
+        line = frame_line({"b": 2, "a": [1.5, None, "x"]})
+        assert "\n" not in line
+        envelope = json.loads(line)
+        assert envelope["_env"] == ENVELOPE_SCHEMA_VERSION
+        assert set(envelope) == {"_env", "crc", "data"}
+        assert envelope["data"] == {"b": 2, "a": [1.5, None, "x"]}
+
+    def test_unframe_round_trips(self):
+        from repro.obs.atomicio import frame_line, unframe
+
+        payload = {"x": 1e-17, "y": "ünïcode", "z": [True, False]}
+        out, reason = unframe(json.loads(frame_line(payload)))
+        assert reason is None and out == payload
+
+    def test_crc_survives_parse_reserialize_round_trip(self):
+        from repro.obs.atomicio import canonical_json, crc32_hex, frame_line
+
+        payload = {"f": 0.1 + 0.2, "tiny": 5e-324, "big": 1.7976931348623157e308}
+        envelope = json.loads(frame_line(payload))
+        # the reader's recomputation path, explicitly
+        assert crc32_hex(canonical_json(envelope["data"])) == envelope["crc"]
+
+    def test_v1_unframed_records_pass_through(self):
+        from repro.obs.atomicio import unframe
+
+        legacy = {"run_id": "r1", "kind": "pipeline"}
+        assert unframe(legacy) == (legacy, None)
+        assert unframe([1, 2]) == ([1, 2], None)
+        assert unframe("scalar") == ("scalar", None)
+
+    def test_tampered_payload_fails_crc(self):
+        from repro.obs.atomicio import frame_line, unframe
+
+        envelope = json.loads(frame_line({"amount": 100}))
+        envelope["data"]["amount"] = 999
+        _, reason = unframe(envelope)
+        assert reason == "crc_mismatch"
+
+    def test_malformed_envelope_is_flagged(self):
+        from repro.obs.atomicio import unframe
+
+        assert unframe({"_env": 2, "data": {"x": 1}})[1] == "envelope_malformed"
+        assert unframe({"_env": 2, "crc": "00000000"})[1] == "envelope_malformed"
+
+
+class TestReadJsonl:
+    def _write(self, path, lines):
+        path.write_text("".join(line + "\n" for line in lines))
+
+    def test_missing_file_is_clean_empty(self, tmp_path):
+        from repro.obs.atomicio import read_jsonl
+
+        payloads, report = read_jsonl(tmp_path / "absent.jsonl")
+        assert payloads == [] and report.clean and report.n_loaded == 0
+
+    def test_mixed_v1_v2_file_loads_fully(self, tmp_path):
+        from repro.obs.atomicio import frame_line, read_jsonl
+
+        path = tmp_path / "mixed.jsonl"
+        self._write(path, ['{"i": 0}', frame_line({"i": 1}), '{"i": 2}'])
+        payloads, report = read_jsonl(path)
+        assert [p["i"] for p in payloads] == [0, 1, 2]
+        assert report.clean and report.n_loaded == 3
+
+    def test_corruption_quarantines_and_loads_rest(self, tmp_path):
+        from repro.obs.atomicio import frame_line, read_jsonl
+
+        path = tmp_path / "rotten.jsonl"
+        good = frame_line({"i": 0})
+        torn = frame_line({"i": 1})[:-9]
+        flipped = frame_line({"i": 2}).replace('"i":2', '"i":3')
+        self._write(path, [good, torn, flipped, "", "plain garbage"])
+        payloads, report = read_jsonl(path, artifact="test")
+        assert [p["i"] for p in payloads] == [0]
+        assert report.n_quarantined == 3
+        assert report.reasons == {
+            "not_json": 2, "crc_mismatch": 1,
+        }
+        sidecar = tmp_path / "rotten.jsonl.corrupt"
+        assert report.quarantine_path == str(sidecar)
+        assert sidecar.exists()
+
+    def test_sidecar_is_itself_a_valid_framed_artifact(self, tmp_path):
+        from repro.obs.atomicio import frame_line, read_jsonl
+
+        path = tmp_path / "a.jsonl"
+        self._write(path, [frame_line({"i": 0}), "junk"])
+        read_jsonl(path, artifact="test")
+        records, report = read_jsonl(
+            path.with_name("a.jsonl.corrupt"), artifact="quarantine"
+        )
+        assert report.clean
+        (record,) = records
+        assert record["kind"] == "quarantined_record"
+        assert record["artifact"] == "test"
+        assert record["raw"] == "junk"
+        assert record["reason"] == "not_json"
+        assert record["line_no"] == 1
+
+    def test_repeated_loads_do_not_requarantine(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.atomicio import frame_line, read_jsonl
+
+        path = tmp_path / "a.jsonl"
+        self._write(path, [frame_line({"i": 0}), "junk"])
+        _, first = read_jsonl(path, artifact="test")
+        assert first.n_quarantined_new == 1
+        _, second = read_jsonl(path, artifact="test")
+        assert second.n_quarantined == 1  # still accounted...
+        assert second.n_quarantined_new == 0  # ...but not re-quarantined
+        sidecar_lines = (
+            (tmp_path / "a.jsonl.corrupt").read_text().strip().splitlines()
+        )
+        assert len(sidecar_lines) == 1
+        name = "storage.records_quarantined{artifact=test}"
+        assert obs_metrics.snapshot()[name]["value"] == 1.0
+        assert len(second.alerts) == 0  # no fresh damage -> no new alert
+
+    def test_alert_severity_tracks_surviving_records(self, tmp_path):
+        from repro.obs.atomicio import frame_line, read_jsonl, storage_alerts
+
+        mixed = tmp_path / "mixed.jsonl"
+        self._write(mixed, [frame_line({"i": 0}), "junk"])
+        _, partial = read_jsonl(mixed, artifact="m")
+        assert partial.alerts[0].severity == "warn"
+        dead = tmp_path / "dead.jsonl"
+        self._write(dead, ["junk1", "junk2"])
+        _, total = read_jsonl(dead, artifact="d")
+        assert total.alerts[0].severity == "critical"
+        ring = storage_alerts()
+        assert [a.severity for a in ring] == ["warn", "critical"]
+        assert all(a.kind == "storage_corruption" for a in ring)
+
+    def test_quarantine_false_skips_sidecar(self, tmp_path):
+        from repro.obs.atomicio import read_jsonl
+
+        path = tmp_path / "a.jsonl"
+        self._write(path, ["junk"])
+        _, report = read_jsonl(path, quarantine=False)
+        assert report.n_quarantined == 1
+        assert not (tmp_path / "a.jsonl.corrupt").exists()
+
+    def test_non_object_records_respect_require_objects(self, tmp_path):
+        from repro.obs.atomicio import read_jsonl
+
+        path = tmp_path / "a.jsonl"
+        self._write(path, ["[1, 2]", "3"])
+        payloads, report = read_jsonl(path, require_objects=False)
+        assert payloads == [[1, 2], 3] and report.clean
+        _, strict = read_jsonl(tmp_path / "a.jsonl", artifact="s")
+        assert strict.reasons == {"not_object": 2}
+
+    def test_report_to_dict_is_json_serializable(self, tmp_path):
+        from repro.obs.atomicio import read_jsonl
+
+        path = tmp_path / "a.jsonl"
+        self._write(path, ["junk"])
+        _, report = read_jsonl(path, artifact="t")
+        json.dumps(report.to_dict())
+
+
+class TestIOHookInstallation:
+    def test_io_hooks_scope_restores_previous(self):
+        from repro.obs.atomicio import IOHooks, install_io_hooks, io_hooks
+
+        outer = IOHooks()
+        assert install_io_hooks(outer) is None
+        inner = IOHooks()
+        with io_hooks(inner) as active:
+            assert active is inner
+        assert install_io_hooks(None) is outer
+
+    def test_hooks_see_the_commit_sequence(self, tmp_path):
+        from repro.obs.atomicio import IOHooks, atomic_write_text, io_hooks
+
+        calls = []
+
+        class Spy(IOHooks):
+            def on_commit(self, path, handle):
+                calls.append(("commit", path.name))
+
+            def on_fsync(self, path, fileno):
+                calls.append(("fsync", path.name))
+                return True
+
+            def on_replace(self, tmp, path, when):
+                calls.append((f"replace_{when}", path.name))
+
+            def on_dirsync(self, dirpath):
+                calls.append(("dirsync", dirpath.name))
+                return True
+
+        with io_hooks(Spy()):
+            atomic_write_text(tmp_path / "x.txt", "data")
+        assert [c[0] for c in calls] == [
+            "commit", "fsync", "replace_before", "replace_after", "dirsync",
+        ]
+        assert (tmp_path / "x.txt").read_text() == "data"
+
+    def test_fsync_dir_best_effort_true_on_posix(self, tmp_path):
+        from repro.obs.atomicio import fsync_dir
+
+        assert fsync_dir(tmp_path) is True

@@ -1,18 +1,15 @@
-"""Flight recorder: bounded ring, atomic dumps, fork hygiene."""
+"""Flight recorder: bounded ring, atomic dumps, retention, fork hygiene."""
 
 from __future__ import annotations
 
-import json
 import os
 
 from repro.obs import flight as obs_flight
-from repro.obs.flight import FLIGHT_SCHEMA_VERSION, FlightRecorder
+from repro.obs.flight import FLIGHT_SCHEMA_VERSION, FlightRecorder, load_dump
 
 
 def read_dump(path):
-    with open(path, encoding="utf-8") as handle:
-        lines = [json.loads(line) for line in handle if line.strip()]
-    return lines[0], lines[1:]
+    return load_dump(path)
 
 
 class TestRing:
@@ -137,3 +134,66 @@ class TestModuleFacade:
         )
         path = obs_flight.auto_dump("facade-test")
         assert path is not None and os.path.exists(path)
+
+
+class TestRetention:
+    def _fill(self, rec, dump_dir, n):
+        rec.configure(dump_dir=dump_dir)
+        paths = []
+        for _ in range(n):
+            rec.record("e")
+            paths.append(rec.auto_dump("loop"))
+        return paths
+
+    def test_keep_last_prunes_oldest_dumps(self, tmp_path):
+        rec = FlightRecorder(keep_last=3)
+        paths = self._fill(rec, tmp_path, 6)
+        survivors = sorted(p.name for p in tmp_path.glob("flight-*.jsonl"))
+        assert len(survivors) == 3
+        assert survivors == sorted(os.path.basename(p) for p in paths[-3:])
+
+    def test_keep_last_none_is_unbounded(self, tmp_path):
+        rec = FlightRecorder(keep_last=None)
+        self._fill(rec, tmp_path, 5)
+        assert len(list(tmp_path.glob("flight-*.jsonl"))) == 5
+
+    def test_configure_keep_last_zero_means_unbounded(self, tmp_path):
+        rec = FlightRecorder(keep_last=2)
+        rec.configure(keep_last=0)
+        self._fill(rec, tmp_path, 4)
+        assert len(list(tmp_path.glob("flight-*.jsonl"))) == 4
+
+    def test_keep_last_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="keep_last"):
+            FlightRecorder(keep_last=0)
+
+    def test_prune_spares_quarantine_sidecars(self, tmp_path):
+        rec = FlightRecorder(keep_last=1)
+        (tmp_path / "flight-1-001-x.jsonl.corrupt").write_text("evidence\n")
+        self._fill(rec, tmp_path, 3)
+        assert (tmp_path / "flight-1-001-x.jsonl.corrupt").exists()
+        assert len(list(tmp_path.glob("flight-*.jsonl"))) == 1
+
+    def test_loaded_dump_round_trips_through_validation(self, tmp_path):
+        rec = FlightRecorder()
+        rec.record("a", x=1)
+        path = tmp_path / "f.jsonl"
+        rec.dump(path, reason="rt")
+        header, events = load_dump(path)
+        assert header["reason"] == "rt" and events[0]["x"] == 1
+
+    def test_corrupt_dump_line_is_quarantined_not_fatal(self, tmp_path):
+        rec = FlightRecorder()
+        rec.record("a", x=1)
+        rec.record("b", y=2)
+        path = tmp_path / "f.jsonl"
+        rec.dump(path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # tear the first event
+        path.write_text("\n".join(lines) + "\n")
+        header, events = load_dump(path)
+        assert header["kind"] == "flight_dump"
+        assert [e["kind"] for e in events] == ["b"]
+        assert (tmp_path / "f.jsonl.corrupt").exists()

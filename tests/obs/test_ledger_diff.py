@@ -232,8 +232,10 @@ class TestEndToEndDrift:
         frame, sink = build_pipeline(60)
         record_monitored_run(ledger, frame, sink, "a")
         record_monitored_run(ledger, frame, sink, "b")
+        from repro.obs.atomicio import unframe
+
         with open(ledger.path, "r", encoding="utf-8") as handle:
-            raw = [json.loads(line) for line in handle]
+            raw = [unframe(json.loads(line))[0] for line in handle]
         diff = compare_runs(raw[0], raw[1])
         assert diff.run_a == "a" and diff.run_b == "b"
         assert not diff.has_drift

@@ -131,9 +131,7 @@ class TestExport:
         path = tmp_path / "trace.jsonl"
         count = obs.get_recorder().export_jsonl(path)
         assert count == 2
-        header, *lines = [
-            json.loads(line) for line in path.read_text().splitlines()
-        ]
+        header, lines = obs.read_trace_export(path)
         assert header["schema_version"] == obs.TRACE_SCHEMA_VERSION
         assert header["n_spans"] == 2
         assert [entry["name"] for entry in lines] == ["root", "leaf"]

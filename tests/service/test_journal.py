@@ -77,10 +77,94 @@ class TestRecordAndReplay:
         assert [e["event"] for e in journal.events()] == ["submitted", "completed"]
         assert journal.replay()["a"].terminal
 
-    def test_records_are_schema_versioned_sorted_json(self, tmp_path):
+    def test_records_are_framed_schema_versioned_sorted_json(self, tmp_path):
+        from repro.obs.atomicio import ENVELOPE_SCHEMA_VERSION, unframe
+
         path = tmp_path / "j.jsonl"
         JobJournal(path).record("submitted", "a", {"z": 1, "a": 2})
-        record = json.loads(path.read_text().strip())
+        envelope = json.loads(path.read_text().strip())
+        assert envelope["_env"] == ENVELOPE_SCHEMA_VERSION
+        record, reason = unframe(envelope)
+        assert reason is None
         assert record["schema_version"] == 1
         assert list(record) == sorted(record)
         assert record["payload"] == {"z": 1, "a": 2}
+
+
+class TestCompaction:
+    def _lifecycle(self, journal, job_id, terminal="completed"):
+        submit(journal, job_id)
+        journal.record("queued", job_id)
+        journal.record("started", job_id, {"attempt": 0})
+        journal.record("progress", job_id, {"completed": 5})
+        journal.record(terminal, job_id, {"n_evals": 5})
+
+    def test_terminal_jobs_collapse_to_one_record(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        self._lifecycle(journal, "done-1")
+        self._lifecycle(journal, "done-2", terminal="failed")
+        stats = journal.compact()
+        assert stats["events_before"] == 10
+        assert stats["events_after"] == 2
+        assert stats["jobs_terminal"] == 2 and stats["jobs_active"] == 0
+        assert stats["bytes_after"] < stats["bytes_before"]
+        replayed = journal.replay()
+        assert replayed["done-1"].state == "completed"
+        assert replayed["done-2"].state == "failed"
+        summary = journal.events()[0]
+        assert summary["payload"]["compacted_events"] == 5
+        assert summary["payload"]["n_evals"] == 5  # result summary kept
+
+    def test_non_terminal_chains_survive_verbatim(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        self._lifecycle(journal, "done")
+        submit(journal, "crashed")
+        journal.record("started", "crashed", {"attempt": 0})
+        journal.record("progress", "crashed", {"completed": 3})
+        before = [e.job_id for e in journal.in_flight()]
+        journal.compact()
+        after_events = journal.events()
+        crashed = [e for e in after_events if e["job_id"] == "crashed"]
+        assert [e["event"] for e in crashed] == [
+            "submitted", "started", "progress",
+        ]
+        assert [e.job_id for e in journal.in_flight()] == before
+        entry = journal.replay()["crashed"]
+        assert entry.recoverable and entry.progress_completed == 3
+
+    def test_maybe_compact_triggers_on_event_count(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        for i in range(12):
+            self._lifecycle(journal, f"job-{i}")
+        assert journal.maybe_compact(max_events=10, max_bytes=1 << 30)
+        assert len(journal.events()) == 12  # one summary per terminal job
+        # under both bounds now: no further compaction
+        assert journal.maybe_compact(max_events=50, max_bytes=1 << 30) is None
+
+    def test_maybe_compact_triggers_on_bytes(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        self._lifecycle(journal, "a")
+        assert journal.maybe_compact(max_events=1 << 30, max_bytes=64)
+        assert journal.maybe_compact(max_events=1 << 30, max_bytes=1 << 30) is None
+
+    def test_compact_missing_file_is_noop(self, tmp_path):
+        stats = JobJournal(tmp_path / "absent.jsonl").compact()
+        assert stats["events_before"] == 0 and stats["events_after"] == 0
+
+    def test_compacted_journal_stays_framed_and_valid(self, tmp_path):
+        from repro.obs.atomicio import read_jsonl
+
+        journal = JobJournal(tmp_path / "j.jsonl")
+        self._lifecycle(journal, "a")
+        journal.compact()
+        _, report = read_jsonl(journal.path, artifact="journal")
+        assert report.clean and report.n_loaded == 1
+
+    def test_audit_records_keep_only_newest(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        journal.record("recovery_audit", "-", {"recovered_jobs": 0, "gen": 1})
+        self._lifecycle(journal, "a")
+        journal.record("recovery_audit", "-", {"recovered_jobs": 2, "gen": 2})
+        journal.compact()
+        audits = [e for e in journal.events() if e["event"] == "recovery_audit"]
+        assert len(audits) == 1 and audits[0]["payload"]["gen"] == 2

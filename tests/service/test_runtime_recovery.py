@@ -211,3 +211,66 @@ def test_kill_minus_nine_runtime_then_resume_is_bit_identical(tmp_path):
         )
         assert np.array_equal(job.result.values(), reference.values())
         assert job.result.stop_reason == "completed"
+
+
+class TestRecoveryAudit:
+    def test_recover_journals_an_audit_record(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        dead = JobRuntime(journal=journal_path)
+        register_valuation(dead, lambda p: ValuationEngine(tanh_game()))
+        dead.submit(
+            JobRequest(kind="valuation", params={"n_permutations": 4})
+        )
+        revived = JobRuntime(journal=journal_path)
+        recovered = revived.recover()
+        assert len(recovered) == 1
+        audits = [
+            e
+            for e in JobJournal(journal_path).events()
+            if e["event"] == "recovery_audit"
+        ]
+        assert len(audits) == 1
+        payload = audits[0]["payload"]
+        assert payload["recovered_jobs"] == 1
+        assert payload["job_ids"] == [recovered[0].job_id]
+        assert payload["journal_load"]["n_quarantined"] == 0
+
+    def test_audit_reports_quarantined_journal_lines(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        dead = JobRuntime(journal=journal_path)
+        register_valuation(dead, lambda p: ValuationEngine(tanh_game()))
+        dead.submit(
+            JobRequest(kind="valuation", params={"n_permutations": 4})
+        )
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"_env": 2, "crc": "00000000", "data": {"x": 1}}\n')
+        revived = JobRuntime(journal=journal_path)
+        revived.recover()
+        audits = [
+            e
+            for e in JobJournal(journal_path).events()
+            if e["event"] == "recovery_audit"
+        ]
+        load = audits[-1]["payload"]["journal_load"]
+        assert load["n_quarantined"] >= 1
+        assert load["reasons"].get("crc_mismatch") == 1
+        assert (tmp_path / "journal.jsonl.corrupt").exists()
+
+    def test_recover_compacts_oversized_journal(self, tmp_path):
+        from repro.service import journal as journal_mod
+
+        journal_path = tmp_path / "journal.jsonl"
+        journal = JobJournal(journal_path)
+        # enough terminal lifecycles to cross the event trigger
+        for i in range(journal_mod.COMPACT_MAX_EVENTS // 2 + 1):
+            journal.record("submitted", f"job-{i}", {"request": {"kind": "v"}})
+            journal.record("completed", f"job-{i}", {})
+        n_before = len(journal.events())
+        assert n_before > journal_mod.COMPACT_MAX_EVENTS
+        revived = JobRuntime(journal=journal_path)
+        revived.recover()
+        events = JobJournal(journal_path).events()
+        # one summary per terminal job + the audit record
+        assert len(events) <= n_before // 2 + 2
+        audit = [e for e in events if e["event"] == "recovery_audit"][-1]
+        assert audit["payload"]["compaction"]["jobs_terminal"] > 0

@@ -201,8 +201,7 @@ class TestFailedJobFlightDump:
             job_id = run(main())
             dumps = sorted(tmp_path.glob("flight-*job-failed*.jsonl"))
             assert dumps, "FAILED job produced no flight dump"
-            with open(dumps[0], encoding="utf-8") as handle:
-                events = [json.loads(line) for line in handle][1:]
+            _, events = obs_flight.load_dump(dumps[0])
             failed = [e for e in events if e["kind"] == "job.failed"]
             assert failed
             assert failed[-1]["job_id"] == job_id

@@ -105,13 +105,9 @@ def crash_a_pooled_worker(dump_dir: Path) -> Path:
 
     dumps = sorted(dump_dir.glob("flight-*worker-crash*.jsonl"))
     assert dumps, f"no flight dump in {dump_dir}"
-    events = [
-        json.loads(line)
-        for line in dumps[0].read_text(encoding="utf-8").splitlines()
-        if line.strip()
-    ]
-    assert events[0]["kind"] == "flight_dump"
-    kinds = {e["kind"] for e in events[1:]}
+    header, events = obs_flight.load_dump(dumps[0])
+    assert header["kind"] == "flight_dump"
+    kinds = {e["kind"] for e in events}
     assert "supervision.crash" in kinds, kinds
     assert "span" in kinds, kinds  # the crashed worker's backhauled spans
     return dumps[0]
